@@ -1,0 +1,147 @@
+//! CSR5 kernel (Liu & Vinter, ICS'15): the non-zero stream is cut into 2-D
+//! tiles of `sigma x omega` elements; each thread owns one column of a tile,
+//! walks it with a bit-flag marking row boundaries, and partial sums that
+//! cross tile borders are fixed up with atomics.  The result is near-perfect
+//! load balance regardless of the row-length distribution.
+
+use alpha_gpu::memory::Access;
+use alpha_gpu::{BlockContext, DeviceProfile, LaunchConfig, SpmvKernel, WARP_SIZE};
+use alpha_matrix::CsrMatrix;
+
+const BLOCK_DIM: usize = 128;
+
+/// CSR5-style tiled nnz-split kernel.
+pub struct Csr5Kernel {
+    matrix: CsrMatrix,
+    /// Non-zeros per thread (the tile column height, "sigma").
+    sigma: usize,
+}
+
+impl Csr5Kernel {
+    /// Builds the kernel with the given tile column height.
+    pub fn new(matrix: CsrMatrix, sigma: usize) -> Self {
+        Csr5Kernel { matrix, sigma: sigma.max(1) }
+    }
+
+    fn threads_total(&self) -> usize {
+        self.matrix.nnz().div_ceil(self.sigma).max(1)
+    }
+}
+
+impl SpmvKernel for Csr5Kernel {
+    fn name(&self) -> String {
+        "CSR5".into()
+    }
+
+    fn launch_config(&self, _device: &DeviceProfile) -> LaunchConfig {
+        LaunchConfig::new(self.threads_total().div_ceil(BLOCK_DIM).max(1), BLOCK_DIM)
+    }
+
+    fn execute_block(&self, block_id: usize, ctx: &mut BlockContext<'_>) {
+        let nnz = self.matrix.nnz();
+        let offsets = self.matrix.row_offsets();
+        let first_thread = block_id * BLOCK_DIM;
+        for tid in 0..BLOCK_DIM {
+            let start = (first_thread + tid) * self.sigma;
+            if start >= nnz {
+                break;
+            }
+            let end = (start + self.sigma).min(nnz);
+            let len = end - start;
+            ctx.thread(tid);
+            // Tile descriptor (bit flags + row start) and the value / column
+            // streams; the tile transpose makes the streams coalesced.
+            ctx.load_matrix_stream(Access::WarpCoalesced, 2, 4);
+            ctx.load_matrix_stream(Access::WarpCoalesced, len, 4);
+            ctx.load_matrix_stream(Access::WarpCoalesced, len, 4);
+            ctx.mul_add(len);
+            ctx.alu(len); // bit-flag walk
+
+            let mut row = match offsets.binary_search(&(start as u32)) {
+                Ok(r) => r.min(self.matrix.rows().saturating_sub(1)),
+                Err(r) => r.saturating_sub(1),
+            };
+            let mut cursor = start;
+            while cursor < end {
+                let row_end = (offsets[row + 1] as usize).min(nnz);
+                let seg_end = row_end.min(end);
+                if seg_end > cursor {
+                    ctx.gather_x_cost(&self.matrix.col_indices()[cursor..seg_end]);
+                    let mut acc = 0.0;
+                    for idx in cursor..seg_end {
+                        acc += self.matrix.values()[idx]
+                            * ctx.x(self.matrix.col_indices()[idx] as usize);
+                    }
+                    let crosses_start = cursor == start && start != offsets[row] as usize;
+                    let crosses_end = seg_end == end && seg_end != row_end;
+                    if crosses_start || crosses_end {
+                        // Partial sum of a row shared with a neighbouring tile
+                        // column: segmented shuffle within the warp, atomic
+                        // across tiles.
+                        ctx.warp_shuffle_reduce(WARP_SIZE);
+                        ctx.atomic_add_y(row, acc);
+                    } else {
+                        ctx.store_y(row, acc);
+                    }
+                }
+                cursor = seg_end;
+                row += 1;
+            }
+        }
+    }
+
+    fn format_bytes(&self) -> usize {
+        // CSR arrays plus one tile descriptor word per thread.
+        self.matrix.format_bytes() + self.threads_total() * 8
+    }
+
+    fn useful_flops(&self) -> u64 {
+        2 * self.matrix.nnz() as u64
+    }
+
+    fn output_rows(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    fn input_cols(&self) -> usize {
+        self.matrix.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpha_gpu::GpuSim;
+    use alpha_matrix::{gen, DenseVector};
+
+    #[test]
+    fn csr5_is_correct() {
+        for sigma in [4, 16, 64] {
+            let matrix = gen::powerlaw(500, 500, 10, 1.9, 17);
+            let kernel = Csr5Kernel::new(matrix.clone(), sigma);
+            let x = DenseVector::random(500, 8);
+            let sim = GpuSim::new(DeviceProfile::test_profile());
+            let r = sim.run(&kernel, x.as_slice()).unwrap();
+            let expected = matrix.spmv(x.as_slice()).unwrap();
+            assert!(
+                DenseVector::from_vec(r.y.clone()).approx_eq(&expected, 1e-3),
+                "sigma={sigma}"
+            );
+        }
+    }
+
+    #[test]
+    fn csr5_balances_irregular_matrices_better_than_csr_scalar() {
+        let matrix = gen::powerlaw(16_384, 16_384, 16, 1.8, 3);
+        let x = DenseVector::ones(16_384);
+        let sim = GpuSim::new(DeviceProfile::a100());
+        let csr5 = sim.run(&Csr5Kernel::new(matrix.clone(), 16), x.as_slice()).unwrap().report;
+        let scalar = sim
+            .run(&crate::csr::CsrScalarKernel::new(matrix.clone()), x.as_slice())
+            .unwrap()
+            .report;
+        assert!(csr5.gflops > scalar.gflops);
+        // Load imbalance across blocks is much lower for the nnz split.
+        assert!(csr5.counters.block_imbalance() < scalar.counters.block_imbalance());
+    }
+}

@@ -1,0 +1,217 @@
+//! CSR-Adaptive kernel (Greathouse & Daga, SC'14 + HiPC'15).
+//!
+//! Rows are grouped greedily into "row blocks" whose non-zeros fit a fixed
+//! shared-memory budget; such blocks are processed in CSR-Stream mode (the
+//! whole block's non-zeros are staged through shared memory and reduced per
+//! row by offsets).  A long row that exceeds the budget alone gets a whole
+//! block in CSR-Vector mode.  The format gives up register accumulation,
+//! which is what the paper points to for its weak performance on large
+//! regular matrices.
+
+use alpha_gpu::memory::Access;
+use alpha_gpu::{BlockContext, DeviceProfile, LaunchConfig, SpmvKernel, WARP_SIZE};
+use alpha_matrix::CsrMatrix;
+
+const BLOCK_DIM: usize = 128;
+/// Non-zeros that fit the shared-memory staging buffer of one thread block.
+const STREAM_NNZ: usize = 1024;
+
+/// One row block of the CSR-Adaptive decomposition.
+#[derive(Debug, Clone, Copy)]
+struct RowBlock {
+    first_row: usize,
+    last_row: usize, // exclusive
+}
+
+/// CSR-Adaptive: CSR-Stream for bunches of short rows, CSR-Vector for long
+/// rows.
+pub struct CsrAdaptiveKernel {
+    matrix: CsrMatrix,
+    row_blocks: Vec<RowBlock>,
+}
+
+impl CsrAdaptiveKernel {
+    /// Builds the row-block decomposition.
+    pub fn new(matrix: CsrMatrix) -> Self {
+        let mut row_blocks = Vec::new();
+        let mut first = 0usize;
+        let mut nnz_in_block = 0usize;
+        for row in 0..matrix.rows() {
+            let len = matrix.row_len(row);
+            if len > STREAM_NNZ {
+                // Close the running block, then give the long row its own.
+                if first < row {
+                    row_blocks.push(RowBlock { first_row: first, last_row: row });
+                }
+                row_blocks.push(RowBlock { first_row: row, last_row: row + 1 });
+                first = row + 1;
+                nnz_in_block = 0;
+                continue;
+            }
+            if nnz_in_block + len > STREAM_NNZ && first < row {
+                row_blocks.push(RowBlock { first_row: first, last_row: row });
+                first = row;
+                nnz_in_block = 0;
+            }
+            nnz_in_block += len;
+        }
+        if first < matrix.rows() {
+            row_blocks.push(RowBlock { first_row: first, last_row: matrix.rows() });
+        }
+        CsrAdaptiveKernel { matrix, row_blocks }
+    }
+
+    /// Number of row blocks of the decomposition.
+    pub fn row_block_count(&self) -> usize {
+        self.row_blocks.len()
+    }
+}
+
+impl SpmvKernel for CsrAdaptiveKernel {
+    fn name(&self) -> String {
+        "CSR-Adaptive".into()
+    }
+
+    fn launch_config(&self, _device: &DeviceProfile) -> LaunchConfig {
+        LaunchConfig::with_shared_mem(
+            self.row_blocks.len().max(1),
+            BLOCK_DIM,
+            STREAM_NNZ * 4,
+        )
+    }
+
+    fn execute_block(&self, block_id: usize, ctx: &mut BlockContext<'_>) {
+        let Some(&block) = self.row_blocks.get(block_id) else { return };
+        let rows = block.last_row - block.first_row;
+        let single_long_row =
+            rows == 1 && self.matrix.row_len(block.first_row) > STREAM_NNZ;
+        // Row-block descriptor load.
+        ctx.thread(0);
+        ctx.load_matrix_stream(Access::WarpCoalesced, 2, 4);
+
+        if single_long_row {
+            // CSR-Vector mode: the whole block strides through one long row.
+            let row = block.first_row;
+            let range = self.matrix.row_range(row);
+            let len = range.len();
+            let per_thread = len.div_ceil(BLOCK_DIM);
+            for tid in 0..BLOCK_DIM {
+                let seg_start = tid * per_thread;
+                if seg_start >= len {
+                    break;
+                }
+                let seg = per_thread.min(len - seg_start);
+                ctx.thread(tid);
+                ctx.load_matrix_stream(Access::WarpCoalesced, seg, 4);
+                ctx.load_matrix_stream(Access::WarpCoalesced, seg, 4);
+                ctx.gather_x_cost(
+                    &self.matrix.col_indices()[range.start + seg_start..range.start + seg_start + seg],
+                );
+                ctx.mul_add(seg);
+            }
+            ctx.thread(0);
+            // Tree reduction across the block in shared memory.
+            ctx.shared_traffic(BLOCK_DIM * 8);
+            ctx.syncthreads();
+            ctx.warp_shuffle_reduce(WARP_SIZE);
+            let mut acc = 0.0;
+            for idx in range {
+                acc += self.matrix.values()[idx] * ctx.x(self.matrix.col_indices()[idx] as usize);
+            }
+            ctx.store_y(row, acc);
+            return;
+        }
+
+        // CSR-Stream mode: stage every non-zero product of the row block in
+        // shared memory, then reduce rows by their offsets.
+        let nnz_start = self.matrix.row_offsets()[block.first_row] as usize;
+        let nnz_end = self.matrix.row_offsets()[block.last_row] as usize;
+        let block_nnz = nnz_end - nnz_start;
+        let per_thread = block_nnz.div_ceil(BLOCK_DIM).max(1);
+        for tid in 0..BLOCK_DIM {
+            let seg_start = tid * per_thread;
+            if seg_start >= block_nnz {
+                break;
+            }
+            let seg = per_thread.min(block_nnz - seg_start);
+            ctx.thread(tid);
+            ctx.load_matrix_stream(Access::WarpCoalesced, seg, 4);
+            ctx.load_matrix_stream(Access::WarpCoalesced, seg, 4);
+            ctx.gather_x_cost(
+                &self.matrix.col_indices()[nnz_start + seg_start..nnz_start + seg_start + seg],
+            );
+            ctx.mul_add(seg);
+            // Products written to the shared staging buffer (no register
+            // accumulation -- the CSR-Adaptive weakness).
+            ctx.shared_traffic(seg * 4);
+        }
+        ctx.syncthreads();
+        // Per-row reduction from shared memory.
+        for (i, row) in (block.first_row..block.last_row).enumerate() {
+            let range = self.matrix.row_range(row);
+            ctx.thread(i % BLOCK_DIM);
+            ctx.load_matrix_stream(Access::WarpCoalesced, 1, 4);
+            ctx.shared_traffic(range.len() * 4);
+            let mut acc = 0.0;
+            for idx in range {
+                acc += self.matrix.values()[idx] * ctx.x(self.matrix.col_indices()[idx] as usize);
+            }
+            ctx.alu(1);
+            ctx.store_y(row, acc);
+        }
+    }
+
+    fn format_bytes(&self) -> usize {
+        self.matrix.format_bytes() + self.row_blocks.len() * 8
+    }
+
+    fn useful_flops(&self) -> u64 {
+        2 * self.matrix.nnz() as u64
+    }
+
+    fn output_rows(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    fn input_cols(&self) -> usize {
+        self.matrix.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpha_gpu::GpuSim;
+    use alpha_matrix::{gen, DenseVector};
+
+    #[test]
+    fn csr_adaptive_is_correct() {
+        let matrix = gen::powerlaw(500, 500, 10, 1.9, 11);
+        let kernel = CsrAdaptiveKernel::new(matrix.clone());
+        assert!(kernel.row_block_count() > 1);
+        let x = DenseVector::random(500, 8);
+        let sim = GpuSim::new(DeviceProfile::test_profile());
+        let r = sim.run(&kernel, x.as_slice()).unwrap();
+        let expected = matrix.spmv(x.as_slice()).unwrap();
+        assert!(DenseVector::from_vec(r.y.clone()).approx_eq(&expected, 1e-3));
+    }
+
+    #[test]
+    fn long_rows_get_their_own_block() {
+        let matrix = gen::dense_row_blocks(2_000, 3, 1_500, 3);
+        let kernel = CsrAdaptiveKernel::new(matrix);
+        // At least the 3 dense rows become dedicated vector blocks.
+        assert!(kernel.row_block_count() >= 4);
+    }
+
+    #[test]
+    fn handles_dense_long_row_correctly() {
+        let matrix = gen::dense_row_blocks(3_000, 2, 2_500, 5);
+        let kernel = CsrAdaptiveKernel::new(matrix.clone());
+        let x = DenseVector::random(3_000, 1);
+        let sim = GpuSim::new(DeviceProfile::test_profile());
+        let r = sim.run(&kernel, x.as_slice()).unwrap();
+        let expected = matrix.spmv(x.as_slice()).unwrap();
+        assert!(DenseVector::from_vec(r.y.clone()).approx_eq(&expected, 1e-3));
+    }
+}

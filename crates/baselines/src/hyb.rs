@@ -1,0 +1,200 @@
+//! HYB kernel (cuSPARSE HYB): an ELL part holding up to `k` entries per row
+//! (with `k` chosen near the average row length) plus a COO part holding the
+//! overflow entries of long rows, reduced with atomics.
+
+use alpha_gpu::memory::Access;
+use alpha_gpu::{BlockContext, DeviceProfile, LaunchConfig, SpmvKernel};
+use alpha_matrix::{CsrMatrix, Scalar};
+
+const BLOCK_DIM: usize = 128;
+const COO_NNZ_PER_THREAD: usize = 8;
+
+/// HYB = ELL(width k) + COO(overflow).
+pub struct HybKernel {
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    /// ELL width (entries per row stored in the regular part).
+    ell_width: usize,
+    /// ELL part: per-row `(cols, values)` truncated to `ell_width`.
+    ell_cols: Vec<Vec<u32>>,
+    ell_values: Vec<Vec<Scalar>>,
+    /// COO overflow triplets.
+    coo_rows: Vec<u32>,
+    coo_cols: Vec<u32>,
+    coo_values: Vec<Scalar>,
+}
+
+impl HybKernel {
+    /// Splits the matrix into the ELL and COO parts.  The ELL width follows
+    /// the cuSPARSE heuristic of covering roughly the average row length.
+    pub fn new(matrix: &CsrMatrix) -> Self {
+        let avg = if matrix.rows() == 0 {
+            0
+        } else {
+            (matrix.nnz() as f64 / matrix.rows() as f64).ceil() as usize
+        };
+        let ell_width = avg.max(1);
+        let mut ell_cols = Vec::with_capacity(matrix.rows());
+        let mut ell_values = Vec::with_capacity(matrix.rows());
+        let mut coo_rows = Vec::new();
+        let mut coo_cols = Vec::new();
+        let mut coo_values = Vec::new();
+        for row in 0..matrix.rows() {
+            let range = matrix.row_range(row);
+            let cols = &matrix.col_indices()[range.clone()];
+            let values = &matrix.values()[range];
+            let cut = cols.len().min(ell_width);
+            ell_cols.push(cols[..cut].to_vec());
+            ell_values.push(values[..cut].to_vec());
+            for i in cut..cols.len() {
+                coo_rows.push(row as u32);
+                coo_cols.push(cols[i]);
+                coo_values.push(values[i]);
+            }
+        }
+        HybKernel {
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+            nnz: matrix.nnz(),
+            ell_width,
+            ell_cols,
+            ell_values,
+            coo_rows,
+            coo_cols,
+            coo_values,
+        }
+    }
+
+    /// Fraction of non-zeros that fell into the COO overflow part.
+    pub fn coo_fraction(&self) -> f64 {
+        if self.nnz == 0 {
+            0.0
+        } else {
+            self.coo_values.len() as f64 / self.nnz as f64
+        }
+    }
+
+    fn ell_blocks(&self) -> usize {
+        self.rows.div_ceil(BLOCK_DIM).max(1)
+    }
+
+    fn coo_blocks(&self) -> usize {
+        let threads = self.coo_values.len().div_ceil(COO_NNZ_PER_THREAD);
+        threads.div_ceil(BLOCK_DIM)
+    }
+}
+
+impl SpmvKernel for HybKernel {
+    fn name(&self) -> String {
+        "HYB".into()
+    }
+
+    fn launch_config(&self, _device: &DeviceProfile) -> LaunchConfig {
+        LaunchConfig::new(self.ell_blocks() + self.coo_blocks(), BLOCK_DIM)
+    }
+
+    fn execute_block(&self, block_id: usize, ctx: &mut BlockContext<'_>) {
+        if block_id < self.ell_blocks() {
+            // ELL part: one thread per row, width ell_width (padded).
+            let base = block_id * BLOCK_DIM;
+            for tid in 0..BLOCK_DIM {
+                let row = base + tid;
+                if row >= self.rows {
+                    break;
+                }
+                ctx.thread(tid);
+                ctx.load_matrix_stream(Access::WarpCoalesced, self.ell_width, 4);
+                ctx.load_matrix_stream(Access::WarpCoalesced, self.ell_width, 4);
+                ctx.mul_add(self.ell_width);
+                let cols = &self.ell_cols[row];
+                if !cols.is_empty() {
+                    ctx.gather_x_cost(cols);
+                }
+                let mut acc = 0.0;
+                for (v, &c) in self.ell_values[row].iter().zip(cols) {
+                    acc += v * ctx.x(c as usize);
+                }
+                ctx.store_y(row, acc);
+            }
+        } else {
+            // COO overflow part with atomics.
+            let coo_block = block_id - self.ell_blocks();
+            let nnz = self.coo_values.len();
+            let first_thread = coo_block * BLOCK_DIM;
+            for tid in 0..BLOCK_DIM {
+                let start = (first_thread + tid) * COO_NNZ_PER_THREAD;
+                if start >= nnz {
+                    break;
+                }
+                let end = (start + COO_NNZ_PER_THREAD).min(nnz);
+                let len = end - start;
+                ctx.thread(tid);
+                ctx.load_matrix_stream(Access::WarpCoalesced, len, 4);
+                ctx.load_matrix_stream(Access::WarpCoalesced, len, 4);
+                ctx.load_matrix_stream(Access::WarpCoalesced, len, 4);
+                ctx.gather_x_cost(&self.coo_cols[start..end]);
+                ctx.mul_add(len);
+                for i in start..end {
+                    let product = self.coo_values[i] * ctx.x(self.coo_cols[i] as usize);
+                    ctx.atomic_add_y(self.coo_rows[i] as usize, product);
+                }
+            }
+        }
+    }
+
+    fn format_bytes(&self) -> usize {
+        self.rows * self.ell_width * 8 + self.coo_values.len() * 12
+    }
+
+    fn useful_flops(&self) -> u64 {
+        2 * self.nnz as u64
+    }
+
+    fn output_rows(&self) -> usize {
+        self.rows
+    }
+
+    fn input_cols(&self) -> usize {
+        self.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpha_gpu::GpuSim;
+    use alpha_matrix::{gen, DenseVector};
+
+    #[test]
+    fn hyb_is_correct_on_irregular_matrices() {
+        let matrix = gen::powerlaw(500, 500, 10, 1.9, 3);
+        let kernel = HybKernel::new(&matrix);
+        assert!(kernel.coo_fraction() > 0.0, "expected a COO overflow part");
+        let x = DenseVector::random(500, 4);
+        let sim = GpuSim::new(DeviceProfile::test_profile());
+        let r = sim.run(&kernel, x.as_slice()).unwrap();
+        let expected = matrix.spmv(x.as_slice()).unwrap();
+        assert!(DenseVector::from_vec(r.y.clone()).approx_eq(&expected, 1e-3));
+    }
+
+    #[test]
+    fn regular_matrix_has_no_overflow() {
+        let matrix = gen::uniform_random(512, 512, 8, 1);
+        let kernel = HybKernel::new(&matrix);
+        assert_eq!(kernel.coo_fraction(), 0.0);
+        assert_eq!(kernel.coo_blocks(), 0);
+    }
+
+    #[test]
+    fn hyb_beats_ell_on_matrices_with_a_few_long_rows() {
+        // The GL7d19-style pattern (Section VII-H): mostly balanced rows plus
+        // a few much longer ones -- decomposition is the right call.
+        let matrix = gen::dense_row_blocks(8_192, 8, 4_000, 5);
+        let x = DenseVector::ones(8_192);
+        let sim = GpuSim::new(DeviceProfile::a100());
+        let hyb = sim.run(&HybKernel::new(&matrix), x.as_slice()).unwrap().report.gflops;
+        let ell = sim.run(&crate::ell::EllKernel::new(&matrix), x.as_slice()).unwrap().report.gflops;
+        assert!(hyb > ell, "HYB {hyb} should beat ELL {ell} on long-tail rows");
+    }
+}

@@ -1,0 +1,184 @@
+//! `alpha-baselines` — the artificial (human-designed) SpMV formats the paper
+//! compares against (Section VII-B), implemented on the same simulator as the
+//! machine-designed kernels so comparisons are apples-to-apples.
+//!
+//! * Root-format kernels: CSR-scalar, CSR-vector, cuSPARSE-style adaptive
+//!   CSR, COO, ELL.
+//! * Derived formats: SELL, row-grouped CSR, CSR-Adaptive, ACSR, CSR5,
+//!   merge-based CSR.
+//! * Hybrid: HYB (ELL + COO overflow).
+//! * The tensor-compiler baseline: a TACO-like generic row-parallel kernel.
+//! * The Perfect Format Selector (PFS): the paper's stand-in for an
+//!   up-to-date traditional auto-tuner — run every candidate, keep the best.
+
+pub mod acsr;
+pub mod coo;
+pub mod csr;
+pub mod csr5;
+pub mod csr_adaptive;
+pub mod ell;
+pub mod hyb;
+pub mod merge;
+pub mod pfs;
+pub mod row_grouped;
+pub mod taco;
+
+pub use acsr::AcsrKernel;
+pub use coo::CooKernel;
+pub use csr::{CsrScalarKernel, CsrVectorKernel, CusparseCsrKernel};
+pub use csr5::Csr5Kernel;
+pub use csr_adaptive::CsrAdaptiveKernel;
+pub use ell::{EllKernel, SellKernel};
+pub use hyb::HybKernel;
+pub use merge::MergeCsrKernel;
+pub use pfs::{run_pfs, PfsOutcome};
+pub use row_grouped::RowGroupedCsrKernel;
+pub use taco::TacoKernel;
+
+use alpha_gpu::SpmvKernel;
+use alpha_matrix::CsrMatrix;
+
+/// Identifier of a baseline format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Baseline {
+    /// CSR, one row per thread (CSR-scalar).
+    CsrScalar,
+    /// CSR, one warp per row (CSR-vector).
+    CsrVector,
+    /// cuSPARSE-style CSR with a lightweight scalar/vector switch.
+    CusparseCsr,
+    /// cuSPARSE-style COO with atomics.
+    Coo,
+    /// ELLPACK padded to the global maximum row length.
+    Ell,
+    /// Sliced ELLPACK (SELL).
+    Sell,
+    /// HYB: ELL part plus COO overflow.
+    Hyb,
+    /// ACSR: row-length binning.
+    Acsr,
+    /// CSR-Adaptive (CSR-Stream shared-memory reduction).
+    CsrAdaptive,
+    /// CSR5 (nnz tiles, segmented sum).
+    Csr5,
+    /// Merge-based CSR.
+    Merge,
+    /// Row-grouped CSR.
+    RowGroupedCsr,
+    /// TACO-like tensor-compiler output.
+    Taco,
+}
+
+impl Baseline {
+    /// Human-readable name used in reports (matches the paper's labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Baseline::CsrScalar => "CSR-scalar",
+            Baseline::CsrVector => "CSR-vector",
+            Baseline::CusparseCsr => "cuSPARSE-CSR",
+            Baseline::Coo => "COO",
+            Baseline::Ell => "ELL",
+            Baseline::Sell => "SELL",
+            Baseline::Hyb => "HYB",
+            Baseline::Acsr => "ACSR",
+            Baseline::CsrAdaptive => "CSR-Adaptive",
+            Baseline::Csr5 => "CSR5",
+            Baseline::Merge => "Merge",
+            Baseline::RowGroupedCsr => "row-grouped CSR",
+            Baseline::Taco => "TACO",
+        }
+    }
+
+    /// The five state-of-the-art artificial formats of Figure 9.
+    pub fn figure9_set() -> Vec<Baseline> {
+        vec![
+            Baseline::Acsr,
+            Baseline::CsrAdaptive,
+            Baseline::Csr5,
+            Baseline::Merge,
+            Baseline::Hyb,
+        ]
+    }
+
+    /// The ten formats the Perfect Format Selector chooses from
+    /// (Section VII-B): the five state-of-the-art formats, three root formats
+    /// from cuSPARSE, and two derived formats.
+    pub fn pfs_set() -> Vec<Baseline> {
+        vec![
+            Baseline::Acsr,
+            Baseline::CsrAdaptive,
+            Baseline::Csr5,
+            Baseline::Merge,
+            Baseline::Hyb,
+            Baseline::Ell,
+            Baseline::Coo,
+            Baseline::CusparseCsr,
+            Baseline::Sell,
+            Baseline::RowGroupedCsr,
+        ]
+    }
+
+    /// Builds the kernel for this baseline from a CSR matrix.
+    pub fn build(self, matrix: &CsrMatrix) -> Box<dyn SpmvKernel> {
+        match self {
+            Baseline::CsrScalar => Box::new(CsrScalarKernel::new(matrix.clone())),
+            Baseline::CsrVector => Box::new(CsrVectorKernel::new(matrix.clone())),
+            Baseline::CusparseCsr => Box::new(CusparseCsrKernel::new(matrix.clone())),
+            Baseline::Coo => Box::new(CooKernel::new(matrix)),
+            Baseline::Ell => Box::new(EllKernel::new(matrix)),
+            Baseline::Sell => Box::new(SellKernel::new(matrix, 32)),
+            Baseline::Hyb => Box::new(HybKernel::new(matrix)),
+            Baseline::Acsr => Box::new(AcsrKernel::new(matrix)),
+            Baseline::CsrAdaptive => Box::new(CsrAdaptiveKernel::new(matrix.clone())),
+            Baseline::Csr5 => Box::new(Csr5Kernel::new(matrix.clone(), 16)),
+            Baseline::Merge => Box::new(MergeCsrKernel::new(matrix.clone())),
+            Baseline::RowGroupedCsr => Box::new(RowGroupedCsrKernel::new(matrix)),
+            Baseline::Taco => Box::new(TacoKernel::new(matrix.clone())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpha_gpu::{DeviceProfile, GpuSim};
+    use alpha_matrix::{gen, DenseVector};
+
+    /// Every baseline must compute the correct SpMV on every pattern family.
+    #[test]
+    fn all_baselines_are_correct() {
+        let sim = GpuSim::new(DeviceProfile::test_profile());
+        for family in gen::PatternFamily::ALL {
+            let matrix = family.generate(256, 6, 13);
+            let x = DenseVector::random(matrix.cols(), 99);
+            let expected = matrix.spmv(x.as_slice()).unwrap();
+            for baseline in Baseline::pfs_set().into_iter().chain([
+                Baseline::CsrScalar,
+                Baseline::CsrVector,
+                Baseline::Taco,
+            ]) {
+                let kernel = baseline.build(&matrix);
+                let result = sim
+                    .run(kernel.as_ref(), x.as_slice())
+                    .unwrap_or_else(|e| panic!("{} failed: {e}", baseline.name()));
+                assert!(
+                    DenseVector::from_vec(result.y.clone()).approx_eq(&expected, 1e-3),
+                    "{} produced wrong results on {}",
+                    baseline.name(),
+                    family.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure9_set_matches_paper() {
+        let names: Vec<&str> = Baseline::figure9_set().iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["ACSR", "CSR-Adaptive", "CSR5", "Merge", "HYB"]);
+    }
+
+    #[test]
+    fn pfs_set_has_ten_formats() {
+        assert_eq!(Baseline::pfs_set().len(), 10);
+    }
+}

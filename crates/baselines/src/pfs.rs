@@ -1,0 +1,128 @@
+//! The Perfect Format Selector (PFS).
+//!
+//! The paper cannot fairly compare against unmaintained traditional
+//! auto-tuners, so it defines PFS: an oracle selector that runs SpMV with
+//! every candidate artificial format and keeps the fastest — a 100 %-accurate
+//! stand-in for the auto-tuning philosophy of SMAT / clSpMV (Section VII-B).
+
+use crate::Baseline;
+use alpha_gpu::{GpuSim, PerfReport};
+use alpha_matrix::{CsrMatrix, Scalar};
+
+/// The outcome of running the Perfect Format Selector on one matrix.
+#[derive(Debug, Clone)]
+pub struct PfsOutcome {
+    /// The winning format.
+    pub best: Baseline,
+    /// The winning format's performance report.
+    pub best_report: PerfReport,
+    /// Every candidate's performance, in the order they were evaluated.
+    pub all: Vec<(Baseline, PerfReport)>,
+}
+
+impl PfsOutcome {
+    /// GFLOPS of the selected format.
+    pub fn best_gflops(&self) -> f64 {
+        self.best_report.gflops
+    }
+
+    /// Performance of a specific candidate, if it was part of the selection.
+    pub fn report_for(&self, baseline: Baseline) -> Option<&PerfReport> {
+        self.all.iter().find(|(b, _)| *b == baseline).map(|(_, r)| r)
+    }
+
+    /// Ratio between the best and worst candidate — the "maximum-minimum
+    /// performance gap" the paper's introduction quotes (about 10x across
+    /// mainstream formats).
+    pub fn max_min_gap(&self) -> f64 {
+        let worst = self
+            .all
+            .iter()
+            .map(|(_, r)| r.gflops)
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-9);
+        self.best_gflops() / worst
+    }
+}
+
+/// Runs every candidate on the simulator, checks its result against the
+/// reference output, and returns the fastest.
+///
+/// A candidate that produces incorrect results (which would indicate a bug in
+/// a baseline implementation) is skipped rather than selected.
+pub fn run_pfs(
+    sim: &GpuSim,
+    matrix: &CsrMatrix,
+    x: &[Scalar],
+    candidates: &[Baseline],
+) -> Result<PfsOutcome, String> {
+    let reference = matrix.spmv(x).map_err(|e| e.to_string())?;
+    let mut all: Vec<(Baseline, PerfReport)> = Vec::with_capacity(candidates.len());
+    for &candidate in candidates {
+        let kernel = candidate.build(matrix);
+        match sim.run_checked(kernel.as_ref(), x, &reference, 1e-3) {
+            Ok(result) => all.push((candidate, result.report)),
+            Err(err) => return Err(format!("{}: {err}", candidate.name())),
+        }
+    }
+    let (best, best_report) = all
+        .iter()
+        .max_by(|a, b| a.1.gflops.partial_cmp(&b.1.gflops).expect("finite gflops"))
+        .map(|(b, r)| (*b, r.clone()))
+        .ok_or_else(|| "no PFS candidates supplied".to_string())?;
+    Ok(PfsOutcome { best, best_report, all })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpha_gpu::DeviceProfile;
+    use alpha_matrix::{gen, DenseVector};
+
+    #[test]
+    fn pfs_selects_the_fastest_candidate() {
+        let matrix = gen::powerlaw(4_096, 4_096, 12, 1.9, 3);
+        let x = DenseVector::ones(4_096);
+        let sim = GpuSim::new(DeviceProfile::a100());
+        let outcome = run_pfs(&sim, &matrix, x.as_slice(), &Baseline::pfs_set()).unwrap();
+        assert_eq!(outcome.all.len(), 10);
+        for (_, report) in &outcome.all {
+            assert!(outcome.best_gflops() >= report.gflops);
+        }
+        assert!(outcome.max_min_gap() >= 1.0);
+    }
+
+    #[test]
+    fn pfs_requires_candidates() {
+        let matrix = gen::uniform_random(256, 256, 4, 1);
+        let x = DenseVector::ones(256);
+        let sim = GpuSim::new(DeviceProfile::test_profile());
+        assert!(run_pfs(&sim, &matrix, x.as_slice(), &[]).is_err());
+    }
+
+    #[test]
+    fn report_for_returns_candidate_results() {
+        let matrix = gen::uniform_random(1_024, 1_024, 8, 5);
+        let x = DenseVector::ones(1_024);
+        let sim = GpuSim::new(DeviceProfile::test_profile());
+        let outcome =
+            run_pfs(&sim, &matrix, x.as_slice(), &[Baseline::Csr5, Baseline::Hyb]).unwrap();
+        assert!(outcome.report_for(Baseline::Csr5).is_some());
+        assert!(outcome.report_for(Baseline::Acsr).is_none());
+    }
+
+    #[test]
+    fn formats_show_a_wide_performance_gap_on_irregular_data() {
+        // The introduction's motivation: an order-of-magnitude gap between
+        // the best and worst mainstream format on irregular matrices.
+        let matrix = gen::powerlaw(16_384, 16_384, 16, 1.8, 11);
+        let x = DenseVector::ones(16_384);
+        let sim = GpuSim::new(DeviceProfile::a100());
+        let outcome = run_pfs(&sim, &matrix, x.as_slice(), &Baseline::pfs_set()).unwrap();
+        assert!(
+            outcome.max_min_gap() > 3.0,
+            "expected a large best/worst gap, got {:.2}",
+            outcome.max_min_gap()
+        );
+    }
+}

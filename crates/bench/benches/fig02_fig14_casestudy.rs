@@ -1,0 +1,57 @@
+//! Figure 2 and Figure 14 benches: the motivating mixed designs on
+//! `2D_27628_bjtcai` and the `scfxm1-2r` case study (including the
+//! format-compression ablation of Figure 14c).
+
+use alpha_baselines::Baseline;
+use alpha_bench::{figure2, ExperimentContext};
+use alpha_codegen::{generate, GeneratorOptions};
+use alpha_gpu::{DeviceProfile, GpuSim};
+use alpha_graph::presets;
+use alpha_matrix::suite::{named_matrix, SuiteScale};
+use alpha_matrix::DenseVector;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig02(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig02_mixed_designs");
+    group.sample_size(10);
+    let ctx = ExperimentContext::quick(DeviceProfile::a100());
+    group.bench_function("figure2_full_comparison", |b| {
+        b.iter(|| black_box(figure2(&ctx).len()))
+    });
+    group.finish();
+}
+
+fn fig14(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_scfxm1_2r");
+    group.sample_size(10);
+    let matrix = named_matrix("scfxm1-2r", SuiteScale(1.0 / 128.0)).expect("catalogue").matrix;
+    let x = DenseVector::ones(matrix.cols());
+    let sim = GpuSim::new(DeviceProfile::a100());
+
+    // The machine-designed graph of Figure 14a versus the best artificial
+    // format, with and without Model-Driven Format Compression.
+    for (label, compression) in [("with-compression", true), ("without-compression", false)] {
+        let generated = generate(
+            &presets::fig14_scfxm_design(),
+            &matrix,
+            GeneratorOptions { model_compression: compression },
+        )
+        .expect("design generates");
+        group.bench_function(format!("machine-design/{label}"), |b| {
+            b.iter(|| {
+                black_box(sim.run(&generated.kernel, x.as_slice()).expect("runs").report.gflops)
+            })
+        });
+    }
+    for baseline in [Baseline::Csr5, Baseline::Hyb] {
+        let kernel = baseline.build(&matrix);
+        group.bench_function(format!("baseline/{}", baseline.name()), |b| {
+            b.iter(|| black_box(sim.run(kernel.as_ref(), x.as_slice()).expect("runs").report.gflops))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig02, fig14);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 12 bench: the TACO-like tensor-compiler baseline versus the
+//! machine-designed kernel across matrix irregularity.
+
+use alpha_baselines::TacoKernel;
+use alpha_codegen::{generate, GeneratorOptions};
+use alpha_gpu::{DeviceProfile, GpuSim};
+use alpha_graph::presets;
+use alpha_matrix::{gen, DenseVector};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_taco");
+    group.sample_size(10);
+    let device = DeviceProfile::a100();
+    let sim = GpuSim::new(device);
+    let cases = [
+        ("regular", gen::uniform_random(4_096, 4_096, 16, 7)),
+        ("irregular", gen::powerlaw(4_096, 4_096, 16, 1.8, 7)),
+    ];
+    for (label, matrix) in &cases {
+        let x = DenseVector::ones(matrix.cols());
+        let taco = TacoKernel::new(matrix.clone());
+        let machine = generate(&presets::csr5_like(16), matrix, GeneratorOptions::default())
+            .expect("design generates");
+        group.bench_function(format!("taco/{label}"), |b| {
+            b.iter(|| black_box(sim.run(&taco, x.as_slice()).expect("taco runs").report.gflops))
+        });
+        group.bench_function(format!("machine-designed/{label}"), |b| {
+            b.iter(|| {
+                black_box(
+                    sim.run(&machine.kernel, x.as_slice()).expect("machine kernel runs").report.gflops,
+                )
+            })
+        });
+        // Report the modelled speedup once per case for quick inspection.
+        let taco_gflops = sim.run(&taco, x.as_slice()).unwrap().report.gflops;
+        let machine_gflops = sim.run(&machine.kernel, x.as_slice()).unwrap().report.gflops;
+        println!("fig12 {label}: machine-designed / TACO = {:.1}x", machine_gflops / taco_gflops);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig12);
+criterion_main!(benches);

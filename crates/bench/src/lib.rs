@@ -1,0 +1,388 @@
+//! `alpha-bench` — the experiment harness.
+//!
+//! Every table and figure of the paper's evaluation (Section VII) has a
+//! regenerating function here; the `reproduce` binary prints the same rows /
+//! series the paper reports, and the Criterion benches wrap the same
+//! functions at reduced scale.  Absolute numbers are *modelled* GFLOPS from
+//! the `alpha-gpu` cost model (see DESIGN.md), so the comparison of interest
+//! is the shape: who wins, by roughly what factor, and where the crossovers
+//! fall.
+
+use alpha_baselines::{run_pfs, Baseline, PfsOutcome, TacoKernel};
+use alpha_gpu::{DeviceProfile, GpuSim};
+use alpha_matrix::suite::{self, CorpusConfig, SuiteScale};
+use alpha_matrix::{CsrMatrix, DenseVector, MatrixStats};
+use alpha_search::{search, SearchConfig, SearchOutcome};
+
+/// Scale of one experiment run: how large the corpus, named matrices and
+/// search budgets are.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// Target device profile.
+    pub device: DeviceProfile,
+    /// Corpus sweep configuration (stands in for the 843-matrix test set).
+    pub corpus: CorpusConfig,
+    /// Scale factor for the named (Table III / case-study) matrices.
+    pub suite_scale: SuiteScale,
+    /// Kernel evaluations allowed per search.
+    pub search_budget: usize,
+}
+
+impl ExperimentContext {
+    /// Small scale: used by the Criterion benches and CI (seconds).
+    pub fn quick(device: DeviceProfile) -> Self {
+        ExperimentContext {
+            device,
+            corpus: CorpusConfig {
+                sizes: vec![1_024, 4_096],
+                avg_row_lens: vec![4, 16],
+                families: alpha_matrix::gen::PatternFamily::ALL.to_vec(),
+                seed: 11,
+            },
+            suite_scale: SuiteScale(1.0 / 256.0),
+            search_budget: 25,
+        }
+    }
+
+    /// Default scale of the `reproduce` binary (minutes).
+    pub fn standard(device: DeviceProfile) -> Self {
+        ExperimentContext {
+            device,
+            corpus: CorpusConfig {
+                sizes: vec![2_048, 8_192, 32_768],
+                avg_row_lens: vec![4, 16],
+                families: alpha_matrix::gen::PatternFamily::ALL.to_vec(),
+                seed: 11,
+            },
+            suite_scale: SuiteScale(1.0 / 64.0),
+            search_budget: 60,
+        }
+    }
+
+    fn search_config(&self) -> SearchConfig {
+        SearchConfig {
+            device: self.device.clone(),
+            max_iterations: self.search_budget,
+            mutations_per_seed: 3,
+            ..SearchConfig::default()
+        }
+    }
+}
+
+/// The per-matrix measurements every corpus figure (9-13) is derived from.
+#[derive(Debug, Clone)]
+pub struct CorpusResult {
+    /// Corpus entry name (encodes family, size and row length).
+    pub name: String,
+    /// Matrix statistics.
+    pub stats: MatrixStats,
+    /// Performance of every PFS candidate format plus the selected best.
+    pub pfs: PfsOutcome,
+    /// Performance of the TACO-like baseline.
+    pub taco_gflops: f64,
+    /// Search outcome for AlphaSparse.
+    pub alphasparse: SearchOutcome,
+}
+
+impl CorpusResult {
+    /// AlphaSparse speedup over the Perfect Format Selector.
+    pub fn speedup_over_pfs(&self) -> f64 {
+        self.alphasparse.best_report.gflops / self.pfs.best_gflops().max(1e-9)
+    }
+
+    /// AlphaSparse speedup over the TACO-like baseline.
+    pub fn speedup_over_taco(&self) -> f64 {
+        self.alphasparse.best_report.gflops / self.taco_gflops.max(1e-9)
+    }
+
+    /// Geometric-mean speedup over the five artificial formats of Figure 9.
+    pub fn mean_speedup_over_artificial(&self) -> f64 {
+        let speedups: Vec<f64> = Baseline::figure9_set()
+            .into_iter()
+            .filter_map(|b| self.pfs.report_for(b))
+            .map(|r| self.alphasparse.best_report.gflops / r.gflops.max(1e-9))
+            .collect();
+        geometric_mean(&speedups)
+    }
+}
+
+/// Geometric mean helper used throughout the report tables.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.max(1e-12).ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Evaluates the corpus once: baselines, TACO, PFS and the AlphaSparse search
+/// on every entry.  Figures 9, 10, 11, 12 and 13 all derive from this data.
+pub fn evaluate_corpus(ctx: &ExperimentContext) -> Vec<CorpusResult> {
+    let sim = GpuSim::new(ctx.device.clone());
+    let mut results = Vec::new();
+    for entry in suite::corpus(&ctx.corpus) {
+        if let Some(result) = evaluate_matrix(ctx, &sim, &entry.name, &entry.matrix) {
+            results.push(result);
+        }
+    }
+    results
+}
+
+/// Evaluates one matrix (used by the corpus sweep and the case studies).
+pub fn evaluate_matrix(
+    ctx: &ExperimentContext,
+    sim: &GpuSim,
+    name: &str,
+    matrix: &CsrMatrix,
+) -> Option<CorpusResult> {
+    let x = DenseVector::ones(matrix.cols());
+    let pfs = run_pfs(sim, matrix, x.as_slice(), &Baseline::pfs_set()).ok()?;
+    let taco = sim.run(&TacoKernel::new(matrix.clone()), x.as_slice()).ok()?;
+    let alphasparse = search(matrix, &ctx.search_config()).ok()?;
+    Some(CorpusResult {
+        name: name.to_string(),
+        stats: MatrixStats::from_csr(matrix),
+        pfs,
+        taco_gflops: taco.report.gflops,
+        alphasparse,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 — motivating mixed designs
+// ---------------------------------------------------------------------------
+
+/// One row of the Figure 2 comparison.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// Design name.
+    pub design: String,
+    /// Modelled GFLOPS.
+    pub gflops: f64,
+}
+
+/// Figure 2: on the `2D_27628_bjtcai` stand-in, mixed operator-graph designs
+/// outperform each of their source formats.
+pub fn figure2(ctx: &ExperimentContext) -> Vec<Fig2Row> {
+    let matrix = suite::named_matrix("2D_27628_bjtcai", ctx.suite_scale)
+        .expect("catalogue entry")
+        .matrix;
+    let sim = GpuSim::new(ctx.device.clone());
+    let x = DenseVector::ones(matrix.cols());
+    let mut rows = Vec::new();
+    for baseline in [Baseline::CsrAdaptive, Baseline::RowGroupedCsr, Baseline::Sell] {
+        let kernel = baseline.build(&matrix);
+        let report = sim.run(kernel.as_ref(), x.as_slice()).expect("baseline runs").report;
+        rows.push(Fig2Row { design: baseline.name().to_string(), gflops: report.gflops });
+    }
+    for (name, graph) in [
+        ("SELL blocking + CSR-Adaptive reduction", alpha_graph::presets::fig2_sell_blocking_adaptive_reduction()),
+        ("+ row-grouped blocking (triple mix)", alpha_graph::presets::fig2_triple_mix()),
+    ] {
+        let generated =
+            alpha_codegen::generate(&graph, &matrix, alpha_codegen::GeneratorOptions::default())
+                .expect("mixed design generates");
+        let report = sim.run(&generated.kernel, x.as_slice()).expect("mixed design runs").report;
+        rows.push(Fig2Row { design: name.to_string(), gflops: report.gflops });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Table III — pruning ablation on the 13 named matrices
+// ---------------------------------------------------------------------------
+
+/// One row of Table III.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Matrix name.
+    pub matrix: String,
+    /// Modelled search hours without pruning.
+    pub hours_no_pruning: f64,
+    /// Modelled search hours with pruning.
+    pub hours_pruning: f64,
+    /// GFLOPS of the winner found without pruning.
+    pub gflops_no_pruning: f64,
+    /// GFLOPS of the winner found with pruning.
+    pub gflops_pruning: f64,
+}
+
+/// Table III: search time and winner quality with and without pruning.
+pub fn table3(ctx: &ExperimentContext) -> Vec<Table3Row> {
+    let mut rows = Vec::new();
+    for name in suite::table3_names() {
+        let matrix = suite::named_matrix(name, ctx.suite_scale).expect("catalogue entry").matrix;
+        let mut pruned_cfg = ctx.search_config();
+        pruned_cfg.enable_pruning = true;
+        let mut unpruned_cfg = ctx.search_config();
+        unpruned_cfg.enable_pruning = false;
+        // Without pruning the paper always runs into the 8-hour cap; model
+        // that by giving the unpruned search a larger iteration budget.
+        unpruned_cfg.max_iterations = ctx.search_budget * 3;
+        let (Ok(pruned), Ok(unpruned)) = (search(&matrix, &pruned_cfg), search(&matrix, &unpruned_cfg))
+        else {
+            continue;
+        };
+        rows.push(Table3Row {
+            matrix: name.to_string(),
+            hours_no_pruning: unpruned.stats.search_hours,
+            hours_pruning: pruned.stats.search_hours,
+            gflops_no_pruning: unpruned.best_report.gflops,
+            gflops_pruning: pruned.best_report.gflops,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 14 — case study on scfxm1-2r
+// ---------------------------------------------------------------------------
+
+/// The Figure 14 case-study result.
+#[derive(Debug, Clone)]
+pub struct Fig14Result {
+    /// Winning operator graph (textual form, Figure 14a).
+    pub operator_graph: String,
+    /// Baseline + PFS + AlphaSparse comparison (Figure 14b).
+    pub comparison: Vec<Fig2Row>,
+    /// GFLOPS without Model-Driven Format Compression and without pruning
+    /// (the left bar of Figure 14c).
+    pub gflops_origin: f64,
+    /// GFLOPS with format compression only.
+    pub gflops_compression: f64,
+    /// GFLOPS with format compression and pruning (the full system).
+    pub gflops_full: f64,
+}
+
+/// Figure 14: the machine-designed format for `scfxm1-2r`, its performance
+/// against the artificial formats and PFS, and the ablation of the two key
+/// optimisations.
+pub fn figure14(ctx: &ExperimentContext) -> Fig14Result {
+    let matrix =
+        suite::named_matrix("scfxm1-2r", ctx.suite_scale).expect("catalogue entry").matrix;
+    let sim = GpuSim::new(ctx.device.clone());
+    let x = DenseVector::ones(matrix.cols());
+
+    let mut comparison = Vec::new();
+    let pfs = run_pfs(&sim, &matrix, x.as_slice(), &Baseline::pfs_set()).expect("PFS runs");
+    for baseline in Baseline::figure9_set() {
+        let gflops = pfs.report_for(baseline).map(|r| r.gflops).unwrap_or(0.0);
+        comparison.push(Fig2Row { design: baseline.name().to_string(), gflops });
+    }
+    comparison.push(Fig2Row { design: "PFS".to_string(), gflops: pfs.best_gflops() });
+
+    // Full system.
+    let full = search(&matrix, &ctx.search_config()).expect("search succeeds");
+    comparison
+        .push(Fig2Row { design: "AlphaSparse".to_string(), gflops: full.best_report.gflops });
+
+    // Ablations: no compression + no pruning ("origin"), compression only.
+    let mut origin_cfg = ctx.search_config();
+    origin_cfg.enable_model_compression = false;
+    origin_cfg.enable_pruning = false;
+    let origin = search(&matrix, &origin_cfg).expect("search succeeds");
+    let mut compress_cfg = ctx.search_config();
+    compress_cfg.enable_pruning = false;
+    let compression = search(&matrix, &compress_cfg).expect("search succeeds");
+
+    Fig14Result {
+        operator_graph: full.best_graph.to_string().trim_end().to_string(),
+        comparison,
+        gflops_origin: origin.best_report.gflops,
+        gflops_compression: compression.best_report.gflops,
+        gflops_full: full.best_report.gflops,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derived summaries for Figures 9-13
+// ---------------------------------------------------------------------------
+
+/// Figure 10: histogram of AlphaSparse-over-PFS speedups with the paper's
+/// bucket edges (0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, inf).
+pub fn fig10_histogram(results: &[CorpusResult]) -> Vec<(String, usize)> {
+    let edges = [0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, f64::INFINITY];
+    let mut counts = vec![0usize; edges.len()];
+    for r in results {
+        let s = r.speedup_over_pfs();
+        let bucket = edges.iter().position(|&e| s < e).unwrap_or(edges.len() - 1);
+        counts[bucket] += 1;
+    }
+    let labels = ["<0.8", "0.8-1.0", "1.0-1.2", "1.2-1.4", "1.4-1.6", "1.6-1.8", "1.8-2.0", ">2.0"];
+    labels.iter().map(|l| l.to_string()).zip(counts).collect()
+}
+
+/// Figure 11/12 style slices: average speedup for regular vs irregular
+/// matrices.
+pub fn speedup_by_regularity(
+    results: &[CorpusResult],
+    speedup: impl Fn(&CorpusResult) -> f64,
+) -> (f64, f64) {
+    let regular: Vec<f64> =
+        results.iter().filter(|r| !r.stats.is_irregular()).map(&speedup).collect();
+    let irregular: Vec<f64> =
+        results.iter().filter(|r| r.stats.is_irregular()).map(&speedup).collect();
+    (geometric_mean(&regular), geometric_mean(&irregular))
+}
+
+/// Figure 13: average search iterations for regular vs irregular matrices.
+pub fn fig13_iterations(results: &[CorpusResult]) -> (f64, f64) {
+    let mean = |xs: &[f64]| if xs.is_empty() { 0.0 } else { xs.iter().sum::<f64>() / xs.len() as f64 };
+    let regular: Vec<f64> = results
+        .iter()
+        .filter(|r| !r.stats.is_irregular())
+        .map(|r| r.alphasparse.stats.iterations as f64)
+        .collect();
+    let irregular: Vec<f64> = results
+        .iter()
+        .filter(|r| r.stats.is_irregular())
+        .map(|r| r.alphasparse.stats.iterations as f64)
+        .collect();
+    (mean(&regular), mean(&irregular))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_context() -> ExperimentContext {
+        ExperimentContext {
+            device: DeviceProfile::a100(),
+            corpus: CorpusConfig::tiny(),
+            suite_scale: SuiteScale(1.0 / 512.0),
+            search_budget: 8,
+        }
+    }
+
+    #[test]
+    fn figure2_mixed_designs_beat_their_sources() {
+        let rows = figure2(&tiny_context());
+        assert_eq!(rows.len(), 5);
+        let best_source = rows[..3].iter().map(|r| r.gflops).fold(0.0, f64::max);
+        let best_mix = rows[3..].iter().map(|r| r.gflops).fold(0.0, f64::max);
+        assert!(
+            best_mix >= 0.9 * best_source,
+            "mixed designs ({best_mix:.1}) should be competitive with sources ({best_source:.1})"
+        );
+    }
+
+    #[test]
+    fn corpus_evaluation_produces_speedups() {
+        let ctx = tiny_context();
+        let results = evaluate_corpus(&ctx);
+        assert!(!results.is_empty());
+        for r in &results {
+            assert!(r.speedup_over_pfs() > 0.0);
+            assert!(r.speedup_over_taco() > 0.0);
+        }
+        let histogram = fig10_histogram(&results);
+        assert_eq!(histogram.iter().map(|(_, c)| c).sum::<usize>(), results.len());
+        let (reg, irr) = fig13_iterations(&results);
+        assert!(reg >= 0.0 && irr >= 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,238 @@
+//! Model-Driven Format Compression (paper Section V-D, derived from
+//! "Generating piecewise-regular code from irregular structures").
+//!
+//! Index arrays of a generated format are often *regular*: row offsets of a
+//! padded format grow linearly, block offsets grow in steps, interleaved
+//! layouts repeat a pattern per block.  Fitting such an array to a closed-form
+//! model lets the kernel compute the value instead of loading it, removing
+//! the array from memory entirely.  A small number of exceptions is tolerated
+//! by storing `(index, value)` patch pairs, mirroring the paper's "if
+//! statements for the specific array index the model cannot fit".
+
+/// Maximum number of exceptions a model may need before compression is
+/// rejected (relative to the array length).
+const MAX_EXCEPTION_FRACTION: f64 = 0.02;
+
+/// A fitted index model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompressionModel {
+    /// `arr[i] = base + slope * i`.
+    Linear {
+        /// Value at index 0.
+        base: i64,
+        /// Increment per index.
+        slope: i64,
+    },
+    /// `arr[i] = base + slope * (i / period)` (integer division): constant
+    /// within each period, stepping between periods.
+    Step {
+        /// Value of the first step.
+        base: i64,
+        /// Increment per step.
+        slope: i64,
+        /// Number of consecutive indices sharing a value.
+        period: usize,
+    },
+    /// `arr[i] = base + slope * (i / period) + residual[i % period]`: a linear
+    /// trend per period plus a repeating intra-period pattern.
+    PeriodicLinear {
+        /// Value offset.
+        base: i64,
+        /// Increment per period.
+        slope: i64,
+        /// Period length.
+        period: usize,
+        /// Residual pattern within one period.
+        residuals: Vec<i64>,
+    },
+}
+
+/// A compressed array: the model plus the exceptional entries it cannot
+/// reproduce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedArray {
+    /// The fitted model.
+    pub model: CompressionModel,
+    /// `(index, value)` pairs the model mispredicts.
+    pub exceptions: Vec<(usize, u32)>,
+}
+
+impl CompressedArray {
+    /// Evaluates the compressed representation at `i`.
+    pub fn evaluate(&self, i: usize) -> u32 {
+        if let Some(&(_, v)) = self.exceptions.iter().find(|&&(idx, _)| idx == i) {
+            return v;
+        }
+        let predicted = match &self.model {
+            CompressionModel::Linear { base, slope } => base + slope * i as i64,
+            CompressionModel::Step { base, slope, period } => {
+                base + slope * (i / period.max(&1).to_owned()) as i64
+            }
+            CompressionModel::PeriodicLinear { base, slope, period, residuals } => {
+                let p = (*period).max(1);
+                base + slope * (i / p) as i64 + residuals[i % p]
+            }
+        };
+        predicted.max(0) as u32
+    }
+
+    /// Bytes needed to represent the compressed array (model constants plus
+    /// exception pairs); what remains in device memory after compression.
+    pub fn compressed_bytes(&self) -> usize {
+        let model_bytes = match &self.model {
+            CompressionModel::Linear { .. } => 16,
+            CompressionModel::Step { .. } => 24,
+            CompressionModel::PeriodicLinear { residuals, .. } => 24 + residuals.len() * 8,
+        };
+        model_bytes + self.exceptions.len() * 8
+    }
+}
+
+/// Attempts to compress an index array.  Returns `None` when no model fits
+/// with an acceptable number of exceptions or when compression would not
+/// actually save memory.
+pub fn compress_array(data: &[u32]) -> Option<CompressedArray> {
+    if data.len() < 4 {
+        return None;
+    }
+    let max_exceptions = ((data.len() as f64 * MAX_EXCEPTION_FRACTION).ceil() as usize).max(1);
+    let candidates = [
+        fit_linear(data, max_exceptions),
+        fit_step(data, max_exceptions),
+        fit_periodic_linear(data, max_exceptions),
+    ];
+    let best = candidates
+        .into_iter()
+        .flatten()
+        .min_by_key(|c| c.compressed_bytes())?;
+    if best.compressed_bytes() >= data.len() * 4 {
+        return None;
+    }
+    Some(best)
+}
+
+fn collect_exceptions(
+    data: &[u32],
+    max_exceptions: usize,
+    predict: impl Fn(usize) -> i64,
+) -> Option<Vec<(usize, u32)>> {
+    let mut exceptions = Vec::new();
+    for (i, &v) in data.iter().enumerate() {
+        if predict(i) != v as i64 {
+            exceptions.push((i, v));
+            if exceptions.len() > max_exceptions {
+                return None;
+            }
+        }
+    }
+    Some(exceptions)
+}
+
+fn fit_linear(data: &[u32], max_exceptions: usize) -> Option<CompressedArray> {
+    let base = data[0] as i64;
+    let slope = data[1] as i64 - base;
+    let exceptions = collect_exceptions(data, max_exceptions, |i| base + slope * i as i64)?;
+    Some(CompressedArray { model: CompressionModel::Linear { base, slope }, exceptions })
+}
+
+fn fit_step(data: &[u32], max_exceptions: usize) -> Option<CompressedArray> {
+    // Find the run length of the first value as the period candidate.
+    let period = data.iter().take_while(|&&v| v == data[0]).count().max(1);
+    if period >= data.len() || period == 1 {
+        return None;
+    }
+    let base = data[0] as i64;
+    let slope = data[period] as i64 - base;
+    let exceptions =
+        collect_exceptions(data, max_exceptions, |i| base + slope * (i / period) as i64)?;
+    Some(CompressedArray { model: CompressionModel::Step { base, slope, period }, exceptions })
+}
+
+fn fit_periodic_linear(data: &[u32], max_exceptions: usize) -> Option<CompressedArray> {
+    // Try small periods; a larger period would rarely pay off.
+    for period in [2usize, 4, 8, 16, 32] {
+        if data.len() < 2 * period {
+            continue;
+        }
+        let base = 0i64;
+        let slope = data[period] as i64 - data[0] as i64;
+        let residuals: Vec<i64> = (0..period).map(|k| data[k] as i64).collect();
+        let predict = |i: usize| base + slope * (i / period) as i64 + residuals[i % period];
+        if let Some(exceptions) = collect_exceptions(data, max_exceptions, predict) {
+            return Some(CompressedArray {
+                model: CompressionModel::PeriodicLinear { base, slope, period, residuals },
+                exceptions,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u32]) -> CompressedArray {
+        let c = compress_array(data).expect("array should compress");
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(c.evaluate(i), v, "mismatch at {i}");
+        }
+        c
+    }
+
+    #[test]
+    fn linear_array_compresses() {
+        let data: Vec<u32> = (0..1000).map(|i| 64 * i + 7).collect();
+        let c = roundtrip(&data);
+        assert!(matches!(c.model, CompressionModel::Linear { base: 7, slope: 64 }));
+        assert!(c.compressed_bytes() < data.len());
+    }
+
+    #[test]
+    fn step_array_compresses() {
+        let data: Vec<u32> = (0..800).map(|i| 100 + 32 * (i / 8) as u32).collect();
+        let c = roundtrip(&data);
+        assert!(matches!(c.model, CompressionModel::Step { period: 8, .. }));
+    }
+
+    #[test]
+    fn periodic_array_compresses() {
+        // Pattern [5, 9, 12, 20] repeated with +100 per period.
+        let pattern = [5u32, 9, 12, 20];
+        let data: Vec<u32> = (0..400)
+            .map(|i| pattern[i % 4] + 100 * (i / 4) as u32)
+            .collect();
+        let c = roundtrip(&data);
+        assert!(matches!(c.model, CompressionModel::PeriodicLinear { period: 4, .. }));
+    }
+
+    #[test]
+    fn few_exceptions_are_tolerated() {
+        let mut data: Vec<u32> = (0..1000).map(|i| 4 * i).collect();
+        data[500] = 13; // single irregular entry
+        let c = roundtrip(&data);
+        assert_eq!(c.exceptions.len(), 1);
+        assert_eq!(c.evaluate(500), 13);
+    }
+
+    #[test]
+    fn irregular_array_is_not_compressed() {
+        // Pseudo-random values defeat every model.
+        let data: Vec<u32> = (0..1000u32).map(|i| i.wrapping_mul(2654435761) % 10_000).collect();
+        assert!(compress_array(&data).is_none());
+    }
+
+    #[test]
+    fn tiny_arrays_are_not_compressed() {
+        assert!(compress_array(&[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn compression_must_save_memory() {
+        // A short array with many exceptions relative to its size.
+        let data: Vec<u32> = vec![0, 4, 8, 12, 16, 20, 24, 28];
+        if let Some(c) = compress_array(&data) {
+            assert!(c.compressed_bytes() < data.len() * 4);
+        }
+    }
+}

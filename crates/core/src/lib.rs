@@ -1,0 +1,234 @@
+//! `alphasparse` — the top-level API of the AlphaSparse reproduction.
+//!
+//! AlphaSparse takes an arbitrary sparse matrix and a target device and
+//! returns a **machine-designed SpMV program**: a format tailored to the
+//! matrix's sparsity pattern, an executable kernel, and the emitted CUDA-like
+//! source code (paper Section III).
+//!
+//! ```
+//! use alphasparse::{AlphaSparse, DeviceProfile};
+//! use alpha_matrix::gen;
+//!
+//! // A small irregular matrix.
+//! let matrix = gen::powerlaw(512, 512, 8, 2.0, 7);
+//!
+//! // Tune with a tiny budget (larger budgets find better designs).
+//! let tuner = AlphaSparse::new(DeviceProfile::a100()).with_search_budget(20);
+//! let tuned = tuner.auto_tune(&matrix).expect("tuning succeeds");
+//!
+//! // Run the machine-designed SpMV.
+//! let x = vec![1.0; 512];
+//! let y = tuned.spmv(&x).expect("SpMV succeeds");
+//! assert_eq!(y.len(), 512);
+//! println!("{:.1} modelled GFLOPS with {}", tuned.gflops(), tuned.operator_graph());
+//! ```
+
+pub use alpha_baselines as baselines;
+pub use alpha_codegen as codegen;
+pub use alpha_gpu as gpu;
+pub use alpha_graph as graph;
+pub use alpha_matrix as matrix;
+pub use alpha_ml as ml;
+pub use alpha_search as search;
+
+pub use alpha_gpu::{DeviceProfile, GpuSim, PerfReport, SpmvKernel};
+pub use alpha_matrix::{CsrMatrix, MatrixStats, Scalar};
+pub use alpha_search::{SearchConfig, SearchOutcome, SearchStats};
+
+use alpha_codegen::{generate, GeneratedSpmv, GeneratorOptions};
+use alpha_graph::OperatorGraph;
+
+/// The AlphaSparse auto-designer: configure once, tune any number of matrices.
+#[derive(Debug, Clone)]
+pub struct AlphaSparse {
+    config: SearchConfig,
+}
+
+impl AlphaSparse {
+    /// Creates a tuner for the given device with the default search budget.
+    pub fn new(device: DeviceProfile) -> Self {
+        AlphaSparse { config: SearchConfig { device, ..SearchConfig::default() } }
+    }
+
+    /// Creates a tuner from a fully custom search configuration.
+    pub fn with_config(config: SearchConfig) -> Self {
+        AlphaSparse { config }
+    }
+
+    /// Sets the maximum number of candidate kernels evaluated during the
+    /// search (the dominant cost of tuning).
+    pub fn with_search_budget(mut self, max_iterations: usize) -> Self {
+        self.config.max_iterations = max_iterations;
+        self
+    }
+
+    /// Enables or disables the pruning rules (Table III ablation).
+    pub fn with_pruning(mut self, enabled: bool) -> Self {
+        self.config.enable_pruning = enabled;
+        self
+    }
+
+    /// Enables or disables Model-Driven Format Compression (Figure 14c
+    /// ablation).
+    pub fn with_model_compression(mut self, enabled: bool) -> Self {
+        self.config.enable_model_compression = enabled;
+        self
+    }
+
+    /// The search configuration this tuner will use.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Reads a Matrix Market file and tunes it — the paper's end-to-end entry
+    /// point ("users only need to input a Matrix Market file").
+    pub fn auto_tune_mtx<P: AsRef<std::path::Path>>(&self, path: P) -> Result<TunedSpmv, String> {
+        let matrix = alpha_matrix::mm::read_matrix_market_file(path).map_err(|e| e.to_string())?;
+        self.auto_tune(&matrix)
+    }
+
+    /// Searches the operator-graph design space for the matrix and returns
+    /// the winning machine-designed SpMV program.
+    pub fn auto_tune(&self, matrix: &CsrMatrix) -> Result<TunedSpmv, String> {
+        let outcome = alpha_search::search(matrix, &self.config)?;
+        let options =
+            GeneratorOptions { model_compression: self.config.enable_model_compression };
+        let generated = generate(&outcome.best_graph, matrix, options).map_err(|e| e.to_string())?;
+        Ok(TunedSpmv {
+            device: self.config.device.clone(),
+            matrix: matrix.clone(),
+            generated,
+            outcome,
+        })
+    }
+
+    /// Generates the SpMV program for an explicit operator graph, without any
+    /// search — useful for reproducing a known design or benchmarking a
+    /// hand-written graph.
+    pub fn generate_for_graph(
+        &self,
+        matrix: &CsrMatrix,
+        graph: &OperatorGraph,
+    ) -> Result<GeneratedSpmv, String> {
+        let options =
+            GeneratorOptions { model_compression: self.config.enable_model_compression };
+        generate(graph, matrix, options).map_err(|e| e.to_string())
+    }
+}
+
+/// The result of auto-tuning one matrix: the machine-designed format, kernel
+/// and source, plus the search outcome.
+pub struct TunedSpmv {
+    device: DeviceProfile,
+    matrix: CsrMatrix,
+    generated: GeneratedSpmv,
+    outcome: SearchOutcome,
+}
+
+impl TunedSpmv {
+    /// Runs `y = A·x` with the machine-designed kernel on the simulated
+    /// device.
+    pub fn spmv(&self, x: &[Scalar]) -> Result<Vec<Scalar>, String> {
+        let sim = GpuSim::new(self.device.clone());
+        Ok(sim.run(&self.generated.kernel, x)?.y)
+    }
+
+    /// The winning operator graph, formatted for display.
+    pub fn operator_graph(&self) -> String {
+        self.outcome.best_graph.to_string().trim_end().to_string()
+    }
+
+    /// Modelled performance of the winning kernel.
+    pub fn report(&self) -> &PerfReport {
+        &self.outcome.best_report
+    }
+
+    /// Modelled throughput in GFLOP/s.
+    pub fn gflops(&self) -> f64 {
+        self.outcome.best_report.gflops
+    }
+
+    /// The emitted CUDA-like source of the winning kernel.
+    pub fn source(&self) -> &str {
+        &self.generated.source
+    }
+
+    /// The machine-designed format description.
+    pub fn format(&self) -> &alpha_codegen::MachineFormat {
+        &self.generated.format
+    }
+
+    /// The executable kernel (for running on a custom simulator instance).
+    pub fn kernel(&self) -> &alpha_codegen::GeneratedKernel {
+        &self.generated.kernel
+    }
+
+    /// Search statistics (iterations, pruning, modelled search time).
+    pub fn search_stats(&self) -> &SearchStats {
+        &self.outcome.stats
+    }
+
+    /// Statistics of the tuned matrix.
+    pub fn matrix_stats(&self) -> MatrixStats {
+        MatrixStats::from_csr(&self.matrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpha_matrix::{gen, DenseVector};
+
+    #[test]
+    fn auto_tune_produces_correct_spmv() {
+        let matrix = gen::powerlaw(768, 768, 10, 2.0, 11);
+        let tuner = AlphaSparse::new(DeviceProfile::a100()).with_search_budget(25);
+        let tuned = tuner.auto_tune(&matrix).unwrap();
+        let x = DenseVector::random(768, 3);
+        let y = tuned.spmv(x.as_slice()).unwrap();
+        let expected = matrix.spmv(x.as_slice()).unwrap();
+        assert!(DenseVector::from_vec(y).approx_eq(&expected, 1e-3));
+        assert!(tuned.gflops() > 0.0);
+        assert!(!tuned.source().is_empty());
+        assert!(tuned.operator_graph().contains("COMPRESS"));
+        assert!(tuned.search_stats().iterations > 0);
+    }
+
+    #[test]
+    fn builder_methods_configure_the_search() {
+        let tuner = AlphaSparse::new(DeviceProfile::rtx2080())
+            .with_search_budget(5)
+            .with_pruning(false)
+            .with_model_compression(false);
+        assert_eq!(tuner.config().max_iterations, 5);
+        assert!(!tuner.config().enable_pruning);
+        assert!(!tuner.config().enable_model_compression);
+        assert_eq!(tuner.config().device.name, "RTX2080");
+    }
+
+    #[test]
+    fn generate_for_graph_skips_the_search() {
+        let matrix = gen::uniform_random(256, 256, 8, 5);
+        let tuner = AlphaSparse::new(DeviceProfile::a100());
+        let generated =
+            tuner.generate_for_graph(&matrix, &alpha_graph::presets::sell_like()).unwrap();
+        assert!(generated.source.contains("alphasparse_partition_0"));
+    }
+
+    #[test]
+    fn auto_tune_mtx_reads_matrix_market_files() {
+        let dir = std::env::temp_dir().join("alphasparse_core_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.mtx");
+        let mut text = String::from("%%MatrixMarket matrix coordinate real general\n64 64 128\n");
+        for i in 0..64 {
+            text.push_str(&format!("{} {} 1.5\n", i + 1, i + 1));
+            text.push_str(&format!("{} {} -0.5\n", i + 1, (i + 7) % 64 + 1));
+        }
+        std::fs::write(&path, text).unwrap();
+        let tuner = AlphaSparse::new(DeviceProfile::a100()).with_search_budget(8);
+        let tuned = tuner.auto_tune_mtx(&path).unwrap();
+        assert_eq!(tuned.matrix_stats().rows, 64);
+        assert!(tuner.auto_tune_mtx(dir.join("missing.mtx")).is_err());
+    }
+}

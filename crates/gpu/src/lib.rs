@@ -1,0 +1,54 @@
+//! `alpha-gpu` — the GPU execution substrate of the AlphaSparse reproduction.
+//!
+//! The paper runs generated CUDA kernels on NVIDIA A100 and RTX 2080 GPUs;
+//! this crate substitutes those with a **functional simulator plus analytical
+//! cost model** (see DESIGN.md).  A kernel is expressed against the
+//! [`SpmvKernel`] trait: the simulator executes it block by block on the host
+//! (producing the actual `y = A·x` result, so correctness is always checked),
+//! while a [`BlockContext`] records the events the cost model charges —
+//! global-memory transactions with warp-level coalescing, x-vector gathers
+//! with an L2 model, shared-memory traffic, atomics with contention,
+//! warp shuffles, per-lane arithmetic and synchronisation.
+//!
+//! The cost model combines the counters into a *roofline-with-load-balance*
+//! time estimate: kernel time is the maximum of (a) DRAM/L2 traffic divided by
+//! the device bandwidth and (b) per-SM compute/latency time obtained by
+//! scheduling thread blocks onto SMs in waves, where a block's latency is the
+//! maximum over its warps and a warp's latency is the maximum over its lanes
+//! (lockstep divergence).  This keeps the quantities the paper's evaluation
+//! hinges on — load balance, padding waste, access regularity, reduction
+//! strategy cost — first-class, while absolute numbers stay modelled rather
+//! than measured.
+
+pub mod context;
+pub mod cost;
+pub mod counters;
+pub mod device;
+pub mod kernel;
+pub mod launch;
+pub mod memory;
+pub mod report;
+pub mod sim;
+
+pub use context::BlockContext;
+pub use counters::KernelCounters;
+pub use device::DeviceProfile;
+pub use kernel::{ReferenceCsrKernel, SpmvKernel};
+pub use launch::LaunchConfig;
+pub use report::PerfReport;
+pub use sim::{GpuSim, SimResult};
+
+/// Number of threads in a warp on every simulated device (CUDA fixes this at 32).
+pub const WARP_SIZE: usize = 32;
+
+/// Size in bytes of a global-memory transaction sector (CUDA L2 sector size).
+pub const SECTOR_BYTES: usize = 32;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn warp_and_sector_constants() {
+        assert_eq!(super::WARP_SIZE, 32);
+        assert_eq!(super::SECTOR_BYTES, 32);
+    }
+}

@@ -1,0 +1,103 @@
+//! Performance reports produced by the simulator.
+
+use crate::counters::KernelCounters;
+
+/// The modelled performance of one kernel execution.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Device the kernel was evaluated on.
+    pub device: String,
+    /// Total modelled execution time in microseconds (including launch).
+    pub time_us: f64,
+    /// Memory-side time (DRAM + L2 traffic) in microseconds.
+    pub memory_time_us: f64,
+    /// Compute/latency-side time in microseconds.
+    pub compute_time_us: f64,
+    /// Kernel launch overhead in microseconds.
+    pub launch_overhead_us: f64,
+    /// Modelled throughput in GFLOP/s based on the useful flops (2 * nnz).
+    pub gflops: f64,
+    /// Bytes served from DRAM.
+    pub dram_bytes: f64,
+    /// Bytes served from L2 (x-gather hits).
+    pub l2_bytes: f64,
+    /// Fraction of x-gather traffic that hit the L2.
+    pub x_l2_hit_rate: f64,
+    /// Achieved occupancy of the launch.
+    pub occupancy: f64,
+    /// Raw event counters.
+    pub counters: KernelCounters,
+    /// Total memory bytes per useful flop (roofline position indicator).
+    pub bytes_per_flop: f64,
+}
+
+impl PerfReport {
+    /// True if the kernel is memory-bound under the model.
+    pub fn is_memory_bound(&self) -> bool {
+        self.memory_time_us >= self.compute_time_us
+    }
+
+    /// Speedup of this report relative to a baseline report (baseline time /
+    /// this time).  Values above 1.0 mean this kernel is faster.
+    pub fn speedup_over(&self, baseline: &PerfReport) -> f64 {
+        if self.time_us <= 0.0 {
+            return 0.0;
+        }
+        baseline.time_us / self.time_us
+    }
+
+    /// One-line human-readable summary used by the `reproduce` harness.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:>8.1} GFLOPS  {:>9.1} us  ({} bound, occ {:.2}, L2 hit {:.2})",
+            self.gflops,
+            self.time_us,
+            if self.is_memory_bound() { "memory" } else { "compute" },
+            self.occupancy,
+            self.x_l2_hit_rate,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(time_us: f64, mem: f64, compute: f64) -> PerfReport {
+        PerfReport {
+            device: "TestGPU".into(),
+            time_us,
+            memory_time_us: mem,
+            compute_time_us: compute,
+            launch_overhead_us: 2.0,
+            gflops: 100.0,
+            dram_bytes: 0.0,
+            l2_bytes: 0.0,
+            x_l2_hit_rate: 0.5,
+            occupancy: 0.9,
+            counters: KernelCounters::default(),
+            bytes_per_flop: 4.0,
+        }
+    }
+
+    #[test]
+    fn boundness_classification() {
+        assert!(report(10.0, 8.0, 2.0).is_memory_bound());
+        assert!(!report(10.0, 2.0, 8.0).is_memory_bound());
+    }
+
+    #[test]
+    fn speedup_is_ratio_of_times() {
+        let fast = report(5.0, 4.0, 1.0);
+        let slow = report(20.0, 16.0, 4.0);
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-12);
+        assert!((slow.speedup_over(&fast) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mentions_gflops() {
+        let s = report(10.0, 8.0, 2.0).summary();
+        assert!(s.contains("GFLOPS"));
+        assert!(s.contains("memory bound"));
+    }
+}

@@ -1,0 +1,468 @@
+//! The Designer: executes an Operator Graph over a sparse matrix and produces
+//! the Matrix Metadata Set (paper Section IV and Figure 5).
+//!
+//! The converting chain reorders and partitions the matrix; each branch then
+//! contributes its mapping, padding and reduction decisions.  The result is a
+//! [`MatrixMetadataSet`] holding one fully-resolved [`PartitionPlan`] per
+//! branch, from which `alpha-codegen` extracts the machine-designed format
+//! arrays and builds the kernel.
+
+use crate::graph::{OperatorGraph, ValidationError};
+use crate::metadata::{MatrixMetadataSet, PadScope, Padding, PartitionPlan};
+use crate::operator::Operator;
+use alpha_matrix::{CooMatrix, CsrMatrix};
+
+/// Warp size assumed by the designer's validation rules (CUDA fixes this at 32).
+pub const WARP_SIZE: usize = 32;
+
+/// Errors produced while executing an operator graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignError {
+    /// The graph failed static validation.
+    Invalid(ValidationError),
+    /// The graph is valid but cannot be applied to this particular matrix
+    /// (e.g. more partitions than rows).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for DesignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DesignError::Invalid(e) => write!(f, "invalid operator graph: {e}"),
+            DesignError::Unsupported(msg) => write!(f, "unsupported design: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+impl From<ValidationError> for DesignError {
+    fn from(value: ValidationError) -> Self {
+        DesignError::Invalid(value)
+    }
+}
+
+/// Executes `graph` over `matrix`, producing the Matrix Metadata Set.
+pub fn design(graph: &OperatorGraph, matrix: &CsrMatrix) -> Result<MatrixMetadataSet, DesignError> {
+    graph.validate()?;
+    if matrix.rows() == 0 || matrix.nnz() == 0 {
+        return Err(DesignError::Unsupported("empty matrices are not supported".into()));
+    }
+
+    // ---- Shared converting chain -------------------------------------------
+    // Row order over the original matrix (original row ids).
+    let mut row_order: Vec<u32> = (0..matrix.rows() as u32).collect();
+    for op in &graph.converting {
+        match op {
+            Operator::Compress => {} // the CSR input is already compressed
+            Operator::Sort => sort_rows_by_length(matrix, &mut row_order),
+            Operator::Bin { bins } => {
+                bin_rows_by_length(matrix, &mut row_order, *bins);
+            }
+            Operator::RowDiv { .. } | Operator::ColDiv { .. } => {} // handled below
+            other => {
+                return Err(DesignError::Unsupported(format!(
+                    "{} is not executable in the shared chain",
+                    other.name()
+                )));
+            }
+        }
+    }
+
+    // Partitioning.
+    let pieces: Vec<PartitionPiece> = match graph
+        .converting
+        .iter()
+        .find(|op| matches!(op, Operator::RowDiv { .. } | Operator::ColDiv { .. }))
+    {
+        Some(Operator::RowDiv { parts }) => split_rows(matrix, &row_order, *parts)?,
+        Some(Operator::ColDiv { parts }) => split_cols(matrix, &row_order, *parts)?,
+        _ => vec![PartitionPiece {
+            origin_rows: row_order.clone(),
+            matrix: matrix.select_rows(
+                &row_order.iter().map(|&r| r as usize).collect::<Vec<_>>(),
+            ),
+            col_offset: 0,
+            shares_rows: false,
+        }],
+    };
+
+    // ---- Per-branch execution ----------------------------------------------
+    let mut partitions = Vec::with_capacity(pieces.len());
+    for (piece, branch) in pieces.into_iter().zip(&graph.branches) {
+        partitions.push(design_branch(piece, branch, &graph.converting)?);
+    }
+
+    Ok(MatrixMetadataSet {
+        original_rows: matrix.rows(),
+        original_cols: matrix.cols(),
+        original_nnz: matrix.nnz(),
+        partitions,
+    })
+}
+
+/// An intermediate partition produced by the shared converting chain.
+struct PartitionPiece {
+    origin_rows: Vec<u32>,
+    matrix: CsrMatrix,
+    col_offset: usize,
+    shares_rows: bool,
+}
+
+fn design_branch(
+    mut piece: PartitionPiece,
+    branch: &[Operator],
+    shared: &[Operator],
+) -> Result<PartitionPlan, DesignError> {
+    let mut bin_boundaries = None;
+
+    // Per-branch converting operators first.
+    for op in branch {
+        match op {
+            Operator::SortSub => {
+                let mut order: Vec<u32> = (0..piece.matrix.rows() as u32).collect();
+                sort_rows_by_length(&piece.matrix, &mut order);
+                apply_local_order(&mut piece, &order);
+            }
+            Operator::Bin { bins } => {
+                let mut order: Vec<u32> = (0..piece.matrix.rows() as u32).collect();
+                let boundaries = bin_rows_by_length(&piece.matrix, &mut order, *bins);
+                apply_local_order(&mut piece, &order);
+                bin_boundaries = Some(boundaries);
+            }
+            _ => {}
+        }
+    }
+
+    let mapping = OperatorGraph::branch_mapping(branch)
+        .expect("validation guarantees a thread mapping");
+    let reduction = OperatorGraph::branch_reduction(branch);
+    let threads_per_block = OperatorGraph::branch_threads_per_block(branch);
+
+    let rows_per_bmtb = branch.iter().find_map(|op| match op {
+        Operator::BmtbRowBlock { rows } => Some(*rows),
+        _ => None,
+    });
+    let rows_per_bmw = branch.iter().find_map(|op| match op {
+        Operator::BmwRowBlock { rows } => Some(*rows),
+        _ => None,
+    });
+    let padding = branch.iter().find_map(|op| match op {
+        Operator::BmtbPad { multiple } => {
+            Some(Padding { scope: PadScope::ThreadBlock, multiple: *multiple })
+        }
+        Operator::BmwPad { multiple } => Some(Padding { scope: PadScope::Warp, multiple: *multiple }),
+        Operator::BmtPad { multiple } => {
+            Some(Padding { scope: PadScope::Thread, multiple: *multiple })
+        }
+        _ => None,
+    });
+    let interleaved = branch.iter().any(|op| matches!(op, Operator::InterleavedStorage));
+    let sort_bmtb = branch.iter().any(|op| matches!(op, Operator::SortBmtb));
+
+    // SORT_BMTB: reorder rows by length within each thread-block group.
+    if sort_bmtb {
+        let group = rows_per_bmtb.expect("validation guarantees BMTB_ROW_BLOCK");
+        let mut order: Vec<u32> = (0..piece.matrix.rows() as u32).collect();
+        let lengths = piece.matrix.row_lengths();
+        for chunk in order.chunks_mut(group.max(1)) {
+            chunk.sort_by_key(|&r| std::cmp::Reverse(lengths[r as usize]));
+        }
+        apply_local_order(&mut piece, &order);
+    }
+
+    let mut operators: Vec<Operator> = shared.to_vec();
+    operators.extend(branch.iter().cloned());
+
+    Ok(PartitionPlan {
+        origin_rows: piece.origin_rows,
+        matrix: piece.matrix,
+        col_offset: piece.col_offset,
+        mapping,
+        rows_per_bmtb,
+        rows_per_bmw,
+        padding,
+        interleaved,
+        sort_bmtb,
+        bin_boundaries,
+        reduction,
+        threads_per_block,
+        shares_rows_with_siblings: piece.shares_rows,
+        operators,
+    })
+}
+
+/// Permutes a partition by a local row order (local indices).
+fn apply_local_order(piece: &mut PartitionPiece, order: &[u32]) {
+    let rows: Vec<usize> = order.iter().map(|&r| r as usize).collect();
+    piece.matrix = piece.matrix.select_rows(&rows);
+    piece.origin_rows = order.iter().map(|&r| piece.origin_rows[r as usize]).collect();
+}
+
+/// Sorts a row order by decreasing row length (stable, so ties keep their
+/// original relative order).
+fn sort_rows_by_length(matrix: &CsrMatrix, order: &mut [u32]) {
+    order.sort_by_key(|&r| std::cmp::Reverse(matrix.row_len(r as usize)));
+}
+
+/// Reorders rows into `bins` row-length bins (longest bin first) and returns
+/// the bin boundaries as indices into the new order.
+fn bin_rows_by_length(matrix: &CsrMatrix, order: &mut Vec<u32>, bins: usize) -> Vec<usize> {
+    let bins = bins.max(2);
+    let max_len = order.iter().map(|&r| matrix.row_len(r as usize)).max().unwrap_or(0).max(1);
+    // Geometric bin edges: bin i holds rows with length in (max/2^(i+1), max/2^i].
+    let bin_of = |len: usize| -> usize {
+        if len == 0 {
+            return bins - 1;
+        }
+        let mut edge = max_len;
+        for b in 0..bins {
+            let lower = edge / 2;
+            if len > lower || b == bins - 1 {
+                return b;
+            }
+            edge = lower;
+        }
+        bins - 1
+    };
+    let mut grouped: Vec<Vec<u32>> = vec![Vec::new(); bins];
+    for &r in order.iter() {
+        grouped[bin_of(matrix.row_len(r as usize))].push(r);
+    }
+    let mut boundaries = Vec::with_capacity(bins);
+    let mut new_order = Vec::with_capacity(order.len());
+    for group in grouped {
+        new_order.extend_from_slice(&group);
+        boundaries.push(new_order.len());
+    }
+    *order = new_order;
+    boundaries
+}
+
+/// Splits the (already reordered) matrix into `parts` row bands with roughly
+/// equal numbers of non-zeros.
+fn split_rows(
+    matrix: &CsrMatrix,
+    row_order: &[u32],
+    parts: usize,
+) -> Result<Vec<PartitionPiece>, DesignError> {
+    if parts > row_order.len() {
+        return Err(DesignError::Unsupported(format!(
+            "cannot split {} rows into {parts} partitions",
+            row_order.len()
+        )));
+    }
+    let total_nnz: usize = matrix.nnz();
+    let mut pieces = Vec::with_capacity(parts);
+    let mut current: Vec<u32> = Vec::new();
+    let mut current_nnz = 0usize;
+    let mut closed_nnz = 0usize;
+    for (i, &row) in row_order.iter().enumerate() {
+        let len = matrix.row_len(row as usize);
+        // Adaptive target: non-zeros not yet in a closed piece, spread over
+        // the pieces that still have to be formed (including the current one).
+        let remaining_pieces = parts - pieces.len();
+        let target = (total_nnz - closed_nnz).div_ceil(remaining_pieces).max(1);
+        let rows_left = row_order.len() - i;
+        // Close the current piece when it has reached its share, as long as
+        // enough rows remain to populate the remaining pieces.
+        if !current.is_empty()
+            && pieces.len() + 1 < parts
+            && rows_left >= remaining_pieces
+            && (current_nnz >= target || current_nnz + len / 2 > target)
+        {
+            closed_nnz += current_nnz;
+            pieces.push(std::mem::take(&mut current));
+            current_nnz = 0;
+        }
+        current.push(row);
+        current_nnz += len;
+    }
+    pieces.push(current);
+    while pieces.len() < parts {
+        // Degenerate split (very skewed matrices): give empty-but-valid bands
+        // one row each from the largest band.
+        let donor = pieces
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, p)| p.len())
+            .map(|(i, _)| i)
+            .expect("at least one piece");
+        if pieces[donor].len() <= 1 {
+            return Err(DesignError::Unsupported(
+                "matrix too small for the requested ROW_DIV".into(),
+            ));
+        }
+        let split_at = pieces[donor].len() / 2;
+        let moved = pieces[donor].split_off(split_at);
+        pieces.push(moved);
+    }
+    Ok(pieces
+        .into_iter()
+        .map(|origin_rows| {
+            let rows: Vec<usize> = origin_rows.iter().map(|&r| r as usize).collect();
+            PartitionPiece {
+                matrix: matrix.select_rows(&rows),
+                origin_rows,
+                col_offset: 0,
+                shares_rows: false,
+            }
+        })
+        .collect())
+}
+
+/// Splits the matrix into `parts` column bands; each band keeps every row but
+/// only the columns in its range (re-indexed to start at zero).
+fn split_cols(
+    matrix: &CsrMatrix,
+    row_order: &[u32],
+    parts: usize,
+) -> Result<Vec<PartitionPiece>, DesignError> {
+    if parts > matrix.cols() {
+        return Err(DesignError::Unsupported(format!(
+            "cannot split {} columns into {parts} partitions",
+            matrix.cols()
+        )));
+    }
+    let band = matrix.cols().div_ceil(parts);
+    let mut pieces = Vec::with_capacity(parts);
+    for p in 0..parts {
+        let col_start = p * band;
+        let col_end = ((p + 1) * band).min(matrix.cols());
+        let width = col_end.saturating_sub(col_start).max(1);
+        let mut coo = CooMatrix::new(row_order.len(), width);
+        for (local_row, &orig_row) in row_order.iter().enumerate() {
+            for idx in matrix.row_range(orig_row as usize) {
+                let col = matrix.col_indices()[idx] as usize;
+                if col >= col_start && col < col_end {
+                    coo.push(local_row, col - col_start, matrix.values()[idx]);
+                }
+            }
+        }
+        pieces.push(PartitionPiece {
+            origin_rows: row_order.to_vec(),
+            matrix: CsrMatrix::from_coo(&coo),
+            col_offset: col_start,
+            shares_rows: true,
+        });
+    }
+    Ok(pieces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use alpha_matrix::gen;
+
+    fn matrix() -> CsrMatrix {
+        gen::powerlaw(200, 200, 8, 2.0, 3)
+    }
+
+    #[test]
+    fn csr_scalar_preset_produces_identity_order() {
+        let m = matrix();
+        let meta = design(&presets::csr_scalar(), &m).unwrap();
+        assert_eq!(meta.partitions.len(), 1);
+        let plan = &meta.partitions[0];
+        assert_eq!(plan.origin_rows, (0..200u32).collect::<Vec<_>>());
+        assert_eq!(plan.nnz(), m.nnz());
+        assert!(!meta.is_branched());
+    }
+
+    #[test]
+    fn sort_orders_rows_by_decreasing_length() {
+        let m = matrix();
+        let meta = design(&presets::sell_like(), &m).unwrap();
+        let plan = &meta.partitions[0];
+        let lengths: Vec<usize> = (0..plan.rows()).map(|r| plan.matrix.row_len(r)).collect();
+        assert!(lengths.windows(2).all(|w| w[0] >= w[1]), "rows not sorted by length");
+        // Every original row appears exactly once.
+        let mut seen = plan.origin_rows.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..200u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn row_div_partitions_balance_nnz() {
+        let m = matrix();
+        let graph = presets::row_split_hybrid(4);
+        let meta = design(&graph, &m).unwrap();
+        assert_eq!(meta.partitions.len(), 4);
+        assert!(meta.is_branched());
+        assert_eq!(meta.total_partition_nnz(), m.nnz());
+        let nnzs: Vec<usize> = meta.partitions.iter().map(|p| p.nnz()).collect();
+        let max = *nnzs.iter().max().unwrap() as f64;
+        let min = *nnzs.iter().min().unwrap().max(&1) as f64;
+        assert!(max / min < 4.0, "nnz split too uneven: {nnzs:?}");
+    }
+
+    #[test]
+    fn col_div_partitions_share_rows_and_cover_all_nnz() {
+        let m = matrix();
+        let graph = presets::col_split_atomic(2);
+        let meta = design(&graph, &m).unwrap();
+        assert_eq!(meta.partitions.len(), 2);
+        assert!(meta.partitions.iter().all(|p| p.shares_rows_with_siblings));
+        assert_eq!(meta.total_partition_nnz(), m.nnz());
+        assert_eq!(meta.partitions[0].col_offset, 0);
+        assert!(meta.partitions[1].col_offset > 0);
+    }
+
+    #[test]
+    fn bin_records_boundaries() {
+        let m = matrix();
+        let graph = presets::acsr_like(4);
+        let meta = design(&graph, &m).unwrap();
+        let plan = &meta.partitions[0];
+        let boundaries = plan.bin_boundaries.as_ref().expect("bins recorded");
+        assert_eq!(*boundaries.last().unwrap(), plan.rows());
+        assert!(boundaries.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn sort_bmtb_sorts_within_blocks_only() {
+        let m = matrix();
+        let graph = presets::sell_sigma_like(32);
+        let meta = design(&graph, &m).unwrap();
+        let plan = &meta.partitions[0];
+        let lengths: Vec<usize> = (0..plan.rows()).map(|r| plan.matrix.row_len(r)).collect();
+        for chunk in lengths.chunks(32) {
+            assert!(chunk.windows(2).all(|w| w[0] >= w[1]), "block not sorted: {chunk:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_graph_is_rejected() {
+        let graph = OperatorGraph {
+            converting: vec![Operator::Sort],
+            branches: vec![vec![Operator::BmtRowBlock { rows: 1 }, Operator::ThreadTotalRed]],
+        };
+        assert!(matches!(design(&graph, &matrix()), Err(DesignError::Invalid(_))));
+    }
+
+    #[test]
+    fn empty_matrix_is_rejected() {
+        let empty = CsrMatrix::from_coo(&alpha_matrix::CooMatrix::new(4, 4));
+        assert!(matches!(
+            design(&presets::csr_scalar(), &empty),
+            Err(DesignError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn too_many_partitions_is_rejected() {
+        let tiny = gen::uniform_random(3, 3, 1, 1);
+        let graph = presets::row_split_hybrid(8);
+        assert!(matches!(design(&graph, &tiny), Err(DesignError::Unsupported(_))));
+    }
+
+    #[test]
+    fn provenance_lists_shared_and_branch_operators() {
+        let meta = design(&presets::sell_like(), &matrix()).unwrap();
+        let desc = meta.partitions[0].describe();
+        assert!(desc.contains("COMPRESS"));
+        assert!(desc.contains("SORT"));
+        assert!(desc.contains("INTERLEAVED_STORAGE"));
+    }
+}

@@ -1,0 +1,295 @@
+//! Preset operator graphs.
+//!
+//! These graphs reproduce the design philosophy of well-known artificial
+//! formats inside the Operator Graph IR (the paper's Figure 5 example and the
+//! mixed designs of Figures 2 and 14), and provide the seeds from which the
+//! search engine starts its structural enumeration.
+
+use crate::graph::OperatorGraph;
+use crate::operator::Operator;
+
+/// CSR-scalar: one row per thread, register accumulation, direct store.
+pub fn csr_scalar() -> OperatorGraph {
+    OperatorGraph {
+        converting: vec![Operator::Compress],
+        branches: vec![vec![
+            Operator::BmtRowBlock { rows: 1 },
+            Operator::SetResources { threads_per_block: 128 },
+            Operator::ThreadTotalRed,
+        ]],
+    }
+}
+
+/// CSR-vector: a full warp cooperates on each row, warp-shuffle reduction.
+pub fn csr_vector() -> OperatorGraph {
+    OperatorGraph {
+        converting: vec![Operator::Compress],
+        branches: vec![vec![
+            Operator::BmtColBlock { threads_per_row: 32 },
+            Operator::SetResources { threads_per_block: 128 },
+            Operator::ThreadTotalRed,
+            Operator::WarpTotalRed,
+        ]],
+    }
+}
+
+/// The Figure 5 example of the paper: SELL-P blocking and padding with
+/// CSR-scalar thread reduction and a global atomic finish.
+pub fn figure5_example() -> OperatorGraph {
+    OperatorGraph {
+        converting: vec![Operator::Compress, Operator::Sort],
+        branches: vec![vec![
+            Operator::BmtbRowBlock { rows: 2 },
+            Operator::BmtRowBlock { rows: 1 },
+            Operator::BmtPad { multiple: 2 },
+            Operator::SetResources { threads_per_block: 64 },
+            Operator::ThreadTotalRed,
+            Operator::GmemAtomRed,
+        ]],
+    }
+}
+
+/// SELL-like: sort, block rows per thread block, pad within the block,
+/// interleave storage for coalescing.
+pub fn sell_like() -> OperatorGraph {
+    OperatorGraph {
+        converting: vec![Operator::Compress, Operator::Sort],
+        branches: vec![vec![
+            Operator::BmtbRowBlock { rows: 64 },
+            Operator::BmtRowBlock { rows: 1 },
+            Operator::BmtbPad { multiple: 4 },
+            Operator::InterleavedStorage,
+            Operator::SetResources { threads_per_block: 128 },
+            Operator::ThreadTotalRed,
+        ]],
+    }
+}
+
+/// SELL-C-sigma-like: sorting restricted to each thread block (SORT_BMTB)
+/// instead of a global sort, which keeps the output order local.
+pub fn sell_sigma_like(block_rows: usize) -> OperatorGraph {
+    OperatorGraph {
+        converting: vec![Operator::Compress],
+        branches: vec![vec![
+            Operator::BmtbRowBlock { rows: block_rows },
+            Operator::BmtRowBlock { rows: 1 },
+            Operator::BmtbPad { multiple: 4 },
+            Operator::SortBmtb,
+            Operator::InterleavedStorage,
+            Operator::SetResources { threads_per_block: 128 },
+            Operator::ThreadTotalRed,
+        ]],
+    }
+}
+
+/// Row-grouped-CSR-like: sorted rows, coarse row blocks, global-memory atomic
+/// reduction.
+pub fn row_grouped_csr_like() -> OperatorGraph {
+    OperatorGraph {
+        converting: vec![Operator::Compress, Operator::Sort],
+        branches: vec![vec![
+            Operator::BmtbRowBlock { rows: 256 },
+            Operator::BmtRowBlock { rows: 1 },
+            Operator::SetResources { threads_per_block: 256 },
+            Operator::ThreadTotalRed,
+            Operator::GmemAtomRed,
+        ]],
+    }
+}
+
+/// CSR-Adaptive-like: row blocks staged through shared memory with row-offset
+/// reduction (the "CSR-Stream" path), giving up register accumulation.
+pub fn csr_adaptive_like() -> OperatorGraph {
+    OperatorGraph {
+        converting: vec![Operator::Compress],
+        branches: vec![vec![
+            Operator::BmtbRowBlock { rows: 32 },
+            Operator::BmtRowBlock { rows: 1 },
+            Operator::SetResources { threads_per_block: 128 },
+            Operator::ThreadTotalRed,
+            Operator::ShmemOffsetRed,
+        ]],
+    }
+}
+
+/// CSR5-like: even non-zero split over threads, thread bitmap reduction,
+/// warp segmented sum, atomics for rows crossing tile boundaries.
+pub fn csr5_like(nnz_per_thread: usize) -> OperatorGraph {
+    OperatorGraph {
+        converting: vec![Operator::Compress],
+        branches: vec![vec![
+            Operator::BmtNnzBlock { nnz: nnz_per_thread },
+            Operator::SetResources { threads_per_block: 128 },
+            Operator::ThreadBitmapRed,
+            Operator::WarpSegRed,
+            Operator::GmemAtomRed,
+        ]],
+    }
+}
+
+/// ACSR-like: bin rows by length, one row per thread, direct store.
+pub fn acsr_like(bins: usize) -> OperatorGraph {
+    OperatorGraph {
+        converting: vec![Operator::Compress],
+        branches: vec![vec![
+            Operator::Bin { bins },
+            Operator::BmtRowBlock { rows: 1 },
+            Operator::SetResources { threads_per_block: 128 },
+            Operator::ThreadTotalRed,
+        ]],
+    }
+}
+
+/// A branched design: the matrix is split into `parts` nnz-balanced row
+/// bands; every band uses a SELL-like design.  This is the kind of graph the
+/// paper reports for irregular matrices (branches in 16.5 % of new formats).
+pub fn row_split_hybrid(parts: usize) -> OperatorGraph {
+    let branch = vec![
+        Operator::SortSub,
+        Operator::BmtbRowBlock { rows: 64 },
+        Operator::BmtRowBlock { rows: 1 },
+        Operator::BmtbPad { multiple: 4 },
+        Operator::InterleavedStorage,
+        Operator::SetResources { threads_per_block: 128 },
+        Operator::ThreadTotalRed,
+    ];
+    OperatorGraph {
+        converting: vec![Operator::Compress, Operator::RowDiv { parts }],
+        branches: vec![branch; parts],
+    }
+}
+
+/// A column-split design: every branch handles a column band and accumulates
+/// into `y` with atomics.
+pub fn col_split_atomic(parts: usize) -> OperatorGraph {
+    let branch = vec![
+        Operator::BmtRowBlock { rows: 1 },
+        Operator::SetResources { threads_per_block: 128 },
+        Operator::ThreadTotalRed,
+        Operator::GmemAtomRed,
+    ];
+    OperatorGraph {
+        converting: vec![Operator::Compress, Operator::ColDiv { parts }],
+        branches: vec![branch; parts],
+    }
+}
+
+/// The Figure 2 mixed design: SELL blocking combined with the CSR-Adaptive
+/// shared-memory reduction.
+pub fn fig2_sell_blocking_adaptive_reduction() -> OperatorGraph {
+    OperatorGraph {
+        converting: vec![Operator::Compress, Operator::Sort],
+        branches: vec![vec![
+            Operator::BmtbRowBlock { rows: 64 },
+            Operator::BmtRowBlock { rows: 1 },
+            Operator::BmtbPad { multiple: 4 },
+            Operator::InterleavedStorage,
+            Operator::SetResources { threads_per_block: 128 },
+            Operator::ThreadTotalRed,
+            Operator::ShmemOffsetRed,
+        ]],
+    }
+}
+
+/// The Figure 2 deeper mixed design that also borrows row-grouped CSR's
+/// coarse blocking (the 95 GFLOPS point of the motivating example).
+pub fn fig2_triple_mix() -> OperatorGraph {
+    OperatorGraph {
+        converting: vec![Operator::Compress, Operator::Sort],
+        branches: vec![vec![
+            Operator::BmtbRowBlock { rows: 256 },
+            Operator::BmwRowBlock { rows: 32 },
+            Operator::BmtRowBlock { rows: 1 },
+            Operator::BmwPad { multiple: 2 },
+            Operator::InterleavedStorage,
+            Operator::SetResources { threads_per_block: 256 },
+            Operator::ThreadTotalRed,
+            Operator::ShmemOffsetRed,
+        ]],
+    }
+}
+
+/// The Figure 14 machine-designed format for `scfxm1-2r`: SELL's thread-block
+/// blocking, row-grouped CSR's thread-level blocking, CSR-Adaptive's shared
+/// memory reduction, with a small per-row thread chunk.
+pub fn fig14_scfxm_design() -> OperatorGraph {
+    OperatorGraph {
+        converting: vec![Operator::Compress],
+        branches: vec![vec![
+            Operator::BmtbRowBlock { rows: 32 },
+            Operator::BmtColBlock { threads_per_row: 4 },
+            Operator::SetResources { threads_per_block: 128 },
+            Operator::ThreadTotalRed,
+            Operator::ShmemOffsetRed,
+        ]],
+    }
+}
+
+/// All presets with stable names (used by tests, the Figure 2/14 benches and
+/// as seeds of the search engine).
+pub fn all_presets() -> Vec<(&'static str, OperatorGraph)> {
+    vec![
+        ("csr_scalar", csr_scalar()),
+        ("csr_vector", csr_vector()),
+        ("figure5_example", figure5_example()),
+        ("sell_like", sell_like()),
+        ("sell_sigma_like", sell_sigma_like(32)),
+        ("row_grouped_csr_like", row_grouped_csr_like()),
+        ("csr_adaptive_like", csr_adaptive_like()),
+        ("csr5_like", csr5_like(16)),
+        ("acsr_like", acsr_like(4)),
+        ("row_split_hybrid", row_split_hybrid(2)),
+        ("col_split_atomic", col_split_atomic(2)),
+        ("fig2_sell_blocking_adaptive_reduction", fig2_sell_blocking_adaptive_reduction()),
+        ("fig2_triple_mix", fig2_triple_mix()),
+        ("fig14_scfxm_design", fig14_scfxm_design()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_are_valid() {
+        for (name, graph) in all_presets() {
+            assert!(graph.validate().is_ok(), "{name}: {:?}", graph.validate());
+        }
+    }
+
+    #[test]
+    fn preset_names_are_unique() {
+        let mut names: Vec<_> = all_presets().into_iter().map(|(n, _)| n).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn branched_presets_report_expected_branches() {
+        assert_eq!(row_split_hybrid(3).expected_branches(), 3);
+        assert_eq!(col_split_atomic(2).expected_branches(), 2);
+        assert!(col_split_atomic(2).is_column_split());
+        assert!(!row_split_hybrid(3).is_column_split());
+    }
+
+    #[test]
+    fn figure5_matches_paper_operator_sequence() {
+        let graph = figure5_example();
+        let names: Vec<&str> = graph.all_operators().map(|o| o.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "COMPRESS",
+                "SORT",
+                "BMTB_ROW_BLOCK",
+                "BMT_ROW_BLOCK",
+                "BMT_PAD",
+                "SET_RESOURCES",
+                "THREAD_TOTAL_RED",
+                "GMEM_ATOM_RED"
+            ]
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Compressed Sparse Column (CSC) format.  Not one of the paper's root
+//! formats, but needed by column-oriented operators (`COL_DIV`,
+//! `BMT_COL_BLOCK`) and by transpose-style analyses.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::{MatrixError, Result, Scalar};
+
+/// A sparse matrix in CSC form: `col_offsets` (length `cols + 1`),
+/// `row_indices` and `values` (length `nnz`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    col_offsets: Vec<u32>,
+    row_indices: Vec<u32>,
+    values: Vec<Scalar>,
+}
+
+impl CscMatrix {
+    /// Converts from COO by sorting entries in column-major order.
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let mut entries: Vec<(u32, u32, Scalar)> =
+            coo.iter().map(|(r, c, v)| (c as u32, r as u32, v)).collect();
+        entries.sort_by_key(|&(c, r, _)| (c, r));
+        let mut col_offsets = vec![0u32; coo.cols() + 1];
+        let mut row_indices = Vec::with_capacity(entries.len());
+        let mut values = Vec::with_capacity(entries.len());
+        for &(c, r, v) in &entries {
+            col_offsets[c as usize + 1] += 1;
+            row_indices.push(r);
+            values.push(v);
+        }
+        for i in 0..coo.cols() {
+            col_offsets[i + 1] += col_offsets[i];
+        }
+        CscMatrix { rows: coo.rows(), cols: coo.cols(), col_offsets, row_indices, values }
+    }
+
+    /// Converts from CSR via COO.
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        Self::from_coo(&csr.to_coo())
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        *self.col_offsets.last().expect("offsets non-empty") as usize
+    }
+
+    /// Column offset array.
+    pub fn col_offsets(&self) -> &[u32] {
+        &self.col_offsets
+    }
+
+    /// Row index array.
+    pub fn row_indices(&self) -> &[u32] {
+        &self.row_indices
+    }
+
+    /// Value array.
+    pub fn values(&self) -> &[Scalar] {
+        &self.values
+    }
+
+    /// Number of stored entries in column `col`.
+    pub fn col_len(&self, col: usize) -> usize {
+        (self.col_offsets[col + 1] - self.col_offsets[col]) as usize
+    }
+
+    /// Reference SpMV computed column-wise (scatter form); used to cross-check
+    /// the row-wise kernels.
+    pub fn spmv(&self, x: &[Scalar]) -> Result<Vec<Scalar>> {
+        if x.len() != self.cols {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "x has length {}, expected {}",
+                x.len(),
+                self.cols
+            )));
+        }
+        let mut y = vec![0.0; self.rows];
+        for col in 0..self.cols {
+            let xv = x[col];
+            for idx in self.col_offsets[col] as usize..self.col_offsets[col + 1] as usize {
+                y[self.row_indices[idx] as usize] += self.values[idx] * xv;
+            }
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CooMatrix {
+        let mut m = CooMatrix::new(3, 3);
+        m.push(0, 0, 1.0);
+        m.push(1, 0, 2.0);
+        m.push(2, 2, 3.0);
+        m.push(0, 2, 4.0);
+        m
+    }
+
+    #[test]
+    fn from_coo_builds_offsets() {
+        let csc = CscMatrix::from_coo(&sample());
+        assert_eq!(csc.col_offsets(), &[0, 2, 2, 4]);
+        assert_eq!(csc.col_len(0), 2);
+        assert_eq!(csc.col_len(1), 0);
+        assert_eq!(csc.nnz(), 4);
+    }
+
+    #[test]
+    fn spmv_matches_row_wise() {
+        let coo = sample();
+        let csc = CscMatrix::from_coo(&coo);
+        let csr = CsrMatrix::from_coo(&coo);
+        let x = vec![1.5, -2.0, 0.5];
+        assert_eq!(csc.spmv(&x).unwrap(), csr.spmv(&x).unwrap());
+    }
+
+    #[test]
+    fn from_csr_roundtrip() {
+        let csr = CsrMatrix::from_coo(&sample());
+        let csc = CscMatrix::from_csr(&csr);
+        assert_eq!(csc.nnz(), csr.nnz());
+        assert_eq!(csc.rows(), csr.rows());
+        assert_eq!(csc.cols(), csr.cols());
+    }
+
+    #[test]
+    fn spmv_rejects_bad_x() {
+        let csc = CscMatrix::from_coo(&sample());
+        assert!(csc.spmv(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! Compressed Sparse Row (CSR) root format.  CSR is the canonical input of
+//! every baseline kernel and of the AlphaSparse Designer (whose `COMPRESS`
+//! operator produces exactly the information CSR carries).
+
+use crate::coo::CooMatrix;
+use crate::{MatrixError, Result, Scalar};
+
+/// A sparse matrix in CSR form: `row_offsets` (length `rows + 1`),
+/// `col_indices` and `values` (length `nnz`), with entries of each row stored
+/// contiguously and sorted by column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_offsets: Vec<u32>,
+    col_indices: Vec<u32>,
+    values: Vec<Scalar>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw arrays, validating their invariants.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        row_offsets: Vec<u32>,
+        col_indices: Vec<u32>,
+        values: Vec<Scalar>,
+    ) -> Result<Self> {
+        if row_offsets.len() != rows + 1 {
+            return Err(MatrixError::MalformedOffsets(format!(
+                "row_offsets has length {}, expected {}",
+                row_offsets.len(),
+                rows + 1
+            )));
+        }
+        if row_offsets.first() != Some(&0) {
+            return Err(MatrixError::MalformedOffsets("row_offsets must start at 0".into()));
+        }
+        if row_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(MatrixError::MalformedOffsets("row_offsets must be non-decreasing".into()));
+        }
+        let nnz = *row_offsets.last().expect("len >= 1") as usize;
+        if col_indices.len() != nnz || values.len() != nnz {
+            return Err(MatrixError::MalformedOffsets(format!(
+                "nnz {} does not match col_indices {} / values {}",
+                nnz,
+                col_indices.len(),
+                values.len()
+            )));
+        }
+        if let Some(&c) = col_indices.iter().find(|&&c| c as usize >= cols) {
+            return Err(MatrixError::IndexOutOfBounds { row: 0, col: c as usize, rows, cols });
+        }
+        Ok(CsrMatrix { rows, cols, row_offsets, col_indices, values })
+    }
+
+    /// Converts from COO, summing duplicates and sorting each row by column.
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let mut normalised = coo.clone();
+        normalised.sum_duplicates();
+        let rows = normalised.rows();
+        let mut row_offsets = vec![0u32; rows + 1];
+        for &r in normalised.row_indices() {
+            row_offsets[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            row_offsets[i + 1] += row_offsets[i];
+        }
+        CsrMatrix {
+            rows,
+            cols: normalised.cols(),
+            row_offsets,
+            col_indices: normalised.col_indices().to_vec(),
+            values: normalised.values().to_vec(),
+        }
+    }
+
+    /// Converts back to COO triplets (row-major order).
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut coo = CooMatrix::new(self.rows, self.cols);
+        for row in 0..self.rows {
+            for idx in self.row_range(row) {
+                coo.push(row, self.col_indices[idx] as usize, self.values[idx]);
+            }
+        }
+        coo
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        *self.row_offsets.last().expect("offsets non-empty") as usize
+    }
+
+    /// Row offset array (`rows + 1` entries).
+    pub fn row_offsets(&self) -> &[u32] {
+        &self.row_offsets
+    }
+
+    /// Column index array.
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_indices
+    }
+
+    /// Value array.
+    pub fn values(&self) -> &[Scalar] {
+        &self.values
+    }
+
+    /// Index range of row `row` into `col_indices` / `values`.
+    pub fn row_range(&self, row: usize) -> std::ops::Range<usize> {
+        self.row_offsets[row] as usize..self.row_offsets[row + 1] as usize
+    }
+
+    /// Number of stored entries in row `row`.
+    pub fn row_len(&self, row: usize) -> usize {
+        (self.row_offsets[row + 1] - self.row_offsets[row]) as usize
+    }
+
+    /// Length of each row.
+    pub fn row_lengths(&self) -> Vec<usize> {
+        (0..self.rows).map(|r| self.row_len(r)).collect()
+    }
+
+    /// The longest row length (0 for an empty matrix).
+    pub fn max_row_len(&self) -> usize {
+        (0..self.rows).map(|r| self.row_len(r)).max().unwrap_or(0)
+    }
+
+    /// True if the matrix has at least one row with no stored entries.
+    pub fn has_empty_rows(&self) -> bool {
+        (0..self.rows).any(|r| self.row_len(r) == 0)
+    }
+
+    /// Reference sequential SpMV: `y = A * x`.
+    pub fn spmv(&self, x: &[Scalar]) -> Result<Vec<Scalar>> {
+        if x.len() != self.cols {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "x has length {}, expected {}",
+                x.len(),
+                self.cols
+            )));
+        }
+        let mut y = vec![0.0; self.rows];
+        for row in 0..self.rows {
+            let mut acc = 0.0;
+            for idx in self.row_range(row) {
+                acc += self.values[idx] * x[self.col_indices[idx] as usize];
+            }
+            y[row] = acc;
+        }
+        Ok(y)
+    }
+
+    /// Extracts the sub-matrix consisting of the given rows, in the given
+    /// order.  Used by the `ROW_DIV`, `SORT` and `BIN` operators.
+    pub fn select_rows(&self, rows: &[usize]) -> CsrMatrix {
+        let mut row_offsets = Vec::with_capacity(rows.len() + 1);
+        row_offsets.push(0u32);
+        let mut col_indices = Vec::new();
+        let mut values = Vec::new();
+        for &r in rows {
+            for idx in self.row_range(r) {
+                col_indices.push(self.col_indices[idx]);
+                values.push(self.values[idx]);
+            }
+            row_offsets.push(col_indices.len() as u32);
+        }
+        CsrMatrix { rows: rows.len(), cols: self.cols, row_offsets, col_indices, values }
+    }
+
+    /// Memory footprint of the format arrays in bytes (used by the cost model
+    /// when estimating memory traffic of format metadata).
+    pub fn format_bytes(&self) -> usize {
+        self.row_offsets.len() * 4 + self.col_indices.len() * 4 + self.values.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_coo() -> CooMatrix {
+        let mut m = CooMatrix::new(4, 5);
+        m.push(0, 0, 1.0);
+        m.push(0, 4, 2.0);
+        m.push(1, 2, 3.0);
+        m.push(3, 0, 4.0);
+        m.push(3, 1, 5.0);
+        m.push(3, 4, 6.0);
+        m
+    }
+
+    #[test]
+    fn from_coo_roundtrip() {
+        let coo = sample_coo();
+        let csr = CsrMatrix::from_coo(&coo);
+        assert_eq!(csr.nnz(), 6);
+        assert_eq!(csr.row_offsets(), &[0, 2, 3, 3, 6]);
+        let back = csr.to_coo();
+        assert_eq!(back.to_dense(), coo.to_dense());
+    }
+
+    #[test]
+    fn spmv_matches_coo() {
+        let coo = sample_coo();
+        let csr = CsrMatrix::from_coo(&coo);
+        let x: Vec<Scalar> = (1..=5).map(|v| v as Scalar).collect();
+        assert_eq!(csr.spmv(&x).unwrap(), coo.spmv(&x).unwrap());
+    }
+
+    #[test]
+    fn row_metadata() {
+        let csr = CsrMatrix::from_coo(&sample_coo());
+        assert_eq!(csr.row_lengths(), vec![2, 1, 0, 3]);
+        assert_eq!(csr.max_row_len(), 3);
+        assert!(csr.has_empty_rows());
+        assert_eq!(csr.row_range(3), 3..6);
+    }
+
+    #[test]
+    fn select_rows_reorders() {
+        let csr = CsrMatrix::from_coo(&sample_coo());
+        let sub = csr.select_rows(&[3, 0]);
+        assert_eq!(sub.rows(), 2);
+        assert_eq!(sub.row_lengths(), vec![3, 2]);
+        let x = vec![1.0; 5];
+        let full = csr.spmv(&x).unwrap();
+        let part = sub.spmv(&x).unwrap();
+        assert_eq!(part, vec![full[3], full[0]]);
+    }
+
+    #[test]
+    fn from_raw_validates_offsets() {
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(CsrMatrix::from_raw(2, 2, vec![1, 1, 1], vec![], vec![]).is_err());
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 2, 1], vec![0, 1, 0], vec![1.0; 3]).is_err());
+        assert!(CsrMatrix::from_raw(1, 1, vec![0, 1], vec![3], vec![1.0]).is_err());
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn duplicates_are_summed_via_coo() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 0, 4.0);
+        let csr = CsrMatrix::from_coo(&coo);
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.values(), &[5.0]);
+    }
+
+    #[test]
+    fn format_bytes_counts_arrays() {
+        let csr = CsrMatrix::from_coo(&sample_coo());
+        assert_eq!(csr.format_bytes(), 5 * 4 + 6 * 4 + 6 * 4);
+    }
+}

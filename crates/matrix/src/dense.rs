@@ -1,0 +1,150 @@
+//! Dense vector helpers used by the SpMV kernels: the input vector `x`, the
+//! output vector `y`, and utilities for generating and comparing them.
+
+use crate::Scalar;
+
+/// A dense vector with convenience constructors for test/benchmark inputs and
+/// tolerant comparison against reference results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseVector {
+    data: Vec<Scalar>,
+}
+
+impl DenseVector {
+    /// A vector of `len` zeros.
+    pub fn zeros(len: usize) -> Self {
+        DenseVector { data: vec![0.0; len] }
+    }
+
+    /// A vector of `len` ones (the paper's benchmarks multiply by arbitrary
+    /// dense x; ones make hand-checking easy in tests).
+    pub fn ones(len: usize) -> Self {
+        DenseVector { data: vec![1.0; len] }
+    }
+
+    /// A deterministic pseudo-random vector in `[-1, 1)`, keyed by `seed`.
+    /// Uses a splitmix64-style generator so the crate does not need `rand`
+    /// outside of dev-dependencies.
+    pub fn random(len: usize, seed: u64) -> Self {
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+            data.push((unit * 2.0 - 1.0) as Scalar);
+        }
+        DenseVector { data }
+    }
+
+    /// Wraps an existing buffer.
+    pub fn from_vec(data: Vec<Scalar>) -> Self {
+        DenseVector { data }
+    }
+
+    /// Vector length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying slice.
+    pub fn as_slice(&self) -> &[Scalar] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying slice.
+    pub fn as_mut_slice(&mut self) -> &mut [Scalar] {
+        &mut self.data
+    }
+
+    /// Consumes the vector, returning its buffer.
+    pub fn into_vec(self) -> Vec<Scalar> {
+        self.data
+    }
+
+    /// Maximum absolute difference to another vector; panics on length
+    /// mismatch because that always indicates a harness bug.
+    pub fn max_abs_diff(&self, other: &[Scalar]) -> Scalar {
+        assert_eq!(self.len(), other.len(), "comparing vectors of different lengths");
+        self.data
+            .iter()
+            .zip(other)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, Scalar::max)
+    }
+
+    /// True if every element is within `tol` *relative-or-absolute* distance
+    /// of the reference.  Floating-point reductions in a different order than
+    /// the reference make exact equality too strict for large matrices.
+    pub fn approx_eq(&self, other: &[Scalar], tol: Scalar) -> bool {
+        self.len() == other.len()
+            && self.data.iter().zip(other).all(|(a, b)| {
+                let scale = a.abs().max(b.abs()).max(1.0);
+                (a - b).abs() <= tol * scale
+            })
+    }
+}
+
+impl std::ops::Index<usize> for DenseVector {
+    type Output = Scalar;
+    fn index(&self, index: usize) -> &Scalar {
+        &self.data[index]
+    }
+}
+
+impl std::ops::IndexMut<usize> for DenseVector {
+    fn index_mut(&mut self, index: usize) -> &mut Scalar {
+        &mut self.data[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(DenseVector::zeros(3).as_slice(), &[0.0; 3]);
+        assert_eq!(DenseVector::ones(2).as_slice(), &[1.0, 1.0]);
+        assert!(DenseVector::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn random_is_deterministic_and_bounded() {
+        let a = DenseVector::random(100, 42);
+        let b = DenseVector::random(100, 42);
+        let c = DenseVector::random(100, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.as_slice().iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn approx_eq_tolerates_rounding() {
+        let a = DenseVector::from_vec(vec![1.0, 1000.0]);
+        assert!(a.approx_eq(&[1.0 + 1e-6, 1000.0 - 1e-3], 1e-5));
+        assert!(!a.approx_eq(&[1.1, 1000.0], 1e-5));
+        assert!(!a.approx_eq(&[1.0], 1e-5));
+    }
+
+    #[test]
+    fn max_abs_diff() {
+        let a = DenseVector::from_vec(vec![1.0, 2.0, 3.0]);
+        assert_eq!(a.max_abs_diff(&[1.0, 2.5, 3.0]), 0.5);
+    }
+
+    #[test]
+    fn indexing() {
+        let mut a = DenseVector::zeros(2);
+        a[1] = 5.0;
+        assert_eq!(a[1], 5.0);
+    }
+}

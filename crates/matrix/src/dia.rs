@@ -1,0 +1,149 @@
+//! DIAgonal (DIA) root format: the matrix is stored as a set of dense
+//! diagonals.  Only efficient for banded/diagonal sparsity patterns, but it
+//! is one of the paper's four root formats so the substrate provides it.
+
+use crate::csr::CsrMatrix;
+use crate::{MatrixError, Result, Scalar};
+
+/// A sparse matrix in DIA form.
+///
+/// `offsets[d]` is the diagonal offset (`col - row`, negative below the main
+/// diagonal); `data` is a `offsets.len() * rows` row-major array where entry
+/// `(d, r)` holds `A[r][r + offsets[d]]` (or 0 if that position is outside
+/// the matrix or not stored).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiaMatrix {
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    offsets: Vec<i64>,
+    data: Vec<Scalar>,
+}
+
+impl DiaMatrix {
+    /// Converts from CSR.  Every populated diagonal is materialised in full.
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        let rows = csr.rows();
+        let cols = csr.cols();
+        let mut present: Vec<i64> = Vec::new();
+        for row in 0..rows {
+            for idx in csr.row_range(row) {
+                let off = csr.col_indices()[idx] as i64 - row as i64;
+                if let Err(pos) = present.binary_search(&off) {
+                    present.insert(pos, off);
+                }
+            }
+        }
+        let mut data = vec![0.0; present.len() * rows];
+        for row in 0..rows {
+            for idx in csr.row_range(row) {
+                let off = csr.col_indices()[idx] as i64 - row as i64;
+                let d = present.binary_search(&off).expect("offset recorded above");
+                data[d * rows + row] = csr.values()[idx];
+            }
+        }
+        DiaMatrix { rows, cols, nnz: csr.nnz(), offsets: present, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of original non-zeros (excluding fill introduced by the format).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Number of stored diagonals.
+    pub fn num_diagonals(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Diagonal offsets (sorted ascending).
+    pub fn offsets(&self) -> &[i64] {
+        &self.offsets
+    }
+
+    /// Ratio of stored slots to actual non-zeros; large values mean DIA is a
+    /// poor fit for the sparsity pattern.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.nnz == 0 {
+            0.0
+        } else {
+            (self.offsets.len() * self.rows) as f64 / self.nnz as f64
+        }
+    }
+
+    /// Reference sequential SpMV.
+    pub fn spmv(&self, x: &[Scalar]) -> Result<Vec<Scalar>> {
+        if x.len() != self.cols {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "x has length {}, expected {}",
+                x.len(),
+                self.cols
+            )));
+        }
+        let mut y = vec![0.0; self.rows];
+        for (d, &off) in self.offsets.iter().enumerate() {
+            for row in 0..self.rows {
+                let col = row as i64 + off;
+                if col >= 0 && (col as usize) < self.cols {
+                    y[row] += self.data[d * self.rows + row] * x[col as usize];
+                }
+            }
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::gen;
+
+    #[test]
+    fn tridiagonal_has_three_diagonals() {
+        let csr = gen::banded(6, 1, 0xBEEF);
+        let dia = DiaMatrix::from_csr(&csr);
+        assert_eq!(dia.num_diagonals(), 3);
+        assert_eq!(dia.offsets(), &[-1, 0, 1]);
+    }
+
+    #[test]
+    fn spmv_matches_csr_on_banded() {
+        let csr = gen::banded(16, 2, 7);
+        let dia = DiaMatrix::from_csr(&csr);
+        let x: Vec<Scalar> = (0..16).map(|i| (i as Scalar).sin()).collect();
+        let a = csr.spmv(&x).unwrap();
+        let b = dia.spmv(&x).unwrap();
+        for (u, v) in a.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fill_ratio_is_high_for_scattered_matrix() {
+        let mut coo = CooMatrix::new(100, 100);
+        coo.push(0, 99, 1.0);
+        coo.push(50, 0, 1.0);
+        coo.push(99, 40, 1.0);
+        let dia = DiaMatrix::from_csr(&CsrMatrix::from_coo(&coo));
+        assert_eq!(dia.num_diagonals(), 3);
+        assert!(dia.fill_ratio() > 50.0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let dia = DiaMatrix::from_csr(&CsrMatrix::from_coo(&CooMatrix::new(3, 3)));
+        assert_eq!(dia.num_diagonals(), 0);
+        assert_eq!(dia.fill_ratio(), 0.0);
+        assert_eq!(dia.spmv(&[1.0, 1.0, 1.0]).unwrap(), vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,166 @@
+//! ELLPACK (ELL) root format: every row padded to the same width, stored
+//! column-major so that consecutive threads touch consecutive memory when
+//! each thread owns one row (the classic GPU layout).
+
+use crate::csr::CsrMatrix;
+use crate::{MatrixError, Result, Scalar};
+
+/// A sparse matrix in ELL form.
+///
+/// `col_indices` and `values` are `width * rows` column-major arrays: entry
+/// `k` of row `r` lives at index `k * rows + r`.  Padding slots store column
+/// index `PAD_COL` and value `0.0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EllMatrix {
+    rows: usize,
+    cols: usize,
+    width: usize,
+    nnz: usize,
+    col_indices: Vec<u32>,
+    values: Vec<Scalar>,
+}
+
+/// Sentinel column index used in padding slots.
+pub const PAD_COL: u32 = u32::MAX;
+
+impl EllMatrix {
+    /// Converts from CSR.  The ELL width is the maximum row length.
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        let rows = csr.rows();
+        let width = csr.max_row_len();
+        let mut col_indices = vec![PAD_COL; width * rows];
+        let mut values = vec![0.0; width * rows];
+        for row in 0..rows {
+            for (k, idx) in csr.row_range(row).enumerate() {
+                col_indices[k * rows + row] = csr.col_indices()[idx];
+                values[k * rows + row] = csr.values()[idx];
+            }
+        }
+        EllMatrix { rows, cols: csr.cols(), width, nnz: csr.nnz(), col_indices, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of *stored* non-zeros (excluding padding).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Padded row width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total number of slots including padding.
+    pub fn padded_len(&self) -> usize {
+        self.width * self.rows
+    }
+
+    /// Fraction of slots that are padding (0.0 for a perfectly regular
+    /// matrix); the quantity the paper's `*_PAD` operators try to keep low.
+    pub fn padding_ratio(&self) -> f64 {
+        if self.padded_len() == 0 {
+            0.0
+        } else {
+            1.0 - self.nnz as f64 / self.padded_len() as f64
+        }
+    }
+
+    /// Column-major column index array.
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_indices
+    }
+
+    /// Column-major value array.
+    pub fn values(&self) -> &[Scalar] {
+        &self.values
+    }
+
+    /// Reference sequential SpMV.
+    pub fn spmv(&self, x: &[Scalar]) -> Result<Vec<Scalar>> {
+        if x.len() != self.cols {
+            return Err(MatrixError::DimensionMismatch(format!(
+                "x has length {}, expected {}",
+                x.len(),
+                self.cols
+            )));
+        }
+        let mut y = vec![0.0; self.rows];
+        for row in 0..self.rows {
+            let mut acc = 0.0;
+            for k in 0..self.width {
+                let idx = k * self.rows + row;
+                let c = self.col_indices[idx];
+                if c != PAD_COL {
+                    acc += self.values[idx] * x[c as usize];
+                }
+            }
+            y[row] = acc;
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn sample_csr() -> CsrMatrix {
+        let mut coo = CooMatrix::new(3, 4);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 2.0);
+        coo.push(0, 3, 3.0);
+        coo.push(1, 2, 4.0);
+        coo.push(2, 0, 5.0);
+        coo.push(2, 3, 6.0);
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn width_is_max_row_len() {
+        let ell = EllMatrix::from_csr(&sample_csr());
+        assert_eq!(ell.width(), 3);
+        assert_eq!(ell.padded_len(), 9);
+        assert_eq!(ell.nnz(), 6);
+    }
+
+    #[test]
+    fn padding_ratio() {
+        let ell = EllMatrix::from_csr(&sample_csr());
+        assert!((ell.padding_ratio() - 3.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spmv_matches_csr() {
+        let csr = sample_csr();
+        let ell = EllMatrix::from_csr(&csr);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ell.spmv(&x).unwrap(), csr.spmv(&x).unwrap());
+    }
+
+    #[test]
+    fn column_major_layout() {
+        let ell = EllMatrix::from_csr(&sample_csr());
+        // First slot of each row is stored contiguously.
+        assert_eq!(ell.col_indices()[0], 0); // row 0, k 0
+        assert_eq!(ell.col_indices()[1], 2); // row 1, k 0
+        assert_eq!(ell.col_indices()[2], 0); // row 2, k 0
+    }
+
+    #[test]
+    fn empty_matrix_has_zero_padding_ratio() {
+        let csr = CsrMatrix::from_coo(&CooMatrix::new(2, 2));
+        let ell = EllMatrix::from_csr(&csr);
+        assert_eq!(ell.width(), 0);
+        assert_eq!(ell.padding_ratio(), 0.0);
+    }
+}

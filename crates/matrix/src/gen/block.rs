@@ -1,0 +1,101 @@
+//! Block-structured sparsity patterns: dense blocks on or near the diagonal.
+//! These model multi-physics and circuit matrices (TSOPF, ASIC_680k, mip1)
+//! whose local density is what HYB-like decompositions and blocked formats
+//! exploit.
+
+use super::rng::SplitMix64;
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+
+/// Generates an `n x n` matrix tiled with dense `block_size x block_size`
+/// blocks along the diagonal (the last block is truncated if `n` is not a
+/// multiple of `block_size`).
+pub fn block_diagonal(n: usize, block_size: usize, seed: u64) -> CsrMatrix {
+    assert!(block_size > 0, "block size must be positive");
+    let mut rng = SplitMix64::new(seed ^ 0x5EED_0007);
+    let mut coo = CooMatrix::new(n, n);
+    let mut start = 0;
+    while start < n {
+        let end = (start + block_size).min(n);
+        for r in start..end {
+            for c in start..end {
+                coo.push(r, c, rng.next_value());
+            }
+        }
+        start = end;
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Generates a matrix where most rows are short (a sparse diagonal band) but
+/// `dense_rows` randomly chosen rows are almost fully dense.  This reproduces
+/// the "a few rows several times longer than the rest" pattern of matrices
+/// like `GL7d19` for which the paper says HYB's decomposition wins
+/// (Section VII-H) — a stress case for the reduction operators.
+pub fn dense_row_blocks(n: usize, dense_rows: usize, dense_row_len: usize, seed: u64) -> CsrMatrix {
+    let mut rng = SplitMix64::new(seed ^ 0x5EED_0008);
+    let mut coo = CooMatrix::new(n, n);
+    let chosen = rng.sample_distinct(n, dense_rows.min(n));
+    for r in 0..n {
+        // Sparse part: a short band of 3 entries around the diagonal.
+        let lo = r.saturating_sub(1);
+        let hi = (r + 1).min(n - 1);
+        for c in lo..=hi {
+            coo.push(r, c, rng.next_value());
+        }
+    }
+    for &r in &chosen {
+        let len = dense_row_len.min(n);
+        for c in rng.sample_distinct(n, len) {
+            // Duplicates with the band are summed by the CSR conversion.
+            coo.push(r, c, rng.next_value());
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MatrixStats;
+
+    #[test]
+    fn block_diagonal_structure() {
+        let m = block_diagonal(10, 4, 1);
+        // Blocks: rows 0-3 (4 wide), 4-7 (4 wide), 8-9 (2 wide).
+        assert_eq!(m.row_lengths(), vec![4, 4, 4, 4, 4, 4, 4, 4, 2, 2]);
+        // Entry outside any block is absent: (0, 5).
+        let dense = m.to_coo().to_dense();
+        assert_eq!(dense[0][5], 0.0);
+        assert_ne!(dense[0][3], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_block_size_panics() {
+        block_diagonal(4, 0, 1);
+    }
+
+    #[test]
+    fn dense_rows_create_long_tail() {
+        let m = dense_row_blocks(2_000, 5, 1_500, 3);
+        let s = MatrixStats::from_csr(&m);
+        assert!(s.max_row_len > 1_000);
+        assert!(s.is_irregular());
+        // Most rows stay short.
+        let short = m.row_lengths().iter().filter(|&&l| l <= 3).count();
+        assert!(short > 1_900);
+    }
+
+    #[test]
+    fn no_empty_rows() {
+        assert!(!block_diagonal(100, 7, 2).has_empty_rows());
+        assert!(!dense_row_blocks(100, 3, 50, 2).has_empty_rows());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(block_diagonal(64, 8, 5), block_diagonal(64, 8, 5));
+        assert_eq!(dense_row_blocks(64, 2, 30, 5), dense_row_blocks(64, 2, 30, 5));
+    }
+}

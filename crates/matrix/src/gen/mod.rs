@@ -1,0 +1,119 @@
+//! Synthetic sparse-matrix generators.
+//!
+//! The paper evaluates on 843 matrices from the SuiteSparse Matrix Collection;
+//! this workspace has no access to that collection, so these generators stand
+//! in for it (see DESIGN.md, substitution table).  Each generator controls the
+//! axes along which the paper slices its results — matrix size, average row
+//! length and row-length variance — so the evaluation harness can sweep the
+//! same parameter space.
+//!
+//! All generators are deterministic given their `seed` argument.
+
+mod banded;
+mod block;
+mod powerlaw;
+mod random;
+mod rmat;
+pub mod rng;
+
+pub use banded::{banded, fem_stencil_2d};
+pub use block::{block_diagonal, dense_row_blocks};
+pub use powerlaw::{powerlaw, scale_free};
+pub use random::{uniform_random, uniform_random_variance};
+pub use rmat::rmat;
+
+use crate::csr::CsrMatrix;
+
+/// The sparsity-pattern families the corpus generator can draw from.  The
+/// families map onto the application domains the paper cites (FEM / circuit /
+/// graph / optimisation / power-network matrices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternFamily {
+    /// Uniformly random positions, near-constant row lengths (regular).
+    UniformRandom,
+    /// Power-law distributed row lengths (scale-free graphs; highly irregular).
+    PowerLaw,
+    /// Narrow band around the diagonal (stencil / FEM-like; very regular).
+    Banded,
+    /// Dense square blocks on the diagonal (multi-physics / block-structured).
+    BlockDiagonal,
+    /// Recursive-matrix (RMAT) graphs with community structure (irregular).
+    Rmat,
+}
+
+impl PatternFamily {
+    /// All families, in a stable order (used by the corpus sweep).
+    pub const ALL: [PatternFamily; 5] = [
+        PatternFamily::UniformRandom,
+        PatternFamily::PowerLaw,
+        PatternFamily::Banded,
+        PatternFamily::BlockDiagonal,
+        PatternFamily::Rmat,
+    ];
+
+    /// Generates a matrix of roughly `rows x rows` with about
+    /// `rows * avg_row_len` non-zeros from this family.
+    pub fn generate(self, rows: usize, avg_row_len: usize, seed: u64) -> CsrMatrix {
+        match self {
+            PatternFamily::UniformRandom => uniform_random(rows, rows, avg_row_len, seed),
+            PatternFamily::PowerLaw => powerlaw(rows, rows, avg_row_len, 2.1, seed),
+            PatternFamily::Banded => banded(rows, (avg_row_len / 2).max(1), seed),
+            PatternFamily::BlockDiagonal => {
+                block_diagonal(rows, avg_row_len.clamp(2, 64), seed)
+            }
+            PatternFamily::Rmat => rmat(rows, rows.saturating_mul(avg_row_len), seed),
+        }
+    }
+
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PatternFamily::UniformRandom => "uniform",
+            PatternFamily::PowerLaw => "powerlaw",
+            PatternFamily::Banded => "banded",
+            PatternFamily::BlockDiagonal => "block",
+            PatternFamily::Rmat => "rmat",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MatrixStats;
+
+    #[test]
+    fn families_generate_nonempty_matrices() {
+        for family in PatternFamily::ALL {
+            let m = family.generate(256, 8, 3);
+            assert!(m.nnz() > 0, "{} produced an empty matrix", family.name());
+            assert_eq!(m.rows(), 256);
+        }
+    }
+
+    #[test]
+    fn powerlaw_is_more_irregular_than_uniform() {
+        let uniform = PatternFamily::UniformRandom.generate(2_000, 16, 11);
+        let pl = PatternFamily::PowerLaw.generate(2_000, 16, 11);
+        let su = MatrixStats::from_csr(&uniform);
+        let sp = MatrixStats::from_csr(&pl);
+        assert!(sp.row_len_variance > su.row_len_variance);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for family in PatternFamily::ALL {
+            let a = family.generate(128, 6, 5);
+            let b = family.generate(128, 6, 5);
+            assert_eq!(a, b, "{} is not deterministic", family.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = PatternFamily::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), PatternFamily::ALL.len());
+    }
+}

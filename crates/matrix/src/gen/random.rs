@@ -1,0 +1,98 @@
+//! Uniformly random sparsity patterns: near-constant row lengths with
+//! uniformly scattered column positions.  These are the *regular* end of the
+//! corpus (row-length variance close to zero).
+
+use super::rng::SplitMix64;
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+
+/// Generates a `rows x cols` matrix where every row has exactly
+/// `row_len` non-zeros (clamped to `cols`) at uniformly random distinct
+/// column positions.  Row-length variance is exactly zero.
+pub fn uniform_random(rows: usize, cols: usize, row_len: usize, seed: u64) -> CsrMatrix {
+    let mut rng = SplitMix64::new(seed ^ 0x5EED_0001);
+    let row_len = row_len.min(cols).max(1);
+    let mut coo = CooMatrix::new(rows, cols);
+    for r in 0..rows {
+        for c in rng.sample_distinct(cols, row_len) {
+            coo.push(r, c, rng.next_value());
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Generates a matrix whose row lengths are drawn uniformly from
+/// `[avg_row_len - spread, avg_row_len + spread]` (at least 1), giving a
+/// controllable, moderate row-length variance.  Used to populate the
+/// "moderate sparsity pattern" region where the paper reports AlphaSparse's
+/// largest wins over PFS (Figure 11b).
+pub fn uniform_random_variance(
+    rows: usize,
+    cols: usize,
+    avg_row_len: usize,
+    spread: usize,
+    seed: u64,
+) -> CsrMatrix {
+    let mut rng = SplitMix64::new(seed ^ 0x5EED_0002);
+    let mut coo = CooMatrix::new(rows, cols);
+    for r in 0..rows {
+        let lo = avg_row_len.saturating_sub(spread).max(1);
+        let hi = (avg_row_len + spread).min(cols).max(lo);
+        let len = lo + rng.next_below(hi - lo + 1);
+        for c in rng.sample_distinct(cols, len) {
+            coo.push(r, c, rng.next_value());
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MatrixStats;
+
+    #[test]
+    fn uniform_rows_have_constant_length() {
+        let m = uniform_random(100, 200, 7, 1);
+        assert!(m.row_lengths().iter().all(|&l| l == 7));
+        let s = MatrixStats::from_csr(&m);
+        assert_eq!(s.row_len_variance, 0.0);
+        assert!(!s.has_empty(), "no empty rows expected");
+    }
+
+    trait NoEmpty {
+        fn has_empty(&self) -> bool;
+    }
+    impl NoEmpty for MatrixStats {
+        fn has_empty(&self) -> bool {
+            self.empty_rows > 0
+        }
+    }
+
+    #[test]
+    fn row_len_clamped_to_cols() {
+        let m = uniform_random(10, 4, 100, 2);
+        assert!(m.row_lengths().iter().all(|&l| l == 4));
+    }
+
+    #[test]
+    fn variance_generator_spreads_lengths() {
+        let m = uniform_random_variance(500, 1_000, 10, 8, 3);
+        let s = MatrixStats::from_csr(&m);
+        assert!(s.row_len_variance > 0.0);
+        assert!(s.min_row_len >= 2);
+        assert!(s.max_row_len <= 18);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(uniform_random(64, 64, 5, 9), uniform_random(64, 64, 5, 9));
+        assert_ne!(uniform_random(64, 64, 5, 9), uniform_random(64, 64, 5, 10));
+    }
+
+    #[test]
+    fn column_indices_within_bounds() {
+        let m = uniform_random(50, 33, 6, 4);
+        assert!(m.col_indices().iter().all(|&c| (c as usize) < 33));
+    }
+}

@@ -1,0 +1,254 @@
+//! Matrix Market (`.mtx`) reader and writer.
+//!
+//! AlphaSparse's top-level interface "only needs a Matrix Market file of a
+//! sparse matrix" (Section III); this module provides the same entry point.
+//! The subset implemented covers the files in the SuiteSparse collection the
+//! paper evaluates: `matrix coordinate {real|integer|pattern}
+//! {general|symmetric|skew-symmetric}` headers, `%` comments, and 1-based
+//! indices.  Complex matrices and dense (`array`) files are rejected with a
+//! descriptive error.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::{MatrixError, Result, Scalar};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Symmetry declared in the Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symmetry {
+    /// Every entry is stored explicitly.
+    General,
+    /// Only the lower triangle is stored; the transpose entries are implied.
+    Symmetric,
+    /// Lower triangle stored; implied entries are negated.
+    SkewSymmetric,
+}
+
+/// Value field declared in the Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Field {
+    /// Floating-point values.
+    Real,
+    /// Integer values (parsed into [`Scalar`]).
+    Integer,
+    /// Pattern-only files: every stored entry gets value `1.0`.
+    Pattern,
+}
+
+/// Parses a Matrix Market file from any reader into COO form.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix> {
+    let mut lines = BufReader::new(reader).lines();
+
+    let header = lines
+        .next()
+        .ok_or_else(|| MatrixError::Parse("empty file".into()))?
+        .map_err(|e| MatrixError::Parse(e.to_string()))?;
+    let (field, symmetry) = parse_header(&header)?;
+
+    // Skip comments, find the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(|e| MatrixError::Parse(e.to_string()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        size_line = Some(trimmed.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| MatrixError::Parse("missing size line".into()))?;
+    let mut parts = size_line.split_whitespace();
+    let rows: usize = parse_num(parts.next(), "row count")?;
+    let cols: usize = parse_num(parts.next(), "column count")?;
+    let declared_nnz: usize = parse_num(parts.next(), "nnz count")?;
+
+    let mut coo = CooMatrix::new(rows, cols);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line.map_err(|e| MatrixError::Parse(e.to_string()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let r: usize = parse_num(parts.next(), "entry row")?;
+        let c: usize = parse_num(parts.next(), "entry column")?;
+        if r == 0 || c == 0 || r > rows || c > cols {
+            return Err(MatrixError::IndexOutOfBounds { row: r, col: c, rows, cols });
+        }
+        let value: Scalar = match field {
+            Field::Pattern => 1.0,
+            Field::Real | Field::Integer => parts
+                .next()
+                .ok_or_else(|| MatrixError::Parse(format!("missing value in line '{trimmed}'")))?
+                .parse::<f64>()
+                .map_err(|e| MatrixError::Parse(format!("bad value in '{trimmed}': {e}")))?
+                as Scalar,
+        };
+        let (r0, c0) = (r - 1, c - 1);
+        coo.push(r0, c0, value);
+        match symmetry {
+            Symmetry::General => {}
+            Symmetry::Symmetric if r0 != c0 => coo.push(c0, r0, value),
+            Symmetry::SkewSymmetric if r0 != c0 => coo.push(c0, r0, -value),
+            _ => {}
+        }
+        seen += 1;
+    }
+    if seen != declared_nnz {
+        return Err(MatrixError::Parse(format!(
+            "header declares {declared_nnz} entries but the file contains {seen}"
+        )));
+    }
+    Ok(coo)
+}
+
+/// Reads a Matrix Market file from disk straight into CSR form.
+pub fn read_matrix_market_file<P: AsRef<Path>>(path: P) -> Result<CsrMatrix> {
+    let file = std::fs::File::open(path.as_ref())
+        .map_err(|e| MatrixError::Parse(format!("cannot open {}: {e}", path.as_ref().display())))?;
+    Ok(CsrMatrix::from_coo(&read_matrix_market(file)?))
+}
+
+/// Writes a matrix in `matrix coordinate real general` form.
+pub fn write_matrix_market<W: Write>(writer: &mut W, matrix: &CooMatrix) -> Result<()> {
+    let mut emit = || -> std::io::Result<()> {
+        writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+        writeln!(writer, "% written by the AlphaSparse reproduction workspace")?;
+        writeln!(writer, "{} {} {}", matrix.rows(), matrix.cols(), matrix.nnz())?;
+        for (r, c, v) in matrix.iter() {
+            writeln!(writer, "{} {} {}", r + 1, c + 1, v)?;
+        }
+        Ok(())
+    };
+    emit().map_err(|e| MatrixError::Parse(format!("write failed: {e}")))
+}
+
+fn parse_header(header: &str) -> Result<(Field, Symmetry)> {
+    let tokens: Vec<String> = header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(MatrixError::Parse(format!("not a Matrix Market header: '{header}'")));
+    }
+    if tokens[2] != "coordinate" {
+        return Err(MatrixError::Parse(format!(
+            "only 'coordinate' (sparse) files are supported, got '{}'",
+            tokens[2]
+        )));
+    }
+    let field = match tokens[3].as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => {
+            return Err(MatrixError::Parse(format!("unsupported value field '{other}'")));
+        }
+    };
+    let symmetry = match tokens[4].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        other => {
+            return Err(MatrixError::Parse(format!("unsupported symmetry '{other}'")));
+        }
+    };
+    Ok((field, symmetry))
+}
+
+fn parse_num(token: Option<&str>, what: &str) -> Result<usize> {
+    token
+        .ok_or_else(|| MatrixError::Parse(format!("missing {what}")))?
+        .parse::<usize>()
+        .map_err(|e| MatrixError::Parse(format!("bad {what}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIMPLE: &str = "%%MatrixMarket matrix coordinate real general\n\
+        % a comment\n\
+        3 3 4\n\
+        1 1 2.0\n\
+        2 2 3.0\n\
+        3 1 4.0\n\
+        3 3 5.0\n";
+
+    #[test]
+    fn parse_general_real() {
+        let coo = read_matrix_market(SIMPLE.as_bytes()).unwrap();
+        assert_eq!(coo.rows(), 3);
+        assert_eq!(coo.nnz(), 4);
+        let dense = coo.to_dense();
+        assert_eq!(dense[0][0], 2.0);
+        assert_eq!(dense[2][2], 5.0);
+    }
+
+    #[test]
+    fn parse_symmetric_mirrors_off_diagonal() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+            2 2 2\n\
+            1 1 1.0\n\
+            2 1 7.0\n";
+        let coo = read_matrix_market(text.as_bytes()).unwrap();
+        let dense = coo.to_dense();
+        assert_eq!(dense[0][1], 7.0);
+        assert_eq!(dense[1][0], 7.0);
+        assert_eq!(coo.nnz(), 3);
+    }
+
+    #[test]
+    fn parse_skew_symmetric_negates() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+            2 2 1\n\
+            2 1 4.0\n";
+        let dense = read_matrix_market(text.as_bytes()).unwrap().to_dense();
+        assert_eq!(dense[1][0], 4.0);
+        assert_eq!(dense[0][1], -4.0);
+    }
+
+    #[test]
+    fn parse_pattern_gives_unit_values() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+            2 2 2\n\
+            1 2\n\
+            2 1\n";
+        let dense = read_matrix_market(text.as_bytes()).unwrap().to_dense();
+        assert_eq!(dense[0][1], 1.0);
+        assert_eq!(dense[1][0], 1.0);
+    }
+
+    #[test]
+    fn reject_bad_header_and_counts() {
+        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n1 1\n".as_bytes())
+            .is_err());
+        assert!(read_matrix_market("hello\n".as_bytes()).is_err());
+        let wrong_count = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(read_matrix_market(wrong_count.as_bytes()).is_err());
+        let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n";
+        assert!(matches!(
+            read_matrix_market(oob.as_bytes()),
+            Err(MatrixError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let coo = read_matrix_market(SIMPLE.as_bytes()).unwrap();
+        let mut buffer = Vec::new();
+        write_matrix_market(&mut buffer, &coo).unwrap();
+        let back = read_matrix_market(buffer.as_slice()).unwrap();
+        assert_eq!(back.to_dense(), coo.to_dense());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("alpha_matrix_mm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("simple.mtx");
+        std::fs::write(&path, SIMPLE).unwrap();
+        let csr = read_matrix_market_file(&path).unwrap();
+        assert_eq!(csr.nnz(), 4);
+        assert!(read_matrix_market_file(dir.join("missing.mtx")).is_err());
+    }
+}

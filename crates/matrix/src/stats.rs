@@ -1,0 +1,198 @@
+//! Matrix statistics used throughout the paper's evaluation: average row
+//! length, row-length variance (the paper's irregularity measure), and the
+//! regular/irregular classification with the variance > 100 threshold.
+
+use crate::csr::CsrMatrix;
+use crate::IRREGULARITY_VARIANCE_THRESHOLD;
+
+/// Summary statistics of a sparse matrix's row-length distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Number of stored non-zeros.
+    pub nnz: usize,
+    /// Average number of non-zeros per row (`nnz / rows`).
+    pub avg_row_len: f64,
+    /// Population variance of the row lengths — the paper's irregularity
+    /// measure (Section I, Problem 2 and Figure 11b).
+    pub row_len_variance: f64,
+    /// Standard deviation of the row lengths.
+    pub row_len_stddev: f64,
+    /// Shortest row length.
+    pub min_row_len: usize,
+    /// Longest row length.
+    pub max_row_len: usize,
+    /// Number of rows with no stored entries.
+    pub empty_rows: usize,
+}
+
+impl MatrixStats {
+    /// Computes statistics from a CSR matrix.
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        let rows = csr.rows();
+        let lengths = csr.row_lengths();
+        let nnz = csr.nnz();
+        let avg = if rows == 0 { 0.0 } else { nnz as f64 / rows as f64 };
+        let variance = if rows == 0 {
+            0.0
+        } else {
+            lengths.iter().map(|&l| (l as f64 - avg).powi(2)).sum::<f64>() / rows as f64
+        };
+        MatrixStats {
+            rows,
+            cols: csr.cols(),
+            nnz,
+            avg_row_len: avg,
+            row_len_variance: variance,
+            row_len_stddev: variance.sqrt(),
+            min_row_len: lengths.iter().copied().min().unwrap_or(0),
+            max_row_len: lengths.iter().copied().max().unwrap_or(0),
+            empty_rows: lengths.iter().filter(|&&l| l == 0).count(),
+        }
+    }
+
+    /// True if the matrix is *irregular* by the paper's definition
+    /// (row-length variance greater than 100).
+    pub fn is_irregular(&self) -> bool {
+        self.row_len_variance > IRREGULARITY_VARIANCE_THRESHOLD
+    }
+
+    /// Matrix density (`nnz / (rows * cols)`).
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// Coefficient of variation of row lengths (stddev / mean); a
+    /// scale-independent irregularity measure used by some pruning rules.
+    pub fn row_len_cv(&self) -> f64 {
+        if self.avg_row_len == 0.0 {
+            0.0
+        } else {
+            self.row_len_stddev / self.avg_row_len
+        }
+    }
+
+    /// True if the matrix satisfies the paper's test-set filter
+    /// (Section VII-A): more than 9 K rows, 50 K ≤ nnz ≤ 60 M, no empty rows.
+    pub fn satisfies_paper_testset_filter(&self) -> bool {
+        self.rows > 9_000 && (50_000..=60_000_000).contains(&self.nnz) && self.empty_rows == 0
+    }
+}
+
+/// A histogram of row lengths in power-of-two buckets; used by the `BIN`
+/// operator's parameter discretisation and by the corpus report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowLengthHistogram {
+    /// `buckets[i]` counts rows whose length `l` satisfies
+    /// `2^(i-1) < l <= 2^i`, with bucket 0 counting empty rows and length-1
+    /// rows together reported separately via bucket 1.
+    pub buckets: Vec<usize>,
+}
+
+impl RowLengthHistogram {
+    /// Builds the histogram from a CSR matrix.
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        let mut buckets = vec![0usize; 1];
+        for len in csr.row_lengths() {
+            let b = if len == 0 { 0 } else { (usize::BITS - (len).leading_zeros()) as usize };
+            if b >= buckets.len() {
+                buckets.resize(b + 1, 0);
+            }
+            buckets[b] += 1;
+        }
+        RowLengthHistogram { buckets }
+    }
+
+    /// Number of non-empty buckets; a rough measure of how many distinct row
+    /// "classes" a binning operator would create.
+    pub fn distinct_classes(&self) -> usize {
+        self.buckets.iter().filter(|&&c| c > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::gen;
+
+    fn matrix_with_rows(lengths: &[usize]) -> CsrMatrix {
+        let cols = lengths.iter().copied().max().unwrap_or(1).max(1);
+        let mut coo = CooMatrix::new(lengths.len(), cols);
+        for (r, &len) in lengths.iter().enumerate() {
+            for c in 0..len {
+                coo.push(r, c, 1.0);
+            }
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn basic_stats() {
+        let csr = matrix_with_rows(&[2, 4, 0, 6]);
+        let s = MatrixStats::from_csr(&csr);
+        assert_eq!(s.nnz, 12);
+        assert_eq!(s.avg_row_len, 3.0);
+        assert_eq!(s.min_row_len, 0);
+        assert_eq!(s.max_row_len, 6);
+        assert_eq!(s.empty_rows, 1);
+        // variance of [2,4,0,6] around 3 = (1+1+9+9)/4 = 5
+        assert!((s.row_len_variance - 5.0).abs() < 1e-12);
+        assert!(!s.is_irregular());
+    }
+
+    #[test]
+    fn irregular_classification_uses_threshold() {
+        // One row of length 100 among length-1 rows gives variance >> 100.
+        let mut lengths = vec![1usize; 99];
+        lengths.push(200);
+        let s = MatrixStats::from_csr(&matrix_with_rows(&lengths));
+        assert!(s.is_irregular());
+
+        let regular = MatrixStats::from_csr(&matrix_with_rows(&[5; 50]));
+        assert_eq!(regular.row_len_variance, 0.0);
+        assert!(!regular.is_irregular());
+    }
+
+    #[test]
+    fn density_and_cv() {
+        let s = MatrixStats::from_csr(&matrix_with_rows(&[2, 2]));
+        assert!((s.density() - 4.0 / 4.0).abs() < 1e-12);
+        assert_eq!(s.row_len_cv(), 0.0);
+    }
+
+    #[test]
+    fn paper_testset_filter() {
+        let small = MatrixStats::from_csr(&matrix_with_rows(&[2, 2]));
+        assert!(!small.satisfies_paper_testset_filter());
+
+        let big = gen::uniform_random(10_000, 10_000, 6, 99);
+        let s = MatrixStats::from_csr(&big);
+        assert!(s.satisfies_paper_testset_filter());
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let csr = matrix_with_rows(&[0, 1, 2, 3, 4, 8, 9]);
+        let h = RowLengthHistogram::from_csr(&csr);
+        // lengths: 0 -> bucket 0, 1 -> bucket 1, 2 -> 2, 3..4 -> 3? (3 -> bits=2 -> bucket 2)
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert!(h.distinct_classes() >= 4);
+    }
+
+    #[test]
+    fn stats_on_empty_matrix() {
+        let csr = CsrMatrix::from_coo(&CooMatrix::new(0, 0));
+        let s = MatrixStats::from_csr(&csr);
+        assert_eq!(s.avg_row_len, 0.0);
+        assert_eq!(s.density(), 0.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! The evaluation corpus: named stand-ins for the SuiteSparse matrices the
+//! paper reports on, plus a parameterised corpus sweep standing in for the
+//! 843-matrix test set.
+//!
+//! The real SuiteSparse collection is not available offline, so every named
+//! matrix is generated with the pattern family, aspect ratio, average row
+//! length and irregularity of its namesake, at a configurable scale factor
+//! (the default scale keeps the largest matrices around a few million
+//! non-zeros so the full reproduction pipeline runs in minutes rather than
+//! hours).  See DESIGN.md's substitution table.
+
+use crate::csr::CsrMatrix;
+use crate::gen::{self, PatternFamily};
+use crate::stats::MatrixStats;
+
+/// A named matrix of the evaluation corpus.
+#[derive(Debug, Clone)]
+pub struct NamedMatrix {
+    /// SuiteSparse name of the matrix this synthetic one stands in for.
+    pub name: &'static str,
+    /// Application domain (as listed by SuiteSparse).
+    pub domain: &'static str,
+    /// The generated matrix.
+    pub matrix: CsrMatrix,
+}
+
+impl NamedMatrix {
+    /// Statistics of the generated matrix.
+    pub fn stats(&self) -> MatrixStats {
+        MatrixStats::from_csr(&self.matrix)
+    }
+}
+
+/// Scale factor applied to the named matrices.  `1.0` approximates the real
+/// dimensions; the default corpus uses a smaller scale so experiments finish
+/// quickly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuiteScale(pub f64);
+
+impl Default for SuiteScale {
+    fn default() -> Self {
+        // 1/16 of the real dimensions keeps the largest stand-ins near one
+        // million non-zeros.
+        SuiteScale(1.0 / 16.0)
+    }
+}
+
+fn scaled(n: usize, scale: f64) -> usize {
+    ((n as f64 * scale).round() as usize).max(64)
+}
+
+/// Specification of one named stand-in matrix.
+struct NamedSpec {
+    name: &'static str,
+    domain: &'static str,
+    rows: usize,
+    avg_row_len: usize,
+    family: PatternFamily,
+    seed: u64,
+}
+
+const NAMED_SPECS: &[NamedSpec] = &[
+    // The 13 matrices of Table III.
+    NamedSpec { name: "pdb1HYS", domain: "protein", rows: 36_417, avg_row_len: 119, family: PatternFamily::Banded, seed: 101 },
+    NamedSpec { name: "windtunnel_evap3d", domain: "CFD", rows: 40_816, avg_row_len: 60, family: PatternFamily::Banded, seed: 102 },
+    NamedSpec { name: "consph", domain: "FEM", rows: 83_334, avg_row_len: 72, family: PatternFamily::Banded, seed: 103 },
+    NamedSpec { name: "Ga41As41H72", domain: "quantum chemistry", rows: 268_096, avg_row_len: 68, family: PatternFamily::PowerLaw, seed: 104 },
+    NamedSpec { name: "Si41Ge41H72", domain: "quantum chemistry", rows: 185_639, avg_row_len: 81, family: PatternFamily::PowerLaw, seed: 105 },
+    NamedSpec { name: "ASIC_680k", domain: "circuit simulation", rows: 682_862, avg_row_len: 5, family: PatternFamily::Rmat, seed: 106 },
+    NamedSpec { name: "mip1", domain: "optimisation", rows: 66_463, avg_row_len: 155, family: PatternFamily::BlockDiagonal, seed: 107 },
+    NamedSpec { name: "Rucci1", domain: "least squares", rows: 1_977_885, avg_row_len: 4, family: PatternFamily::UniformRandom, seed: 108 },
+    NamedSpec { name: "boyd2", domain: "optimisation", rows: 466_316, avg_row_len: 3, family: PatternFamily::Rmat, seed: 109 },
+    NamedSpec { name: "rajat31", domain: "circuit simulation", rows: 4_690_002, avg_row_len: 4, family: PatternFamily::Rmat, seed: 110 },
+    NamedSpec { name: "transient", domain: "circuit simulation", rows: 178_866, avg_row_len: 5, family: PatternFamily::PowerLaw, seed: 111 },
+    NamedSpec { name: "ins2", domain: "optimisation", rows: 309_412, avg_row_len: 8, family: PatternFamily::PowerLaw, seed: 112 },
+    NamedSpec { name: "bone010", domain: "model reduction", rows: 986_703, avg_row_len: 48, family: PatternFamily::Banded, seed: 113 },
+    // Case-study matrices of Figures 2, 9 and 14 and Section VII-H.
+    NamedSpec { name: "scfxm1-2r", domain: "linear programming", rows: 37_980, avg_row_len: 10, family: PatternFamily::UniformRandom, seed: 201 },
+    NamedSpec { name: "2D_27628_bjtcai", domain: "semiconductor device", rows: 27_628, avg_row_len: 8, family: PatternFamily::PowerLaw, seed: 202 },
+    NamedSpec { name: "TSOPF_RS_b300_c2", domain: "power network", rows: 28_338, avg_row_len: 100, family: PatternFamily::BlockDiagonal, seed: 203 },
+    NamedSpec { name: "TSOPF_RS_b2052_c1", domain: "power network", rows: 25_626, avg_row_len: 80, family: PatternFamily::BlockDiagonal, seed: 204 },
+    NamedSpec { name: "GL7d19", domain: "combinatorics", rows: 1_911_130, avg_row_len: 19, family: PatternFamily::PowerLaw, seed: 205 },
+];
+
+/// Generates one named stand-in matrix by its SuiteSparse name.
+///
+/// Returns `None` for names not in the catalogue.
+pub fn named_matrix(name: &str, scale: SuiteScale) -> Option<NamedMatrix> {
+    let spec = NAMED_SPECS.iter().find(|s| s.name.eq_ignore_ascii_case(name))?;
+    let rows = scaled(spec.rows, scale.0);
+    let matrix = match spec.name {
+        // GL7d19: nearly balanced rows plus a handful of much longer ones —
+        // the pattern for which the paper says HYB's decomposition wins.
+        "GL7d19" => gen::dense_row_blocks(rows, (rows / 500).max(4), rows / 8, spec.seed),
+        _ => spec.family.generate(rows, spec.avg_row_len, spec.seed),
+    };
+    Some(NamedMatrix { name: spec.name, domain: spec.domain, matrix })
+}
+
+/// Names of the 13 matrices used in Table III (pruning study).
+pub fn table3_names() -> Vec<&'static str> {
+    NAMED_SPECS[..13].iter().map(|s| s.name).collect()
+}
+
+/// All named matrices in the catalogue.
+pub fn all_named(scale: SuiteScale) -> Vec<NamedMatrix> {
+    NAMED_SPECS
+        .iter()
+        .map(|s| named_matrix(s.name, scale).expect("spec exists"))
+        .collect()
+}
+
+/// Configuration of the corpus sweep standing in for the 843-matrix test set.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Row counts to sweep (each combined with every family and row length).
+    pub sizes: Vec<usize>,
+    /// Average row lengths to sweep.
+    pub avg_row_lens: Vec<usize>,
+    /// Pattern families to include.
+    pub families: Vec<PatternFamily>,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl CorpusConfig {
+    /// A small corpus for unit/integration tests (runs in well under a second).
+    pub fn tiny() -> Self {
+        CorpusConfig {
+            sizes: vec![256, 1_024],
+            avg_row_lens: vec![4, 16],
+            families: vec![PatternFamily::UniformRandom, PatternFamily::PowerLaw],
+            seed: 7,
+        }
+    }
+
+    /// The default evaluation corpus used by the `reproduce` harness: sweeps
+    /// matrix sizes and irregularity the way Figures 9-13 slice the test set.
+    pub fn evaluation() -> Self {
+        CorpusConfig {
+            sizes: vec![2_048, 8_192, 32_768, 131_072],
+            avg_row_lens: vec![4, 16, 64],
+            families: PatternFamily::ALL.to_vec(),
+            seed: 1_234,
+        }
+    }
+
+    /// Number of matrices the sweep will generate.
+    pub fn len(&self) -> usize {
+        self.sizes.len() * self.avg_row_lens.len() * self.families.len()
+    }
+
+    /// True if the configuration generates no matrices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A corpus entry: a generated matrix plus the sweep coordinates it came from.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Synthetic name encoding the sweep coordinates.
+    pub name: String,
+    /// Pattern family used.
+    pub family: PatternFamily,
+    /// Requested row count.
+    pub rows: usize,
+    /// Requested average row length.
+    pub avg_row_len: usize,
+    /// The generated matrix.
+    pub matrix: CsrMatrix,
+}
+
+impl CorpusEntry {
+    /// Statistics of the generated matrix.
+    pub fn stats(&self) -> MatrixStats {
+        MatrixStats::from_csr(&self.matrix)
+    }
+}
+
+/// Generates the corpus described by `config`.
+pub fn corpus(config: &CorpusConfig) -> Vec<CorpusEntry> {
+    let mut entries = Vec::with_capacity(config.len());
+    let mut counter = 0u64;
+    for &family in &config.families {
+        for &rows in &config.sizes {
+            for &avg in &config.avg_row_lens {
+                counter += 1;
+                let matrix = family.generate(rows, avg, config.seed.wrapping_add(counter));
+                entries.push(CorpusEntry {
+                    name: format!("{}_{rows}x{avg}", family.name()),
+                    family,
+                    rows,
+                    avg_row_len: avg,
+                    matrix,
+                });
+            }
+        }
+    }
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_catalogue_contains_paper_matrices() {
+        for name in ["pdb1HYS", "scfxm1-2r", "GL7d19", "TSOPF_RS_b300_c2"] {
+            let m = named_matrix(name, SuiteScale(1.0 / 64.0)).expect("present");
+            assert!(m.matrix.nnz() > 0);
+            assert_eq!(m.name, name);
+        }
+        assert!(named_matrix("no_such_matrix", SuiteScale::default()).is_none());
+    }
+
+    #[test]
+    fn table3_has_thirteen_entries() {
+        let names = table3_names();
+        assert_eq!(names.len(), 13);
+        assert!(names.contains(&"pdb1HYS"));
+        assert!(names.contains(&"bone010"));
+        assert!(!names.contains(&"scfxm1-2r"));
+    }
+
+    #[test]
+    fn gl7d19_has_long_row_tail() {
+        let m = named_matrix("GL7d19", SuiteScale(1.0 / 128.0)).unwrap();
+        let s = m.stats();
+        assert!(s.max_row_len as f64 > 20.0 * s.avg_row_len);
+    }
+
+    #[test]
+    fn corpus_generates_requested_count() {
+        let config = CorpusConfig::tiny();
+        let entries = corpus(&config);
+        assert_eq!(entries.len(), config.len());
+        assert!(!config.is_empty());
+        assert!(entries.iter().all(|e| e.matrix.rows() == e.rows));
+    }
+
+    #[test]
+    fn corpus_has_both_regular_and_irregular_entries() {
+        let entries = corpus(&CorpusConfig::tiny());
+        let irregular = entries.iter().filter(|e| e.stats().is_irregular()).count();
+        assert!(irregular > 0, "expected at least one irregular entry");
+        assert!(irregular < entries.len(), "expected at least one regular entry");
+    }
+
+    #[test]
+    fn scaling_shrinks_named_matrices() {
+        let small = named_matrix("consph", SuiteScale(1.0 / 256.0)).unwrap();
+        let large = named_matrix("consph", SuiteScale(1.0 / 32.0)).unwrap();
+        assert!(large.matrix.rows() > small.matrix.rows());
+    }
+}

@@ -1,0 +1,132 @@
+//! The simulated-annealing schedule used as the Search Engine's early
+//! termination condition (paper Section VI-A): the search keeps exploring
+//! while improvements are still likely, and stops once the temperature has
+//! decayed and no recent candidate improved on the incumbent.
+
+/// Simulated-annealing acceptance and termination schedule.
+#[derive(Debug, Clone)]
+pub struct Annealer {
+    temperature: f64,
+    cooling: f64,
+    min_temperature: f64,
+    /// Iterations since the incumbent last improved.
+    stale_iterations: usize,
+    /// Stop after this many non-improving iterations once cold.
+    patience: usize,
+    best: f64,
+    rng_state: u64,
+}
+
+impl Annealer {
+    /// Creates a schedule.  `initial_temperature` is in the units of the
+    /// objective (GFLOPS); `cooling` in `(0, 1)` is applied every step.
+    pub fn new(initial_temperature: f64, cooling: f64, patience: usize) -> Self {
+        assert!((0.0..1.0).contains(&cooling), "cooling factor must be in (0, 1)");
+        Annealer {
+            temperature: initial_temperature.max(1e-6),
+            cooling,
+            min_temperature: initial_temperature.max(1e-6) * 1e-3,
+            stale_iterations: 0,
+            patience: patience.max(1),
+            best: f64::NEG_INFINITY,
+            rng_state: 0x5EED_5EED,
+        }
+    }
+
+    /// Records a candidate objective value (higher is better).  Returns true
+    /// if the candidate should be *accepted* as the new starting point for
+    /// further mutations — always for improvements, with a Boltzmann
+    /// probability for regressions.
+    pub fn observe(&mut self, objective: f64) -> bool {
+        let accept = if objective > self.best {
+            self.best = objective;
+            self.stale_iterations = 0;
+            true
+        } else {
+            self.stale_iterations += 1;
+            let delta = self.best - objective;
+            let p = (-delta / self.temperature.max(1e-9)).exp();
+            self.next_uniform() < p
+        };
+        self.temperature = (self.temperature * self.cooling).max(self.min_temperature);
+        accept
+    }
+
+    /// True once the schedule is cold and the incumbent has not improved for
+    /// `patience` observations.
+    pub fn should_stop(&self) -> bool {
+        self.temperature <= self.min_temperature * 1.0001 && self.stale_iterations >= self.patience
+    }
+
+    /// Best objective observed so far.
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+
+    /// Current temperature.
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+
+    fn next_uniform(&mut self) -> f64 {
+        // xorshift64*; deterministic so searches are reproducible.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvements_are_always_accepted() {
+        let mut annealer = Annealer::new(10.0, 0.9, 5);
+        assert!(annealer.observe(10.0));
+        assert!(annealer.observe(20.0));
+        assert_eq!(annealer.best(), 20.0);
+    }
+
+    #[test]
+    fn regressions_are_rejected_more_often_when_cold() {
+        let mut hot = Annealer::new(100.0, 0.999, 50);
+        let mut cold = Annealer::new(0.01, 0.5, 50);
+        hot.observe(100.0);
+        cold.observe(100.0);
+        let hot_accepts = (0..200).filter(|_| hot.observe(90.0)).count();
+        let cold_accepts = (0..200).filter(|_| cold.observe(90.0)).count();
+        assert!(hot_accepts > cold_accepts);
+    }
+
+    #[test]
+    fn stops_after_stale_cold_period() {
+        let mut annealer = Annealer::new(1.0, 0.5, 3);
+        annealer.observe(50.0);
+        assert!(!annealer.should_stop());
+        for _ in 0..40 {
+            annealer.observe(10.0);
+        }
+        assert!(annealer.should_stop());
+    }
+
+    #[test]
+    fn temperature_decays_monotonically() {
+        let mut annealer = Annealer::new(10.0, 0.8, 3);
+        let mut last = annealer.temperature();
+        for _ in 0..20 {
+            annealer.observe(1.0);
+            assert!(annealer.temperature() <= last);
+            last = annealer.temperature();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling factor")]
+    fn invalid_cooling_is_rejected() {
+        Annealer::new(1.0, 1.5, 3);
+    }
+}

@@ -1,0 +1,76 @@
+//! `alpha-ml` — the lightweight machine-learning components of the Search
+//! Engine: gradient-boosted regression trees (standing in for XGBoost, paper
+//! Section VI-A) used to interpolate coarse-grid measurements onto the fine
+//! parameter grid, and the simulated-annealing schedule used as the search
+//! termination condition.
+
+pub mod anneal;
+pub mod gbt;
+pub mod tree;
+
+pub use anneal::Annealer;
+pub use gbt::GradientBoostedTrees;
+pub use tree::RegressionTree;
+
+/// A training / prediction sample: a feature vector (operator-graph and
+/// parameter features) and its target (measured GFLOPS).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Feature values.
+    pub features: Vec<f64>,
+    /// Target value.
+    pub target: f64,
+}
+
+impl Sample {
+    /// Creates a sample.
+    pub fn new(features: Vec<f64>, target: f64) -> Self {
+        Sample { features, target }
+    }
+}
+
+/// Mean absolute deviation between predictions and targets, relative to the
+/// mean target magnitude — the metric the paper quotes (about 5 % for its
+/// XGBoost interpolation).
+pub fn relative_mean_absolute_deviation(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "prediction/target length mismatch");
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let mad = predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / targets.len() as f64;
+    let scale = targets.iter().map(|t| t.abs()).sum::<f64>() / targets.len() as f64;
+    if scale == 0.0 {
+        mad
+    } else {
+        mad / scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmad_is_zero_for_perfect_predictions() {
+        let targets = [10.0, 20.0, 30.0];
+        assert_eq!(relative_mean_absolute_deviation(&targets, &targets), 0.0);
+    }
+
+    #[test]
+    fn rmad_scales_with_error() {
+        let targets = [10.0, 10.0];
+        let preds = [11.0, 9.0];
+        assert!((relative_mean_absolute_deviation(&preds, &targets) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rmad_rejects_mismatched_lengths() {
+        relative_mean_absolute_deviation(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,296 @@
+//! The three-level search loop (paper Section VI-A).
+
+use crate::enumerate::{coarse_variants, fine_variants, mutate_structure, seed_structures, MutationRng};
+use crate::features::featurise;
+use crate::prune::PruneRules;
+use alpha_codegen::{generate, GeneratorOptions};
+use alpha_gpu::{DeviceProfile, GpuSim, PerfReport};
+use alpha_graph::OperatorGraph;
+use alpha_matrix::{CsrMatrix, DenseVector};
+use alpha_ml::gbt::{GbtConfig, GradientBoostedTrees};
+use alpha_ml::{Annealer, Sample};
+use std::collections::BTreeSet;
+
+/// Wall-clock cost, in seconds, of evaluating one candidate on the paper's
+/// real system (nvcc compilation plus repeated kernel timing).  Used to
+/// convert simulator iterations into the search-time figures of Table III.
+pub const SECONDS_PER_REAL_ITERATION: f64 = 60.0;
+
+/// Search configuration.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Target device profile.
+    pub device: DeviceProfile,
+    /// Maximum number of real (simulated-kernel) evaluations in levels 1+2.
+    pub max_iterations: usize,
+    /// Hard cap on the modelled search time in hours (the paper uses 8 h).
+    pub max_hours: f64,
+    /// Enable the pruning rules (Table III ablation).
+    pub enable_pruning: bool,
+    /// Enable the ML fine-grid refinement (level 3).
+    pub enable_ml_refinement: bool,
+    /// Enable Model-Driven Format Compression in the generator
+    /// (Figure 14c ablation).
+    pub enable_model_compression: bool,
+    /// Number of structural mutations derived from each seed.
+    pub mutations_per_seed: usize,
+    /// Random seed for mutation and input-vector generation.
+    pub seed: u64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            device: DeviceProfile::a100(),
+            max_iterations: 150,
+            max_hours: 8.0,
+            enable_pruning: true,
+            enable_ml_refinement: true,
+            enable_model_compression: true,
+            mutations_per_seed: 4,
+            seed: 42,
+        }
+    }
+}
+
+/// Statistics of one search run.
+#[derive(Debug, Clone, Default)]
+pub struct SearchStats {
+    /// Kernel evaluations performed in the first two levels.
+    pub iterations: usize,
+    /// Graph structures enumerated (seeds plus accepted mutations).
+    pub structures_enumerated: usize,
+    /// Candidate structures rejected by the pruning ban list.
+    pub structures_pruned: usize,
+    /// Fine-grid predictions made by the ML cost model.
+    pub ml_predictions: usize,
+    /// Extra kernel evaluations spent validating the top ML predictions.
+    pub ml_evaluations: usize,
+    /// Modelled search time in hours (iterations x compile-and-run cost).
+    pub search_hours: f64,
+}
+
+/// The result of a search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The winning operator graph.
+    pub best_graph: OperatorGraph,
+    /// Its modelled performance.
+    pub best_report: PerfReport,
+    /// The emitted CUDA-like source of the winning kernel.
+    pub best_source: String,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+/// Runs the three-level search for one matrix.
+pub fn search(matrix: &CsrMatrix, config: &SearchConfig) -> Result<SearchOutcome, String> {
+    if matrix.nnz() == 0 {
+        return Err("cannot search over an empty matrix".into());
+    }
+    let rules = PruneRules::new(matrix, config.enable_pruning);
+    let stats_of_matrix = rules.stats().clone();
+    let sim = GpuSim::new(config.device.clone());
+    let x = DenseVector::random(matrix.cols(), config.seed ^ 0xA1FA);
+    let reference = matrix.spmv(x.as_slice()).map_err(|e| e.to_string())?;
+    let options = GeneratorOptions { model_compression: config.enable_model_compression };
+
+    // ---- Level 1: structure enumeration ------------------------------------
+    let mut structures = seed_structures(matrix, &rules);
+    let mut pruned = 0usize;
+    {
+        // Count what pruning removed (for the statistics) by comparing with
+        // the unpruned seed set.
+        let unpruned_rules = PruneRules::new(matrix, false);
+        pruned += seed_structures(matrix, &unpruned_rules).len().saturating_sub(structures.len());
+    }
+    let mut rng = MutationRng::new(config.seed);
+    let mut seen: BTreeSet<String> = structures.iter().map(|g| g.signature()).collect();
+    let base_seeds = structures.clone();
+    for seed_graph in &base_seeds {
+        for _ in 0..config.mutations_per_seed {
+            match mutate_structure(seed_graph, &mut rng, &rules) {
+                Some(mutated) => {
+                    if seen.insert(mutated.signature()) {
+                        structures.push(mutated);
+                    }
+                }
+                None => pruned += 1,
+            }
+        }
+    }
+
+    // ---- Level 2: coarse parameter search with real evaluations ------------
+    let mut stats = SearchStats {
+        structures_enumerated: structures.len(),
+        structures_pruned: pruned,
+        ..SearchStats::default()
+    };
+    let mut annealer = Annealer::new(25.0, 0.97, 20);
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut best: Option<(OperatorGraph, PerfReport, String)> = None;
+    let mut evaluated: BTreeSet<String> = BTreeSet::new();
+    let budget_iterations = |stats: &SearchStats, config: &SearchConfig| {
+        stats.iterations >= config.max_iterations
+            || stats.iterations as f64 * SECONDS_PER_REAL_ITERATION / 3600.0 >= config.max_hours
+    };
+
+    'outer: for structure in &structures {
+        for candidate in coarse_variants(structure) {
+            if budget_iterations(&stats, config) {
+                break 'outer;
+            }
+            let signature = candidate.signature();
+            if !evaluated.insert(signature) {
+                continue;
+            }
+            let Some((report, source)) =
+                evaluate(&candidate, matrix, &sim, &x, &reference, options)
+            else {
+                continue;
+            };
+            stats.iterations += 1;
+            samples.push(Sample::new(featurise(&candidate, &stats_of_matrix), report.gflops));
+            let gflops = report.gflops;
+            if best.as_ref().map(|(_, r, _)| gflops > r.gflops).unwrap_or(true) {
+                best = Some((candidate.clone(), report, source));
+            }
+            annealer.observe(gflops);
+            if annealer.should_stop() {
+                break 'outer;
+            }
+        }
+    }
+
+    // ---- Level 3: ML interpolation onto the fine grid ----------------------
+    if config.enable_ml_refinement && samples.len() >= 8 {
+        let model = GradientBoostedTrees::fit(&samples, GbtConfig::default());
+        let mut predictions: Vec<(f64, OperatorGraph)> = Vec::new();
+        for structure in &structures {
+            for candidate in fine_variants(structure) {
+                if evaluated.contains(&candidate.signature()) {
+                    continue;
+                }
+                let predicted = model.predict(&featurise(&candidate, &stats_of_matrix));
+                stats.ml_predictions += 1;
+                predictions.push((predicted, candidate));
+            }
+        }
+        predictions.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite predictions"));
+        for (_, candidate) in predictions.into_iter().take(5) {
+            if !evaluated.insert(candidate.signature()) {
+                continue;
+            }
+            let Some((report, source)) =
+                evaluate(&candidate, matrix, &sim, &x, &reference, options)
+            else {
+                continue;
+            };
+            stats.ml_evaluations += 1;
+            samples.push(Sample::new(featurise(&candidate, &stats_of_matrix), report.gflops));
+            if best.as_ref().map(|(_, r, _)| report.gflops > r.gflops).unwrap_or(true) {
+                best = Some((candidate, report, source));
+            }
+        }
+    }
+
+    stats.search_hours = ((stats.iterations + stats.ml_evaluations) as f64
+        * SECONDS_PER_REAL_ITERATION
+        / 3600.0)
+        .min(config.max_hours);
+
+    let (best_graph, best_report, best_source) =
+        best.ok_or_else(|| "no valid candidate could be evaluated".to_string())?;
+    Ok(SearchOutcome { best_graph, best_report, best_source, stats })
+}
+
+/// Generates and runs one candidate; returns `None` when the design cannot be
+/// applied to this matrix (e.g. too many partitions) so the search just moves
+/// on.
+fn evaluate(
+    graph: &OperatorGraph,
+    matrix: &CsrMatrix,
+    sim: &GpuSim,
+    x: &DenseVector,
+    reference: &[alpha_matrix::Scalar],
+    options: GeneratorOptions,
+) -> Option<(PerfReport, String)> {
+    let generated = generate(graph, matrix, options).ok()?;
+    let result = sim
+        .run_checked(&generated.kernel, x.as_slice(), reference, 1e-3)
+        .ok()?;
+    Some((result.report, generated.source))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpha_matrix::gen;
+
+    fn quick_config(iterations: usize) -> SearchConfig {
+        SearchConfig {
+            device: DeviceProfile::a100(),
+            max_iterations: iterations,
+            mutations_per_seed: 2,
+            ..SearchConfig::default()
+        }
+    }
+
+    #[test]
+    fn search_is_deterministic_for_a_fixed_seed() {
+        let matrix = gen::powerlaw(1_024, 1_024, 10, 2.0, 7);
+        let a = search(&matrix, &quick_config(30)).unwrap();
+        let b = search(&matrix, &quick_config(30)).unwrap();
+        assert_eq!(a.best_graph.signature(), b.best_graph.signature());
+        assert_eq!(a.stats.iterations, b.stats.iterations);
+    }
+
+    #[test]
+    fn pruning_reduces_iterations_on_regular_matrices() {
+        let matrix = gen::uniform_random(2_048, 2_048, 16, 3);
+        let mut with = quick_config(400);
+        with.enable_ml_refinement = false;
+        let mut without = with.clone();
+        without.enable_pruning = false;
+        let pruned = search(&matrix, &with).unwrap();
+        let unpruned = search(&matrix, &without).unwrap();
+        assert!(
+            pruned.stats.iterations < unpruned.stats.iterations,
+            "pruning should reduce evaluations: {} vs {}",
+            pruned.stats.iterations,
+            unpruned.stats.iterations
+        );
+        assert!(pruned.stats.search_hours <= unpruned.stats.search_hours);
+    }
+
+    #[test]
+    fn search_respects_the_iteration_budget() {
+        let matrix = gen::powerlaw(1_024, 1_024, 8, 2.0, 3);
+        let outcome = search(&matrix, &quick_config(12)).unwrap();
+        assert!(outcome.stats.iterations <= 12);
+    }
+
+    #[test]
+    fn ml_refinement_adds_predictions() {
+        let matrix = gen::powerlaw(1_024, 1_024, 10, 2.0, 9);
+        let mut config = quick_config(40);
+        config.enable_ml_refinement = true;
+        let outcome = search(&matrix, &config).unwrap();
+        assert!(outcome.stats.ml_predictions > 0);
+    }
+
+    #[test]
+    fn empty_matrix_is_rejected() {
+        let empty = CsrMatrix::from_coo(&alpha_matrix::CooMatrix::new(4, 4));
+        assert!(search(&empty, &quick_config(10)).is_err());
+    }
+
+    #[test]
+    fn winner_beats_every_sampled_candidate() {
+        let matrix = gen::powerlaw(1_024, 1_024, 12, 1.9, 5);
+        let outcome = search(&matrix, &quick_config(50)).unwrap();
+        assert!(outcome.best_report.gflops > 0.0);
+        assert!(outcome.stats.search_hours > 0.0);
+        assert!(outcome.best_graph.validate().is_ok());
+    }
+}

@@ -1,0 +1,174 @@
+//! Pruning strategies (paper Section VI-B).
+//!
+//! Pruning encodes "high-quality human experience": operators that cannot
+//! help on the input sparsity pattern are banned before any kernel is
+//! generated, and array-type parameters are discretised so their search
+//! spaces stay enumerable (the `DIV_IN_ROW_LEN_MUTATION` strategy).
+
+use alpha_graph::{Operator, OperatorGraph};
+use alpha_matrix::{CsrMatrix, MatrixStats};
+
+/// The pruning rules derived from a matrix's sparsity pattern.
+#[derive(Debug, Clone)]
+pub struct PruneRules {
+    /// Whether pruning is enabled at all (Table III's "no pruning" baseline
+    /// turns this off).
+    pub enabled: bool,
+    stats: MatrixStats,
+}
+
+impl PruneRules {
+    /// Builds the rules for a matrix.
+    pub fn new(matrix: &CsrMatrix, enabled: bool) -> Self {
+        PruneRules { enabled, stats: MatrixStats::from_csr(matrix) }
+    }
+
+    /// Statistics the rules were derived from.
+    pub fn stats(&self) -> &MatrixStats {
+        &self.stats
+    }
+
+    /// The operator ban list for this matrix: operators that are skipped
+    /// during structure enumeration.
+    pub fn banned_operator_names(&self) -> Vec<&'static str> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        let mut banned = Vec::new();
+        if !self.stats.is_irregular() {
+            // Regular matrices do not need irregularity machinery: nnz
+            // splitting, binning, branch partitioning, segmented reductions.
+            banned.extend_from_slice(&[
+                "BMT_NNZ_BLOCK",
+                "BIN",
+                "ROW_DIV",
+                "COL_DIV",
+                "WARP_SEG_RED",
+                "WARP_BITMAP_RED",
+                "THREAD_BITMAP_RED",
+            ]);
+        }
+        if self.stats.avg_row_len < 8.0 {
+            // Short rows: spreading one row over many threads or a whole
+            // block wastes lanes.
+            banned.extend_from_slice(&["BMT_COL_BLOCK", "SHMEM_TOTAL_RED", "WARP_TOTAL_RED"]);
+        }
+        if self.stats.max_row_len < 256 {
+            // Without very long rows the long-row machinery is unnecessary.
+            banned.push("SHMEM_TOTAL_RED");
+        }
+        if self.stats.avg_row_len >= 32.0 {
+            // Long average rows: padding to a global width explodes and
+            // per-thread whole-row chunks are already big enough that extra
+            // atomics never pay.
+            banned.push("GMEM_ATOM_RED");
+        }
+        banned.sort_unstable();
+        banned.dedup();
+        banned
+    }
+
+    /// True if the operator is banned for this matrix.
+    pub fn is_banned(&self, op: &Operator) -> bool {
+        self.banned_operator_names().contains(&op.name())
+    }
+
+    /// True if a whole graph contains a banned operator.
+    pub fn bans_graph(&self, graph: &OperatorGraph) -> bool {
+        graph.all_operators().any(|op| self.is_banned(op))
+    }
+
+    /// Discretises the `ROW_DIV` partition-count parameter: the matrix is
+    /// split where the (sorted) row-length profile mutates, so only a handful
+    /// of part counts are worth trying (the paper's
+    /// `DIV_IN_ROW_LEN_MUTATION` strategy).
+    pub fn row_div_candidates(&self, matrix: &CsrMatrix) -> Vec<usize> {
+        if !self.enabled {
+            return vec![2, 3, 4, 6, 8];
+        }
+        let mut lengths: Vec<usize> = matrix.row_lengths();
+        lengths.sort_unstable_by(|a, b| b.cmp(a));
+        // Count the points where the sorted profile drops by more than 2x: a
+        // mutation suggests one more natural partition.
+        let mut mutations = 0usize;
+        for w in lengths.windows(2) {
+            if w[1] > 0 && w[0] >= 2 * w[1].max(1) {
+                mutations += 1;
+            }
+        }
+        let natural = (mutations + 1).clamp(2, 8);
+        vec![2.min(natural).max(2), natural].into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpha_graph::presets;
+    use alpha_matrix::gen;
+
+    #[test]
+    fn regular_matrices_ban_irregularity_operators() {
+        let matrix = gen::uniform_random(2_000, 2_000, 16, 1);
+        let rules = PruneRules::new(&matrix, true);
+        let banned = rules.banned_operator_names();
+        assert!(banned.contains(&"BMT_NNZ_BLOCK"));
+        assert!(banned.contains(&"ROW_DIV"));
+        assert!(rules.is_banned(&Operator::BmtNnzBlock { nnz: 16 }));
+        assert!(rules.bans_graph(&presets::csr5_like(16)));
+        assert!(!rules.bans_graph(&presets::sell_like()));
+    }
+
+    #[test]
+    fn irregular_matrices_keep_irregularity_operators() {
+        let matrix = gen::powerlaw(2_000, 2_000, 16, 1.8, 3);
+        let rules = PruneRules::new(&matrix, true);
+        assert!(rules.stats().is_irregular());
+        assert!(!rules.is_banned(&Operator::BmtNnzBlock { nnz: 16 }));
+        assert!(!rules.bans_graph(&presets::csr5_like(16)));
+    }
+
+    #[test]
+    fn disabled_rules_ban_nothing() {
+        let matrix = gen::uniform_random(500, 500, 4, 1);
+        let rules = PruneRules::new(&matrix, false);
+        assert!(rules.banned_operator_names().is_empty());
+        assert!(!rules.bans_graph(&presets::csr5_like(16)));
+    }
+
+    #[test]
+    fn short_rows_ban_vector_mappings() {
+        let matrix = gen::uniform_random(2_000, 2_000, 3, 1);
+        let rules = PruneRules::new(&matrix, true);
+        assert!(rules.is_banned(&Operator::BmtColBlock { threads_per_row: 8 }));
+    }
+
+    #[test]
+    fn row_div_candidates_follow_length_mutations() {
+        let uniform = gen::uniform_random(1_000, 1_000, 8, 1);
+        let rules = PruneRules::new(&uniform, true);
+        let candidates = rules.row_div_candidates(&uniform);
+        assert_eq!(candidates, vec![2], "a flat length profile needs no extra partitions");
+
+        // Three clearly separated row-length bands: 400-, 40- and 3-long rows.
+        let mut coo = alpha_matrix::CooMatrix::new(1_000, 1_000);
+        for r in 0..1_000usize {
+            let len = if r < 10 { 400 } else if r < 110 { 40 } else { 3 };
+            for c in 0..len {
+                coo.push(r, c, 1.0);
+            }
+        }
+        let banded_lengths = CsrMatrix::from_coo(&coo);
+        let rules = PruneRules::new(&banded_lengths, true);
+        let candidates = rules.row_div_candidates(&banded_lengths);
+        assert!(
+            candidates.iter().any(|&p| p > 2),
+            "a three-band profile should suggest more than two parts, got {candidates:?}"
+        );
+        assert!(candidates.iter().all(|&p| (2..=8).contains(&p)));
+
+        // Disabled pruning falls back to the generic grid.
+        let no_rules = PruneRules::new(&uniform, false);
+        assert!(no_rules.row_div_candidates(&uniform).len() >= 4);
+    }
+}

@@ -1,0 +1,10 @@
+//! Workspace-level umbrella crate.  Hosts the runnable examples in `examples/`
+//! and the cross-crate integration tests in `tests/`; re-exports the public
+//! API of the member crates for convenience.
+pub use alphasparse;
+pub use alpha_baselines as baselines;
+pub use alpha_codegen as codegen;
+pub use alpha_gpu as gpu;
+pub use alpha_graph as graph;
+pub use alpha_matrix as matrix;
+pub use alpha_search as search;

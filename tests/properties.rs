@@ -1,0 +1,103 @@
+//! Property-based tests over the core invariants: every valid operator graph
+//! generates a kernel that computes the same `y = A·x` as the reference CSR
+//! implementation, format compression never changes results, and the format
+//! conversions of the baseline kernels preserve the matrix.
+
+use alpha_baselines::Baseline;
+use alpha_codegen::{generate, GeneratorOptions};
+use alpha_gpu::{DeviceProfile, GpuSim, SpmvKernel};
+use alpha_graph::presets;
+use alpha_matrix::{CooMatrix, CsrMatrix, DenseVector};
+use proptest::prelude::*;
+
+/// Strategy: a small random sparse matrix described by (rows, cols, entries).
+fn arb_matrix() -> impl Strategy<Value = CsrMatrix> {
+    (2usize..60, 2usize..60, 1usize..300, any::<u64>()).prop_map(|(rows, cols, entries, seed)| {
+        let mut rng = seed;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut coo = CooMatrix::new(rows, cols);
+        for _ in 0..entries {
+            let r = (next() % rows as u64) as usize;
+            let c = (next() % cols as u64) as usize;
+            let v = ((next() % 2000) as f32 - 1000.0) / 500.0;
+            coo.push(r, c, v);
+        }
+        // Guarantee at least one entry so the designer accepts the matrix.
+        coo.push(0, 0, 1.0);
+        CsrMatrix::from_coo(&coo)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_kernels_match_reference_spmv(matrix in arb_matrix(), seed in any::<u64>()) {
+        let x = DenseVector::random(matrix.cols(), seed);
+        let expected = matrix.spmv(x.as_slice()).unwrap();
+        let sim = GpuSim::new(DeviceProfile::test_profile());
+        for graph in [presets::csr_scalar(), presets::sell_like(), presets::csr5_like(8)] {
+            if let Ok(generated) = generate(&graph, &matrix, GeneratorOptions::default()) {
+                let result = sim.run(&generated.kernel, x.as_slice()).unwrap();
+                prop_assert!(
+                    DenseVector::from_vec(result.y.clone()).approx_eq(&expected, 1e-3),
+                    "graph produced incorrect results"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compression_never_changes_results(matrix in arb_matrix(), seed in any::<u64>()) {
+        let x = DenseVector::random(matrix.cols(), seed);
+        let sim = GpuSim::new(DeviceProfile::test_profile());
+        let graph = presets::sell_sigma_like(16);
+        let on = generate(&graph, &matrix, GeneratorOptions { model_compression: true });
+        let off = generate(&graph, &matrix, GeneratorOptions { model_compression: false });
+        if let (Ok(on), Ok(off)) = (on, off) {
+            let y_on = sim.run(&on.kernel, x.as_slice()).unwrap().y;
+            let y_off = sim.run(&off.kernel, x.as_slice()).unwrap().y;
+            prop_assert!(DenseVector::from_vec(y_on).approx_eq(&y_off, 1e-4));
+            prop_assert!(on.kernel.format_bytes() <= off.kernel.format_bytes());
+        }
+    }
+
+    #[test]
+    fn baseline_conversions_preserve_the_matrix(matrix in arb_matrix(), seed in any::<u64>()) {
+        let x = DenseVector::random(matrix.cols(), seed);
+        let expected = matrix.spmv(x.as_slice()).unwrap();
+        let sim = GpuSim::new(DeviceProfile::test_profile());
+        for baseline in [Baseline::Ell, Baseline::Hyb, Baseline::Csr5, Baseline::Merge] {
+            let kernel = baseline.build(&matrix);
+            let result = sim.run(kernel.as_ref(), x.as_slice()).unwrap();
+            prop_assert!(
+                DenseVector::from_vec(result.y.clone()).approx_eq(&expected, 1e-3),
+                "{} conversion lost information", baseline.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_entries_are_all_tunable_by_presets() {
+    // Every corpus entry can at least be expressed and executed with the
+    // preset designs (a prerequisite for the evaluation sweeps).
+    let sim = GpuSim::new(DeviceProfile::test_profile());
+    for entry in alpha_matrix::suite::corpus(&alpha_matrix::suite::CorpusConfig::tiny()) {
+        let x = DenseVector::ones(entry.matrix.cols());
+        let expected = entry.matrix.spmv(x.as_slice()).unwrap();
+        let generated =
+            generate(&presets::sell_like(), &entry.matrix, GeneratorOptions::default()).unwrap();
+        let result = sim.run(&generated.kernel, x.as_slice()).unwrap();
+        assert!(
+            DenseVector::from_vec(result.y.clone()).approx_eq(&expected, 1e-3),
+            "wrong result on corpus entry {}",
+            entry.name
+        );
+    }
+}
