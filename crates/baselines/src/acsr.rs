@@ -34,7 +34,11 @@ impl AcsrKernel {
         let mut buckets: Vec<Vec<u32>> = Vec::new();
         for row in 0..matrix.rows() {
             let len = matrix.row_len(row);
-            let b = if len == 0 { 0 } else { (usize::BITS - len.leading_zeros()) as usize };
+            let b = if len == 0 {
+                0
+            } else {
+                (usize::BITS - len.leading_zeros()) as usize
+            };
             if b >= buckets.len() {
                 buckets.resize(b + 1, Vec::new());
             }
@@ -48,7 +52,11 @@ impl AcsrKernel {
             let threads_per_row = (1usize << b).clamp(1, WARP_SIZE);
             let rows_per_block = (BLOCK_DIM / threads_per_row).max(1);
             let blocks = rows.len().div_ceil(rows_per_block).max(1);
-            bins.push(Bin { rows, threads_per_row, blocks });
+            bins.push(Bin {
+                rows,
+                threads_per_row,
+                blocks,
+            });
         }
         let mut block_offsets = Vec::with_capacity(bins.len() + 1);
         let mut total = 0;
@@ -57,7 +65,11 @@ impl AcsrKernel {
             total += bin.blocks;
             block_offsets.push(total);
         }
-        AcsrKernel { matrix: matrix.clone(), bins, block_offsets }
+        AcsrKernel {
+            matrix: matrix.clone(),
+            bins,
+            block_offsets,
+        }
     }
 
     /// Number of bins the matrix was decomposed into.
@@ -98,7 +110,9 @@ impl SpmvKernel for AcsrKernel {
         let rows_per_block = (BLOCK_DIM / bin.threads_per_row).max(1);
         let first = local_block * rows_per_block;
         for i in 0..rows_per_block {
-            let Some(&row) = bin.rows.get(first + i) else { break };
+            let Some(&row) = bin.rows.get(first + i) else {
+                break;
+            };
             let row = row as usize;
             let range = self.matrix.row_range(row);
             let len = range.len();
@@ -181,12 +195,22 @@ mod tests {
         let matrix = gen::powerlaw(8_192, 8_192, 16, 1.8, 3);
         let x = DenseVector::ones(8_192);
         let sim = GpuSim::new(DeviceProfile::a100());
-        let acsr = sim.run(&AcsrKernel::new(&matrix), x.as_slice()).unwrap().report.gflops;
-        let scalar = sim
-            .run(&crate::csr::CsrScalarKernel::new(matrix.clone()), x.as_slice())
+        let acsr = sim
+            .run(&AcsrKernel::new(&matrix), x.as_slice())
             .unwrap()
             .report
             .gflops;
-        assert!(acsr > scalar, "ACSR {acsr} should beat CSR-scalar {scalar} on irregular data");
+        let scalar = sim
+            .run(
+                &crate::csr::CsrScalarKernel::new(matrix.clone()),
+                x.as_slice(),
+            )
+            .unwrap()
+            .report
+            .gflops;
+        assert!(
+            acsr > scalar,
+            "ACSR {acsr} should beat CSR-scalar {scalar} on irregular data"
+        );
     }
 }

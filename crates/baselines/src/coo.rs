@@ -19,7 +19,11 @@ pub struct CooKernel {
 impl CooKernel {
     /// Converts the CSR matrix into row-major sorted COO.
     pub fn new(matrix: &CsrMatrix) -> Self {
-        CooKernel { coo: matrix.to_coo(), rows: matrix.rows(), cols: matrix.cols() }
+        CooKernel {
+            coo: matrix.to_coo(),
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+        }
     }
 }
 
@@ -99,12 +103,22 @@ mod tests {
         let matrix = gen::uniform_random(8_192, 8_192, 8, 2);
         let x = DenseVector::ones(8_192);
         let sim = GpuSim::new(DeviceProfile::a100());
-        let coo = sim.run(&CooKernel::new(&matrix), x.as_slice()).unwrap().report.gflops;
-        let csr = sim
-            .run(&crate::csr::CsrScalarKernel::new(matrix.clone()), x.as_slice())
+        let coo = sim
+            .run(&CooKernel::new(&matrix), x.as_slice())
             .unwrap()
             .report
             .gflops;
-        assert!(csr > coo * 0.8, "COO should not dominate CSR on regular data");
+        let csr = sim
+            .run(
+                &crate::csr::CsrScalarKernel::new(matrix.clone()),
+                x.as_slice(),
+            )
+            .unwrap()
+            .report
+            .gflops;
+        assert!(
+            csr > coo * 0.8,
+            "COO should not dominate CSR on regular data"
+        );
     }
 }

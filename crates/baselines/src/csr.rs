@@ -93,7 +93,10 @@ impl SpmvKernel for CsrVectorKernel {
 
     fn launch_config(&self, _device: &DeviceProfile) -> LaunchConfig {
         let rows_per_block = BLOCK_DIM / WARP_SIZE;
-        LaunchConfig::new(self.matrix.rows().div_ceil(rows_per_block).max(1), BLOCK_DIM)
+        LaunchConfig::new(
+            self.matrix.rows().div_ceil(rows_per_block).max(1),
+            BLOCK_DIM,
+        )
     }
 
     fn execute_block(&self, block_id: usize, ctx: &mut BlockContext<'_>) {
@@ -168,7 +171,11 @@ enum CsrChoice {
 impl CusparseCsrKernel {
     /// Chooses the execution scheme from the average row length.
     pub fn new(matrix: CsrMatrix) -> Self {
-        let avg = if matrix.rows() == 0 { 0.0 } else { matrix.nnz() as f64 / matrix.rows() as f64 };
+        let avg = if matrix.rows() == 0 {
+            0.0
+        } else {
+            matrix.nnz() as f64 / matrix.rows() as f64
+        };
         let inner = if avg >= WARP_SIZE as f64 / 2.0 {
             CsrChoice::Vector(CsrVectorKernel::new(matrix))
         } else {
@@ -243,7 +250,10 @@ mod tests {
         let matrix = gen::uniform_random(4_096, 4_096, 96, 5);
         let (_, scalar) = run(&CsrScalarKernel::new(matrix.clone()), &matrix);
         let (_, vector) = run(&CsrVectorKernel::new(matrix.clone()), &matrix);
-        assert!(vector > scalar, "vector {vector} should beat scalar {scalar} on long rows");
+        assert!(
+            vector > scalar,
+            "vector {vector} should beat scalar {scalar} on long rows"
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ pub struct Csr5Kernel {
 impl Csr5Kernel {
     /// Builds the kernel with the given tile column height.
     pub fn new(matrix: CsrMatrix, sigma: usize) -> Self {
-        Csr5Kernel { matrix, sigma: sigma.max(1) }
+        Csr5Kernel {
+            matrix,
+            sigma: sigma.max(1),
+        }
     }
 
     fn threads_total(&self) -> usize {
@@ -135,9 +138,15 @@ mod tests {
         let matrix = gen::powerlaw(16_384, 16_384, 16, 1.8, 3);
         let x = DenseVector::ones(16_384);
         let sim = GpuSim::new(DeviceProfile::a100());
-        let csr5 = sim.run(&Csr5Kernel::new(matrix.clone(), 16), x.as_slice()).unwrap().report;
+        let csr5 = sim
+            .run(&Csr5Kernel::new(matrix.clone(), 16), x.as_slice())
+            .unwrap()
+            .report;
         let scalar = sim
-            .run(&crate::csr::CsrScalarKernel::new(matrix.clone()), x.as_slice())
+            .run(
+                &crate::csr::CsrScalarKernel::new(matrix.clone()),
+                x.as_slice(),
+            )
             .unwrap()
             .report;
         assert!(csr5.gflops > scalar.gflops);

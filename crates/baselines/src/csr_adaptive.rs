@@ -41,22 +41,34 @@ impl CsrAdaptiveKernel {
             if len > STREAM_NNZ {
                 // Close the running block, then give the long row its own.
                 if first < row {
-                    row_blocks.push(RowBlock { first_row: first, last_row: row });
+                    row_blocks.push(RowBlock {
+                        first_row: first,
+                        last_row: row,
+                    });
                 }
-                row_blocks.push(RowBlock { first_row: row, last_row: row + 1 });
+                row_blocks.push(RowBlock {
+                    first_row: row,
+                    last_row: row + 1,
+                });
                 first = row + 1;
                 nnz_in_block = 0;
                 continue;
             }
             if nnz_in_block + len > STREAM_NNZ && first < row {
-                row_blocks.push(RowBlock { first_row: first, last_row: row });
+                row_blocks.push(RowBlock {
+                    first_row: first,
+                    last_row: row,
+                });
                 first = row;
                 nnz_in_block = 0;
             }
             nnz_in_block += len;
         }
         if first < matrix.rows() {
-            row_blocks.push(RowBlock { first_row: first, last_row: matrix.rows() });
+            row_blocks.push(RowBlock {
+                first_row: first,
+                last_row: matrix.rows(),
+            });
         }
         CsrAdaptiveKernel { matrix, row_blocks }
     }
@@ -73,18 +85,15 @@ impl SpmvKernel for CsrAdaptiveKernel {
     }
 
     fn launch_config(&self, _device: &DeviceProfile) -> LaunchConfig {
-        LaunchConfig::with_shared_mem(
-            self.row_blocks.len().max(1),
-            BLOCK_DIM,
-            STREAM_NNZ * 4,
-        )
+        LaunchConfig::with_shared_mem(self.row_blocks.len().max(1), BLOCK_DIM, STREAM_NNZ * 4)
     }
 
     fn execute_block(&self, block_id: usize, ctx: &mut BlockContext<'_>) {
-        let Some(&block) = self.row_blocks.get(block_id) else { return };
+        let Some(&block) = self.row_blocks.get(block_id) else {
+            return;
+        };
         let rows = block.last_row - block.first_row;
-        let single_long_row =
-            rows == 1 && self.matrix.row_len(block.first_row) > STREAM_NNZ;
+        let single_long_row = rows == 1 && self.matrix.row_len(block.first_row) > STREAM_NNZ;
         // Row-block descriptor load.
         ctx.thread(0);
         ctx.load_matrix_stream(Access::WarpCoalesced, 2, 4);
@@ -105,7 +114,8 @@ impl SpmvKernel for CsrAdaptiveKernel {
                 ctx.load_matrix_stream(Access::WarpCoalesced, seg, 4);
                 ctx.load_matrix_stream(Access::WarpCoalesced, seg, 4);
                 ctx.gather_x_cost(
-                    &self.matrix.col_indices()[range.start + seg_start..range.start + seg_start + seg],
+                    &self.matrix.col_indices()
+                        [range.start + seg_start..range.start + seg_start + seg],
                 );
                 ctx.mul_add(seg);
             }

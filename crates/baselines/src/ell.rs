@@ -21,7 +21,10 @@ pub struct EllKernel {
 impl EllKernel {
     /// Converts the matrix to ELL.
     pub fn new(matrix: &CsrMatrix) -> Self {
-        EllKernel { ell: EllMatrix::from_csr(matrix), csr: matrix.clone() }
+        EllKernel {
+            ell: EllMatrix::from_csr(matrix),
+            csr: matrix.clone(),
+        }
     }
 
     /// Padding overhead of the conversion: stored slots divided by real
@@ -112,7 +115,12 @@ impl SellKernel {
             slice_widths.push(width);
             padded_slots += width * (last - first);
         }
-        SellKernel { csr: matrix.clone(), slice_rows, slice_widths, padded_slots }
+        SellKernel {
+            csr: matrix.clone(),
+            slice_rows,
+            slice_widths,
+            padded_slots,
+        }
     }
 
     /// Padding overhead of the conversion.

@@ -193,8 +193,19 @@ mod tests {
         let matrix = gen::dense_row_blocks(8_192, 8, 4_000, 5);
         let x = DenseVector::ones(8_192);
         let sim = GpuSim::new(DeviceProfile::a100());
-        let hyb = sim.run(&HybKernel::new(&matrix), x.as_slice()).unwrap().report.gflops;
-        let ell = sim.run(&crate::ell::EllKernel::new(&matrix), x.as_slice()).unwrap().report.gflops;
-        assert!(hyb > ell, "HYB {hyb} should beat ELL {ell} on long-tail rows");
+        let hyb = sim
+            .run(&HybKernel::new(&matrix), x.as_slice())
+            .unwrap()
+            .report
+            .gflops;
+        let ell = sim
+            .run(&crate::ell::EllKernel::new(&matrix), x.as_slice())
+            .unwrap()
+            .report
+            .gflops;
+        assert!(
+            hyb > ell,
+            "HYB {hyb} should beat ELL {ell} on long-tail rows"
+        );
     }
 }

@@ -41,7 +41,7 @@ impl MergeCsrKernel {
             let mid = (lo + hi) / 2;
             // Row `mid` is consumed before diagonal position if its end
             // offset is <= the nnz consumed so far on this diagonal.
-            if (offsets[mid + 1] as usize) <= diagonal - mid - 1 {
+            if (offsets[mid + 1] as usize) < diagonal - mid {
                 lo = mid + 1;
             } else {
                 hi = mid;
@@ -179,9 +179,15 @@ mod tests {
         let matrix = gen::powerlaw(8_192, 8_192, 16, 1.8, 9);
         let x = DenseVector::ones(8_192);
         let sim = GpuSim::new(DeviceProfile::a100());
-        let merge = sim.run(&MergeCsrKernel::new(matrix.clone()), x.as_slice()).unwrap().report;
+        let merge = sim
+            .run(&MergeCsrKernel::new(matrix.clone()), x.as_slice())
+            .unwrap()
+            .report;
         let scalar = sim
-            .run(&crate::csr::CsrScalarKernel::new(matrix.clone()), x.as_slice())
+            .run(
+                &crate::csr::CsrScalarKernel::new(matrix.clone()),
+                x.as_slice(),
+            )
             .unwrap()
             .report;
         assert!(merge.counters.block_imbalance() < scalar.counters.block_imbalance());

@@ -28,7 +28,10 @@ impl PfsOutcome {
 
     /// Performance of a specific candidate, if it was part of the selection.
     pub fn report_for(&self, baseline: Baseline) -> Option<&PerfReport> {
-        self.all.iter().find(|(b, _)| *b == baseline).map(|(_, r)| r)
+        self.all
+            .iter()
+            .find(|(b, _)| *b == baseline)
+            .map(|(_, r)| r)
     }
 
     /// Ratio between the best and worst candidate — the "maximum-minimum
@@ -70,7 +73,11 @@ pub fn run_pfs(
         .max_by(|a, b| a.1.gflops.partial_cmp(&b.1.gflops).expect("finite gflops"))
         .map(|(b, r)| (*b, r.clone()))
         .ok_or_else(|| "no PFS candidates supplied".to_string())?;
-    Ok(PfsOutcome { best, best_report, all })
+    Ok(PfsOutcome {
+        best,
+        best_report,
+        all,
+    })
 }
 
 #[cfg(test)]
@@ -105,8 +112,13 @@ mod tests {
         let matrix = gen::uniform_random(1_024, 1_024, 8, 5);
         let x = DenseVector::ones(1_024);
         let sim = GpuSim::new(DeviceProfile::test_profile());
-        let outcome =
-            run_pfs(&sim, &matrix, x.as_slice(), &[Baseline::Csr5, Baseline::Hyb]).unwrap();
+        let outcome = run_pfs(
+            &sim,
+            &matrix,
+            x.as_slice(),
+            &[Baseline::Csr5, Baseline::Hyb],
+        )
+        .unwrap();
         assert!(outcome.report_for(Baseline::Csr5).is_some());
         assert!(outcome.report_for(Baseline::Acsr).is_none());
     }

@@ -24,7 +24,10 @@ impl RowGroupedCsrKernel {
         let mut order: Vec<usize> = (0..matrix.rows()).collect();
         order.sort_by_key(|&r| std::cmp::Reverse(matrix.row_len(r)));
         let sorted = matrix.select_rows(&order);
-        RowGroupedCsrKernel { sorted, origin_rows: order.iter().map(|&r| r as u32).collect() }
+        RowGroupedCsrKernel {
+            sorted,
+            origin_rows: order.iter().map(|&r| r as u32).collect(),
+        }
     }
 }
 

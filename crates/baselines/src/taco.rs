@@ -109,9 +109,16 @@ mod tests {
         let matrix = gen::powerlaw(16_384, 16_384, 16, 1.9, 7);
         let x = DenseVector::ones(16_384);
         let sim = GpuSim::new(DeviceProfile::a100());
-        let taco = sim.run(&TacoKernel::new(matrix.clone()), x.as_slice()).unwrap().report.gflops;
+        let taco = sim
+            .run(&TacoKernel::new(matrix.clone()), x.as_slice())
+            .unwrap()
+            .report
+            .gflops;
         let csr5 = sim
-            .run(&crate::csr5::Csr5Kernel::new(matrix.clone(), 16), x.as_slice())
+            .run(
+                &crate::csr5::Csr5Kernel::new(matrix.clone(), 16),
+                x.as_slice(),
+            )
             .unwrap()
             .report
             .gflops;

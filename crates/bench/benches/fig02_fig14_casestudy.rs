@@ -25,7 +25,9 @@ fn fig02(c: &mut Criterion) {
 fn fig14(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig14_scfxm1_2r");
     group.sample_size(10);
-    let matrix = named_matrix("scfxm1-2r", SuiteScale(1.0 / 128.0)).expect("catalogue").matrix;
+    let matrix = named_matrix("scfxm1-2r", SuiteScale(1.0 / 128.0))
+        .expect("catalogue")
+        .matrix;
     let x = DenseVector::ones(matrix.cols());
     let sim = GpuSim::new(DeviceProfile::a100());
 
@@ -35,19 +37,33 @@ fn fig14(c: &mut Criterion) {
         let generated = generate(
             &presets::fig14_scfxm_design(),
             &matrix,
-            GeneratorOptions { model_compression: compression },
+            GeneratorOptions {
+                model_compression: compression,
+            },
         )
         .expect("design generates");
         group.bench_function(format!("machine-design/{label}"), |b| {
             b.iter(|| {
-                black_box(sim.run(&generated.kernel, x.as_slice()).expect("runs").report.gflops)
+                black_box(
+                    sim.run(&generated.kernel, x.as_slice())
+                        .expect("runs")
+                        .report
+                        .gflops,
+                )
             })
         });
     }
     for baseline in [Baseline::Csr5, Baseline::Hyb] {
         let kernel = baseline.build(&matrix);
         group.bench_function(format!("baseline/{}", baseline.name()), |b| {
-            b.iter(|| black_box(sim.run(kernel.as_ref(), x.as_slice()).expect("runs").report.gflops))
+            b.iter(|| {
+                black_box(
+                    sim.run(kernel.as_ref(), x.as_slice())
+                        .expect("runs")
+                        .report
+                        .gflops,
+                )
+            })
         });
     }
     group.finish();

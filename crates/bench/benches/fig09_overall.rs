@@ -23,7 +23,9 @@ fn fig09(c: &mut Criterion) {
             let kernel = baseline.build(&matrix);
             group.bench_function(format!("{}/{}", device.name, baseline.name()), |b| {
                 b.iter(|| {
-                    let result = sim.run(kernel.as_ref(), x.as_slice()).expect("baseline runs");
+                    let result = sim
+                        .run(kernel.as_ref(), x.as_slice())
+                        .expect("baseline runs");
                     black_box(result.report.gflops)
                 })
             });

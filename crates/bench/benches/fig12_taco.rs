@@ -24,19 +24,36 @@ fn fig12(c: &mut Criterion) {
         let machine = generate(&presets::csr5_like(16), matrix, GeneratorOptions::default())
             .expect("design generates");
         group.bench_function(format!("taco/{label}"), |b| {
-            b.iter(|| black_box(sim.run(&taco, x.as_slice()).expect("taco runs").report.gflops))
+            b.iter(|| {
+                black_box(
+                    sim.run(&taco, x.as_slice())
+                        .expect("taco runs")
+                        .report
+                        .gflops,
+                )
+            })
         });
         group.bench_function(format!("machine-designed/{label}"), |b| {
             b.iter(|| {
                 black_box(
-                    sim.run(&machine.kernel, x.as_slice()).expect("machine kernel runs").report.gflops,
+                    sim.run(&machine.kernel, x.as_slice())
+                        .expect("machine kernel runs")
+                        .report
+                        .gflops,
                 )
             })
         });
         // Report the modelled speedup once per case for quick inspection.
         let taco_gflops = sim.run(&taco, x.as_slice()).unwrap().report.gflops;
-        let machine_gflops = sim.run(&machine.kernel, x.as_slice()).unwrap().report.gflops;
-        println!("fig12 {label}: machine-designed / TACO = {:.1}x", machine_gflops / taco_gflops);
+        let machine_gflops = sim
+            .run(&machine.kernel, x.as_slice())
+            .unwrap()
+            .report
+            .gflops;
+        println!(
+            "fig12 {label}: machine-designed / TACO = {:.1}x",
+            machine_gflops / taco_gflops
+        );
     }
     group.finish();
 }

@@ -1,5 +1,8 @@
 //! `reproduce` — prints the rows/series of every table and figure of the
-//! paper's evaluation, regenerated on the simulator.
+//! paper's evaluation, regenerated on the simulator, and writes the
+//! machine-readable measurements to `BENCH_results.json` (matrix, winning
+//! format, GFLOPS, search iterations, cache hit rate, wall-clock) so future
+//! PRs have a performance trajectory to diff against.
 //!
 //! ```text
 //! cargo run --release -p alpha-bench --bin reproduce -- all
@@ -11,9 +14,13 @@ use alpha_gpu::DeviceProfile;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let wanted: Vec<String> =
-        if args.is_empty() { vec!["all".to_string()] } else { args.iter().map(|a| a.to_lowercase()).collect() };
+    let wanted: Vec<String> = if args.is_empty() {
+        vec!["all".to_string()]
+    } else {
+        args.iter().map(|a| a.to_lowercase()).collect()
+    };
     let want = |key: &str| wanted.iter().any(|w| w == key || w == "all");
+    let mut records: Vec<BenchRecord> = Vec::new();
 
     let ctx_a100 = ExperimentContext::standard(DeviceProfile::a100());
     let ctx_rtx = ExperimentContext::standard(DeviceProfile::rtx2080());
@@ -27,8 +34,9 @@ fn main() {
     }
 
     // The corpus sweep feeds Figures 9a, 9b, 10, 11, 12 and 13.
-    let needs_corpus =
-        ["fig9a", "fig9b", "fig10", "fig11", "fig12", "fig13"].iter().any(|k| want(k));
+    let needs_corpus = ["fig9a", "fig9b", "fig10", "fig11", "fig12", "fig13"]
+        .iter()
+        .any(|k| want(k));
     if needs_corpus {
         for (device_label, ctx) in [("A100", &ctx_a100), ("RTX 2080", &ctx_rtx)] {
             // The RTX sweep is only needed for Figure 9.
@@ -37,6 +45,11 @@ fn main() {
             }
             println!("== Corpus sweep on {device_label} ==");
             let results = evaluate_corpus(ctx);
+            records.extend(
+                results
+                    .iter()
+                    .map(|r| BenchRecord::from_corpus_result(device_label, r)),
+            );
 
             if want("fig9a") {
                 println!("-- Figure 9a: overall performance vs matrix size --");
@@ -61,7 +74,10 @@ fn main() {
                     );
                 }
                 let mean = geometric_mean(
-                    &results.iter().map(|r| r.mean_speedup_over_artificial()).collect::<Vec<_>>(),
+                    &results
+                        .iter()
+                        .map(|r| r.mean_speedup_over_artificial())
+                        .collect::<Vec<_>>(),
                 );
                 println!("  average speedup over the five artificial formats: {mean:.2}x");
                 println!("  (paper: 3.2x on A100, 2.0x on RTX 2080)\n");
@@ -93,7 +109,9 @@ fn main() {
                     mean(lower, &|r| r.stats.avg_row_len),
                     mean(lower, &|r| r.stats.row_len_variance)
                 );
-                println!("  (paper: upper part has 1.9x higher avg row length, 20x lower variance)\n");
+                println!(
+                    "  (paper: upper part has 1.9x higher avg row length, 20x lower variance)\n"
+                );
             }
 
             if device_label == "A100" {
@@ -102,7 +120,10 @@ fn main() {
                     for (bucket, count) in fig10_histogram(&results) {
                         println!("  {:<10} {:>4} matrices", bucket, count);
                     }
-                    let wins = results.iter().filter(|r| r.speedup_over_pfs() >= 1.0).count();
+                    let wins = results
+                        .iter()
+                        .filter(|r| r.speedup_over_pfs() >= 1.0)
+                        .count();
                     println!(
                         "  AlphaSparse >= PFS in {:.1}% of cases (paper: 99.3%)\n",
                         100.0 * wins as f64 / results.len().max(1) as f64
@@ -153,6 +174,7 @@ fn main() {
             "matrix", "h (no prune)", "h (prune)", "GF (no prune)", "GF (prune)"
         );
         let rows = table3(&ctx_a100);
+        records.extend(rows.iter().map(|row| row.record.clone()));
         for row in &rows {
             println!(
                 "  {:<22} {:>12.2} {:>12.2} {:>12.1} {:>12.1}",
@@ -164,9 +186,8 @@ fn main() {
             );
         }
         if !rows.is_empty() {
-            let avg = |f: &dyn Fn(&Table3Row) -> f64| {
-                rows.iter().map(|r| f(r)).sum::<f64>() / rows.len() as f64
-            };
+            let avg =
+                |f: &dyn Fn(&Table3Row) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
             println!(
                 "  average: {:.2} h -> {:.2} h, {:.1} -> {:.1} GFLOPS (paper: 8.0 h -> 3.2 h, 198.6 -> 231.0)\n",
                 avg(&|r| r.hours_no_pruning),
@@ -180,13 +201,20 @@ fn main() {
     if want("fig14") {
         println!("== Figure 14: case study on scfxm1-2r (A100) ==");
         let result = figure14(&ctx_a100);
-        println!("-- (a) winning operator graph --\n{}", result.operator_graph);
+        records.push(result.record.clone());
+        println!(
+            "-- (a) winning operator graph --\n{}",
+            result.operator_graph
+        );
         println!("-- (b) performance comparison --");
         for row in &result.comparison {
             println!("  {:<20} {:>8.1} GFLOPS", row.design, row.gflops);
         }
         println!("-- (c) ablation of the key optimisations --");
-        println!("  origin (no compression, no pruning): {:>8.1} GFLOPS", result.gflops_origin);
+        println!(
+            "  origin (no compression, no pruning): {:>8.1} GFLOPS",
+            result.gflops_origin
+        );
         println!(
             "  + format compression:                {:>8.1} GFLOPS ({:+.0}%)",
             result.gflops_compression,
@@ -198,5 +226,20 @@ fn main() {
             100.0 * (result.gflops_full / result.gflops_origin.max(1e-9) - 1.0)
         );
         println!("  (paper: +32% from compression, +78% in total)\n");
+    }
+
+    // Only (over)write the trajectory file when this run actually measured
+    // something — `reproduce fig2` must not clobber a full run's records.
+    if records.is_empty() {
+        println!("no searches measured in this run; BENCH_results.json left untouched");
+    } else {
+        match write_results_json("BENCH_results.json", &records) {
+            Ok(()) => println!(
+                "wrote {} measurement record(s) to BENCH_results.json (A100 cache: {:?})",
+                records.len(),
+                ctx_a100.cache.stats()
+            ),
+            Err(e) => eprintln!("could not write BENCH_results.json: {e}"),
+        }
     }
 }

@@ -12,10 +12,15 @@ use alpha_baselines::{run_pfs, Baseline, PfsOutcome, TacoKernel};
 use alpha_gpu::{DeviceProfile, GpuSim};
 use alpha_matrix::suite::{self, CorpusConfig, SuiteScale};
 use alpha_matrix::{CsrMatrix, DenseVector, MatrixStats};
-use alpha_search::{search, SearchConfig, SearchOutcome};
+use alpha_search::{search_with_cache, DesignCache, SearchConfig, SearchOutcome};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Scale of one experiment run: how large the corpus, named matrices and
-/// search budgets are.
+/// search budgets are.  The context also carries the [`DesignCache`] every
+/// search of the run shares, so sweeps that revisit a matrix (e.g. the
+/// pruning ablation, which searches each Table III matrix twice) reuse
+/// evaluations instead of re-simulating them.
 #[derive(Debug, Clone)]
 pub struct ExperimentContext {
     /// Target device profile.
@@ -26,6 +31,8 @@ pub struct ExperimentContext {
     pub suite_scale: SuiteScale,
     /// Kernel evaluations allowed per search.
     pub search_budget: usize,
+    /// Design cache shared by every search in this experiment run.
+    pub cache: Arc<DesignCache>,
 }
 
 impl ExperimentContext {
@@ -41,6 +48,7 @@ impl ExperimentContext {
             },
             suite_scale: SuiteScale(1.0 / 256.0),
             search_budget: 25,
+            cache: Arc::new(DesignCache::new()),
         }
     }
 
@@ -56,6 +64,7 @@ impl ExperimentContext {
             },
             suite_scale: SuiteScale(1.0 / 64.0),
             search_budget: 60,
+            cache: Arc::new(DesignCache::new()),
         }
     }
 
@@ -66,6 +75,15 @@ impl ExperimentContext {
             mutations_per_seed: 3,
             ..SearchConfig::default()
         }
+    }
+
+    /// Runs one search through this context's shared design cache.
+    pub fn search(
+        &self,
+        matrix: &CsrMatrix,
+        config: &SearchConfig,
+    ) -> Result<SearchOutcome, String> {
+        search_with_cache(matrix, config, &self.cache)
     }
 }
 
@@ -82,6 +100,8 @@ pub struct CorpusResult {
     pub taco_gflops: f64,
     /// Search outcome for AlphaSparse.
     pub alphasparse: SearchOutcome,
+    /// Wall-clock seconds the AlphaSparse search took on the host.
+    pub search_wall_secs: f64,
 }
 
 impl CorpusResult {
@@ -136,14 +156,19 @@ pub fn evaluate_matrix(
 ) -> Option<CorpusResult> {
     let x = DenseVector::ones(matrix.cols());
     let pfs = run_pfs(sim, matrix, x.as_slice(), &Baseline::pfs_set()).ok()?;
-    let taco = sim.run(&TacoKernel::new(matrix.clone()), x.as_slice()).ok()?;
-    let alphasparse = search(matrix, &ctx.search_config()).ok()?;
+    let taco = sim
+        .run(&TacoKernel::new(matrix.clone()), x.as_slice())
+        .ok()?;
+    let search_start = Instant::now();
+    let alphasparse = ctx.search(matrix, &ctx.search_config()).ok()?;
+    let search_wall_secs = search_start.elapsed().as_secs_f64();
     Some(CorpusResult {
         name: name.to_string(),
         stats: MatrixStats::from_csr(matrix),
         pfs,
         taco_gflops: taco.report.gflops,
         alphasparse,
+        search_wall_secs,
     })
 }
 
@@ -169,20 +194,42 @@ pub fn figure2(ctx: &ExperimentContext) -> Vec<Fig2Row> {
     let sim = GpuSim::new(ctx.device.clone());
     let x = DenseVector::ones(matrix.cols());
     let mut rows = Vec::new();
-    for baseline in [Baseline::CsrAdaptive, Baseline::RowGroupedCsr, Baseline::Sell] {
+    for baseline in [
+        Baseline::CsrAdaptive,
+        Baseline::RowGroupedCsr,
+        Baseline::Sell,
+    ] {
         let kernel = baseline.build(&matrix);
-        let report = sim.run(kernel.as_ref(), x.as_slice()).expect("baseline runs").report;
-        rows.push(Fig2Row { design: baseline.name().to_string(), gflops: report.gflops });
+        let report = sim
+            .run(kernel.as_ref(), x.as_slice())
+            .expect("baseline runs")
+            .report;
+        rows.push(Fig2Row {
+            design: baseline.name().to_string(),
+            gflops: report.gflops,
+        });
     }
     for (name, graph) in [
-        ("SELL blocking + CSR-Adaptive reduction", alpha_graph::presets::fig2_sell_blocking_adaptive_reduction()),
-        ("+ row-grouped blocking (triple mix)", alpha_graph::presets::fig2_triple_mix()),
+        (
+            "SELL blocking + CSR-Adaptive reduction",
+            alpha_graph::presets::fig2_sell_blocking_adaptive_reduction(),
+        ),
+        (
+            "+ row-grouped blocking (triple mix)",
+            alpha_graph::presets::fig2_triple_mix(),
+        ),
     ] {
         let generated =
             alpha_codegen::generate(&graph, &matrix, alpha_codegen::GeneratorOptions::default())
                 .expect("mixed design generates");
-        let report = sim.run(&generated.kernel, x.as_slice()).expect("mixed design runs").report;
-        rows.push(Fig2Row { design: name.to_string(), gflops: report.gflops });
+        let report = sim
+            .run(&generated.kernel, x.as_slice())
+            .expect("mixed design runs")
+            .report;
+        rows.push(Fig2Row {
+            design: name.to_string(),
+            gflops: report.gflops,
+        });
     }
     rows
 }
@@ -204,13 +251,17 @@ pub struct Table3Row {
     pub gflops_no_pruning: f64,
     /// GFLOPS of the winner found with pruning.
     pub gflops_pruning: f64,
+    /// Machine-readable record of the full-system (pruned) search.
+    pub record: BenchRecord,
 }
 
 /// Table III: search time and winner quality with and without pruning.
 pub fn table3(ctx: &ExperimentContext) -> Vec<Table3Row> {
     let mut rows = Vec::new();
     for name in suite::table3_names() {
-        let matrix = suite::named_matrix(name, ctx.suite_scale).expect("catalogue entry").matrix;
+        let matrix = suite::named_matrix(name, ctx.suite_scale)
+            .expect("catalogue entry")
+            .matrix;
         let mut pruned_cfg = ctx.search_config();
         pruned_cfg.enable_pruning = true;
         let mut unpruned_cfg = ctx.search_config();
@@ -218,12 +269,17 @@ pub fn table3(ctx: &ExperimentContext) -> Vec<Table3Row> {
         // Without pruning the paper always runs into the 8-hour cap; model
         // that by giving the unpruned search a larger iteration budget.
         unpruned_cfg.max_iterations = ctx.search_budget * 3;
-        let (Ok(pruned), Ok(unpruned)) = (search(&matrix, &pruned_cfg), search(&matrix, &unpruned_cfg))
-        else {
+        // Both searches share ctx.cache: candidates the pruned search already
+        // simulated are served from the cache during the unpruned search.
+        let pruned_start = Instant::now();
+        let pruned_result = ctx.search(&matrix, &pruned_cfg);
+        let pruned_wall_secs = pruned_start.elapsed().as_secs_f64();
+        let (Ok(pruned), Ok(unpruned)) = (pruned_result, ctx.search(&matrix, &unpruned_cfg)) else {
             continue;
         };
         rows.push(Table3Row {
             matrix: name.to_string(),
+            record: BenchRecord::from_search(ctx.device.name, name, &pruned, pruned_wall_secs),
             hours_no_pruning: unpruned.stats.search_hours,
             hours_pruning: pruned.stats.search_hours,
             gflops_no_pruning: unpruned.best_report.gflops,
@@ -251,14 +307,17 @@ pub struct Fig14Result {
     pub gflops_compression: f64,
     /// GFLOPS with format compression and pruning (the full system).
     pub gflops_full: f64,
+    /// Machine-readable record of the full-system search.
+    pub record: BenchRecord,
 }
 
 /// Figure 14: the machine-designed format for `scfxm1-2r`, its performance
 /// against the artificial formats and PFS, and the ablation of the two key
 /// optimisations.
 pub fn figure14(ctx: &ExperimentContext) -> Fig14Result {
-    let matrix =
-        suite::named_matrix("scfxm1-2r", ctx.suite_scale).expect("catalogue entry").matrix;
+    let matrix = suite::named_matrix("scfxm1-2r", ctx.suite_scale)
+        .expect("catalogue entry")
+        .matrix;
     let sim = GpuSim::new(ctx.device.clone());
     let x = DenseVector::ones(matrix.cols());
 
@@ -266,26 +325,39 @@ pub fn figure14(ctx: &ExperimentContext) -> Fig14Result {
     let pfs = run_pfs(&sim, &matrix, x.as_slice(), &Baseline::pfs_set()).expect("PFS runs");
     for baseline in Baseline::figure9_set() {
         let gflops = pfs.report_for(baseline).map(|r| r.gflops).unwrap_or(0.0);
-        comparison.push(Fig2Row { design: baseline.name().to_string(), gflops });
+        comparison.push(Fig2Row {
+            design: baseline.name().to_string(),
+            gflops,
+        });
     }
-    comparison.push(Fig2Row { design: "PFS".to_string(), gflops: pfs.best_gflops() });
+    comparison.push(Fig2Row {
+        design: "PFS".to_string(),
+        gflops: pfs.best_gflops(),
+    });
 
     // Full system.
-    let full = search(&matrix, &ctx.search_config()).expect("search succeeds");
-    comparison
-        .push(Fig2Row { design: "AlphaSparse".to_string(), gflops: full.best_report.gflops });
+    let full_start = Instant::now();
+    let full = ctx
+        .search(&matrix, &ctx.search_config())
+        .expect("search succeeds");
+    let full_wall_secs = full_start.elapsed().as_secs_f64();
+    comparison.push(Fig2Row {
+        design: "AlphaSparse".to_string(),
+        gflops: full.best_report.gflops,
+    });
 
     // Ablations: no compression + no pruning ("origin"), compression only.
     let mut origin_cfg = ctx.search_config();
     origin_cfg.enable_model_compression = false;
     origin_cfg.enable_pruning = false;
-    let origin = search(&matrix, &origin_cfg).expect("search succeeds");
+    let origin = ctx.search(&matrix, &origin_cfg).expect("search succeeds");
     let mut compress_cfg = ctx.search_config();
     compress_cfg.enable_pruning = false;
-    let compression = search(&matrix, &compress_cfg).expect("search succeeds");
+    let compression = ctx.search(&matrix, &compress_cfg).expect("search succeeds");
 
     Fig14Result {
         operator_graph: full.best_graph.to_string().trim_end().to_string(),
+        record: BenchRecord::from_search(ctx.device.name, "scfxm1-2r", &full, full_wall_secs),
         comparison,
         gflops_origin: origin.best_report.gflops,
         gflops_compression: compression.best_report.gflops,
@@ -307,7 +379,9 @@ pub fn fig10_histogram(results: &[CorpusResult]) -> Vec<(String, usize)> {
         let bucket = edges.iter().position(|&e| s < e).unwrap_or(edges.len() - 1);
         counts[bucket] += 1;
     }
-    let labels = ["<0.8", "0.8-1.0", "1.0-1.2", "1.2-1.4", "1.4-1.6", "1.6-1.8", "1.8-2.0", ">2.0"];
+    let labels = [
+        "<0.8", "0.8-1.0", "1.0-1.2", "1.2-1.4", "1.4-1.6", "1.6-1.8", "1.8-2.0", ">2.0",
+    ];
     labels.iter().map(|l| l.to_string()).zip(counts).collect()
 }
 
@@ -317,16 +391,28 @@ pub fn speedup_by_regularity(
     results: &[CorpusResult],
     speedup: impl Fn(&CorpusResult) -> f64,
 ) -> (f64, f64) {
-    let regular: Vec<f64> =
-        results.iter().filter(|r| !r.stats.is_irregular()).map(&speedup).collect();
-    let irregular: Vec<f64> =
-        results.iter().filter(|r| r.stats.is_irregular()).map(&speedup).collect();
+    let regular: Vec<f64> = results
+        .iter()
+        .filter(|r| !r.stats.is_irregular())
+        .map(&speedup)
+        .collect();
+    let irregular: Vec<f64> = results
+        .iter()
+        .filter(|r| r.stats.is_irregular())
+        .map(&speedup)
+        .collect();
     (geometric_mean(&regular), geometric_mean(&irregular))
 }
 
 /// Figure 13: average search iterations for regular vs irregular matrices.
 pub fn fig13_iterations(results: &[CorpusResult]) -> (f64, f64) {
-    let mean = |xs: &[f64]| if xs.is_empty() { 0.0 } else { xs.iter().sum::<f64>() / xs.len() as f64 };
+    let mean = |xs: &[f64]| {
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    };
     let regular: Vec<f64> = results
         .iter()
         .filter(|r| !r.stats.is_irregular())
@@ -340,6 +426,120 @@ pub fn fig13_iterations(results: &[CorpusResult]) -> (f64, f64) {
     (mean(&regular), mean(&irregular))
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable results (BENCH_results.json)
+// ---------------------------------------------------------------------------
+
+/// One machine-readable measurement row of a `reproduce` run.  Serialised to
+/// `BENCH_results.json` so successive PRs accumulate a performance
+/// trajectory that scripts can diff.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Device the measurement was modelled on.
+    pub device: String,
+    /// Matrix (corpus entry or named catalogue matrix).
+    pub matrix: String,
+    /// The winning design: the machine-designed operator-graph signature, or
+    /// a baseline format name.
+    pub format: String,
+    /// Modelled GFLOPS of the winner.
+    pub gflops: f64,
+    /// Candidate evaluations the search consumed (0 for baselines).
+    pub search_iterations: usize,
+    /// Design-cache hit rate of the search (0 for baselines).
+    pub cache_hit_rate: f64,
+    /// Host wall-clock seconds of the search (0 for baselines).
+    pub wall_secs: f64,
+}
+
+impl BenchRecord {
+    /// Builds the record for one AlphaSparse search outcome.
+    pub fn from_search(
+        device: &str,
+        matrix: &str,
+        outcome: &SearchOutcome,
+        wall_secs: f64,
+    ) -> Self {
+        BenchRecord {
+            device: device.to_string(),
+            matrix: matrix.to_string(),
+            format: outcome.best_graph.signature(),
+            gflops: outcome.best_report.gflops,
+            search_iterations: outcome.stats.iterations,
+            cache_hit_rate: outcome.stats.cache_hit_rate(),
+            wall_secs,
+        }
+    }
+
+    /// Builds the record for one corpus result's AlphaSparse search.
+    pub fn from_corpus_result(device: &str, result: &CorpusResult) -> Self {
+        BenchRecord {
+            device: device.to_string(),
+            matrix: result.name.clone(),
+            format: result.alphasparse.best_graph.signature(),
+            gflops: result.alphasparse.best_report.gflops,
+            search_iterations: result.alphasparse.stats.iterations,
+            cache_hit_rate: result.alphasparse.stats.cache_hit_rate(),
+            wall_secs: result.search_wall_secs,
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serialises the records as a JSON array (pretty-printed, stable field
+/// order; no external JSON crate needed).
+pub fn results_to_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"device\": \"{}\", \"matrix\": \"{}\", \"format\": \"{}\", \
+             \"gflops\": {}, \"search_iterations\": {}, \"cache_hit_rate\": {}, \
+             \"wall_secs\": {}}}{}\n",
+            json_escape(&r.device),
+            json_escape(&r.matrix),
+            json_escape(&r.format),
+            json_f64(r.gflops),
+            r.search_iterations,
+            json_f64(r.cache_hit_rate),
+            json_f64(r.wall_secs),
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Writes the records to `path` as JSON.
+pub fn write_results_json(
+    path: impl AsRef<std::path::Path>,
+    records: &[BenchRecord],
+) -> std::io::Result<()> {
+    std::fs::write(path, results_to_json(records))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +550,7 @@ mod tests {
             corpus: CorpusConfig::tiny(),
             suite_scale: SuiteScale(1.0 / 512.0),
             search_budget: 8,
+            cache: Arc::new(DesignCache::new()),
         }
     }
 
@@ -375,7 +576,10 @@ mod tests {
             assert!(r.speedup_over_taco() > 0.0);
         }
         let histogram = fig10_histogram(&results);
-        assert_eq!(histogram.iter().map(|(_, c)| c).sum::<usize>(), results.len());
+        assert_eq!(
+            histogram.iter().map(|(_, c)| c).sum::<usize>(),
+            results.len()
+        );
         let (reg, irr) = fig13_iterations(&results);
         assert!(reg >= 0.0 && irr >= 0.0);
     }
@@ -384,5 +588,73 @@ mod tests {
     fn geometric_mean_basics() {
         assert_eq!(geometric_mean(&[]), 0.0);
         assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_cache_speeds_up_the_pruning_ablation() {
+        // table3 searches every matrix twice (pruned + unpruned) through the
+        // context's shared cache: the second search must see hits.
+        let ctx = tiny_context();
+        let rows = table3(&ctx);
+        assert!(!rows.is_empty());
+        let stats = ctx.cache.stats();
+        assert!(
+            stats.hits > 0,
+            "the ablation's second search should reuse evaluations"
+        );
+    }
+
+    #[test]
+    fn bench_records_serialise_to_valid_json() {
+        let records = vec![
+            BenchRecord {
+                device: "A100".into(),
+                matrix: "powerlaw_1024".into(),
+                format: "COMPRESS;[0]BMT_ROW_BLOCK(rows=1);".into(),
+                gflops: 123.4,
+                search_iterations: 25,
+                cache_hit_rate: 0.5,
+                wall_secs: 1.25,
+            },
+            BenchRecord {
+                device: "RTX2080".into(),
+                matrix: "with \"quotes\"\nand newline".into(),
+                format: "CSR5".into(),
+                gflops: 56.7,
+                search_iterations: 0,
+                cache_hit_rate: 0.0,
+                wall_secs: 0.0,
+            },
+        ];
+        let json = results_to_json(&records);
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"gflops\": 123.4"));
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\\n"));
+        assert_eq!(json.matches("\"device\"").count(), 2);
+        // Round-trip through a file.
+        let dir = std::env::temp_dir().join("alpha_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_results.json");
+        write_results_json(&path, &records).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), json);
+    }
+
+    #[test]
+    fn corpus_results_map_to_records() {
+        let ctx = tiny_context();
+        let results = evaluate_corpus(&ctx);
+        assert!(!results.is_empty());
+        let records: Vec<BenchRecord> = results
+            .iter()
+            .map(|r| BenchRecord::from_corpus_result("A100", r))
+            .collect();
+        assert_eq!(records.len(), results.len());
+        for record in &records {
+            assert!(record.gflops > 0.0);
+            assert!(record.search_iterations > 0);
+            assert!(!record.format.is_empty());
+        }
     }
 }

@@ -65,10 +65,17 @@ impl CompressedArray {
         }
         let predicted = match &self.model {
             CompressionModel::Linear { base, slope } => base + slope * i as i64,
-            CompressionModel::Step { base, slope, period } => {
-                base + slope * (i / period.max(&1).to_owned()) as i64
-            }
-            CompressionModel::PeriodicLinear { base, slope, period, residuals } => {
+            CompressionModel::Step {
+                base,
+                slope,
+                period,
+            } => base + slope * (i / period.max(&1).to_owned()) as i64,
+            CompressionModel::PeriodicLinear {
+                base,
+                slope,
+                period,
+                residuals,
+            } => {
                 let p = (*period).max(1);
                 base + slope * (i / p) as i64 + residuals[i % p]
             }
@@ -132,7 +139,10 @@ fn fit_linear(data: &[u32], max_exceptions: usize) -> Option<CompressedArray> {
     let base = data[0] as i64;
     let slope = data[1] as i64 - base;
     let exceptions = collect_exceptions(data, max_exceptions, |i| base + slope * i as i64)?;
-    Some(CompressedArray { model: CompressionModel::Linear { base, slope }, exceptions })
+    Some(CompressedArray {
+        model: CompressionModel::Linear { base, slope },
+        exceptions,
+    })
 }
 
 fn fit_step(data: &[u32], max_exceptions: usize) -> Option<CompressedArray> {
@@ -145,7 +155,14 @@ fn fit_step(data: &[u32], max_exceptions: usize) -> Option<CompressedArray> {
     let slope = data[period] as i64 - base;
     let exceptions =
         collect_exceptions(data, max_exceptions, |i| base + slope * (i / period) as i64)?;
-    Some(CompressedArray { model: CompressionModel::Step { base, slope, period }, exceptions })
+    Some(CompressedArray {
+        model: CompressionModel::Step {
+            base,
+            slope,
+            period,
+        },
+        exceptions,
+    })
 }
 
 fn fit_periodic_linear(data: &[u32], max_exceptions: usize) -> Option<CompressedArray> {
@@ -160,7 +177,12 @@ fn fit_periodic_linear(data: &[u32], max_exceptions: usize) -> Option<Compressed
         let predict = |i: usize| base + slope * (i / period) as i64 + residuals[i % period];
         if let Some(exceptions) = collect_exceptions(data, max_exceptions, predict) {
             return Some(CompressedArray {
-                model: CompressionModel::PeriodicLinear { base, slope, period, residuals },
+                model: CompressionModel::PeriodicLinear {
+                    base,
+                    slope,
+                    period,
+                    residuals,
+                },
                 exceptions,
             });
         }
@@ -184,7 +206,10 @@ mod tests {
     fn linear_array_compresses() {
         let data: Vec<u32> = (0..1000).map(|i| 64 * i + 7).collect();
         let c = roundtrip(&data);
-        assert!(matches!(c.model, CompressionModel::Linear { base: 7, slope: 64 }));
+        assert!(matches!(
+            c.model,
+            CompressionModel::Linear { base: 7, slope: 64 }
+        ));
         assert!(c.compressed_bytes() < data.len());
     }
 
@@ -203,7 +228,10 @@ mod tests {
             .map(|i| pattern[i % 4] + 100 * (i / 4) as u32)
             .collect();
         let c = roundtrip(&data);
-        assert!(matches!(c.model, CompressionModel::PeriodicLinear { period: 4, .. }));
+        assert!(matches!(
+            c.model,
+            CompressionModel::PeriodicLinear { period: 4, .. }
+        ));
     }
 
     #[test]
@@ -218,7 +246,9 @@ mod tests {
     #[test]
     fn irregular_array_is_not_compressed() {
         // Pseudo-random values defeat every model.
-        let data: Vec<u32> = (0..1000u32).map(|i| i.wrapping_mul(2654435761) % 10_000).collect();
+        let data: Vec<u32> = (0..1000u32)
+            .map(|i| i.wrapping_mul(2654435761) % 10_000)
+            .collect();
         assert!(compress_array(&data).is_none());
     }
 

@@ -25,7 +25,12 @@ pub fn emit_cuda(metadata: &MatrixMetadataSet, format: &MachineFormat) -> String
         metadata.original_nnz,
         metadata.partitions.len()
     ));
-    for (i, (plan, pf)) in metadata.partitions.iter().zip(&format.partitions).enumerate() {
+    for (i, (plan, pf)) in metadata
+        .partitions
+        .iter()
+        .zip(&format.partitions)
+        .enumerate()
+    {
         out.push_str(&emit_partition(i, plan, pf));
         out.push('\n');
     }
@@ -72,7 +77,11 @@ fn emit_partition(index: usize, plan: &PartitionPlan, pf: &PartitionFormat) -> S
             out.push_str(&format!(
                 "  // BMT_ROW_BLOCK: each thread owns {rows_per_thread} row(s); \
                  {} storage\n",
-                if plan.interleaved { "interleaved (column-major per block)" } else { "row-major" }
+                if plan.interleaved {
+                    "interleaved (column-major per block)"
+                } else {
+                    "row-major"
+                }
             ));
             out.push_str("  for (int bmtb = blockIdx.x; ; bmtb += gridDim.x) {\n");
             out.push_str("    int bmt = bmtb * blockDim.x + threadIdx.x;\n");
@@ -81,7 +90,11 @@ fn emit_partition(index: usize, plan: &PartitionPlan, pf: &PartitionFormat) -> S
             out.push_str("    for (int k = 0; k < bmt_size; ++k) {\n");
             out.push_str(&format!(
                 "      int idx = {};\n",
-                if plan.interleaved { "bmtb_base + k * blockDim.x + threadIdx.x" } else { "bmt_offset + k" }
+                if plan.interleaved {
+                    "bmtb_base + k * blockDim.x + threadIdx.x"
+                } else {
+                    "bmt_offset + k"
+                }
             ));
             out.push_str("      partial[row_of(k)] += values[idx] * x[col_indices[idx]];\n");
             out.push_str("    }\n");
@@ -91,17 +104,23 @@ fn emit_partition(index: usize, plan: &PartitionPlan, pf: &PartitionFormat) -> S
                 "  // BMT_COL_BLOCK: {threads_per_row} threads cooperate on each row\n"
             ));
             out.push_str("  int lane = threadIdx.x % THREADS_PER_ROW;\n");
-            out.push_str("  int row  = (blockIdx.x * blockDim.x + threadIdx.x) / THREADS_PER_ROW;\n");
+            out.push_str(
+                "  int row  = (blockIdx.x * blockDim.x + threadIdx.x) / THREADS_PER_ROW;\n",
+            );
             out.push_str(&emit_addressing(pf, "  "));
             out.push_str("  float partial = 0.f;\n");
-            out.push_str("  for (int idx = row_start + lane; idx < row_end; idx += THREADS_PER_ROW)\n");
+            out.push_str(
+                "  for (int idx = row_start + lane; idx < row_end; idx += THREADS_PER_ROW)\n",
+            );
             out.push_str("    partial += values[idx] * x[col_indices[idx]];\n");
         }
         Mapping::NnzSplit { nnz_per_thread } => {
             out.push_str(&format!(
                 "  // BMT_NNZ_BLOCK: each thread owns {nnz_per_thread} consecutive non-zeros\n"
             ));
-            out.push_str("  int first_nz = (blockIdx.x * blockDim.x + threadIdx.x) * NNZ_PER_THREAD;\n");
+            out.push_str(
+                "  int first_nz = (blockIdx.x * blockDim.x + threadIdx.x) * NNZ_PER_THREAD;\n",
+            );
             out.push_str(&emit_addressing(pf, "  "));
             out.push_str("  int row = bmt_row_starts[thread_id];\n");
             out.push_str("  float partial = 0.f;\n");
@@ -140,7 +159,9 @@ fn emit_reduction(plan: &PartitionPlan) -> String {
             out.push_str("  // THREAD_TOTAL_RED: accumulate the thread's chunk in a register\n");
         }
         ThreadReduction::Bitmap => {
-            out.push_str("  // THREAD_BITMAP_RED: per-row partials tracked with a boundary bitmap\n");
+            out.push_str(
+                "  // THREAD_BITMAP_RED: per-row partials tracked with a boundary bitmap\n",
+            );
         }
     }
     match plan.reduction.warp {
@@ -201,7 +222,11 @@ fn emit_host_launcher(metadata: &MatrixMetadataSet, format: &MachineFormat) -> S
 fn describe_model(model: &CompressionModel, exceptions: usize) -> String {
     let base = match model {
         CompressionModel::Linear { base, slope } => format!("value(i) = {base} + {slope} * i"),
-        CompressionModel::Step { base, slope, period } => {
+        CompressionModel::Step {
+            base,
+            slope,
+            period,
+        } => {
             format!("value(i) = {base} + {slope} * (i / {period})")
         }
         CompressionModel::PeriodicLinear { slope, period, .. } => {
@@ -223,7 +248,9 @@ mod tests {
 
     fn source_for(graph: &alpha_graph::OperatorGraph) -> String {
         let matrix = gen::uniform_random(512, 512, 8, 3);
-        generate(graph, &matrix, GeneratorOptions::default()).unwrap().source
+        generate(graph, &matrix, GeneratorOptions::default())
+            .unwrap()
+            .source
     }
 
     #[test]

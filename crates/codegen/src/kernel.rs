@@ -70,7 +70,10 @@ impl GeneratedKernel {
             .max()
             .unwrap_or(WARP_SIZE)
             .max(WARP_SIZE);
-        let uses_shared = metadata.partitions.iter().any(|p| p.reduction.block.is_some());
+        let uses_shared = metadata
+            .partitions
+            .iter()
+            .any(|p| p.reduction.block.is_some());
         let shared_mem_bytes = if uses_shared { block_dim * 8 } else { 0 };
         let name = format!(
             "alphasparse[{}]",
@@ -133,8 +136,11 @@ impl GeneratedKernel {
         let last_row = (first_row + rows_per_block).min(rows);
         let threads_in_block = (last_row - first_row).div_ceil(rows_per_thread);
         let use_block_red = plan.reduction.block.is_some();
-        let access =
-            if plan.interleaved { Access::WarpCoalesced } else { Access::ThreadContiguous };
+        let access = if plan.interleaved {
+            Access::WarpCoalesced
+        } else {
+            Access::ThreadContiguous
+        };
         let mut staged: Vec<(usize, Scalar)> = Vec::new();
 
         for t in 0..threads_in_block {
@@ -143,7 +149,9 @@ impl GeneratedKernel {
             let chunk_first = first_row + t * rows_per_thread;
             let chunk_last = (chunk_first + rows_per_thread).min(last_row);
             let chunk_index = chunk_first / rows_per_thread;
-            let raw_len: usize = (chunk_first..chunk_last).map(|r| plan.matrix.row_len(r)).sum();
+            let raw_len: usize = (chunk_first..chunk_last)
+                .map(|r| plan.matrix.row_len(r))
+                .sum();
             let padded_len = layout
                 .padded_chunk_lens
                 .get(chunk_index)
@@ -502,7 +510,8 @@ mod tests {
         let matrix = gen::uniform_random(8_192, 8_192, 16, 5);
         let x = DenseVector::ones(8_192);
         let sim = GpuSim::new(DeviceProfile::a100());
-        let scalar = generate(&presets::csr_scalar(), &matrix, GeneratorOptions::default()).unwrap();
+        let scalar =
+            generate(&presets::csr_scalar(), &matrix, GeneratorOptions::default()).unwrap();
         let sell = generate(&presets::sell_like(), &matrix, GeneratorOptions::default()).unwrap();
         let scalar_perf = sim.run(&scalar.kernel, x.as_slice()).unwrap().report;
         let sell_perf = sim.run(&sell.kernel, x.as_slice()).unwrap().report;
@@ -521,8 +530,14 @@ mod tests {
         let matrix = gen::powerlaw(8_192, 8_192, 16, 1.8, 9);
         let x = DenseVector::ones(8_192);
         let sim = GpuSim::new(DeviceProfile::a100());
-        let scalar = generate(&presets::csr_scalar(), &matrix, GeneratorOptions::default()).unwrap();
-        let csr5 = generate(&presets::csr5_like(16), &matrix, GeneratorOptions::default()).unwrap();
+        let scalar =
+            generate(&presets::csr_scalar(), &matrix, GeneratorOptions::default()).unwrap();
+        let csr5 = generate(
+            &presets::csr5_like(16),
+            &matrix,
+            GeneratorOptions::default(),
+        )
+        .unwrap();
         let scalar_perf = sim.run(&scalar.kernel, x.as_slice()).unwrap().report;
         let csr5_perf = sim.run(&csr5.kernel, x.as_slice()).unwrap().report;
         assert!(
@@ -549,7 +564,11 @@ mod tests {
             let generated = generate(&graph, &matrix, GeneratorOptions::default()).unwrap();
             let device = DeviceProfile::a100();
             let lc = generated.kernel.launch_config(&device);
-            assert!(lc.validate(&device).is_ok(), "{name}: {:?}", lc.validate(&device));
+            assert!(
+                lc.validate(&device).is_ok(),
+                "{name}: {:?}",
+                lc.validate(&device)
+            );
         }
     }
 
@@ -561,13 +580,17 @@ mod tests {
         let on = generate(
             &presets::sell_sigma_like(32),
             &matrix,
-            GeneratorOptions { model_compression: true },
+            GeneratorOptions {
+                model_compression: true,
+            },
         )
         .unwrap();
         let off = generate(
             &presets::sell_sigma_like(32),
             &matrix,
-            GeneratorOptions { model_compression: false },
+            GeneratorOptions {
+                model_compression: false,
+            },
         )
         .unwrap();
         assert!(on.kernel.format_bytes() <= off.kernel.format_bytes());

@@ -6,8 +6,8 @@
 //! non-zeros) each block and each thread own, and the padded chunk lengths
 //! produced by the `*_PAD` operators.
 
-use alpha_graph::{Mapping, PadScope, PartitionPlan};
 use alpha_gpu::WARP_SIZE;
+use alpha_graph::{Mapping, PadScope, PartitionPlan};
 
 /// Resolved layout of one partition.
 #[derive(Debug, Clone)]
@@ -138,7 +138,7 @@ fn apply_padding(plan: &PartitionPlan, raw: &[u32], threads_per_block: usize) ->
             let mut out = Vec::with_capacity(raw.len());
             for chunk in raw.chunks(group) {
                 let width = round_up(chunk.iter().copied().max().unwrap_or(0).max(1));
-                out.extend(std::iter::repeat(width).take(chunk.len()));
+                out.extend(std::iter::repeat_n(width, chunk.len()));
             }
             out
         }
@@ -240,7 +240,10 @@ mod tests {
         let plan = plan_for(&presets::figure5_example());
         let layout = PartitionLayout::new(&plan);
         let multiple = plan.padding.unwrap().multiple as u32;
-        assert!(layout.padded_chunk_lens.iter().all(|&l| l % multiple == 0 && l > 0));
+        assert!(layout
+            .padded_chunk_lens
+            .iter()
+            .all(|&l| l % multiple == 0 && l > 0));
     }
 
     #[test]

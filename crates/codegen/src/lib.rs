@@ -39,7 +39,9 @@ pub struct GeneratorOptions {
 
 impl Default for GeneratorOptions {
     fn default() -> Self {
-        GeneratorOptions { model_compression: true }
+        GeneratorOptions {
+            model_compression: true,
+        }
     }
 }
 
@@ -74,14 +76,18 @@ pub fn generate_from_metadata(
     let source = emit::emit_cuda(metadata, &format);
     let kernel =
         kernel::GeneratedKernel::new(metadata.clone(), &format).with_source(source.clone());
-    GeneratedSpmv { kernel, format, source }
+    GeneratedSpmv {
+        kernel,
+        format,
+        source,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use alpha_graph::presets;
     use alpha_gpu::{DeviceProfile, GpuSim, SpmvKernel};
+    use alpha_graph::presets;
     use alpha_matrix::{gen, DenseVector};
 
     #[test]

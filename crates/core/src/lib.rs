@@ -33,26 +33,43 @@ pub use alpha_search as search;
 
 pub use alpha_gpu::{DeviceProfile, GpuSim, PerfReport, SpmvKernel};
 pub use alpha_matrix::{CsrMatrix, MatrixStats, Scalar};
-pub use alpha_search::{SearchConfig, SearchOutcome, SearchStats};
+pub use alpha_search::{
+    BatchEvaluator, CacheStats, CachingEvaluator, DesignCache, EvalContext, Evaluation, Evaluator,
+    SearchConfig, SearchOutcome, SearchStats, SimEvaluator,
+};
 
 use alpha_codegen::{generate, GeneratedSpmv, GeneratorOptions};
 use alpha_graph::OperatorGraph;
+use std::sync::Arc;
 
 /// The AlphaSparse auto-designer: configure once, tune any number of matrices.
+///
+/// Every tuner owns a [`DesignCache`] that persists across `auto_tune` calls
+/// (clones share it): candidate designs evaluated for one matrix are reused
+/// verbatim when the same matrix — or an identical copy of it — is tuned
+/// again, and re-tuning with a different budget resumes from the cached
+/// evaluations instead of re-simulating them.
 #[derive(Debug, Clone)]
 pub struct AlphaSparse {
     config: SearchConfig,
+    cache: Arc<DesignCache>,
 }
 
 impl AlphaSparse {
     /// Creates a tuner for the given device with the default search budget.
     pub fn new(device: DeviceProfile) -> Self {
-        AlphaSparse { config: SearchConfig { device, ..SearchConfig::default() } }
+        Self::with_config(SearchConfig {
+            device,
+            ..SearchConfig::default()
+        })
     }
 
     /// Creates a tuner from a fully custom search configuration.
     pub fn with_config(config: SearchConfig) -> Self {
-        AlphaSparse { config }
+        AlphaSparse {
+            config,
+            cache: Arc::new(DesignCache::new()),
+        }
     }
 
     /// Sets the maximum number of candidate kernels evaluated during the
@@ -60,6 +77,26 @@ impl AlphaSparse {
     pub fn with_search_budget(mut self, max_iterations: usize) -> Self {
         self.config.max_iterations = max_iterations;
         self
+    }
+
+    /// Sets the number of worker threads candidate batches are evaluated on
+    /// (0 = one per available core).  Thread count never changes which
+    /// design wins — only how fast the search gets there.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Replaces the tuner's design cache with a shared one, so several
+    /// tuners (e.g. per-device instances) can pool their evaluations.
+    pub fn with_shared_cache(mut self, cache: Arc<DesignCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The design cache backing this tuner.
+    pub fn cache(&self) -> &Arc<DesignCache> {
+        &self.cache
     }
 
     /// Enables or disables the pruning rules (Table III ablation).
@@ -88,12 +125,16 @@ impl AlphaSparse {
     }
 
     /// Searches the operator-graph design space for the matrix and returns
-    /// the winning machine-designed SpMV program.
+    /// the winning machine-designed SpMV program.  Candidate evaluations are
+    /// memoised in the tuner's [`DesignCache`], so repeated tuning of the
+    /// same matrix is answered from the cache.
     pub fn auto_tune(&self, matrix: &CsrMatrix) -> Result<TunedSpmv, String> {
-        let outcome = alpha_search::search(matrix, &self.config)?;
-        let options =
-            GeneratorOptions { model_compression: self.config.enable_model_compression };
-        let generated = generate(&outcome.best_graph, matrix, options).map_err(|e| e.to_string())?;
+        let outcome = alpha_search::search_with_cache(matrix, &self.config, &self.cache)?;
+        let options = GeneratorOptions {
+            model_compression: self.config.enable_model_compression,
+        };
+        let generated =
+            generate(&outcome.best_graph, matrix, options).map_err(|e| e.to_string())?;
         Ok(TunedSpmv {
             device: self.config.device.clone(),
             matrix: matrix.clone(),
@@ -110,8 +151,9 @@ impl AlphaSparse {
         matrix: &CsrMatrix,
         graph: &OperatorGraph,
     ) -> Result<GeneratedSpmv, String> {
-        let options =
-            GeneratorOptions { model_compression: self.config.enable_model_compression };
+        let options = GeneratorOptions {
+            model_compression: self.config.enable_model_compression,
+        };
         generate(graph, matrix, options).map_err(|e| e.to_string())
     }
 }
@@ -210,9 +252,33 @@ mod tests {
     fn generate_for_graph_skips_the_search() {
         let matrix = gen::uniform_random(256, 256, 8, 5);
         let tuner = AlphaSparse::new(DeviceProfile::a100());
-        let generated =
-            tuner.generate_for_graph(&matrix, &alpha_graph::presets::sell_like()).unwrap();
+        let generated = tuner
+            .generate_for_graph(&matrix, &alpha_graph::presets::sell_like())
+            .unwrap();
         assert!(generated.source.contains("alphasparse_partition_0"));
+    }
+
+    #[test]
+    fn repeated_tuning_is_served_from_the_design_cache() {
+        let matrix = gen::powerlaw(512, 512, 8, 2.0, 21);
+        let tuner = AlphaSparse::new(DeviceProfile::a100()).with_search_budget(15);
+        let first = tuner.auto_tune(&matrix).unwrap();
+        // A fresh cache may still hit within the first search (canonically
+        // equal mutation variants), but most lookups must be misses.
+        assert!(first.search_stats().cache_misses > first.search_stats().cache_hits);
+        let second = tuner.auto_tune(&matrix).unwrap();
+        assert_eq!(
+            second.search_stats().cache_misses,
+            0,
+            "rerun must be fully cached"
+        );
+        assert!(second.search_stats().cache_hit_rate() > 0.99);
+        assert_eq!(first.operator_graph(), second.operator_graph());
+        assert_eq!(first.gflops(), second.gflops());
+        // Clones share the cache.
+        let clone = tuner.clone();
+        let third = clone.auto_tune(&matrix).unwrap();
+        assert_eq!(third.search_stats().cache_misses, 0);
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! A tiny, std-only stand-in for the [criterion](https://crates.io/crates/criterion)
+//! bench harness, exposing the subset of its API the `alpha-bench` benches use
+//! (`Criterion::benchmark_group`, `BenchmarkGroup::{sample_size, bench_function,
+//! finish}`, `Bencher::iter`, and the `criterion_group!`/`criterion_main!`
+//! macros).  The build environment has no network access to crates.io, so the
+//! workspace vendors this shim and renames it to `criterion` via the
+//! `package = "criterion-shim"` dependency key; the bench sources compile
+//! unchanged against either harness.
+//!
+//! Measurements are wall-clock medians over `sample_size` samples, printed in
+//! a `group/function: <time>` format.  There is no statistical analysis, HTML
+//! report or baseline comparison — the point is that `cargo bench` runs and
+//! prints comparable numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to every bench function by `criterion_group!`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times one benchmark: a warm-up run, then `sample_size` timed samples;
+    /// reports the median sample.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher); // warm-up
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+                iterations: 0,
+            };
+            f(&mut bencher);
+            if bencher.iterations > 0 {
+                samples.push(bencher.elapsed / bencher.iterations);
+            }
+        }
+        samples.sort();
+        let median = samples
+            .get(samples.len() / 2)
+            .copied()
+            .unwrap_or(Duration::ZERO);
+        println!(
+            "  {}/{id}: median {median:?} over {} samples",
+            self.name,
+            samples.len()
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; all output is immediate).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to [`BenchmarkGroup::bench_function`]; its
+/// [`iter`](Bencher::iter) method times the routine under test.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u32,
+}
+
+impl Bencher {
+    /// Times one execution of `f` and accumulates it into this sample.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+        drop(out);
+    }
+}
+
+/// Re-export so `criterion::black_box` resolves like the real crate's.
+pub use std::hint::black_box;
+
+/// Declares a bench group function from a list of `fn(&mut Criterion)` items.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_warmup_plus_samples() {
+        let mut calls = 0u32;
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(3).bench_function("counted", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(calls, 4); // 1 warm-up + 3 samples
+    }
+
+    #[test]
+    fn macros_compose_into_a_runnable_group() {
+        fn noop(c: &mut Criterion) {
+            c.benchmark_group("noop")
+                .bench_function("nothing", |b| b.iter(|| 1 + 1));
+        }
+        criterion_group!(benches, noop);
+        benches();
+    }
+}

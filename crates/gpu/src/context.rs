@@ -62,7 +62,11 @@ impl<'a> BlockContext<'a> {
     /// Selects the thread (0-based within the block) that subsequent
     /// arithmetic and memory-issue costs are attributed to.
     pub fn thread(&mut self, tid: usize) {
-        debug_assert!(tid < self.block_dim, "thread id {tid} outside block of {}", self.block_dim);
+        debug_assert!(
+            tid < self.block_dim,
+            "thread id {tid} outside block of {}",
+            self.block_dim
+        );
         self.current_thread = tid.min(self.block_dim - 1);
     }
 
@@ -91,7 +95,7 @@ impl<'a> BlockContext<'a> {
         let sectors = memory::gather_sectors(cols, std::mem::size_of::<Scalar>());
         self.counters.transactions += sectors;
         self.counters.x_gather_bytes += (sectors as usize * crate::SECTOR_BYTES) as f64;
-        let active = cols.len().min(WARP_SIZE).max(1);
+        let active = cols.len().clamp(1, WARP_SIZE);
         let issue = sectors as f64 * self.device.transaction_issue_cycles / active as f64;
         self.thread_cycles[self.current_thread] += issue;
     }
@@ -156,8 +160,7 @@ impl<'a> BlockContext<'a> {
     /// rather than to a single lane.
     pub fn shared_traffic(&mut self, bytes: usize) {
         self.counters.shared_bytes += bytes as f64;
-        self.block_overhead_cycles +=
-            bytes as f64 / self.device.shared_bytes_per_cycle_per_sm;
+        self.block_overhead_cycles += bytes as f64 / self.device.shared_bytes_per_cycle_per_sm;
     }
 
     /// Records a `__syncthreads()` barrier.

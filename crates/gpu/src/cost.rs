@@ -37,7 +37,11 @@ pub struct CostInputs {
 }
 
 /// Computes the performance report for a kernel execution.
-pub fn evaluate(device: &DeviceProfile, counters: &KernelCounters, inputs: &CostInputs) -> PerfReport {
+pub fn evaluate(
+    device: &DeviceProfile,
+    counters: &KernelCounters,
+    inputs: &CostInputs,
+) -> PerfReport {
     let scalar_bytes = std::mem::size_of::<alpha_matrix::Scalar>() as f64;
 
     // ---- Memory side -------------------------------------------------------
@@ -57,8 +61,7 @@ pub fn evaluate(device: &DeviceProfile, counters: &KernelCounters, inputs: &Cost
 
     // ---- Compute / latency side -------------------------------------------
     let occupancy = inputs.launch.occupancy(device);
-    let concurrent_blocks =
-        (device.sm_count * inputs.launch.blocks_per_sm(device)).max(1) as f64;
+    let concurrent_blocks = (device.sm_count * inputs.launch.blocks_per_sm(device)).max(1) as f64;
     let parallel_blocks = concurrent_blocks.min(counters.blocks.max(1) as f64);
     // Average per-SM work: total block latency spread over the blocks that can
     // actually run concurrently, but never less than the single longest block
@@ -105,7 +108,13 @@ mod tests {
     use crate::counters::BlockCounters;
 
     fn inputs(launch: LaunchConfig, x_len: usize, flops: u64) -> CostInputs {
-        CostInputs { launch, format_bytes: x_len * 8, x_len, y_len: x_len, useful_flops: flops }
+        CostInputs {
+            launch,
+            format_bytes: x_len * 8,
+            x_len,
+            y_len: x_len,
+            useful_flops: flops,
+        }
     }
 
     fn counters_with(blocks: usize, latency: f64, dram: f64, xbytes: f64) -> KernelCounters {

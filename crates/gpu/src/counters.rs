@@ -82,8 +82,9 @@ impl KernelCounters {
         self.syncs += block.syncs;
         self.shuffles += block.shuffles;
         self.total_block_latency_cycles += block.block_latency_cycles;
-        self.max_block_latency_cycles =
-            self.max_block_latency_cycles.max(block.block_latency_cycles);
+        self.max_block_latency_cycles = self
+            .max_block_latency_cycles
+            .max(block.block_latency_cycles);
         self.blocks += 1;
     }
 
@@ -101,8 +102,9 @@ impl KernelCounters {
         self.syncs += other.syncs;
         self.shuffles += other.shuffles;
         self.total_block_latency_cycles += other.total_block_latency_cycles;
-        self.max_block_latency_cycles =
-            self.max_block_latency_cycles.max(other.max_block_latency_cycles);
+        self.max_block_latency_cycles = self
+            .max_block_latency_cycles
+            .max(other.max_block_latency_cycles);
         self.blocks += other.blocks;
     }
 

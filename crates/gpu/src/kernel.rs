@@ -58,13 +58,19 @@ pub struct ReferenceCsrKernel {
 impl ReferenceCsrKernel {
     /// Wraps a CSR matrix with the default 128-thread blocks.
     pub fn new(matrix: CsrMatrix) -> Self {
-        ReferenceCsrKernel { matrix, block_dim: 128 }
+        ReferenceCsrKernel {
+            matrix,
+            block_dim: 128,
+        }
     }
 
     /// Wraps a CSR matrix with a custom block size (must be a multiple of the
     /// warp size).
     pub fn with_block_dim(matrix: CsrMatrix, block_dim: usize) -> Self {
-        assert!(block_dim % WARP_SIZE == 0 && block_dim > 0, "invalid block size {block_dim}");
+        assert!(
+            block_dim.is_multiple_of(WARP_SIZE) && block_dim > 0,
+            "invalid block size {block_dim}"
+        );
         ReferenceCsrKernel { matrix, block_dim }
     }
 
@@ -135,11 +141,7 @@ impl SpmvKernel for ReferenceCsrKernel {
 
 /// Helper: accumulate the product of a value stream against gathered x
 /// entries; shared by several baseline kernels.
-pub fn dot_segment(
-    ctx: &mut BlockContext<'_>,
-    values: &[Scalar],
-    cols: &[u32],
-) -> Scalar {
+pub fn dot_segment(ctx: &mut BlockContext<'_>, values: &[Scalar], cols: &[u32]) -> Scalar {
     debug_assert_eq!(values.len(), cols.len());
     let mut acc = 0.0;
     for (v, &c) in values.iter().zip(cols) {

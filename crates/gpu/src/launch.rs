@@ -23,12 +23,20 @@ pub struct LaunchConfig {
 impl LaunchConfig {
     /// Creates a launch configuration with no dynamic shared memory.
     pub fn new(grid_dim: usize, block_dim: usize) -> Self {
-        LaunchConfig { grid_dim, block_dim, shared_mem_bytes: 0 }
+        LaunchConfig {
+            grid_dim,
+            block_dim,
+            shared_mem_bytes: 0,
+        }
     }
 
     /// Creates a launch configuration with dynamic shared memory.
     pub fn with_shared_mem(grid_dim: usize, block_dim: usize, shared_mem_bytes: usize) -> Self {
-        LaunchConfig { grid_dim, block_dim, shared_mem_bytes }
+        LaunchConfig {
+            grid_dim,
+            block_dim,
+            shared_mem_bytes,
+        }
     }
 
     /// Number of warps per block (rounded up).
@@ -49,7 +57,7 @@ impl LaunchConfig {
         if self.block_dim == 0 {
             return Err("block dimension must be positive".into());
         }
-        if self.block_dim % WARP_SIZE != 0 {
+        if !self.block_dim.is_multiple_of(WARP_SIZE) {
             return Err(format!(
                 "block dimension {} is not a multiple of the warp size {WARP_SIZE}",
                 self.block_dim
@@ -75,11 +83,11 @@ impl LaunchConfig {
     /// block is always assumed to fit (validation rejects configs that do not).
     pub fn blocks_per_sm(&self, device: &DeviceProfile) -> usize {
         let by_threads = (device.max_threads_per_sm / self.block_dim).max(1);
-        let by_shared = if self.shared_mem_bytes == 0 {
-            usize::MAX
-        } else {
-            (device.shared_mem_per_block_bytes / self.shared_mem_bytes).max(1)
-        };
+        let by_shared = device
+            .shared_mem_per_block_bytes
+            .checked_div(self.shared_mem_bytes)
+            .unwrap_or(usize::MAX)
+            .max(1);
         by_threads.min(by_shared).max(1)
     }
 
@@ -87,11 +95,10 @@ impl LaunchConfig {
     /// busy, in `[0, 1]`.  Low occupancy reduces the device's ability to hide
     /// memory latency, which the cost model penalises.
     pub fn occupancy(&self, device: &DeviceProfile) -> f64 {
-        let resident_threads = (self.blocks_per_sm(device) * self.block_dim)
-            .min(device.max_threads_per_sm) as f64;
+        let resident_threads =
+            (self.blocks_per_sm(device) * self.block_dim).min(device.max_threads_per_sm) as f64;
         // A grid smaller than the device leaves SMs idle entirely.
-        let sm_utilisation =
-            (self.grid_dim as f64 / device.sm_count as f64).min(1.0);
+        let sm_utilisation = (self.grid_dim as f64 / device.sm_count as f64).min(1.0);
         (resident_threads / device.max_threads_per_sm as f64) * sm_utilisation
     }
 
@@ -121,7 +128,9 @@ mod tests {
         assert!(LaunchConfig::new(1, 0).validate(&d).is_err());
         assert!(LaunchConfig::new(1, 100).validate(&d).is_err()); // not multiple of 32
         assert!(LaunchConfig::new(1, 1024).validate(&d).is_err()); // over block limit (512)
-        assert!(LaunchConfig::with_shared_mem(1, 128, 1 << 20).validate(&d).is_err());
+        assert!(LaunchConfig::with_shared_mem(1, 128, 1 << 20)
+            .validate(&d)
+            .is_err());
         assert!(LaunchConfig::new(1, 128).validate(&d).is_ok());
     }
 
@@ -129,7 +138,10 @@ mod tests {
     fn blocks_per_sm_limited_by_threads_and_shared_mem() {
         let d = DeviceProfile::test_profile(); // 1024 threads/SM, 48 KB shared
         assert_eq!(LaunchConfig::new(100, 256).blocks_per_sm(&d), 4);
-        assert_eq!(LaunchConfig::with_shared_mem(100, 128, 24 * 1024).blocks_per_sm(&d), 2);
+        assert_eq!(
+            LaunchConfig::with_shared_mem(100, 128, 24 * 1024).blocks_per_sm(&d),
+            2
+        );
     }
 
     #[test]

@@ -99,7 +99,7 @@ pub fn l2_hit_rate(working_set_bytes: f64, l2_capacity_bytes: f64, reuse_factor:
 /// Average number of lanes of a warp doing useful work when `active` lanes
 /// out of [`WARP_SIZE`] are enabled; used to scale issue costs.
 pub fn warp_efficiency(active: usize) -> f64 {
-    (active.min(WARP_SIZE).max(1)) as f64 / WARP_SIZE as f64
+    active.clamp(1, WARP_SIZE) as f64 / WARP_SIZE as f64
 }
 
 #[cfg(test)]
@@ -142,7 +142,11 @@ mod tests {
 
     #[test]
     fn zero_elements_cost_nothing() {
-        for access in [Access::WarpCoalesced, Access::ThreadContiguous, Access::Scattered] {
+        for access in [
+            Access::WarpCoalesced,
+            Access::ThreadContiguous,
+            Access::Scattered,
+        ] {
             assert_eq!(transactions_for(access, 0, 4), (0, 0.0));
         }
     }

@@ -52,7 +52,11 @@ impl PerfReport {
             "{:>8.1} GFLOPS  {:>9.1} us  ({} bound, occ {:.2}, L2 hit {:.2})",
             self.gflops,
             self.time_us,
-            if self.is_memory_bound() { "memory" } else { "compute" },
+            if self.is_memory_bound() {
+                "memory"
+            } else {
+                "compute"
+            },
             self.occupancy,
             self.x_l2_hit_rate,
         )

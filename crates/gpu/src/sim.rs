@@ -30,14 +30,22 @@ impl GpuSim {
     /// Creates a simulator for the given device, with one host worker per
     /// available CPU core.
     pub fn new(device: DeviceProfile) -> Self {
-        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        GpuSim { device, worker_threads: workers }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        GpuSim {
+            device,
+            worker_threads: workers,
+        }
     }
 
     /// Overrides the number of host worker threads (useful to make unit tests
     /// deterministic in their scheduling or to disable parallelism).
     pub fn with_workers(device: DeviceProfile, worker_threads: usize) -> Self {
-        GpuSim { device, worker_threads: worker_threads.max(1) }
+        GpuSim {
+            device,
+            worker_threads: worker_threads.max(1),
+        }
     }
 
     /// The device profile this simulator models.
@@ -68,11 +76,11 @@ impl GpuSim {
         // counters; both are merged after the scope ends, which keeps the
         // execution deterministic regardless of scheduling.
         let mut partials: Vec<(Vec<Scalar>, KernelCounters)> = Vec::with_capacity(workers);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for w in 0..workers {
                 let device = &self.device;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut y = vec![0.0; y_len];
                     let mut counters = KernelCounters::default();
                     let mut block = w;
@@ -88,8 +96,7 @@ impl GpuSim {
             for handle in handles {
                 partials.push(handle.join().expect("simulator worker panicked"));
             }
-        })
-        .expect("simulator scope panicked");
+        });
 
         let mut y = vec![0.0; y_len];
         let mut counters = KernelCounters::default();
@@ -125,7 +132,10 @@ impl GpuSim {
         let result = self.run(kernel, x)?;
         let ok = alpha_matrix::DenseVector::from_vec(result.y.clone()).approx_eq(reference_y, tol);
         if !ok {
-            return Err(format!("kernel '{}' produced incorrect results", kernel.name()));
+            return Err(format!(
+                "kernel '{}' produced incorrect results",
+                kernel.name()
+            ));
         }
         Ok(result)
     }
@@ -166,10 +176,14 @@ mod tests {
         let correct = matrix.spmv(x.as_slice()).unwrap();
         let kernel = ReferenceCsrKernel::new(matrix);
         let sim = GpuSim::new(DeviceProfile::test_profile());
-        assert!(sim.run_checked(&kernel, x.as_slice(), &correct, 1e-4).is_ok());
+        assert!(sim
+            .run_checked(&kernel, x.as_slice(), &correct, 1e-4)
+            .is_ok());
         let mut wrong = correct;
         wrong[0] += 100.0;
-        assert!(sim.run_checked(&kernel, x.as_slice(), &wrong, 1e-4).is_err());
+        assert!(sim
+            .run_checked(&kernel, x.as_slice(), &wrong, 1e-4)
+            .is_err());
     }
 
     #[test]
@@ -191,8 +205,12 @@ mod tests {
         let matrix = gen::uniform_random(32_768, 32_768, 16, 9);
         let x = DenseVector::ones(32_768);
         let kernel = ReferenceCsrKernel::new(matrix);
-        let a100 = GpuSim::new(DeviceProfile::a100()).run(&kernel, x.as_slice()).unwrap();
-        let rtx = GpuSim::new(DeviceProfile::rtx2080()).run(&kernel, x.as_slice()).unwrap();
+        let a100 = GpuSim::new(DeviceProfile::a100())
+            .run(&kernel, x.as_slice())
+            .unwrap();
+        let rtx = GpuSim::new(DeviceProfile::rtx2080())
+            .run(&kernel, x.as_slice())
+            .unwrap();
         assert!(a100.report.gflops > rtx.report.gflops);
     }
 }

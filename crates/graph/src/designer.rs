@@ -46,7 +46,9 @@ impl From<ValidationError> for DesignError {
 pub fn design(graph: &OperatorGraph, matrix: &CsrMatrix) -> Result<MatrixMetadataSet, DesignError> {
     graph.validate()?;
     if matrix.rows() == 0 || matrix.nnz() == 0 {
-        return Err(DesignError::Unsupported("empty matrices are not supported".into()));
+        return Err(DesignError::Unsupported(
+            "empty matrices are not supported".into(),
+        ));
     }
 
     // ---- Shared converting chain -------------------------------------------
@@ -79,9 +81,7 @@ pub fn design(graph: &OperatorGraph, matrix: &CsrMatrix) -> Result<MatrixMetadat
         Some(Operator::ColDiv { parts }) => split_cols(matrix, &row_order, *parts)?,
         _ => vec![PartitionPiece {
             origin_rows: row_order.clone(),
-            matrix: matrix.select_rows(
-                &row_order.iter().map(|&r| r as usize).collect::<Vec<_>>(),
-            ),
+            matrix: matrix.select_rows(&row_order.iter().map(|&r| r as usize).collect::<Vec<_>>()),
             col_offset: 0,
             shares_rows: false,
         }],
@@ -134,8 +134,8 @@ fn design_branch(
         }
     }
 
-    let mapping = OperatorGraph::branch_mapping(branch)
-        .expect("validation guarantees a thread mapping");
+    let mapping =
+        OperatorGraph::branch_mapping(branch).expect("validation guarantees a thread mapping");
     let reduction = OperatorGraph::branch_reduction(branch);
     let threads_per_block = OperatorGraph::branch_threads_per_block(branch);
 
@@ -148,16 +148,23 @@ fn design_branch(
         _ => None,
     });
     let padding = branch.iter().find_map(|op| match op {
-        Operator::BmtbPad { multiple } => {
-            Some(Padding { scope: PadScope::ThreadBlock, multiple: *multiple })
-        }
-        Operator::BmwPad { multiple } => Some(Padding { scope: PadScope::Warp, multiple: *multiple }),
-        Operator::BmtPad { multiple } => {
-            Some(Padding { scope: PadScope::Thread, multiple: *multiple })
-        }
+        Operator::BmtbPad { multiple } => Some(Padding {
+            scope: PadScope::ThreadBlock,
+            multiple: *multiple,
+        }),
+        Operator::BmwPad { multiple } => Some(Padding {
+            scope: PadScope::Warp,
+            multiple: *multiple,
+        }),
+        Operator::BmtPad { multiple } => Some(Padding {
+            scope: PadScope::Thread,
+            multiple: *multiple,
+        }),
         _ => None,
     });
-    let interleaved = branch.iter().any(|op| matches!(op, Operator::InterleavedStorage));
+    let interleaved = branch
+        .iter()
+        .any(|op| matches!(op, Operator::InterleavedStorage));
     let sort_bmtb = branch.iter().any(|op| matches!(op, Operator::SortBmtb));
 
     // SORT_BMTB: reorder rows by length within each thread-block group.
@@ -196,7 +203,10 @@ fn design_branch(
 fn apply_local_order(piece: &mut PartitionPiece, order: &[u32]) {
     let rows: Vec<usize> = order.iter().map(|&r| r as usize).collect();
     piece.matrix = piece.matrix.select_rows(&rows);
-    piece.origin_rows = order.iter().map(|&r| piece.origin_rows[r as usize]).collect();
+    piece.origin_rows = order
+        .iter()
+        .map(|&r| piece.origin_rows[r as usize])
+        .collect();
 }
 
 /// Sorts a row order by decreasing row length (stable, so ties keep their
@@ -209,7 +219,12 @@ fn sort_rows_by_length(matrix: &CsrMatrix, order: &mut [u32]) {
 /// the bin boundaries as indices into the new order.
 fn bin_rows_by_length(matrix: &CsrMatrix, order: &mut Vec<u32>, bins: usize) -> Vec<usize> {
     let bins = bins.max(2);
-    let max_len = order.iter().map(|&r| matrix.row_len(r as usize)).max().unwrap_or(0).max(1);
+    let max_len = order
+        .iter()
+        .map(|&r| matrix.row_len(r as usize))
+        .max()
+        .unwrap_or(0)
+        .max(1);
     // Geometric bin edges: bin i holds rows with length in (max/2^(i+1), max/2^i].
     let bin_of = |len: usize| -> usize {
         if len == 0 {
@@ -376,7 +391,10 @@ mod tests {
         let meta = design(&presets::sell_like(), &m).unwrap();
         let plan = &meta.partitions[0];
         let lengths: Vec<usize> = (0..plan.rows()).map(|r| plan.matrix.row_len(r)).collect();
-        assert!(lengths.windows(2).all(|w| w[0] >= w[1]), "rows not sorted by length");
+        assert!(
+            lengths.windows(2).all(|w| w[0] >= w[1]),
+            "rows not sorted by length"
+        );
         // Every original row appears exactly once.
         let mut seen = plan.origin_rows.clone();
         seen.sort_unstable();
@@ -428,7 +446,10 @@ mod tests {
         let plan = &meta.partitions[0];
         let lengths: Vec<usize> = (0..plan.rows()).map(|r| plan.matrix.row_len(r)).collect();
         for chunk in lengths.chunks(32) {
-            assert!(chunk.windows(2).all(|w| w[0] >= w[1]), "block not sorted: {chunk:?}");
+            assert!(
+                chunk.windows(2).all(|w| w[0] >= w[1]),
+                "block not sorted: {chunk:?}"
+            );
         }
     }
 
@@ -436,9 +457,15 @@ mod tests {
     fn invalid_graph_is_rejected() {
         let graph = OperatorGraph {
             converting: vec![Operator::Sort],
-            branches: vec![vec![Operator::BmtRowBlock { rows: 1 }, Operator::ThreadTotalRed]],
+            branches: vec![vec![
+                Operator::BmtRowBlock { rows: 1 },
+                Operator::ThreadTotalRed,
+            ]],
         };
-        assert!(matches!(design(&graph, &matrix()), Err(DesignError::Invalid(_))));
+        assert!(matches!(
+            design(&graph, &matrix()),
+            Err(DesignError::Invalid(_))
+        ));
     }
 
     #[test]
@@ -454,7 +481,10 @@ mod tests {
     fn too_many_partitions_is_rejected() {
         let tiny = gen::uniform_random(3, 3, 1, 1);
         let graph = presets::row_split_hybrid(8);
-        assert!(matches!(design(&graph, &tiny), Err(DesignError::Unsupported(_))));
+        assert!(matches!(
+            design(&graph, &tiny),
+            Err(DesignError::Unsupported(_))
+        ));
     }
 
     #[test]

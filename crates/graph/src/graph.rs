@@ -87,8 +87,7 @@ impl OperatorGraph {
         let mut branch = Vec::new();
         let mut in_branch = false;
         for op in operators {
-            let branch_local_converting =
-                matches!(op, Operator::SortSub | Operator::Bin { .. });
+            let branch_local_converting = matches!(op, Operator::SortSub | Operator::Bin { .. });
             if !in_branch && op.stage() == Stage::Converting && !branch_local_converting {
                 converting.push(op);
             } else {
@@ -96,7 +95,10 @@ impl OperatorGraph {
                 branch.push(op);
             }
         }
-        OperatorGraph { converting, branches: vec![branch] }
+        OperatorGraph {
+            converting,
+            branches: vec![branch],
+        }
     }
 
     /// Number of partitions the converting chain produces.
@@ -113,7 +115,9 @@ impl OperatorGraph {
     /// True if the graph splits the matrix column-wise (all branches then
     /// share output rows).
     pub fn is_column_split(&self) -> bool {
-        self.converting.iter().any(|op| matches!(op, Operator::ColDiv { .. }))
+        self.converting
+            .iter()
+            .any(|op| matches!(op, Operator::ColDiv { .. }))
     }
 
     /// Iterates over every operator in the graph (converting chain first,
@@ -150,18 +154,66 @@ impl OperatorGraph {
         s
     }
 
+    /// A canonical signature that is additionally order-insensitive where the
+    /// graph's semantics are.  The only consumers of a branch's
+    /// implementing-stage operators are [`branch_reduction`]
+    /// (last-operator-wins per reduction level) and
+    /// [`branch_threads_per_block`] — and reduction validation also judges
+    /// only that resolved plan — so the implementing operators are replaced
+    /// by the *resolved* `(Reduction, threads_per_block)` they denote.
+    /// Converting and mapping operators keep their order — it is meaningful
+    /// (stage ordering, the blocking hierarchy, branch identity).
+    ///
+    /// Two graphs with equal canonical signatures therefore validate
+    /// identically and design the same format and kernel; the evaluation
+    /// cache keys on this.
+    ///
+    /// [`branch_reduction`]: Self::branch_reduction
+    /// [`branch_threads_per_block`]: Self::branch_threads_per_block
+    pub fn canonical_signature(&self) -> String {
+        let mut s = String::new();
+        for op in &self.converting {
+            s.push_str(&op.to_string());
+            s.push(';');
+        }
+        for (i, branch) in self.branches.iter().enumerate() {
+            s.push_str(&format!("[{i}]"));
+            for op in branch {
+                if op.stage() != Stage::Implementing {
+                    s.push_str(&op.to_string());
+                    s.push(';');
+                }
+            }
+            let reduction = Self::branch_reduction(branch);
+            let threads_per_block = Self::branch_threads_per_block(branch);
+            s.push_str(&format!("{reduction:?};tpb={threads_per_block};"));
+        }
+        s
+    }
+
+    /// 64-bit FNV-1a hash of [`canonical_signature`](Self::canonical_signature),
+    /// stable across runs and platforms.
+    pub fn canonical_hash(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.canonical_signature().bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
     /// Extracts the mapping a branch describes, if its operators are valid.
     pub fn branch_mapping(branch: &[Operator]) -> Option<Mapping> {
         branch.iter().find_map(|op| match op {
-            Operator::BmtRowBlock { rows } => {
-                Some(Mapping::RowPerThread { rows_per_thread: (*rows).max(1) })
-            }
-            Operator::BmtColBlock { threads_per_row } => {
-                Some(Mapping::VectorPerRow { threads_per_row: (*threads_per_row).max(1) })
-            }
-            Operator::BmtNnzBlock { nnz } => {
-                Some(Mapping::NnzSplit { nnz_per_thread: (*nnz).max(1) })
-            }
+            Operator::BmtRowBlock { rows } => Some(Mapping::RowPerThread {
+                rows_per_thread: (*rows).max(1),
+            }),
+            Operator::BmtColBlock { threads_per_row } => Some(Mapping::VectorPerRow {
+                threads_per_row: (*threads_per_row).max(1),
+            }),
+            Operator::BmtNnzBlock { nnz } => Some(Mapping::NnzSplit {
+                nnz_per_thread: (*nnz).max(1),
+            }),
             _ => None,
         })
     }
@@ -201,7 +253,10 @@ impl OperatorGraph {
         self.validate_converting()?;
         let expected = self.expected_branches();
         if self.branches.len() != expected {
-            return Err(ValidationError::BranchCount { expected, actual: self.branches.len() });
+            return Err(ValidationError::BranchCount {
+                expected,
+                actual: self.branches.len(),
+            });
         }
         for (index, branch) in self.branches.iter().enumerate() {
             self.validate_branch(index, branch)?;
@@ -249,7 +304,9 @@ impl OperatorGraph {
             }
             if let Operator::Bin { bins } = op {
                 if *bins < 2 {
-                    return Err(ValidationError::BadParameter("BIN needs at least 2 bins".into()));
+                    return Err(ValidationError::BadParameter(
+                        "BIN needs at least 2 bins".into(),
+                    ));
                 }
             }
         }
@@ -303,7 +360,9 @@ impl OperatorGraph {
         }
         for unique in ["BMTB_ROW_BLOCK", "BMW_ROW_BLOCK", "SET_RESOURCES"] {
             if branch.iter().filter(|o| o.name() == unique).count() > 1 {
-                return Err(ValidationError::Duplicate(format!("{unique} in branch {index}")));
+                return Err(ValidationError::Duplicate(format!(
+                    "{unique} in branch {index}"
+                )));
             }
         }
         let pos = |name: &str| branch.iter().position(|o| o.name() == name);
@@ -343,7 +402,10 @@ impl OperatorGraph {
         // Padding, interleaving, SORT_BMTB prerequisites.
         let mapping = Self::branch_mapping(branch).expect("checked above");
         let has_pad = branch.iter().any(|o| {
-            matches!(o, Operator::BmtbPad { .. } | Operator::BmwPad { .. } | Operator::BmtPad { .. })
+            matches!(
+                o,
+                Operator::BmtbPad { .. } | Operator::BmwPad { .. } | Operator::BmtPad { .. }
+            )
         });
         if has_pad && !matches!(mapping, Mapping::RowPerThread { .. }) {
             return Err(ValidationError::MissingPrerequisite(
@@ -365,7 +427,9 @@ impl OperatorGraph {
                 "SORT_BMTB requires BMTB_ROW_BLOCK".into(),
             ));
         }
-        if branch.iter().any(|o| matches!(o, Operator::InterleavedStorage))
+        if branch
+            .iter()
+            .any(|o| matches!(o, Operator::InterleavedStorage))
             && !matches!(mapping, Mapping::RowPerThread { .. })
         {
             return Err(ValidationError::MissingPrerequisite(
@@ -389,13 +453,13 @@ impl OperatorGraph {
                         op.name()
                     )));
                 }
-                Operator::SetResources { threads_per_block } => {
-                    if *threads_per_block == 0 || threads_per_block % 32 != 0 {
-                        return Err(ValidationError::BadParameter(format!(
-                            "SET_RESOURCES threads_per_block {threads_per_block} must be a \
+                Operator::SetResources { threads_per_block }
+                    if (*threads_per_block == 0 || threads_per_block % 32 != 0) =>
+                {
+                    return Err(ValidationError::BadParameter(format!(
+                        "SET_RESOURCES threads_per_block {threads_per_block} must be a \
                              positive multiple of 32"
-                        )));
-                    }
+                    )));
                 }
                 Operator::BmtColBlock { threads_per_row } if *threads_per_row > 32 => {
                     return Err(ValidationError::BadParameter(
@@ -481,7 +545,9 @@ impl OperatorGraph {
             let whole_warp_per_row = matches!(
                 mapping,
                 Mapping::VectorPerRow { threads_per_row } if threads_per_row == crate::designer::WARP_SIZE
-            ) || branch.iter().any(|o| matches!(o, Operator::BmwRowBlock { rows: 1 }));
+            ) || branch
+                .iter()
+                .any(|o| matches!(o, Operator::BmwRowBlock { rows: 1 }));
             if !whole_warp_per_row && matches!(mapping, Mapping::RowPerThread { .. }) {
                 return Err(ValidationError::IncorrectReduction(format!(
                     "branch {index}: WARP_TOTAL_RED over a row-per-thread mapping would merge \
@@ -498,13 +564,21 @@ impl std::fmt::Display for OperatorGraph {
         writeln!(
             f,
             "shared: {}",
-            self.converting.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(" -> ")
+            self.converting
+                .iter()
+                .map(|o| o.to_string())
+                .collect::<Vec<_>>()
+                .join(" -> ")
         )?;
         for (i, branch) in self.branches.iter().enumerate() {
             writeln!(
                 f,
                 "branch {i}: {}",
-                branch.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(" -> ")
+                branch
+                    .iter()
+                    .map(|o| o.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" -> ")
             )?;
         }
         Ok(())
@@ -519,7 +593,11 @@ mod tests {
     #[test]
     fn presets_validate() {
         for (name, graph) in presets::all_presets() {
-            assert!(graph.validate().is_ok(), "preset {name} failed: {:?}", graph.validate());
+            assert!(
+                graph.validate().is_ok(),
+                "preset {name} failed: {:?}",
+                graph.validate()
+            );
         }
     }
 
@@ -539,9 +617,18 @@ mod tests {
     fn branch_count_must_match_rowdiv() {
         let graph = OperatorGraph {
             converting: vec![Operator::Compress, Operator::RowDiv { parts: 3 }],
-            branches: vec![vec![Operator::BmtRowBlock { rows: 1 }, Operator::ThreadTotalRed]],
+            branches: vec![vec![
+                Operator::BmtRowBlock { rows: 1 },
+                Operator::ThreadTotalRed,
+            ]],
         };
-        assert_eq!(graph.validate(), Err(ValidationError::BranchCount { expected: 3, actual: 1 }));
+        assert_eq!(
+            graph.validate(),
+            Err(ValidationError::BranchCount {
+                expected: 3,
+                actual: 1
+            })
+        );
     }
 
     #[test]
@@ -550,7 +637,10 @@ mod tests {
             converting: vec![Operator::Compress],
             branches: vec![vec![Operator::ThreadTotalRed]],
         };
-        assert_eq!(graph.validate(), Err(ValidationError::MissingThreadMapping(0)));
+        assert_eq!(
+            graph.validate(),
+            Err(ValidationError::MissingThreadMapping(0))
+        );
     }
 
     #[test]
@@ -565,7 +655,10 @@ mod tests {
                 Operator::ThreadTotalRed,
             ]],
         };
-        assert!(matches!(graph.validate(), Err(ValidationError::Hierarchy(_))));
+        assert!(matches!(
+            graph.validate(),
+            Err(ValidationError::Hierarchy(_))
+        ));
     }
 
     #[test]
@@ -578,7 +671,10 @@ mod tests {
                 Operator::GmemAtomRed,
             ]],
         };
-        assert!(matches!(incomplete.validate(), Err(ValidationError::IncorrectReduction(_))));
+        assert!(matches!(
+            incomplete.validate(),
+            Err(ValidationError::IncorrectReduction(_))
+        ));
 
         let fixed = OperatorGraph {
             converting: vec![Operator::Compress],
@@ -600,7 +696,10 @@ mod tests {
                 Operator::ThreadTotalRed,
             ]],
         };
-        assert!(matches!(missing.validate(), Err(ValidationError::IncorrectReduction(_))));
+        assert!(matches!(
+            missing.validate(),
+            Err(ValidationError::IncorrectReduction(_))
+        ));
 
         let with_seg = OperatorGraph {
             converting: vec![Operator::Compress],
@@ -618,11 +717,59 @@ mod tests {
         let graph = OperatorGraph {
             converting: vec![Operator::Compress, Operator::ColDiv { parts: 2 }],
             branches: vec![
-                vec![Operator::BmtRowBlock { rows: 1 }, Operator::ThreadTotalRed, Operator::GmemAtomRed],
+                vec![
+                    Operator::BmtRowBlock { rows: 1 },
+                    Operator::ThreadTotalRed,
+                    Operator::GmemAtomRed,
+                ],
                 vec![Operator::BmtRowBlock { rows: 1 }, Operator::ThreadTotalRed],
             ],
         };
-        assert!(matches!(graph.validate(), Err(ValidationError::IncorrectReduction(_))));
+        assert!(matches!(
+            graph.validate(),
+            Err(ValidationError::IncorrectReduction(_))
+        ));
+    }
+
+    #[test]
+    fn canonical_signature_tracks_the_resolved_reduction_plan() {
+        // Reduction operators resolve last-wins per level, so reorderings
+        // that keep the resolved plan are canonically equal...
+        let base = |tail: Vec<Operator>| {
+            let mut ops = vec![
+                Operator::Compress,
+                Operator::BmtColBlock { threads_per_row: 4 },
+            ];
+            ops.extend(tail);
+            OperatorGraph::linear(ops)
+        };
+        let a = base(vec![Operator::ThreadTotalRed, Operator::WarpSegRed]);
+        let b = base(vec![Operator::WarpSegRed, Operator::ThreadTotalRed]);
+        assert_ne!(a.signature(), b.signature());
+        assert_eq!(a.canonical_signature(), b.canonical_signature());
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
+
+        // ...but reorderings that change the resolved plan must NOT collide:
+        // [WARP_TOTAL_RED, WARP_SEG_RED] resolves warp=Segmented (valid for a
+        // 4-thread row split), the swapped order resolves warp=Total (invalid
+        // there).  A textual sort of implementing operators would merge them.
+        let seg_last = base(vec![
+            Operator::ThreadTotalRed,
+            Operator::WarpTotalRed,
+            Operator::WarpSegRed,
+        ]);
+        let total_last = base(vec![
+            Operator::ThreadTotalRed,
+            Operator::WarpSegRed,
+            Operator::WarpTotalRed,
+        ]);
+        assert!(seg_last.validate().is_ok());
+        assert!(total_last.validate().is_err());
+        assert_ne!(
+            seg_last.canonical_signature(),
+            total_last.canonical_signature()
+        );
+        assert_eq!(seg_last.canonical_signature(), a.canonical_signature());
     }
 
     #[test]
@@ -634,7 +781,10 @@ mod tests {
                 Operator::BmtRowBlock { rows: 1 },
             ]],
         };
-        assert!(matches!(graph.validate(), Err(ValidationError::StageOrder(_))));
+        assert!(matches!(
+            graph.validate(),
+            Err(ValidationError::StageOrder(_))
+        ));
     }
 
     #[test]
@@ -643,11 +793,16 @@ mod tests {
             converting: vec![Operator::Compress],
             branches: vec![vec![
                 Operator::BmtRowBlock { rows: 1 },
-                Operator::SetResources { threads_per_block: 100 },
+                Operator::SetResources {
+                    threads_per_block: 100,
+                },
                 Operator::ThreadTotalRed,
             ]],
         };
-        assert!(matches!(graph.validate(), Err(ValidationError::BadParameter(_))));
+        assert!(matches!(
+            graph.validate(),
+            Err(ValidationError::BadParameter(_))
+        ));
     }
 
     #[test]

@@ -187,7 +187,11 @@ impl PartitionPlan {
 
     /// A compact single-line description (operator chain).
     pub fn describe(&self) -> String {
-        self.operators.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(" -> ")
+        self.operators
+            .iter()
+            .map(|o| o.to_string())
+            .collect::<Vec<_>>()
+            .join(" -> ")
     }
 }
 
@@ -236,11 +240,17 @@ mod tests {
         assert!(!direct.handles_row_split_across_warp());
         assert!(!direct.handles_row_split_across_blocks());
 
-        let warp = Reduction { warp: Some(WarpReduction::Segmented), ..Reduction::thread_direct() };
+        let warp = Reduction {
+            warp: Some(WarpReduction::Segmented),
+            ..Reduction::thread_direct()
+        };
         assert!(warp.handles_row_split_across_warp());
         assert!(!warp.handles_row_split_across_blocks());
 
-        let atomic = Reduction { global_atomic: true, ..Reduction::thread_direct() };
+        let atomic = Reduction {
+            global_atomic: true,
+            ..Reduction::thread_direct()
+        };
         assert!(atomic.handles_row_split_across_warp());
         assert!(atomic.handles_row_split_across_blocks());
 

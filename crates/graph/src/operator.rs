@@ -140,11 +140,25 @@ impl Operator {
             RowDiv { .. } | ColDiv { .. } | Sort | SortSub | Bin { .. } | Compress => {
                 Stage::Converting
             }
-            BmtbRowBlock { .. } | BmwRowBlock { .. } | BmtRowBlock { .. } | BmtColBlock { .. }
-            | BmtNnzBlock { .. } | BmtbPad { .. } | BmwPad { .. } | BmtPad { .. } | SortBmtb
+            BmtbRowBlock { .. }
+            | BmwRowBlock { .. }
+            | BmtRowBlock { .. }
+            | BmtColBlock { .. }
+            | BmtNnzBlock { .. }
+            | BmtbPad { .. }
+            | BmwPad { .. }
+            | BmtPad { .. }
+            | SortBmtb
             | InterleavedStorage => Stage::Mapping,
-            SetResources { .. } | GmemAtomRed | ShmemOffsetRed | ShmemTotalRed | WarpTotalRed
-            | WarpBitmapRed | WarpSegRed | ThreadTotalRed | ThreadBitmapRed => Stage::Implementing,
+            SetResources { .. }
+            | GmemAtomRed
+            | ShmemOffsetRed
+            | ShmemTotalRed
+            | WarpTotalRed
+            | WarpBitmapRed
+            | WarpSegRed
+            | ThreadTotalRed
+            | ThreadBitmapRed => Stage::Implementing,
         }
     }
 
@@ -231,7 +245,9 @@ impl Operator {
             BmtPad { multiple: 4 },
             SortBmtb,
             InterleavedStorage,
-            SetResources { threads_per_block: 128 },
+            SetResources {
+                threads_per_block: 128,
+            },
             GmemAtomRed,
             ShmemOffsetRed,
             ShmemTotalRed,
@@ -279,9 +295,18 @@ mod tests {
         // three row/col blocks separately, plus NNZ block, SORT_BMTB and the
         // interleaved-storage layout used by Figure 14), and 9 implementing.
         assert_eq!(catalogue.len(), 25);
-        let converting = catalogue.iter().filter(|o| o.stage() == Stage::Converting).count();
-        let mapping = catalogue.iter().filter(|o| o.stage() == Stage::Mapping).count();
-        let implementing = catalogue.iter().filter(|o| o.stage() == Stage::Implementing).count();
+        let converting = catalogue
+            .iter()
+            .filter(|o| o.stage() == Stage::Converting)
+            .count();
+        let mapping = catalogue
+            .iter()
+            .filter(|o| o.stage() == Stage::Mapping)
+            .count();
+        let implementing = catalogue
+            .iter()
+            .filter(|o| o.stage() == Stage::Implementing)
+            .count();
         assert_eq!(converting, 6);
         assert_eq!(mapping, 10);
         assert_eq!(implementing, 9);
@@ -295,15 +320,23 @@ mod tests {
         let before = names.len();
         names.dedup();
         assert_eq!(names.len(), before);
-        assert!(names.iter().all(|n| n.chars().all(|c| c.is_ascii_uppercase() || c == '_')));
+        assert!(names
+            .iter()
+            .all(|n| n.chars().all(|c| c.is_ascii_uppercase() || c == '_')));
     }
 
     #[test]
     fn display_includes_parameters() {
-        assert_eq!(Operator::BmtPad { multiple: 4 }.to_string(), "BMT_PAD(multiple=4)");
+        assert_eq!(
+            Operator::BmtPad { multiple: 4 }.to_string(),
+            "BMT_PAD(multiple=4)"
+        );
         assert_eq!(Operator::Compress.to_string(), "COMPRESS");
         assert_eq!(
-            Operator::SetResources { threads_per_block: 256 }.to_string(),
+            Operator::SetResources {
+                threads_per_block: 256
+            }
+            .to_string(),
             "SET_RESOURCES(tpb=256)"
         );
     }
@@ -311,8 +344,12 @@ mod tests {
     #[test]
     fn reduction_operators_cite_their_source_formats() {
         assert!(Operator::WarpSegRed.source_formats().contains(&"CSR5"));
-        assert!(Operator::ShmemOffsetRed.source_formats().contains(&"CSR-Adaptive"));
-        assert!(Operator::GmemAtomRed.source_formats().contains(&"row-grouped CSR"));
+        assert!(Operator::ShmemOffsetRed
+            .source_formats()
+            .contains(&"CSR-Adaptive"));
+        assert!(Operator::GmemAtomRed
+            .source_formats()
+            .contains(&"row-grouped CSR"));
     }
 
     #[test]

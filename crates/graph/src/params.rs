@@ -104,12 +104,16 @@ pub fn with_param(op: &Operator, value: usize) -> Operator {
         BmtbRowBlock { .. } => BmtbRowBlock { rows: value },
         BmwRowBlock { .. } => BmwRowBlock { rows: value },
         BmtRowBlock { .. } => BmtRowBlock { rows: value },
-        BmtColBlock { .. } => BmtColBlock { threads_per_row: value },
+        BmtColBlock { .. } => BmtColBlock {
+            threads_per_row: value,
+        },
         BmtNnzBlock { .. } => BmtNnzBlock { nnz: value },
         BmtbPad { .. } => BmtbPad { multiple: value },
         BmwPad { .. } => BmwPad { multiple: value },
         BmtPad { .. } => BmtPad { multiple: value },
-        SetResources { .. } => SetResources { threads_per_block: value },
+        SetResources { .. } => SetResources {
+            threads_per_block: value,
+        },
         other => other.clone(),
     }
 }
@@ -150,7 +154,10 @@ mod tests {
         ] {
             let fine = kind.fine_grid();
             for v in kind.coarse_grid() {
-                assert!(fine.contains(v), "{kind:?}: coarse value {v} missing from fine grid");
+                assert!(
+                    fine.contains(v),
+                    "{kind:?}: coarse value {v} missing from fine grid"
+                );
             }
             assert!(fine.len() > kind.coarse_grid().len());
         }

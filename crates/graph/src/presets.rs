@@ -14,7 +14,9 @@ pub fn csr_scalar() -> OperatorGraph {
         converting: vec![Operator::Compress],
         branches: vec![vec![
             Operator::BmtRowBlock { rows: 1 },
-            Operator::SetResources { threads_per_block: 128 },
+            Operator::SetResources {
+                threads_per_block: 128,
+            },
             Operator::ThreadTotalRed,
         ]],
     }
@@ -25,8 +27,12 @@ pub fn csr_vector() -> OperatorGraph {
     OperatorGraph {
         converting: vec![Operator::Compress],
         branches: vec![vec![
-            Operator::BmtColBlock { threads_per_row: 32 },
-            Operator::SetResources { threads_per_block: 128 },
+            Operator::BmtColBlock {
+                threads_per_row: 32,
+            },
+            Operator::SetResources {
+                threads_per_block: 128,
+            },
             Operator::ThreadTotalRed,
             Operator::WarpTotalRed,
         ]],
@@ -42,7 +48,9 @@ pub fn figure5_example() -> OperatorGraph {
             Operator::BmtbRowBlock { rows: 2 },
             Operator::BmtRowBlock { rows: 1 },
             Operator::BmtPad { multiple: 2 },
-            Operator::SetResources { threads_per_block: 64 },
+            Operator::SetResources {
+                threads_per_block: 64,
+            },
             Operator::ThreadTotalRed,
             Operator::GmemAtomRed,
         ]],
@@ -59,7 +67,9 @@ pub fn sell_like() -> OperatorGraph {
             Operator::BmtRowBlock { rows: 1 },
             Operator::BmtbPad { multiple: 4 },
             Operator::InterleavedStorage,
-            Operator::SetResources { threads_per_block: 128 },
+            Operator::SetResources {
+                threads_per_block: 128,
+            },
             Operator::ThreadTotalRed,
         ]],
     }
@@ -76,7 +86,9 @@ pub fn sell_sigma_like(block_rows: usize) -> OperatorGraph {
             Operator::BmtbPad { multiple: 4 },
             Operator::SortBmtb,
             Operator::InterleavedStorage,
-            Operator::SetResources { threads_per_block: 128 },
+            Operator::SetResources {
+                threads_per_block: 128,
+            },
             Operator::ThreadTotalRed,
         ]],
     }
@@ -90,7 +102,9 @@ pub fn row_grouped_csr_like() -> OperatorGraph {
         branches: vec![vec![
             Operator::BmtbRowBlock { rows: 256 },
             Operator::BmtRowBlock { rows: 1 },
-            Operator::SetResources { threads_per_block: 256 },
+            Operator::SetResources {
+                threads_per_block: 256,
+            },
             Operator::ThreadTotalRed,
             Operator::GmemAtomRed,
         ]],
@@ -105,7 +119,9 @@ pub fn csr_adaptive_like() -> OperatorGraph {
         branches: vec![vec![
             Operator::BmtbRowBlock { rows: 32 },
             Operator::BmtRowBlock { rows: 1 },
-            Operator::SetResources { threads_per_block: 128 },
+            Operator::SetResources {
+                threads_per_block: 128,
+            },
             Operator::ThreadTotalRed,
             Operator::ShmemOffsetRed,
         ]],
@@ -118,8 +134,12 @@ pub fn csr5_like(nnz_per_thread: usize) -> OperatorGraph {
     OperatorGraph {
         converting: vec![Operator::Compress],
         branches: vec![vec![
-            Operator::BmtNnzBlock { nnz: nnz_per_thread },
-            Operator::SetResources { threads_per_block: 128 },
+            Operator::BmtNnzBlock {
+                nnz: nnz_per_thread,
+            },
+            Operator::SetResources {
+                threads_per_block: 128,
+            },
             Operator::ThreadBitmapRed,
             Operator::WarpSegRed,
             Operator::GmemAtomRed,
@@ -134,7 +154,9 @@ pub fn acsr_like(bins: usize) -> OperatorGraph {
         branches: vec![vec![
             Operator::Bin { bins },
             Operator::BmtRowBlock { rows: 1 },
-            Operator::SetResources { threads_per_block: 128 },
+            Operator::SetResources {
+                threads_per_block: 128,
+            },
             Operator::ThreadTotalRed,
         ]],
     }
@@ -150,7 +172,9 @@ pub fn row_split_hybrid(parts: usize) -> OperatorGraph {
         Operator::BmtRowBlock { rows: 1 },
         Operator::BmtbPad { multiple: 4 },
         Operator::InterleavedStorage,
-        Operator::SetResources { threads_per_block: 128 },
+        Operator::SetResources {
+            threads_per_block: 128,
+        },
         Operator::ThreadTotalRed,
     ];
     OperatorGraph {
@@ -164,7 +188,9 @@ pub fn row_split_hybrid(parts: usize) -> OperatorGraph {
 pub fn col_split_atomic(parts: usize) -> OperatorGraph {
     let branch = vec![
         Operator::BmtRowBlock { rows: 1 },
-        Operator::SetResources { threads_per_block: 128 },
+        Operator::SetResources {
+            threads_per_block: 128,
+        },
         Operator::ThreadTotalRed,
         Operator::GmemAtomRed,
     ];
@@ -184,7 +210,9 @@ pub fn fig2_sell_blocking_adaptive_reduction() -> OperatorGraph {
             Operator::BmtRowBlock { rows: 1 },
             Operator::BmtbPad { multiple: 4 },
             Operator::InterleavedStorage,
-            Operator::SetResources { threads_per_block: 128 },
+            Operator::SetResources {
+                threads_per_block: 128,
+            },
             Operator::ThreadTotalRed,
             Operator::ShmemOffsetRed,
         ]],
@@ -202,7 +230,9 @@ pub fn fig2_triple_mix() -> OperatorGraph {
             Operator::BmtRowBlock { rows: 1 },
             Operator::BmwPad { multiple: 2 },
             Operator::InterleavedStorage,
-            Operator::SetResources { threads_per_block: 256 },
+            Operator::SetResources {
+                threads_per_block: 256,
+            },
             Operator::ThreadTotalRed,
             Operator::ShmemOffsetRed,
         ]],
@@ -218,7 +248,9 @@ pub fn fig14_scfxm_design() -> OperatorGraph {
         branches: vec![vec![
             Operator::BmtbRowBlock { rows: 32 },
             Operator::BmtColBlock { threads_per_row: 4 },
-            Operator::SetResources { threads_per_block: 128 },
+            Operator::SetResources {
+                threads_per_block: 128,
+            },
             Operator::ThreadTotalRed,
             Operator::ShmemOffsetRed,
         ]],
@@ -240,7 +272,10 @@ pub fn all_presets() -> Vec<(&'static str, OperatorGraph)> {
         ("acsr_like", acsr_like(4)),
         ("row_split_hybrid", row_split_hybrid(2)),
         ("col_split_atomic", col_split_atomic(2)),
-        ("fig2_sell_blocking_adaptive_reduction", fig2_sell_blocking_adaptive_reduction()),
+        (
+            "fig2_sell_blocking_adaptive_reduction",
+            fig2_sell_blocking_adaptive_reduction(),
+        ),
         ("fig2_triple_mix", fig2_triple_mix()),
         ("fig14_scfxm_design", fig14_scfxm_design()),
     ]

@@ -21,7 +21,13 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Creates an empty matrix with the given dimensions.
     pub fn new(rows: usize, cols: usize) -> Self {
-        CooMatrix { rows, cols, row_indices: Vec::new(), col_indices: Vec::new(), values: Vec::new() }
+        CooMatrix {
+            rows,
+            cols,
+            row_indices: Vec::new(),
+            col_indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Creates a matrix from triplet arrays, validating index bounds.
@@ -50,12 +56,21 @@ impl CooMatrix {
                 });
             }
         }
-        Ok(CooMatrix { rows, cols, row_indices, col_indices, values })
+        Ok(CooMatrix {
+            rows,
+            cols,
+            row_indices,
+            col_indices,
+            values,
+        })
     }
 
     /// Appends one entry.  Panics if the entry is out of bounds.
     pub fn push(&mut self, row: usize, col: usize, value: Scalar) {
-        assert!(row < self.rows && col < self.cols, "entry ({row}, {col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "entry ({row}, {col}) out of bounds"
+        );
         self.row_indices.push(row as u32);
         self.col_indices.push(col as u32);
         self.values.push(value);
@@ -148,7 +163,12 @@ impl CooMatrix {
             )));
         }
         let mut y = vec![0.0; self.rows];
-        for ((&r, &c), &v) in self.row_indices.iter().zip(&self.col_indices).zip(&self.values) {
+        for ((&r, &c), &v) in self
+            .row_indices
+            .iter()
+            .zip(&self.col_indices)
+            .zip(&self.values)
+        {
             y[r as usize] += v * x[c as usize];
         }
         Ok(y)
@@ -232,7 +252,10 @@ mod tests {
         m.sort_row_major();
         let rows: Vec<_> = m.row_indices().to_vec();
         assert!(rows.windows(2).all(|w| w[0] <= w[1]));
-        assert_eq!(m.spmv(&[1.0; 4]).unwrap(), sample().spmv(&[1.0; 4]).unwrap());
+        assert_eq!(
+            m.spmv(&[1.0; 4]).unwrap(),
+            sample().spmv(&[1.0; 4]).unwrap()
+        );
     }
 
     #[test]

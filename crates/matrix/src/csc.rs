@@ -20,8 +20,10 @@ pub struct CscMatrix {
 impl CscMatrix {
     /// Converts from COO by sorting entries in column-major order.
     pub fn from_coo(coo: &CooMatrix) -> Self {
-        let mut entries: Vec<(u32, u32, Scalar)> =
-            coo.iter().map(|(r, c, v)| (c as u32, r as u32, v)).collect();
+        let mut entries: Vec<(u32, u32, Scalar)> = coo
+            .iter()
+            .map(|(r, c, v)| (c as u32, r as u32, v))
+            .collect();
         entries.sort_by_key(|&(c, r, _)| (c, r));
         let mut col_offsets = vec![0u32; coo.cols() + 1];
         let mut row_indices = Vec::with_capacity(entries.len());
@@ -34,7 +36,13 @@ impl CscMatrix {
         for i in 0..coo.cols() {
             col_offsets[i + 1] += col_offsets[i];
         }
-        CscMatrix { rows: coo.rows(), cols: coo.cols(), col_offsets, row_indices, values }
+        CscMatrix {
+            rows: coo.rows(),
+            cols: coo.cols(),
+            col_offsets,
+            row_indices,
+            values,
+        }
     }
 
     /// Converts from CSR via COO.
@@ -88,8 +96,7 @@ impl CscMatrix {
             )));
         }
         let mut y = vec![0.0; self.rows];
-        for col in 0..self.cols {
-            let xv = x[col];
+        for (col, &xv) in x.iter().enumerate() {
             for idx in self.col_offsets[col] as usize..self.col_offsets[col + 1] as usize {
                 y[self.row_indices[idx] as usize] += self.values[idx] * xv;
             }

@@ -34,10 +34,14 @@ impl CsrMatrix {
             )));
         }
         if row_offsets.first() != Some(&0) {
-            return Err(MatrixError::MalformedOffsets("row_offsets must start at 0".into()));
+            return Err(MatrixError::MalformedOffsets(
+                "row_offsets must start at 0".into(),
+            ));
         }
         if row_offsets.windows(2).any(|w| w[0] > w[1]) {
-            return Err(MatrixError::MalformedOffsets("row_offsets must be non-decreasing".into()));
+            return Err(MatrixError::MalformedOffsets(
+                "row_offsets must be non-decreasing".into(),
+            ));
         }
         let nnz = *row_offsets.last().expect("len >= 1") as usize;
         if col_indices.len() != nnz || values.len() != nnz {
@@ -49,9 +53,20 @@ impl CsrMatrix {
             )));
         }
         if let Some(&c) = col_indices.iter().find(|&&c| c as usize >= cols) {
-            return Err(MatrixError::IndexOutOfBounds { row: 0, col: c as usize, rows, cols });
+            return Err(MatrixError::IndexOutOfBounds {
+                row: 0,
+                col: c as usize,
+                rows,
+                cols,
+            });
         }
-        Ok(CsrMatrix { rows, cols, row_offsets, col_indices, values })
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_offsets,
+            col_indices,
+            values,
+        })
     }
 
     /// Converts from COO, summing duplicates and sorting each row by column.
@@ -151,12 +166,12 @@ impl CsrMatrix {
             )));
         }
         let mut y = vec![0.0; self.rows];
-        for row in 0..self.rows {
+        for (row, out) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for idx in self.row_range(row) {
                 acc += self.values[idx] * x[self.col_indices[idx] as usize];
             }
-            y[row] = acc;
+            *out = acc;
         }
         Ok(y)
     }
@@ -175,13 +190,48 @@ impl CsrMatrix {
             }
             row_offsets.push(col_indices.len() as u32);
         }
-        CsrMatrix { rows: rows.len(), cols: self.cols, row_offsets, col_indices, values }
+        CsrMatrix {
+            rows: rows.len(),
+            cols: self.cols,
+            row_offsets,
+            col_indices,
+            values,
+        }
     }
 
     /// Memory footprint of the format arrays in bytes (used by the cost model
     /// when estimating memory traffic of format metadata).
     pub fn format_bytes(&self) -> usize {
         self.row_offsets.len() * 4 + self.col_indices.len() * 4 + self.values.len() * 4
+    }
+
+    /// A 64-bit FNV-1a fingerprint of the full matrix content — dimensions,
+    /// row offsets, column indices and value bits.  Two matrices with equal
+    /// fingerprints are (up to hash collision) identical, so the fingerprint
+    /// identifies the matrix in the search engine's evaluation cache.  O(nnz);
+    /// callers that need it repeatedly should compute it once.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(mut hash: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(PRIME);
+            }
+            hash
+        }
+        let mut hash = eat(OFFSET, &(self.rows as u64).to_le_bytes());
+        hash = eat(hash, &(self.cols as u64).to_le_bytes());
+        for &offset in &self.row_offsets {
+            hash = eat(hash, &offset.to_le_bytes());
+        }
+        for &col in &self.col_indices {
+            hash = eat(hash, &col.to_le_bytes());
+        }
+        for &value in &self.values {
+            hash = eat(hash, &value.to_bits().to_le_bytes());
+        }
+        hash
     }
 }
 

@@ -13,13 +13,17 @@ pub struct DenseVector {
 impl DenseVector {
     /// A vector of `len` zeros.
     pub fn zeros(len: usize) -> Self {
-        DenseVector { data: vec![0.0; len] }
+        DenseVector {
+            data: vec![0.0; len],
+        }
     }
 
     /// A vector of `len` ones (the paper's benchmarks multiply by arbitrary
     /// dense x; ones make hand-checking easy in tests).
     pub fn ones(len: usize) -> Self {
-        DenseVector { data: vec![1.0; len] }
+        DenseVector {
+            data: vec![1.0; len],
+        }
     }
 
     /// A deterministic pseudo-random vector in `[-1, 1)`, keyed by `seed`.
@@ -73,7 +77,11 @@ impl DenseVector {
     /// Maximum absolute difference to another vector; panics on length
     /// mismatch because that always indicates a harness bug.
     pub fn max_abs_diff(&self, other: &[Scalar]) -> Scalar {
-        assert_eq!(self.len(), other.len(), "comparing vectors of different lengths");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "comparing vectors of different lengths"
+        );
         self.data
             .iter()
             .zip(other)

@@ -42,7 +42,13 @@ impl DiaMatrix {
                 data[d * rows + row] = csr.values()[idx];
             }
         }
-        DiaMatrix { rows, cols, nnz: csr.nnz(), offsets: present, data }
+        DiaMatrix {
+            rows,
+            cols,
+            nnz: csr.nnz(),
+            offsets: present,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -91,10 +97,10 @@ impl DiaMatrix {
         }
         let mut y = vec![0.0; self.rows];
         for (d, &off) in self.offsets.iter().enumerate() {
-            for row in 0..self.rows {
+            for (row, out) in y.iter_mut().enumerate() {
                 let col = row as i64 + off;
                 if col >= 0 && (col as usize) < self.cols {
-                    y[row] += self.data[d * self.rows + row] * x[col as usize];
+                    *out += self.data[d * self.rows + row] * x[col as usize];
                 }
             }
         }

@@ -36,7 +36,14 @@ impl EllMatrix {
                 values[k * rows + row] = csr.values()[idx];
             }
         }
-        EllMatrix { rows, cols: csr.cols(), width, nnz: csr.nnz(), col_indices, values }
+        EllMatrix {
+            rows,
+            cols: csr.cols(),
+            width,
+            nnz: csr.nnz(),
+            col_indices,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -94,7 +101,7 @@ impl EllMatrix {
             )));
         }
         let mut y = vec![0.0; self.rows];
-        for row in 0..self.rows {
+        for (row, out) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in 0..self.width {
                 let idx = k * self.rows + row;
@@ -103,7 +110,7 @@ impl EllMatrix {
                     acc += self.values[idx] * x[c as usize];
                 }
             }
-            y[row] = acc;
+            *out = acc;
         }
         Ok(y)
     }

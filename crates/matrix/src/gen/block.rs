@@ -96,6 +96,9 @@ mod tests {
     #[test]
     fn deterministic() {
         assert_eq!(block_diagonal(64, 8, 5), block_diagonal(64, 8, 5));
-        assert_eq!(dense_row_blocks(64, 2, 30, 5), dense_row_blocks(64, 2, 30, 5));
+        assert_eq!(
+            dense_row_blocks(64, 2, 30, 5),
+            dense_row_blocks(64, 2, 30, 5)
+        );
     }
 }

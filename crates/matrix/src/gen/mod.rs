@@ -58,9 +58,7 @@ impl PatternFamily {
             PatternFamily::UniformRandom => uniform_random(rows, rows, avg_row_len, seed),
             PatternFamily::PowerLaw => powerlaw(rows, rows, avg_row_len, 2.1, seed),
             PatternFamily::Banded => banded(rows, (avg_row_len / 2).max(1), seed),
-            PatternFamily::BlockDiagonal => {
-                block_diagonal(rows, avg_row_len.clamp(2, 64), seed)
-            }
+            PatternFamily::BlockDiagonal => block_diagonal(rows, avg_row_len.clamp(2, 64), seed),
             PatternFamily::Rmat => rmat(rows, rows.saturating_mul(avg_row_len), seed),
         }
     }

@@ -28,7 +28,11 @@ pub fn powerlaw(rows: usize, cols: usize, avg_row_len: usize, alpha: f64, seed: 
         })
         .collect();
     let mean_raw = raw.iter().sum::<f64>() / rows.max(1) as f64;
-    let scale = if mean_raw > 0.0 { avg_row_len as f64 / mean_raw } else { 1.0 };
+    let scale = if mean_raw > 0.0 {
+        avg_row_len as f64 / mean_raw
+    } else {
+        1.0
+    };
     for len in &mut raw {
         *len = (*len * scale).clamp(1.0, max_len as f64);
     }
@@ -92,7 +96,11 @@ mod tests {
     fn heavy_tail_produces_irregularity() {
         let m = powerlaw(4_000, 4_000, 16, 1.8, 7);
         let s = MatrixStats::from_csr(&m);
-        assert!(s.is_irregular(), "variance {} should exceed 100", s.row_len_variance);
+        assert!(
+            s.is_irregular(),
+            "variance {} should exceed 100",
+            s.row_len_variance
+        );
         assert!(s.max_row_len > 10 * s.min_row_len.max(1));
     }
 

@@ -30,7 +30,7 @@ impl SplitMix64 {
         debug_assert!(bound > 0, "next_below requires a positive bound");
         // Multiply-shift rejection-free mapping; bias is negligible for the
         // bounds used here (all far below 2^32).
-        ((self.next_u64() >> 11) as u128 * bound as u128 >> 53) as usize
+        (((self.next_u64() >> 11) as u128 * bound as u128) >> 53) as usize
     }
 
     /// Uniform `f64` in `[0, 1)`.

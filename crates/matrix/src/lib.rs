@@ -68,7 +68,12 @@ pub enum MatrixError {
 impl std::fmt::Display for MatrixError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MatrixError::IndexOutOfBounds { row, col, rows, cols } => write!(
+            MatrixError::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
                 f,
                 "entry ({row}, {col}) out of bounds for a {rows}x{cols} matrix"
             ),
@@ -90,7 +95,12 @@ mod tests {
 
     #[test]
     fn error_display_mentions_indices() {
-        let e = MatrixError::IndexOutOfBounds { row: 3, col: 7, rows: 2, cols: 2 };
+        let e = MatrixError::IndexOutOfBounds {
+            row: 3,
+            col: 7,
+            rows: 2,
+            cols: 2,
+        };
         let s = e.to_string();
         assert!(s.contains('3') && s.contains('7') && s.contains("2x2"));
     }

@@ -75,7 +75,12 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix> {
         let r: usize = parse_num(parts.next(), "entry row")?;
         let c: usize = parse_num(parts.next(), "entry column")?;
         if r == 0 || c == 0 || r > rows || c > cols {
-            return Err(MatrixError::IndexOutOfBounds { row: r, col: c, rows, cols });
+            return Err(MatrixError::IndexOutOfBounds {
+                row: r,
+                col: c,
+                rows,
+                cols,
+            });
         }
         let value: Scalar = match field {
             Field::Pattern => 1.0,
@@ -115,8 +120,17 @@ pub fn read_matrix_market_file<P: AsRef<Path>>(path: P) -> Result<CsrMatrix> {
 pub fn write_matrix_market<W: Write>(writer: &mut W, matrix: &CooMatrix) -> Result<()> {
     let mut emit = || -> std::io::Result<()> {
         writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
-        writeln!(writer, "% written by the AlphaSparse reproduction workspace")?;
-        writeln!(writer, "{} {} {}", matrix.rows(), matrix.cols(), matrix.nnz())?;
+        writeln!(
+            writer,
+            "% written by the AlphaSparse reproduction workspace"
+        )?;
+        writeln!(
+            writer,
+            "{} {} {}",
+            matrix.rows(),
+            matrix.cols(),
+            matrix.nnz()
+        )?;
         for (r, c, v) in matrix.iter() {
             writeln!(writer, "{} {} {}", r + 1, c + 1, v)?;
         }
@@ -126,9 +140,14 @@ pub fn write_matrix_market<W: Write>(writer: &mut W, matrix: &CooMatrix) -> Resu
 }
 
 fn parse_header(header: &str) -> Result<(Field, Symmetry)> {
-    let tokens: Vec<String> = header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    let tokens: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
     if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
-        return Err(MatrixError::Parse(format!("not a Matrix Market header: '{header}'")));
+        return Err(MatrixError::Parse(format!(
+            "not a Matrix Market header: '{header}'"
+        )));
     }
     if tokens[2] != "coordinate" {
         return Err(MatrixError::Parse(format!(
@@ -141,7 +160,9 @@ fn parse_header(header: &str) -> Result<(Field, Symmetry)> {
         "integer" => Field::Integer,
         "pattern" => Field::Pattern,
         other => {
-            return Err(MatrixError::Parse(format!("unsupported value field '{other}'")));
+            return Err(MatrixError::Parse(format!(
+                "unsupported value field '{other}'"
+            )));
         }
     };
     let symmetry = match tokens[4].as_str() {
@@ -149,7 +170,9 @@ fn parse_header(header: &str) -> Result<(Field, Symmetry)> {
         "symmetric" => Symmetry::Symmetric,
         "skew-symmetric" => Symmetry::SkewSymmetric,
         other => {
-            return Err(MatrixError::Parse(format!("unsupported symmetry '{other}'")));
+            return Err(MatrixError::Parse(format!(
+                "unsupported symmetry '{other}'"
+            )));
         }
     };
     Ok((field, symmetry))
@@ -220,8 +243,10 @@ mod tests {
 
     #[test]
     fn reject_bad_header_and_counts() {
-        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n1 1\n".as_bytes())
-            .is_err());
+        assert!(
+            read_matrix_market("%%MatrixMarket matrix array real general\n1 1\n".as_bytes())
+                .is_err()
+        );
         assert!(read_matrix_market("hello\n".as_bytes()).is_err());
         let wrong_count = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
         assert!(read_matrix_market(wrong_count.as_bytes()).is_err());

@@ -35,11 +35,19 @@ impl MatrixStats {
         let rows = csr.rows();
         let lengths = csr.row_lengths();
         let nnz = csr.nnz();
-        let avg = if rows == 0 { 0.0 } else { nnz as f64 / rows as f64 };
+        let avg = if rows == 0 {
+            0.0
+        } else {
+            nnz as f64 / rows as f64
+        };
         let variance = if rows == 0 {
             0.0
         } else {
-            lengths.iter().map(|&l| (l as f64 - avg).powi(2)).sum::<f64>() / rows as f64
+            lengths
+                .iter()
+                .map(|&l| (l as f64 - avg).powi(2))
+                .sum::<f64>()
+                / rows as f64
         };
         MatrixStats {
             rows,
@@ -101,7 +109,11 @@ impl RowLengthHistogram {
     pub fn from_csr(csr: &CsrMatrix) -> Self {
         let mut buckets = vec![0usize; 1];
         for len in csr.row_lengths() {
-            let b = if len == 0 { 0 } else { (usize::BITS - (len).leading_zeros()) as usize };
+            let b = if len == 0 {
+                0
+            } else {
+                (usize::BITS - (len).leading_zeros()) as usize
+            };
             if b >= buckets.len() {
                 buckets.resize(b + 1, 0);
             }

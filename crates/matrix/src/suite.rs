@@ -61,32 +61,160 @@ struct NamedSpec {
 
 const NAMED_SPECS: &[NamedSpec] = &[
     // The 13 matrices of Table III.
-    NamedSpec { name: "pdb1HYS", domain: "protein", rows: 36_417, avg_row_len: 119, family: PatternFamily::Banded, seed: 101 },
-    NamedSpec { name: "windtunnel_evap3d", domain: "CFD", rows: 40_816, avg_row_len: 60, family: PatternFamily::Banded, seed: 102 },
-    NamedSpec { name: "consph", domain: "FEM", rows: 83_334, avg_row_len: 72, family: PatternFamily::Banded, seed: 103 },
-    NamedSpec { name: "Ga41As41H72", domain: "quantum chemistry", rows: 268_096, avg_row_len: 68, family: PatternFamily::PowerLaw, seed: 104 },
-    NamedSpec { name: "Si41Ge41H72", domain: "quantum chemistry", rows: 185_639, avg_row_len: 81, family: PatternFamily::PowerLaw, seed: 105 },
-    NamedSpec { name: "ASIC_680k", domain: "circuit simulation", rows: 682_862, avg_row_len: 5, family: PatternFamily::Rmat, seed: 106 },
-    NamedSpec { name: "mip1", domain: "optimisation", rows: 66_463, avg_row_len: 155, family: PatternFamily::BlockDiagonal, seed: 107 },
-    NamedSpec { name: "Rucci1", domain: "least squares", rows: 1_977_885, avg_row_len: 4, family: PatternFamily::UniformRandom, seed: 108 },
-    NamedSpec { name: "boyd2", domain: "optimisation", rows: 466_316, avg_row_len: 3, family: PatternFamily::Rmat, seed: 109 },
-    NamedSpec { name: "rajat31", domain: "circuit simulation", rows: 4_690_002, avg_row_len: 4, family: PatternFamily::Rmat, seed: 110 },
-    NamedSpec { name: "transient", domain: "circuit simulation", rows: 178_866, avg_row_len: 5, family: PatternFamily::PowerLaw, seed: 111 },
-    NamedSpec { name: "ins2", domain: "optimisation", rows: 309_412, avg_row_len: 8, family: PatternFamily::PowerLaw, seed: 112 },
-    NamedSpec { name: "bone010", domain: "model reduction", rows: 986_703, avg_row_len: 48, family: PatternFamily::Banded, seed: 113 },
+    NamedSpec {
+        name: "pdb1HYS",
+        domain: "protein",
+        rows: 36_417,
+        avg_row_len: 119,
+        family: PatternFamily::Banded,
+        seed: 101,
+    },
+    NamedSpec {
+        name: "windtunnel_evap3d",
+        domain: "CFD",
+        rows: 40_816,
+        avg_row_len: 60,
+        family: PatternFamily::Banded,
+        seed: 102,
+    },
+    NamedSpec {
+        name: "consph",
+        domain: "FEM",
+        rows: 83_334,
+        avg_row_len: 72,
+        family: PatternFamily::Banded,
+        seed: 103,
+    },
+    NamedSpec {
+        name: "Ga41As41H72",
+        domain: "quantum chemistry",
+        rows: 268_096,
+        avg_row_len: 68,
+        family: PatternFamily::PowerLaw,
+        seed: 104,
+    },
+    NamedSpec {
+        name: "Si41Ge41H72",
+        domain: "quantum chemistry",
+        rows: 185_639,
+        avg_row_len: 81,
+        family: PatternFamily::PowerLaw,
+        seed: 105,
+    },
+    NamedSpec {
+        name: "ASIC_680k",
+        domain: "circuit simulation",
+        rows: 682_862,
+        avg_row_len: 5,
+        family: PatternFamily::Rmat,
+        seed: 106,
+    },
+    NamedSpec {
+        name: "mip1",
+        domain: "optimisation",
+        rows: 66_463,
+        avg_row_len: 155,
+        family: PatternFamily::BlockDiagonal,
+        seed: 107,
+    },
+    NamedSpec {
+        name: "Rucci1",
+        domain: "least squares",
+        rows: 1_977_885,
+        avg_row_len: 4,
+        family: PatternFamily::UniformRandom,
+        seed: 108,
+    },
+    NamedSpec {
+        name: "boyd2",
+        domain: "optimisation",
+        rows: 466_316,
+        avg_row_len: 3,
+        family: PatternFamily::Rmat,
+        seed: 109,
+    },
+    NamedSpec {
+        name: "rajat31",
+        domain: "circuit simulation",
+        rows: 4_690_002,
+        avg_row_len: 4,
+        family: PatternFamily::Rmat,
+        seed: 110,
+    },
+    NamedSpec {
+        name: "transient",
+        domain: "circuit simulation",
+        rows: 178_866,
+        avg_row_len: 5,
+        family: PatternFamily::PowerLaw,
+        seed: 111,
+    },
+    NamedSpec {
+        name: "ins2",
+        domain: "optimisation",
+        rows: 309_412,
+        avg_row_len: 8,
+        family: PatternFamily::PowerLaw,
+        seed: 112,
+    },
+    NamedSpec {
+        name: "bone010",
+        domain: "model reduction",
+        rows: 986_703,
+        avg_row_len: 48,
+        family: PatternFamily::Banded,
+        seed: 113,
+    },
     // Case-study matrices of Figures 2, 9 and 14 and Section VII-H.
-    NamedSpec { name: "scfxm1-2r", domain: "linear programming", rows: 37_980, avg_row_len: 10, family: PatternFamily::UniformRandom, seed: 201 },
-    NamedSpec { name: "2D_27628_bjtcai", domain: "semiconductor device", rows: 27_628, avg_row_len: 8, family: PatternFamily::PowerLaw, seed: 202 },
-    NamedSpec { name: "TSOPF_RS_b300_c2", domain: "power network", rows: 28_338, avg_row_len: 100, family: PatternFamily::BlockDiagonal, seed: 203 },
-    NamedSpec { name: "TSOPF_RS_b2052_c1", domain: "power network", rows: 25_626, avg_row_len: 80, family: PatternFamily::BlockDiagonal, seed: 204 },
-    NamedSpec { name: "GL7d19", domain: "combinatorics", rows: 1_911_130, avg_row_len: 19, family: PatternFamily::PowerLaw, seed: 205 },
+    NamedSpec {
+        name: "scfxm1-2r",
+        domain: "linear programming",
+        rows: 37_980,
+        avg_row_len: 10,
+        family: PatternFamily::UniformRandom,
+        seed: 201,
+    },
+    NamedSpec {
+        name: "2D_27628_bjtcai",
+        domain: "semiconductor device",
+        rows: 27_628,
+        avg_row_len: 8,
+        family: PatternFamily::PowerLaw,
+        seed: 202,
+    },
+    NamedSpec {
+        name: "TSOPF_RS_b300_c2",
+        domain: "power network",
+        rows: 28_338,
+        avg_row_len: 100,
+        family: PatternFamily::BlockDiagonal,
+        seed: 203,
+    },
+    NamedSpec {
+        name: "TSOPF_RS_b2052_c1",
+        domain: "power network",
+        rows: 25_626,
+        avg_row_len: 80,
+        family: PatternFamily::BlockDiagonal,
+        seed: 204,
+    },
+    NamedSpec {
+        name: "GL7d19",
+        domain: "combinatorics",
+        rows: 1_911_130,
+        avg_row_len: 19,
+        family: PatternFamily::PowerLaw,
+        seed: 205,
+    },
 ];
 
 /// Generates one named stand-in matrix by its SuiteSparse name.
 ///
 /// Returns `None` for names not in the catalogue.
 pub fn named_matrix(name: &str, scale: SuiteScale) -> Option<NamedMatrix> {
-    let spec = NAMED_SPECS.iter().find(|s| s.name.eq_ignore_ascii_case(name))?;
+    let spec = NAMED_SPECS
+        .iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))?;
     let rows = scaled(spec.rows, scale.0);
     let matrix = match spec.name {
         // GL7d19: nearly balanced rows plus a handful of much longer ones —
@@ -94,7 +222,11 @@ pub fn named_matrix(name: &str, scale: SuiteScale) -> Option<NamedMatrix> {
         "GL7d19" => gen::dense_row_blocks(rows, (rows / 500).max(4), rows / 8, spec.seed),
         _ => spec.family.generate(rows, spec.avg_row_len, spec.seed),
     };
-    Some(NamedMatrix { name: spec.name, domain: spec.domain, matrix })
+    Some(NamedMatrix {
+        name: spec.name,
+        domain: spec.domain,
+        matrix,
+    })
 }
 
 /// Names of the 13 matrices used in Table III (pruning study).
@@ -244,7 +376,10 @@ mod tests {
         let entries = corpus(&CorpusConfig::tiny());
         let irregular = entries.iter().filter(|e| e.stats().is_irregular()).count();
         assert!(irregular > 0, "expected at least one irregular entry");
-        assert!(irregular < entries.len(), "expected at least one regular entry");
+        assert!(
+            irregular < entries.len(),
+            "expected at least one regular entry"
+        );
     }
 
     #[test]

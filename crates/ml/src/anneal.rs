@@ -21,7 +21,10 @@ impl Annealer {
     /// Creates a schedule.  `initial_temperature` is in the units of the
     /// objective (GFLOPS); `cooling` in `(0, 1)` is applied every step.
     pub fn new(initial_temperature: f64, cooling: f64, patience: usize) -> Self {
-        assert!((0.0..1.0).contains(&cooling), "cooling factor must be in (0, 1)");
+        assert!(
+            (0.0..1.0).contains(&cooling),
+            "cooling factor must be in (0, 1)"
+        );
         Annealer {
             temperature: initial_temperature.max(1e-6),
             cooling,

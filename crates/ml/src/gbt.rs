@@ -20,7 +20,12 @@ pub struct GbtConfig {
 
 impl Default for GbtConfig {
     fn default() -> Self {
-        GbtConfig { rounds: 40, learning_rate: 0.2, max_depth: 4, min_samples_split: 4 }
+        GbtConfig {
+            rounds: 40,
+            learning_rate: 0.2,
+            max_depth: 4,
+            min_samples_split: 4,
+        }
     }
 }
 
@@ -96,7 +101,10 @@ mod tests {
         let mut samples = Vec::new();
         for a in 0..16 {
             for b in 0..8 {
-                samples.push(Sample::new(vec![a as f64, b as f64], cost_surface(a as f64, b as f64)));
+                samples.push(Sample::new(
+                    vec![a as f64, b as f64],
+                    cost_surface(a as f64, b as f64),
+                ));
             }
         }
         samples
@@ -105,7 +113,13 @@ mod tests {
     #[test]
     fn boosting_reduces_error_over_single_tree() {
         let samples = training_grid();
-        let single = GradientBoostedTrees::fit(&samples, GbtConfig { rounds: 1, ..Default::default() });
+        let single = GradientBoostedTrees::fit(
+            &samples,
+            GbtConfig {
+                rounds: 1,
+                ..Default::default()
+            },
+        );
         let full = GradientBoostedTrees::fit(&samples, GbtConfig::default());
         let err = |m: &GradientBoostedTrees| {
             let preds: Vec<f64> = samples.iter().map(|s| m.predict(&s.features)).collect();
@@ -122,7 +136,10 @@ mod tests {
         let all = training_grid();
         let train: Vec<Sample> = all
             .iter()
-            .filter(|s| s.features[0] as usize % 2 == 0 && s.features[1] as usize % 2 == 0)
+            .filter(|s| {
+                (s.features[0] as usize).is_multiple_of(2)
+                    && (s.features[1] as usize).is_multiple_of(2)
+            })
             .cloned()
             .collect();
         let test: Vec<Sample> = all
@@ -148,7 +165,10 @@ mod tests {
     fn rounds_match_config() {
         let model = GradientBoostedTrees::fit(
             &training_grid(),
-            GbtConfig { rounds: 7, ..Default::default() },
+            GbtConfig {
+                rounds: 7,
+                ..Default::default()
+            },
         );
         assert_eq!(model.rounds(), 7);
     }

@@ -33,7 +33,11 @@ impl Sample {
 /// mean target magnitude — the metric the paper quotes (about 5 % for its
 /// XGBoost interpolation).
 pub fn relative_mean_absolute_deviation(predictions: &[f64], targets: &[f64]) -> f64 {
-    assert_eq!(predictions.len(), targets.len(), "prediction/target length mismatch");
+    assert_eq!(
+        predictions.len(),
+        targets.len(),
+        "prediction/target length mismatch"
+    );
     if targets.is_empty() {
         return 0.0;
     }

@@ -7,7 +7,12 @@ use crate::Sample;
 #[derive(Debug, Clone)]
 enum Node {
     /// Internal split: `feature < threshold` goes left, otherwise right.
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
     /// Leaf prediction.
     Leaf { value: f64 },
 }
@@ -43,7 +48,12 @@ impl RegressionTree {
         loop {
             match &self.nodes[node] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     let v = features.get(*feature).copied().unwrap_or(0.0);
                     node = if v < *threshold { *left } else { *right };
                 }
@@ -78,7 +88,12 @@ impl RegressionTree {
         self.nodes.push(Node::Leaf { value: mean });
         let left = self.build(samples, &left_idx, depth + 1);
         let right = self.build(samples, &right_idx, depth + 1);
-        self.nodes[node_index] = Node::Split { feature, threshold, left, right };
+        self.nodes[node_index] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         node_index
     }
 }
@@ -93,7 +108,10 @@ fn mean_target(samples: &[Sample], indices: &[usize]) -> f64 {
 /// Finds the `(feature, threshold)` pair minimising the post-split squared
 /// error, or `None` when no split improves on the parent.
 fn best_split(samples: &[Sample], indices: &[usize]) -> Option<(usize, f64)> {
-    let n_features = samples.get(indices[0]).map(|s| s.features.len()).unwrap_or(0);
+    let n_features = samples
+        .get(indices[0])
+        .map(|s| s.features.len())
+        .unwrap_or(0);
     let parent_sse = sse(samples, indices);
     let mut best: Option<(usize, f64, f64)> = None;
     for feature in 0..n_features {
@@ -112,8 +130,7 @@ fn best_split(samples: &[Sample], indices: &[usize]) -> Option<(usize, f64)> {
                 continue;
             }
             let split_sse = sse(samples, &left) + sse(samples, &right);
-            if split_sse + 1e-12 < parent_sse
-                && best.map(|(_, _, s)| split_sse < s).unwrap_or(true)
+            if split_sse + 1e-12 < parent_sse && best.map(|(_, _, s)| split_sse < s).unwrap_or(true)
             {
                 best = Some((feature, threshold, split_sse));
             }
@@ -124,7 +141,10 @@ fn best_split(samples: &[Sample], indices: &[usize]) -> Option<(usize, f64)> {
 
 fn sse(samples: &[Sample], indices: &[usize]) -> f64 {
     let mean = mean_target(samples, indices);
-    indices.iter().map(|&i| (samples[i].target - mean).powi(2)).sum()
+    indices
+        .iter()
+        .map(|&i| (samples[i].target - mean).powi(2))
+        .sum()
 }
 
 #[cfg(test)]
@@ -164,7 +184,10 @@ mod tests {
         let shallow = RegressionTree::fit(&samples, 1, 2);
         let deep = RegressionTree::fit(&samples, 6, 2);
         let err = |tree: &RegressionTree| {
-            samples.iter().map(|s| (tree.predict(&s.features) - s.target).abs()).sum::<f64>()
+            samples
+                .iter()
+                .map(|s| (tree.predict(&s.features) - s.target).abs())
+                .sum::<f64>()
         };
         assert!(err(&deep) < err(&shallow));
     }

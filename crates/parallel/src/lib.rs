@@ -1,0 +1,112 @@
+//! `alpha-parallel` — minimal scoped data-parallel helpers built on
+//! `std::thread::scope`.
+//!
+//! The evaluation layer of the search engine fans candidate batches out
+//! across threads (ISSUE: "via rayon"); this container has no network access
+//! to crates.io, so the workspace carries this std-only stand-in instead.  It
+//! provides the one primitive the `Evaluator` subsystem needs — an
+//! order-preserving parallel map over a slice — with the same determinism
+//! guarantee rayon's `par_iter().map().collect()` gives: the output index `i`
+//! always holds `f(&items[i])`, regardless of how work interleaves.
+//!
+//! Work distribution is a simple atomic work-stealing counter: each worker
+//! repeatedly claims the next unprocessed index.  That keeps long-running
+//! items (e.g. a slow kernel simulation) from serialising behind a static
+//! chunking.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use when the caller passes `0`: one per
+/// available CPU core.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on `threads` worker threads, preserving order:
+/// `result[i] == f(&items[i])`.
+///
+/// `threads == 0` means [`default_threads`]; `threads == 1` (or a singleton /
+/// empty input) runs inline on the caller's thread with no spawning overhead.
+/// Panics in `f` propagate to the caller.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    };
+    let threads = threads.min(items.len()).max(1);
+    if threads == 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= items.len() {
+                    break;
+                }
+                let result = f(&items[index]);
+                *slots[index].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index was claimed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_order_and_covers_every_item() {
+        let items: Vec<usize> = (0..257).collect();
+        for threads in [0, 1, 2, 7] {
+            let doubled = parallel_map(&items, threads, |&x| 2 * x);
+            assert_eq!(doubled, items.iter().map(|x| 2 * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn runs_on_multiple_threads_when_asked() {
+        let concurrent = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        parallel_map(&items, 4, |_| {
+            let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            concurrent.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) > 1, "work never overlapped");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u8> = parallel_map::<u8, u8, _>(&[], 8, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

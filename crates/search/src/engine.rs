@@ -1,15 +1,31 @@
 //! The three-level search loop (paper Section VI-A).
+//!
+//! Candidate evaluation — the dominant cost — is delegated to the
+//! [`Evaluator`](crate::eval::Evaluator) subsystem: candidates are evaluated
+//! in fixed-size batches fanned out across worker threads, with results
+//! memoised in a [`DesignCache`].  Batches are *consumed in input order* and
+//! the budget / annealing stop conditions are applied during consumption, so
+//! a fixed [`SearchConfig::seed`] selects the same final design regardless of
+//! [`SearchConfig::threads`] (the only cost of parallelism is up to one
+//! batch of evaluations past the stopping point, which are discarded —
+//! and cached for later).
 
-use crate::enumerate::{coarse_variants, fine_variants, mutate_structure, seed_structures, MutationRng};
+use crate::enumerate::{
+    coarse_variants, fine_variants, mutate_structure, seed_structures, MutationRng,
+};
+use crate::eval::{
+    BatchEvaluator, CachingEvaluator, DesignCache, EvalContext, Evaluator, SimEvaluator,
+};
 use crate::features::featurise;
 use crate::prune::PruneRules;
-use alpha_codegen::{generate, GeneratorOptions};
-use alpha_gpu::{DeviceProfile, GpuSim, PerfReport};
+use alpha_codegen::GeneratorOptions;
+use alpha_gpu::{DeviceProfile, PerfReport};
 use alpha_graph::OperatorGraph;
-use alpha_matrix::{CsrMatrix, DenseVector};
+use alpha_matrix::CsrMatrix;
 use alpha_ml::gbt::{GbtConfig, GradientBoostedTrees};
 use alpha_ml::{Annealer, Sample};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Wall-clock cost, in seconds, of evaluating one candidate on the paper's
 /// real system (nvcc compilation plus repeated kernel timing).  Used to
@@ -36,6 +52,13 @@ pub struct SearchConfig {
     pub mutations_per_seed: usize,
     /// Random seed for mutation and input-vector generation.
     pub seed: u64,
+    /// Worker threads candidate batches are fanned out over (0 = one per
+    /// available CPU core, 1 = serial).  Does not affect which design wins.
+    pub threads: usize,
+    /// Candidates per evaluation batch.  Fixed independently of `threads` so
+    /// the evaluation schedule — and therefore every statistic — is
+    /// reproducible on any machine.
+    pub batch_size: usize,
 }
 
 impl Default for SearchConfig {
@@ -49,6 +72,8 @@ impl Default for SearchConfig {
             enable_model_compression: true,
             mutations_per_seed: 4,
             seed: 42,
+            threads: 0,
+            batch_size: 16,
         }
     }
 }
@@ -56,7 +81,8 @@ impl Default for SearchConfig {
 /// Statistics of one search run.
 #[derive(Debug, Clone, Default)]
 pub struct SearchStats {
-    /// Kernel evaluations performed in the first two levels.
+    /// Candidate evaluations consumed in the first two levels (simulated or
+    /// served from the design cache).
     pub iterations: usize,
     /// Graph structures enumerated (seeds plus accepted mutations).
     pub structures_enumerated: usize,
@@ -68,6 +94,23 @@ pub struct SearchStats {
     pub ml_evaluations: usize,
     /// Modelled search time in hours (iterations x compile-and-run cost).
     pub search_hours: f64,
+    /// Design-cache lookups answered without re-simulation during this
+    /// search.
+    pub cache_hits: usize,
+    /// Design-cache lookups that required a fresh simulation.
+    pub cache_misses: usize,
+}
+
+impl SearchStats {
+    /// Fraction of evaluation lookups served by the design cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// The result of a search.
@@ -83,17 +126,50 @@ pub struct SearchOutcome {
     pub stats: SearchStats,
 }
 
-/// Runs the three-level search for one matrix.
+/// Runs the three-level search for one matrix with a private design cache.
 pub fn search(matrix: &CsrMatrix, config: &SearchConfig) -> Result<SearchOutcome, String> {
+    search_with_cache(matrix, config, &Arc::new(DesignCache::new()))
+}
+
+/// Runs the three-level search for one matrix, memoising candidate
+/// evaluations in (and reusing them from) the given cache.  Entries are keyed
+/// by matrix content, device and generator options, so one cache can safely
+/// serve many matrices and configurations — repeated searches over the same
+/// matrix skip straight to the cached reports.
+pub fn search_with_cache(
+    matrix: &CsrMatrix,
+    config: &SearchConfig,
+    cache: &Arc<DesignCache>,
+) -> Result<SearchOutcome, String> {
     if matrix.nnz() == 0 {
         return Err("cannot search over an empty matrix".into());
     }
     let rules = PruneRules::new(matrix, config.enable_pruning);
     let stats_of_matrix = rules.stats().clone();
-    let sim = GpuSim::new(config.device.clone());
-    let x = DenseVector::random(matrix.cols(), config.seed ^ 0xA1FA);
-    let reference = matrix.spmv(x.as_slice()).map_err(|e| e.to_string())?;
-    let options = GeneratorOptions { model_compression: config.enable_model_compression };
+    let options = GeneratorOptions {
+        model_compression: config.enable_model_compression,
+    };
+    let ctx = EvalContext::new(matrix, &config.device, options, config.seed)?;
+
+    // Parallelism lives at the candidate level; each candidate's simulation
+    // runs on exactly ONE worker.  This is a determinism requirement, not
+    // just a scheduling choice: the simulator merges per-worker partial `y`
+    // vectors and f64 cost counters, and floating-point addition is not
+    // associative, so reports could differ in ULPs across worker counts —
+    // enough to flip a near-tie winner or a tolerance-boundary feasibility
+    // check.  One worker per simulation makes every report bit-identical
+    // regardless of `config.threads` and of the machine's core count (which
+    // also keeps shared DesignCache entries reproducible everywhere).
+    let threads = if config.threads == 0 {
+        alpha_parallel::default_threads()
+    } else {
+        config.threads
+    };
+    let evaluator = BatchEvaluator::new(
+        CachingEvaluator::new(SimEvaluator::new(config.device.clone(), 1), cache.clone()),
+        threads,
+    );
+    let batch_size = config.batch_size.max(1);
 
     // ---- Level 1: structure enumeration ------------------------------------
     let mut structures = seed_structures(matrix, &rules);
@@ -102,7 +178,9 @@ pub fn search(matrix: &CsrMatrix, config: &SearchConfig) -> Result<SearchOutcome
         // Count what pruning removed (for the statistics) by comparing with
         // the unpruned seed set.
         let unpruned_rules = PruneRules::new(matrix, false);
-        pruned += seed_structures(matrix, &unpruned_rules).len().saturating_sub(structures.len());
+        pruned += seed_structures(matrix, &unpruned_rules)
+            .len()
+            .saturating_sub(structures.len());
     }
     let mut rng = MutationRng::new(config.seed);
     let mut seen: BTreeSet<String> = structures.iter().map(|g| g.signature()).collect();
@@ -130,36 +208,52 @@ pub fn search(matrix: &CsrMatrix, config: &SearchConfig) -> Result<SearchOutcome
     let mut samples: Vec<Sample> = Vec::new();
     let mut best: Option<(OperatorGraph, PerfReport, String)> = None;
     let mut evaluated: BTreeSet<String> = BTreeSet::new();
-    let budget_iterations = |stats: &SearchStats, config: &SearchConfig| {
+    let budget_reached = |stats: &SearchStats| {
         stats.iterations >= config.max_iterations
             || stats.iterations as f64 * SECONDS_PER_REAL_ITERATION / 3600.0 >= config.max_hours
     };
 
-    'outer: for structure in &structures {
-        for candidate in coarse_variants(structure) {
-            if budget_iterations(&stats, config) {
-                break 'outer;
+    // The full coarse-grid candidate list, deduplicated in first-seen order.
+    // Batches are cut from this list; results are consumed strictly in order
+    // with the stop conditions applied per candidate, which makes the
+    // consumed prefix — and hence the outcome — independent of `threads`.
+    let candidates: Vec<OperatorGraph> = {
+        let mut dedup: BTreeSet<String> = BTreeSet::new();
+        structures
+            .iter()
+            .flat_map(coarse_variants)
+            .filter(|candidate| dedup.insert(candidate.signature()))
+            .collect()
+    };
+
+    let mut next = 0usize;
+    'level2: while next < candidates.len() {
+        let batch = &candidates[next..(next + batch_size).min(candidates.len())];
+        let results = evaluator.evaluate_batch(&ctx, batch);
+        for (candidate, result) in batch.iter().zip(results) {
+            if budget_reached(&stats) {
+                break 'level2;
             }
-            let signature = candidate.signature();
-            if !evaluated.insert(signature) {
-                continue;
-            }
-            let Some((report, source)) =
-                evaluate(&candidate, matrix, &sim, &x, &reference, options)
-            else {
+            evaluated.insert(candidate.signature());
+            let Some(eval) = result else {
                 continue;
             };
             stats.iterations += 1;
-            samples.push(Sample::new(featurise(&candidate, &stats_of_matrix), report.gflops));
-            let gflops = report.gflops;
-            if best.as_ref().map(|(_, r, _)| gflops > r.gflops).unwrap_or(true) {
-                best = Some((candidate.clone(), report, source));
+            let gflops = eval.report.gflops;
+            samples.push(Sample::new(featurise(candidate, &stats_of_matrix), gflops));
+            if best
+                .as_ref()
+                .map(|(_, r, _)| gflops > r.gflops)
+                .unwrap_or(true)
+            {
+                best = Some((candidate.clone(), eval.report, eval.source));
             }
             annealer.observe(gflops);
             if annealer.should_stop() {
-                break 'outer;
+                break 'level2;
             }
         }
+        next += batch.len();
     }
 
     // ---- Level 3: ML interpolation onto the fine grid ----------------------
@@ -177,49 +271,49 @@ pub fn search(matrix: &CsrMatrix, config: &SearchConfig) -> Result<SearchOutcome
             }
         }
         predictions.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite predictions"));
-        for (_, candidate) in predictions.into_iter().take(5) {
-            if !evaluated.insert(candidate.signature()) {
-                continue;
-            }
-            let Some((report, source)) =
-                evaluate(&candidate, matrix, &sim, &x, &reference, options)
-            else {
+        let top: Vec<OperatorGraph> = predictions
+            .into_iter()
+            .take(5)
+            .map(|(_, candidate)| candidate)
+            .filter(|candidate| evaluated.insert(candidate.signature()))
+            .collect();
+        let results = evaluator.evaluate_batch(&ctx, &top);
+        for (candidate, result) in top.iter().zip(results) {
+            let Some(eval) = result else {
                 continue;
             };
             stats.ml_evaluations += 1;
-            samples.push(Sample::new(featurise(&candidate, &stats_of_matrix), report.gflops));
-            if best.as_ref().map(|(_, r, _)| report.gflops > r.gflops).unwrap_or(true) {
-                best = Some((candidate, report, source));
+            samples.push(Sample::new(
+                featurise(candidate, &stats_of_matrix),
+                eval.report.gflops,
+            ));
+            if best
+                .as_ref()
+                .map(|(_, r, _)| eval.report.gflops > r.gflops)
+                .unwrap_or(true)
+            {
+                best = Some((candidate.clone(), eval.report, eval.source));
             }
         }
     }
 
-    stats.search_hours = ((stats.iterations + stats.ml_evaluations) as f64
-        * SECONDS_PER_REAL_ITERATION
-        / 3600.0)
-        .min(config.max_hours);
+    stats.search_hours =
+        ((stats.iterations + stats.ml_evaluations) as f64 * SECONDS_PER_REAL_ITERATION / 3600.0)
+            .min(config.max_hours);
+    // Per-search counters from this search's own wrapper — correct even when
+    // several concurrent searches share the cache.
+    let cache_stats = evaluator.inner().stats();
+    stats.cache_hits = cache_stats.hits;
+    stats.cache_misses = cache_stats.misses;
 
     let (best_graph, best_report, best_source) =
         best.ok_or_else(|| "no valid candidate could be evaluated".to_string())?;
-    Ok(SearchOutcome { best_graph, best_report, best_source, stats })
-}
-
-/// Generates and runs one candidate; returns `None` when the design cannot be
-/// applied to this matrix (e.g. too many partitions) so the search just moves
-/// on.
-fn evaluate(
-    graph: &OperatorGraph,
-    matrix: &CsrMatrix,
-    sim: &GpuSim,
-    x: &DenseVector,
-    reference: &[alpha_matrix::Scalar],
-    options: GeneratorOptions,
-) -> Option<(PerfReport, String)> {
-    let generated = generate(graph, matrix, options).ok()?;
-    let result = sim
-        .run_checked(&generated.kernel, x.as_slice(), reference, 1e-3)
-        .ok()?;
-    Some((result.report, generated.source))
+    Ok(SearchOutcome {
+        best_graph,
+        best_report,
+        best_source,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -243,6 +337,50 @@ mod tests {
         let b = search(&matrix, &quick_config(30)).unwrap();
         assert_eq!(a.best_graph.signature(), b.best_graph.signature());
         assert_eq!(a.stats.iterations, b.stats.iterations);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_winner() {
+        // The acceptance property of the Evaluator refactor: a fixed seed
+        // selects the same design — with identical statistics — whether the
+        // batches run serially or on many workers.
+        let matrix = gen::powerlaw(1_024, 1_024, 10, 2.0, 13);
+        let mut serial_cfg = quick_config(40);
+        serial_cfg.threads = 1;
+        let serial = search(&matrix, &serial_cfg).unwrap();
+        for threads in [2, 4, 8] {
+            let mut parallel_cfg = quick_config(40);
+            parallel_cfg.threads = threads;
+            let parallel = search(&matrix, &parallel_cfg).unwrap();
+            assert_eq!(
+                serial.best_graph.signature(),
+                parallel.best_graph.signature(),
+                "winner changed at {threads} threads"
+            );
+            assert_eq!(serial.stats.iterations, parallel.stats.iterations);
+            assert_eq!(serial.best_report.gflops, parallel.best_report.gflops);
+        }
+    }
+
+    #[test]
+    fn repeated_search_is_served_from_the_cache() {
+        let matrix = gen::powerlaw(1_024, 1_024, 8, 2.0, 5);
+        let cache = Arc::new(DesignCache::new());
+        let config = quick_config(25);
+        let first = search_with_cache(&matrix, &config, &cache).unwrap();
+        let second = search_with_cache(&matrix, &config, &cache).unwrap();
+        assert_eq!(first.best_graph.signature(), second.best_graph.signature());
+        assert_eq!(first.best_report.gflops, second.best_report.gflops);
+        // The first search fills the cache (hits are possible only between
+        // canonically-equal variants); the rerun must be answered entirely
+        // from it.
+        assert!(first.stats.cache_misses > first.stats.cache_hits);
+        assert!(
+            second.stats.cache_misses == 0,
+            "identical rerun must be fully cached, got {} misses",
+            second.stats.cache_misses
+        );
+        assert!(second.stats.cache_hit_rate() > 0.99);
     }
 
     #[test]

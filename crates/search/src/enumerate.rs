@@ -66,7 +66,10 @@ pub fn mutate_structure(
     match kind {
         0 => {
             // Toggle the global SORT.
-            if let Some(pos) = mutated.converting.iter().position(|o| matches!(o, Operator::Sort))
+            if let Some(pos) = mutated
+                .converting
+                .iter()
+                .position(|o| matches!(o, Operator::Sort))
             {
                 mutated.converting.remove(pos);
             } else {
@@ -94,7 +97,10 @@ pub fn mutate_structure(
         2 => {
             // Toggle the global-memory atomic finish.
             let branch = &mut mutated.branches[branch_index];
-            if let Some(pos) = branch.iter().position(|o| matches!(o, Operator::GmemAtomRed)) {
+            if let Some(pos) = branch
+                .iter()
+                .position(|o| matches!(o, Operator::GmemAtomRed))
+            {
                 branch.remove(pos);
             } else {
                 branch.push(Operator::GmemAtomRed);
@@ -103,12 +109,14 @@ pub fn mutate_structure(
         3 => {
             // Toggle interleaved storage (only meaningful for row mappings).
             let branch = &mut mutated.branches[branch_index];
-            if let Some(pos) =
-                branch.iter().position(|o| matches!(o, Operator::InterleavedStorage))
+            if let Some(pos) = branch
+                .iter()
+                .position(|o| matches!(o, Operator::InterleavedStorage))
             {
                 branch.remove(pos);
-            } else if let Some(mapping_pos) =
-                branch.iter().position(|o| matches!(o, Operator::BmtRowBlock { .. }))
+            } else if let Some(mapping_pos) = branch
+                .iter()
+                .position(|o| matches!(o, Operator::BmtRowBlock { .. }))
             {
                 branch.insert(mapping_pos + 1, Operator::InterleavedStorage);
             }
@@ -116,16 +124,21 @@ pub fn mutate_structure(
         4 => {
             // Toggle thread-block blocking + padding.
             let branch = &mut mutated.branches[branch_index];
-            let has_bmtb = branch.iter().any(|o| matches!(o, Operator::BmtbRowBlock { .. }));
+            let has_bmtb = branch
+                .iter()
+                .any(|o| matches!(o, Operator::BmtbRowBlock { .. }));
             if has_bmtb {
                 branch.retain(|o| {
                     !matches!(
                         o,
-                        Operator::BmtbRowBlock { .. } | Operator::BmtbPad { .. } | Operator::SortBmtb
+                        Operator::BmtbRowBlock { .. }
+                            | Operator::BmtbPad { .. }
+                            | Operator::SortBmtb
                     )
                 });
-            } else if let Some(mapping_pos) =
-                branch.iter().position(|o| matches!(o, Operator::BmtRowBlock { .. }))
+            } else if let Some(mapping_pos) = branch
+                .iter()
+                .position(|o| matches!(o, Operator::BmtRowBlock { .. }))
             {
                 branch.insert(mapping_pos, Operator::BmtbRowBlock { rows: 64 });
                 branch.insert(mapping_pos + 2, Operator::BmtbPad { multiple: 4 });
@@ -183,8 +196,11 @@ fn parameter_variants(graph: &OperatorGraph, fine: bool) -> Vec<OperatorGraph> {
     // Sweep converting-chain parameters.
     for (i, op) in graph.converting.iter().enumerate() {
         for &(kind, current) in &operator_params(op) {
-            let grid: Vec<usize> =
-                if fine { kind.fine_grid() } else { kind.coarse_grid().to_vec() };
+            let grid: Vec<usize> = if fine {
+                kind.fine_grid()
+            } else {
+                kind.coarse_grid().to_vec()
+            };
             for value in grid {
                 if value == current {
                     continue;
@@ -209,8 +225,11 @@ fn parameter_variants(graph: &OperatorGraph, fine: bool) -> Vec<OperatorGraph> {
     for pos in 0..branch_len {
         let op = &graph.branches[0][pos];
         for &(kind, current) in &operator_params(op) {
-            let grid: Vec<usize> =
-                if fine { kind.fine_grid() } else { kind.coarse_grid().to_vec() };
+            let grid: Vec<usize> = if fine {
+                kind.fine_grid()
+            } else {
+                kind.coarse_grid().to_vec()
+            };
             for value in grid {
                 if value == current {
                     continue;
@@ -271,7 +290,10 @@ mod tests {
                 produced += 1;
             }
         }
-        assert!(produced > 5, "mutation should succeed reasonably often, got {produced}");
+        assert!(
+            produced > 5,
+            "mutation should succeed reasonably often, got {produced}"
+        );
     }
 
     #[test]
@@ -283,7 +305,11 @@ mod tests {
         assert!(variants.iter().all(|g| g.validate().is_ok()));
         let signatures: std::collections::BTreeSet<String> =
             variants.iter().map(|g| g.signature()).collect();
-        assert_eq!(signatures.len(), variants.len(), "variants must be distinct");
+        assert_eq!(
+            signatures.len(),
+            variants.len(),
+            "variants must be distinct"
+        );
     }
 
     #[test]

@@ -1,0 +1,607 @@
+//! The Evaluator subsystem: turning `(OperatorGraph, CsrMatrix)` candidates
+//! into [`PerfReport`]s — in parallel, and without ever simulating the same
+//! design twice.
+//!
+//! Candidate evaluation dominates the search budget (the paper's real system
+//! spends minutes of `nvcc` + kernel timing per candidate; our simulator
+//! spends milliseconds, but the search still runs thousands of candidates).
+//! This module factors that hot path out of the engine into three composable
+//! layers:
+//!
+//! * [`SimEvaluator`] — the ground truth: runs the Designer and Format &
+//!   Kernel Generator for the candidate and executes the generated kernel on
+//!   the [`GpuSim`], checking the result against the reference SpMV.
+//! * [`CachingEvaluator`] — memoises outcomes in a shared [`DesignCache`]
+//!   keyed by (matrix fingerprint + device + generator options, canonical
+//!   graph signature), so repeated structures across mutation rounds — or
+//!   across whole searches on the same matrix — are never re-simulated.
+//!   Infeasible candidates are cached too (a graph that cannot be applied to
+//!   a matrix will never become applicable).
+//! * [`BatchEvaluator`] — fans a batch of candidates out across worker
+//!   threads with an order-preserving parallel map, so `evaluate_batch`
+//!   returns exactly what serial evaluation would, just faster.
+//!
+//! All evaluators are `Send + Sync`; the shared state ([`GpuSim`]'s device
+//! model, the matrix, the input vector, the cache) is read-only or locked,
+//! and per-candidate simulator state lives on the evaluating thread's stack.
+
+use alpha_codegen::{generate, GeneratorOptions};
+use alpha_gpu::{DeviceProfile, GpuSim, PerfReport};
+use alpha_graph::OperatorGraph;
+use alpha_matrix::{CsrMatrix, DenseVector, Scalar};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Everything shared by all candidate evaluations of one search: the matrix,
+/// the probe input vector, the reference result, and the cache-identity of
+/// the (matrix, device, options) combination.
+pub struct EvalContext<'a> {
+    /// The matrix being tuned.
+    pub matrix: &'a CsrMatrix,
+    /// Probe input vector the candidates are executed with.
+    pub x: DenseVector,
+    /// Reference `y = A·x` every candidate must reproduce.
+    pub reference: Vec<Scalar>,
+    /// Generator options (affect the produced kernel, hence part of the
+    /// cache identity).
+    pub options: GeneratorOptions,
+    /// Verification tolerance.
+    pub tolerance: Scalar,
+    /// Fingerprint of (matrix, device, options); see [`EvalContext::new`].
+    context_key: u64,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Builds the shared evaluation state for one search.  `seed` drives the
+    /// probe-vector generation (part of search determinism).
+    pub fn new(
+        matrix: &'a CsrMatrix,
+        device: &DeviceProfile,
+        options: GeneratorOptions,
+        seed: u64,
+    ) -> Result<Self, String> {
+        let x = DenseVector::random(matrix.cols(), seed ^ 0xA1FA);
+        let reference = matrix.spmv(x.as_slice()).map_err(|e| e.to_string())?;
+        // The cache key must separate everything that changes a candidate's
+        // outcome: the matrix content, the device model, the generator
+        // options, and the probe-vector seed (feasibility is judged against
+        // `x`, so a borderline kernel may verify under one probe vector and
+        // fail under another).  Fold them all into one 64-bit context key.
+        let mut key = matrix.fingerprint();
+        key = fnv_extend(key, device.name.as_bytes());
+        key = fnv_extend(key, &(device.sm_count as u64).to_le_bytes());
+        key = fnv_extend(key, &device.dram_bandwidth_gbps.to_bits().to_le_bytes());
+        key = fnv_extend(key, &device.l2_bandwidth_gbps.to_bits().to_le_bytes());
+        key = fnv_extend(key, &device.peak_sp_gflops.to_bits().to_le_bytes());
+        key = fnv_extend(key, &device.clock_ghz.to_bits().to_le_bytes());
+        key = fnv_extend(key, &[options.model_compression as u8]);
+        key = fnv_extend(key, &seed.to_le_bytes());
+        Ok(EvalContext {
+            matrix,
+            x,
+            reference,
+            options,
+            tolerance: 1e-3,
+            context_key: key,
+        })
+    }
+
+    /// The (matrix, device, options, seed) part of the cache key.
+    pub fn context_key(&self) -> u64 {
+        self.context_key
+    }
+}
+
+fn fnv_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The outcome of evaluating one feasible candidate.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Modelled performance of the candidate's generated kernel.
+    pub report: PerfReport,
+    /// Emitted CUDA-like source of the kernel.
+    pub source: String,
+    /// True when the result came out of a [`DesignCache`] instead of a
+    /// simulation.
+    pub cached: bool,
+}
+
+/// Evaluates one `(OperatorGraph, CsrMatrix)` candidate into a [`PerfReport`].
+///
+/// `None` means the candidate is infeasible for this matrix (generation
+/// failed or the kernel produced wrong results) — the search just moves on.
+pub trait Evaluator: Send + Sync {
+    /// Evaluates a single candidate.
+    fn evaluate(&self, ctx: &EvalContext<'_>, graph: &OperatorGraph) -> Option<Evaluation>;
+
+    /// Evaluates a batch; index `i` of the result corresponds to `batch[i]`.
+    /// The default implementation is serial; [`BatchEvaluator`] parallelises.
+    fn evaluate_batch(
+        &self,
+        ctx: &EvalContext<'_>,
+        batch: &[OperatorGraph],
+    ) -> Vec<Option<Evaluation>> {
+        batch
+            .iter()
+            .map(|graph| self.evaluate(ctx, graph))
+            .collect()
+    }
+}
+
+/// The ground-truth evaluator: generate the format + kernel, run it on the
+/// simulator, verify against the reference.
+pub struct SimEvaluator {
+    sim: GpuSim,
+    simulations: AtomicUsize,
+}
+
+impl SimEvaluator {
+    /// An evaluator that simulates on the given device.  `sim_workers`
+    /// bounds the simulator's *internal* host parallelism — pass 1 when the
+    /// evaluator itself runs under a [`BatchEvaluator`], so parallelism lives
+    /// at the candidate level instead of fighting it for cores.
+    pub fn new(device: DeviceProfile, sim_workers: usize) -> Self {
+        SimEvaluator {
+            sim: GpuSim::with_workers(device, sim_workers.max(1)),
+            simulations: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of kernel simulations performed so far — the probe the cache
+    /// tests use to assert that hits skip simulation.
+    pub fn simulations(&self) -> usize {
+        self.simulations.load(Ordering::Relaxed)
+    }
+}
+
+impl Evaluator for SimEvaluator {
+    fn evaluate(&self, ctx: &EvalContext<'_>, graph: &OperatorGraph) -> Option<Evaluation> {
+        self.simulations.fetch_add(1, Ordering::Relaxed);
+        let generated = generate(graph, ctx.matrix, ctx.options).ok()?;
+        let result = self
+            .sim
+            .run_checked(
+                &generated.kernel,
+                ctx.x.as_slice(),
+                &ctx.reference,
+                ctx.tolerance,
+            )
+            .ok()?;
+        Some(Evaluation {
+            report: result.report,
+            source: generated.source,
+            cached: false,
+        })
+    }
+}
+
+/// Aggregate hit/miss counters of a [`DesignCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that fell through to the inner evaluator.
+    pub misses: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when the cache was never used).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Memoised evaluation results, keyed by (context key, canonical graph
+/// signature).  Shareable across searches — and across threads — via `Arc`.
+///
+/// The canonical signature (not the raw one) is the key on purpose: two
+/// graphs that differ only in the order of their implementing-stage
+/// operators design the same kernel, so they share one entry.  Infeasible
+/// candidates are stored as `None` so repeat offenders are rejected without
+/// re-running the designer.
+pub struct DesignCache {
+    entries: Mutex<HashMap<CacheKey, CacheEntry>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+/// (context key, canonical graph signature).
+type CacheKey = (u64, String);
+
+/// `None` = known-infeasible design; `Some` = (report, emitted source).
+type CacheEntry = Option<(PerfReport, String)>;
+
+impl DesignCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        DesignCache {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Looks a candidate up.  `Some(None)` means "known infeasible".
+    pub fn lookup(
+        &self,
+        ctx: &EvalContext<'_>,
+        graph: &OperatorGraph,
+    ) -> Option<Option<Evaluation>> {
+        let key = (ctx.context_key, graph.canonical_signature());
+        let entries = self.entries.lock().expect("design cache poisoned");
+        match entries.get(&key) {
+            Some(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.as_ref().map(|(report, source)| Evaluation {
+                    report: report.clone(),
+                    source: source.clone(),
+                    cached: true,
+                }))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Records an evaluation outcome (feasible or not).
+    pub fn insert(
+        &self,
+        ctx: &EvalContext<'_>,
+        graph: &OperatorGraph,
+        outcome: &Option<Evaluation>,
+    ) {
+        let key = (ctx.context_key, graph.canonical_signature());
+        let value = outcome
+            .as_ref()
+            .map(|e| (e.report.clone(), e.source.clone()));
+        self.entries
+            .lock()
+            .expect("design cache poisoned")
+            .insert(key, value);
+    }
+
+    /// Number of memoised designs (feasible and infeasible).
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("design cache poisoned").len()
+    }
+
+    /// True when nothing has been memoised yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for DesignCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for DesignCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("DesignCache")
+            .field("entries", &self.len())
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+/// Wraps an evaluator with a shared [`DesignCache`].
+///
+/// Besides the cache's global counters, the wrapper keeps its own hit/miss
+/// counters: several searches may share one `DesignCache` concurrently, and
+/// each search owns its `CachingEvaluator`, so [`CachingEvaluator::stats`]
+/// attributes lookups to the right search.
+pub struct CachingEvaluator<E> {
+    inner: E,
+    cache: Arc<DesignCache>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<E: Evaluator> CachingEvaluator<E> {
+    /// Memoises `inner` through `cache`.
+    pub fn new(inner: E, cache: Arc<DesignCache>) -> Self {
+        CachingEvaluator {
+            inner,
+            cache,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The wrapped evaluator.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Hit/miss counters of *this wrapper* (not the shared cache's global
+    /// totals).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<E: Evaluator> Evaluator for CachingEvaluator<E> {
+    fn evaluate(&self, ctx: &EvalContext<'_>, graph: &OperatorGraph) -> Option<Evaluation> {
+        // Invalid graphs bypass the cache entirely: canonicalisation only
+        // guarantees that *valid* graphs with equal canonical signatures
+        // design identical kernels (an invalid duplicate-SET_RESOURCES
+        // branch, say, canonicalises like its valid twin).  Validation is
+        // cheap and the inner evaluator rejects such graphs anyway.
+        if graph.validate().is_err() {
+            return self.inner.evaluate(ctx, graph);
+        }
+        if let Some(cached) = self.cache.lookup(ctx, graph) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let outcome = self.inner.evaluate(ctx, graph);
+        self.cache.insert(ctx, graph, &outcome);
+        outcome
+    }
+}
+
+/// Fans `evaluate_batch` out across `threads` worker threads.  Results come
+/// back in input order, so batched evaluation is observationally identical to
+/// serial evaluation — the engine's selection stays deterministic regardless
+/// of thread count.
+pub struct BatchEvaluator<E> {
+    inner: E,
+    threads: usize,
+}
+
+impl<E: Evaluator> BatchEvaluator<E> {
+    /// `threads == 0` means one per available CPU core; `1` degrades to
+    /// serial evaluation with no spawning.
+    pub fn new(inner: E, threads: usize) -> Self {
+        let threads = if threads == 0 {
+            alpha_parallel::default_threads()
+        } else {
+            threads
+        };
+        BatchEvaluator { inner, threads }
+    }
+
+    /// The worker-thread count batches are spread over.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The wrapped evaluator.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: Evaluator> Evaluator for BatchEvaluator<E> {
+    fn evaluate(&self, ctx: &EvalContext<'_>, graph: &OperatorGraph) -> Option<Evaluation> {
+        self.inner.evaluate(ctx, graph)
+    }
+
+    fn evaluate_batch(
+        &self,
+        ctx: &EvalContext<'_>,
+        batch: &[OperatorGraph],
+    ) -> Vec<Option<Evaluation>> {
+        alpha_parallel::parallel_map(batch, self.threads, |graph| self.inner.evaluate(ctx, graph))
+    }
+}
+
+// The whole point of the subsystem: evaluators and their shared state cross
+// thread boundaries.  Pin that as a compile-time guarantee.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GpuSim>();
+    assert_send_sync::<DeviceProfile>();
+    assert_send_sync::<SimEvaluator>();
+    assert_send_sync::<DesignCache>();
+    assert_send_sync::<CachingEvaluator<SimEvaluator>>();
+    assert_send_sync::<BatchEvaluator<CachingEvaluator<SimEvaluator>>>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpha_graph::presets;
+    use alpha_matrix::gen;
+
+    fn context_fixture(matrix: &CsrMatrix) -> EvalContext<'_> {
+        EvalContext::new(
+            matrix,
+            &DeviceProfile::a100(),
+            GeneratorOptions::default(),
+            7,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sim_evaluator_produces_reports_for_feasible_designs() {
+        let matrix = gen::powerlaw(256, 256, 8, 2.0, 3);
+        let ctx = context_fixture(&matrix);
+        let evaluator = SimEvaluator::new(DeviceProfile::a100(), 1);
+        let eval = evaluator
+            .evaluate(&ctx, &presets::csr_scalar())
+            .expect("feasible");
+        assert!(eval.report.gflops > 0.0);
+        assert!(!eval.source.is_empty());
+        assert!(!eval.cached);
+        assert_eq!(evaluator.simulations(), 1);
+    }
+
+    #[test]
+    fn cache_hits_skip_simulation() {
+        let matrix = gen::powerlaw(256, 256, 8, 2.0, 3);
+        let ctx = context_fixture(&matrix);
+        let cache = Arc::new(DesignCache::new());
+        let evaluator =
+            CachingEvaluator::new(SimEvaluator::new(DeviceProfile::a100(), 1), cache.clone());
+        let graph = presets::sell_like();
+        let first = evaluator.evaluate(&ctx, &graph).expect("feasible");
+        let second = evaluator.evaluate(&ctx, &graph).expect("feasible");
+        assert_eq!(
+            evaluator.inner().simulations(),
+            1,
+            "second lookup must not simulate"
+        );
+        assert!(!first.cached);
+        assert!(second.cached);
+        assert_eq!(first.report.gflops, second.report.gflops);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_designs_are_cached_too() {
+        // A 2-way ROW_DIV cannot be applied to a 1-row matrix.
+        let mut coo = alpha_matrix::CooMatrix::new(1, 8);
+        for c in 0..8 {
+            coo.push(0, c, 1.0);
+        }
+        let matrix = CsrMatrix::from_coo(&coo);
+        let ctx = context_fixture(&matrix);
+        let evaluator = CachingEvaluator::new(
+            SimEvaluator::new(DeviceProfile::a100(), 1),
+            Arc::new(DesignCache::new()),
+        );
+        let graph = presets::row_split_hybrid(2);
+        if evaluator.evaluate(&ctx, &graph).is_none() {
+            let before = evaluator.inner().simulations();
+            assert!(evaluator.evaluate(&ctx, &graph).is_none());
+            assert_eq!(evaluator.inner().simulations(), before);
+        }
+    }
+
+    #[test]
+    fn canonical_signature_shares_cache_entries_across_reduction_order() {
+        use alpha_graph::Operator;
+        let matrix = gen::uniform_random(128, 128, 4, 9);
+        let ctx = context_fixture(&matrix);
+        let a = OperatorGraph::linear(vec![
+            Operator::Compress,
+            Operator::BmtColBlock { threads_per_row: 4 },
+            Operator::ThreadTotalRed,
+            Operator::WarpSegRed,
+        ]);
+        let b = OperatorGraph::linear(vec![
+            Operator::Compress,
+            Operator::BmtColBlock { threads_per_row: 4 },
+            Operator::WarpSegRed,
+            Operator::ThreadTotalRed,
+        ]);
+        assert_ne!(a.signature(), b.signature());
+        assert_eq!(a.canonical_signature(), b.canonical_signature());
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
+
+        let evaluator = CachingEvaluator::new(
+            SimEvaluator::new(DeviceProfile::a100(), 1),
+            Arc::new(DesignCache::new()),
+        );
+        let first = evaluator.evaluate(&ctx, &a).expect("feasible");
+        let second = evaluator.evaluate(&ctx, &b).expect("feasible");
+        assert_eq!(evaluator.inner().simulations(), 1);
+        assert!(second.cached);
+        assert_eq!(first.report.gflops, second.report.gflops);
+    }
+
+    #[test]
+    fn different_matrices_do_not_share_entries() {
+        let m1 = gen::uniform_random(128, 128, 4, 1);
+        let m2 = gen::uniform_random(128, 128, 4, 2);
+        assert_ne!(m1.fingerprint(), m2.fingerprint());
+        let cache = Arc::new(DesignCache::new());
+        let evaluator =
+            CachingEvaluator::new(SimEvaluator::new(DeviceProfile::a100(), 1), cache.clone());
+        let graph = presets::csr_scalar();
+        let c1 =
+            EvalContext::new(&m1, &DeviceProfile::a100(), GeneratorOptions::default(), 7).unwrap();
+        let c2 =
+            EvalContext::new(&m2, &DeviceProfile::a100(), GeneratorOptions::default(), 7).unwrap();
+        evaluator.evaluate(&c1, &graph).expect("feasible");
+        evaluator.evaluate(&c2, &graph).expect("feasible");
+        assert_eq!(evaluator.inner().simulations(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn device_and_options_are_part_of_the_cache_key() {
+        let matrix = gen::uniform_random(128, 128, 4, 5);
+        let a100 = EvalContext::new(
+            &matrix,
+            &DeviceProfile::a100(),
+            GeneratorOptions::default(),
+            7,
+        )
+        .unwrap();
+        let rtx = EvalContext::new(
+            &matrix,
+            &DeviceProfile::rtx2080(),
+            GeneratorOptions::default(),
+            7,
+        )
+        .unwrap();
+        let no_compress = EvalContext::new(
+            &matrix,
+            &DeviceProfile::a100(),
+            GeneratorOptions {
+                model_compression: false,
+            },
+            7,
+        )
+        .unwrap();
+        assert_ne!(a100.context_key(), rtx.context_key());
+        assert_ne!(a100.context_key(), no_compress.context_key());
+    }
+
+    #[test]
+    fn batch_evaluator_matches_serial_results_in_order() {
+        let matrix = gen::powerlaw(512, 512, 8, 2.0, 11);
+        let ctx = context_fixture(&matrix);
+        let batch: Vec<OperatorGraph> =
+            presets::all_presets().into_iter().map(|(_, g)| g).collect();
+        let serial = SimEvaluator::new(DeviceProfile::a100(), 1);
+        let parallel = BatchEvaluator::new(SimEvaluator::new(DeviceProfile::a100(), 1), 4);
+        let serial_results = serial.evaluate_batch(&ctx, &batch);
+        let parallel_results = parallel.evaluate_batch(&ctx, &batch);
+        assert_eq!(serial_results.len(), parallel_results.len());
+        for (i, (s, p)) in serial_results.iter().zip(&parallel_results).enumerate() {
+            match (s, p) {
+                (Some(s), Some(p)) => {
+                    assert_eq!(s.report.gflops, p.report.gflops, "candidate {i} diverged")
+                }
+                (None, None) => {}
+                _ => panic!("candidate {i}: feasibility diverged between serial and parallel"),
+            }
+        }
+    }
+}

@@ -22,10 +22,15 @@
 
 pub mod engine;
 pub mod enumerate;
+pub mod eval;
 pub mod features;
 pub mod prune;
 
-pub use engine::{search, SearchConfig, SearchOutcome, SearchStats};
+pub use engine::{search, search_with_cache, SearchConfig, SearchOutcome, SearchStats};
+pub use eval::{
+    BatchEvaluator, CacheStats, CachingEvaluator, DesignCache, EvalContext, Evaluation, Evaluator,
+    SimEvaluator,
+};
 pub use prune::PruneRules;
 
 #[cfg(test)]

@@ -20,7 +20,10 @@ pub struct PruneRules {
 impl PruneRules {
     /// Builds the rules for a matrix.
     pub fn new(matrix: &CsrMatrix, enabled: bool) -> Self {
-        PruneRules { enabled, stats: MatrixStats::from_csr(matrix) }
+        PruneRules {
+            enabled,
+            stats: MatrixStats::from_csr(matrix),
+        }
     }
 
     /// Statistics the rules were derived from.
@@ -97,7 +100,12 @@ impl PruneRules {
             }
         }
         let natural = (mutations + 1).clamp(2, 8);
-        vec![2.min(natural).max(2), natural].into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect()
+        // Always try the minimal 2-way split plus the natural partition count.
+        vec![2, natural]
+            .into_iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect()
     }
 }
 
@@ -148,12 +156,22 @@ mod tests {
         let uniform = gen::uniform_random(1_000, 1_000, 8, 1);
         let rules = PruneRules::new(&uniform, true);
         let candidates = rules.row_div_candidates(&uniform);
-        assert_eq!(candidates, vec![2], "a flat length profile needs no extra partitions");
+        assert_eq!(
+            candidates,
+            vec![2],
+            "a flat length profile needs no extra partitions"
+        );
 
         // Three clearly separated row-length bands: 400-, 40- and 3-long rows.
         let mut coo = alpha_matrix::CooMatrix::new(1_000, 1_000);
         for r in 0..1_000usize {
-            let len = if r < 10 { 400 } else if r < 110 { 40 } else { 3 };
+            let len = if r < 10 {
+                400
+            } else if r < 110 {
+                40
+            } else {
+                3
+            };
             for c in 0..len {
                 coo.push(r, c, 1.0);
             }

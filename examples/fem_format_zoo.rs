@@ -42,7 +42,14 @@ fn main() {
     // Artificial format baselines for comparison.
     for baseline in Baseline::pfs_set() {
         let kernel = baseline.build(&matrix);
-        let result = sim.run(kernel.as_ref(), x.as_slice()).expect("baseline runs");
-        println!("{:<42} {:>10.1} {:>10}", format!("format:{}", baseline.name()), result.report.gflops, "-");
+        let result = sim
+            .run(kernel.as_ref(), x.as_slice())
+            .expect("baseline runs");
+        println!(
+            "{:<42} {:>10.1} {:>10}",
+            format!("format:{}", baseline.name()),
+            result.report.gflops,
+            "-"
+        );
     }
 }

@@ -30,13 +30,21 @@ fn main() {
     println!("\n{:<18} {:>10}", "format", "GFLOPS");
     for baseline in Baseline::figure9_set() {
         let kernel = baseline.build(&matrix);
-        let report = sim.run(kernel.as_ref(), x.as_slice()).expect("baseline runs").report;
+        let report = sim
+            .run(kernel.as_ref(), x.as_slice())
+            .expect("baseline runs")
+            .report;
         println!("{:<18} {:>10.1}", baseline.name(), report.gflops);
     }
 
     // The Perfect Format Selector over the full candidate set.
     let pfs = run_pfs(&sim, &matrix, x.as_slice(), &Baseline::pfs_set()).expect("PFS runs");
-    println!("{:<18} {:>10.1}   (selected {})", "PFS", pfs.best_gflops(), pfs.best.name());
+    println!(
+        "{:<18} {:>10.1}   (selected {})",
+        "PFS",
+        pfs.best_gflops(),
+        pfs.best.name()
+    );
 
     // AlphaSparse.
     let tuned = AlphaSparse::new(device)

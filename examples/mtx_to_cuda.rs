@@ -44,7 +44,11 @@ fn main() {
     for (partition, name, compressed) in tuned.format().array_inventory() {
         println!(
             "  partition {partition}: {name}{}",
-            if compressed { "  [compressed to a closed form]" } else { "" }
+            if compressed {
+                "  [compressed to a closed form]"
+            } else {
+                ""
+            }
         );
     }
 

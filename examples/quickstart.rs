@@ -4,8 +4,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use alphasparse::{AlphaSparse, DeviceProfile};
 use alpha_matrix::{gen, DenseVector, MatrixStats};
+use alphasparse::{AlphaSparse, DeviceProfile};
 
 fn main() {
     // A mildly irregular matrix standing in for a SuiteSparse input.
@@ -18,7 +18,11 @@ fn main() {
         stats.nnz,
         stats.avg_row_len,
         stats.row_len_variance,
-        if stats.is_irregular() { "irregular" } else { "regular" }
+        if stats.is_irregular() {
+            "irregular"
+        } else {
+            "regular"
+        }
     );
 
     // Tune for an A100-like device.  Larger budgets explore more designs.

@@ -63,7 +63,10 @@ fn named_suite_matrices_tune_successfully() {
         let stats = MatrixStats::from_csr(&named.matrix);
         assert!(stats.nnz > 0);
         let tuned = tuner(15).auto_tune(&named.matrix).expect("tuning succeeds");
-        assert!(tuned.gflops() > 0.0, "{name} produced no performance estimate");
+        assert!(
+            tuned.gflops() > 0.0,
+            "{name} produced no performance estimate"
+        );
     }
 }
 
