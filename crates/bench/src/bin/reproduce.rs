@@ -7,7 +7,12 @@
 //! ```text
 //! cargo run --release -p alpha-bench --bin reproduce -- all
 //! cargo run --release -p alpha-bench --bin reproduce -- fig9a fig10 table3 ...
+//! cargo run --release -p alpha-bench --bin reproduce -- warm
 //! ```
+//!
+//! `warm` is not part of `all`: it benchmarks this repo's serving layer (a
+//! matrix fleet tuned cold, then re-served from a persistent `DesignStore`)
+//! rather than a figure of the paper.
 
 use alpha_bench::*;
 use alpha_gpu::DeviceProfile;
@@ -167,6 +172,32 @@ fn main() {
         }
     }
 
+    // `warm` is opt-in only (not under `all`): it measures the serving
+    // layer's amortisation, not a paper artifact.
+    if wanted.iter().any(|w| w == "warm") {
+        println!("== Cold vs warm: a 12-matrix fleet through a persistent DesignStore (A100) ==");
+        let store_dir =
+            std::env::temp_dir().join(format!("alphasparse_reproduce_warm_{}", std::process::id()));
+        match warm_vs_cold(DeviceProfile::a100(), &store_dir, 12, 40) {
+            Ok(cmp) => {
+                println!(
+                    "  cold pass: {:>8.2} s wall, {:>6} fresh kernel evaluations",
+                    cmp.cold_wall_secs, cmp.cold_fresh_evaluations
+                );
+                println!(
+                    "  warm pass: {:>8.2} s wall, {:>6} fresh kernel evaluations (store reopened from disk)",
+                    cmp.warm_wall_secs, cmp.warm_fresh_evaluations
+                );
+                println!(
+                    "  search-time amortisation: {:.1}x faster once designs are stored\n",
+                    cmp.speedup()
+                );
+            }
+            Err(e) => eprintln!("  warm comparison failed: {e}\n"),
+        }
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
+
     if want("table3") {
         println!("== Table III: pruning ablation on the 13 named matrices (A100) ==");
         println!(
@@ -233,13 +264,25 @@ fn main() {
     if records.is_empty() {
         println!("no searches measured in this run; BENCH_results.json left untouched");
     } else {
-        match write_results_json("BENCH_results.json", &records) {
+        // The path can be redirected (e.g. into a results/ tree); missing
+        // parent directories are created by write_results_json.  An
+        // unwritable path is a clear, non-zero-exit error — the measurements
+        // of a long run should never vanish with a shrug.
+        let results_path = std::env::var("BENCH_RESULTS_PATH")
+            .unwrap_or_else(|_| "BENCH_results.json".to_string());
+        match write_results_json(&results_path, &records) {
             Ok(()) => println!(
-                "wrote {} measurement record(s) to BENCH_results.json (A100 cache: {:?})",
+                "wrote {} measurement record(s) to {results_path} (A100 cache: {:?})",
                 records.len(),
                 ctx_a100.cache.stats()
             ),
-            Err(e) => eprintln!("could not write BENCH_results.json: {e}"),
+            Err(e) => {
+                eprintln!(
+                    "error: could not write benchmark results to {results_path}: {e}\n\
+                     hint: set BENCH_RESULTS_PATH to a writable location"
+                );
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -532,12 +532,112 @@ pub fn results_to_json(records: &[BenchRecord]) -> String {
     out
 }
 
-/// Writes the records to `path` as JSON.
+/// Writes the records to `path` as JSON, creating missing parent directories
+/// first (so `reproduce` can be pointed at a results path that does not
+/// exist yet without panicking or losing the run's measurements).
 pub fn write_results_json(
     path: impl AsRef<std::path::Path>,
     records: &[BenchRecord],
 ) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
     std::fs::write(path, results_to_json(records))
+}
+
+// ---------------------------------------------------------------------------
+// Cold-vs-warm serving comparison (`reproduce -- warm`)
+// ---------------------------------------------------------------------------
+
+/// The measurements of one cold-vs-warm serving comparison: the same matrix
+/// fleet tuned twice through a persistent `DesignStore`.
+#[derive(Debug, Clone)]
+pub struct WarmComparison {
+    /// Number of distinct matrices in the fleet.
+    pub fleet_size: usize,
+    /// Wall-clock seconds of the cold pass (empty store: every search runs).
+    pub cold_wall_secs: f64,
+    /// Wall-clock seconds of the warm pass (store reopened from disk: every
+    /// search replays from cached evaluations).
+    pub warm_wall_secs: f64,
+    /// Fresh simulator evaluations the cold pass performed.
+    pub cold_fresh_evaluations: usize,
+    /// Fresh simulator evaluations the warm pass performed (0 when the store
+    /// is working as designed).
+    pub warm_fresh_evaluations: usize,
+}
+
+impl WarmComparison {
+    /// Cold wall-clock over warm wall-clock — the search-time amortisation a
+    /// persistent store buys.
+    pub fn speedup(&self) -> f64 {
+        if self.warm_wall_secs <= 0.0 {
+            return 0.0;
+        }
+        self.cold_wall_secs / self.warm_wall_secs
+    }
+}
+
+/// Tunes a synthetic fleet twice through an `alpha-serve` `TuningService`
+/// backed by a `DesignStore` at `store_dir`, simulating a process restart in
+/// between: the first pass searches for real, the store is flushed and
+/// reopened, and the second pass must be answered from disk.
+///
+/// The store directory is wiped first so the cold pass is genuinely cold.
+pub fn warm_vs_cold(
+    device: DeviceProfile,
+    store_dir: &std::path::Path,
+    fleet_size: usize,
+    search_budget: usize,
+) -> Result<WarmComparison, String> {
+    use alpha_serve::{DesignStore, TuneRequest, TuningService};
+
+    let _ = std::fs::remove_dir_all(store_dir);
+    let requests: Vec<TuneRequest> = (0..fleet_size)
+        .map(|i| {
+            let family = alpha_matrix::gen::PatternFamily::ALL
+                [i % alpha_matrix::gen::PatternFamily::ALL.len()];
+            TuneRequest::new(family.generate(2_048, 8, 1_000 + i as u64), device.clone())
+        })
+        .collect();
+    let config = SearchConfig {
+        device: device.clone(),
+        max_iterations: search_budget,
+        mutations_per_seed: 3,
+        ..SearchConfig::default()
+    };
+
+    let serve_pass = |service: &TuningService| -> Result<(f64, usize), String> {
+        let start = Instant::now();
+        let served = service.tune_batch(&requests);
+        let wall = start.elapsed().as_secs_f64();
+        let mut fresh = 0;
+        for result in served {
+            fresh += result?.fresh_evaluations;
+        }
+        Ok((wall, fresh))
+    };
+
+    let cold_service = TuningService::new(DesignStore::open(store_dir)?, config.clone());
+    let (cold_wall_secs, cold_fresh_evaluations) = serve_pass(&cold_service)?;
+    cold_service.store().flush().map_err(String::from)?;
+    drop(cold_service);
+
+    // The reopened store stands in for a fresh process: nothing is resident,
+    // everything must come from the cache files.
+    let warm_service = TuningService::new(DesignStore::open(store_dir)?, config);
+    let (warm_wall_secs, warm_fresh_evaluations) = serve_pass(&warm_service)?;
+
+    Ok(WarmComparison {
+        fleet_size,
+        cold_wall_secs,
+        warm_wall_secs,
+        cold_fresh_evaluations,
+        warm_fresh_evaluations,
+    })
 }
 
 #[cfg(test)]
@@ -639,6 +739,36 @@ mod tests {
         let path = dir.join("BENCH_results.json");
         write_results_json(&path, &records).unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), json);
+    }
+
+    #[test]
+    fn write_results_json_creates_missing_parent_directories() {
+        let dir = std::env::temp_dir().join(format!("alpha_bench_parents_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("does/not/exist/BENCH_results.json");
+        let records = vec![BenchRecord {
+            device: "A100".into(),
+            matrix: "m".into(),
+            format: "CSR".into(),
+            gflops: 1.0,
+            search_iterations: 1,
+            cache_hit_rate: 0.0,
+            wall_secs: 0.0,
+        }];
+        write_results_json(&path, &records).expect("parents are created");
+        assert!(path.is_file());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_pass_is_free_and_not_slower() {
+        let dir = std::env::temp_dir().join(format!("alpha_bench_warm_{}", std::process::id()));
+        let cmp = warm_vs_cold(DeviceProfile::a100(), &dir, 3, 8).expect("comparison runs");
+        assert_eq!(cmp.fleet_size, 3);
+        assert!(cmp.cold_fresh_evaluations > 0, "cold pass must search");
+        assert_eq!(cmp.warm_fresh_evaluations, 0, "warm pass must be cached");
+        assert!(cmp.speedup() > 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

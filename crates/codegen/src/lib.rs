@@ -1,15 +1,16 @@
 //! `alpha-codegen` — the Format & Kernel Generator of the AlphaSparse
 //! reproduction (paper Section V).
 //!
-//! Given the [`MatrixMetadataSet`](alpha_graph::MatrixMetadataSet) produced by
+//! Given the [`MatrixMetadataSet`] produced by
 //! the Designer, this crate:
 //!
 //! * extracts the **machine-designed format** — the named index/value arrays
-//!   of Figure 5 ([`format`]),
+//!   of Figure 5 ([`format`](mod@format)),
 //! * applies **Model-Driven Format Compression** — index arrays whose values
 //!   follow a linear, step or periodic-linear law are replaced by the fitted
-//!   function, eliminating their memory traffic ([`compress`]),
-//! * builds the **generated kernel** — an executable [`SpmvKernel`]
+//!   function, eliminating their memory traffic ([`compress`](mod@compress)),
+//! * builds the **generated kernel** — an executable
+//!   [`SpmvKernel`](alpha_gpu::SpmvKernel)
 //!   (interpreted by the `alpha-gpu` simulator) assembled from the kernel
 //!   skeleton and the reduction fragments the implementing stage selected
 //!   ([`kernel`], [`layout`]),

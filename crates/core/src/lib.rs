@@ -23,6 +23,8 @@
 //! println!("{:.1} modelled GFLOPS with {}", tuned.gflops(), tuned.operator_graph());
 //! ```
 
+#![warn(missing_docs)]
+
 pub use alpha_baselines as baselines;
 pub use alpha_codegen as codegen;
 pub use alpha_gpu as gpu;
@@ -48,11 +50,34 @@ use std::sync::Arc;
 /// (clones share it): candidate designs evaluated for one matrix are reused
 /// verbatim when the same matrix — or an identical copy of it — is tuned
 /// again, and re-tuning with a different budget resumes from the cached
-/// evaluations instead of re-simulating them.
+/// evaluations instead of re-simulating them.  With
+/// [`AlphaSparse::with_store`] the cache additionally survives process
+/// restarts.
+///
+/// The README quickstart, as a tested example:
+///
+/// ```
+/// use alphasparse::{AlphaSparse, DeviceProfile};
+/// use alpha_matrix::gen;
+///
+/// // A small irregular matrix.
+/// let matrix = gen::powerlaw(512, 512, 8, 2.0, 7);
+///
+/// // Tune with a tiny budget (larger budgets find better designs).
+/// let tuner = AlphaSparse::new(DeviceProfile::a100()).with_search_budget(20);
+/// let tuned = tuner.auto_tune(&matrix).expect("tuning succeeds");
+///
+/// // Run the machine-designed SpMV.
+/// let x = vec![1.0; 512];
+/// let y = tuned.spmv(&x).expect("SpMV succeeds");
+/// assert_eq!(y.len(), 512);
+/// println!("{:.1} modelled GFLOPS with {}", tuned.gflops(), tuned.operator_graph());
+/// ```
 #[derive(Debug, Clone)]
 pub struct AlphaSparse {
     config: SearchConfig,
     cache: Arc<DesignCache>,
+    store_path: Option<std::path::PathBuf>,
 }
 
 impl AlphaSparse {
@@ -69,7 +94,65 @@ impl AlphaSparse {
         AlphaSparse {
             config,
             cache: Arc::new(DesignCache::new()),
+            store_path: None,
         }
+    }
+
+    /// Makes the tuner's design cache durable at `path` (a single cache
+    /// file, created on the first save; missing parent directories are
+    /// created too).
+    ///
+    /// An existing file is loaded immediately — evaluations, winners and
+    /// warm-start pins from earlier processes replace the tuner's (empty)
+    /// cache — and every successful [`AlphaSparse::auto_tune`] writes the
+    /// grown cache back, so re-tuning a matrix in a fresh process is served
+    /// entirely from disk.  Corrupted, truncated or schema-incompatible
+    /// files are rejected with an error rather than silently ignored; delete
+    /// the file to start over.
+    ///
+    /// For serving whole fleets of matrices with an LRU memory tier and
+    /// similarity-based warm starts, use `alpha-serve`'s `DesignStore` and
+    /// `TuningService` instead — this entry point is the single-process
+    /// convenience.
+    ///
+    /// ```
+    /// use alphasparse::{AlphaSparse, DeviceProfile};
+    /// use alpha_matrix::gen;
+    ///
+    /// let path = std::env::temp_dir()
+    ///     .join(format!("alphasparse_doc_{}", std::process::id()))
+    ///     .join("designs.acds");
+    /// let matrix = gen::powerlaw(256, 256, 6, 2.0, 3);
+    ///
+    /// // First process: tunes for real and saves the cache.
+    /// let tuner = AlphaSparse::new(DeviceProfile::a100())
+    ///     .with_search_budget(8)
+    ///     .with_store(&path)
+    ///     .expect("store opens");
+    /// tuner.auto_tune(&matrix).expect("tuning succeeds");
+    ///
+    /// // "Second process": a fresh tuner answers from the stored designs.
+    /// let revived = AlphaSparse::new(DeviceProfile::a100())
+    ///     .with_search_budget(8)
+    ///     .with_store(&path)
+    ///     .expect("store opens");
+    /// let tuned = revived.auto_tune(&matrix).expect("tuning succeeds");
+    /// assert_eq!(tuned.search_stats().cache_misses, 0);
+    /// # std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    /// ```
+    pub fn with_store<P: AsRef<std::path::Path>>(mut self, path: P) -> Result<Self, String> {
+        let path = path.as_ref().to_path_buf();
+        let cache = DesignCache::load_or_empty(&path)
+            .map_err(|e| format!("cannot open design store {}: {e}", path.display()))?;
+        self.cache = Arc::new(cache);
+        self.store_path = Some(path);
+        Ok(self)
+    }
+
+    /// The durable cache file this tuner saves to, when one was configured
+    /// with [`AlphaSparse::with_store`].
+    pub fn store_path(&self) -> Option<&std::path::Path> {
+        self.store_path.as_deref()
     }
 
     /// Sets the maximum number of candidate kernels evaluated during the
@@ -130,6 +213,16 @@ impl AlphaSparse {
     /// same matrix is answered from the cache.
     pub fn auto_tune(&self, matrix: &CsrMatrix) -> Result<TunedSpmv, String> {
         let outcome = alpha_search::search_with_cache(matrix, &self.config, &self.cache)?;
+        // Save only when the search actually learned something: a fully
+        // cache-served replay leaves the cache clean and costs no write.
+        if let Some(path) = &self.store_path {
+            if self.cache.is_dirty() {
+                self.cache
+                    .save_to_file(path)
+                    .map_err(|e| format!("cannot save design store {}: {e}", path.display()))?;
+                self.cache.mark_clean();
+            }
+        }
         let options = GeneratorOptions {
             model_compression: self.config.enable_model_compression,
         };
@@ -279,6 +372,49 @@ mod tests {
         let clone = tuner.clone();
         let third = clone.auto_tune(&matrix).unwrap();
         assert_eq!(third.search_stats().cache_misses, 0);
+    }
+
+    #[test]
+    fn with_store_makes_tuning_durable_across_tuner_instances() {
+        let dir = std::env::temp_dir().join(format!("alphasparse_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/designs.acds");
+        let matrix = gen::powerlaw(384, 384, 8, 2.0, 17);
+
+        let first = AlphaSparse::new(DeviceProfile::a100())
+            .with_search_budget(12)
+            .with_store(&path)
+            .unwrap()
+            .auto_tune(&matrix)
+            .unwrap();
+        assert!(
+            first.search_stats().cache_misses > 0,
+            "cold run must search"
+        );
+        assert!(path.is_file(), "auto_tune must save the store");
+
+        // A brand-new tuner (standing in for a fresh process) loads the
+        // stored designs: the warm run is strictly cheaper — in fact free.
+        let revived = AlphaSparse::new(DeviceProfile::a100())
+            .with_search_budget(12)
+            .with_store(&path)
+            .unwrap();
+        assert_eq!(revived.store_path(), Some(path.as_path()));
+        let second = revived.auto_tune(&matrix).unwrap();
+        assert!(
+            second.search_stats().cache_misses < first.search_stats().cache_misses,
+            "warm run must cost strictly fewer fresh evaluations"
+        );
+        assert_eq!(second.search_stats().cache_misses, 0, "warm run is free");
+        assert_eq!(first.operator_graph(), second.operator_graph());
+        assert_eq!(first.gflops(), second.gflops());
+
+        // A corrupted store file is reported, not silently discarded.
+        std::fs::write(&path, b"junk").unwrap();
+        assert!(AlphaSparse::new(DeviceProfile::a100())
+            .with_store(&path)
+            .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::counters::KernelCounters;
 
 /// The modelled performance of one kernel execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
     /// Device the kernel was evaluated on.
     pub device: String,

@@ -1,7 +1,7 @@
 //! The three-level search loop (paper Section VI-A).
 //!
 //! Candidate evaluation — the dominant cost — is delegated to the
-//! [`Evaluator`](crate::eval::Evaluator) subsystem: candidates are evaluated
+//! [`Evaluator`] subsystem: candidates are evaluated
 //! in fixed-size batches fanned out across worker threads, with results
 //! memoised in a [`DesignCache`].  Batches are *consumed in input order* and
 //! the budget / annealing stop conditions are applied during consumption, so
@@ -16,7 +16,8 @@ use crate::enumerate::{
 use crate::eval::{
     BatchEvaluator, CachingEvaluator, DesignCache, EvalContext, Evaluator, SimEvaluator,
 };
-use crate::features::featurise;
+use crate::features::{featurise, matrix_feature_vector};
+use crate::persist::StoredDesign;
 use crate::prune::PruneRules;
 use alpha_codegen::GeneratorOptions;
 use alpha_gpu::{DeviceProfile, PerfReport};
@@ -59,6 +60,15 @@ pub struct SearchConfig {
     /// the evaluation schedule — and therefore every statistic — is
     /// reproducible on any machine.
     pub batch_size: usize,
+    /// Known-good designs injected ahead of the enumerated seed structures —
+    /// the warm-start hook.  A serving layer passes the stored winners of
+    /// structurally similar matrices here; they are evaluated first (so the
+    /// annealer sees a strong incumbent immediately) and also mutated like
+    /// any enumerated seed.  Invalid or duplicate designs are skipped.
+    /// Changing this list changes the candidate schedule, so callers that
+    /// need replay-identical searches must pass the same list every time
+    /// (see `DesignCache::pin_seed_designs`).
+    pub seed_designs: Vec<OperatorGraph>,
 }
 
 impl Default for SearchConfig {
@@ -74,6 +84,7 @@ impl Default for SearchConfig {
             seed: 42,
             threads: 0,
             batch_size: 16,
+            seed_designs: Vec::new(),
         }
     }
 }
@@ -181,6 +192,29 @@ pub fn search_with_cache(
         pruned += seed_structures(matrix, &unpruned_rules)
             .len()
             .saturating_sub(structures.len());
+    }
+    // Warm-start designs go FIRST: their coarse variants are evaluated before
+    // anything enumerated, so a good stored incumbent raises the annealer's
+    // bar immediately and lets it stop earlier.  They bypass the pruning ban
+    // list on purpose (they are measured winners, not speculative
+    // structures) but must still validate for this matrix.
+    {
+        let mut warm: Vec<OperatorGraph> = Vec::new();
+        let mut warm_seen: BTreeSet<String> = BTreeSet::new();
+        for design in &config.seed_designs {
+            if design.validate().is_ok()
+                && warm_seen.insert(design.signature())
+                && !structures
+                    .iter()
+                    .any(|g| g.signature() == design.signature())
+            {
+                warm.push(design.clone());
+            }
+        }
+        if !warm.is_empty() {
+            warm.extend(structures);
+            structures = warm;
+        }
     }
     let mut rng = MutationRng::new(config.seed);
     let mut seen: BTreeSet<String> = structures.iter().map(|g| g.signature()).collect();
@@ -308,6 +342,18 @@ pub fn search_with_cache(
 
     let (best_graph, best_report, best_source) =
         best.ok_or_else(|| "no valid candidate could be evaluated".to_string())?;
+    // Record the winner durably: serving layers read it back to answer
+    // repeat requests without searching and to warm-start structurally
+    // similar matrices (the matrix features give them the similarity
+    // metric).
+    cache.record_winner(
+        ctx.context_key(),
+        StoredDesign {
+            graph: best_graph.clone(),
+            gflops: best_report.gflops,
+            matrix_features: matrix_feature_vector(&stats_of_matrix),
+        },
+    );
     Ok(SearchOutcome {
         best_graph,
         best_report,

@@ -25,6 +25,7 @@
 //! model, the matrix, the input vector, the cache) is read-only or locked,
 //! and per-candidate simulator state lives on the evaluating thread's stack.
 
+use crate::persist::StoredDesign;
 use alpha_codegen::{generate, GeneratorOptions};
 use alpha_gpu::{DeviceProfile, GpuSim, PerfReport};
 use alpha_graph::OperatorGraph;
@@ -63,27 +64,13 @@ impl<'a> EvalContext<'a> {
     ) -> Result<Self, String> {
         let x = DenseVector::random(matrix.cols(), seed ^ 0xA1FA);
         let reference = matrix.spmv(x.as_slice()).map_err(|e| e.to_string())?;
-        // The cache key must separate everything that changes a candidate's
-        // outcome: the matrix content, the device model, the generator
-        // options, and the probe-vector seed (feasibility is judged against
-        // `x`, so a borderline kernel may verify under one probe vector and
-        // fail under another).  Fold them all into one 64-bit context key.
-        let mut key = matrix.fingerprint();
-        key = fnv_extend(key, device.name.as_bytes());
-        key = fnv_extend(key, &(device.sm_count as u64).to_le_bytes());
-        key = fnv_extend(key, &device.dram_bandwidth_gbps.to_bits().to_le_bytes());
-        key = fnv_extend(key, &device.l2_bandwidth_gbps.to_bits().to_le_bytes());
-        key = fnv_extend(key, &device.peak_sp_gflops.to_bits().to_le_bytes());
-        key = fnv_extend(key, &device.clock_ghz.to_bits().to_le_bytes());
-        key = fnv_extend(key, &[options.model_compression as u8]);
-        key = fnv_extend(key, &seed.to_le_bytes());
         Ok(EvalContext {
             matrix,
             x,
             reference,
             options,
             tolerance: 1e-3,
-            context_key: key,
+            context_key: context_key(matrix, device, options, seed),
         })
     }
 
@@ -99,6 +86,35 @@ fn fnv_extend(mut hash: u64, bytes: &[u8]) -> u64 {
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+/// The 64-bit cache identity of one `(matrix, device, options, seed)`
+/// combination — the context half of every [`DesignCache`] key.
+///
+/// The key must separate everything that changes a candidate's outcome: the
+/// matrix content, the device model, the generator options, and the
+/// probe-vector seed (feasibility is judged against the probe vector, so a
+/// borderline kernel may verify under one probe vector and fail under
+/// another).  All of them are folded into one 64-bit FNV-1a hash.  The hash
+/// depends only on stable inputs (matrix bytes, device parameters, option
+/// flags), so it identifies the same work across processes and machines —
+/// the property the durable [`DesignCache`] files rely on.
+pub fn context_key(
+    matrix: &CsrMatrix,
+    device: &DeviceProfile,
+    options: GeneratorOptions,
+    seed: u64,
+) -> u64 {
+    let mut key = matrix.fingerprint();
+    key = fnv_extend(key, device.name.as_bytes());
+    key = fnv_extend(key, &(device.sm_count as u64).to_le_bytes());
+    key = fnv_extend(key, &device.dram_bandwidth_gbps.to_bits().to_le_bytes());
+    key = fnv_extend(key, &device.l2_bandwidth_gbps.to_bits().to_le_bytes());
+    key = fnv_extend(key, &device.peak_sp_gflops.to_bits().to_le_bytes());
+    key = fnv_extend(key, &device.clock_ghz.to_bits().to_le_bytes());
+    key = fnv_extend(key, &[options.model_compression as u8]);
+    key = fnv_extend(key, &seed.to_le_bytes());
+    key
 }
 
 /// The outcome of evaluating one feasible candidate.
@@ -211,10 +227,26 @@ impl CacheStats {
 /// operators design the same kernel, so they share one entry.  Infeasible
 /// candidates are stored as `None` so repeat offenders are rejected without
 /// re-running the designer.
+///
+/// Besides the evaluation entries the cache carries two durable side tables,
+/// both keyed by context key: the **winner** of each completed search (used
+/// by serving layers to warm-start structurally similar matrices) and the
+/// **seed pins** a serving layer injected into a context's first search
+/// (replayed verbatim so repeat searches stay byte-for-byte identical and
+/// fully cache-served).  All three sections survive process restarts through
+/// [`DesignCache::save_to_file`] / [`DesignCache::load_from_file`] in
+/// [`crate::persist`].
 pub struct DesignCache {
     entries: Mutex<HashMap<CacheKey, CacheEntry>>,
+    winners: Mutex<HashMap<u64, StoredDesign>>,
+    seed_pins: Mutex<HashMap<u64, Vec<OperatorGraph>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    /// True when the cache holds state its durable copy (if any) does not —
+    /// set by every mutating insert, cleared by [`DesignCache::mark_clean`]
+    /// after a successful save, so persistence layers can skip rewriting
+    /// unchanged caches (a fully cache-served replay stays write-free).
+    dirty: std::sync::atomic::AtomicBool,
 }
 
 /// (context key, canonical graph signature).
@@ -228,9 +260,29 @@ impl DesignCache {
     pub fn new() -> Self {
         DesignCache {
             entries: Mutex::new(HashMap::new()),
+            winners: Mutex::new(HashMap::new()),
+            seed_pins: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            dirty: std::sync::atomic::AtomicBool::new(false),
         }
+    }
+
+    /// True when the cache has changed since it was created, loaded or last
+    /// [`mark_clean`](Self::mark_clean)ed — i.e. a save would write something
+    /// its durable copy does not already have.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty.load(Ordering::Relaxed)
+    }
+
+    /// Declares the current state persisted.  Call after a successful save;
+    /// see [`DesignCache::is_dirty`].
+    pub fn mark_clean(&self) {
+        self.dirty.store(false, Ordering::Relaxed);
+    }
+
+    pub(crate) fn mark_dirty(&self) {
+        self.dirty.store(true, Ordering::Relaxed);
     }
 
     /// Looks a candidate up.  `Some(None)` means "known infeasible".
@@ -272,6 +324,7 @@ impl DesignCache {
             .lock()
             .expect("design cache poisoned")
             .insert(key, value);
+        self.mark_dirty();
     }
 
     /// Number of memoised designs (feasible and infeasible).
@@ -290,6 +343,139 @@ impl DesignCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records the winning design of a completed search for `context_key`.
+    ///
+    /// Keeps the best: an existing winner is only replaced when the new
+    /// design's modelled GFLOPS are at least as high, so re-searching a
+    /// context with a smaller budget can never degrade the stored design
+    /// other searches warm-start from.
+    pub fn record_winner(&self, context_key: u64, design: StoredDesign) {
+        let mut winners = self.winners.lock().expect("design cache poisoned");
+        match winners.get(&context_key) {
+            Some(existing) if existing.gflops > design.gflops => {}
+            Some(existing) if *existing == design => {}
+            _ => {
+                winners.insert(context_key, design);
+                drop(winners);
+                self.mark_dirty();
+            }
+        }
+    }
+
+    /// The stored winning design for `context_key`, if any search for that
+    /// context has completed.
+    pub fn winner(&self, context_key: u64) -> Option<StoredDesign> {
+        self.winners
+            .lock()
+            .expect("design cache poisoned")
+            .get(&context_key)
+            .cloned()
+    }
+
+    /// All stored winners, as (context key, design) pairs.
+    pub fn winners(&self) -> Vec<(u64, StoredDesign)> {
+        self.winners
+            .lock()
+            .expect("design cache poisoned")
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect()
+    }
+
+    /// Pins the warm-start designs injected into `context_key`'s first
+    /// search.  Serving layers replay the pinned set on every later search of
+    /// the same context, which keeps the candidate schedule identical and
+    /// therefore fully answerable from the cached evaluations.
+    pub fn pin_seed_designs(&self, context_key: u64, designs: Vec<OperatorGraph>) {
+        let mut pins = self.seed_pins.lock().expect("design cache poisoned");
+        if pins.get(&context_key) != Some(&designs) {
+            pins.insert(context_key, designs);
+            drop(pins);
+            self.mark_dirty();
+        }
+    }
+
+    /// The pinned warm-start designs for `context_key`.  `None` means no
+    /// search of this context has been pinned yet; `Some(vec![])` means the
+    /// first search explicitly ran without warm-start seeds.
+    pub fn pinned_seed_designs(&self, context_key: u64) -> Option<Vec<OperatorGraph>> {
+        self.seed_pins
+            .lock()
+            .expect("design cache poisoned")
+            .get(&context_key)
+            .cloned()
+    }
+
+    /// Copies every evaluation, winner and seed pin of `other` that this
+    /// cache does not already have.  Existing evaluations and pins win (the
+    /// evaluations are equivalent by construction — both sides computed them
+    /// from the same deterministic simulation; the pins must stay whatever
+    /// this cache's first search used); winners keep the better design per
+    /// context.  Returns the number of *evaluation* entries added.
+    pub fn merge_from(&self, other: &DesignCache) -> usize {
+        let mut changed = false;
+        let mut added = 0;
+        {
+            let theirs = other.entries.lock().expect("design cache poisoned");
+            let mut ours = self.entries.lock().expect("design cache poisoned");
+            for (key, entry) in theirs.iter() {
+                if !ours.contains_key(key) {
+                    ours.insert(key.clone(), entry.clone());
+                    added += 1;
+                }
+            }
+            changed |= added > 0;
+        }
+        {
+            let theirs = other.winners.lock().expect("design cache poisoned");
+            let mut ours = self.winners.lock().expect("design cache poisoned");
+            for (key, design) in theirs.iter() {
+                match ours.get(key) {
+                    Some(existing) if existing.gflops >= design.gflops => {}
+                    _ => {
+                        ours.insert(*key, design.clone());
+                        changed = true;
+                    }
+                }
+            }
+        }
+        {
+            let theirs = other.seed_pins.lock().expect("design cache poisoned");
+            let mut ours = self.seed_pins.lock().expect("design cache poisoned");
+            for (key, pins) in theirs.iter() {
+                if !ours.contains_key(key) {
+                    ours.insert(*key, pins.clone());
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            self.mark_dirty();
+        }
+        added
+    }
+
+    /// A deep copy of the evaluation entries (used by the persistence codec
+    /// and its round-trip tests).
+    pub fn entries_snapshot(&self) -> HashMap<(u64, String), Option<(PerfReport, String)>> {
+        self.entries.lock().expect("design cache poisoned").clone()
+    }
+
+    /// A deep copy of the seed-pin table.
+    pub fn seed_pins_snapshot(&self) -> HashMap<u64, Vec<OperatorGraph>> {
+        self.seed_pins
+            .lock()
+            .expect("design cache poisoned")
+            .clone()
+    }
+
+    pub(crate) fn replace_entries(
+        &self,
+        entries: HashMap<(u64, String), Option<(PerfReport, String)>>,
+    ) {
+        *self.entries.lock().expect("design cache poisoned") = entries;
     }
 }
 

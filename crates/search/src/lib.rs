@@ -19,18 +19,28 @@
 //! Simulated annealing terminates the first two levels early, and the
 //! pruning rules ([`prune`]) encode the "ban list" of operators that make no
 //! sense for the input sparsity pattern.
+//!
+//! Evaluations are memoised in a [`DesignCache`] that can be made durable:
+//! [`persist`] serialises the cache — including per-context winning designs
+//! and pinned warm-start seeds — with a std-only versioned binary codec, so
+//! tuned designs survive process restarts (the foundation of the
+//! `alpha-serve` DesignStore).
+
+#![warn(missing_docs)]
 
 pub mod engine;
 pub mod enumerate;
 pub mod eval;
 pub mod features;
+pub mod persist;
 pub mod prune;
 
 pub use engine::{search, search_with_cache, SearchConfig, SearchOutcome, SearchStats};
 pub use eval::{
-    BatchEvaluator, CacheStats, CachingEvaluator, DesignCache, EvalContext, Evaluation, Evaluator,
-    SimEvaluator,
+    context_key, BatchEvaluator, CacheStats, CachingEvaluator, DesignCache, EvalContext,
+    Evaluation, Evaluator, SimEvaluator,
 };
+pub use persist::{PersistError, StoredDesign, CACHE_FORMAT_VERSION};
 pub use prune::PruneRules;
 
 #[cfg(test)]

@@ -1,0 +1,564 @@
+//! The [`TuningService`]: a batch tuning front end over a [`DesignStore`].
+
+use crate::store::DesignStore;
+use alpha_codegen::GeneratorOptions;
+use alpha_gpu::DeviceProfile;
+use alpha_graph::OperatorGraph;
+use alpha_matrix::{CsrMatrix, MatrixStats};
+use alpha_search::features::{matrix_distance, matrix_feature_vector};
+use alpha_search::{context_key, SearchConfig, StoredDesign};
+use alphasparse::{AlphaSparse, TunedSpmv};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// One tuning request: a matrix and the device it should be designed for.
+#[derive(Debug, Clone)]
+pub struct TuneRequest {
+    /// The matrix to tune.
+    pub matrix: CsrMatrix,
+    /// Target device profile.
+    pub device: DeviceProfile,
+}
+
+impl TuneRequest {
+    /// A request to tune `matrix` for `device`.
+    pub fn new(matrix: CsrMatrix, device: DeviceProfile) -> Self {
+        TuneRequest { matrix, device }
+    }
+}
+
+/// The result of serving one tuning request.
+pub struct ServedTune {
+    /// The ready-to-run machine-designed SpMV program.
+    pub tuned: TunedSpmv,
+    /// Fingerprint of the request's matrix (the deduplication identity,
+    /// together with the device).
+    pub fingerprint: u64,
+    /// The store-level key the design is filed under: the evaluation context
+    /// key extended with the service's schedule parameters (see
+    /// [`TuningService::store_key`]).
+    pub context_key: u64,
+    /// True when the search was seeded with stored winners of structurally
+    /// similar matrices (always true on replays of a warm-started context —
+    /// the pinned seeds are reused).
+    pub warm_started: bool,
+    /// Fresh simulator evaluations this request cost.  `0` means the store
+    /// answered the whole search from cached evaluations.
+    pub fresh_evaluations: usize,
+    /// Host wall-clock seconds spent serving the request.
+    pub wall_secs: f64,
+}
+
+/// A batch auto-tuning service backed by a persistent [`DesignStore`].
+///
+/// `tune_batch` is the one entry point: it deduplicates requests by cache
+/// identity, warm-starts never-seen matrices from the stored winners of
+/// structurally similar ones, fans the distinct searches out across worker
+/// threads, persists every result, and returns a ready-to-run
+/// [`TunedSpmv`] per request.  Re-tuning a fleet the store has already seen
+/// costs zero fresh simulator evaluations (see
+/// [`ServedTune::fresh_evaluations`]).
+pub struct TuningService {
+    store: DesignStore,
+    config: SearchConfig,
+    warm_start_seeds: usize,
+    batch_threads: usize,
+}
+
+impl TuningService {
+    /// Creates a service over `store`.  `config.device` is the default the
+    /// per-request [`TuneRequest::device`] overrides; all other fields
+    /// (budget, seed, pruning, …) apply to every request.
+    ///
+    /// Every field that shapes the candidate schedule — budget, hour cap,
+    /// pruning/ML toggles, mutations per seed, batch size, plus everything in
+    /// the evaluation context key — is folded into the store identity (see
+    /// [`TuningService::store_key`]), so services configured differently
+    /// never reuse each other's pinned seeds or overwrite each other's
+    /// stored winners with differently-budgeted results.  Only
+    /// `config.threads` is excluded: by the engine's determinism guarantee
+    /// it cannot change any outcome.
+    pub fn new(store: DesignStore, config: SearchConfig) -> Self {
+        TuningService {
+            store,
+            config,
+            warm_start_seeds: 3,
+            batch_threads: 0,
+        }
+    }
+
+    /// The store-level identity of one request: the evaluation context key
+    /// (matrix content x device x generator options x probe seed) extended
+    /// with this service's schedule-shaping search parameters.
+    pub fn store_key(&self, eval_key: u64) -> u64 {
+        let mut key = eval_key;
+        let mut fold = |bytes: &[u8]| {
+            for &b in bytes {
+                key ^= b as u64;
+                key = key.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        fold(&(self.config.max_iterations as u64).to_le_bytes());
+        fold(&self.config.max_hours.to_bits().to_le_bytes());
+        fold(&[self.config.enable_pruning as u8]);
+        fold(&[self.config.enable_ml_refinement as u8]);
+        fold(&(self.config.mutations_per_seed as u64).to_le_bytes());
+        fold(&(self.config.batch_size as u64).to_le_bytes());
+        key
+    }
+
+    /// How many similar-matrix winners seed a cold search (0 disables
+    /// warm-starting).  Default 3.
+    pub fn with_warm_start_seeds(mut self, seeds: usize) -> Self {
+        self.warm_start_seeds = seeds;
+        self
+    }
+
+    /// Worker threads distinct requests of a batch are fanned out over
+    /// (0 = one per available core, the default; 1 = serve serially).
+    ///
+    /// Parallelism lives at the *request* level: when the batch fan-out is
+    /// parallel, each individual search runs single-threaded so concurrent
+    /// requests do not fight over cores — the same layering the search
+    /// engine itself uses between candidates and the simulator.
+    pub fn with_batch_threads(mut self, threads: usize) -> Self {
+        self.batch_threads = threads;
+        self
+    }
+
+    /// The store backing this service.
+    pub fn store(&self) -> &DesignStore {
+        &self.store
+    }
+
+    /// Tunes a whole batch of requests, returning one result per request in
+    /// input order.
+    ///
+    /// Requests that share a store identity (same matrix content, device,
+    /// options, seed and search schedule) are tuned once; the duplicates are
+    /// then served from the freshly stored evaluations.
+    ///
+    /// ```
+    /// use alpha_serve::{DesignStore, TuneRequest, TuningService};
+    /// use alphasparse::{DeviceProfile, SearchConfig};
+    /// use alpha_matrix::gen;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("alpha_serve_doc_{}", std::process::id()));
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// let store = DesignStore::open(&dir).expect("store opens");
+    /// let config = SearchConfig { max_iterations: 6, ..SearchConfig::default() };
+    /// let service = TuningService::new(store, config);
+    ///
+    /// let requests = vec![
+    ///     TuneRequest::new(gen::powerlaw(128, 128, 4, 2.0, 1), DeviceProfile::a100()),
+    ///     TuneRequest::new(gen::uniform_random(128, 128, 4, 2), DeviceProfile::a100()),
+    /// ];
+    /// let served = service.tune_batch(&requests);
+    /// for result in &served {
+    ///     let tune = result.as_ref().expect("tuning succeeds");
+    ///     assert!(tune.tuned.gflops() > 0.0);
+    /// }
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// ```
+    pub fn tune_batch(&self, requests: &[TuneRequest]) -> Vec<Result<ServedTune, String>> {
+        // Deduplicate by store identity: the evaluation context key (matrix
+        // fingerprint, device model, generator options, probe seed) extended
+        // with the service's schedule parameters.
+        let options = GeneratorOptions {
+            model_compression: self.config.enable_model_compression,
+        };
+        let eval_keys: Vec<u64> = requests
+            .iter()
+            .map(|r| context_key(&r.matrix, &r.device, options, self.config.seed))
+            .collect();
+        let keys: Vec<u64> = eval_keys.iter().map(|&k| self.store_key(k)).collect();
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut unique: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            if seen.insert(*key) {
+                unique.push(i);
+            }
+        }
+
+        // One winners snapshot serves the whole batch: requests tuned in
+        // this batch warm-start from the fleet as it stood when the batch
+        // arrived, which keeps the outcome independent of scheduling order.
+        let winners = match self.store.winners() {
+            Ok(winners) => winners,
+            Err(e) => return requests.iter().map(|_| Err(e.to_string())).collect(),
+        };
+
+        // Distinct requests fan out; each search then runs single-threaded
+        // (unless the batch itself is serial).
+        let search_threads = if self.batch_threads == 1 { 0 } else { 1 };
+        let mut unique_results: HashMap<u64, Result<(), String>> = HashMap::new();
+        let served: Vec<(u64, Result<ServedTune, String>)> =
+            alpha_parallel::parallel_map(&unique, self.batch_threads, |&i| {
+                let request = &requests[i];
+                (
+                    keys[i],
+                    self.tune_one(request, eval_keys[i], keys[i], &winners, search_threads),
+                )
+            });
+        for (key, result) in &served {
+            unique_results.insert(*key, result.as_ref().map(|_| ()).map_err(|e| e.clone()));
+        }
+        let mut by_key: HashMap<u64, ServedTune> = served
+            .into_iter()
+            .filter_map(|(key, result)| result.ok().map(|tune| (key, tune)))
+            .collect();
+
+        // Assemble per-request results.  The first request of each identity
+        // takes the tuned handle; duplicates replay the (now fully cached)
+        // search, which costs no fresh evaluations.
+        requests
+            .iter()
+            .enumerate()
+            .map(|(i, request)| {
+                let key = keys[i];
+                match unique_results.get(&key) {
+                    Some(Err(e)) => Err(e.clone()),
+                    Some(Ok(())) => match by_key.remove(&key) {
+                        Some(tune) => Ok(tune),
+                        None => self.tune_one(request, eval_keys[i], key, &[], search_threads),
+                    },
+                    None => Err("request was not scheduled".to_string()),
+                }
+            })
+            .collect()
+    }
+
+    /// Serves one request against the store: loads (or creates) the
+    /// context's cache, resolves the warm-start seeds, runs the search and
+    /// persists the result.
+    fn tune_one(
+        &self,
+        request: &TuneRequest,
+        eval_key: u64,
+        store_key: u64,
+        winners: &[(u64, StoredDesign)],
+        search_threads: usize,
+    ) -> Result<ServedTune, String> {
+        let start = Instant::now();
+        let cache = self.store.cache_for(store_key).map_err(String::from)?;
+
+        // Warm-start seeds: pinned on the context's first search, replayed
+        // verbatim on every later one.  Replaying matters — the seeds change
+        // which candidates the search enumerates, so only an identical seed
+        // list keeps the repeat search answerable entirely from the cache.
+        let seeds = match cache.pinned_seed_designs(store_key) {
+            Some(pinned) => pinned,
+            None => {
+                let fresh = self.similar_winners(&request.matrix, eval_key, winners);
+                cache.pin_seed_designs(store_key, fresh.clone());
+                fresh
+            }
+        };
+        let warm_started = !seeds.is_empty();
+
+        let mut config = self.config.clone();
+        config.device = request.device.clone();
+        config.threads = search_threads;
+        config.seed_designs = seeds;
+        let tuner = AlphaSparse::with_config(config).with_shared_cache(cache.clone());
+        let tuned = tuner.auto_tune(&request.matrix)?;
+        // Persist the cache we actually hold: even if the LRU tier evicted
+        // this context mid-search, the final state (not the eviction-time
+        // snapshot) reaches disk.
+        self.store
+            .persist_cache(store_key, &cache)
+            .map_err(String::from)?;
+
+        Ok(ServedTune {
+            fingerprint: request.matrix.fingerprint(),
+            context_key: store_key,
+            warm_started,
+            fresh_evaluations: tuned.search_stats().cache_misses,
+            wall_secs: start.elapsed().as_secs_f64(),
+            tuned,
+        })
+    }
+
+    /// The stored winners most structurally similar to `matrix`, closest
+    /// first, excluding the matrix's own context and deduplicated by design.
+    fn similar_winners(
+        &self,
+        matrix: &CsrMatrix,
+        own_key: u64,
+        winners: &[(u64, StoredDesign)],
+    ) -> Vec<OperatorGraph> {
+        if self.warm_start_seeds == 0 {
+            return Vec::new();
+        }
+        let features = matrix_feature_vector(&MatrixStats::from_csr(matrix));
+        let mut ranked: Vec<(f64, u64, &StoredDesign)> = winners
+            .iter()
+            .filter(|(key, _)| *key != own_key)
+            .map(|(key, design)| {
+                (
+                    matrix_distance(&features, &design.matrix_features),
+                    *key,
+                    design,
+                )
+            })
+            .filter(|(distance, _, _)| distance.is_finite())
+            .collect();
+        // Distance first; context key breaks exact ties deterministically.
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut seeds: Vec<OperatorGraph> = Vec::new();
+        for (_, _, design) in ranked {
+            if seeds.len() == self.warm_start_seeds {
+                break;
+            }
+            if !seeds
+                .iter()
+                .any(|g| g.signature() == design.graph.signature())
+            {
+                seeds.push(design.graph.clone());
+            }
+        }
+        seeds
+    }
+}
+
+impl std::fmt::Debug for TuningService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TuningService")
+            .field("store", &self.store)
+            .field("warm_start_seeds", &self.warm_start_seeds)
+            .field("batch_threads", &self.batch_threads)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpha_matrix::gen;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("alpha_serve_service_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn quick_service(dir: &PathBuf, budget: usize) -> TuningService {
+        let store = DesignStore::open(dir).unwrap();
+        let config = SearchConfig {
+            max_iterations: budget,
+            mutations_per_seed: 2,
+            ..SearchConfig::default()
+        };
+        TuningService::new(store, config)
+    }
+
+    fn fleet(count: usize) -> Vec<TuneRequest> {
+        (0..count)
+            .map(|i| {
+                TuneRequest::new(
+                    gen::powerlaw(256, 256, 6, 2.0, 100 + i as u64),
+                    DeviceProfile::a100(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_results_are_in_request_order() {
+        let dir = temp_dir("order");
+        let service = quick_service(&dir, 10);
+        let requests = fleet(3);
+        let served = service.tune_batch(&requests);
+        assert_eq!(served.len(), 3);
+        for (request, result) in requests.iter().zip(&served) {
+            let tune = result.as_ref().expect("tuning succeeds");
+            assert_eq!(tune.fingerprint, request.matrix.fingerprint());
+            assert!(tune.tuned.gflops() > 0.0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_requests_are_deduplicated() {
+        let dir = temp_dir("dedupe");
+        let service = quick_service(&dir, 10);
+        let matrix = gen::powerlaw(256, 256, 6, 2.0, 9);
+        let requests = vec![
+            TuneRequest::new(matrix.clone(), DeviceProfile::a100()),
+            TuneRequest::new(matrix.clone(), DeviceProfile::a100()),
+            TuneRequest::new(matrix, DeviceProfile::a100()),
+        ];
+        let served = service.tune_batch(&requests);
+        let tunes: Vec<&ServedTune> = served.iter().map(|r| r.as_ref().unwrap()).collect();
+        // Only the first instance pays fresh evaluations; the duplicates are
+        // replays served from the cache the first one just filled.
+        assert!(tunes[0].fresh_evaluations > 0);
+        assert_eq!(tunes[1].fresh_evaluations, 0);
+        assert_eq!(tunes[2].fresh_evaluations, 0);
+        assert_eq!(
+            tunes[0].tuned.operator_graph(),
+            tunes[1].tuned.operator_graph()
+        );
+        assert_eq!(tunes[0].tuned.gflops(), tunes[2].tuned.gflops());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_pass_costs_zero_fresh_evaluations() {
+        // The acceptance criterion of the serving layer: tuning the same
+        // fleet twice through a DesignStore performs zero fresh simulator
+        // evaluations on the second pass.
+        let dir = temp_dir("replay");
+        let service = quick_service(&dir, 12);
+        let requests = fleet(4);
+
+        let first = service.tune_batch(&requests);
+        let first_fresh: usize = first
+            .iter()
+            .map(|r| r.as_ref().unwrap().fresh_evaluations)
+            .sum();
+        assert!(first_fresh > 0, "cold pass must actually search");
+
+        let second = service.tune_batch(&requests);
+        for (a, b) in first.iter().zip(&second) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(
+                b.fresh_evaluations, 0,
+                "second pass of context {:#x} must be fully cached",
+                b.context_key
+            );
+            assert_eq!(a.tuned.operator_graph(), b.tuned.operator_graph());
+            assert_eq!(a.tuned.gflops(), b.tuned.gflops());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_pass_is_cached_even_across_store_reopen() {
+        let dir = temp_dir("durable");
+        let requests = fleet(3);
+        let cold_fresh: usize = {
+            let service = quick_service(&dir, 10);
+            let served = service.tune_batch(&requests);
+            service.store().flush().unwrap();
+            served
+                .iter()
+                .map(|r| r.as_ref().unwrap().fresh_evaluations)
+                .sum()
+        };
+        assert!(cold_fresh > 0);
+
+        // A brand-new process would do exactly this: reopen the store from
+        // disk and serve the same fleet.
+        let service = quick_service(&dir, 10);
+        let served = service.tune_batch(&requests);
+        for result in &served {
+            assert_eq!(result.as_ref().unwrap().fresh_evaluations, 0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_start_reduces_fresh_evaluations_for_similar_matrices() {
+        // Two same-family matrices: tune A cold, then B warm-started from
+        // A's stored winner, and compare against tuning B in a fresh store.
+        let a = gen::powerlaw(512, 512, 8, 2.0, 1);
+        let b = gen::powerlaw(512, 512, 8, 2.0, 2);
+        let device = DeviceProfile::a100();
+
+        let cold_dir = temp_dir("warmless");
+        let cold_service = quick_service(&cold_dir, 40);
+        let cold = cold_service.tune_batch(&[TuneRequest::new(b.clone(), device.clone())]);
+        let cold_b = cold[0].as_ref().unwrap();
+        assert!(!cold_b.warm_started, "empty store cannot warm-start");
+
+        let warm_dir = temp_dir("warm");
+        let warm_service = quick_service(&warm_dir, 40);
+        warm_service.tune_batch(&[TuneRequest::new(a, device.clone())]);
+        let warm = warm_service.tune_batch(&[TuneRequest::new(b, device)]);
+        let warm_b = warm[0].as_ref().unwrap();
+        assert!(warm_b.warm_started, "primed store must warm-start");
+        // The warm-started search saw a strong incumbent first, so the
+        // winner is at least as good as the cold search's.
+        assert!(warm_b.tuned.gflops() >= 0.95 * cold_b.tuned.gflops());
+        let _ = std::fs::remove_dir_all(&cold_dir);
+        let _ = std::fs::remove_dir_all(&warm_dir);
+    }
+
+    #[test]
+    fn batch_threads_do_not_change_outcomes() {
+        let requests = fleet(3);
+        let serial_dir = temp_dir("serial");
+        let serial = quick_service(&serial_dir, 10).with_batch_threads(1);
+        let parallel_dir = temp_dir("parallel");
+        let parallel = quick_service(&parallel_dir, 10).with_batch_threads(4);
+        for (a, b) in serial
+            .tune_batch(&requests)
+            .iter()
+            .zip(&parallel.tune_batch(&requests))
+        {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.tuned.operator_graph(), b.tuned.operator_graph());
+            assert_eq!(a.tuned.gflops(), b.tuned.gflops());
+        }
+        let _ = std::fs::remove_dir_all(&serial_dir);
+        let _ = std::fs::remove_dir_all(&parallel_dir);
+    }
+
+    #[test]
+    fn different_search_schedules_use_distinct_store_contexts() {
+        // A service with a different budget must neither reuse another
+        // schedule's pinned seeds nor overwrite its stored winners: each
+        // schedule gets its own store context, and each replays free.
+        let dir = temp_dir("schedules");
+        let matrix = gen::powerlaw(256, 256, 6, 2.0, 33);
+        let request = || vec![TuneRequest::new(matrix.clone(), DeviceProfile::a100())];
+
+        let big = quick_service(&dir, 30);
+        let big_first = big.tune_batch(&request());
+        let big_tune = big_first[0].as_ref().unwrap();
+        let big_gflops = big_tune.tuned.gflops();
+        big.store().flush().unwrap();
+
+        let small = quick_service(&dir, 5);
+        let small_first = small.tune_batch(&request());
+        let small_tune = small_first[0].as_ref().unwrap();
+        assert_ne!(
+            big_tune.context_key, small_tune.context_key,
+            "schedules must not share a store context"
+        );
+        assert!(
+            small_tune.fresh_evaluations > 0,
+            "the small schedule cannot be served from the big schedule's context"
+        );
+        small.store().flush().unwrap();
+
+        // Both schedules replay free from a reopened store, and the big
+        // schedule's winner survives the small schedule's searches.
+        for budget in [30usize, 5] {
+            let service = quick_service(&dir, budget);
+            let served = service.tune_batch(&request());
+            assert_eq!(served[0].as_ref().unwrap().fresh_evaluations, 0);
+        }
+        let revived = quick_service(&dir, 30).tune_batch(&request());
+        assert_eq!(revived[0].as_ref().unwrap().tuned.gflops(), big_gflops);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_matrices_fail_without_poisoning_the_batch() {
+        let dir = temp_dir("partial");
+        let service = quick_service(&dir, 8);
+        let empty = CsrMatrix::from_coo(&alpha_matrix::CooMatrix::new(8, 8));
+        let requests = vec![
+            TuneRequest::new(empty, DeviceProfile::a100()),
+            TuneRequest::new(gen::powerlaw(128, 128, 4, 2.0, 5), DeviceProfile::a100()),
+        ];
+        let served = service.tune_batch(&requests);
+        assert!(served[0].is_err());
+        assert!(served[1].is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,542 @@
+//! The [`DesignStore`]: durable design caches with an on-disk directory
+//! layout and an LRU in-memory tier.
+
+use alpha_search::persist::PersistError;
+use alpha_search::{DesignCache, StoredDesign};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Layout version string written to (and checked against) the store's
+/// `store.layout` marker file.  Bump when the directory layout — not the
+/// cache file format, which carries its own version — changes.
+pub const STORE_LAYOUT_VERSION: &str = "alphasparse-design-store v1";
+
+/// Default number of per-context caches kept in memory.
+const DEFAULT_CAPACITY: usize = 64;
+
+/// Why a [`DesignStore`] operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem error.
+    Io(std::io::Error),
+    /// A cache file could not be decoded (corruption, truncation, or a
+    /// schema version this build does not read).
+    Persist(PersistError),
+    /// The directory exists but was written by an incompatible store layout.
+    Layout {
+        /// Layout string found in the marker file.
+        found: String,
+        /// Layout string this build expects.
+        expected: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "design store I/O error: {e}"),
+            StoreError::Persist(e) => write!(f, "design store cache file error: {e}"),
+            StoreError::Layout { found, expected } => write!(
+                f,
+                "design store layout mismatch: directory says {found:?}, this build expects \
+                 {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Persist(e) => Some(e),
+            StoreError::Layout { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<PersistError> for StoreError {
+    fn from(e: PersistError) -> Self {
+        StoreError::Persist(e)
+    }
+}
+
+impl From<StoreError> for String {
+    fn from(e: StoreError) -> Self {
+        e.to_string()
+    }
+}
+
+/// Counters describing how the store's memory tier is performing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// `cache_for` calls answered by an already-resident cache.
+    pub memory_hits: usize,
+    /// `cache_for` calls that loaded an existing cache file from disk.
+    pub disk_loads: usize,
+    /// `cache_for` calls that created a brand-new (never-tuned) context.
+    pub cold_starts: usize,
+    /// Resident caches written back and dropped to respect the capacity.
+    pub evictions: usize,
+}
+
+struct Resident {
+    /// LRU order: index 0 is the least recently used context.
+    caches: Vec<(u64, Arc<DesignCache>)>,
+    capacity: usize,
+    stats: StoreStats,
+}
+
+/// Per-file winner lists: file/context key → the (context key, design) pairs
+/// stored in that cache file.
+type WinnerIndex = HashMap<u64, Vec<(u64, StoredDesign)>>;
+
+/// A durable store of tuned-design caches, one per evaluation context.
+///
+/// On disk the store is a directory: a `store.layout` marker naming the
+/// layout version, and one versioned binary cache file per context under
+/// `designs/` (see [`alpha_search::persist`] for the file format).  In
+/// memory it keeps the most recently used caches resident — loaded lazily,
+/// written back on eviction and on [`DesignStore::flush`].
+///
+/// ```
+/// use alpha_serve::DesignStore;
+///
+/// let dir = std::env::temp_dir().join(format!("alpha_store_doc_{}", std::process::id()));
+/// # std::fs::remove_dir_all(&dir).ok();
+/// let store = DesignStore::open(&dir).expect("store opens");
+///
+/// // Caches are created on first touch and survive a reopen once flushed.
+/// let cache = store.cache_for(0xA1FA).expect("cache");
+/// assert!(cache.is_empty());
+/// store.flush().expect("flush");
+///
+/// let reopened = DesignStore::open(&dir).expect("reopen");
+/// assert_eq!(reopened.stats().disk_loads, 0);
+/// reopened.cache_for(0xA1FA).expect("cache");
+/// assert_eq!(reopened.stats().disk_loads, 1);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+pub struct DesignStore {
+    root: PathBuf,
+    resident: Mutex<Resident>,
+    /// Lazily built index of the winners stored in each *on-disk* cache file
+    /// (keyed by file/context key).  Avoids re-decoding every cache file —
+    /// evaluations and all — each time [`DesignStore::winners`] runs; kept
+    /// current by every code path that writes or loads a cache file.
+    /// Never hold this lock and the `resident` lock at the same time.
+    winner_index: Mutex<Option<WinnerIndex>>,
+}
+
+impl DesignStore {
+    /// Opens (or initialises) a design store rooted at `path`.
+    ///
+    /// A fresh directory is created with the current layout marker; an
+    /// existing store is validated against [`STORE_LAYOUT_VERSION`] and
+    /// rejected with [`StoreError::Layout`] when it was written by an
+    /// incompatible layout.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, StoreError> {
+        let root = path.as_ref().to_path_buf();
+        std::fs::create_dir_all(root.join("designs"))?;
+        let marker = root.join("store.layout");
+        match std::fs::read_to_string(&marker) {
+            Ok(found) => {
+                let found = found.trim().to_string();
+                if found != STORE_LAYOUT_VERSION {
+                    return Err(StoreError::Layout {
+                        found,
+                        expected: STORE_LAYOUT_VERSION.to_string(),
+                    });
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                std::fs::write(&marker, format!("{STORE_LAYOUT_VERSION}\n"))?;
+            }
+            Err(e) => return Err(e.into()),
+        }
+        Ok(DesignStore {
+            root,
+            resident: Mutex::new(Resident {
+                caches: Vec::new(),
+                capacity: DEFAULT_CAPACITY,
+                stats: StoreStats::default(),
+            }),
+            winner_index: Mutex::new(None),
+        })
+    }
+
+    /// Sets how many per-context caches stay resident in memory (minimum 1).
+    /// Evicted caches are written back to disk first, so a small capacity
+    /// trades memory for reload I/O, never for lost work.
+    pub fn with_memory_capacity(self, capacity: usize) -> Self {
+        self.resident.lock().expect("store poisoned").capacity = capacity.max(1);
+        self
+    }
+
+    /// The directory this store lives in.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Snapshot of the memory-tier counters.
+    pub fn stats(&self) -> StoreStats {
+        self.resident.lock().expect("store poisoned").stats
+    }
+
+    /// Number of caches currently resident in memory.
+    pub fn resident_contexts(&self) -> usize {
+        self.resident.lock().expect("store poisoned").caches.len()
+    }
+
+    fn context_file(&self, context_key: u64) -> PathBuf {
+        self.root
+            .join("designs")
+            .join(format!("ctx_{context_key:016x}.acds"))
+    }
+
+    /// Writes `cache` to `context_key`'s file, marks it clean, and keeps the
+    /// winner index current.  Must not be called while holding either lock.
+    fn save_cache_file(&self, context_key: u64, cache: &DesignCache) -> Result<(), StoreError> {
+        cache.save_to_file(self.context_file(context_key))?;
+        cache.mark_clean();
+        self.note_winners(context_key, cache);
+        Ok(())
+    }
+
+    /// Records the winners of `context_key`'s (just written or just loaded)
+    /// cache file in the index, if the index has been built.
+    fn note_winners(&self, context_key: u64, cache: &DesignCache) {
+        let mut index = self.winner_index.lock().expect("store poisoned");
+        if let Some(map) = index.as_mut() {
+            map.insert(context_key, cache.winners());
+        }
+    }
+
+    /// The cache for one evaluation context, loading it from disk — or
+    /// creating it empty — on first touch.  The returned `Arc` stays valid
+    /// even if the store later evicts the context; evicted caches are
+    /// persisted before being dropped from the resident tier.
+    pub fn cache_for(&self, context_key: u64) -> Result<Arc<DesignCache>, StoreError> {
+        let mut resident = self.resident.lock().expect("store poisoned");
+        if let Some(pos) = resident.caches.iter().position(|(k, _)| *k == context_key) {
+            let entry = resident.caches.remove(pos);
+            resident.caches.push(entry);
+            resident.stats.memory_hits += 1;
+            return Ok(resident.caches.last().expect("just pushed").1.clone());
+        }
+
+        let path = self.context_file(context_key);
+        let (cache, loaded_from_disk) = match DesignCache::load_from_file(&path) {
+            Ok(cache) => {
+                resident.stats.disk_loads += 1;
+                (cache, true)
+            }
+            Err(PersistError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                resident.stats.cold_starts += 1;
+                (DesignCache::new(), false)
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let cache = Arc::new(cache);
+        resident.caches.push((context_key, cache.clone()));
+        let mut evicted_dirty: Vec<(u64, Arc<DesignCache>)> = Vec::new();
+        while resident.caches.len() > resident.capacity {
+            let (evicted_key, evicted) = resident.caches.remove(0);
+            resident.stats.evictions += 1;
+            // Unchanged caches (loaded but never searched) are just dropped;
+            // their file — if any — is already current.
+            if evicted.is_dirty() {
+                evicted_dirty.push((evicted_key, evicted));
+            }
+        }
+        drop(resident);
+        for (evicted_key, evicted) in evicted_dirty {
+            self.save_cache_file(evicted_key, &evicted)?;
+        }
+        if loaded_from_disk {
+            self.note_winners(context_key, &cache);
+        }
+        Ok(cache)
+    }
+
+    /// Writes one resident context back to its cache file.  Returns `false`
+    /// when the context is not resident (nothing new to write: it was either
+    /// never touched or already persisted at eviction).
+    ///
+    /// When the caller still holds the context's cache `Arc` — as a tuning
+    /// worker does — prefer [`DesignStore::persist_cache`], which cannot miss
+    /// a concurrently evicted context.
+    pub fn persist(&self, context_key: u64) -> Result<bool, StoreError> {
+        let cache = {
+            let resident = self.resident.lock().expect("store poisoned");
+            resident
+                .caches
+                .iter()
+                .find(|(k, _)| *k == context_key)
+                .map(|(_, c)| c.clone())
+        };
+        match cache {
+            Some(cache) => {
+                self.save_cache_file(context_key, &cache)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Writes an explicitly held cache to `context_key`'s file, whether or
+    /// not the context is still resident.  This is the write path for workers
+    /// that obtained the cache from [`DesignStore::cache_for`] and mutated it
+    /// afterwards: even if the LRU tier evicted the context mid-search (the
+    /// eviction saved an earlier snapshot), the held `Arc` carries the final
+    /// state and this call makes it durable.  Returns `false` (and skips the
+    /// write) when the cache has nothing unsaved.
+    pub fn persist_cache(&self, context_key: u64, cache: &DesignCache) -> Result<bool, StoreError> {
+        if !cache.is_dirty() {
+            return Ok(false);
+        }
+        self.save_cache_file(context_key, cache)?;
+        Ok(true)
+    }
+
+    /// Writes every resident context back to disk.  Returns the number of
+    /// files written.
+    pub fn flush(&self) -> Result<usize, StoreError> {
+        let caches: Vec<(u64, Arc<DesignCache>)> = {
+            let resident = self.resident.lock().expect("store poisoned");
+            resident.caches.clone()
+        };
+        for (key, cache) in &caches {
+            self.save_cache_file(*key, cache)?;
+        }
+        Ok(caches.len())
+    }
+
+    /// Every stored winning design — resident and on-disk — as
+    /// (context key, design) pairs, in a deterministic order.  This is the
+    /// corpus the [`TuningService`](crate::TuningService) mines for
+    /// warm-start seeds; resident caches take precedence over their possibly
+    /// older on-disk snapshots.
+    ///
+    /// Cache files are fully decoded at most once per store instance: their
+    /// winners live in an in-memory index afterwards, kept current by every
+    /// write, so calling this per batch stays cheap even over a large store.
+    pub fn winners(&self) -> Result<Vec<(u64, StoredDesign)>, StoreError> {
+        let mut winners: Vec<(u64, StoredDesign)> = Vec::new();
+        let resident_keys: Vec<u64> = {
+            let resident = self.resident.lock().expect("store poisoned");
+            for (_, cache) in &resident.caches {
+                winners.extend(cache.winners());
+            }
+            resident.caches.iter().map(|(k, _)| *k).collect()
+        };
+        self.ensure_winner_index()?;
+        {
+            let index = self.winner_index.lock().expect("store poisoned");
+            let map = index.as_ref().expect("just built");
+            for (file_key, file_winners) in map.iter() {
+                if !resident_keys.contains(file_key) {
+                    winners.extend(file_winners.iter().cloned());
+                }
+            }
+        }
+        // Deterministic order regardless of map/directory enumeration: the
+        // seed selection downstream must not depend on iteration order.
+        winners.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| a.1.graph.signature().cmp(&b.1.graph.signature()))
+        });
+        Ok(winners)
+    }
+
+    /// Builds the on-disk winner index on first use by scanning (and fully
+    /// decoding, once) every cache file in `designs/`.
+    fn ensure_winner_index(&self) -> Result<(), StoreError> {
+        {
+            let index = self.winner_index.lock().expect("store poisoned");
+            if index.is_some() {
+                return Ok(());
+            }
+        }
+        let designs_dir = self.root.join("designs");
+        let mut disk_keys: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(&designs_dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let Some(hex) = name
+                .strip_prefix("ctx_")
+                .and_then(|rest| rest.strip_suffix(".acds"))
+            else {
+                continue;
+            };
+            let Ok(key) = u64::from_str_radix(hex, 16) else {
+                continue;
+            };
+            disk_keys.push((key, entry.path()));
+        }
+        let mut map = HashMap::with_capacity(disk_keys.len());
+        for (key, path) in disk_keys {
+            let cache = DesignCache::load_from_file(&path)?;
+            map.insert(key, cache.winners());
+        }
+        let mut index = self.winner_index.lock().expect("store poisoned");
+        // A concurrent builder may have won the race; either result is
+        // equivalent, keep the first.
+        index.get_or_insert(map);
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for DesignStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let resident = self.resident.lock().expect("store poisoned");
+        f.debug_struct("DesignStore")
+            .field("root", &self.root)
+            .field("resident", &resident.caches.len())
+            .field("capacity", &resident.capacity)
+            .field("stats", &resident.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpha_graph::presets;
+
+    fn temp_store_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("alpha_serve_store_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn design(gflops: f64) -> StoredDesign {
+        StoredDesign {
+            graph: presets::csr_scalar(),
+            gflops,
+            matrix_features: vec![1.0, 2.0],
+        }
+    }
+
+    #[test]
+    fn open_initialises_and_reopens() {
+        let dir = temp_store_dir("open");
+        let store = DesignStore::open(&dir).unwrap();
+        assert!(dir.join("store.layout").is_file());
+        assert!(dir.join("designs").is_dir());
+        drop(store);
+        DesignStore::open(&dir).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_layout_is_rejected() {
+        let dir = temp_store_dir("layout");
+        std::fs::create_dir_all(dir.join("designs")).unwrap();
+        std::fs::write(dir.join("store.layout"), "somebody-elses-store v9\n").unwrap();
+        assert!(matches!(
+            DesignStore::open(&dir),
+            Err(StoreError::Layout { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn caches_survive_flush_and_reopen() {
+        let dir = temp_store_dir("reopen");
+        let store = DesignStore::open(&dir).unwrap();
+        let cache = store.cache_for(42).unwrap();
+        cache.record_winner(42, design(10.0));
+        assert!(store.persist(42).unwrap());
+        assert!(!store.persist(99).unwrap(), "untouched context");
+        drop(store);
+
+        let store = DesignStore::open(&dir).unwrap();
+        let cache = store.cache_for(42).unwrap();
+        assert_eq!(cache.winner(42).unwrap().gflops, 10.0);
+        assert_eq!(store.stats().disk_loads, 1);
+        assert_eq!(store.stats().cold_starts, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_evicts_to_disk_and_reloads() {
+        let dir = temp_store_dir("lru");
+        let store = DesignStore::open(&dir).unwrap().with_memory_capacity(2);
+        for key in [1u64, 2, 3] {
+            let cache = store.cache_for(key).unwrap();
+            cache.record_winner(key, design(key as f64));
+        }
+        // Capacity 2: context 1 was evicted (and persisted).
+        assert_eq!(store.resident_contexts(), 2);
+        assert_eq!(store.stats().evictions, 1);
+        assert!(store
+            .root()
+            .join("designs/ctx_0000000000000001.acds")
+            .is_file());
+        // Touching context 1 again reloads it from disk with its winner.
+        let cache = store.cache_for(1).unwrap();
+        assert_eq!(cache.winner(1).unwrap().gflops, 1.0);
+        assert_eq!(store.stats().disk_loads, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recency_order_protects_hot_contexts() {
+        let dir = temp_store_dir("recency");
+        let store = DesignStore::open(&dir).unwrap().with_memory_capacity(2);
+        store.cache_for(1).unwrap();
+        store.cache_for(2).unwrap();
+        store.cache_for(1).unwrap(); // touch 1: now 2 is the LRU
+        store.cache_for(3).unwrap(); // evicts 2, not 1
+        let resident = store.resident.lock().unwrap();
+        let keys: Vec<u64> = resident.caches.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 3]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn winners_unions_memory_and_disk() {
+        let dir = temp_store_dir("winners");
+        let store = DesignStore::open(&dir).unwrap();
+        store.cache_for(7).unwrap().record_winner(7, design(7.0));
+        store.flush().unwrap();
+        drop(store);
+
+        // Fresh store instance: context 7 only exists on disk, context 8
+        // only in memory.
+        let store = DesignStore::open(&dir).unwrap();
+        store.cache_for(8).unwrap().record_winner(8, design(8.0));
+        let mut winners = store.winners().unwrap();
+        winners.sort_by_key(|(k, _)| *k);
+        assert_eq!(winners.len(), 2);
+        assert_eq!(winners[0].0, 7);
+        assert_eq!(winners[1].0, 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_cache_files_are_reported_not_halfloaded() {
+        let dir = temp_store_dir("corrupt");
+        let store = DesignStore::open(&dir).unwrap();
+        std::fs::write(
+            store.root().join("designs/ctx_00000000000000ff.acds"),
+            b"garbage",
+        )
+        .unwrap();
+        assert!(matches!(
+            store.cache_for(0xff),
+            Err(StoreError::Persist(PersistError::BadMagic))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -6,7 +6,7 @@
 //! lib name matches the package name, so `pub use alphasparse` re-exports it
 //! verbatim.  The remaining members are re-exported under the short module
 //! names used throughout the docs (`matrix`, `graph`, `codegen`, `gpu`, `ml`,
-//! `search`, `baselines`).
+//! `search`, `baselines`, `serve`).
 pub use alphasparse;
 
 pub use alpha_baselines as baselines;
@@ -16,6 +16,7 @@ pub use alpha_graph as graph;
 pub use alpha_matrix as matrix;
 pub use alpha_ml as ml;
 pub use alpha_search as search;
+pub use alpha_serve as serve;
 
 #[cfg(test)]
 mod tests {
@@ -29,6 +30,7 @@ mod tests {
         let _ = crate::ml::Sample::new(vec![1.0], 2.0);
         let _ = crate::search::SearchConfig::default();
         let _ = crate::baselines::Baseline::figure9_set();
+        let _ = crate::serve::STORE_LAYOUT_VERSION;
         let _ = crate::alphasparse::AlphaSparse::new(crate::gpu::DeviceProfile::a100());
     }
 }
