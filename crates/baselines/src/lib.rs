@@ -19,6 +19,7 @@ pub mod csr_adaptive;
 pub mod ell;
 pub mod hyb;
 pub mod merge;
+pub mod native;
 pub mod pfs;
 pub mod row_grouped;
 pub mod taco;
@@ -31,6 +32,7 @@ pub use csr_adaptive::CsrAdaptiveKernel;
 pub use ell::{EllKernel, SellKernel};
 pub use hyb::HybKernel;
 pub use merge::MergeCsrKernel;
+pub use native::{native_set, NativeBaselineKernel};
 pub use pfs::{run_pfs, PfsOutcome};
 pub use row_grouped::RowGroupedCsrKernel;
 pub use taco::TacoKernel;

@@ -8,23 +8,29 @@
 //! cargo run --release -p alpha-bench --bin reproduce -- all
 //! cargo run --release -p alpha-bench --bin reproduce -- fig9a fig10 table3 ...
 //! cargo run --release -p alpha-bench --bin reproduce -- warm
+//! cargo run --release -p alpha-bench --bin reproduce -- native
 //! ```
 //!
-//! `warm` is not part of `all`: it benchmarks this repo's serving layer (a
-//! matrix fleet tuned cold, then re-served from a persistent `DesignStore`)
-//! rather than a figure of the paper.
+//! `warm` and `native` are not part of `all`: `warm` benchmarks this repo's
+//! serving layer (a matrix fleet tuned cold, then re-served from a
+//! persistent `DesignStore`), and `native` tunes on measured wall-clock time
+//! and reports real GFLOP/s of generated kernels vs the native baselines —
+//! neither is a figure of the paper.  An unknown mode prints the mode list
+//! and exits non-zero.
 
 use alpha_bench::*;
 use alpha_gpu::DeviceProfile;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let wanted: Vec<String> = if args.is_empty() {
-        vec!["all".to_string()]
-    } else {
-        args.iter().map(|a| a.to_lowercase()).collect()
+    let wanted = match resolve_modes(&args) {
+        Ok(wanted) => wanted,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
     };
-    let want = |key: &str| wanted.iter().any(|w| w == key || w == "all");
+    let want = |key: &str| mode_selected(&wanted, key);
     let mut records: Vec<BenchRecord> = Vec::new();
 
     let ctx_a100 = ExperimentContext::standard(DeviceProfile::a100());
@@ -172,9 +178,66 @@ fn main() {
         }
     }
 
+    // `native` is opt-in only (not under `all`): it measures real wall-clock
+    // throughput on this host, not a paper artifact.
+    if want("native") {
+        println!(
+            "== Native execution: measured GFLOP/s, generated kernels vs baselines (host CPU) =="
+        );
+        let config = NativeModeConfig::default();
+        println!(
+            "   fleet of {} matrices ({} rows, ~{} nnz/row); search optimises measured time\n",
+            config.fleet_size, config.rows, config.avg_row_len
+        );
+        match native_mode(config) {
+            Ok(results) => {
+                println!(
+                    "  {:<18} {:>9} {:>9} {:>9} {:>9} {:>11} {:>9}",
+                    "matrix", "CSR", "ELL", "HYB", "Merge", "generated", "speedup"
+                );
+                for r in &results {
+                    let g = |name: &str| {
+                        r.baselines
+                            .iter()
+                            .find(|b| b.format == name)
+                            .map(|b| b.gflops)
+                            .unwrap_or(0.0)
+                    };
+                    println!(
+                        "  {:<18} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>11.2} {:>8.2}x",
+                        r.name,
+                        g("CSR-scalar"),
+                        g("ELL"),
+                        g("HYB"),
+                        g("Merge"),
+                        r.generated.gflops,
+                        r.speedup_over_best_baseline()
+                    );
+                }
+                let speedups: Vec<f64> = results
+                    .iter()
+                    .map(NativeMatrixResult::speedup_over_best_baseline)
+                    .collect();
+                println!(
+                    "  geometric-mean speedup over the best baseline: {:.2}x",
+                    geometric_mean(&speedups)
+                );
+                println!(
+                    "  (wall-clock numbers carry allocator-placement and scheduler noise;\n\
+                     \x20  treat deltas under ~30% as ties)\n"
+                );
+                for r in results {
+                    records.push(r.generated);
+                    records.extend(r.baselines);
+                }
+            }
+            Err(e) => eprintln!("  native comparison failed: {e}\n"),
+        }
+    }
+
     // `warm` is opt-in only (not under `all`): it measures the serving
     // layer's amortisation, not a paper artifact.
-    if wanted.iter().any(|w| w == "warm") {
+    if want("warm") {
         println!("== Cold vs warm: a 12-matrix fleet through a persistent DesignStore (A100) ==");
         let store_dir =
             std::env::temp_dir().join(format!("alphasparse_reproduce_warm_{}", std::process::id()));

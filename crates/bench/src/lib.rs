@@ -435,15 +435,21 @@ pub fn fig13_iterations(results: &[CorpusResult]) -> (f64, f64) {
 /// trajectory that scripts can diff.
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
-    /// Device the measurement was modelled on.
+    /// Device the measurement was modelled on (`host-cpu` for native runs).
     pub device: String,
     /// Matrix (corpus entry or named catalogue matrix).
     pub matrix: String,
     /// The winning design: the machine-designed operator-graph signature, or
     /// a baseline format name.
     pub format: String,
-    /// Modelled GFLOPS of the winner.
+    /// GFLOPS of the winner under its evaluator: modelled for `simulated`
+    /// records, wall-clock for `native` ones.
     pub gflops: f64,
+    /// Wall-clock GFLOP/s measured by the native CPU backend's timing
+    /// harness; `None` for purely simulated records.
+    pub measured_gflops: Option<f64>,
+    /// Which backend produced `gflops`: `"simulated"` or `"native"`.
+    pub evaluator: String,
     /// Candidate evaluations the search consumed (0 for baselines).
     pub search_iterations: usize,
     /// Design-cache hit rate of the search (0 for baselines).
@@ -453,7 +459,8 @@ pub struct BenchRecord {
 }
 
 impl BenchRecord {
-    /// Builds the record for one AlphaSparse search outcome.
+    /// Builds the record for one AlphaSparse search outcome (simulated cost
+    /// model).
     pub fn from_search(
         device: &str,
         matrix: &str,
@@ -465,6 +472,8 @@ impl BenchRecord {
             matrix: matrix.to_string(),
             format: outcome.best_graph.signature(),
             gflops: outcome.best_report.gflops,
+            measured_gflops: None,
+            evaluator: alpha_search::EvaluatorId::Simulated.label().to_string(),
             search_iterations: outcome.stats.iterations,
             cache_hit_rate: outcome.stats.cache_hit_rate(),
             wall_secs,
@@ -478,9 +487,34 @@ impl BenchRecord {
             matrix: result.name.clone(),
             format: result.alphasparse.best_graph.signature(),
             gflops: result.alphasparse.best_report.gflops,
+            measured_gflops: None,
+            evaluator: alpha_search::EvaluatorId::Simulated.label().to_string(),
             search_iterations: result.alphasparse.stats.iterations,
             cache_hit_rate: result.alphasparse.stats.cache_hit_rate(),
             wall_secs: result.search_wall_secs,
+        }
+    }
+
+    /// Builds a record for one natively measured kernel (generated design or
+    /// baseline format).
+    pub fn measured(
+        matrix: &str,
+        format: &str,
+        report: &alpha_cpu::MeasuredReport,
+        search_iterations: usize,
+        cache_hit_rate: f64,
+        wall_secs: f64,
+    ) -> Self {
+        BenchRecord {
+            device: alpha_cpu::NATIVE_DEVICE_LABEL.to_string(),
+            matrix: matrix.to_string(),
+            format: format.to_string(),
+            gflops: report.gflops,
+            measured_gflops: Some(report.gflops),
+            evaluator: "native".to_string(),
+            search_iterations,
+            cache_hit_rate,
+            wall_secs,
         }
     }
 }
@@ -516,12 +550,17 @@ pub fn results_to_json(records: &[BenchRecord]) -> String {
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"device\": \"{}\", \"matrix\": \"{}\", \"format\": \"{}\", \
-             \"gflops\": {}, \"search_iterations\": {}, \"cache_hit_rate\": {}, \
+             \"gflops\": {}, \"measured_gflops\": {}, \"evaluator\": \"{}\", \
+             \"search_iterations\": {}, \"cache_hit_rate\": {}, \
              \"wall_secs\": {}}}{}\n",
             json_escape(&r.device),
             json_escape(&r.matrix),
             json_escape(&r.format),
             json_f64(r.gflops),
+            r.measured_gflops
+                .map(json_f64)
+                .unwrap_or_else(|| "null".to_string()),
+            json_escape(&r.evaluator),
             r.search_iterations,
             json_f64(r.cache_hit_rate),
             json_f64(r.wall_secs),
@@ -640,6 +679,179 @@ pub fn warm_vs_cold(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Native execution mode (`reproduce -- native`)
+// ---------------------------------------------------------------------------
+
+/// Configuration of one `reproduce -- native` run.
+#[derive(Debug, Clone, Copy)]
+pub struct NativeModeConfig {
+    /// Matrices in the fleet (pattern families cycle).
+    pub fleet_size: usize,
+    /// Rows (= columns) of each matrix.
+    pub rows: usize,
+    /// Average row length of each matrix.
+    pub avg_row_len: usize,
+    /// Search budget per matrix (candidate measurements).
+    pub budget: usize,
+    /// Timing harness for both the search and the final measurements.
+    pub harness: alpha_cpu::TimingHarness,
+}
+
+impl Default for NativeModeConfig {
+    fn default() -> Self {
+        NativeModeConfig {
+            fleet_size: 6,
+            rows: 16_384,
+            avg_row_len: 8,
+            budget: 80,
+            harness: alpha_cpu::TimingHarness::default(),
+        }
+    }
+}
+
+impl NativeModeConfig {
+    /// Tiny scale for tests.
+    pub fn tiny() -> Self {
+        NativeModeConfig {
+            fleet_size: 2,
+            rows: 256,
+            avg_row_len: 6,
+            budget: 6,
+            harness: alpha_cpu::TimingHarness::quick(),
+        }
+    }
+}
+
+/// One matrix's rows of the native comparison: the tuned generated kernel
+/// plus every native baseline, all timed with the same harness.
+#[derive(Debug, Clone)]
+pub struct NativeMatrixResult {
+    /// Matrix name.
+    pub name: String,
+    /// Record of the generated (machine-designed) kernel.
+    pub generated: BenchRecord,
+    /// Records of the native baselines (CSR, ELL, HYB, Merge).
+    pub baselines: Vec<BenchRecord>,
+}
+
+impl NativeMatrixResult {
+    /// Measured speedup of the generated kernel over the best baseline.
+    pub fn speedup_over_best_baseline(&self) -> f64 {
+        let best = self
+            .baselines
+            .iter()
+            .map(|r| r.gflops)
+            .fold(0.0f64, f64::max);
+        if best <= 0.0 {
+            0.0
+        } else {
+            self.generated.gflops / best
+        }
+    }
+}
+
+/// `reproduce -- native`: tunes a matrix fleet with the **native
+/// measured-time evaluator** (the search optimises the wall clock of this
+/// machine), then measures the winning generated kernels against the native
+/// baseline implementations with the same steady-state harness.  Every row
+/// carries `measured_gflops`, so `BENCH_results.json` gains real throughput
+/// next to the simulated trajectory.
+pub fn native_mode(config: NativeModeConfig) -> Result<Vec<NativeMatrixResult>, String> {
+    use alphasparse::AlphaSparse;
+
+    let mut results = Vec::new();
+    for i in 0..config.fleet_size {
+        let families = alpha_matrix::gen::PatternFamily::ALL;
+        let family = families[i % families.len()];
+        let matrix = family.generate(config.rows, config.avg_row_len, 4_000 + i as u64);
+        let name = format!("{}_{}_{}", family.name(), config.rows, i);
+
+        let search_config = SearchConfig {
+            max_iterations: config.budget,
+            mutations_per_seed: 2,
+            ..SearchConfig::default()
+        };
+        let tuner = AlphaSparse::with_config(search_config)
+            .with_native_execution_harness(config.harness, 0);
+        let start = Instant::now();
+        let tuned = tuner.auto_tune(&matrix)?;
+        let wall_secs = start.elapsed().as_secs_f64();
+        let measured = tuned.measure(config.harness, 0)?;
+        let generated = BenchRecord::measured(
+            &name,
+            &tuned.operator_graph(),
+            &measured,
+            tuned.search_stats().iterations,
+            tuned.search_stats().cache_hit_rate(),
+            wall_secs,
+        );
+
+        let x = DenseVector::ones(matrix.cols());
+        let mut baselines = Vec::new();
+        for baseline in alpha_baselines::native_set() {
+            let kernel = alpha_baselines::NativeBaselineKernel::new(baseline, &matrix)?;
+            let report = kernel.measure(config.harness, x.as_slice(), 0)?;
+            baselines.push(BenchRecord::measured(
+                &name,
+                baseline.name(),
+                &report,
+                0,
+                0.0,
+                0.0,
+            ));
+        }
+        results.push(NativeMatrixResult {
+            name,
+            generated,
+            baselines,
+        });
+    }
+    Ok(results)
+}
+
+// ---------------------------------------------------------------------------
+// Mode parsing for the `reproduce` binary
+// ---------------------------------------------------------------------------
+
+/// Every mode `reproduce` understands.  `warm` and `native` are opt-in only
+/// (not part of `all`): they benchmark this repo's serving and native layers
+/// rather than a figure of the paper.
+pub const KNOWN_MODES: &[&str] = &[
+    "all", "fig2", "fig9a", "fig9b", "fig10", "fig11", "fig12", "fig13", "table3", "fig14", "warm",
+    "native",
+];
+
+/// The modes excluded from `all` (see [`KNOWN_MODES`]).
+const OPT_IN_MODES: &[&str] = &["warm", "native"];
+
+/// Normalises and validates the `reproduce` command line.  No arguments
+/// means `all`; an unknown mode is an error whose message lists every known
+/// mode (the binary prints it and exits non-zero).
+pub fn resolve_modes(args: &[String]) -> Result<Vec<String>, String> {
+    if args.is_empty() {
+        return Ok(vec!["all".to_string()]);
+    }
+    let wanted: Vec<String> = args.iter().map(|a| a.to_lowercase()).collect();
+    for mode in &wanted {
+        if !KNOWN_MODES.contains(&mode.as_str()) {
+            return Err(format!(
+                "unknown mode '{mode}'\nknown modes: {}",
+                KNOWN_MODES.join(", ")
+            ));
+        }
+    }
+    Ok(wanted)
+}
+
+/// True when `key` should run for the resolved mode list: either named
+/// explicitly, or covered by `all` (which excludes the opt-in `warm` and
+/// `native` modes).
+pub fn mode_selected(wanted: &[String], key: &str) -> bool {
+    wanted.iter().any(|w| w == key)
+        || (!OPT_IN_MODES.contains(&key) && wanted.iter().any(|w| w == "all"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -712,6 +924,8 @@ mod tests {
                 matrix: "powerlaw_1024".into(),
                 format: "COMPRESS;[0]BMT_ROW_BLOCK(rows=1);".into(),
                 gflops: 123.4,
+                measured_gflops: None,
+                evaluator: "simulated".into(),
                 search_iterations: 25,
                 cache_hit_rate: 0.5,
                 wall_secs: 1.25,
@@ -721,6 +935,8 @@ mod tests {
                 matrix: "with \"quotes\"\nand newline".into(),
                 format: "CSR5".into(),
                 gflops: 56.7,
+                measured_gflops: Some(61.2),
+                evaluator: "native".into(),
                 search_iterations: 0,
                 cache_hit_rate: 0.0,
                 wall_secs: 0.0,
@@ -751,6 +967,8 @@ mod tests {
             matrix: "m".into(),
             format: "CSR".into(),
             gflops: 1.0,
+            measured_gflops: None,
+            evaluator: "simulated".into(),
             search_iterations: 1,
             cache_hit_rate: 0.0,
             wall_secs: 0.0,
@@ -769,6 +987,69 @@ mod tests {
         assert_eq!(cmp.warm_fresh_evaluations, 0, "warm pass must be cached");
         assert!(cmp.speedup() > 0.0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_modes_are_rejected_with_the_mode_list() {
+        let err = resolve_modes(&["fig9a".into(), "bogus".into()]).unwrap_err();
+        assert!(err.contains("unknown mode 'bogus'"));
+        for mode in KNOWN_MODES {
+            assert!(err.contains(mode), "error must list '{mode}'");
+        }
+        // Case-insensitive, defaulting to `all`.
+        assert_eq!(resolve_modes(&[]).unwrap(), vec!["all".to_string()]);
+        assert_eq!(
+            resolve_modes(&["Fig9A".into(), "NATIVE".into()]).unwrap(),
+            vec!["fig9a".to_string(), "native".to_string()]
+        );
+    }
+
+    #[test]
+    fn warm_and_native_dispatch_only_when_named() {
+        // `all` covers the paper artifacts but not the opt-in modes...
+        let all = resolve_modes(&[]).unwrap();
+        assert!(mode_selected(&all, "fig9a"));
+        assert!(mode_selected(&all, "table3"));
+        assert!(!mode_selected(&all, "warm"));
+        assert!(!mode_selected(&all, "native"));
+        // ...which run exactly when named.
+        let native = resolve_modes(&["native".into()]).unwrap();
+        assert!(mode_selected(&native, "native"));
+        assert!(!mode_selected(&native, "warm"));
+        assert!(!mode_selected(&native, "fig9a"));
+        let warm = resolve_modes(&["warm".into(), "fig2".into()]).unwrap();
+        assert!(mode_selected(&warm, "warm"));
+        assert!(mode_selected(&warm, "fig2"));
+        assert!(!mode_selected(&warm, "native"));
+    }
+
+    #[test]
+    fn native_mode_measures_generated_kernels_against_baselines() {
+        let results = native_mode(NativeModeConfig::tiny()).expect("native mode runs");
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert_eq!(r.generated.evaluator, "native");
+            assert_eq!(r.generated.measured_gflops, Some(r.generated.gflops));
+            assert!(r.generated.gflops > 0.0);
+            assert!(r.generated.search_iterations > 0);
+            // At least the CSR/ELL/HYB/Merge quartet, all measured.
+            assert!(r.baselines.len() >= 3);
+            for b in &r.baselines {
+                assert_eq!(b.evaluator, "native");
+                assert!(b.measured_gflops.unwrap() > 0.0);
+            }
+            assert!(r.speedup_over_best_baseline() > 0.0);
+        }
+        // The records serialise with measured numbers present.
+        let mut records = Vec::new();
+        for r in results {
+            records.push(r.generated);
+            records.extend(r.baselines);
+        }
+        let json = results_to_json(&records);
+        assert!(json.contains("\"evaluator\": \"native\""));
+        assert!(json.contains("\"measured_gflops\": "));
+        assert!(!json.contains("\"measured_gflops\": null"));
     }
 
     #[test]

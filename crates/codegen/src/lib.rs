@@ -56,6 +56,9 @@ pub struct GeneratedSpmv {
     pub format: MachineFormat,
     /// CUDA-like source code of the kernel.
     pub source: String,
+    /// Rust source of the specialized loops the native CPU backend
+    /// (`alpha-cpu`) executes for this design.
+    pub rust_source: String,
 }
 
 /// Runs the Designer and the Format & Kernel Generator end to end.
@@ -75,12 +78,14 @@ pub fn generate_from_metadata(
 ) -> GeneratedSpmv {
     let format = format::extract_format(metadata, options);
     let source = emit::emit_cuda(metadata, &format);
+    let rust_source = emit::emit_rust(metadata, &format);
     let kernel =
         kernel::GeneratedKernel::new(metadata.clone(), &format).with_source(source.clone());
     GeneratedSpmv {
         kernel,
         format,
         source,
+        rust_source,
     }
 }
 

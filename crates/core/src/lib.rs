@@ -16,10 +16,14 @@
 //! let tuner = AlphaSparse::new(DeviceProfile::a100()).with_search_budget(20);
 //! let tuned = tuner.auto_tune(&matrix).expect("tuning succeeds");
 //!
-//! // Run the machine-designed SpMV.
+//! // Run the machine-designed SpMV natively on this CPU (y = A·x for real)...
 //! let x = vec![1.0; 512];
-//! let y = tuned.spmv(&x).expect("SpMV succeeds");
+//! let y = tuned.run(&x).expect("native SpMV succeeds");
 //! assert_eq!(y.len(), 512);
+//!
+//! // ...or on the simulated device the design was modelled for.
+//! let y_sim = tuned.spmv(&x).expect("simulated SpMV succeeds");
+//! assert_eq!(y_sim.len(), 512);
 //! println!("{:.1} modelled GFLOPS with {}", tuned.gflops(), tuned.operator_graph());
 //! ```
 
@@ -27,17 +31,19 @@
 
 pub use alpha_baselines as baselines;
 pub use alpha_codegen as codegen;
+pub use alpha_cpu as cpu;
 pub use alpha_gpu as gpu;
 pub use alpha_graph as graph;
 pub use alpha_matrix as matrix;
 pub use alpha_ml as ml;
 pub use alpha_search as search;
 
+pub use alpha_cpu::{MeasuredReport, NativeEvaluator, NativeKernel, TimingHarness};
 pub use alpha_gpu::{DeviceProfile, GpuSim, PerfReport, SpmvKernel};
 pub use alpha_matrix::{CsrMatrix, MatrixStats, Scalar};
 pub use alpha_search::{
     BatchEvaluator, CacheStats, CachingEvaluator, DesignCache, EvalContext, Evaluation, Evaluator,
-    SearchConfig, SearchOutcome, SearchStats, SimEvaluator,
+    EvaluatorChoice, EvaluatorId, SearchConfig, SearchOutcome, SearchStats, SimEvaluator,
 };
 
 use alpha_codegen::{generate, GeneratedSpmv, GeneratorOptions};
@@ -67,10 +73,14 @@ use std::sync::Arc;
 /// let tuner = AlphaSparse::new(DeviceProfile::a100()).with_search_budget(20);
 /// let tuned = tuner.auto_tune(&matrix).expect("tuning succeeds");
 ///
-/// // Run the machine-designed SpMV.
+/// // Run the machine-designed SpMV natively on this CPU (y = A·x for real)...
 /// let x = vec![1.0; 512];
-/// let y = tuned.spmv(&x).expect("SpMV succeeds");
+/// let y = tuned.run(&x).expect("native SpMV succeeds");
 /// assert_eq!(y.len(), 512);
+///
+/// // ...or on the simulated device the design was modelled for.
+/// let y_sim = tuned.spmv(&x).expect("simulated SpMV succeeds");
+/// assert_eq!(y_sim.len(), 512);
 /// println!("{:.1} modelled GFLOPS with {}", tuned.gflops(), tuned.operator_graph());
 /// ```
 #[derive(Debug, Clone)]
@@ -182,6 +192,40 @@ impl AlphaSparse {
         &self.cache
     }
 
+    /// Switches the search to **native measured-time evaluation**: every
+    /// candidate is executed as a real threaded CPU kernel (`alpha-cpu`) and
+    /// scored by a steady-state wall clock instead of the simulator's cost
+    /// model, so `auto_tune` optimises the time this machine actually takes.
+    ///
+    /// Candidates are evaluated one at a time (`threads = 1`) so concurrent
+    /// measurements do not steal each other's cores; the kernels themselves
+    /// still use every available core.  Measured winners are cached and
+    /// stored under a distinct identity — they never mix with cost-model
+    /// results.
+    pub fn with_native_execution(self) -> Self {
+        self.with_native_execution_harness(TimingHarness::default(), 0)
+    }
+
+    /// [`with_native_execution`](AlphaSparse::with_native_execution) with
+    /// explicit timing-harness parameters and kernel worker count
+    /// (0 = one per available core).
+    pub fn with_native_execution_harness(
+        mut self,
+        harness: TimingHarness,
+        kernel_threads: usize,
+    ) -> Self {
+        self.config.evaluator = NativeEvaluator::choice(harness, kernel_threads);
+        self.config.threads = 1;
+        self
+    }
+
+    /// Replaces the ground-truth evaluation backend wholesale (the generic
+    /// form of [`with_native_execution`](AlphaSparse::with_native_execution)).
+    pub fn with_evaluator(mut self, choice: EvaluatorChoice) -> Self {
+        self.config.evaluator = choice;
+        self
+    }
+
     /// Enables or disables the pruning rules (Table III ablation).
     pub fn with_pruning(mut self, enabled: bool) -> Self {
         self.config.enable_pruning = enabled;
@@ -230,8 +274,10 @@ impl AlphaSparse {
             generate(&outcome.best_graph, matrix, options).map_err(|e| e.to_string())?;
         Ok(TunedSpmv {
             device: self.config.device.clone(),
+            evaluator: self.config.evaluator.id(),
             matrix: matrix.clone(),
             generated,
+            native: std::sync::OnceLock::new(),
             outcome,
         })
     }
@@ -255,8 +301,13 @@ impl AlphaSparse {
 /// and source, plus the search outcome.
 pub struct TunedSpmv {
     device: DeviceProfile,
+    evaluator: EvaluatorId,
     matrix: CsrMatrix,
     generated: GeneratedSpmv,
+    /// Lazily lowered on first native use: the lowering clones the partition
+    /// matrices and index arrays, which purely-simulated callers (the common
+    /// pre-existing path) should not pay for.
+    native: std::sync::OnceLock<NativeKernel>,
     outcome: SearchOutcome,
 }
 
@@ -266,6 +317,44 @@ impl TunedSpmv {
     pub fn spmv(&self, x: &[Scalar]) -> Result<Vec<Scalar>, String> {
         let sim = GpuSim::new(self.device.clone());
         Ok(sim.run(&self.generated.kernel, x)?.y)
+    }
+
+    /// Runs `y = A·x` **natively**: the stored winner executes as a real
+    /// threaded CPU kernel (`alpha-cpu`), no simulator involved.  `y` is the
+    /// actual product, computed at memory speed.
+    pub fn run(&self, x: &[Scalar]) -> Result<Vec<Scalar>, String> {
+        self.native_kernel().run(x, 0)
+    }
+
+    /// [`run`](TunedSpmv::run) with an explicit worker-thread count
+    /// (0 = one per available core, 1 = serial).
+    pub fn run_with_threads(&self, x: &[Scalar], threads: usize) -> Result<Vec<Scalar>, String> {
+        self.native_kernel().run(x, threads)
+    }
+
+    /// Measures the stored winner's native execution with a steady-state
+    /// timing harness (warmup + min-of-N), returning wall-clock GFLOP/s.
+    pub fn measure(
+        &self,
+        harness: TimingHarness,
+        threads: usize,
+    ) -> Result<MeasuredReport, String> {
+        let x = alpha_matrix::DenseVector::ones(self.matrix.cols());
+        harness.measure_kernel(self.native_kernel(), x.as_slice(), threads)
+    }
+
+    /// The lowered native kernel (built on first native use; see
+    /// [`TunedSpmv::run`]).
+    pub fn native_kernel(&self) -> &NativeKernel {
+        self.native.get_or_init(|| {
+            NativeKernel::new(self.generated.kernel.metadata(), &self.generated.format)
+        })
+    }
+
+    /// Which evaluation backend selected this design — the simulator's cost
+    /// model or native measured time (with its harness parameters).
+    pub fn evaluator(&self) -> EvaluatorId {
+        self.evaluator
     }
 
     /// The winning operator graph, formatted for display.
@@ -286,6 +375,12 @@ impl TunedSpmv {
     /// The emitted CUDA-like source of the winning kernel.
     pub fn source(&self) -> &str {
         &self.generated.source
+    }
+
+    /// The emitted Rust source of the specialized loops the native backend
+    /// runs for this design (see [`TunedSpmv::run`]).
+    pub fn rust_source(&self) -> &str {
+        &self.generated.rust_source
     }
 
     /// The machine-designed format description.
@@ -415,6 +510,44 @@ mod tests {
             .with_store(&path)
             .is_err());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn native_run_matches_the_simulated_kernel_and_reference() {
+        let matrix = gen::powerlaw(512, 512, 8, 2.0, 19);
+        let tuner = AlphaSparse::new(DeviceProfile::a100()).with_search_budget(12);
+        let tuned = tuner.auto_tune(&matrix).unwrap();
+        assert_eq!(tuned.evaluator(), EvaluatorId::Simulated);
+        let x = DenseVector::random(512, 4);
+        let reference = matrix.spmv(x.as_slice()).unwrap();
+        let native = tuned.run(x.as_slice()).unwrap();
+        let simulated = tuned.spmv(x.as_slice()).unwrap();
+        assert!(DenseVector::from_vec(native.clone()).approx_eq(&reference, 1e-3));
+        assert!(DenseVector::from_vec(native).approx_eq(&simulated, 1e-3));
+        assert!(tuned.rust_source().contains("alphasparse_spmv"));
+    }
+
+    #[test]
+    fn native_execution_tunes_on_measured_time() {
+        let matrix = gen::powerlaw(384, 384, 8, 2.0, 13);
+        let tuner = AlphaSparse::new(DeviceProfile::a100())
+            .with_search_budget(10)
+            .with_native_execution_harness(TimingHarness::quick(), 1);
+        let tuned = tuner.auto_tune(&matrix).unwrap();
+        assert!(tuned.evaluator().is_native());
+        assert_eq!(tuned.report().device, alpha_cpu::NATIVE_DEVICE_LABEL);
+        assert!(
+            tuned.report().time_us > 0.0,
+            "winner carries a measured time"
+        );
+
+        let x = DenseVector::random(384, 5);
+        let y = tuned.run(x.as_slice()).unwrap();
+        let expected = matrix.spmv(x.as_slice()).unwrap();
+        assert!(DenseVector::from_vec(y).approx_eq(&expected, 1e-3));
+
+        let measured = tuned.measure(TimingHarness::quick(), 1).unwrap();
+        assert!(measured.gflops > 0.0);
     }
 
     #[test]

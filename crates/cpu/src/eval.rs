@@ -1,0 +1,197 @@
+//! [`NativeEvaluator`]: scoring search candidates by measured wall-clock
+//! time instead of modelled cost.
+//!
+//! The evaluator implements the unchanged
+//! [`alpha_search::Evaluator`] trait, so it slots under the existing
+//! `CachingEvaluator` / `BatchEvaluator` layers and behind
+//! `SearchConfig::evaluator` — the three-level search then optimises what a
+//! stopwatch actually reads on this machine.  Each candidate is generated,
+//! lowered to a [`NativeKernel`], *verified* against the reference SpMV
+//! (wrong results are infeasible, exactly like the simulator path) and then
+//! timed with the configured [`TimingHarness`].
+//!
+//! Two practical notes:
+//!
+//! * Measured times are nondeterministic; cached entries freeze the first
+//!   measurement of each design, which keeps a single search self-consistent.
+//!   The harness parameters are part of the evaluation identity
+//!   ([`EvaluatorId::Native`]), so differently-configured measurements never
+//!   share cache entries with each other or with simulated results.
+//! * When candidates are timed, run them one at a time
+//!   (`SearchConfig::threads = 1`): concurrent candidate measurements steal
+//!   each other's cores and corrupt the timings.  The kernel itself still
+//!   uses all `kernel_threads` workers.
+
+use crate::harness::TimingHarness;
+pub use crate::harness::NATIVE_DEVICE_LABEL;
+use crate::kernel::NativeKernel;
+use alpha_codegen::generate;
+use alpha_graph::OperatorGraph;
+use alpha_search::{EvalContext, Evaluation, Evaluator, EvaluatorChoice, EvaluatorId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Ground-truth evaluator that executes candidates natively and scores them
+/// by measured time.
+pub struct NativeEvaluator {
+    harness: TimingHarness,
+    kernel_threads: usize,
+    executions: AtomicUsize,
+}
+
+impl NativeEvaluator {
+    /// An evaluator timing kernels with `harness` on `kernel_threads` workers
+    /// (0 = one per available core).
+    pub fn new(harness: TimingHarness, kernel_threads: usize) -> Self {
+        NativeEvaluator {
+            harness,
+            kernel_threads,
+            executions: AtomicUsize::new(0),
+        }
+    }
+
+    /// The [`SearchConfig::evaluator`](alpha_search::SearchConfig) hook:
+    /// selects native measured-time evaluation for a search.  The returned
+    /// choice carries the harness parameters as its durable identity.
+    pub fn choice(harness: TimingHarness, kernel_threads: usize) -> EvaluatorChoice {
+        EvaluatorChoice::custom(harness.evaluator_id(), move || {
+            Box::new(NativeEvaluator::new(harness, kernel_threads))
+        })
+    }
+
+    /// The durable identity measurements from this evaluator carry.
+    pub fn id(&self) -> EvaluatorId {
+        self.harness.evaluator_id()
+    }
+
+    /// Number of candidates executed natively so far — the probe cache tests
+    /// use to assert that hits skip execution.
+    pub fn executions(&self) -> usize {
+        self.executions.load(Ordering::Relaxed)
+    }
+}
+
+impl Evaluator for NativeEvaluator {
+    fn evaluate(&self, ctx: &EvalContext<'_>, graph: &OperatorGraph) -> Option<Evaluation> {
+        self.executions.fetch_add(1, Ordering::Relaxed);
+        let generated = generate(graph, ctx.matrix, ctx.options).ok()?;
+        let kernel = NativeKernel::new(generated.kernel.metadata(), &generated.format);
+        // Verify before timing: a design that computes the wrong y is
+        // infeasible, not merely slow.  The verification run also validates
+        // the dimensions and warms the kernel's data, so the timed loop
+        // below reuses its buffer and runs nothing extra.
+        let mut y = vec![0.0; kernel.rows()];
+        kernel
+            .run_into(ctx.x.as_slice(), &mut y, self.kernel_threads)
+            .ok()?;
+        if alpha_matrix::max_scaled_error(&y, &ctx.reference) > ctx.tolerance {
+            return None;
+        }
+        let threads = crate::kernel::effective_workers(self.kernel_threads, kernel.nnz());
+        let measured = self.harness.measure(kernel.useful_flops(), threads, || {
+            kernel
+                .run_into(ctx.x.as_slice(), &mut y, threads)
+                .expect("dimensions validated by the verification run");
+        });
+        Some(Evaluation {
+            report: measured.to_perf_report(kernel.format_bytes()),
+            // The native path's artifact is the Rust loop it actually ran.
+            source: generated.rust_source,
+            cached: false,
+        })
+    }
+}
+
+// Evaluators cross thread boundaries under BatchEvaluator; pin that.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<NativeEvaluator>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpha_codegen::GeneratorOptions;
+    use alpha_gpu::DeviceProfile;
+    use alpha_graph::presets;
+    use alpha_matrix::gen;
+    use alpha_search::{CachingEvaluator, DesignCache};
+    use std::sync::Arc;
+
+    fn context_fixture(matrix: &alpha_matrix::CsrMatrix) -> EvalContext<'_> {
+        EvalContext::new(
+            matrix,
+            &DeviceProfile::a100(),
+            GeneratorOptions::default(),
+            7,
+        )
+        .unwrap()
+        .with_evaluator(TimingHarness::quick().evaluator_id())
+    }
+
+    #[test]
+    fn native_evaluator_measures_feasible_designs() {
+        let matrix = gen::powerlaw(256, 256, 8, 2.0, 3);
+        let ctx = context_fixture(&matrix);
+        let evaluator = NativeEvaluator::new(TimingHarness::quick(), 1);
+        let eval = evaluator
+            .evaluate(&ctx, &presets::csr_scalar())
+            .expect("feasible");
+        assert!(eval.report.gflops > 0.0);
+        assert!(eval.report.time_us > 0.0);
+        assert_eq!(eval.report.device, NATIVE_DEVICE_LABEL);
+        assert!(eval.source.contains("alphasparse_spmv"));
+        assert!(eval.source.contains("for row in"));
+        assert_eq!(evaluator.executions(), 1);
+    }
+
+    #[test]
+    fn infeasible_designs_are_rejected() {
+        // A 2-way ROW_DIV cannot be applied to a 1-row matrix.
+        let mut coo = alpha_matrix::CooMatrix::new(1, 8);
+        for c in 0..8 {
+            coo.push(0, c, 1.0);
+        }
+        let matrix = alpha_matrix::CsrMatrix::from_coo(&coo);
+        let ctx = context_fixture(&matrix);
+        let evaluator = NativeEvaluator::new(TimingHarness::quick(), 1);
+        assert!(evaluator
+            .evaluate(&ctx, &presets::row_split_hybrid(2))
+            .is_none());
+    }
+
+    #[test]
+    fn caching_layer_composes_and_skips_re_measurement() {
+        let matrix = gen::powerlaw(256, 256, 8, 2.0, 3);
+        let ctx = context_fixture(&matrix);
+        let cache = Arc::new(DesignCache::new());
+        let evaluator = CachingEvaluator::new(
+            NativeEvaluator::new(TimingHarness::quick(), 1),
+            cache.clone(),
+        );
+        let graph = presets::sell_like();
+        let first = evaluator.evaluate(&ctx, &graph).expect("feasible");
+        let second = evaluator.evaluate(&ctx, &graph).expect("feasible");
+        assert_eq!(
+            evaluator.inner().executions(),
+            1,
+            "second lookup must not re-measure"
+        );
+        assert!(!first.cached);
+        assert!(second.cached);
+        assert_eq!(first.report.time_us, second.report.time_us);
+    }
+
+    #[test]
+    fn simulated_and_native_contexts_never_share_cache_entries() {
+        let matrix = gen::powerlaw(256, 256, 8, 2.0, 3);
+        let simulated = EvalContext::new(
+            &matrix,
+            &DeviceProfile::a100(),
+            GeneratorOptions::default(),
+            7,
+        )
+        .unwrap();
+        let native = context_fixture(&matrix);
+        assert_ne!(simulated.context_key(), native.context_key());
+    }
+}

@@ -1,0 +1,237 @@
+//! Steady-state wall-clock measurement: warmup + min-of-N.
+//!
+//! One execution of a small kernel is dominated by cold caches and scheduler
+//! noise.  The harness therefore discards `warmup` executions, times `runs`
+//! more, and reports the **minimum** — the standard steady-state estimator
+//! for short kernels (the mean and maximum ride along for dispersion).  The
+//! same harness times generated kernels and the `alpha-baselines` native
+//! kernels, so "generated vs CSR/ELL/HYB/merge" comparisons are
+//! apples-to-apples.
+
+use crate::kernel::NativeKernel;
+use alpha_gpu::PerfReport;
+use alpha_matrix::Scalar;
+use alpha_search::EvaluatorId;
+use std::time::Instant;
+
+/// Device label measured reports carry (there is exactly one "device": the
+/// host CPU the process runs on).
+pub const NATIVE_DEVICE_LABEL: &str = "host-cpu";
+
+/// Warmup + min-of-N wall-clock timing parameters.
+///
+/// The parameters are part of a measurement's *identity*: they are folded
+/// into evaluation cache keys and recorded in persisted winners via
+/// [`EvaluatorId::Native`], because a min-of-50 number is a different
+/// experiment than a min-of-3 one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimingHarness {
+    /// Executions discarded before timing starts.
+    pub warmup: u32,
+    /// Timed executions (at least 1 is always performed).
+    pub runs: u32,
+}
+
+impl Default for TimingHarness {
+    fn default() -> Self {
+        TimingHarness { warmup: 2, runs: 5 }
+    }
+}
+
+impl TimingHarness {
+    /// A minimal harness (no warmup, single run) for tests and tiny search
+    /// budgets where per-candidate cost matters more than timing fidelity.
+    pub fn quick() -> Self {
+        TimingHarness { warmup: 0, runs: 1 }
+    }
+
+    /// The durable identity of measurements taken with these parameters.
+    pub fn evaluator_id(self) -> EvaluatorId {
+        EvaluatorId::Native {
+            warmup: self.warmup,
+            runs: self.runs.max(1),
+        }
+    }
+
+    /// Times `f` (one call = one kernel execution) and summarises the runs.
+    /// `useful_flops` and `threads` are echoed into the report.
+    pub fn measure<F: FnMut()>(
+        self,
+        useful_flops: u64,
+        threads: usize,
+        mut f: F,
+    ) -> MeasuredReport {
+        for _ in 0..self.warmup {
+            f();
+        }
+        let runs = self.runs.max(1);
+        let mut min_us = f64::INFINITY;
+        let mut max_us: f64 = 0.0;
+        let mut total_us = 0.0;
+        for _ in 0..runs {
+            let start = Instant::now();
+            f();
+            let us = start.elapsed().as_secs_f64() * 1e6;
+            min_us = min_us.min(us);
+            max_us = max_us.max(us);
+            total_us += us;
+        }
+        MeasuredReport {
+            min_us,
+            mean_us: total_us / runs as f64,
+            max_us,
+            warmup: self.warmup,
+            runs,
+            useful_flops,
+            threads,
+            gflops: if min_us > 0.0 {
+                useful_flops as f64 / min_us / 1e3
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Times a lowered kernel end to end (the buffer is reused across runs,
+    /// so the measurement is allocation-free).  The first execution also
+    /// validates the input dimensions.
+    pub fn measure_kernel(
+        self,
+        kernel: &NativeKernel,
+        x: &[Scalar],
+        threads: usize,
+    ) -> Result<MeasuredReport, String> {
+        let mut y = vec![0.0; kernel.rows()];
+        kernel.run_into(x, &mut y, threads)?;
+        Ok(self.measure(kernel.useful_flops(), threads, || {
+            kernel
+                .run_into(x, &mut y, threads)
+                .expect("dimensions validated above");
+        }))
+    }
+}
+
+/// The outcome of one steady-state measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredReport {
+    /// Fastest timed execution in microseconds — the steady-state estimate
+    /// every derived figure uses.
+    pub min_us: f64,
+    /// Mean of the timed executions in microseconds.
+    pub mean_us: f64,
+    /// Slowest timed execution in microseconds.
+    pub max_us: f64,
+    /// Warmup executions that were discarded.
+    pub warmup: u32,
+    /// Timed executions.
+    pub runs: u32,
+    /// Useful floating-point operations per execution (`2 * nnz`).
+    pub useful_flops: u64,
+    /// Worker threads the kernel ran with (resolved, never 0).
+    pub threads: usize,
+    /// Measured throughput in GFLOP/s, from the minimum time.
+    pub gflops: f64,
+}
+
+impl MeasuredReport {
+    /// Converts to the [`PerfReport`] shape the `Evaluator` trait returns, so
+    /// measured results flow through the unchanged search/caching/serving
+    /// stack.  `format_bytes` is the design's memory footprint.
+    pub fn to_perf_report(&self, format_bytes: usize) -> PerfReport {
+        PerfReport::from_measured_time(
+            NATIVE_DEVICE_LABEL,
+            self.min_us,
+            self.useful_flops,
+            format_bytes,
+        )
+    }
+
+    /// One-line human-readable summary for harness output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:>8.2} GFLOPS  {:>9.1} us min ({:.1} mean, {} run(s), {} thread(s))",
+            self.gflops, self.min_us, self.mean_us, self.runs, self.threads
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpha_codegen::{generate, GeneratorOptions};
+    use alpha_graph::presets;
+    use alpha_matrix::gen;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn measure_counts_warmup_and_runs() {
+        let calls = AtomicU32::new(0);
+        let harness = TimingHarness { warmup: 3, runs: 4 };
+        let report = harness.measure(100, 1, || {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 7);
+        assert_eq!(report.runs, 4);
+        assert_eq!(report.warmup, 3);
+        assert!(report.min_us <= report.mean_us);
+        assert!(report.mean_us <= report.max_us);
+        assert!(report.gflops >= 0.0);
+    }
+
+    #[test]
+    fn zero_runs_still_measures_once() {
+        let calls = AtomicU32::new(0);
+        let report = TimingHarness { warmup: 0, runs: 0 }.measure(2, 1, || {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(report.runs, 1);
+    }
+
+    #[test]
+    fn measure_kernel_produces_a_consistent_report() {
+        let matrix = gen::uniform_random(512, 512, 8, 3);
+        let generated =
+            generate(&presets::csr_scalar(), &matrix, GeneratorOptions::default()).unwrap();
+        let kernel = NativeKernel::new(generated.kernel.metadata(), &generated.format);
+        let report = TimingHarness::default()
+            .measure_kernel(&kernel, &[1.0; 512], 2)
+            .unwrap();
+        assert!(report.min_us > 0.0);
+        assert!(report.gflops > 0.0);
+        assert_eq!(report.useful_flops, 2 * matrix.nnz() as u64);
+        assert_eq!(report.threads, 2);
+        assert!(report.summary().contains("GFLOPS"));
+
+        let perf = report.to_perf_report(kernel.format_bytes());
+        assert_eq!(perf.device, NATIVE_DEVICE_LABEL);
+        assert_eq!(perf.time_us, report.min_us);
+        assert!((perf.gflops - report.gflops).abs() < 1e-9);
+    }
+
+    #[test]
+    fn harness_parameters_are_the_measurement_identity() {
+        let a = TimingHarness { warmup: 1, runs: 3 }.evaluator_id();
+        let b = TimingHarness {
+            warmup: 1,
+            runs: 50,
+        }
+        .evaluator_id();
+        assert_ne!(a, b);
+        assert_ne!(a.salt(42), b.salt(42));
+        assert_ne!(a.salt(42), alpha_search::EvaluatorId::Simulated.salt(42));
+        assert!(a.is_native());
+        assert_eq!(a.label(), "native");
+    }
+
+    #[test]
+    fn wrong_input_length_is_an_error_not_a_panic() {
+        let matrix = gen::uniform_random(64, 64, 4, 1);
+        let generated =
+            generate(&presets::csr_scalar(), &matrix, GeneratorOptions::default()).unwrap();
+        let kernel = NativeKernel::new(generated.kernel.metadata(), &generated.format);
+        assert!(TimingHarness::quick()
+            .measure_kernel(&kernel, &[1.0; 63], 1)
+            .is_err());
+    }
+}

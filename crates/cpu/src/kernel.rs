@@ -1,0 +1,656 @@
+//! Lowering a machine-designed format to executable, threaded CPU loops.
+//!
+//! A [`NativeKernel`] is built from the same inputs as the simulator kernel —
+//! the Designer's [`MatrixMetadataSet`] and the extracted [`MachineFormat`] —
+//! but instead of charging modelled costs it runs the SpMV:
+//!
+//! * **row-partition loops** for `BMT_ROW_BLOCK` / `BMT_COL_BLOCK` designs:
+//!   contiguous local-row ranges are split across workers, each worker
+//!   accumulates one dot product per row;
+//! * **nnz-partition loops** for `BMT_NNZ_BLOCK` designs: the design's
+//!   fixed-size non-zero chunks are grouped across workers, each worker walks
+//!   its span emitting one partial per row segment (the merge/CSR5 layout);
+//!   boundary rows are merged by accumulation during the scatter phase;
+//! * **closed-form index functions**: an index array that Model-Driven Format
+//!   Compression replaced with a fitted model is *computed*, not loaded —
+//!   [`IndexFn`] dispatches identity / affine forms without touching the
+//!   original array at all.
+//!
+//! Workers communicate only through their return values (per-range partial
+//! sums); the serial scatter applies the `origin_rows` permutation and merges
+//! rows shared between workers or `COL_DIV` sibling partitions by `+=`.
+
+use alpha_codegen::compress::CompressedArray;
+use alpha_codegen::{CompressionModel, FormatArray, MachineFormat};
+use alpha_graph::{Mapping, MatrixMetadataSet};
+use alpha_matrix::{CsrMatrix, Scalar};
+
+/// Non-zeros one worker should own, at minimum, before another worker is
+/// worth spawning.  `alpha-parallel` spawns fresh threads per call (no
+/// pool), and a thread spawn costs tens of microseconds — more than an
+/// entire sub-100µs kernel.  Automatic thread selection (`threads == 0`)
+/// therefore scales the worker count with the matrix instead of always
+/// using every core; explicit counts are honoured verbatim.
+pub const MIN_NNZ_PER_WORKER: usize = 262_144;
+
+/// Resolves a requested thread count: `0` means "automatic" — one worker per
+/// available core, but never more than [`MIN_NNZ_PER_WORKER`] would justify
+/// for `nnz` non-zeros.  Explicit counts are honoured verbatim.
+pub fn effective_workers(threads: usize, nnz: usize) -> usize {
+    if threads == 0 {
+        alpha_parallel::default_threads()
+            .min(nnz.div_ceil(MIN_NNZ_PER_WORKER))
+            .max(1)
+    } else {
+        threads
+    }
+}
+
+/// A format index array as the native kernel reads it: either a real array
+/// lookup or the closed-form function Model-Driven Format Compression fitted
+/// (in which case no array exists in memory at all).
+#[derive(Debug, Clone)]
+pub enum IndexFn {
+    /// `f(i) = i` — the compressed identity permutation.
+    Identity,
+    /// `f(i) = base + slope * i` — a fitted linear model with no exceptions.
+    Affine {
+        /// Value at index 0.
+        base: i64,
+        /// Increment per index.
+        slope: i64,
+    },
+    /// Any other fitted model (step, periodic, or one with patched
+    /// exceptions); still computed, not loaded.
+    Model(CompressedArray),
+    /// The raw array — compression did not apply, the loads are real.
+    Table(Vec<u32>),
+}
+
+impl IndexFn {
+    /// Lowers a format array into its access function.
+    pub fn from_array(array: &FormatArray) -> IndexFn {
+        match &array.compressed {
+            Some(c) if c.exceptions.is_empty() => match c.model {
+                CompressionModel::Linear { base: 0, slope: 1 } => IndexFn::Identity,
+                CompressionModel::Linear { base, slope } => IndexFn::Affine { base, slope },
+                _ => IndexFn::Model(c.clone()),
+            },
+            Some(c) => IndexFn::Model(c.clone()),
+            None => IndexFn::Table(array.data.clone()),
+        }
+    }
+
+    /// Reads entry `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        match self {
+            IndexFn::Identity => i as u32,
+            IndexFn::Affine { base, slope } => (base + slope * i as i64).max(0) as u32,
+            IndexFn::Model(c) => c.evaluate(i),
+            IndexFn::Table(data) => data[i],
+        }
+    }
+
+    /// True when the array was eliminated — reads are computed, not loaded.
+    pub fn is_closed_form(&self) -> bool {
+        !matches!(self, IndexFn::Table(_))
+    }
+
+    /// When this map is `f(i) = base + i` (no reordering, only an offset),
+    /// returns `base`: consumers can then address a contiguous output range
+    /// directly instead of scattering through the map.
+    pub fn contiguous_base(&self) -> Option<usize> {
+        match self {
+            IndexFn::Identity => Some(0),
+            IndexFn::Affine { base, slope: 1 } if *base >= 0 => Some(*base as usize),
+            _ => None,
+        }
+    }
+}
+
+/// How one partition's work is split over threads.
+#[derive(Debug, Clone)]
+enum ExecPath {
+    /// Row-partition loop (`BMT_ROW_BLOCK` / `BMT_COL_BLOCK` designs).
+    Rows,
+    /// Nnz-partition loop (`BMT_NNZ_BLOCK` designs).
+    Nnz {
+        /// Non-zeros per design chunk (workers own groups of whole chunks).
+        nnz_per_thread: usize,
+        /// First row of each chunk (`bmt_row_starts`, possibly closed-form).
+        row_starts: IndexFn,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct NativePartition {
+    /// The partition's permuted sub-matrix (value and column-index streams).
+    matrix: CsrMatrix,
+    /// Column offset of a `COL_DIV` branch in the original matrix.
+    col_offset: usize,
+    /// Local row → original row (the `origin_rows` array, often closed-form).
+    origin: IndexFn,
+    /// Row addressing (the `row_offsets` array, closed-form for regular
+    /// matrices whose rows all have the same length).
+    row_offsets: IndexFn,
+    path: ExecPath,
+}
+
+/// A machine-designed SpMV program lowered to native threaded CPU loops.
+pub struct NativeKernel {
+    partitions: Vec<NativePartition>,
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    format_bytes: usize,
+    name: String,
+}
+
+impl NativeKernel {
+    /// Lowers the designed metadata plus extracted format into executable
+    /// loops — the same two inputs the simulator kernel is built from.
+    pub fn new(metadata: &MatrixMetadataSet, format: &MachineFormat) -> Self {
+        assert_eq!(
+            metadata.partitions.len(),
+            format.partitions.len(),
+            "metadata and format must describe the same partitions"
+        );
+        let partitions = metadata
+            .partitions
+            .iter()
+            .zip(&format.partitions)
+            .map(|(plan, pf)| {
+                let lookup = |name: &str| {
+                    pf.array(name)
+                        .map(IndexFn::from_array)
+                        .unwrap_or(IndexFn::Identity)
+                };
+                let path = match plan.mapping {
+                    Mapping::RowPerThread { .. } | Mapping::VectorPerRow { .. } => ExecPath::Rows,
+                    Mapping::NnzSplit { nnz_per_thread } => ExecPath::Nnz {
+                        nnz_per_thread: nnz_per_thread.max(1),
+                        row_starts: lookup("bmt_row_starts"),
+                    },
+                };
+                NativePartition {
+                    matrix: plan.matrix.clone(),
+                    col_offset: plan.col_offset,
+                    origin: lookup("origin_rows"),
+                    row_offsets: lookup("row_offsets"),
+                    path,
+                }
+            })
+            .collect();
+        let name = format!(
+            "alpha-cpu[{}]",
+            metadata
+                .partitions
+                .first()
+                .map(|p| p.describe())
+                .unwrap_or_else(|| "empty".to_string())
+        );
+        NativeKernel {
+            partitions,
+            rows: metadata.original_rows,
+            cols: metadata.original_cols,
+            nnz: metadata.original_nnz,
+            format_bytes: format.bytes(),
+            name,
+        }
+    }
+
+    /// Output dimension (`y.len()`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Input dimension (`x.len()`).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Non-zeros of the original matrix.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Useful floating-point operations of one execution (`2 * nnz`).
+    pub fn useful_flops(&self) -> u64 {
+        2 * self.nnz as u64
+    }
+
+    /// Bytes of the machine-designed format (compressed arrays counted at
+    /// their model size).
+    pub fn format_bytes(&self) -> usize {
+        self.format_bytes
+    }
+
+    /// Kernel display name (mirrors the simulator kernel's).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of index arrays across partitions that execute as closed-form
+    /// functions instead of loads.
+    pub fn closed_form_arrays(&self) -> usize {
+        self.partitions
+            .iter()
+            .map(|p| {
+                let path_fns = match &p.path {
+                    ExecPath::Nnz { row_starts, .. } => row_starts.is_closed_form() as usize,
+                    ExecPath::Rows => 0,
+                };
+                p.origin.is_closed_form() as usize
+                    + p.row_offsets.is_closed_form() as usize
+                    + path_fns
+            })
+            .sum()
+    }
+
+    /// Runs `y = A·x`, allocating the output.  `threads == 0` means one
+    /// worker per available CPU core, `1` runs serially.
+    pub fn run(&self, x: &[Scalar], threads: usize) -> Result<Vec<Scalar>, String> {
+        let mut y = vec![0.0; self.rows];
+        self.run_into(x, &mut y, threads)?;
+        Ok(y)
+    }
+
+    /// Runs `y = A·x` into a caller-provided buffer (zeroed here first) —
+    /// the allocation-free path the timing harness drives.
+    pub fn run_into(&self, x: &[Scalar], y: &mut [Scalar], threads: usize) -> Result<(), String> {
+        if x.len() != self.cols {
+            return Err(format!(
+                "input vector has length {}, matrix has {} columns",
+                x.len(),
+                self.cols
+            ));
+        }
+        if y.len() != self.rows {
+            return Err(format!(
+                "output vector has length {}, matrix has {} rows",
+                y.len(),
+                self.rows
+            ));
+        }
+        let threads = effective_workers(threads, self.nnz);
+        y.fill(0.0);
+        // Partitions run one after another (their outputs may overlap under
+        // COL_DIV); the parallelism lives inside each partition.
+        for partition in &self.partitions {
+            match &partition.path {
+                ExecPath::Rows => exec_rows(partition, x, y, threads),
+                ExecPath::Nnz {
+                    nnz_per_thread,
+                    row_starts,
+                } => exec_nnz(partition, *nnz_per_thread, row_starts, x, y, threads),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for NativeKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeKernel")
+            .field("name", &self.name)
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("nnz", &self.nnz)
+            .field("partitions", &self.partitions.len())
+            .field("closed_form_arrays", &self.closed_form_arrays())
+            .finish()
+    }
+}
+
+/// One row's dot product over `[start, end)` of the partition's streams.
+#[inline]
+fn row_dot(
+    values: &[Scalar],
+    col_indices: &[u32],
+    x: &[Scalar],
+    col_offset: usize,
+    start: usize,
+    end: usize,
+) -> Scalar {
+    let mut acc = 0.0;
+    for idx in start..end {
+        acc += values[idx] * x[col_indices[idx] as usize + col_offset];
+    }
+    acc
+}
+
+/// Row-partition loop: contiguous local-row ranges across workers, one dot
+/// product per row.
+///
+/// When the origin map is contiguous (no reordering — the common case for
+/// unsorted designs, whose `origin_rows` compressed to identity/affine),
+/// each worker owns a disjoint slice of `y` and accumulates **in place**:
+/// no staging buffers, no scatter pass, no per-run allocation.  Reordered
+/// designs (SORT/BIN) stage per-worker partials and pay a permuted scatter —
+/// a real cost of that format, not an artifact of the harness.
+fn exec_rows(p: &NativePartition, x: &[Scalar], y: &mut [Scalar], threads: usize) {
+    let rows = p.matrix.rows();
+    if rows == 0 {
+        return;
+    }
+    // Monomorphise the row-bounds accessor OUTSIDE the hot loop: stored
+    // offsets compile to two adjacent loads, compressed offsets to pure
+    // arithmetic (the ELL-like fixed-row-length case) — never a per-row
+    // dispatch on the enum.
+    match &p.row_offsets {
+        IndexFn::Table(offsets) => {
+            let offsets: &[u32] = offsets;
+            exec_rows_with(p, x, y, threads, |row| {
+                (offsets[row] as usize, offsets[row + 1] as usize)
+            })
+        }
+        bounds => exec_rows_with(p, x, y, threads, |row| {
+            (bounds.get(row) as usize, bounds.get(row + 1) as usize)
+        }),
+    }
+}
+
+fn exec_rows_with(
+    p: &NativePartition,
+    x: &[Scalar],
+    y: &mut [Scalar],
+    threads: usize,
+    row_range: impl Fn(usize) -> (usize, usize) + Sync,
+) {
+    let rows = p.matrix.rows();
+    let values = p.matrix.values();
+    let col_indices = p.matrix.col_indices();
+    let col_offset = p.col_offset;
+
+    if let Some(base) = p.origin.contiguous_base() {
+        let target = &mut y[base..base + rows];
+        alpha_parallel::parallel_over_chunks(
+            alpha_parallel::split_mut(target, threads),
+            |first, out| {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    let (start, end) = row_range(first + i);
+                    *slot += row_dot(values, col_indices, x, col_offset, start, end);
+                }
+            },
+        );
+        return;
+    }
+
+    let chunk_count = threads.min(rows).max(1);
+    let chunk_size = rows.div_ceil(chunk_count);
+    let ranges: Vec<(usize, usize)> = (0..chunk_count)
+        .map(|c| (c * chunk_size, ((c + 1) * chunk_size).min(rows)))
+        .filter(|&(first, last)| first < last)
+        .collect();
+    let sums: Vec<Vec<Scalar>> =
+        alpha_parallel::parallel_map(&ranges, threads, |&(first, last)| {
+            let mut out = Vec::with_capacity(last - first);
+            for row in first..last {
+                let (start, end) = row_range(row);
+                out.push(row_dot(values, col_indices, x, col_offset, start, end));
+            }
+            out
+        });
+    for (&(first, _), chunk) in ranges.iter().zip(&sums) {
+        scatter(&p.origin, first, chunk, y);
+    }
+}
+
+/// Nnz-partition loop: workers own groups of whole design chunks, walk their
+/// non-zero span emitting one partial per row segment; boundary rows merge by
+/// accumulation in the scatter.
+fn exec_nnz(
+    p: &NativePartition,
+    nnz_per_thread: usize,
+    row_starts: &IndexFn,
+    x: &[Scalar],
+    y: &mut [Scalar],
+    threads: usize,
+) {
+    let nnz = p.matrix.nnz();
+    if nnz == 0 {
+        return;
+    }
+    let total_chunks = nnz.div_ceil(nnz_per_thread).max(1);
+    let workers = threads.min(total_chunks).max(1);
+    let chunks_per_worker = total_chunks.div_ceil(workers);
+    // (first design chunk, nnz start, nnz end) per worker span.
+    let spans: Vec<(usize, usize, usize)> = (0..workers)
+        .map(|w| {
+            let first_chunk = w * chunks_per_worker;
+            let start = (first_chunk * nnz_per_thread).min(nnz);
+            let end = ((first_chunk + chunks_per_worker) * nnz_per_thread).min(nnz);
+            (first_chunk, start, end)
+        })
+        .filter(|&(_, start, end)| start < end)
+        .collect();
+
+    let values = p.matrix.values();
+    let col_indices = p.matrix.col_indices();
+    let offsets = p.matrix.row_offsets();
+    let last_row = p.matrix.rows().saturating_sub(1);
+    let partials: Vec<(usize, Vec<Scalar>)> =
+        alpha_parallel::parallel_map(&spans, threads, |&(first_chunk, start, end)| {
+            // The chunk descriptor gives the first row (closed-form when the
+            // row structure is regular); skip any empty rows before `start`.
+            let mut row = (row_starts.get(first_chunk) as usize).min(last_row);
+            while row < last_row && offsets[row + 1] as usize <= start {
+                row += 1;
+            }
+            let base_row = row;
+            let mut sums = Vec::new();
+            let mut cursor = start;
+            loop {
+                let seg_end = (offsets[row + 1] as usize).min(end);
+                sums.push(row_dot(
+                    values,
+                    col_indices,
+                    x,
+                    p.col_offset,
+                    cursor,
+                    seg_end,
+                ));
+                cursor = seg_end;
+                if cursor >= end {
+                    break;
+                }
+                row += 1;
+            }
+            (base_row, sums)
+        });
+
+    for (base_row, sums) in &partials {
+        scatter(&p.origin, *base_row, sums, y);
+    }
+}
+
+/// Applies the origin-row permutation while merging partial sums into `y`.
+/// `+=` (rather than `=`) is what makes worker-boundary rows and `COL_DIV`
+/// sibling partitions correct.
+#[inline]
+fn scatter(origin: &IndexFn, base_row: usize, sums: &[Scalar], y: &mut [Scalar]) {
+    match origin {
+        IndexFn::Identity => {
+            for (j, &v) in sums.iter().enumerate() {
+                y[base_row + j] += v;
+            }
+        }
+        origin => {
+            for (j, &v) in sums.iter().enumerate() {
+                y[origin.get(base_row + j) as usize] += v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpha_codegen::{generate, GeneratorOptions};
+    use alpha_graph::presets;
+    use alpha_matrix::{gen, DenseVector};
+
+    fn native_for(
+        graph: &alpha_graph::OperatorGraph,
+        matrix: &CsrMatrix,
+        compression: bool,
+    ) -> NativeKernel {
+        let generated = generate(
+            graph,
+            matrix,
+            GeneratorOptions {
+                model_compression: compression,
+            },
+        )
+        .expect("generation succeeds");
+        NativeKernel::new(generated.kernel.metadata(), &generated.format)
+    }
+
+    fn check(graph: &alpha_graph::OperatorGraph, matrix: &CsrMatrix, threads: usize) {
+        let kernel = native_for(graph, matrix, true);
+        let x = DenseVector::random(matrix.cols(), 11);
+        let expected = matrix.spmv(x.as_slice()).unwrap();
+        let y = kernel.run(x.as_slice(), threads).expect("kernel runs");
+        assert!(
+            DenseVector::from_vec(y).approx_eq(&expected, 1e-3),
+            "{}: wrong result at {threads} threads",
+            kernel.name()
+        );
+    }
+
+    #[test]
+    fn every_preset_is_correct_on_every_pattern_family() {
+        for family in gen::PatternFamily::ALL {
+            let matrix = family.generate(256, 6, 33);
+            for (_, graph) in presets::all_presets() {
+                check(&graph, &matrix, 1);
+                check(&graph, &matrix, 4);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results_materially() {
+        let matrix = gen::powerlaw(1_024, 1_024, 12, 1.9, 5);
+        let x = DenseVector::random(1_024, 3);
+        for (_, graph) in presets::all_presets() {
+            let kernel = native_for(&graph, &matrix, true);
+            let serial = kernel.run(x.as_slice(), 1).unwrap();
+            for threads in [2, 3, 8] {
+                let parallel = kernel.run(x.as_slice(), threads).unwrap();
+                assert!(
+                    DenseVector::from_vec(parallel).approx_eq(&serial, 1e-4),
+                    "{}: thread count changed the result",
+                    kernel.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compression_toggles_closed_form_execution_not_results() {
+        let matrix = gen::uniform_random(512, 512, 8, 7);
+        let x = DenseVector::random(512, 9);
+        let expected = matrix.spmv(x.as_slice()).unwrap();
+        let with = native_for(&presets::csr_scalar(), &matrix, true);
+        let without = native_for(&presets::csr_scalar(), &matrix, false);
+        assert!(
+            with.closed_form_arrays() > 0,
+            "identity origin must compress"
+        );
+        assert_eq!(without.closed_form_arrays(), 0);
+        for kernel in [&with, &without] {
+            let y = kernel.run(x.as_slice(), 2).unwrap();
+            assert!(DenseVector::from_vec(y).approx_eq(&expected, 1e-3));
+        }
+    }
+
+    #[test]
+    fn nnz_split_handles_rows_spanning_worker_boundaries() {
+        // One long row dominates: every worker span cuts through it, so the
+        // scatter's accumulation is load-bearing.
+        let mut coo = alpha_matrix::CooMatrix::new(4, 512);
+        for c in 0..512 {
+            coo.push(0, c, 0.5);
+        }
+        for r in 1..4 {
+            coo.push(r, r, 1.0);
+        }
+        let matrix = CsrMatrix::from_coo(&coo);
+        check(&presets::csr5_like(16), &matrix, 8);
+    }
+
+    #[test]
+    fn col_div_partitions_accumulate_shared_rows() {
+        let matrix = gen::uniform_random(200, 200, 12, 3);
+        check(&presets::col_split_atomic(2), &matrix, 4);
+    }
+
+    #[test]
+    fn empty_rows_are_preserved_as_zeros() {
+        let mut coo = alpha_matrix::CooMatrix::new(64, 64);
+        for r in (0..64).step_by(3) {
+            coo.push(r, (r * 7) % 64, 1.0 + r as Scalar);
+        }
+        let matrix = CsrMatrix::from_coo(&coo);
+        for (_, graph) in presets::all_presets() {
+            check(&graph, &matrix, 2);
+        }
+    }
+
+    #[test]
+    fn run_rejects_wrong_dimensions() {
+        let matrix = gen::uniform_random(64, 32, 4, 1);
+        let kernel = native_for(&presets::csr_scalar(), &matrix, true);
+        assert!(kernel.run(&[1.0; 31], 1).is_err());
+        let mut y = vec![0.0; 63];
+        assert!(kernel.run_into(&[1.0; 32], &mut y, 1).is_err());
+    }
+
+    #[test]
+    fn kernel_reports_its_shape() {
+        let matrix = gen::powerlaw(300, 300, 8, 2.0, 5);
+        let kernel = native_for(&presets::sell_like(), &matrix, true);
+        assert_eq!(kernel.rows(), 300);
+        assert_eq!(kernel.cols(), 300);
+        assert_eq!(kernel.nnz(), matrix.nnz());
+        assert_eq!(kernel.useful_flops(), 2 * matrix.nnz() as u64);
+        assert!(kernel.format_bytes() > 0);
+        assert!(kernel.name().contains("alpha-cpu"));
+    }
+
+    #[test]
+    fn index_fn_lowers_compression_models() {
+        let linear = FormatArray {
+            name: "origin_rows".into(),
+            data: (0..100).collect(),
+            compressed: alpha_codegen::compress_array(&(0..100).collect::<Vec<u32>>()),
+        };
+        assert!(matches!(IndexFn::from_array(&linear), IndexFn::Identity));
+
+        let stepped: Vec<u32> = (0..100).map(|i| 16 * (i / 8)).collect();
+        let step = FormatArray {
+            name: "row_offsets".into(),
+            data: stepped.clone(),
+            compressed: alpha_codegen::compress_array(&stepped),
+        };
+        let f = IndexFn::from_array(&step);
+        assert!(f.is_closed_form());
+        for (i, &v) in stepped.iter().enumerate() {
+            assert_eq!(f.get(i), v);
+        }
+
+        let irregular: Vec<u32> = (0..100u32)
+            .map(|i| i.wrapping_mul(2654435761) % 977)
+            .collect();
+        let table = FormatArray {
+            name: "origin_rows".into(),
+            data: irregular.clone(),
+            compressed: alpha_codegen::compress_array(&irregular),
+        };
+        let f = IndexFn::from_array(&table);
+        assert!(!f.is_closed_form());
+        assert_eq!(f.get(42), irregular[42]);
+    }
+}

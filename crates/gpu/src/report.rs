@@ -32,6 +32,43 @@ pub struct PerfReport {
 }
 
 impl PerfReport {
+    /// Builds a report from a *measured* wall-clock time (the native CPU
+    /// backend's timing harness) instead of the cost model.  Only the fields
+    /// a wall clock can honestly fill are populated: `time_us`, the derived
+    /// `gflops`, the format footprint (as `dram_bytes`) and `bytes_per_flop`.
+    /// The modelled breakdowns (memory vs compute split, occupancy, L2 hit
+    /// rate, event counters) are zero — a stopwatch cannot see them.
+    pub fn from_measured_time(
+        device: &str,
+        time_us: f64,
+        useful_flops: u64,
+        format_bytes: usize,
+    ) -> PerfReport {
+        let gflops = if time_us > 0.0 {
+            useful_flops as f64 / time_us / 1e3
+        } else {
+            0.0
+        };
+        PerfReport {
+            device: device.to_string(),
+            time_us,
+            memory_time_us: 0.0,
+            compute_time_us: time_us,
+            launch_overhead_us: 0.0,
+            gflops,
+            dram_bytes: format_bytes as f64,
+            l2_bytes: 0.0,
+            x_l2_hit_rate: 0.0,
+            occupancy: 1.0,
+            counters: KernelCounters::default(),
+            bytes_per_flop: if useful_flops > 0 {
+                format_bytes as f64 / useful_flops as f64
+            } else {
+                0.0
+            },
+        }
+    }
+
     /// True if the kernel is memory-bound under the model.
     pub fn is_memory_bound(&self) -> bool {
         self.memory_time_us >= self.compute_time_us

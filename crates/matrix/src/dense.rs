@@ -101,6 +101,20 @@ impl DenseVector {
     }
 }
 
+/// The worst relative-or-absolute error between a result and its reference:
+/// `max_i |a[i] - b[i]| / max(1, |a[i]|, |b[i]|)`.  The shared floating-point
+/// tolerance yardstick of the differential suites — native kernels, the
+/// simulator interpreter and the baseline implementations all reduce in
+/// different orders, so they are compared with `max_scaled_error(..) <= tol`
+/// rather than bitwise.  Panics on length mismatch (always a harness bug).
+pub fn max_scaled_error(a: &[Scalar], b: &[Scalar]) -> Scalar {
+    assert_eq!(a.len(), b.len(), "comparing vectors of different lengths");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs() / x.abs().max(y.abs()).max(1.0))
+        .fold(0.0, Scalar::max)
+}
+
 impl std::ops::Index<usize> for DenseVector {
     type Output = Scalar;
     fn index(&self, index: usize) -> &Scalar {

@@ -71,6 +71,56 @@ where
         .collect()
 }
 
+/// Runs `f(offset, chunk)` over disjoint mutable chunks, one scoped worker
+/// thread per chunk (inline on the caller's thread when there is only one).
+///
+/// This is the zero-copy sibling of [`parallel_map`]: kernels that own
+/// disjoint output ranges write straight into them instead of staging
+/// results in freshly allocated buffers.  The chunk list is expected to be
+/// one entry per worker, so thread-per-chunk is the right granularity.
+/// Panics in `f` propagate to the caller.
+pub fn parallel_over_chunks<T, F>(chunks: Vec<(usize, &mut [T])>, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if chunks.len() <= 1 {
+        for (offset, chunk) in chunks {
+            f(offset, chunk);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        for (offset, chunk) in chunks {
+            let f = &f;
+            scope.spawn(move || f(offset, chunk));
+        }
+    });
+}
+
+/// Splits `slice` into up to `parts` contiguous chunks of near-equal length,
+/// tagged with their start offsets — the input shape
+/// [`parallel_over_chunks`] consumes.
+pub fn split_mut<T>(slice: &mut [T], parts: usize) -> Vec<(usize, &mut [T])> {
+    let len = slice.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, len);
+    let chunk_size = len.div_ceil(parts);
+    let mut chunks = Vec::with_capacity(parts);
+    let mut offset = 0;
+    let mut rest = slice;
+    while !rest.is_empty() {
+        let take = chunk_size.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        chunks.push((offset, head));
+        offset += take;
+        rest = tail;
+    }
+    chunks
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +153,35 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let out: Vec<u8> = parallel_map::<u8, u8, _>(&[], 8, |&x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn split_mut_covers_the_slice_with_correct_offsets() {
+        let mut data: Vec<usize> = vec![0; 103];
+        let chunks = split_mut(&mut data, 4);
+        assert_eq!(chunks.len(), 4);
+        let mut expected_offset = 0;
+        for (offset, chunk) in &chunks {
+            assert_eq!(*offset, expected_offset);
+            expected_offset += chunk.len();
+        }
+        assert_eq!(expected_offset, 103);
+        assert!(split_mut(&mut data, 0).len() == 1);
+        assert!(split_mut::<u8>(&mut [], 4).is_empty());
+    }
+
+    #[test]
+    fn parallel_over_chunks_writes_in_place() {
+        let mut data: Vec<usize> = vec![0; 257];
+        for parts in [1, 2, 7] {
+            data.fill(0);
+            parallel_over_chunks(split_mut(&mut data, parts), |offset, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = offset + i;
+                }
+            });
+            assert!(data.iter().enumerate().all(|(i, &v)| v == i));
+        }
     }
 
     #[test]

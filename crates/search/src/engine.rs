@@ -14,7 +14,7 @@ use crate::enumerate::{
     coarse_variants, fine_variants, mutate_structure, seed_structures, MutationRng,
 };
 use crate::eval::{
-    BatchEvaluator, CachingEvaluator, DesignCache, EvalContext, Evaluator, SimEvaluator,
+    BatchEvaluator, CachingEvaluator, DesignCache, EvalContext, Evaluator, EvaluatorChoice,
 };
 use crate::features::{featurise, matrix_feature_vector};
 use crate::persist::StoredDesign;
@@ -69,6 +69,13 @@ pub struct SearchConfig {
     /// need replay-identical searches must pass the same list every time
     /// (see `DesignCache::pin_seed_designs`).
     pub seed_designs: Vec<OperatorGraph>,
+    /// The ground-truth evaluation backend candidates are scored with:
+    /// the simulator's cost model (default) or an externally supplied
+    /// evaluator such as `alpha-cpu`'s measured-time `NativeEvaluator`.
+    /// The choice's [`EvaluatorId`](crate::eval::EvaluatorId) is salted into
+    /// every cache key and recorded in the stored winner, so modelled and
+    /// measured results never mix.
+    pub evaluator: EvaluatorChoice,
 }
 
 impl Default for SearchConfig {
@@ -85,6 +92,7 @@ impl Default for SearchConfig {
             threads: 0,
             batch_size: 16,
             seed_designs: Vec::new(),
+            evaluator: EvaluatorChoice::Simulated,
         }
     }
 }
@@ -160,7 +168,8 @@ pub fn search_with_cache(
     let options = GeneratorOptions {
         model_compression: config.enable_model_compression,
     };
-    let ctx = EvalContext::new(matrix, &config.device, options, config.seed)?;
+    let ctx = EvalContext::new(matrix, &config.device, options, config.seed)?
+        .with_evaluator(config.evaluator.id());
 
     // Parallelism lives at the candidate level; each candidate's simulation
     // runs on exactly ONE worker.  This is a determinism requirement, not
@@ -177,7 +186,7 @@ pub fn search_with_cache(
         config.threads
     };
     let evaluator = BatchEvaluator::new(
-        CachingEvaluator::new(SimEvaluator::new(config.device.clone(), 1), cache.clone()),
+        CachingEvaluator::new(config.evaluator.build(&config.device), cache.clone()),
         threads,
     );
     let batch_size = config.batch_size.max(1);
@@ -352,6 +361,7 @@ pub fn search_with_cache(
             graph: best_graph.clone(),
             gflops: best_report.gflops,
             matrix_features: matrix_feature_vector(&stats_of_matrix),
+            evaluator: config.evaluator.id(),
         },
     );
     Ok(SearchOutcome {

@@ -34,6 +34,118 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+/// The durable identity of the evaluation backend a result came from.
+///
+/// Cost-model numbers and wall-clock measurements are *not comparable*: a
+/// simulated report must never be cached, stored or served as a measured one
+/// (or vice versa).  The id is therefore folded into every evaluation context
+/// key (see [`EvalContext::with_evaluator`]) and recorded in each persisted
+/// winner, so the two worlds keep disjoint cache entries and disjoint stored
+/// designs.  For native evaluation the timing-harness parameters are part of
+/// the identity too — min-of-3 and min-of-50 measurements are different
+/// experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvaluatorId {
+    /// Modelled cost from the `alpha-gpu` simulator (the default).
+    Simulated,
+    /// Wall-clock time of the native CPU backend (`alpha-cpu`), measured
+    /// with a steady-state harness.
+    Native {
+        /// Warmup executions discarded before timing starts.
+        warmup: u32,
+        /// Timed executions; the report keeps the minimum.
+        runs: u32,
+    },
+}
+
+impl EvaluatorId {
+    /// True for measured (native-execution) results.
+    pub fn is_native(self) -> bool {
+        matches!(self, EvaluatorId::Native { .. })
+    }
+
+    /// Short label used in reports and `BENCH_results.json`.
+    pub fn label(self) -> &'static str {
+        match self {
+            EvaluatorId::Simulated => "simulated",
+            EvaluatorId::Native { .. } => "native",
+        }
+    }
+
+    /// Folds this identity into a context key.  [`EvaluatorId::Simulated`] is
+    /// the identity transform so every pre-existing simulated cache key (and
+    /// durable cache file) stays valid.
+    pub fn salt(self, key: u64) -> u64 {
+        match self {
+            EvaluatorId::Simulated => key,
+            EvaluatorId::Native { warmup, runs } => {
+                let key = fnv_extend(key, b"native-cpu");
+                let key = fnv_extend(key, &warmup.to_le_bytes());
+                fnv_extend(key, &runs.to_le_bytes())
+            }
+        }
+    }
+}
+
+/// Which ground-truth evaluator a search builds under its caching and
+/// batching layers — the `SearchConfig` hook that makes the evaluation
+/// backend selectable without the engine depending on every backend crate.
+#[derive(Clone, Default)]
+pub enum EvaluatorChoice {
+    /// The [`SimEvaluator`] cost model on the configured device (default).
+    #[default]
+    Simulated,
+    /// An externally provided evaluator (e.g. `alpha-cpu`'s
+    /// `NativeEvaluator`).  The factory is invoked once per search; `id` is
+    /// the durable identity salted into cache keys and recorded in winners.
+    Custom {
+        /// Durable identity of the backend.
+        id: EvaluatorId,
+        /// Builds a fresh ground-truth evaluator for one search.
+        factory: Arc<dyn Fn() -> Box<dyn Evaluator> + Send + Sync>,
+    },
+}
+
+impl EvaluatorChoice {
+    /// Wraps a backend factory with its durable identity.
+    pub fn custom<F>(id: EvaluatorId, factory: F) -> Self
+    where
+        F: Fn() -> Box<dyn Evaluator> + Send + Sync + 'static,
+    {
+        EvaluatorChoice::Custom {
+            id,
+            factory: Arc::new(factory),
+        }
+    }
+
+    /// The durable identity of this choice.
+    pub fn id(&self) -> EvaluatorId {
+        match self {
+            EvaluatorChoice::Simulated => EvaluatorId::Simulated,
+            EvaluatorChoice::Custom { id, .. } => *id,
+        }
+    }
+
+    /// Builds the ground-truth evaluator for one search on `device`.
+    pub fn build(&self, device: &DeviceProfile) -> Box<dyn Evaluator> {
+        match self {
+            EvaluatorChoice::Simulated => Box::new(SimEvaluator::new(device.clone(), 1)),
+            EvaluatorChoice::Custom { factory, .. } => factory(),
+        }
+    }
+}
+
+impl std::fmt::Debug for EvaluatorChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvaluatorChoice::Simulated => write!(f, "EvaluatorChoice::Simulated"),
+            EvaluatorChoice::Custom { id, .. } => {
+                write!(f, "EvaluatorChoice::Custom({id:?})")
+            }
+        }
+    }
+}
+
 /// Everything shared by all candidate evaluations of one search: the matrix,
 /// the probe input vector, the reference result, and the cache-identity of
 /// the (matrix, device, options) combination.
@@ -78,6 +190,15 @@ impl<'a> EvalContext<'a> {
     pub fn context_key(&self) -> u64 {
         self.context_key
     }
+
+    /// Salts the context key with the evaluation backend's identity, so
+    /// simulated and measured results never share cache entries (see
+    /// [`EvaluatorId`]).  [`EvaluatorId::Simulated`] is a no-op; call at most
+    /// once per context.
+    pub fn with_evaluator(mut self, id: EvaluatorId) -> Self {
+        self.context_key = id.salt(self.context_key);
+        self
+    }
 }
 
 fn fnv_extend(mut hash: u64, bytes: &[u8]) -> u64 {
@@ -117,6 +238,20 @@ pub fn context_key(
     key
 }
 
+/// [`context_key`] extended with the evaluation backend's identity — the key
+/// the engine actually caches under when a non-default evaluator is selected.
+/// Serving layers must use this variant so their store identities line up
+/// with the engine's cache entries.
+pub fn context_key_for(
+    matrix: &CsrMatrix,
+    device: &DeviceProfile,
+    options: GeneratorOptions,
+    seed: u64,
+    evaluator: EvaluatorId,
+) -> u64 {
+    evaluator.salt(context_key(matrix, device, options, seed))
+}
+
 /// The outcome of evaluating one feasible candidate.
 #[derive(Debug, Clone)]
 pub struct Evaluation {
@@ -148,6 +283,20 @@ pub trait Evaluator: Send + Sync {
             .iter()
             .map(|graph| self.evaluate(ctx, graph))
             .collect()
+    }
+}
+
+impl Evaluator for Box<dyn Evaluator> {
+    fn evaluate(&self, ctx: &EvalContext<'_>, graph: &OperatorGraph) -> Option<Evaluation> {
+        (**self).evaluate(ctx, graph)
+    }
+
+    fn evaluate_batch(
+        &self,
+        ctx: &EvalContext<'_>,
+        batch: &[OperatorGraph],
+    ) -> Vec<Option<Evaluation>> {
+        (**self).evaluate_batch(ctx, batch)
     }
 }
 

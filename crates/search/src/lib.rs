@@ -37,8 +37,8 @@ pub mod prune;
 
 pub use engine::{search, search_with_cache, SearchConfig, SearchOutcome, SearchStats};
 pub use eval::{
-    context_key, BatchEvaluator, CacheStats, CachingEvaluator, DesignCache, EvalContext,
-    Evaluation, Evaluator, SimEvaluator,
+    context_key, context_key_for, BatchEvaluator, CacheStats, CachingEvaluator, DesignCache,
+    EvalContext, Evaluation, Evaluator, EvaluatorChoice, EvaluatorId, SimEvaluator,
 };
 pub use persist::{PersistError, StoredDesign, CACHE_FORMAT_VERSION};
 pub use prune::PruneRules;

@@ -24,7 +24,7 @@
 //! the value space (strings, `u64`s, `f64` bit patterns, one enum) is small
 //! enough that a hand-rolled codec is both smaller and easier to audit.
 
-use crate::eval::DesignCache;
+use crate::eval::{DesignCache, EvaluatorId};
 use alpha_gpu::{KernelCounters, PerfReport};
 use alpha_graph::{Operator, OperatorGraph};
 use std::collections::HashMap;
@@ -38,7 +38,7 @@ pub const CACHE_MAGIC: [u8; 4] = *b"ACDS";
 /// Current schema version of the cache file format.  Bump on any change to
 /// the byte layout; old files are then rejected with
 /// [`PersistError::VersionMismatch`] instead of being misread.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// Why loading or saving a durable cache failed.
 #[derive(Debug)]
@@ -105,6 +105,11 @@ pub struct StoredDesign {
     /// Matrix feature vector (see
     /// [`matrix_feature_vector`](crate::features::matrix_feature_vector)).
     pub matrix_features: Vec<f64>,
+    /// Which evaluation backend produced `gflops`: the simulator's cost model
+    /// or the native CPU backend's timing harness (with its parameters).
+    /// Persisted so a store never serves a cost-model winner as a measured
+    /// one — or the other way round.
+    pub evaluator: EvaluatorId,
 }
 
 // ---------------------------------------------------------------------------
@@ -275,6 +280,32 @@ fn read_operator(r: &mut ByteReader<'_>) -> Result<Operator, PersistError> {
     operator_from_tag(tag, param)
 }
 
+// Evaluator identity: one tag byte, plus the harness parameters for measured
+// backends.  Tags are append-only like the operator tags.
+fn write_evaluator(w: &mut ByteWriter, id: EvaluatorId) {
+    match id {
+        EvaluatorId::Simulated => w.u8(0),
+        EvaluatorId::Native { warmup, runs } => {
+            w.u8(1);
+            w.u32(warmup);
+            w.u32(runs);
+        }
+    }
+}
+
+fn read_evaluator(r: &mut ByteReader<'_>) -> Result<EvaluatorId, PersistError> {
+    match r.u8()? {
+        0 => Ok(EvaluatorId::Simulated),
+        1 => Ok(EvaluatorId::Native {
+            warmup: r.u32()?,
+            runs: r.u32()?,
+        }),
+        other => Err(PersistError::Corrupt(format!(
+            "unknown evaluator tag {other}"
+        ))),
+    }
+}
+
 fn write_graph(w: &mut ByteWriter, graph: &OperatorGraph) {
     w.u64(graph.converting.len() as u64);
     for op in &graph.converting {
@@ -433,6 +464,7 @@ impl DesignCache {
             for &feature in &design.matrix_features {
                 w.f64(feature);
             }
+            write_evaluator(&mut w, design.evaluator);
         }
 
         // Section 3: seed pins.
@@ -500,12 +532,14 @@ impl DesignCache {
             for _ in 0..feature_count {
                 matrix_features.push(r.f64()?);
             }
+            let evaluator = read_evaluator(&mut r)?;
             cache.record_winner(
                 context_key,
                 StoredDesign {
                     graph,
                     gflops,
                     matrix_features,
+                    evaluator,
                 },
             );
         }
@@ -614,6 +648,7 @@ mod tests {
                 graph: presets::csr_scalar(),
                 gflops: 123.5,
                 matrix_features: vec![1.0, 2.5, -0.75],
+                evaluator: EvaluatorId::Simulated,
             },
         );
         cache.pin_seed_designs(
@@ -738,6 +773,7 @@ mod tests {
                 graph: presets::csr_scalar(),
                 gflops: 1.0,
                 matrix_features: vec![],
+                evaluator: EvaluatorId::Simulated,
             },
         );
         let bytes = cache.to_bytes();
@@ -763,6 +799,7 @@ mod tests {
                 graph: presets::sell_like(),
                 gflops: 55.0,
                 matrix_features: vec![0.5],
+                evaluator: EvaluatorId::Simulated,
             },
         );
         b.pin_seed_designs(99, vec![presets::sell_like()]);
@@ -783,6 +820,7 @@ mod tests {
             graph: presets::csr_scalar(),
             gflops: 10.0,
             matrix_features: vec![1.0],
+            evaluator: EvaluatorId::Simulated,
         };
         cache.record_winner(1, winner.clone());
         assert!(cache.is_dirty(), "first winner dirties the cache");
@@ -810,6 +848,7 @@ mod tests {
             graph: presets::csr_scalar(),
             gflops,
             matrix_features: vec![],
+            evaluator: EvaluatorId::Simulated,
         };
         cache.record_winner(1, design(50.0));
         // A worse re-search result (e.g. a smaller budget) must not clobber

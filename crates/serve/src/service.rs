@@ -6,7 +6,7 @@ use alpha_gpu::DeviceProfile;
 use alpha_graph::OperatorGraph;
 use alpha_matrix::{CsrMatrix, MatrixStats};
 use alpha_search::features::{matrix_distance, matrix_feature_vector};
-use alpha_search::{context_key, SearchConfig, StoredDesign};
+use alpha_search::{context_key_for, SearchConfig, StoredDesign};
 use alphasparse::{AlphaSparse, TunedSpmv};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -121,6 +121,11 @@ impl TuningService {
     /// parallel, each individual search runs single-threaded so concurrent
     /// requests do not fight over cores — the same layering the search
     /// engine itself uses between candidates and the simulator.
+    ///
+    /// Ignored when the service's evaluator measures wall-clock time (a
+    /// native `EvaluatorChoice`): timed searches always run one request and
+    /// one candidate at a time, because concurrent measurements steal each
+    /// other's cores and corrupt the timings.
     pub fn with_batch_threads(mut self, threads: usize) -> Self {
         self.batch_threads = threads;
         self
@@ -167,9 +172,20 @@ impl TuningService {
         let options = GeneratorOptions {
             model_compression: self.config.enable_model_compression,
         };
+        // The evaluation identity includes the backend (simulated vs native
+        // measured time plus harness parameters), so a store never serves a
+        // cost-model winner as a measured one — or the other way round.
         let eval_keys: Vec<u64> = requests
             .iter()
-            .map(|r| context_key(&r.matrix, &r.device, options, self.config.seed))
+            .map(|r| {
+                context_key_for(
+                    &r.matrix,
+                    &r.device,
+                    options,
+                    self.config.seed,
+                    self.config.evaluator.id(),
+                )
+            })
             .collect();
         let keys: Vec<u64> = eval_keys.iter().map(|&k| self.store_key(k)).collect();
         let mut seen: HashSet<u64> = HashSet::new();
@@ -189,11 +205,21 @@ impl TuningService {
         };
 
         // Distinct requests fan out; each search then runs single-threaded
-        // (unless the batch itself is serial).
-        let search_threads = if self.batch_threads == 1 { 0 } else { 1 };
+        // (unless the batch itself is serial).  Measured-time evaluation is
+        // the exception on both levels: wall clocks are only meaningful when
+        // exactly one candidate runs at a time, so a native-evaluator
+        // service serves requests serially and keeps candidate-level
+        // parallelism at 1 regardless of `with_batch_threads`.
+        let native = self.config.evaluator.id().is_native();
+        let batch_threads = if native { 1 } else { self.batch_threads };
+        let search_threads = if native || self.batch_threads != 1 {
+            1
+        } else {
+            0
+        };
         let mut unique_results: HashMap<u64, Result<(), String>> = HashMap::new();
         let served: Vec<(u64, Result<ServedTune, String>)> =
-            alpha_parallel::parallel_map(&unique, self.batch_threads, |&i| {
+            alpha_parallel::parallel_map(&unique, batch_threads, |&i| {
                 let request = &requests[i];
                 (
                     keys[i],
@@ -544,6 +570,59 @@ mod tests {
         }
         let revived = quick_service(&dir, 30).tune_batch(&request());
         assert_eq!(revived[0].as_ref().unwrap().tuned.gflops(), big_gflops);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn native_service_is_isolated_from_simulated_contexts_and_runs_natively() {
+        let dir = temp_dir("native");
+        let matrix = gen::powerlaw(192, 192, 6, 2.0, 77);
+        // Two requests: the native service must serve them (serially — timed
+        // searches never overlap) and produce correct handles for both.
+        let requests = vec![
+            TuneRequest::new(matrix.clone(), DeviceProfile::a100()),
+            TuneRequest::new(gen::uniform_random(160, 160, 5, 78), DeviceProfile::a100()),
+        ];
+
+        let sim_config = SearchConfig {
+            max_iterations: 6,
+            mutations_per_seed: 2,
+            ..SearchConfig::default()
+        };
+        let sim = TuningService::new(DesignStore::open(&dir).unwrap(), sim_config.clone());
+        let sim_served = sim.tune_batch(&requests);
+        let sim_tune = sim_served[0].as_ref().unwrap();
+        sim.store().flush().unwrap();
+
+        // Same schedule, but candidates are scored by measured native time:
+        // a different store context, never served from cost-model entries.
+        let native_config = SearchConfig {
+            evaluator: alphasparse::NativeEvaluator::choice(alphasparse::TimingHarness::quick(), 1),
+            threads: 1,
+            ..sim_config
+        };
+        let native = TuningService::new(DesignStore::open(&dir).unwrap(), native_config);
+        let native_served = native.tune_batch(&requests);
+        let native_tune = native_served[0].as_ref().unwrap();
+        assert_ne!(
+            sim_tune.context_key, native_tune.context_key,
+            "measured and modelled results must not share a store context"
+        );
+        assert!(
+            native_tune.fresh_evaluations > 0,
+            "the native search cannot be answered from simulated entries"
+        );
+        assert!(native_tune.tuned.evaluator().is_native());
+
+        // The served handles compute y = A·x for real.
+        for (request, served) in requests.iter().zip(&native_served) {
+            let tune = served.as_ref().unwrap();
+            assert!(tune.tuned.evaluator().is_native());
+            let x = vec![1.0; request.matrix.cols()];
+            let y = tune.tuned.run(&x).unwrap();
+            let expected = request.matrix.spmv(&x).unwrap();
+            assert!(alpha_matrix::DenseVector::from_vec(y).approx_eq(&expected, 1e-3));
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

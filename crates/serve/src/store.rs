@@ -424,6 +424,7 @@ mod tests {
             graph: presets::csr_scalar(),
             gflops,
             matrix_features: vec![1.0, 2.0],
+            evaluator: alpha_search::EvaluatorId::Simulated,
         }
     }
 

@@ -11,6 +11,7 @@ pub use alphasparse;
 
 pub use alpha_baselines as baselines;
 pub use alpha_codegen as codegen;
+pub use alpha_cpu as cpu;
 pub use alpha_gpu as gpu;
 pub use alpha_graph as graph;
 pub use alpha_matrix as matrix;
@@ -27,6 +28,7 @@ mod tests {
         let _ = crate::gpu::WARP_SIZE;
         let _ = crate::graph::presets::csr_scalar();
         let _ = crate::codegen::GeneratorOptions::default();
+        let _ = crate::cpu::TimingHarness::default();
         let _ = crate::ml::Sample::new(vec![1.0], 2.0);
         let _ = crate::search::SearchConfig::default();
         let _ = crate::baselines::Baseline::figure9_set();
