@@ -9,32 +9,39 @@
 //! cargo run --release -p alpha-bench --bin reproduce -- fig9a fig10 table3 ...
 //! cargo run --release -p alpha-bench --bin reproduce -- warm
 //! cargo run --release -p alpha-bench --bin reproduce -- native
+//! cargo run --release -p alpha-bench --bin reproduce -- serve
+//! cargo run --release -p alpha-bench --bin reproduce -- all --threads 4
 //! ```
 //!
-//! `warm` and `native` are not part of `all`: `warm` benchmarks this repo's
-//! serving layer (a matrix fleet tuned cold, then re-served from a
-//! persistent `DesignStore`), and `native` tunes on measured wall-clock time
-//! and reports real GFLOP/s of generated kernels vs the native baselines —
-//! neither is a figure of the paper.  An unknown mode prints the mode list
-//! and exits non-zero.
+//! `warm`, `native` and `serve` are not part of `all`: `warm` benchmarks
+//! this repo's serving layer (a matrix fleet tuned cold, then re-served
+//! from a persistent `DesignStore`), `native` tunes on measured wall-clock
+//! time and reports real GFLOP/s of generated kernels vs the native
+//! baselines, and `serve` runs a closed-loop load test against the
+//! `alpha-net` daemon (throughput + p50/p95/p99 latency; any failed request
+//! exits non-zero) — none is a figure of the paper.  `--threads N` flows
+//! into `SearchConfig::threads` for every mode and is recorded in every
+//! `BENCH_results.json` row.  An unknown mode prints the mode list and
+//! exits non-zero.
 
 use alpha_bench::*;
 use alpha_gpu::DeviceProfile;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let wanted = match resolve_modes(&args) {
-        Ok(wanted) => wanted,
+    let cli = match parse_cli(&args) {
+        Ok(cli) => cli,
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);
         }
     };
-    let want = |key: &str| mode_selected(&wanted, key);
+    let want = |key: &str| mode_selected(&cli.modes, key);
     let mut records: Vec<BenchRecord> = Vec::new();
+    let mut failed = false;
 
-    let ctx_a100 = ExperimentContext::standard(DeviceProfile::a100());
-    let ctx_rtx = ExperimentContext::standard(DeviceProfile::rtx2080());
+    let ctx_a100 = ExperimentContext::standard(DeviceProfile::a100()).with_threads(cli.threads);
+    let ctx_rtx = ExperimentContext::standard(DeviceProfile::rtx2080()).with_threads(cli.threads);
 
     if want("fig2") {
         println!("== Figure 2: mixed designs on 2D_27628_bjtcai (A100) ==");
@@ -184,7 +191,10 @@ fn main() {
         println!(
             "== Native execution: measured GFLOP/s, generated kernels vs baselines (host CPU) =="
         );
-        let config = NativeModeConfig::default();
+        let config = NativeModeConfig {
+            kernel_threads: cli.threads,
+            ..NativeModeConfig::default()
+        };
         println!(
             "   fleet of {} matrices ({} rows, ~{} nnz/row); search optimises measured time\n",
             config.fleet_size, config.rows, config.avg_row_len
@@ -241,7 +251,7 @@ fn main() {
         println!("== Cold vs warm: a 12-matrix fleet through a persistent DesignStore (A100) ==");
         let store_dir =
             std::env::temp_dir().join(format!("alphasparse_reproduce_warm_{}", std::process::id()));
-        match warm_vs_cold(DeviceProfile::a100(), &store_dir, 12, 40) {
+        match warm_vs_cold(DeviceProfile::a100(), &store_dir, 12, 40, cli.threads) {
             Ok(cmp) => {
                 println!(
                     "  cold pass: {:>8.2} s wall, {:>6} fresh kernel evaluations",
@@ -259,6 +269,52 @@ fn main() {
             Err(e) => eprintln!("  warm comparison failed: {e}\n"),
         }
         let _ = std::fs::remove_dir_all(&store_dir);
+    }
+
+    // `serve` is opt-in only (not under `all`): a closed-loop load test of
+    // the networked daemon, reporting throughput and tail latency.
+    if want("serve") {
+        println!("== Serve: closed-loop load test against the alpha-net daemon (loopback) ==");
+        let config = ServeLoadConfig {
+            threads: cli.threads,
+            ..ServeLoadConfig::default()
+        };
+        println!(
+            "   {} matrices, {} closed-loop clients, {} SpMV/job, queue capacity {}\n",
+            config.fleet_size, config.clients, config.spmv_per_job, config.queue_capacity
+        );
+        match serve_load(config) {
+            Ok(report) => {
+                let print_class = |name: &str, s: &alpha_bench::LatencySummary, n: usize| {
+                    println!(
+                        "  {name:<5} {n:>5} requests  {:>8.1} req/s  p50 {:>9.0} us  p95 {:>9.0} us  p99 {:>9.0} us",
+                        s.requests_per_sec, s.p50_us, s.p95_us, s.p99_us
+                    );
+                };
+                print_class(
+                    "tune",
+                    &report.tune_summary(),
+                    report.tune_latencies_us.len(),
+                );
+                print_class(
+                    "spmv",
+                    &report.spmv_summary(),
+                    report.spmv_latencies_us.len(),
+                );
+                println!(
+                    "  backpressure (Busy) hits: {}, store-served jobs: {}/{}",
+                    report.backpressure_hits,
+                    report.store_served_jobs,
+                    report.tune_latencies_us.len()
+                );
+                println!("  total wall-clock: {:.2} s\n", report.wall_secs);
+                records.extend(report.records());
+            }
+            Err(e) => {
+                eprintln!("  serve load test FAILED: {e}\n");
+                failed = true;
+            }
+        }
     }
 
     if want("table3") {
@@ -322,6 +378,11 @@ fn main() {
         println!("  (paper: +32% from compression, +78% in total)\n");
     }
 
+    // Every record carries the `--threads` override it ran under.
+    for record in &mut records {
+        record.threads = cli.threads;
+    }
+
     // Only (over)write the trajectory file when this run actually measured
     // something — `reproduce fig2` must not clobber a full run's records.
     if records.is_empty() {
@@ -347,5 +408,8 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

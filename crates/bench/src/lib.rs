@@ -8,6 +8,10 @@
 //! is the shape: who wins, by roughly what factor, and where the crossovers
 //! fall.
 
+mod serve_load;
+
+pub use serve_load::{serve_load, ServeLoadConfig, ServeLoadReport};
+
 use alpha_baselines::{run_pfs, Baseline, PfsOutcome, TacoKernel};
 use alpha_gpu::{DeviceProfile, GpuSim};
 use alpha_matrix::suite::{self, CorpusConfig, SuiteScale};
@@ -31,6 +35,10 @@ pub struct ExperimentContext {
     pub suite_scale: SuiteScale,
     /// Kernel evaluations allowed per search.
     pub search_budget: usize,
+    /// Worker threads candidate batches are fanned out over
+    /// (0 = one per available core); the `--threads` CLI override lands
+    /// here.  Never changes which design wins, only how fast.
+    pub threads: usize,
     /// Design cache shared by every search in this experiment run.
     pub cache: Arc<DesignCache>,
 }
@@ -48,6 +56,7 @@ impl ExperimentContext {
             },
             suite_scale: SuiteScale(1.0 / 256.0),
             search_budget: 25,
+            threads: 0,
             cache: Arc::new(DesignCache::new()),
         }
     }
@@ -64,8 +73,16 @@ impl ExperimentContext {
             },
             suite_scale: SuiteScale(1.0 / 64.0),
             search_budget: 60,
+            threads: 0,
             cache: Arc::new(DesignCache::new()),
         }
+    }
+
+    /// Sets the candidate-evaluation worker-thread override (see
+    /// [`ExperimentContext::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     fn search_config(&self) -> SearchConfig {
@@ -73,6 +90,7 @@ impl ExperimentContext {
             device: self.device.clone(),
             max_iterations: self.search_budget,
             mutations_per_seed: 3,
+            threads: self.threads,
             ..SearchConfig::default()
         }
     }
@@ -456,6 +474,61 @@ pub struct BenchRecord {
     pub cache_hit_rate: f64,
     /// Host wall-clock seconds of the search (0 for baselines).
     pub wall_secs: f64,
+    /// The `--threads` override this run was configured with (0 = one per
+    /// available core, the default).
+    pub threads: usize,
+    /// Median of the native timing harness's trials in microseconds;
+    /// `None` for simulated records.  With `measured_stddev_us`, the
+    /// record's noise next to its min-of-N `measured_gflops`.
+    pub measured_median_us: Option<f64>,
+    /// Standard deviation of the native timing harness's trials in
+    /// microseconds; `None` for simulated records.
+    pub measured_stddev_us: Option<f64>,
+    /// Latency percentiles + throughput, for serve-bench records only.
+    pub latency: Option<LatencySummary>,
+}
+
+/// Throughput and tail-latency summary of one closed-loop load test (the
+/// `reproduce -- serve` records).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// 50th-percentile request latency in microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile request latency in microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile request latency in microseconds.
+    pub p99_us: f64,
+    /// Completed requests per wall-clock second over the whole run.
+    pub requests_per_sec: f64,
+}
+
+impl LatencySummary {
+    /// Summarises a sample of request latencies (microseconds) measured
+    /// over `wall_secs` of closed-loop load.
+    pub fn from_samples(samples_us: &[f64], wall_secs: f64) -> Self {
+        let mut sorted = samples_us.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        LatencySummary {
+            p50_us: percentile(&sorted, 50.0),
+            p95_us: percentile(&sorted, 95.0),
+            p99_us: percentile(&sorted, 99.0),
+            requests_per_sec: if wall_secs > 0.0 {
+                samples_us.len() as f64 / wall_secs
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Nearest-rank percentile of an already **sorted** sample (0 for an empty
+/// one).
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 impl BenchRecord {
@@ -477,6 +550,10 @@ impl BenchRecord {
             search_iterations: outcome.stats.iterations,
             cache_hit_rate: outcome.stats.cache_hit_rate(),
             wall_secs,
+            threads: 0,
+            measured_median_us: None,
+            measured_stddev_us: None,
+            latency: None,
         }
     }
 
@@ -492,6 +569,10 @@ impl BenchRecord {
             search_iterations: result.alphasparse.stats.iterations,
             cache_hit_rate: result.alphasparse.stats.cache_hit_rate(),
             wall_secs: result.search_wall_secs,
+            threads: 0,
+            measured_median_us: None,
+            measured_stddev_us: None,
+            latency: None,
         }
     }
 
@@ -515,6 +596,10 @@ impl BenchRecord {
             search_iterations,
             cache_hit_rate,
             wall_secs,
+            threads: 0,
+            measured_median_us: Some(report.median_us),
+            measured_stddev_us: Some(report.stddev_us),
+            latency: None,
         }
     }
 }
@@ -543,6 +628,10 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+fn json_opt_f64(v: Option<f64>) -> String {
+    v.map(json_f64).unwrap_or_else(|| "null".to_string())
+}
+
 /// Serialises the records as a JSON array (pretty-printed, stable field
 /// order; no external JSON crate needed).
 pub fn results_to_json(records: &[BenchRecord]) -> String {
@@ -552,18 +641,25 @@ pub fn results_to_json(records: &[BenchRecord]) -> String {
             "  {{\"device\": \"{}\", \"matrix\": \"{}\", \"format\": \"{}\", \
              \"gflops\": {}, \"measured_gflops\": {}, \"evaluator\": \"{}\", \
              \"search_iterations\": {}, \"cache_hit_rate\": {}, \
-             \"wall_secs\": {}}}{}\n",
+             \"wall_secs\": {}, \"threads\": {}, \"measured_median_us\": {}, \
+             \"measured_stddev_us\": {}, \"p50_us\": {}, \"p95_us\": {}, \
+             \"p99_us\": {}, \"requests_per_sec\": {}}}{}\n",
             json_escape(&r.device),
             json_escape(&r.matrix),
             json_escape(&r.format),
             json_f64(r.gflops),
-            r.measured_gflops
-                .map(json_f64)
-                .unwrap_or_else(|| "null".to_string()),
+            json_opt_f64(r.measured_gflops),
             json_escape(&r.evaluator),
             r.search_iterations,
             json_f64(r.cache_hit_rate),
             json_f64(r.wall_secs),
+            r.threads,
+            json_opt_f64(r.measured_median_us),
+            json_opt_f64(r.measured_stddev_us),
+            json_opt_f64(r.latency.map(|l| l.p50_us)),
+            json_opt_f64(r.latency.map(|l| l.p95_us)),
+            json_opt_f64(r.latency.map(|l| l.p99_us)),
+            json_opt_f64(r.latency.map(|l| l.requests_per_sec)),
             if i + 1 < records.len() { "," } else { "" },
         ));
     }
@@ -631,6 +727,7 @@ pub fn warm_vs_cold(
     store_dir: &std::path::Path,
     fleet_size: usize,
     search_budget: usize,
+    threads: usize,
 ) -> Result<WarmComparison, String> {
     use alpha_serve::{DesignStore, TuneRequest, TuningService};
 
@@ -646,6 +743,7 @@ pub fn warm_vs_cold(
         device: device.clone(),
         max_iterations: search_budget,
         mutations_per_seed: 3,
+        threads,
         ..SearchConfig::default()
     };
 
@@ -696,6 +794,9 @@ pub struct NativeModeConfig {
     pub budget: usize,
     /// Timing harness for both the search and the final measurements.
     pub harness: alpha_cpu::TimingHarness,
+    /// Worker threads each measured kernel runs with (0 = one per available
+    /// core); the `--threads` CLI override lands here.
+    pub kernel_threads: usize,
 }
 
 impl Default for NativeModeConfig {
@@ -706,6 +807,7 @@ impl Default for NativeModeConfig {
             avg_row_len: 8,
             budget: 80,
             harness: alpha_cpu::TimingHarness::default(),
+            kernel_threads: 0,
         }
     }
 }
@@ -719,6 +821,7 @@ impl NativeModeConfig {
             avg_row_len: 6,
             budget: 6,
             harness: alpha_cpu::TimingHarness::quick(),
+            kernel_threads: 0,
         }
     }
 }
@@ -773,11 +876,11 @@ pub fn native_mode(config: NativeModeConfig) -> Result<Vec<NativeMatrixResult>, 
             ..SearchConfig::default()
         };
         let tuner = AlphaSparse::with_config(search_config)
-            .with_native_execution_harness(config.harness, 0);
+            .with_native_execution_harness(config.harness, config.kernel_threads);
         let start = Instant::now();
         let tuned = tuner.auto_tune(&matrix)?;
         let wall_secs = start.elapsed().as_secs_f64();
-        let measured = tuned.measure(config.harness, 0)?;
+        let measured = tuned.measure(config.harness, config.kernel_threads)?;
         let generated = BenchRecord::measured(
             &name,
             &tuned.operator_graph(),
@@ -791,7 +894,7 @@ pub fn native_mode(config: NativeModeConfig) -> Result<Vec<NativeMatrixResult>, 
         let mut baselines = Vec::new();
         for baseline in alpha_baselines::native_set() {
             let kernel = alpha_baselines::NativeBaselineKernel::new(baseline, &matrix)?;
-            let report = kernel.measure(config.harness, x.as_slice(), 0)?;
+            let report = kernel.measure(config.harness, x.as_slice(), config.kernel_threads)?;
             baselines.push(BenchRecord::measured(
                 &name,
                 baseline.name(),
@@ -814,20 +917,64 @@ pub fn native_mode(config: NativeModeConfig) -> Result<Vec<NativeMatrixResult>, 
 // Mode parsing for the `reproduce` binary
 // ---------------------------------------------------------------------------
 
-/// Every mode `reproduce` understands.  `warm` and `native` are opt-in only
-/// (not part of `all`): they benchmark this repo's serving and native layers
-/// rather than a figure of the paper.
+/// Every mode `reproduce` understands.  `warm`, `native` and `serve` are
+/// opt-in only (not part of `all`): they benchmark this repo's serving and
+/// native layers rather than a figure of the paper.
 pub const KNOWN_MODES: &[&str] = &[
     "all", "fig2", "fig9a", "fig9b", "fig10", "fig11", "fig12", "fig13", "table3", "fig14", "warm",
-    "native",
+    "native", "serve",
 ];
 
 /// The modes excluded from `all` (see [`KNOWN_MODES`]).
-const OPT_IN_MODES: &[&str] = &["warm", "native"];
+const OPT_IN_MODES: &[&str] = &["warm", "native", "serve"];
 
-/// Normalises and validates the `reproduce` command line.  No arguments
-/// means `all`; an unknown mode is an error whose message lists every known
-/// mode (the binary prints it and exits non-zero).
+/// The parsed `reproduce` command line: the mode list plus the flags that
+/// apply across modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchCli {
+    /// Validated, lower-cased modes (defaults to `["all"]`).
+    pub modes: Vec<String>,
+    /// Worker-thread override (`--threads N`); 0 = one per available core.
+    /// Flows into `SearchConfig::threads` for every mode and is recorded in
+    /// every `BenchRecord`.
+    pub threads: usize,
+}
+
+/// Parses the full `reproduce` command line: `--threads N` / `--threads=N`
+/// flags anywhere, every other argument a mode.
+pub fn parse_cli(args: &[String]) -> Result<BenchCli, String> {
+    let mut modes = Vec::new();
+    let mut threads = 0usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(value) = arg.strip_prefix("--threads=") {
+            threads = parse_threads(value)?;
+        } else if arg == "--threads" {
+            let value = iter
+                .next()
+                .ok_or_else(|| "--threads requires a value (0 = one per core)".to_string())?;
+            threads = parse_threads(value)?;
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag '{arg}'\nknown flags: --threads N"));
+        } else {
+            modes.push(arg.clone());
+        }
+    }
+    Ok(BenchCli {
+        modes: resolve_modes(&modes)?,
+        threads,
+    })
+}
+
+fn parse_threads(value: &str) -> Result<usize, String> {
+    value
+        .parse::<usize>()
+        .map_err(|_| format!("--threads expects a non-negative integer, got '{value}'"))
+}
+
+/// Normalises and validates the `reproduce` mode list.  No arguments means
+/// `all`; an unknown mode is an error whose message lists every known mode
+/// (the binary prints it and exits non-zero).
 pub fn resolve_modes(args: &[String]) -> Result<Vec<String>, String> {
     if args.is_empty() {
         return Ok(vec!["all".to_string()]);
@@ -855,6 +1002,7 @@ pub fn mode_selected(wanted: &[String], key: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use alpha_matrix::gen;
 
     fn tiny_context() -> ExperimentContext {
         ExperimentContext {
@@ -862,6 +1010,7 @@ mod tests {
             corpus: CorpusConfig::tiny(),
             suite_scale: SuiteScale(1.0 / 512.0),
             search_budget: 8,
+            threads: 0,
             cache: Arc::new(DesignCache::new()),
         }
     }
@@ -929,6 +1078,10 @@ mod tests {
                 search_iterations: 25,
                 cache_hit_rate: 0.5,
                 wall_secs: 1.25,
+                threads: 0,
+                measured_median_us: None,
+                measured_stddev_us: None,
+                latency: None,
             },
             BenchRecord {
                 device: "RTX2080".into(),
@@ -940,6 +1093,15 @@ mod tests {
                 search_iterations: 0,
                 cache_hit_rate: 0.0,
                 wall_secs: 0.0,
+                threads: 2,
+                measured_median_us: Some(70.5),
+                measured_stddev_us: Some(3.25),
+                latency: Some(LatencySummary {
+                    p50_us: 10.0,
+                    p95_us: 20.0,
+                    p99_us: 30.0,
+                    requests_per_sec: 123.0,
+                }),
             },
         ];
         let json = results_to_json(&records);
@@ -972,6 +1134,10 @@ mod tests {
             search_iterations: 1,
             cache_hit_rate: 0.0,
             wall_secs: 0.0,
+            threads: 0,
+            measured_median_us: None,
+            measured_stddev_us: None,
+            latency: None,
         }];
         write_results_json(&path, &records).expect("parents are created");
         assert!(path.is_file());
@@ -981,7 +1147,7 @@ mod tests {
     #[test]
     fn warm_pass_is_free_and_not_slower() {
         let dir = std::env::temp_dir().join(format!("alpha_bench_warm_{}", std::process::id()));
-        let cmp = warm_vs_cold(DeviceProfile::a100(), &dir, 3, 8).expect("comparison runs");
+        let cmp = warm_vs_cold(DeviceProfile::a100(), &dir, 3, 8, 0).expect("comparison runs");
         assert_eq!(cmp.fleet_size, 3);
         assert!(cmp.cold_fresh_evaluations > 0, "cold pass must search");
         assert_eq!(cmp.warm_fresh_evaluations, 0, "warm pass must be cached");
@@ -1005,6 +1171,40 @@ mod tests {
     }
 
     #[test]
+    fn cli_parses_threads_flag_in_both_spellings() {
+        let cli = parse_cli(&["fig2".into(), "--threads".into(), "4".into()]).unwrap();
+        assert_eq!(cli.modes, vec!["fig2".to_string()]);
+        assert_eq!(cli.threads, 4);
+        let cli = parse_cli(&["--threads=2".into(), "native".into(), "warm".into()]).unwrap();
+        assert_eq!(cli.modes, vec!["native".to_string(), "warm".to_string()]);
+        assert_eq!(cli.threads, 2);
+        // Default: all modes, auto threads.
+        let cli = parse_cli(&[]).unwrap();
+        assert_eq!(cli.modes, vec!["all".to_string()]);
+        assert_eq!(cli.threads, 0);
+        // Errors: missing/garbled value, unknown flag, unknown mode.
+        assert!(parse_cli(&["--threads".into()]).is_err());
+        assert!(parse_cli(&["--threads".into(), "many".into()]).is_err());
+        assert!(parse_cli(&["--frobnicate".into()]).is_err());
+        assert!(parse_cli(&["bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn threads_override_flows_into_search_configs_without_changing_winners() {
+        let base = tiny_context();
+        let pinned = tiny_context().with_threads(1);
+        assert_eq!(pinned.search_config().threads, 1);
+        assert_eq!(base.search_config().threads, 0);
+        // The engine's determinism guarantee, spot-checked end to end: the
+        // same search at different thread counts finds the same design.
+        let matrix = gen::powerlaw(256, 256, 6, 2.0, 7);
+        let a = base.search(&matrix, &base.search_config()).unwrap();
+        let b = pinned.search(&matrix, &pinned.search_config()).unwrap();
+        assert_eq!(a.best_graph, b.best_graph);
+        assert_eq!(a.best_report.gflops, b.best_report.gflops);
+    }
+
+    #[test]
     fn warm_and_native_dispatch_only_when_named() {
         // `all` covers the paper artifacts but not the opt-in modes...
         let all = resolve_modes(&[]).unwrap();
@@ -1012,6 +1212,10 @@ mod tests {
         assert!(mode_selected(&all, "table3"));
         assert!(!mode_selected(&all, "warm"));
         assert!(!mode_selected(&all, "native"));
+        assert!(!mode_selected(&all, "serve"));
+        let serve = resolve_modes(&["serve".into()]).unwrap();
+        assert!(mode_selected(&serve, "serve"));
+        assert!(!mode_selected(&serve, "fig9a"));
         // ...which run exactly when named.
         let native = resolve_modes(&["native".into()]).unwrap();
         assert!(mode_selected(&native, "native"));

@@ -1,0 +1,352 @@
+//! `reproduce -- serve`: a closed-loop load test of the `alpha-net` daemon.
+//!
+//! Spawns the daemon in-process on a loopback port, then drives it with a
+//! configurable number of closed-loop clients (each waits for its previous
+//! request before issuing the next — the classic closed-loop load model).
+//! Every client tunes its share of a matrix fleet over the wire and then
+//! hammers the finished kernels with remote SpMV requests.  The report
+//! carries throughput plus p50/p95/p99 latency for both request classes,
+//! which `reproduce` writes into `BENCH_results.json`; any failed request
+//! fails the whole run (the binary exits non-zero).
+
+use crate::{BenchRecord, LatencySummary};
+use alpha_matrix::CsrMatrix;
+use alpha_net::{Client, NetServer, ServerConfig};
+use alpha_search::SearchConfig;
+use alpha_serve::{DesignStore, TuningService};
+use std::time::{Duration, Instant};
+
+/// Configuration of one `reproduce -- serve` run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeLoadConfig {
+    /// Matrices in the fleet (pattern families cycle).
+    pub fleet_size: usize,
+    /// Rows (= columns) of each matrix.
+    pub rows: usize,
+    /// Average row length of each matrix.
+    pub avg_row_len: usize,
+    /// Search budget per tune job.
+    pub budget: usize,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Remote SpMV requests per finished tune job.
+    pub spmv_per_job: usize,
+    /// Daemon admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Daemon tuning workers (0 = auto).
+    pub workers: usize,
+    /// `SearchConfig::threads` for the daemon's searches (the `--threads`
+    /// override; 0 = auto).
+    pub threads: usize,
+}
+
+impl Default for ServeLoadConfig {
+    fn default() -> Self {
+        ServeLoadConfig {
+            fleet_size: 24,
+            rows: 2_048,
+            avg_row_len: 8,
+            budget: 30,
+            clients: 4,
+            spmv_per_job: 8,
+            queue_capacity: 16,
+            workers: 0,
+            threads: 0,
+        }
+    }
+}
+
+impl ServeLoadConfig {
+    /// Tiny scale for tests.
+    pub fn tiny() -> Self {
+        ServeLoadConfig {
+            fleet_size: 4,
+            rows: 256,
+            avg_row_len: 5,
+            budget: 6,
+            clients: 2,
+            spmv_per_job: 2,
+            queue_capacity: 4,
+            workers: 2,
+            threads: 0,
+        }
+    }
+}
+
+/// The measurements of one closed-loop load run.
+#[derive(Debug, Clone)]
+pub struct ServeLoadReport {
+    /// The run's configuration.
+    pub config: ServeLoadConfig,
+    /// Wall-clock seconds the whole load took (daemon spawn to last reply).
+    pub wall_secs: f64,
+    /// Per-request tune latencies in microseconds (submit → job done,
+    /// including queueing — what a closed-loop caller experiences).
+    pub tune_latencies_us: Vec<f64>,
+    /// Per-request remote SpMV round-trip latencies in microseconds.
+    pub spmv_latencies_us: Vec<f64>,
+    /// Submissions that hit [`Busy`](alpha_net::Response::Busy)
+    /// backpressure before being admitted on retry.
+    pub backpressure_hits: u64,
+    /// Jobs served with zero fresh evaluations (warm-store hits).
+    pub store_served_jobs: usize,
+}
+
+impl ServeLoadReport {
+    /// Throughput + tail latency of the tune request class.
+    pub fn tune_summary(&self) -> LatencySummary {
+        LatencySummary::from_samples(&self.tune_latencies_us, self.wall_secs)
+    }
+
+    /// Throughput + tail latency of the SpMV request class.
+    pub fn spmv_summary(&self) -> LatencySummary {
+        LatencySummary::from_samples(&self.spmv_latencies_us, self.wall_secs)
+    }
+
+    /// The `BENCH_results.json` records of this run: one per request class,
+    /// carrying percentiles and throughput in the latency columns.
+    pub fn records(&self) -> Vec<BenchRecord> {
+        let fleet = format!(
+            "serve_fleet{}x{}c_q{}",
+            self.config.fleet_size, self.config.clients, self.config.queue_capacity
+        );
+        let record = |format: &str, latency: LatencySummary, count: usize| BenchRecord {
+            device: "alpha-net".to_string(),
+            matrix: fleet.clone(),
+            format: format.to_string(),
+            gflops: 0.0,
+            measured_gflops: None,
+            evaluator: "simulated".to_string(),
+            search_iterations: count,
+            cache_hit_rate: 0.0,
+            wall_secs: self.wall_secs,
+            threads: self.config.threads,
+            measured_median_us: None,
+            measured_stddev_us: None,
+            latency: Some(latency),
+        };
+        vec![
+            record("tune", self.tune_summary(), self.tune_latencies_us.len()),
+            record("spmv", self.spmv_summary(), self.spmv_latencies_us.len()),
+        ]
+    }
+}
+
+struct ClientOutcome {
+    tune_latencies_us: Vec<f64>,
+    spmv_latencies_us: Vec<f64>,
+    backpressure_hits: u64,
+    store_served_jobs: usize,
+}
+
+/// One closed-loop client: tunes its share of the fleet, then runs SpMV
+/// against every finished kernel.  Any failed request aborts the client —
+/// and with it the whole run.
+fn drive_client(
+    addr: std::net::SocketAddr,
+    matrices: &[CsrMatrix],
+    spmv_per_job: usize,
+) -> Result<ClientOutcome, String> {
+    const DEADLINE: Duration = Duration::from_secs(3_600);
+    let mut client = Client::connect(addr).map_err(String::from)?;
+    let mut outcome = ClientOutcome {
+        tune_latencies_us: Vec::new(),
+        spmv_latencies_us: Vec::new(),
+        backpressure_hits: 0,
+        store_served_jobs: 0,
+    };
+    for matrix in matrices {
+        // Closed loop: submit (deadline-bounded backoff on Busy — a wedged
+        // daemon must fail the run, not hang it), wait for completion.
+        let start = Instant::now();
+        let (job, rejections) = client
+            .submit_tune_counting_backoff(matrix, "A100", Duration::from_millis(2), DEADLINE)
+            .map_err(|e| format!("submit failed: {e}"))?;
+        outcome.backpressure_hits += rejections;
+        let summary = client
+            .wait_job(job, Duration::from_millis(2), DEADLINE)
+            .map_err(|e| format!("tune job {job} failed: {e}"))?;
+        outcome
+            .tune_latencies_us
+            .push(start.elapsed().as_secs_f64() * 1e6);
+        outcome.store_served_jobs += (summary.fresh_evaluations == 0) as usize;
+
+        let x = vec![1.0; matrix.cols()];
+        for _ in 0..spmv_per_job {
+            let start = Instant::now();
+            let y = client
+                .spmv(job, &x)
+                .map_err(|e| format!("spmv on job {job} failed: {e}"))?;
+            outcome
+                .spmv_latencies_us
+                .push(start.elapsed().as_secs_f64() * 1e6);
+            if y.len() != matrix.rows() {
+                return Err(format!(
+                    "spmv on job {job} returned {} rows, expected {}",
+                    y.len(),
+                    matrix.rows()
+                ));
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+/// Runs the closed-loop load test end to end: spawn daemon, drive it with
+/// `config.clients` concurrent clients, shut it down cleanly, aggregate.
+pub fn serve_load(config: ServeLoadConfig) -> Result<ServeLoadReport, String> {
+    let store_dir = std::env::temp_dir().join(format!(
+        "alphasparse_serve_load_{}_{}",
+        std::process::id(),
+        config.fleet_size
+    ));
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let service = TuningService::new(
+        DesignStore::open(&store_dir).map_err(String::from)?,
+        SearchConfig {
+            max_iterations: config.budget,
+            mutations_per_seed: 3,
+            threads: config.threads,
+            ..SearchConfig::default()
+        },
+    );
+    let server = NetServer::spawn(
+        "127.0.0.1:0",
+        service,
+        ServerConfig {
+            queue_capacity: config.queue_capacity,
+            workers: config.workers,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(String::from)?;
+    let addr = server.local_addr();
+
+    let matrices: Vec<CsrMatrix> = (0..config.fleet_size)
+        .map(|i| {
+            let family = alpha_matrix::gen::PatternFamily::ALL
+                [i % alpha_matrix::gen::PatternFamily::ALL.len()];
+            family.generate(config.rows, config.avg_row_len, 20_000 + i as u64)
+        })
+        .collect();
+    let clients = config.clients.max(1);
+    let shares: Vec<&[CsrMatrix]> = matrices.chunks(matrices.len().div_ceil(clients)).collect();
+
+    let start = Instant::now();
+    let outcomes: Vec<Result<ClientOutcome, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shares
+            .iter()
+            .map(|share| scope.spawn(move || drive_client(addr, share, config.spmv_per_job)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("load client panicked".to_string()))
+            })
+            .collect()
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    // Stop the daemon before judging the outcomes, so a failed run still
+    // shuts down cleanly.
+    let shutdown = Client::connect(addr)
+        .and_then(|mut c| c.shutdown())
+        .map_err(String::from);
+    server.join();
+    let _ = std::fs::remove_dir_all(&store_dir);
+    shutdown?;
+
+    let mut report = ServeLoadReport {
+        config,
+        wall_secs,
+        tune_latencies_us: Vec::new(),
+        spmv_latencies_us: Vec::new(),
+        backpressure_hits: 0,
+        store_served_jobs: 0,
+    };
+    for outcome in outcomes {
+        let outcome = outcome?;
+        report.tune_latencies_us.extend(outcome.tune_latencies_us);
+        report.spmv_latencies_us.extend(outcome.spmv_latencies_us);
+        report.backpressure_hits += outcome.backpressure_hits;
+        report.store_served_jobs += outcome.store_served_jobs;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_load_measures_both_request_classes() {
+        let config = ServeLoadConfig::tiny();
+        let report = serve_load(config).expect("load run succeeds");
+        assert_eq!(report.tune_latencies_us.len(), config.fleet_size);
+        assert_eq!(
+            report.spmv_latencies_us.len(),
+            config.fleet_size * config.spmv_per_job
+        );
+        let tune = report.tune_summary();
+        assert!(tune.p50_us > 0.0);
+        assert!(tune.p50_us <= tune.p95_us && tune.p95_us <= tune.p99_us);
+        assert!(tune.requests_per_sec > 0.0);
+        let spmv = report.spmv_summary();
+        assert!(spmv.p50_us > 0.0 && spmv.requests_per_sec > 0.0);
+
+        let records = report.records();
+        assert_eq!(records.len(), 2);
+        for record in &records {
+            assert_eq!(record.device, "alpha-net");
+            let latency = record.latency.expect("serve records carry latency");
+            assert!(latency.p99_us >= latency.p50_us);
+        }
+        let json = crate::results_to_json(&records);
+        assert!(json.contains("\"p50_us\": "));
+        assert!(json.contains("\"requests_per_sec\": "));
+        assert!(!json.contains("\"p50_us\": null"));
+    }
+
+    #[test]
+    fn failed_requests_fail_the_run() {
+        // An empty matrix in the fleet makes its tune job fail server-side;
+        // the closed-loop driver must surface that as a run failure.
+        let config = ServeLoadConfig::tiny();
+        let store_dir = std::env::temp_dir().join(format!(
+            "alphasparse_serve_load_fail_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&store_dir);
+        let service = TuningService::new(
+            DesignStore::open(&store_dir).unwrap(),
+            SearchConfig {
+                max_iterations: config.budget,
+                ..SearchConfig::default()
+            },
+        );
+        let server = NetServer::spawn("127.0.0.1:0", service, ServerConfig::default()).unwrap();
+        let empty = CsrMatrix::from_coo(&alpha_matrix::CooMatrix::new(8, 8));
+        let result = drive_client(server.local_addr(), &[empty], 1);
+        assert!(result.is_err(), "failed tune must fail the client loop");
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.shutdown().unwrap();
+        server.join();
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(crate::percentile(&sorted, 50.0), 50.0);
+        assert_eq!(crate::percentile(&sorted, 95.0), 95.0);
+        assert_eq!(crate::percentile(&sorted, 99.0), 99.0);
+        assert_eq!(crate::percentile(&sorted, 100.0), 100.0);
+        assert_eq!(crate::percentile(&[], 50.0), 0.0);
+        assert_eq!(crate::percentile(&[7.5], 99.0), 7.5);
+        let summary = LatencySummary::from_samples(&[3.0, 1.0, 2.0], 2.0);
+        assert_eq!(summary.p50_us, 2.0);
+        assert_eq!(summary.requests_per_sec, 1.5);
+    }
+}

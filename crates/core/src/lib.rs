@@ -60,6 +60,15 @@ use std::sync::Arc;
 /// [`AlphaSparse::with_store`] the cache additionally survives process
 /// restarts.
 ///
+/// This type is the *in-process* entry point.  To reach the same pipeline
+/// over a socket — submit a matrix from another process or machine, poll
+/// the tuning job, run the machine-designed SpMV remotely — run the
+/// `alpha-net` daemon (`NetServer`) over an `alpha-serve` `TuningService`
+/// and connect with its typed `Client`; every daemon job flows through the
+/// same search, cache and store machinery this type uses, so a fleet tuned
+/// remotely warms the store for everyone (see `examples/netd.rs` and the
+/// serving-tier section of ARCHITECTURE.md).
+///
 /// The README quickstart, as a tested example:
 ///
 /// ```

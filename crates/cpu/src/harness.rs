@@ -65,21 +65,38 @@ impl TimingHarness {
             f();
         }
         let runs = self.runs.max(1);
-        let mut min_us = f64::INFINITY;
-        let mut max_us: f64 = 0.0;
-        let mut total_us = 0.0;
+        let mut samples_us = Vec::with_capacity(runs as usize);
         for _ in 0..runs {
             let start = Instant::now();
             f();
-            let us = start.elapsed().as_secs_f64() * 1e6;
-            min_us = min_us.min(us);
-            max_us = max_us.max(us);
-            total_us += us;
+            samples_us.push(start.elapsed().as_secs_f64() * 1e6);
         }
+        // Every statistic below is order-independent, so the samples are
+        // sorted in place (no second buffer).
+        samples_us.sort_by(f64::total_cmp);
+        let min_us = samples_us[0];
+        let max_us = *samples_us.last().expect("runs >= 1");
+        let mean_us = samples_us.iter().sum::<f64>() / runs as f64;
+        let median_us = if samples_us.len() % 2 == 1 {
+            samples_us[samples_us.len() / 2]
+        } else {
+            (samples_us[samples_us.len() / 2 - 1] + samples_us[samples_us.len() / 2]) / 2.0
+        };
+        // Population standard deviation of the trials: the harness reports
+        // the dispersion of *these* runs, not an estimate of a wider
+        // population (0 for a single run, by construction).
+        let stddev_us = (samples_us
+            .iter()
+            .map(|&us| (us - mean_us) * (us - mean_us))
+            .sum::<f64>()
+            / runs as f64)
+            .sqrt();
         MeasuredReport {
             min_us,
-            mean_us: total_us / runs as f64,
+            mean_us,
+            median_us,
             max_us,
+            stddev_us,
             warmup: self.warmup,
             runs,
             useful_flops,
@@ -119,8 +136,15 @@ pub struct MeasuredReport {
     pub min_us: f64,
     /// Mean of the timed executions in microseconds.
     pub mean_us: f64,
+    /// Median of the timed executions in microseconds — with
+    /// [`MeasuredReport::stddev_us`], the sample-spread view that lets
+    /// benches report their noise instead of only min-of-N.
+    pub median_us: f64,
     /// Slowest timed execution in microseconds.
     pub max_us: f64,
+    /// Population standard deviation of the timed executions in
+    /// microseconds (0 when only one run was timed).
+    pub stddev_us: f64,
     /// Warmup executions that were discarded.
     pub warmup: u32,
     /// Timed executions.
@@ -146,11 +170,23 @@ impl MeasuredReport {
         )
     }
 
+    /// Relative sample spread: standard deviation over median (0 when the
+    /// median is 0).  A quick "how noisy was this measurement" number —
+    /// values above ~0.3 mean the min-of-N estimate should be read with
+    /// suspicion.
+    pub fn noise(&self) -> f64 {
+        if self.median_us > 0.0 {
+            self.stddev_us / self.median_us
+        } else {
+            0.0
+        }
+    }
+
     /// One-line human-readable summary for harness output.
     pub fn summary(&self) -> String {
         format!(
-            "{:>8.2} GFLOPS  {:>9.1} us min ({:.1} mean, {} run(s), {} thread(s))",
-            self.gflops, self.min_us, self.mean_us, self.runs, self.threads
+            "{:>8.2} GFLOPS  {:>9.1} us min ({:.1} median ± {:.1}, {} run(s), {} thread(s))",
+            self.gflops, self.min_us, self.median_us, self.stddev_us, self.runs, self.threads
         )
     }
 }
@@ -175,7 +211,39 @@ mod tests {
         assert_eq!(report.warmup, 3);
         assert!(report.min_us <= report.mean_us);
         assert!(report.mean_us <= report.max_us);
+        assert!(report.min_us <= report.median_us && report.median_us <= report.max_us);
+        assert!(report.stddev_us >= 0.0);
+        assert!(report.noise() >= 0.0);
         assert!(report.gflops >= 0.0);
+    }
+
+    #[test]
+    fn single_run_spread_is_degenerate() {
+        let report = TimingHarness::quick().measure(10, 1, || {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        });
+        assert_eq!(report.runs, 1);
+        assert_eq!(report.min_us, report.median_us);
+        assert_eq!(report.median_us, report.max_us);
+        assert_eq!(report.stddev_us, 0.0, "one sample has no spread");
+        assert_eq!(report.noise(), 0.0);
+    }
+
+    #[test]
+    fn spread_statistics_describe_the_samples() {
+        // Deterministic, distinguishable "executions": sleep i*100 us on the
+        // i-th run so min/median/max/stddev have known ordering.
+        let run = std::sync::atomic::AtomicU64::new(0);
+        let report = TimingHarness { warmup: 0, runs: 3 }.measure(10, 1, || {
+            let i = run.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(std::time::Duration::from_micros(100 + 400 * i));
+        });
+        // Samples ≈ {100, 500, 900} us (plus scheduler noise, all upward).
+        assert!(report.min_us >= 100.0 && report.min_us < 450.0);
+        assert!(report.median_us > report.min_us);
+        assert!(report.max_us > report.median_us);
+        assert!(report.stddev_us > 0.0, "distinct samples must show spread");
+        assert!(report.summary().contains('±'));
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! The typed `alpha-net` client: one TCP connection, blocking
+//! request/response calls, typed errors.
+
+use crate::proto::{
+    decode_response, encode_request, read_frame, write_frame, ErrorKind, JobState, JobSummary,
+    ProtoError, Request, Response, ServerStats,
+};
+use alpha_matrix::{CsrMatrix, Scalar};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum NetError {
+    /// The wire itself failed (I/O, framing, decoding).
+    Proto(ProtoError),
+    /// The daemon answered with a typed error.
+    Server {
+        /// Machine-readable classification.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Admission control rejected the submission — the job queue is full.
+    /// Nothing was enqueued; back off and retry.
+    Busy {
+        /// The daemon's queue bound, for sizing the backoff.
+        queue_capacity: u64,
+    },
+    /// The awaited job finished in failure.
+    JobFailed {
+        /// The failed job.
+        job_id: u64,
+        /// The server-side error.
+        error: String,
+    },
+    /// The daemon sent a response that does not answer the request.
+    UnexpectedResponse(String),
+    /// [`Client::wait_job`] exceeded its deadline.
+    Timeout {
+        /// The job still pending when the deadline passed.
+        job_id: u64,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Proto(e) => write!(f, "{e}"),
+            NetError::Server { kind, message } => write!(f, "server error [{kind}]: {message}"),
+            NetError::Busy { queue_capacity } => write!(
+                f,
+                "daemon is busy (job queue of {queue_capacity} is full); retry later"
+            ),
+            NetError::JobFailed { job_id, error } => write!(f, "job {job_id} failed: {error}"),
+            NetError::UnexpectedResponse(what) => {
+                write!(f, "daemon sent an unexpected response: {what}")
+            }
+            NetError::Timeout { job_id } => write!(f, "timed out waiting for job {job_id}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Proto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProtoError> for NetError {
+    fn from(e: ProtoError) -> Self {
+        NetError::Proto(e)
+    }
+}
+
+impl From<NetError> for String {
+    fn from(e: NetError) -> Self {
+        e.to_string()
+    }
+}
+
+/// A blocking client for one `alpha-net` daemon.
+///
+/// Each client owns one TCP connection and issues one request at a time;
+/// spin up several clients for concurrency (the daemon serves every
+/// connection on its own thread).
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, NetError> {
+        let stream = TcpStream::connect(addr).map_err(ProtoError::from)?;
+        stream.set_nodelay(true).map_err(ProtoError::from)?;
+        Ok(Client { stream })
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, NetError> {
+        write_frame(&mut self.stream, &encode_request(request))?;
+        let payload = read_frame(&mut self.stream)?;
+        let response = decode_response(&payload)?;
+        match response {
+            Response::Error { kind, message } => Err(NetError::Server { kind, message }),
+            other => Ok(other),
+        }
+    }
+
+    /// Submits `matrix` for tuning on the named device, returning the job
+    /// id.  A full queue is [`NetError::Busy`] — nothing was enqueued.
+    pub fn submit_tune(&mut self, matrix: &CsrMatrix, device: &str) -> Result<u64, NetError> {
+        match self.roundtrip(&Request::SubmitTune {
+            matrix: matrix.clone(),
+            device: device.to_string(),
+        })? {
+            Response::Submitted { job_id } => Ok(job_id),
+            Response::Busy { queue_capacity } => Err(NetError::Busy { queue_capacity }),
+            other => Err(NetError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// [`Client::submit_tune`] with bounded retry on backpressure: sleeps
+    /// `backoff` between attempts until the daemon admits the job or
+    /// `deadline` elapses.  Every other error is returned immediately.
+    pub fn submit_tune_with_backoff(
+        &mut self,
+        matrix: &CsrMatrix,
+        device: &str,
+        backoff: Duration,
+        deadline: Duration,
+    ) -> Result<u64, NetError> {
+        self.submit_tune_counting_backoff(matrix, device, backoff, deadline)
+            .map(|(job_id, _)| job_id)
+    }
+
+    /// [`Client::submit_tune_with_backoff`], additionally reporting how
+    /// many [`NetError::Busy`] rejections were absorbed before admission —
+    /// the backpressure signal a load generator wants to record.
+    pub fn submit_tune_counting_backoff(
+        &mut self,
+        matrix: &CsrMatrix,
+        device: &str,
+        backoff: Duration,
+        deadline: Duration,
+    ) -> Result<(u64, u64), NetError> {
+        let start = Instant::now();
+        let mut rejections = 0u64;
+        loop {
+            match self.submit_tune(matrix, device) {
+                Ok(job_id) => return Ok((job_id, rejections)),
+                Err(NetError::Busy { queue_capacity }) => {
+                    rejections += 1;
+                    if start.elapsed() >= deadline {
+                        return Err(NetError::Busy { queue_capacity });
+                    }
+                    std::thread::sleep(backoff);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Asks for a job's current state.
+    pub fn poll_job(&mut self, job_id: u64) -> Result<JobState, NetError> {
+        match self.roundtrip(&Request::PollJob { job_id })? {
+            Response::Status {
+                job_id: answered,
+                state,
+            } if answered == job_id => Ok(state),
+            other => Err(NetError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Polls `job_id` every `poll_interval` until it is terminal, then
+    /// returns its summary.  A failed job is [`NetError::JobFailed`]; a job
+    /// the daemon no longer knows is an [`ErrorKind::UnknownJob`] server
+    /// error; exceeding `deadline` is [`NetError::Timeout`].
+    pub fn wait_job(
+        &mut self,
+        job_id: u64,
+        poll_interval: Duration,
+        deadline: Duration,
+    ) -> Result<JobSummary, NetError> {
+        let start = Instant::now();
+        loop {
+            match self.poll_job(job_id)? {
+                JobState::Done(summary) => return Ok(summary),
+                JobState::Failed { error } => return Err(NetError::JobFailed { job_id, error }),
+                JobState::Unknown => {
+                    return Err(NetError::Server {
+                        kind: ErrorKind::UnknownJob,
+                        message: format!("job {job_id} is unknown to the daemon"),
+                    });
+                }
+                JobState::Queued | JobState::Running => {
+                    if start.elapsed() >= deadline {
+                        return Err(NetError::Timeout { job_id });
+                    }
+                    std::thread::sleep(poll_interval);
+                }
+            }
+        }
+    }
+
+    /// Runs `y = A·x` remotely with a finished job's tuned kernel.
+    pub fn spmv(&mut self, job_id: u64, x: &[Scalar]) -> Result<Vec<Scalar>, NetError> {
+        match self.roundtrip(&Request::Spmv {
+            job_id,
+            x: x.to_vec(),
+        })? {
+            Response::SpmvResult { y } => Ok(y),
+            other => Err(NetError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the daemon's store and job-table counters.
+    pub fn store_stats(&mut self) -> Result<ServerStats, NetError> {
+        match self.roundtrip(&Request::StoreStats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(NetError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Asks the daemon to shut down cleanly.  Returns once the daemon
+    /// acknowledged; pair with
+    /// [`NetServer::join`](crate::NetServer::join) on the hosting side.
+    pub fn shutdown(&mut self) -> Result<(), NetError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(NetError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("peer", &self.stream.peer_addr().ok())
+            .finish()
+    }
+}

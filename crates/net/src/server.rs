@@ -1,0 +1,574 @@
+//! The `alpha-net` daemon: a TCP server that puts the whole tuning pipeline
+//! behind a socket.
+//!
+//! ```text
+//!            accept loop (1 thread)
+//!   TCP ───▶ connection threads ──try_push──▶ bounded job queue
+//!                │    ▲                            │ pop
+//!                │    │ Busy (queue full)          ▼
+//!                │    └──────────────────   tuning worker pool
+//!                │                                 │
+//!                └── PollJob / Spmv ◀── job table ◀┘ (Done / Failed, GC'd)
+//! ```
+//!
+//! Admission control is strict: a full queue answers
+//! [`Response::Busy`](crate::proto::Response::Busy) immediately — the daemon
+//! never buffers unbounded work.  Tuning workers drain the queue into a
+//! shared [`TuningService`], so every job benefits from (and feeds) the same
+//! persistent warm [`DesignStore`](alpha_serve::DesignStore); finished jobs
+//! keep their [`TunedSpmv`] resident and serve
+//! [`Request::Spmv`](crate::proto::Request::Spmv) until their terminal
+//! record is garbage-collected.
+
+use crate::proto::{
+    decode_request, encode_response, read_frame, write_frame, ErrorKind, JobState, JobSummary,
+    ProtoError, Request, Response, ServerStats,
+};
+use crate::NetError;
+use alpha_gpu::DeviceProfile;
+use alpha_parallel::{PushError, TaskQueue};
+use alpha_serve::{TuneRequest, TuningService};
+use alphasparse::TunedSpmv;
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Resolves a wire device name to a device profile.  Matching is
+/// case-insensitive over the built-in profiles (`A100`, `RTX2080`,
+/// `TestGPU`).
+pub fn device_by_name(name: &str) -> Option<DeviceProfile> {
+    [
+        DeviceProfile::a100(),
+        DeviceProfile::rtx2080(),
+        DeviceProfile::test_profile(),
+    ]
+    .into_iter()
+    .find(|profile| profile.name.eq_ignore_ascii_case(name))
+}
+
+/// Tunables of one daemon instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Jobs the admission queue holds before new submissions are rejected
+    /// with backpressure.
+    pub queue_capacity: usize,
+    /// Tuning worker threads draining the queue (0 = one per available
+    /// core, capped at 4 — tuning saturates cores on its own).
+    pub workers: usize,
+    /// Terminal (done/failed) job records kept before the oldest are
+    /// garbage-collected.  GC'd jobs poll as
+    /// [`JobState::Unknown`](crate::proto::JobState::Unknown).
+    pub max_terminal_jobs: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_capacity: 64,
+            workers: 0,
+            max_terminal_jobs: 1024,
+        }
+    }
+}
+
+/// One job's lifecycle record in the in-memory table.
+enum Job {
+    Queued {
+        request: Box<TuneRequest>,
+    },
+    Running,
+    Done {
+        tuned: Arc<TunedSpmv>,
+        summary: JobSummary,
+    },
+    Failed {
+        error: String,
+    },
+}
+
+impl Job {
+    fn is_terminal(&self) -> bool {
+        matches!(self, Job::Done { .. } | Job::Failed { .. })
+    }
+}
+
+#[derive(Default)]
+struct JobTable {
+    next_id: u64,
+    jobs: HashMap<u64, Job>,
+    /// Terminal job ids, oldest first — the GC order.
+    terminal_order: VecDeque<u64>,
+}
+
+/// Lifetime counters (see [`ServerStats`]); the queue fields are sampled
+/// live.
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    gced: AtomicU64,
+}
+
+struct Shared {
+    service: Arc<TuningService>,
+    config: ServerConfig,
+    jobs: Mutex<JobTable>,
+    queue: TaskQueue<u64>,
+    counters: Counters,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        let store = self.service.store_stats();
+        ServerStats {
+            store_memory_hits: store.memory_hits as u64,
+            store_disk_loads: store.disk_loads as u64,
+            store_cold_starts: store.cold_starts as u64,
+            store_evictions: store.evictions as u64,
+            jobs_submitted: self.counters.submitted.load(Ordering::Relaxed),
+            jobs_rejected: self.counters.rejected.load(Ordering::Relaxed),
+            jobs_completed: self.counters.completed.load(Ordering::Relaxed),
+            jobs_failed: self.counters.failed.load(Ordering::Relaxed),
+            jobs_gced: self.counters.gced.load(Ordering::Relaxed),
+            queue_depth: self.queue.len() as u64,
+            queue_capacity: self.queue.capacity() as u64,
+        }
+    }
+
+    /// Marks a job terminal and garbage-collects the oldest terminal
+    /// records beyond the configured bound.
+    fn finish_job(&self, job_id: u64, outcome: Job) {
+        debug_assert!(outcome.is_terminal());
+        let mut table = self.jobs.lock().expect("job table poisoned");
+        match &outcome {
+            Job::Done { .. } => self.counters.completed.fetch_add(1, Ordering::Relaxed),
+            _ => self.counters.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        table.jobs.insert(job_id, outcome);
+        table.terminal_order.push_back(job_id);
+        while table.terminal_order.len() > self.config.max_terminal_jobs {
+            let oldest = table.terminal_order.pop_front().expect("len checked");
+            table.jobs.remove(&oldest);
+            self.counters.gced.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A running daemon: the accept loop, its tuning worker pool, and the
+/// connection threads they spawn.
+///
+/// The server binds in [`NetServer::spawn`] and runs until a
+/// [`Request::Shutdown`] frame arrives (or [`NetServer::request_shutdown`]
+/// is called locally); [`NetServer::join`] then reaps every thread for a
+/// clean exit.  Connect clients to [`NetServer::local_addr`].
+pub struct NetServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    connection_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop and the tuning worker pool over `service`.
+    pub fn spawn<A: ToSocketAddrs>(
+        addr: A,
+        service: TuningService,
+        config: ServerConfig,
+    ) -> Result<NetServer, NetError> {
+        let listener = TcpListener::bind(addr).map_err(|e| NetError::Proto(e.into()))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| NetError::Proto(e.into()))?;
+        let shared = Arc::new(Shared {
+            service: Arc::new(service),
+            config,
+            jobs: Mutex::new(JobTable::default()),
+            queue: TaskQueue::bounded(config.queue_capacity),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let worker_count = if config.workers == 0 {
+            alpha_parallel::default_threads().min(4)
+        } else {
+            config.workers
+        };
+        let mut worker_handles = Vec::with_capacity(worker_count);
+        for worker in 0..worker_count {
+            let shared = shared.clone();
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("alpha-net-worker-{worker}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("worker thread spawns"),
+            );
+        }
+
+        let connection_handles = Arc::new(Mutex::new(Vec::new()));
+        let accept_handle = {
+            let shared = shared.clone();
+            let connection_handles = connection_handles.clone();
+            std::thread::Builder::new()
+                .name("alpha-net-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared, &connection_handles))
+                .expect("accept thread spawns")
+        };
+
+        Ok(NetServer {
+            addr: local,
+            shared,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+            connection_handles,
+        })
+    }
+
+    /// The address the daemon is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live daemon counters (the same snapshot a
+    /// [`Request::StoreStats`] frame returns).
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Initiates shutdown from the hosting process, exactly as a
+    /// [`Request::Shutdown`] frame would: stop admitting, drain the queue,
+    /// wake the accept loop.
+    pub fn request_shutdown(&self) {
+        initiate_shutdown(&self.shared, self.addr);
+    }
+
+    /// Waits for the daemon to finish shutting down: the accept loop, every
+    /// connection thread and every tuning worker.  Call after a shutdown
+    /// was requested (by a client frame or
+    /// [`NetServer::request_shutdown`]); the in-flight jobs still queued at
+    /// shutdown are completed, not dropped.
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // The accept loop has exited, so no new connection threads appear.
+        let connections = std::mem::take(
+            &mut *self
+                .connection_handles
+                .lock()
+                .expect("connection registry poisoned"),
+        );
+        for handle in connections {
+            let _ = handle.join();
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("addr", &self.addr)
+            .field("workers", &self.worker_handles.len())
+            .field("stats", &self.shared.stats())
+            .finish()
+    }
+}
+
+/// Flags the daemon as shutting down, closes the queue (workers drain and
+/// exit) and pokes the accept loop awake with a throwaway connection.
+fn initiate_shutdown(shared: &Shared, addr: SocketAddr) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return; // Already shutting down.
+    }
+    shared.queue.close();
+    // The accept loop blocks in `incoming()`; a loopback connection makes it
+    // re-check the flag.  Failure is fine — the listener may already be gone.
+    let _ = TcpStream::connect(addr);
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    connection_handles: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = shared.clone();
+        // Under resource exhaustion (thread limits), shed the connection
+        // instead of panicking the accept loop: dropping the stream closes
+        // it, and the daemon keeps accepting once pressure eases.
+        let spawned = std::thread::Builder::new()
+            .name("alpha-net-conn".to_string())
+            .spawn(move || connection_loop(stream, &shared));
+        let Ok(handle) = spawned else { continue };
+        let mut registry = connection_handles
+            .lock()
+            .expect("connection registry poisoned");
+        // Reap threads of already-closed connections on every accept, so a
+        // long-lived daemon's registry tracks *live* sessions instead of
+        // growing with every connection ever served.
+        let mut i = 0;
+        while i < registry.len() {
+            if registry[i].is_finished() {
+                let _ = registry.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+        registry.push(handle);
+    }
+}
+
+/// One tuning worker: drains job ids from the queue until it is closed and
+/// empty, tuning each through the shared service.
+fn worker_loop(shared: &Shared) {
+    while let Some(job_id) = shared.queue.pop() {
+        let request = {
+            let mut table = shared.jobs.lock().expect("job table poisoned");
+            match table.jobs.insert(job_id, Job::Running) {
+                Some(Job::Queued { request }) => request,
+                // The entry must exist and be queued — submission inserted
+                // it before pushing the id.  Anything else is a logic bug;
+                // recover by dropping the phantom id.
+                _ => {
+                    table.jobs.remove(&job_id);
+                    continue;
+                }
+            }
+        };
+        let mut served = shared.service.tune_batch(&[*request]);
+        let outcome = match served.pop().expect("one request yields one result") {
+            Ok(tune) => Job::Done {
+                summary: JobSummary {
+                    gflops: tune.tuned.gflops(),
+                    operator_graph: tune.tuned.operator_graph(),
+                    fresh_evaluations: tune.fresh_evaluations as u64,
+                    warm_started: tune.warm_started,
+                    wall_secs: tune.wall_secs,
+                },
+                tuned: Arc::new(tune.tuned),
+            },
+            Err(error) => Job::Failed { error },
+        };
+        shared.finish_job(job_id, outcome);
+    }
+}
+
+/// Serves one client connection: a request/response loop over frames.
+/// Framing errors close the connection (after a best-effort typed error
+/// frame); payload-level errors answer typed errors and keep the session
+/// alive — the stream is still in sync.
+fn connection_loop(mut stream: TcpStream, shared: &Shared) {
+    // Nagle off: responses are complete frames, and letting them sit in the
+    // kernel waiting for a delayed ACK adds ~40 ms to every round trip.
+    let _ = stream.set_nodelay(true);
+    // The read timeout is the shutdown-poll period: an idle connection
+    // re-checks the flag this often, so `NetServer::join` never waits on a
+    // client that simply stopped talking.
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(100)));
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(payload) => payload,
+            Err(ProtoError::Closed) => return,
+            Err(ProtoError::Idle) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return; // Idle client during shutdown: close the session.
+                }
+                continue;
+            }
+            Err(e) => {
+                let _ = respond(
+                    &mut stream,
+                    &Response::Error {
+                        kind: ErrorKind::BadFrame,
+                        message: e.to_string(),
+                    },
+                );
+                return; // Framing is lost; the connection cannot continue.
+            }
+        };
+        let request = match decode_request(&payload) {
+            Ok(request) => request,
+            Err(e) => {
+                // The frame boundary held, so the session survives a bad
+                // payload.
+                if respond(
+                    &mut stream,
+                    &Response::Error {
+                        kind: ErrorKind::BadFrame,
+                        message: e.to_string(),
+                    },
+                )
+                .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+        };
+        let is_shutdown = matches!(request, Request::Shutdown);
+        if is_shutdown {
+            // The server side of this connection is the daemon's own
+            // address — exactly what the accept-loop poke needs.
+            if let Ok(addr) = stream.local_addr() {
+                initiate_shutdown(shared, addr);
+            }
+        }
+        let response = handle_request(shared, request);
+        if respond(&mut stream, &response).is_err() {
+            return;
+        }
+        if is_shutdown {
+            return;
+        }
+    }
+}
+
+fn respond(stream: &mut TcpStream, response: &Response) -> Result<(), ProtoError> {
+    write_frame(stream, &encode_response(response))
+}
+
+fn handle_request(shared: &Shared, request: Request) -> Response {
+    match request {
+        Request::SubmitTune { matrix, device } => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return Response::Error {
+                    kind: ErrorKind::ShuttingDown,
+                    message: "daemon is shutting down; no new work accepted".to_string(),
+                };
+            }
+            let Some(profile) = device_by_name(&device) else {
+                return Response::Error {
+                    kind: ErrorKind::UnknownDevice,
+                    message: format!("unknown device {device:?} (try A100, RTX2080 or TestGPU)"),
+                };
+            };
+            let request = TuneRequest::new(matrix, profile);
+            let job_id = {
+                let mut table = shared.jobs.lock().expect("job table poisoned");
+                let job_id = table.next_id;
+                table.next_id += 1;
+                table.jobs.insert(
+                    job_id,
+                    Job::Queued {
+                        request: Box::new(request),
+                    },
+                );
+                job_id
+            };
+            match shared.queue.try_push(job_id) {
+                Ok(()) => {
+                    shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                    Response::Submitted { job_id }
+                }
+                Err(push_error) => {
+                    // Admission failed: nothing must remain of the job.
+                    shared
+                        .jobs
+                        .lock()
+                        .expect("job table poisoned")
+                        .jobs
+                        .remove(&job_id);
+                    match push_error {
+                        PushError::Full(_) => {
+                            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                            Response::Busy {
+                                queue_capacity: shared.queue.capacity() as u64,
+                            }
+                        }
+                        PushError::Closed(_) => Response::Error {
+                            kind: ErrorKind::ShuttingDown,
+                            message: "daemon is shutting down; no new work accepted".to_string(),
+                        },
+                    }
+                }
+            }
+        }
+        Request::PollJob { job_id } => {
+            let table = shared.jobs.lock().expect("job table poisoned");
+            let state = match table.jobs.get(&job_id) {
+                None => JobState::Unknown,
+                Some(Job::Queued { .. }) => JobState::Queued,
+                Some(Job::Running) => JobState::Running,
+                Some(Job::Done { summary, .. }) => JobState::Done(summary.clone()),
+                Some(Job::Failed { error }) => JobState::Failed {
+                    error: error.clone(),
+                },
+            };
+            Response::Status { job_id, state }
+        }
+        Request::Spmv { job_id, x } => {
+            let tuned = {
+                let table = shared.jobs.lock().expect("job table poisoned");
+                match table.jobs.get(&job_id) {
+                    None => {
+                        return Response::Error {
+                            kind: ErrorKind::UnknownJob,
+                            message: format!(
+                                "job {job_id} was never issued or has been garbage-collected"
+                            ),
+                        };
+                    }
+                    Some(Job::Queued { .. }) | Some(Job::Running) => {
+                        return Response::Error {
+                            kind: ErrorKind::JobNotReady,
+                            message: format!("job {job_id} is still tuning; poll until Done"),
+                        };
+                    }
+                    Some(Job::Failed { error }) => {
+                        return Response::Error {
+                            kind: ErrorKind::JobNotReady,
+                            message: format!("job {job_id} failed: {error}"),
+                        };
+                    }
+                    Some(Job::Done { tuned, .. }) => tuned.clone(),
+                }
+            };
+            // The kernel runs outside the table lock: a long SpMV must not
+            // block submissions and polls.
+            match tuned.run(&x) {
+                Ok(y) => Response::SpmvResult { y },
+                Err(e) => Response::Error {
+                    kind: ErrorKind::InvalidInput,
+                    message: e,
+                },
+            }
+        }
+        Request::StoreStats => Response::Stats(shared.stats()),
+        // The state transition happened in the connection loop (it knows the
+        // daemon's address for the accept-loop poke); only the ack is left.
+        Request::Shutdown => Response::ShuttingDown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_names_resolve_case_insensitively() {
+        assert_eq!(device_by_name("a100").unwrap().name, "A100");
+        assert_eq!(device_by_name("RTX2080").unwrap().name, "RTX2080");
+        assert_eq!(device_by_name("testgpu").unwrap().name, "TestGPU");
+        assert!(device_by_name("H100").is_none());
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let config = ServerConfig::default();
+        assert!(config.queue_capacity > 0);
+        assert!(config.max_terminal_jobs > 0);
+    }
+}

@@ -1,0 +1,449 @@
+//! Daemon-level tests: protocol robustness against a live socket, admission
+//! control, job-table GC, cross-connection warm-store hits and clean
+//! shutdown.
+
+use alpha_matrix::gen;
+use alpha_net::proto::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response, MAX_FRAME_LEN,
+    NET_MAGIC, PROTOCOL_VERSION,
+};
+use alpha_net::{Client, ErrorKind, JobState, NetError, NetServer, ServerConfig};
+use alpha_serve::{DesignStore, TuningService};
+use alphasparse::SearchConfig;
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const POLL: Duration = Duration::from_millis(5);
+const DEADLINE: Duration = Duration::from_secs(120);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("alpha_net_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quick_daemon(dir: &PathBuf, config: ServerConfig) -> NetServer {
+    let service = TuningService::new(
+        DesignStore::open(dir).expect("store opens"),
+        SearchConfig {
+            max_iterations: 6,
+            mutations_per_seed: 2,
+            ..SearchConfig::default()
+        },
+    );
+    NetServer::spawn("127.0.0.1:0", service, config).expect("daemon binds")
+}
+
+fn stop(server: NetServer, dir: &PathBuf) {
+    let mut client = Client::connect(server.local_addr()).expect("connects for shutdown");
+    client.shutdown().expect("daemon acknowledges shutdown");
+    server.join();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn tune_poll_spmv_round_trip() {
+    let dir = temp_dir("roundtrip");
+    let server = quick_daemon(&dir, ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let matrix = gen::powerlaw(160, 144, 4, 2.0, 11);
+    let job = client.submit_tune(&matrix, "a100").expect("admitted");
+    let summary = client.wait_job(job, POLL, DEADLINE).expect("tunes");
+    assert!(summary.gflops > 0.0);
+    assert!(!summary.operator_graph.is_empty());
+    assert!(summary.fresh_evaluations > 0, "cold daemon must search");
+
+    let x: Vec<f32> = (0..144).map(|i| (i % 7) as f32 - 3.0).collect();
+    let y = client.spmv(job, &x).expect("remote SpMV runs");
+    let expected = matrix.spmv(&x).expect("reference SpMV");
+    assert!(alpha_matrix::max_scaled_error(&y, expected.as_slice()) <= 1e-5);
+
+    let stats = client.store_stats().expect("stats frame");
+    assert_eq!(stats.jobs_submitted, 1);
+    assert_eq!(stats.jobs_completed, 1);
+    assert_eq!(
+        stats.queue_capacity,
+        ServerConfig::default().queue_capacity as u64
+    );
+    stop(server, &dir);
+}
+
+#[test]
+fn typed_errors_for_bad_requests_leave_the_session_usable() {
+    let dir = temp_dir("typed_errors");
+    let server = quick_daemon(&dir, ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let matrix = gen::uniform_random(64, 64, 4, 3);
+
+    // Unknown device.
+    match client.submit_tune(&matrix, "H100") {
+        Err(NetError::Server { kind, .. }) => assert_eq!(kind, ErrorKind::UnknownDevice),
+        other => panic!("expected UnknownDevice, got {other:?}"),
+    }
+    // Unknown job: poll reports Unknown, SpMV errors.
+    assert_eq!(client.poll_job(999).unwrap(), JobState::Unknown);
+    match client.spmv(999, &[0.0; 4]) {
+        Err(NetError::Server { kind, .. }) => assert_eq!(kind, ErrorKind::UnknownJob),
+        other => panic!("expected UnknownJob, got {other:?}"),
+    }
+    // SpMV before the job is done / with the wrong dimension.
+    let job = client.submit_tune(&matrix, "A100").unwrap();
+    client.wait_job(job, POLL, DEADLINE).unwrap();
+    match client.spmv(job, &[1.0; 63]) {
+        Err(NetError::Server { kind, .. }) => assert_eq!(kind, ErrorKind::InvalidInput),
+        other => panic!("expected InvalidInput, got {other:?}"),
+    }
+    // The same session still serves valid work after every typed error.
+    let y = client.spmv(job, &[1.0; 64]).expect("session survived");
+    assert_eq!(y.len(), 64);
+    stop(server, &dir);
+}
+
+#[test]
+fn malformed_frames_never_kill_the_daemon() {
+    let dir = temp_dir("robustness");
+    let server = quick_daemon(&dir, ServerConfig::default());
+    let addr = server.local_addr();
+
+    // 1. Bad magic: the daemon answers a typed error frame, then closes.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(b"NOPE").unwrap();
+        raw.write_all(&[0u8; 12]).unwrap();
+        let payload = read_frame(&mut raw).expect("error frame comes back");
+        match decode_response(&payload).unwrap() {
+            Response::Error { kind, message } => {
+                assert_eq!(kind, ErrorKind::BadFrame);
+                assert!(message.contains("magic"), "got: {message}");
+            }
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+    }
+    // 2. Version mismatch.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(&NET_MAGIC).unwrap();
+        raw.write_all(&(PROTOCOL_VERSION + 7).to_le_bytes())
+            .unwrap();
+        raw.write_all(&4u64.to_le_bytes()).unwrap();
+        raw.write_all(&[0u8; 4]).unwrap();
+        let payload = read_frame(&mut raw).expect("error frame comes back");
+        assert!(matches!(
+            decode_response(&payload).unwrap(),
+            Response::Error {
+                kind: ErrorKind::BadFrame,
+                ..
+            }
+        ));
+    }
+    // 3. Oversized frame length: rejected before any allocation happens.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(&NET_MAGIC).unwrap();
+        raw.write_all(&PROTOCOL_VERSION.to_le_bytes()).unwrap();
+        raw.write_all(&(MAX_FRAME_LEN + 1).to_le_bytes()).unwrap();
+        let payload = read_frame(&mut raw).expect("error frame comes back");
+        match decode_response(&payload).unwrap() {
+            Response::Error { kind, message } => {
+                assert_eq!(kind, ErrorKind::BadFrame);
+                assert!(message.contains("cap"), "got: {message}");
+            }
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+    }
+    // 4. Truncated frame: write half a header and disappear.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(&NET_MAGIC[..2]).unwrap();
+        drop(raw);
+    }
+    // 5. Well-framed garbage payload: typed error, session stays alive.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        write_frame(&mut raw, &[250, 1, 2, 3]).unwrap();
+        let payload = read_frame(&mut raw).expect("error frame comes back");
+        assert!(matches!(
+            decode_response(&payload).unwrap(),
+            Response::Error {
+                kind: ErrorKind::BadFrame,
+                ..
+            }
+        ));
+        // Same connection, now a valid request: the stream stayed in sync.
+        write_frame(&mut raw, &encode_request(&Request::StoreStats)).unwrap();
+        let payload = read_frame(&mut raw).expect("stats frame");
+        assert!(matches!(
+            decode_response(&payload).unwrap(),
+            Response::Stats(_)
+        ));
+    }
+    // 6. Seeded fuzz over a real submission payload: the daemon must answer
+    //    *something* typed (or close) for every mutation, and stay alive.
+    {
+        let valid = encode_request(&Request::SubmitTune {
+            matrix: gen::uniform_random(24, 24, 3, 9),
+            device: "TestGPU".to_string(),
+        });
+        let mut state = 0xDEADBEEFCAFEu64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545F4914F6CDD1D)
+        };
+        for _ in 0..32 {
+            let mut mutated = valid.clone();
+            for _ in 0..1 + next() % 8 {
+                let at = (next() as usize) % mutated.len();
+                mutated[at] ^= (next() % 255 + 1) as u8;
+            }
+            let mut raw = TcpStream::connect(addr).unwrap();
+            if write_frame(&mut raw, &mutated).is_err() {
+                continue;
+            }
+            // Either a typed response or a clean close — never a hang (the
+            // read would block forever if the daemon panicked mid-frame).
+            raw.set_read_timeout(Some(Duration::from_secs(120)))
+                .unwrap();
+            if let Ok(payload) = read_frame(&mut raw) {
+                let _ = decode_response(&payload);
+            }
+        }
+    }
+
+    // After all of the above, the daemon still tunes for a healthy client.
+    let mut client = Client::connect(addr).unwrap();
+    let matrix = gen::powerlaw(96, 96, 4, 2.0, 5);
+    let job = client
+        .submit_tune(&matrix, "A100")
+        .expect("daemon survived");
+    client.wait_job(job, POLL, DEADLINE).expect("still tunes");
+    stop(server, &dir);
+}
+
+#[test]
+fn full_queue_answers_busy_backpressure() {
+    let dir = temp_dir("backpressure");
+    // One worker, one queue slot: the third submission in a burst must see
+    // Busy while the first is still tuning.
+    let server = quick_daemon(
+        &dir,
+        ServerConfig {
+            queue_capacity: 1,
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Occupy the single worker with a deliberately heavy job, then burst
+    // small ones: with one queue slot, the burst must hit Busy while the
+    // heavy search runs — deterministically, not by racing the worker.
+    let heavy = gen::powerlaw(8_192, 8_192, 8, 2.0, 77);
+    let mut admitted = vec![client
+        .submit_tune(&heavy, "A100")
+        .expect("heavy job admitted")];
+    let mut saw_busy = false;
+    for i in 0..12u64 {
+        let matrix = gen::powerlaw(256, 256, 6, 2.0, 100 + i);
+        match client.submit_tune(&matrix, "A100") {
+            Ok(job) => admitted.push(job),
+            Err(NetError::Busy { queue_capacity }) => {
+                assert_eq!(queue_capacity, 1);
+                saw_busy = true;
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert!(
+        saw_busy,
+        "a 12-burst into a 1-slot queue behind a heavy job must hit Busy"
+    );
+    assert!(!admitted.is_empty(), "some submissions must be admitted");
+    for job in &admitted {
+        client
+            .wait_job(*job, POLL, DEADLINE)
+            .expect("admitted jobs finish");
+    }
+    // Backoff-retry admits a job once the queue drains.
+    let matrix = gen::powerlaw(256, 256, 6, 2.0, 999);
+    let job = client
+        .submit_tune_with_backoff(&matrix, "A100", Duration::from_millis(5), DEADLINE)
+        .expect("retry succeeds after drain");
+    client.wait_job(job, POLL, DEADLINE).unwrap();
+    let stats = client.store_stats().unwrap();
+    assert!(stats.jobs_rejected > 0);
+    assert_eq!(stats.jobs_completed, admitted.len() as u64 + 1);
+    stop(server, &dir);
+}
+
+#[test]
+fn terminal_jobs_are_garbage_collected_in_order() {
+    let dir = temp_dir("gc");
+    let server = quick_daemon(
+        &dir,
+        ServerConfig {
+            max_terminal_jobs: 2,
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut jobs = Vec::new();
+    for i in 0..4u64 {
+        let matrix = gen::powerlaw(128, 128, 4, 2.0, 200 + i);
+        let job = client.submit_tune(&matrix, "A100").unwrap();
+        client.wait_job(job, POLL, DEADLINE).unwrap();
+        jobs.push(job);
+    }
+    // Only the 2 newest terminal records survive; the oldest were GC'd.
+    assert_eq!(client.poll_job(jobs[0]).unwrap(), JobState::Unknown);
+    assert_eq!(client.poll_job(jobs[1]).unwrap(), JobState::Unknown);
+    assert!(matches!(
+        client.poll_job(jobs[2]).unwrap(),
+        JobState::Done(_)
+    ));
+    assert!(matches!(
+        client.poll_job(jobs[3]).unwrap(),
+        JobState::Done(_)
+    ));
+    let stats = client.store_stats().unwrap();
+    assert_eq!(stats.jobs_gced, 2);
+    stop(server, &dir);
+}
+
+#[test]
+fn failed_jobs_report_their_error_and_do_not_serve_spmv() {
+    let dir = temp_dir("failed");
+    let server = quick_daemon(&dir, ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // An empty matrix is admitted (it is structurally valid CSR) but fails
+    // tuning server-side.
+    let empty = alpha_matrix::CsrMatrix::from_coo(&alpha_matrix::CooMatrix::new(8, 8));
+    let job = client.submit_tune(&empty, "A100").unwrap();
+    match client.wait_job(job, POLL, DEADLINE) {
+        Err(NetError::JobFailed { job_id, error }) => {
+            assert_eq!(job_id, job);
+            assert!(!error.is_empty());
+        }
+        other => panic!("expected JobFailed, got {other:?}"),
+    }
+    match client.spmv(job, &[1.0; 8]) {
+        Err(NetError::Server { kind, .. }) => assert_eq!(kind, ErrorKind::JobNotReady),
+        other => panic!("expected JobNotReady, got {other:?}"),
+    }
+    let stats = client.store_stats().unwrap();
+    assert_eq!(stats.jobs_failed, 1);
+    stop(server, &dir);
+}
+
+#[test]
+fn warm_store_serves_a_second_connection_for_free() {
+    let dir = temp_dir("warm");
+    let server = quick_daemon(&dir, ServerConfig::default());
+    let matrix = gen::powerlaw(192, 192, 5, 2.0, 77);
+
+    let first = {
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let job = client.submit_tune(&matrix, "A100").unwrap();
+        client.wait_job(job, POLL, DEADLINE).unwrap()
+    };
+    assert!(first.fresh_evaluations > 0);
+
+    // A brand-new connection re-submitting the same matrix is answered from
+    // the warm store: zero fresh evaluations, identical winner.
+    let second = {
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let job = client.submit_tune(&matrix, "A100").unwrap();
+        client.wait_job(job, POLL, DEADLINE).unwrap()
+    };
+    assert_eq!(second.fresh_evaluations, 0, "replay must be store-served");
+    assert_eq!(second.operator_graph, first.operator_graph);
+    assert_eq!(second.gflops, first.gflops);
+    stop(server, &dir);
+}
+
+#[test]
+fn shutdown_refuses_new_work_and_joins_cleanly() {
+    let dir = temp_dir("shutdown");
+    let server = quick_daemon(&dir, ServerConfig::default());
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    let matrix = gen::powerlaw(96, 96, 4, 2.0, 31);
+    let job = client.submit_tune(&matrix, "A100").unwrap();
+    client.wait_job(job, POLL, DEADLINE).unwrap();
+
+    let mut other = Client::connect(addr).unwrap();
+    client.shutdown().expect("acknowledged");
+    // The already-open second connection is refused new submissions.
+    match other.submit_tune(&matrix, "A100") {
+        Err(NetError::Server { kind, .. }) => assert_eq!(kind, ErrorKind::ShuttingDown),
+        Err(NetError::Proto(_)) => {} // ...or the daemon already went away.
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+    drop(other);
+    // Must terminate: accept loop, workers and every connection thread —
+    // including the still-open `client` session, which the daemon closes on
+    // its next idle poll.
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_clients_tune_disjoint_fleets() {
+    let dir = temp_dir("concurrent");
+    let server = quick_daemon(&dir, ServerConfig::default());
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        for c in 0..2u64 {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let mut jobs = Vec::new();
+                for i in 0..3u64 {
+                    let matrix = gen::powerlaw(160, 160, 4, 2.0, 1000 * (c + 1) + i);
+                    jobs.push(
+                        client
+                            .submit_tune_with_backoff(
+                                &matrix,
+                                "A100",
+                                Duration::from_millis(5),
+                                DEADLINE,
+                            )
+                            .expect("admitted"),
+                    );
+                }
+                for job in jobs {
+                    client.wait_job(job, POLL, DEADLINE).expect("tunes");
+                }
+            });
+        }
+    });
+    let stats = server.stats();
+    assert_eq!(stats.jobs_submitted, 6);
+    assert_eq!(stats.jobs_completed, 6);
+    stop(server, &dir);
+}
+
+#[test]
+fn raw_disconnect_mid_submission_does_not_leak_jobs() {
+    let dir = temp_dir("disconnect");
+    let server = quick_daemon(&dir, ServerConfig::default());
+    // Open a connection, send half a frame, vanish.
+    {
+        let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+        raw.write_all(&NET_MAGIC).unwrap();
+        raw.write_all(&PROTOCOL_VERSION.to_le_bytes()).unwrap();
+        raw.write_all(&1024u64.to_le_bytes()).unwrap();
+        raw.write_all(&[7u8; 100]).unwrap(); // 924 bytes short
+        drop(raw);
+    }
+    // Nothing was admitted; the daemon is idle and healthy.
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let stats = client.store_stats().unwrap();
+    assert_eq!(stats.jobs_submitted, 0);
+    assert_eq!(stats.queue_depth, 0);
+    stop(server, &dir);
+}

@@ -14,8 +14,9 @@
 //! items (e.g. a slow kernel simulation) from serialising behind a static
 //! chunking.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 /// Number of worker threads to use when the caller passes `0`: one per
 /// available CPU core.
@@ -121,6 +122,107 @@ pub fn split_mut<T>(slice: &mut [T], parts: usize) -> Vec<(usize, &mut [T])> {
     chunks
 }
 
+/// Why [`TaskQueue::try_push`] refused an item.  The item is handed back so
+/// the caller can reply with backpressure (or retry) without cloning it.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity — admission control says reject.
+    Full(T),
+    /// The queue was closed; no further items will ever be accepted.
+    Closed(T),
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer / multi-consumer FIFO built on
+/// `Mutex` + `Condvar` — the admission-control primitive a long-lived
+/// service puts between its accept loop and its worker pool.
+///
+/// Producers use [`TaskQueue::try_push`], which **never blocks**: a full
+/// queue returns [`PushError::Full`] immediately so the caller can shed load
+/// (reply "busy") instead of stacking unbounded work.  Consumers use
+/// [`TaskQueue::pop`], which blocks until an item arrives or the queue is
+/// [closed](TaskQueue::close) and drained — the clean-shutdown signal for a
+/// worker pool.
+pub struct TaskQueue<T> {
+    state: Mutex<QueueState<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+}
+
+impl<T> TaskQueue<T> {
+    /// A queue admitting at most `capacity` items at a time (minimum 1).
+    pub fn bounded(capacity: usize) -> Self {
+        TaskQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item` unless the queue is full or closed; never blocks.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("task queue poisoned");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty.  Returns
+    /// `None` once the queue is closed **and** drained — consuming workers
+    /// use that as their exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("task queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("task queue poisoned");
+        }
+    }
+
+    /// Closes the queue: further pushes fail with [`PushError::Closed`], and
+    /// every blocked or future [`TaskQueue::pop`] returns `None` once the
+    /// remaining items are drained.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("task queue poisoned");
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently queued (racy by nature; for stats and tests).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("task queue poisoned").items.len()
+    }
+
+    /// True when nothing is queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The admission-control bound this queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,5 +289,76 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn task_queue_is_fifo_and_bounded() {
+        let queue = TaskQueue::bounded(2);
+        assert_eq!(queue.capacity(), 2);
+        assert!(queue.is_empty());
+        queue.try_push(1).unwrap();
+        queue.try_push(2).unwrap();
+        match queue.try_push(3) {
+            Err(PushError::Full(3)) => {}
+            other => panic!("expected Full(3), got {other:?}"),
+        }
+        assert_eq!(queue.len(), 2);
+        assert_eq!(queue.pop(), Some(1));
+        queue.try_push(3).unwrap();
+        assert_eq!(queue.pop(), Some(2));
+        assert_eq!(queue.pop(), Some(3));
+    }
+
+    #[test]
+    fn closed_queue_drains_then_signals_workers_to_exit() {
+        let queue = TaskQueue::bounded(4);
+        queue.try_push(10).unwrap();
+        queue.close();
+        match queue.try_push(11) {
+            Err(PushError::Closed(11)) => {}
+            other => panic!("expected Closed(11), got {other:?}"),
+        }
+        assert_eq!(queue.pop(), Some(10), "closing must not drop queued work");
+        assert_eq!(queue.pop(), None);
+        assert_eq!(queue.pop(), None, "pop after close stays None");
+    }
+
+    #[test]
+    fn pop_blocks_until_an_item_or_close_arrives() {
+        let queue = TaskQueue::bounded(1);
+        let consumed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    while queue.pop().is_some() {
+                        consumed.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            for i in 0..20 {
+                // Capacity 1: spin until the workers make room.
+                let mut item = i;
+                loop {
+                    match queue.try_push(item) {
+                        Ok(()) => break,
+                        Err(PushError::Full(back)) => {
+                            item = back;
+                            std::thread::yield_now();
+                        }
+                        Err(PushError::Closed(_)) => unreachable!(),
+                    }
+                }
+            }
+            queue.close();
+        });
+        assert_eq!(consumed.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let queue = TaskQueue::bounded(0);
+        assert_eq!(queue.capacity(), 1);
+        queue.try_push(1).unwrap();
+        assert!(matches!(queue.try_push(2), Err(PushError::Full(2))));
     }
 }

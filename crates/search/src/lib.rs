@@ -40,7 +40,7 @@ pub use eval::{
     context_key, context_key_for, BatchEvaluator, CacheStats, CachingEvaluator, DesignCache,
     EvalContext, Evaluation, Evaluator, EvaluatorChoice, EvaluatorId, SimEvaluator,
 };
-pub use persist::{PersistError, StoredDesign, CACHE_FORMAT_VERSION};
+pub use persist::{ByteReader, ByteWriter, PersistError, StoredDesign, CACHE_FORMAT_VERSION};
 pub use prune::PruneRules;
 
 #[cfg(test)]

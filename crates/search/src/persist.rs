@@ -116,41 +116,78 @@ pub struct StoredDesign {
 // Byte-level writer / reader
 // ---------------------------------------------------------------------------
 
+/// Little-endian, length-prefixed byte encoder — the writing half of the
+/// `ACDS` codec discipline.  Public so other subsystems that need the same
+/// discipline (notably the `alpha-net` wire protocol) frame their payloads
+/// with the exact encoder the durable cache files use, instead of growing a
+/// second, subtly different codec.
 #[derive(Default)]
-struct ByteWriter {
+pub struct ByteWriter {
     buf: Vec<u8>,
 }
 
 impl ByteWriter {
-    fn u8(&mut self, v: u8) {
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
-    fn u32(&mut self, v: u32) {
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn f64(&mut self, v: f64) {
+    /// Appends an `f64` as its IEEE-754 bit pattern (NaNs round-trip).
+    pub fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
-    fn str(&mut self, s: &str) {
+    /// Appends an `f32` as its IEEE-754 bit pattern (NaNs round-trip).
+    pub fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+    /// Appends a UTF-8 string: `u64` byte length, then the bytes.
+    pub fn str(&mut self, s: &str) {
         self.u64(s.len() as u64);
         self.buf.extend_from_slice(s.as_bytes());
     }
+    /// Appends raw bytes verbatim (headers, magic numbers).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+    /// True when nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
 }
 
-struct ByteReader<'a> {
+/// The reading half of the `ACDS` codec discipline: a cursor over a byte
+/// slice whose every accessor fails with a typed [`PersistError`]
+/// (`Truncated` / `Corrupt`) instead of panicking, no matter how adversarial
+/// the input.  Shared with the `alpha-net` wire protocol (see [`ByteWriter`]).
+pub struct ByteReader<'a> {
     data: &'a [u8],
     pos: usize,
 }
 
 impl<'a> ByteReader<'a> {
-    fn new(data: &'a [u8]) -> Self {
+    /// A reader positioned at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
         ByteReader { data, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+    /// Consumes the next `n` bytes, or fails with
+    /// [`PersistError::Truncated`] when fewer remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
         let end = self.pos.checked_add(n).ok_or(PersistError::Truncated)?;
         if end > self.data.len() {
             return Err(PersistError::Truncated);
@@ -160,23 +197,33 @@ impl<'a> ByteReader<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self) -> Result<u8, PersistError> {
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, PersistError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, PersistError> {
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, PersistError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64, PersistError> {
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, PersistError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn f64(&mut self) -> Result<f64, PersistError> {
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, PersistError> {
         Ok(f64::from_bits(self.u64()?))
     }
 
-    fn str(&mut self) -> Result<String, PersistError> {
+    /// Reads an `f32` from its IEEE-754 bit pattern.
+    pub fn f32(&mut self) -> Result<f32, PersistError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string (see [`ByteWriter::str`]).
+    pub fn str(&mut self) -> Result<String, PersistError> {
         let len = self.u64()?;
         let len = usize::try_from(len)
             .map_err(|_| PersistError::Corrupt(format!("string length {len} overflows usize")))?;
@@ -185,7 +232,35 @@ impl<'a> ByteReader<'a> {
             .map_err(|_| PersistError::Corrupt("string is not valid UTF-8".into()))
     }
 
-    fn finished(&self) -> bool {
+    /// Reads a record count and bounds it against the remaining bytes (each
+    /// counted record is at least one byte), so corrupt counts fail cleanly
+    /// instead of driving huge allocations.
+    pub fn count(&mut self, what: &str) -> Result<usize, PersistError> {
+        self.count_of(what, 1)
+    }
+
+    /// Reads an element count for fixed-size elements and bounds
+    /// `count * elem_size` against the remaining bytes, so a hostile count
+    /// can never drive an allocation larger than the payload that carries
+    /// it (a plain per-record bound would under-constrain by `elem_size`x).
+    pub fn count_of(&mut self, what: &str, elem_size: usize) -> Result<usize, PersistError> {
+        let count = self.u64()?;
+        let remaining = self.remaining();
+        if count as u128 * elem_size.max(1) as u128 > remaining as u128 {
+            return Err(PersistError::Corrupt(format!(
+                "{what} count {count} (x {elem_size} B) exceeds the {remaining} remaining bytes"
+            )));
+        }
+        Ok(count as usize)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn finished(&self) -> bool {
         self.pos == self.data.len()
     }
 }
@@ -321,17 +396,7 @@ fn write_graph(w: &mut ByteWriter, graph: &OperatorGraph) {
 }
 
 fn read_count(r: &mut ByteReader<'_>, what: &str) -> Result<usize, PersistError> {
-    let count = r.u64()?;
-    // Each counted record is at least one byte; a count larger than the
-    // remaining bytes can only come from corruption, and bounding it here
-    // keeps `Vec::with_capacity`-style allocations sane.
-    let remaining = r.data.len() - r.pos;
-    if count as u128 > remaining as u128 {
-        return Err(PersistError::Corrupt(format!(
-            "{what} count {count} exceeds the {remaining} remaining bytes"
-        )));
-    }
-    Ok(count as usize)
+    r.count(what)
 }
 
 fn read_graph(r: &mut ByteReader<'_>) -> Result<OperatorGraph, PersistError> {
@@ -429,7 +494,7 @@ impl DesignCache {
     /// sorted by key, so identical caches produce identical bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = ByteWriter::default();
-        w.buf.extend_from_slice(&CACHE_MAGIC);
+        w.raw(&CACHE_MAGIC);
         w.u32(CACHE_FORMAT_VERSION);
 
         // Section 1: evaluations.
@@ -479,7 +544,7 @@ impl DesignCache {
                 write_graph(&mut w, graph);
             }
         }
-        w.buf
+        w.into_bytes()
     }
 
     /// Decodes a cache serialized by [`DesignCache::to_bytes`].  Rejects
@@ -558,7 +623,7 @@ impl DesignCache {
         if !r.finished() {
             return Err(PersistError::Corrupt(format!(
                 "{} trailing bytes after the last section",
-                bytes.len() - r.pos
+                r.remaining()
             )));
         }
         // Loading is not a modification: the cache matches its durable copy.
@@ -868,7 +933,8 @@ mod tests {
         for op in Operator::catalogue() {
             let mut w = ByteWriter::default();
             write_operator(&mut w, &op);
-            let mut r = ByteReader::new(&w.buf);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
             assert_eq!(read_operator(&mut r).unwrap(), op);
             assert!(r.finished());
         }

@@ -26,8 +26,10 @@
 
 #![warn(missing_docs)]
 
+mod lock;
 mod service;
 mod store;
 
+pub use lock::LOCK_FILE_NAME;
 pub use service::{ServedTune, TuneRequest, TuningService};
 pub use store::{DesignStore, StoreError, StoreStats, STORE_LAYOUT_VERSION};

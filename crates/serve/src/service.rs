@@ -136,6 +136,18 @@ impl TuningService {
         &self.store
     }
 
+    /// Snapshot of the backing store's memory-tier counters — the one-call
+    /// form a daemon's stats endpoint wants.
+    pub fn store_stats(&self) -> crate::StoreStats {
+        self.store.stats()
+    }
+
+    /// The search configuration every request of this service is tuned with
+    /// (the per-request device overrides [`SearchConfig::device`]).
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
     /// Tunes a whole batch of requests, returning one result per request in
     /// input order.
     ///
@@ -389,6 +401,35 @@ mod tests {
                 )
             })
             .collect()
+    }
+
+    #[test]
+    fn service_is_shareable_across_threads_behind_arc() {
+        // The networked daemon hands one service to an accept loop plus a
+        // worker pool; this pins the Send + Sync contract at compile time
+        // and exercises concurrent single-request batches at run time.
+        fn assert_shareable<T: Send + Sync + 'static>() {}
+        assert_shareable::<TuningService>();
+
+        let dir = temp_dir("arc_shared");
+        let service = std::sync::Arc::new(quick_service(&dir, 8));
+        let matrices = [
+            gen::powerlaw(192, 192, 5, 2.0, 41),
+            gen::uniform_random(160, 160, 4, 42),
+        ];
+        std::thread::scope(|scope| {
+            for matrix in &matrices {
+                let service = service.clone();
+                scope.spawn(move || {
+                    let served = service
+                        .tune_batch(&[TuneRequest::new(matrix.clone(), DeviceProfile::a100())]);
+                    assert!(served[0].is_ok());
+                });
+            }
+        });
+        assert!(service.store_stats().cold_starts >= 2);
+        assert_eq!(service.config().max_iterations, 8);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

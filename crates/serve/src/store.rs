@@ -1,6 +1,7 @@
 //! The [`DesignStore`]: durable design caches with an on-disk directory
 //! layout and an LRU in-memory tier.
 
+use crate::lock::StoreLock;
 use alpha_search::persist::PersistError;
 use alpha_search::{DesignCache, StoredDesign};
 use std::collections::HashMap;
@@ -30,6 +31,18 @@ pub enum StoreError {
         /// Layout string this build expects.
         expected: String,
     },
+    /// Another process holds the store's exclusive kernel file lock (on its
+    /// `store.lock`).  Two processes writing one store directory would
+    /// corrupt each other's cache files, so the second opener is refused —
+    /// point it at its own directory, or stop the holder first.  A *dead*
+    /// holder's lock is released by the kernel automatically, so this error
+    /// always names a live process.
+    Locked {
+        /// The store directory that is locked.
+        path: PathBuf,
+        /// PID the holder recorded in the lock file (0 when unreadable).
+        pid: u32,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -42,6 +55,12 @@ impl std::fmt::Display for StoreError {
                 "design store layout mismatch: directory says {found:?}, this build expects \
                  {expected:?}"
             ),
+            StoreError::Locked { path, pid } => write!(
+                f,
+                "design store {} is locked by process {pid} (store.lock); two processes \
+                 must not share one store directory",
+                path.display()
+            ),
         }
     }
 }
@@ -51,7 +70,7 @@ impl std::error::Error for StoreError {
         match self {
             StoreError::Io(e) => Some(e),
             StoreError::Persist(e) => Some(e),
-            StoreError::Layout { .. } => None,
+            StoreError::Layout { .. } | StoreError::Locked { .. } => None,
         }
     }
 }
@@ -126,6 +145,10 @@ type WinnerIndex = HashMap<u64, Vec<(u64, StoredDesign)>>;
 /// ```
 pub struct DesignStore {
     root: PathBuf,
+    /// Cooperative inter-process lock on `root`; held for the store's whole
+    /// lifetime, released (and the lock file removed) when the last store
+    /// instance of this process drops.
+    _lock: StoreLock,
     resident: Mutex<Resident>,
     /// Lazily built index of the winners stored in each *on-disk* cache file
     /// (keyed by file/context key).  Avoids re-decoding every cache file —
@@ -142,9 +165,24 @@ impl DesignStore {
     /// existing store is validated against [`STORE_LAYOUT_VERSION`] and
     /// rejected with [`StoreError::Layout`] when it was written by an
     /// incompatible layout.
+    ///
+    /// Opening also takes an exclusive **kernel file lock** on the
+    /// directory's `store.lock`: a store already opened by a different
+    /// process is refused with [`StoreError::Locked`], and a crashed
+    /// holder's lock is released by the kernel automatically (no stale
+    /// lockfiles to clean up).  Re-opening from the *same* process is
+    /// always allowed — the store is internally synchronised — and
+    /// reference-counted over one shared lock handle.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, StoreError> {
         let root = path.as_ref().to_path_buf();
         std::fs::create_dir_all(root.join("designs"))?;
+        let lock = StoreLock::acquire(&root).map_err(|e| match StoreLock::foreign_holder(&e) {
+            Some(held) => StoreError::Locked {
+                path: root.clone(),
+                pid: held.pid,
+            },
+            None => StoreError::Io(e),
+        })?;
         let marker = root.join("store.layout");
         match std::fs::read_to_string(&marker) {
             Ok(found) => {
@@ -163,6 +201,7 @@ impl DesignStore {
         }
         Ok(DesignStore {
             root,
+            _lock: lock,
             resident: Mutex::new(Resident {
                 caches: Vec::new(),
                 capacity: DEFAULT_CAPACITY,
@@ -448,6 +487,81 @@ mod tests {
             DesignStore::open(&dir),
             Err(StoreError::Layout { .. })
         ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A second open-file-description stands in for "another process":
+    /// kernel file locks conflict between descriptions even within one
+    /// process.
+    fn foreign_lock(dir: &Path) -> std::fs::File {
+        std::fs::create_dir_all(dir).unwrap();
+        let mut file = std::fs::File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(dir.join(crate::LOCK_FILE_NAME))
+            .unwrap();
+        file.try_lock().unwrap();
+        use std::io::Write;
+        file.write_all(b"41\n").unwrap();
+        file.flush().unwrap();
+        file
+    }
+
+    #[test]
+    fn store_held_by_a_foreign_process_is_refused_until_released() {
+        let dir = temp_store_dir("locked");
+        let foreign = foreign_lock(&dir);
+        match DesignStore::open(&dir) {
+            Err(StoreError::Locked { pid, .. }) => assert_eq!(pid, 41),
+            other => panic!("expected StoreError::Locked, got {other:?}"),
+        }
+        // The holder releasing (or dying — the kernel does the same thing)
+        // makes the store immediately openable.
+        drop(foreign);
+        DesignStore::open(&dir).expect("released store opens");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn same_process_opens_share_the_lock_and_release_it_last() {
+        let dir = temp_store_dir("shared_lock");
+        let first = DesignStore::open(&dir).unwrap();
+        let second = DesignStore::open(&dir).expect("same-process reopen is cooperative");
+        let probe = || {
+            let file = std::fs::File::open(dir.join(crate::LOCK_FILE_NAME)).unwrap();
+            match file.try_lock() {
+                Ok(()) => {
+                    file.unlock().unwrap();
+                    false
+                }
+                Err(std::fs::TryLockError::WouldBlock) => true,
+                Err(std::fs::TryLockError::Error(e)) => panic!("probe failed: {e}"),
+            }
+        };
+        drop(first);
+        assert!(probe(), "lock survives while any instance lives");
+        drop(second);
+        assert!(!probe(), "last drop releases the kernel lock");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leftover_lock_file_from_a_dead_process_does_not_block() {
+        // A crashed daemon leaves `store.lock` behind, but its kernel lock
+        // died with it — reopening must just work.
+        let dir = temp_store_dir("stale_lock");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(crate::LOCK_FILE_NAME), format!("{}\n", u32::MAX)).unwrap();
+        let store = DesignStore::open(&dir).expect("leftover lock file must not block opening");
+        assert_eq!(
+            std::fs::read_to_string(dir.join(crate::LOCK_FILE_NAME))
+                .unwrap()
+                .trim(),
+            std::process::id().to_string()
+        );
+        drop(store);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,128 @@
+//! netd: the tuning daemon end to end, in one process.
+//!
+//! Spawns an `alpha-net` daemon on a loopback port, then plays a realistic
+//! serving day against it: **two concurrent clients** tune a 20-matrix
+//! fleet (submitting over the wire, polling, running remote SpMV), and a
+//! second wave re-submits the same fleet across *fresh connections* — every
+//! one answered from the daemon's warm `DesignStore` with zero fresh kernel
+//! evaluations.  Ends with a clean client-initiated shutdown.
+//!
+//! ```text
+//! cargo run --release --example netd
+//! ```
+
+use alpha_suite::matrix::gen::PatternFamily;
+use alpha_suite::matrix::CsrMatrix;
+use alpha_suite::net::{Client, NetServer, ServerConfig};
+use alpha_suite::search::SearchConfig;
+use alpha_suite::serve::{DesignStore, TuningService};
+use std::time::{Duration, Instant};
+
+const POLL: Duration = Duration::from_millis(5);
+const DEADLINE: Duration = Duration::from_secs(600);
+
+fn fleet() -> Vec<CsrMatrix> {
+    (0..20)
+        .map(|i| {
+            let family = PatternFamily::ALL[i % PatternFamily::ALL.len()];
+            let rows = if i % 2 == 0 { 1_024 } else { 4_096 };
+            family.generate(rows, 8, 9_000 + i as u64)
+        })
+        .collect()
+}
+
+/// One client's share of a wave: submit (with backoff), wait, verify a
+/// remote SpMV, and report (jobs, fresh evaluations, warm starts).
+fn drive_client(addr: std::net::SocketAddr, matrices: &[CsrMatrix]) -> (usize, u64, usize) {
+    let mut client = Client::connect(addr).expect("client connects");
+    let mut jobs = Vec::new();
+    for matrix in matrices {
+        let job = client
+            .submit_tune_with_backoff(matrix, "A100", Duration::from_millis(10), DEADLINE)
+            .expect("submission admitted");
+        jobs.push(job);
+    }
+    let mut fresh = 0u64;
+    let mut warm = 0usize;
+    for (matrix, job) in matrices.iter().zip(&jobs) {
+        let summary = client.wait_job(*job, POLL, DEADLINE).expect("job finishes");
+        fresh += summary.fresh_evaluations;
+        warm += summary.warm_started as usize;
+        // Prove the wire kernel computes the real product.
+        let x = vec![1.0; matrix.cols()];
+        let y = client.spmv(*job, &x).expect("remote SpMV runs");
+        let reference = matrix.spmv(&x).expect("reference SpMV");
+        let error = alpha_suite::matrix::max_scaled_error(&y, reference.as_slice());
+        assert!(error <= 1e-4, "remote SpMV drifted: {error}");
+    }
+    (jobs.len(), fresh, warm)
+}
+
+fn main() {
+    let store_dir = std::env::temp_dir().join(format!("alpha_netd_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let service = TuningService::new(
+        DesignStore::open(&store_dir).expect("store opens"),
+        SearchConfig {
+            max_iterations: 30,
+            mutations_per_seed: 3,
+            ..SearchConfig::default()
+        },
+    );
+    let server =
+        NetServer::spawn("127.0.0.1:0", service, ServerConfig::default()).expect("daemon binds");
+    let addr = server.local_addr();
+    println!("daemon listening on {addr}");
+
+    let matrices = fleet();
+    let (left, right) = matrices.split_at(matrices.len() / 2);
+    println!(
+        "fleet: {} matrices ({} pattern families), two concurrent clients\n",
+        matrices.len(),
+        PatternFamily::ALL.len()
+    );
+
+    for wave in 1..=2 {
+        let start = Instant::now();
+        let ((jobs_a, fresh_a, warm_a), (jobs_b, fresh_b, warm_b)) = std::thread::scope(|scope| {
+            let a = scope.spawn(|| drive_client(addr, left));
+            let b = scope.spawn(|| drive_client(addr, right));
+            (a.join().expect("client A"), b.join().expect("client B"))
+        });
+        let wall = start.elapsed().as_secs_f64();
+        let fresh = fresh_a + fresh_b;
+        println!(
+            "wave {wave}: {:>2} jobs in {wall:.2} s wall-clock",
+            jobs_a + jobs_b
+        );
+        println!("  fresh kernel evaluations: {fresh}");
+        println!("  warm-started searches:    {}", warm_a + warm_b);
+        if wave == 1 {
+            assert!(fresh > 0, "the cold wave must actually search");
+        } else {
+            assert_eq!(
+                fresh, 0,
+                "the second wave must be served entirely from the warm store"
+            );
+            println!("  -> 100% of the wave served from the warm store, across fresh connections");
+        }
+    }
+
+    let mut client = Client::connect(addr).expect("stats client connects");
+    let stats = client.store_stats().expect("stats frame");
+    println!(
+        "\ndaemon counters: {} submitted, {} completed, {} rejected (backpressure), {} GC'd",
+        stats.jobs_submitted, stats.jobs_completed, stats.jobs_rejected, stats.jobs_gced
+    );
+    println!(
+        "store tier: {} memory hits, {} disk loads, {} cold starts",
+        stats.store_memory_hits, stats.store_disk_loads, stats.store_cold_starts
+    );
+
+    client.shutdown().expect("daemon acknowledges shutdown");
+    server.join();
+    println!("\nclean shutdown: accept loop, workers and connections all joined");
+
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

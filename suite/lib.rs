@@ -16,6 +16,7 @@ pub use alpha_gpu as gpu;
 pub use alpha_graph as graph;
 pub use alpha_matrix as matrix;
 pub use alpha_ml as ml;
+pub use alpha_net as net;
 pub use alpha_search as search;
 pub use alpha_serve as serve;
 
@@ -32,6 +33,7 @@ mod tests {
         let _ = crate::ml::Sample::new(vec![1.0], 2.0);
         let _ = crate::search::SearchConfig::default();
         let _ = crate::baselines::Baseline::figure9_set();
+        let _ = crate::net::PROTOCOL_VERSION;
         let _ = crate::serve::STORE_LAYOUT_VERSION;
         let _ = crate::alphasparse::AlphaSparse::new(crate::gpu::DeviceProfile::a100());
     }
