@@ -17,6 +17,7 @@
 use crate::Baseline;
 use alpha_cpu::{MeasuredReport, TimingHarness};
 use alpha_matrix::{CsrMatrix, Scalar};
+use alpha_parallel::Executor;
 
 /// The baselines with a native CPU implementation.
 pub fn native_set() -> Vec<Baseline> {
@@ -118,7 +119,8 @@ impl NativeBaselineKernel {
         2 * self.matrix.nnz() as u64
     }
 
-    /// Runs `y = A·x`, allocating the output.
+    /// Runs `y = A·x`, allocating the output.  Pooled like the generated
+    /// kernels: repeated runs reuse the process-wide persistent worker pool.
     pub fn run(&self, x: &[Scalar], threads: usize) -> Result<Vec<Scalar>, String> {
         let mut y = vec![0.0; self.matrix.rows()];
         self.run_into(x, &mut y, threads)?;
@@ -127,6 +129,37 @@ impl NativeBaselineKernel {
 
     /// Runs `y = A·x` into a caller-provided buffer (zeroed here first).
     pub fn run_into(&self, x: &[Scalar], y: &mut [Scalar], threads: usize) -> Result<(), String> {
+        // The same automatic work-size scaling as the generated kernels, so
+        // baseline timings face identical threading overheads.
+        let workers = alpha_cpu::effective_workers_pooled(threads, self.matrix.nnz());
+        self.exec(
+            x,
+            y,
+            workers,
+            &Executor::Pooled(alpha_parallel::Pool::shared()),
+        )
+    }
+
+    /// Runs `y = A·x` with the legacy **spawn-per-call** threading — the
+    /// comparison half of pooled-vs-spawn bench rows, mirroring
+    /// `NativeKernel::run_spawning`.
+    pub fn run_into_spawning(
+        &self,
+        x: &[Scalar],
+        y: &mut [Scalar],
+        threads: usize,
+    ) -> Result<(), String> {
+        let workers = alpha_cpu::effective_workers(threads, self.matrix.nnz());
+        self.exec(x, y, workers, &Executor::Spawn { threads: workers })
+    }
+
+    fn exec(
+        &self,
+        x: &[Scalar],
+        y: &mut [Scalar],
+        workers: usize,
+        exec: &Executor<'_>,
+    ) -> Result<(), String> {
         if x.len() != self.matrix.cols() {
             return Err(format!(
                 "input vector has length {}, matrix has {} columns",
@@ -141,35 +174,33 @@ impl NativeBaselineKernel {
                 self.matrix.rows()
             ));
         }
-        // The same automatic work-size scaling as the generated kernels, so
-        // baseline timings face identical threading overheads.
-        let threads = alpha_cpu::effective_workers(threads, self.matrix.nnz());
         y.fill(0.0);
         match &self.imp {
-            Imp::Csr => self.run_csr(x, y, threads),
+            Imp::Csr => self.run_csr(x, y, workers, exec),
             Imp::Ell {
                 width,
                 cols,
                 values,
-            } => run_ell(*width, cols, values, x, y, threads),
+            } => run_ell(*width, cols, values, x, y, workers, exec),
             Imp::Hyb {
                 width,
                 ell_cols,
                 ell_values,
                 coo,
             } => {
-                run_ell(*width, ell_cols, ell_values, x, y, threads);
+                run_ell(*width, ell_cols, ell_values, x, y, workers, exec);
                 for &(row, col, value) in coo {
                     y[row as usize] += value * x[col as usize];
                 }
             }
-            Imp::Merge => self.run_merge(x, y, threads),
+            Imp::Merge => self.run_merge(x, y, workers, exec),
         }
         Ok(())
     }
 
     /// Steady-state measurement of this baseline with the shared harness:
-    /// identical warmup/min-of-N treatment as the machine-designed kernels.
+    /// identical warmup/min-of-N treatment as the machine-designed kernels
+    /// (pooled, buffer reused across reps).
     pub fn measure(
         &self,
         harness: TimingHarness,
@@ -178,16 +209,33 @@ impl NativeBaselineKernel {
     ) -> Result<MeasuredReport, String> {
         let mut y = vec![0.0; self.matrix.rows()];
         self.run_into(x, &mut y, threads)?;
-        let threads = alpha_cpu::effective_workers(threads, self.matrix.nnz());
+        let threads = alpha_cpu::effective_workers_pooled(threads, self.matrix.nnz());
         Ok(harness.measure(self.useful_flops(), threads, || {
             self.run_into(x, &mut y, threads)
                 .expect("dimensions validated above");
         }))
     }
 
-    fn run_csr(&self, x: &[Scalar], y: &mut [Scalar], threads: usize) {
+    /// [`NativeBaselineKernel::measure`] on the legacy spawn-per-call path —
+    /// the other half of a pooled-vs-spawn comparison row.
+    pub fn measure_spawning(
+        &self,
+        harness: TimingHarness,
+        x: &[Scalar],
+        threads: usize,
+    ) -> Result<MeasuredReport, String> {
+        let mut y = vec![0.0; self.matrix.rows()];
+        self.run_into_spawning(x, &mut y, threads)?;
+        let threads = alpha_cpu::effective_workers(threads, self.matrix.nnz());
+        Ok(harness.measure(self.useful_flops(), threads, || {
+            self.run_into_spawning(x, &mut y, threads)
+                .expect("dimensions validated above");
+        }))
+    }
+
+    fn run_csr(&self, x: &[Scalar], y: &mut [Scalar], threads: usize, exec: &Executor<'_>) {
         let m = &self.matrix;
-        for_row_chunks(m.rows(), threads, y, |first, last, out| {
+        for_row_chunks(m.rows(), threads, y, exec, |first, last, out| {
             let offsets = m.row_offsets();
             let cols = m.col_indices();
             let values = m.values();
@@ -201,7 +249,7 @@ impl NativeBaselineKernel {
         });
     }
 
-    fn run_merge(&self, x: &[Scalar], y: &mut [Scalar], threads: usize) {
+    fn run_merge(&self, x: &[Scalar], y: &mut [Scalar], threads: usize, exec: &Executor<'_>) {
         let m = &self.matrix;
         let nnz = m.nnz();
         if nnz == 0 {
@@ -223,33 +271,32 @@ impl NativeBaselineKernel {
         let cols = m.col_indices();
         let values = m.values();
         let last_row = m.rows().saturating_sub(1);
-        let partials: Vec<(usize, Vec<Scalar>)> =
-            alpha_parallel::parallel_map(&spans, threads, |&(start, end)| {
-                let mut row = match offsets.binary_search(&(start as u32)) {
-                    Ok(r) => r.min(last_row),
-                    Err(r) => r - 1,
-                };
-                while row < last_row && offsets[row + 1] as usize <= start {
-                    row += 1;
+        let partials: Vec<(usize, Vec<Scalar>)> = exec.map(&spans, |&(start, end)| {
+            let mut row = match offsets.binary_search(&(start as u32)) {
+                Ok(r) => r.min(last_row),
+                Err(r) => r - 1,
+            };
+            while row < last_row && offsets[row + 1] as usize <= start {
+                row += 1;
+            }
+            let base_row = row;
+            let mut sums = Vec::new();
+            let mut cursor = start;
+            loop {
+                let seg_end = (offsets[row + 1] as usize).min(end);
+                let mut acc = 0.0;
+                for idx in cursor..seg_end {
+                    acc += values[idx] * x[cols[idx] as usize];
                 }
-                let base_row = row;
-                let mut sums = Vec::new();
-                let mut cursor = start;
-                loop {
-                    let seg_end = (offsets[row + 1] as usize).min(end);
-                    let mut acc = 0.0;
-                    for idx in cursor..seg_end {
-                        acc += values[idx] * x[cols[idx] as usize];
-                    }
-                    sums.push(acc);
-                    cursor = seg_end;
-                    if cursor >= end {
-                        break;
-                    }
-                    row += 1;
+                sums.push(acc);
+                cursor = seg_end;
+                if cursor >= end {
+                    break;
                 }
-                (base_row, sums)
-            });
+                row += 1;
+            }
+            (base_row, sums)
+        });
         for (base_row, sums) in &partials {
             for (j, &v) in sums.iter().enumerate() {
                 y[base_row + j] += v;
@@ -287,12 +334,13 @@ fn for_row_chunks(
     rows: usize,
     threads: usize,
     y: &mut [Scalar],
+    exec: &Executor<'_>,
     body: impl Fn(usize, usize, &mut [Scalar]) + Sync,
 ) {
     if rows == 0 {
         return;
     }
-    alpha_parallel::parallel_over_chunks(
+    exec.over_chunks(
         alpha_parallel::split_mut(&mut y[..rows], threads),
         |first, out| body(first, first + out.len(), out),
     );
@@ -305,9 +353,10 @@ fn run_ell(
     x: &[Scalar],
     y: &mut [Scalar],
     threads: usize,
+    exec: &Executor<'_>,
 ) {
     let rows = cols.len() / width.max(1);
-    for_row_chunks(rows, threads, y, |first, last, out| {
+    for_row_chunks(rows, threads, y, exec, |first, last, out| {
         for (row, slot) in (first..last).zip(out.iter_mut()) {
             let base = row * width;
             let mut acc = 0.0;

@@ -202,8 +202,16 @@ fn main() {
         match native_mode(config) {
             Ok(results) => {
                 println!(
-                    "  {:<18} {:>9} {:>9} {:>9} {:>9} {:>11} {:>9}",
-                    "matrix", "CSR", "ELL", "HYB", "Merge", "generated", "speedup"
+                    "  {:<18} {:>9} {:>9} {:>9} {:>9} {:>11} {:>9} {:>10} {:>10}",
+                    "matrix",
+                    "CSR",
+                    "ELL",
+                    "HYB",
+                    "Merge",
+                    "generated",
+                    "speedup",
+                    "pool µs",
+                    "spawn Δµs"
                 );
                 for r in &results {
                     let g = |name: &str| {
@@ -213,15 +221,20 @@ fn main() {
                             .map(|b| b.gflops)
                             .unwrap_or(0.0)
                     };
+                    // Pooled-vs-spawn comparison columns: the generated
+                    // kernel's pooled median next to the extra per-call
+                    // cost the legacy spawn path pays for the same kernel.
                     println!(
-                        "  {:<18} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>11.2} {:>8.2}x",
+                        "  {:<18} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>11.2} {:>8.2}x {:>10.1} {:>+10.1}",
                         r.name,
                         g("CSR-scalar"),
                         g("ELL"),
                         g("HYB"),
                         g("Merge"),
                         r.generated.gflops,
-                        r.speedup_over_best_baseline()
+                        r.speedup_over_best_baseline(),
+                        r.generated.measured_median_us.unwrap_or(0.0),
+                        r.generated.dispatch_overhead_us.unwrap_or(0.0)
                     );
                 }
                 let speedups: Vec<f64> = results
@@ -232,6 +245,17 @@ fn main() {
                     "  geometric-mean speedup over the best baseline: {:.2}x",
                     geometric_mean(&speedups)
                 );
+                let overheads: Vec<f64> = results
+                    .iter()
+                    .filter_map(|r| r.generated.dispatch_overhead_us)
+                    .collect();
+                if !overheads.is_empty() {
+                    println!(
+                        "  spawn Δµs = spawn-per-call min − pooled min per run \
+                         (mean {:+.1} µs; positive = pool wins)",
+                        overheads.iter().sum::<f64>() / overheads.len() as f64
+                    );
+                }
                 println!(
                     "  (wall-clock numbers carry allocator-placement and scheduler noise;\n\
                      \x20  treat deltas under ~30% as ties)\n"
@@ -295,6 +319,19 @@ fn main() {
                     "tune",
                     &report.tune_summary(),
                     report.tune_latencies_us.len(),
+                );
+                // The tune latency decomposed: admission-queue wait vs
+                // server-side execution, so pool improvements (execution)
+                // are attributable separately from backlog (queueing).
+                print_class(
+                    "queue",
+                    &report.tune_queue_summary(),
+                    report.tune_queue_wait_us.len(),
+                );
+                print_class(
+                    "exec",
+                    &report.tune_exec_summary(),
+                    report.tune_exec_us.len(),
                 );
                 print_class(
                     "spmv",

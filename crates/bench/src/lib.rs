@@ -484,6 +484,16 @@ pub struct BenchRecord {
     /// Standard deviation of the native timing harness's trials in
     /// microseconds; `None` for simulated records.
     pub measured_stddev_us: Option<f64>,
+    /// True when the measured hot path ran on a persistent worker pool
+    /// (the steady-state default); false for simulated records and legacy
+    /// spawn-per-call measurements.
+    pub pool: bool,
+    /// Per-call pooled-vs-spawn delta in microseconds: the spawn-per-call
+    /// minimum time minus the pooled minimum time for the same kernel.
+    /// Positive = the pool wins (it absorbs both the thread-spawn cost and
+    /// the parallelism the lower pooled `effective_workers` threshold
+    /// unlocks).  `None` when no comparison was measured.
+    pub dispatch_overhead_us: Option<f64>,
     /// Latency percentiles + throughput, for serve-bench records only.
     pub latency: Option<LatencySummary>,
 }
@@ -553,6 +563,8 @@ impl BenchRecord {
             threads: 0,
             measured_median_us: None,
             measured_stddev_us: None,
+            pool: false,
+            dispatch_overhead_us: None,
             latency: None,
         }
     }
@@ -572,6 +584,8 @@ impl BenchRecord {
             threads: 0,
             measured_median_us: None,
             measured_stddev_us: None,
+            pool: false,
+            dispatch_overhead_us: None,
             latency: None,
         }
     }
@@ -599,8 +613,17 @@ impl BenchRecord {
             threads: 0,
             measured_median_us: Some(report.median_us),
             measured_stddev_us: Some(report.stddev_us),
+            pool: true,
+            dispatch_overhead_us: None,
             latency: None,
         }
+    }
+
+    /// Attaches the pooled-vs-spawn comparison delta (see
+    /// [`BenchRecord::dispatch_overhead_us`]).
+    pub fn with_dispatch_overhead(mut self, spawn_min_us: f64, pooled_min_us: f64) -> Self {
+        self.dispatch_overhead_us = Some(spawn_min_us - pooled_min_us);
+        self
     }
 }
 
@@ -642,7 +665,8 @@ pub fn results_to_json(records: &[BenchRecord]) -> String {
              \"gflops\": {}, \"measured_gflops\": {}, \"evaluator\": \"{}\", \
              \"search_iterations\": {}, \"cache_hit_rate\": {}, \
              \"wall_secs\": {}, \"threads\": {}, \"measured_median_us\": {}, \
-             \"measured_stddev_us\": {}, \"p50_us\": {}, \"p95_us\": {}, \
+             \"measured_stddev_us\": {}, \"pool\": {}, \
+             \"dispatch_overhead_us\": {}, \"p50_us\": {}, \"p95_us\": {}, \
              \"p99_us\": {}, \"requests_per_sec\": {}}}{}\n",
             json_escape(&r.device),
             json_escape(&r.matrix),
@@ -656,6 +680,8 @@ pub fn results_to_json(records: &[BenchRecord]) -> String {
             r.threads,
             json_opt_f64(r.measured_median_us),
             json_opt_f64(r.measured_stddev_us),
+            r.pool,
+            json_opt_f64(r.dispatch_overhead_us),
             json_opt_f64(r.latency.map(|l| l.p50_us)),
             json_opt_f64(r.latency.map(|l| l.p95_us)),
             json_opt_f64(r.latency.map(|l| l.p99_us)),
@@ -860,8 +886,20 @@ impl NativeMatrixResult {
 /// baseline implementations with the same steady-state harness.  Every row
 /// carries `measured_gflops`, so `BENCH_results.json` gains real throughput
 /// next to the simulated trajectory.
+///
+/// Each kernel is measured twice: on the persistent pool (the steady-state
+/// default; this is the row's primary number, `pool: true`) and with the
+/// legacy spawn-per-call threading — the per-call delta lands in
+/// `dispatch_overhead_us`, so the trajectory file tracks the pool's win.
+/// Before anything is timed, the pooled kernel's output is checked against
+/// the reference SpMV within [`alpha_matrix::max_scaled_error`] tolerance;
+/// a divergence fails the run (this is what lets CI assert pool correctness
+/// under the real binary at several `--threads` values).
 pub fn native_mode(config: NativeModeConfig) -> Result<Vec<NativeMatrixResult>, String> {
     use alphasparse::AlphaSparse;
+
+    /// Same tolerance as the differential suite.
+    const TOL: f32 = 1e-3;
 
     let mut results = Vec::new();
     for i in 0..config.fleet_size {
@@ -880,7 +918,26 @@ pub fn native_mode(config: NativeModeConfig) -> Result<Vec<NativeMatrixResult>, 
         let start = Instant::now();
         let tuned = tuner.auto_tune(&matrix)?;
         let wall_secs = start.elapsed().as_secs_f64();
+
+        let x = DenseVector::ones(matrix.cols());
+        // Pool-correctness gate: the pooled (nnz-balanced) execution must
+        // reproduce the reference product before its timing counts.
+        let reference = matrix.spmv(x.as_slice()).map_err(|e| e.to_string())?;
+        let y = tuned.run_with_threads(x.as_slice(), config.kernel_threads)?;
+        let error = alpha_matrix::max_scaled_error(&y, &reference);
+        if error > TOL {
+            return Err(format!(
+                "{name}: pooled kernel diverged from the reference SpMV \
+                 (max scaled error {error:.2e} > {TOL:.0e})"
+            ));
+        }
+
         let measured = tuned.measure(config.harness, config.kernel_threads)?;
+        let spawned = config.harness.measure_kernel_spawning(
+            tuned.native_kernel(),
+            x.as_slice(),
+            config.kernel_threads,
+        )?;
         let generated = BenchRecord::measured(
             &name,
             &tuned.operator_graph(),
@@ -888,21 +945,19 @@ pub fn native_mode(config: NativeModeConfig) -> Result<Vec<NativeMatrixResult>, 
             tuned.search_stats().iterations,
             tuned.search_stats().cache_hit_rate(),
             wall_secs,
-        );
+        )
+        .with_dispatch_overhead(spawned.min_us, measured.min_us);
 
-        let x = DenseVector::ones(matrix.cols());
         let mut baselines = Vec::new();
         for baseline in alpha_baselines::native_set() {
             let kernel = alpha_baselines::NativeBaselineKernel::new(baseline, &matrix)?;
             let report = kernel.measure(config.harness, x.as_slice(), config.kernel_threads)?;
-            baselines.push(BenchRecord::measured(
-                &name,
-                baseline.name(),
-                &report,
-                0,
-                0.0,
-                0.0,
-            ));
+            let spawn_report =
+                kernel.measure_spawning(config.harness, x.as_slice(), config.kernel_threads)?;
+            baselines.push(
+                BenchRecord::measured(&name, baseline.name(), &report, 0, 0.0, 0.0)
+                    .with_dispatch_overhead(spawn_report.min_us, report.min_us),
+            );
         }
         results.push(NativeMatrixResult {
             name,
@@ -1081,6 +1136,8 @@ mod tests {
                 threads: 0,
                 measured_median_us: None,
                 measured_stddev_us: None,
+                pool: false,
+                dispatch_overhead_us: None,
                 latency: None,
             },
             BenchRecord {
@@ -1096,6 +1153,8 @@ mod tests {
                 threads: 2,
                 measured_median_us: Some(70.5),
                 measured_stddev_us: Some(3.25),
+                pool: true,
+                dispatch_overhead_us: Some(41.25),
                 latency: Some(LatencySummary {
                     p50_us: 10.0,
                     p95_us: 20.0,
@@ -1110,6 +1169,9 @@ mod tests {
         assert!(json.contains("\"gflops\": 123.4"));
         assert!(json.contains("\\\"quotes\\\""));
         assert!(json.contains("\\n"));
+        assert!(json.contains("\"pool\": false"));
+        assert!(json.contains("\"pool\": true"));
+        assert!(json.contains("\"dispatch_overhead_us\": 41.25"));
         assert_eq!(json.matches("\"device\"").count(), 2);
         // Round-trip through a file.
         let dir = std::env::temp_dir().join("alpha_bench_json_test");
@@ -1137,6 +1199,8 @@ mod tests {
             threads: 0,
             measured_median_us: None,
             measured_stddev_us: None,
+            pool: false,
+            dispatch_overhead_us: None,
             latency: None,
         }];
         write_results_json(&path, &records).expect("parents are created");

@@ -83,6 +83,14 @@ pub struct ServeLoadReport {
     /// Per-request tune latencies in microseconds (submit → job done,
     /// including queueing — what a closed-loop caller experiences).
     pub tune_latencies_us: Vec<f64>,
+    /// Server-side admission-queue wait per tune job in microseconds
+    /// (submit → worker pickup).  Reported separately from execution so
+    /// pool improvements are attributable: queue wait is capacity/backlog,
+    /// not kernel speed.
+    pub tune_queue_wait_us: Vec<f64>,
+    /// Server-side tuning execution time per job in microseconds (worker
+    /// pickup → done), i.e. the tune latency minus queueing and transport.
+    pub tune_exec_us: Vec<f64>,
     /// Per-request remote SpMV round-trip latencies in microseconds.
     pub spmv_latencies_us: Vec<f64>,
     /// Submissions that hit [`Busy`](alpha_net::Response::Busy)
@@ -101,6 +109,16 @@ impl ServeLoadReport {
     /// Throughput + tail latency of the SpMV request class.
     pub fn spmv_summary(&self) -> LatencySummary {
         LatencySummary::from_samples(&self.spmv_latencies_us, self.wall_secs)
+    }
+
+    /// Tail summary of the tuning-queue wait component.
+    pub fn tune_queue_summary(&self) -> LatencySummary {
+        LatencySummary::from_samples(&self.tune_queue_wait_us, self.wall_secs)
+    }
+
+    /// Tail summary of the server-side tuning execution component.
+    pub fn tune_exec_summary(&self) -> LatencySummary {
+        LatencySummary::from_samples(&self.tune_exec_us, self.wall_secs)
     }
 
     /// The `BENCH_results.json` records of this run: one per request class,
@@ -123,10 +141,22 @@ impl ServeLoadReport {
             threads: self.config.threads,
             measured_median_us: None,
             measured_stddev_us: None,
+            pool: true,
+            dispatch_overhead_us: None,
             latency: Some(latency),
         };
         vec![
             record("tune", self.tune_summary(), self.tune_latencies_us.len()),
+            record(
+                "tune_queue",
+                self.tune_queue_summary(),
+                self.tune_queue_wait_us.len(),
+            ),
+            record(
+                "tune_exec",
+                self.tune_exec_summary(),
+                self.tune_exec_us.len(),
+            ),
             record("spmv", self.spmv_summary(), self.spmv_latencies_us.len()),
         ]
     }
@@ -134,6 +164,8 @@ impl ServeLoadReport {
 
 struct ClientOutcome {
     tune_latencies_us: Vec<f64>,
+    tune_queue_wait_us: Vec<f64>,
+    tune_exec_us: Vec<f64>,
     spmv_latencies_us: Vec<f64>,
     backpressure_hits: u64,
     store_served_jobs: usize,
@@ -151,6 +183,8 @@ fn drive_client(
     let mut client = Client::connect(addr).map_err(String::from)?;
     let mut outcome = ClientOutcome {
         tune_latencies_us: Vec::new(),
+        tune_queue_wait_us: Vec::new(),
+        tune_exec_us: Vec::new(),
         spmv_latencies_us: Vec::new(),
         backpressure_hits: 0,
         store_served_jobs: 0,
@@ -169,6 +203,10 @@ fn drive_client(
         outcome
             .tune_latencies_us
             .push(start.elapsed().as_secs_f64() * 1e6);
+        outcome
+            .tune_queue_wait_us
+            .push(summary.queue_wait_secs * 1e6);
+        outcome.tune_exec_us.push(summary.wall_secs * 1e6);
         outcome.store_served_jobs += (summary.fresh_evaluations == 0) as usize;
 
         let x = vec![1.0; matrix.cols()];
@@ -262,6 +300,8 @@ pub fn serve_load(config: ServeLoadConfig) -> Result<ServeLoadReport, String> {
         config,
         wall_secs,
         tune_latencies_us: Vec::new(),
+        tune_queue_wait_us: Vec::new(),
+        tune_exec_us: Vec::new(),
         spmv_latencies_us: Vec::new(),
         backpressure_hits: 0,
         store_served_jobs: 0,
@@ -269,6 +309,8 @@ pub fn serve_load(config: ServeLoadConfig) -> Result<ServeLoadReport, String> {
     for outcome in outcomes {
         let outcome = outcome?;
         report.tune_latencies_us.extend(outcome.tune_latencies_us);
+        report.tune_queue_wait_us.extend(outcome.tune_queue_wait_us);
+        report.tune_exec_us.extend(outcome.tune_exec_us);
         report.spmv_latencies_us.extend(outcome.spmv_latencies_us);
         report.backpressure_hits += outcome.backpressure_hits;
         report.store_served_jobs += outcome.store_served_jobs;
@@ -296,10 +338,29 @@ mod tests {
         let spmv = report.spmv_summary();
         assert!(spmv.p50_us > 0.0 && spmv.requests_per_sec > 0.0);
 
+        // Queue wait and execution are reported separately, and each
+        // component is bounded by the end-to-end latency the client saw.
+        assert_eq!(report.tune_queue_wait_us.len(), config.fleet_size);
+        assert_eq!(report.tune_exec_us.len(), config.fleet_size);
+        let p50_total = tune.p50_us;
+        let queue = report.tune_queue_summary();
+        let exec = report.tune_exec_summary();
+        assert!(queue.p50_us >= 0.0);
+        assert!(exec.p50_us > 0.0, "execution time must be measured");
+        assert!(
+            exec.p50_us <= p50_total * 1.5,
+            "execution p50 ({}) cannot dwarf the end-to-end p50 ({})",
+            exec.p50_us,
+            p50_total
+        );
+
         let records = report.records();
-        assert_eq!(records.len(), 2);
+        assert_eq!(records.len(), 4);
+        let formats: Vec<&str> = records.iter().map(|r| r.format.as_str()).collect();
+        assert_eq!(formats, ["tune", "tune_queue", "tune_exec", "spmv"]);
         for record in &records {
             assert_eq!(record.device, "alpha-net");
+            assert!(record.pool, "daemon SpMV and tuning run pooled");
             let latency = record.latency.expect("serve records carry latency");
             assert!(latency.p99_us >= latency.p50_us);
         }

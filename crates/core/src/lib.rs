@@ -330,7 +330,17 @@ impl TunedSpmv {
 
     /// Runs `y = A·x` **natively**: the stored winner executes as a real
     /// threaded CPU kernel (`alpha-cpu`), no simulator involved.  `y` is the
-    /// actual product, computed at memory speed.
+    /// actual product, computed at memory speed.  Steady-state friendly:
+    /// repeated calls reuse the process-wide persistent worker pool — no
+    /// thread is ever spawned on this path.
+    ///
+    /// The shared pool runs one job at a time, and candidate-batch fan-out
+    /// during a concurrent `auto_tune` uses the same pool (in bounded
+    /// `batch_size` jobs), so a multi-threaded `run` issued *while another
+    /// thread is tuning in the same process* can wait out a batch.  A
+    /// latency-sensitive server running SpMV next to tuning should give its
+    /// execution traffic a dedicated pool via
+    /// [`TunedSpmv::run_with_pool`] — `alpha-net` does exactly that.
     pub fn run(&self, x: &[Scalar]) -> Result<Vec<Scalar>, String> {
         self.native_kernel().run(x, 0)
     }
@@ -339,6 +349,18 @@ impl TunedSpmv {
     /// (0 = one per available core, 1 = serial).
     pub fn run_with_threads(&self, x: &[Scalar], threads: usize) -> Result<Vec<Scalar>, String> {
         self.native_kernel().run(x, threads)
+    }
+
+    /// [`run`](TunedSpmv::run) on an explicit persistent pool — what a
+    /// long-lived server uses so its SpMV traffic has a dedicated executor
+    /// (e.g. `alpha-net` keeps one per daemon) instead of sharing the
+    /// process-wide pool with tuning work.
+    pub fn run_with_pool(
+        &self,
+        x: &[Scalar],
+        pool: &alpha_parallel::Pool,
+    ) -> Result<Vec<Scalar>, String> {
+        self.native_kernel().run_with_pool(x, 0, pool)
     }
 
     /// Measures the stored winner's native execution with a steady-state

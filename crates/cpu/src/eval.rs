@@ -27,15 +27,27 @@ pub use crate::harness::NATIVE_DEVICE_LABEL;
 use crate::kernel::NativeKernel;
 use alpha_codegen::generate;
 use alpha_graph::OperatorGraph;
+use alpha_matrix::Scalar;
+use alpha_parallel::Pool;
 use alpha_search::{EvalContext, Evaluation, Evaluator, EvaluatorChoice, EvaluatorId};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Ground-truth evaluator that executes candidates natively and scores them
 /// by measured time.
+///
+/// The evaluator owns a **private persistent pool** sized to
+/// `kernel_threads` and a reusable output scratch buffer: every verification
+/// run and every timed rep of every candidate in a search reuses the same
+/// parked workers and the same allocation, so a measurement is pure kernel
+/// time — no thread spawns, no allocator traffic, no interference from other
+/// pools' jobs.
 pub struct NativeEvaluator {
     harness: TimingHarness,
     kernel_threads: usize,
     executions: AtomicUsize,
+    pool: Pool,
+    scratch: Mutex<Vec<Scalar>>,
 }
 
 impl NativeEvaluator {
@@ -46,6 +58,8 @@ impl NativeEvaluator {
             harness,
             kernel_threads,
             executions: AtomicUsize::new(0),
+            pool: Pool::new(kernel_threads),
+            scratch: Mutex::new(Vec::new()),
         }
     }
 
@@ -78,18 +92,22 @@ impl Evaluator for NativeEvaluator {
         // Verify before timing: a design that computes the wrong y is
         // infeasible, not merely slow.  The verification run also validates
         // the dimensions and warms the kernel's data, so the timed loop
-        // below reuses its buffer and runs nothing extra.
-        let mut y = vec![0.0; kernel.rows()];
+        // below reuses the scratch buffer and runs nothing extra.  The lock
+        // also serialises concurrent measurements, which would otherwise
+        // steal each other's cores.
+        let mut y = self.scratch.lock().expect("evaluator scratch poisoned");
+        y.clear();
+        y.resize(kernel.rows(), 0.0);
         kernel
-            .run_into(ctx.x.as_slice(), &mut y, self.kernel_threads)
+            .run_into_with_pool(ctx.x.as_slice(), &mut y, self.kernel_threads, &self.pool)
             .ok()?;
         if alpha_matrix::max_scaled_error(&y, &ctx.reference) > ctx.tolerance {
             return None;
         }
-        let threads = crate::kernel::effective_workers(self.kernel_threads, kernel.nnz());
+        let threads = crate::kernel::effective_workers_pooled(self.kernel_threads, kernel.nnz());
         let measured = self.harness.measure(kernel.useful_flops(), threads, || {
             kernel
-                .run_into(ctx.x.as_slice(), &mut y, threads)
+                .run_into_with_pool(ctx.x.as_slice(), &mut y, self.kernel_threads, &self.pool)
                 .expect("dimensions validated by the verification run");
         });
         Some(Evaluation {

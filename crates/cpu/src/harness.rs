@@ -109,20 +109,55 @@ impl TimingHarness {
         }
     }
 
-    /// Times a lowered kernel end to end (the buffer is reused across runs,
-    /// so the measurement is allocation-free).  The first execution also
-    /// validates the input dimensions.
+    /// Times a lowered kernel end to end on the process-wide persistent
+    /// pool: the output buffer is preallocated and reused across every
+    /// warmup and timed rep, and no rep spawns a thread — the measurement
+    /// is allocation-free *and* dispatch-amortised.  The first execution
+    /// also validates the input dimensions.
     pub fn measure_kernel(
         self,
         kernel: &NativeKernel,
         x: &[Scalar],
         threads: usize,
     ) -> Result<MeasuredReport, String> {
+        self.measure_kernel_with_pool(kernel, x, threads, alpha_parallel::Pool::shared())
+    }
+
+    /// [`TimingHarness::measure_kernel`] on an explicit persistent pool
+    /// (e.g. an evaluator's private pool, so measurements are not perturbed
+    /// by unrelated traffic on the shared one).
+    pub fn measure_kernel_with_pool(
+        self,
+        kernel: &NativeKernel,
+        x: &[Scalar],
+        threads: usize,
+        pool: &alpha_parallel::Pool,
+    ) -> Result<MeasuredReport, String> {
         let mut y = vec![0.0; kernel.rows()];
-        kernel.run_into(x, &mut y, threads)?;
-        Ok(self.measure(kernel.useful_flops(), threads, || {
+        kernel.run_into_with_pool(x, &mut y, threads, pool)?;
+        let resolved = crate::kernel::effective_workers_pooled(threads, kernel.nnz());
+        Ok(self.measure(kernel.useful_flops(), resolved, || {
             kernel
-                .run_into(x, &mut y, threads)
+                .run_into_with_pool(x, &mut y, threads, pool)
+                .expect("dimensions validated above");
+        }))
+    }
+
+    /// Times a kernel with the legacy **spawn-per-call** threading — the
+    /// comparison half of every pooled-vs-spawn bench row.  Hot paths and
+    /// evaluators should use [`TimingHarness::measure_kernel`].
+    pub fn measure_kernel_spawning(
+        self,
+        kernel: &NativeKernel,
+        x: &[Scalar],
+        threads: usize,
+    ) -> Result<MeasuredReport, String> {
+        let mut y = vec![0.0; kernel.rows()];
+        kernel.run_into_spawning(x, &mut y, threads)?;
+        let resolved = crate::kernel::effective_workers(threads, kernel.nnz());
+        Ok(self.measure(kernel.useful_flops(), resolved, || {
+            kernel
+                .run_into_spawning(x, &mut y, threads)
                 .expect("dimensions validated above");
         }))
     }

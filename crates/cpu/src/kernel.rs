@@ -19,27 +19,60 @@
 //! Workers communicate only through their return values (per-range partial
 //! sums); the serial scatter applies the `origin_rows` permutation and merges
 //! rows shared between workers or `COL_DIV` sibling partitions by `+=`.
+//!
+//! Execution is **pooled by default**: [`NativeKernel::run`] and
+//! [`NativeKernel::run_into`] dispatch onto the process-wide persistent
+//! [`Pool`] (or an explicit pool via the `_with_pool` variants), so
+//! repeated runs never pay a thread spawn.  Row-partition work
+//! is split at **nnz-balanced** row boundaries cached at build time, so
+//! skewed (power-law) matrices keep their workers evenly loaded.  The legacy
+//! spawn-per-call path survives as [`NativeKernel::run_spawning`] for
+//! pool-vs-spawn comparisons.
 
 use alpha_codegen::compress::CompressedArray;
 use alpha_codegen::{CompressionModel, FormatArray, MachineFormat};
 use alpha_graph::{Mapping, MatrixMetadataSet};
 use alpha_matrix::{CsrMatrix, Scalar};
+use alpha_parallel::{Executor, Pool};
 
 /// Non-zeros one worker should own, at minimum, before another worker is
-/// worth spawning.  `alpha-parallel` spawns fresh threads per call (no
-/// pool), and a thread spawn costs tens of microseconds — more than an
-/// entire sub-100µs kernel.  Automatic thread selection (`threads == 0`)
-/// therefore scales the worker count with the matrix instead of always
-/// using every core; explicit counts are honoured verbatim.
+/// worth **spawning**.  The spawn-per-call path creates fresh threads every
+/// run, and a thread spawn costs tens of microseconds — more than an entire
+/// sub-100µs kernel.  Automatic thread selection (`threads == 0`) therefore
+/// scales the worker count with the matrix instead of always using every
+/// core; explicit counts are honoured verbatim.
 pub const MIN_NNZ_PER_WORKER: usize = 262_144;
 
-/// Resolves a requested thread count: `0` means "automatic" — one worker per
-/// available core, but never more than [`MIN_NNZ_PER_WORKER`] would justify
-/// for `nnz` non-zeros.  Explicit counts are honoured verbatim.
+/// Non-zeros one worker should own, at minimum, before another **pooled**
+/// worker is worth waking.  A persistent [`Pool`] dispatches a job in a
+/// mutex/condvar round-trip (single-digit microseconds) instead of a thread
+/// spawn, so parallelism pays off more than an order of magnitude earlier
+/// than on the spawn path — this is what un-serialises the small/medium
+/// matrices `MIN_NNZ_PER_WORKER` used to force onto one core.
+pub const MIN_NNZ_PER_WORKER_POOLED: usize = 16_384;
+
+/// Resolves a requested thread count for the **spawn-per-call** path: `0`
+/// means "automatic" — one worker per available core, but never more than
+/// [`MIN_NNZ_PER_WORKER`] would justify for `nnz` non-zeros.  Explicit
+/// counts are honoured verbatim.
 pub fn effective_workers(threads: usize, nnz: usize) -> usize {
     if threads == 0 {
         alpha_parallel::default_threads()
             .min(nnz.div_ceil(MIN_NNZ_PER_WORKER))
+            .max(1)
+    } else {
+        threads
+    }
+}
+
+/// Resolves a requested thread count for **pooled** execution: `0` means
+/// one worker per available core, but never more than
+/// [`MIN_NNZ_PER_WORKER_POOLED`] would justify for `nnz` non-zeros.
+/// Explicit counts are honoured verbatim.
+pub fn effective_workers_pooled(threads: usize, nnz: usize) -> usize {
+    if threads == 0 {
+        alpha_parallel::default_threads()
+            .min(nnz.div_ceil(MIN_NNZ_PER_WORKER_POOLED))
             .max(1)
     } else {
         threads
@@ -123,6 +156,75 @@ enum ExecPath {
     },
 }
 
+/// Row boundaries (length `workers + 1`, first entry 0, last entry `rows`)
+/// splitting the rows of a partition so every piece owns ≈
+/// `total_nnz / workers` non-zeros.  Computed from the CSR prefix sums: the
+/// boundary for worker `w` is the first row whose cumulative non-zero count
+/// reaches `w / workers` of the total.
+fn balanced_row_cuts(offsets: &[u32], workers: usize) -> Vec<usize> {
+    let rows = offsets.len().saturating_sub(1);
+    let workers = workers.clamp(1, rows.max(1));
+    let total = offsets.last().copied().unwrap_or(0) as usize;
+    let mut cuts = Vec::with_capacity(workers + 1);
+    cuts.push(0);
+    for w in 1..workers {
+        let target = (total * w) / workers;
+        // First row boundary at or above the target...
+        let above = offsets.partition_point(|&o| (o as usize) < target);
+        // ...but the boundary just below may sit closer (rows are atomic, so
+        // the best reachable split is whichever side of the target is
+        // nearer).
+        let cut = if above > 0
+            && target - offsets[above - 1] as usize
+                <= offsets.get(above).map_or(usize::MAX, |&o| o as usize) - target
+        {
+            above - 1
+        } else {
+            above
+        };
+        cuts.push(cut.clamp(*cuts.last().expect("cuts start at 0"), rows));
+    }
+    cuts.push(rows);
+    cuts
+}
+
+/// Nnz-balanced row boundaries for every worker count up to the host's core
+/// count, computed **once** from the partition's prefix-sum row offsets at
+/// kernel build time.
+///
+/// Equal-*row* splitting (the old `split_mut` scheme) serialises skewed
+/// matrices — a power-law partition puts most of its non-zeros in a few
+/// rows, so one worker owns almost all the work while the rest finish
+/// instantly and wait.  Splitting at equal-*nnz* boundaries keeps per-worker
+/// work even regardless of the row-length distribution; caching the
+/// boundaries keeps the binary searches off the per-run hot path.
+#[derive(Debug, Clone)]
+struct BalancedRowCuts {
+    /// `per_count[w - 1]` holds the boundaries for `w` workers.
+    per_count: Vec<Vec<usize>>,
+}
+
+impl BalancedRowCuts {
+    fn build(offsets: &[u32]) -> Self {
+        let max_workers = alpha_parallel::default_threads().max(1);
+        BalancedRowCuts {
+            per_count: (1..=max_workers)
+                .map(|workers| balanced_row_cuts(offsets, workers))
+                .collect(),
+        }
+    }
+
+    /// The cached boundaries for `workers`, when within the precomputed
+    /// range (worker counts above the core count fall back to an on-demand
+    /// computation at the call site).
+    fn get(&self, workers: usize) -> Option<&[usize]> {
+        if workers == 0 || workers > self.per_count.len() {
+            return None;
+        }
+        Some(&self.per_count[workers - 1])
+    }
+}
+
 #[derive(Debug, Clone)]
 struct NativePartition {
     /// The partition's permuted sub-matrix (value and column-index streams).
@@ -135,6 +237,8 @@ struct NativePartition {
     /// matrices whose rows all have the same length).
     row_offsets: IndexFn,
     path: ExecPath,
+    /// Build-time nnz-balanced row boundaries (row-partition loops only).
+    row_cuts: Option<BalancedRowCuts>,
 }
 
 /// A machine-designed SpMV program lowered to native threaded CPU loops.
@@ -173,12 +277,20 @@ impl NativeKernel {
                         row_starts: lookup("bmt_row_starts"),
                     },
                 };
+                // Row-partition loops split work at nnz-balanced row
+                // boundaries; the boundaries come from the sub-matrix's
+                // prefix sums and are cached here, once, at build time.
+                let row_cuts = match path {
+                    ExecPath::Rows => Some(BalancedRowCuts::build(plan.matrix.row_offsets())),
+                    ExecPath::Nnz { .. } => None,
+                };
                 NativePartition {
                     matrix: plan.matrix.clone(),
                     col_offset: plan.col_offset,
                     origin: lookup("origin_rows"),
                     row_offsets: lookup("row_offsets"),
                     path,
+                    row_cuts,
                 }
             })
             .collect();
@@ -250,6 +362,11 @@ impl NativeKernel {
 
     /// Runs `y = A·x`, allocating the output.  `threads == 0` means one
     /// worker per available CPU core, `1` runs serially.
+    ///
+    /// Executes on the process-wide shared [`Pool`] — repeated runs reuse
+    /// the same parked workers and **never spawn threads**.  Use
+    /// [`NativeKernel::run_spawning`] for the legacy spawn-per-call
+    /// behaviour (comparison benches only).
     pub fn run(&self, x: &[Scalar], threads: usize) -> Result<Vec<Scalar>, String> {
         let mut y = vec![0.0; self.rows];
         self.run_into(x, &mut y, threads)?;
@@ -257,8 +374,68 @@ impl NativeKernel {
     }
 
     /// Runs `y = A·x` into a caller-provided buffer (zeroed here first) —
-    /// the allocation-free path the timing harness drives.
+    /// the allocation-free path the timing harness drives.  Pooled, like
+    /// [`NativeKernel::run`].
     pub fn run_into(&self, x: &[Scalar], y: &mut [Scalar], threads: usize) -> Result<(), String> {
+        self.run_into_with_pool(x, y, threads, Pool::shared())
+    }
+
+    /// [`NativeKernel::run`] on an explicit persistent [`Pool`] (e.g. a
+    /// daemon's dedicated execution pool or an evaluator's private pool).
+    pub fn run_with_pool(
+        &self,
+        x: &[Scalar],
+        threads: usize,
+        pool: &Pool,
+    ) -> Result<Vec<Scalar>, String> {
+        let mut y = vec![0.0; self.rows];
+        self.run_into_with_pool(x, &mut y, threads, pool)?;
+        Ok(y)
+    }
+
+    /// [`NativeKernel::run_into`] on an explicit persistent [`Pool`].
+    pub fn run_into_with_pool(
+        &self,
+        x: &[Scalar],
+        y: &mut [Scalar],
+        threads: usize,
+        pool: &Pool,
+    ) -> Result<(), String> {
+        let workers = effective_workers_pooled(threads, self.nnz);
+        self.exec(x, y, workers, &Executor::Pooled(pool))
+    }
+
+    /// Runs `y = A·x` with the legacy **spawn-per-call** threading: scoped
+    /// threads are created and joined on every call.  Kept so benches can
+    /// measure the pool's dispatch win; hot paths should use
+    /// [`NativeKernel::run`].
+    pub fn run_spawning(&self, x: &[Scalar], threads: usize) -> Result<Vec<Scalar>, String> {
+        let mut y = vec![0.0; self.rows];
+        self.run_into_spawning(x, &mut y, threads)?;
+        Ok(y)
+    }
+
+    /// [`NativeKernel::run_spawning`], writing into a caller-provided
+    /// buffer.
+    pub fn run_into_spawning(
+        &self,
+        x: &[Scalar],
+        y: &mut [Scalar],
+        threads: usize,
+    ) -> Result<(), String> {
+        let workers = effective_workers(threads, self.nnz);
+        self.exec(x, y, workers, &Executor::Spawn { threads: workers })
+    }
+
+    /// Validates dimensions and executes every partition on `exec` with
+    /// `workers`-way partitioning.
+    fn exec(
+        &self,
+        x: &[Scalar],
+        y: &mut [Scalar],
+        workers: usize,
+        exec: &Executor<'_>,
+    ) -> Result<(), String> {
         if x.len() != self.cols {
             return Err(format!(
                 "input vector has length {}, matrix has {} columns",
@@ -273,17 +450,16 @@ impl NativeKernel {
                 self.rows
             ));
         }
-        let threads = effective_workers(threads, self.nnz);
         y.fill(0.0);
         // Partitions run one after another (their outputs may overlap under
         // COL_DIV); the parallelism lives inside each partition.
         for partition in &self.partitions {
             match &partition.path {
-                ExecPath::Rows => exec_rows(partition, x, y, threads),
+                ExecPath::Rows => exec_rows(partition, x, y, workers, exec),
                 ExecPath::Nnz {
                     nnz_per_thread,
                     row_starts,
-                } => exec_nnz(partition, *nnz_per_thread, row_starts, x, y, threads),
+                } => exec_nnz(partition, *nnz_per_thread, row_starts, x, y, workers, exec),
             }
         }
         Ok(())
@@ -321,7 +497,10 @@ fn row_dot(
 }
 
 /// Row-partition loop: contiguous local-row ranges across workers, one dot
-/// product per row.
+/// product per row.  Worker boundaries are **nnz-balanced** (see
+/// [`BalancedRowCuts`]): each worker owns roughly the same number of
+/// non-zeros, not the same number of rows, so skewed matrices stop
+/// serialising behind their heaviest worker.
 ///
 /// When the origin map is contiguous (no reordering — the common case for
 /// unsorted designs, whose `origin_rows` compressed to identity/affine),
@@ -329,7 +508,13 @@ fn row_dot(
 /// no staging buffers, no scatter pass, no per-run allocation.  Reordered
 /// designs (SORT/BIN) stage per-worker partials and pay a permuted scatter —
 /// a real cost of that format, not an artifact of the harness.
-fn exec_rows(p: &NativePartition, x: &[Scalar], y: &mut [Scalar], threads: usize) {
+fn exec_rows(
+    p: &NativePartition,
+    x: &[Scalar],
+    y: &mut [Scalar],
+    workers: usize,
+    exec: &Executor<'_>,
+) {
     let rows = p.matrix.rows();
     if rows == 0 {
         return;
@@ -341,11 +526,11 @@ fn exec_rows(p: &NativePartition, x: &[Scalar], y: &mut [Scalar], threads: usize
     match &p.row_offsets {
         IndexFn::Table(offsets) => {
             let offsets: &[u32] = offsets;
-            exec_rows_with(p, x, y, threads, |row| {
+            exec_rows_with(p, x, y, workers, exec, |row| {
                 (offsets[row] as usize, offsets[row + 1] as usize)
             })
         }
-        bounds => exec_rows_with(p, x, y, threads, |row| {
+        bounds => exec_rows_with(p, x, y, workers, exec, |row| {
             (bounds.get(row) as usize, bounds.get(row + 1) as usize)
         }),
     }
@@ -355,7 +540,8 @@ fn exec_rows_with(
     p: &NativePartition,
     x: &[Scalar],
     y: &mut [Scalar],
-    threads: usize,
+    workers: usize,
+    exec: &Executor<'_>,
     row_range: impl Fn(usize) -> (usize, usize) + Sync,
 ) {
     let rows = p.matrix.rows();
@@ -363,35 +549,42 @@ fn exec_rows_with(
     let col_indices = p.matrix.col_indices();
     let col_offset = p.col_offset;
 
+    // Nnz-balanced worker boundaries: from the build-time cache when the
+    // count is within the host's core range, recomputed otherwise.
+    let workers = workers.clamp(1, rows);
+    let computed;
+    let cuts: &[usize] = match p.row_cuts.as_ref().and_then(|cache| cache.get(workers)) {
+        Some(cached) => cached,
+        None => {
+            computed = balanced_row_cuts(p.matrix.row_offsets(), workers);
+            &computed
+        }
+    };
+
     if let Some(base) = p.origin.contiguous_base() {
         let target = &mut y[base..base + rows];
-        alpha_parallel::parallel_over_chunks(
-            alpha_parallel::split_mut(target, threads),
-            |first, out| {
-                for (i, slot) in out.iter_mut().enumerate() {
-                    let (start, end) = row_range(first + i);
-                    *slot += row_dot(values, col_indices, x, col_offset, start, end);
-                }
-            },
-        );
+        exec.over_chunks(alpha_parallel::split_mut_at(target, cuts), |first, out| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let (start, end) = row_range(first + i);
+                *slot += row_dot(values, col_indices, x, col_offset, start, end);
+            }
+        });
         return;
     }
 
-    let chunk_count = threads.min(rows).max(1);
-    let chunk_size = rows.div_ceil(chunk_count);
-    let ranges: Vec<(usize, usize)> = (0..chunk_count)
-        .map(|c| (c * chunk_size, ((c + 1) * chunk_size).min(rows)))
+    let ranges: Vec<(usize, usize)> = cuts
+        .windows(2)
+        .map(|w| (w[0], w[1]))
         .filter(|&(first, last)| first < last)
         .collect();
-    let sums: Vec<Vec<Scalar>> =
-        alpha_parallel::parallel_map(&ranges, threads, |&(first, last)| {
-            let mut out = Vec::with_capacity(last - first);
-            for row in first..last {
-                let (start, end) = row_range(row);
-                out.push(row_dot(values, col_indices, x, col_offset, start, end));
-            }
-            out
-        });
+    let sums: Vec<Vec<Scalar>> = exec.map(&ranges, |&(first, last)| {
+        let mut out = Vec::with_capacity(last - first);
+        for row in first..last {
+            let (start, end) = row_range(row);
+            out.push(row_dot(values, col_indices, x, col_offset, start, end));
+        }
+        out
+    });
     for (&(first, _), chunk) in ranges.iter().zip(&sums) {
         scatter(&p.origin, first, chunk, y);
     }
@@ -407,6 +600,7 @@ fn exec_nnz(
     x: &[Scalar],
     y: &mut [Scalar],
     threads: usize,
+    exec: &Executor<'_>,
 ) {
     let nnz = p.matrix.nnz();
     if nnz == 0 {
@@ -430,35 +624,34 @@ fn exec_nnz(
     let col_indices = p.matrix.col_indices();
     let offsets = p.matrix.row_offsets();
     let last_row = p.matrix.rows().saturating_sub(1);
-    let partials: Vec<(usize, Vec<Scalar>)> =
-        alpha_parallel::parallel_map(&spans, threads, |&(first_chunk, start, end)| {
-            // The chunk descriptor gives the first row (closed-form when the
-            // row structure is regular); skip any empty rows before `start`.
-            let mut row = (row_starts.get(first_chunk) as usize).min(last_row);
-            while row < last_row && offsets[row + 1] as usize <= start {
-                row += 1;
+    let partials: Vec<(usize, Vec<Scalar>)> = exec.map(&spans, |&(first_chunk, start, end)| {
+        // The chunk descriptor gives the first row (closed-form when the
+        // row structure is regular); skip any empty rows before `start`.
+        let mut row = (row_starts.get(first_chunk) as usize).min(last_row);
+        while row < last_row && offsets[row + 1] as usize <= start {
+            row += 1;
+        }
+        let base_row = row;
+        let mut sums = Vec::new();
+        let mut cursor = start;
+        loop {
+            let seg_end = (offsets[row + 1] as usize).min(end);
+            sums.push(row_dot(
+                values,
+                col_indices,
+                x,
+                p.col_offset,
+                cursor,
+                seg_end,
+            ));
+            cursor = seg_end;
+            if cursor >= end {
+                break;
             }
-            let base_row = row;
-            let mut sums = Vec::new();
-            let mut cursor = start;
-            loop {
-                let seg_end = (offsets[row + 1] as usize).min(end);
-                sums.push(row_dot(
-                    values,
-                    col_indices,
-                    x,
-                    p.col_offset,
-                    cursor,
-                    seg_end,
-                ));
-                cursor = seg_end;
-                if cursor >= end {
-                    break;
-                }
-                row += 1;
-            }
-            (base_row, sums)
-        });
+            row += 1;
+        }
+        (base_row, sums)
+    });
 
     for (base_row, sums) in &partials {
         scatter(&p.origin, *base_row, sums, y);
@@ -618,6 +811,115 @@ mod tests {
         assert_eq!(kernel.useful_flops(), 2 * matrix.nnz() as u64);
         assert!(kernel.format_bytes() > 0);
         assert!(kernel.name().contains("alpha-cpu"));
+    }
+
+    #[test]
+    fn balanced_cuts_cover_rows_and_balance_nnz() {
+        // An adversarially skewed matrix: the first rows carry almost all
+        // the work (descending row lengths), so an equal-ROW split loads its
+        // first worker with nearly everything.
+        let rows = 512usize;
+        let mut coo = alpha_matrix::CooMatrix::new(rows, rows);
+        for r in 0..rows {
+            let len = (rows / (r + 1)).max(1);
+            for k in 0..len {
+                coo.push(r, (r + k * 7) % rows, 1.0);
+            }
+        }
+        let matrix = CsrMatrix::from_coo(&coo);
+        let offsets = matrix.row_offsets();
+        let total = matrix.nnz();
+        let max_row = (0..rows)
+            .map(|r| (offsets[r + 1] - offsets[r]) as usize)
+            .max()
+            .unwrap();
+        let nnz_of = |first: usize, last: usize| offsets[last] as usize - offsets[first] as usize;
+
+        for workers in [1usize, 2, 3, 4, 8] {
+            let cuts = balanced_row_cuts(offsets, workers);
+            assert_eq!(*cuts.first().unwrap(), 0);
+            assert_eq!(*cuts.last().unwrap(), rows);
+            assert!(cuts.windows(2).all(|w| w[0] <= w[1]), "cuts must ascend");
+
+            // Rows are atomic, so the best reachable balance is the ideal
+            // share plus at most one row's worth of slack.
+            let balanced_max = cuts
+                .windows(2)
+                .map(|w| nnz_of(w[0], w[1]))
+                .max()
+                .unwrap_or(0);
+            let ideal = total.div_ceil(workers);
+            assert!(
+                balanced_max <= ideal + max_row,
+                "{workers} workers: balanced max {balanced_max} > ideal {ideal} + max row {max_row}"
+            );
+            // And on this skew the equal-rows split is strictly worse.
+            if workers > 1 {
+                let rows_per = rows.div_ceil(workers);
+                let equal_max = (0..workers)
+                    .map(|w| nnz_of((w * rows_per).min(rows), ((w + 1) * rows_per).min(rows)))
+                    .max()
+                    .unwrap_or(total);
+                assert!(
+                    balanced_max < equal_max,
+                    "{workers} workers: balanced {balanced_max} should beat equal-rows {equal_max}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_cuts_handle_degenerate_shapes() {
+        // Empty matrix, single row, more workers than rows.
+        assert_eq!(balanced_row_cuts(&[0], 4), vec![0, 0]);
+        assert_eq!(balanced_row_cuts(&[0, 5], 4), vec![0, 1]);
+        let cuts = balanced_row_cuts(&[0, 1, 2, 3], 8);
+        assert_eq!(*cuts.first().unwrap(), 0);
+        assert_eq!(*cuts.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn pooled_and_spawning_paths_agree_on_every_family() {
+        // The nnz-balanced pooled path vs the (also nnz-balanced) spawn path
+        // vs serial: identical partitioning semantics, different executors.
+        let pool = alpha_parallel::Pool::new(4);
+        for family in gen::PatternFamily::ALL {
+            let matrix = family.generate(192, 6, 21);
+            let x = DenseVector::random(matrix.cols(), 13);
+            for (name, graph) in presets::all_presets() {
+                let kernel = native_for(&graph, &matrix, true);
+                let serial = kernel.run(x.as_slice(), 1).unwrap();
+                let pooled = kernel.run_with_pool(x.as_slice(), 4, &pool).unwrap();
+                let spawned = kernel.run_spawning(x.as_slice(), 4).unwrap();
+                assert!(
+                    DenseVector::from_vec(pooled.clone()).approx_eq(&serial, 1e-4),
+                    "{name} on {}: pooled diverged from serial",
+                    family.name()
+                );
+                assert!(
+                    DenseVector::from_vec(spawned).approx_eq(&pooled, 1e-4),
+                    "{name} on {}: spawn diverged from pooled",
+                    family.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_thresholds_unlock_parallelism_an_order_of_magnitude_earlier() {
+        const { assert!(MIN_NNZ_PER_WORKER / MIN_NNZ_PER_WORKER_POOLED >= 10) };
+        // A 100k-nnz matrix: forced serial on the spawn path, parallel on
+        // the pooled path (given enough cores).
+        let nnz = 100_000;
+        assert_eq!(effective_workers(0, nnz), 1);
+        let pooled = effective_workers_pooled(0, nnz);
+        assert_eq!(
+            pooled,
+            alpha_parallel::default_threads().min(nnz.div_ceil(MIN_NNZ_PER_WORKER_POOLED))
+        );
+        // Explicit counts are honoured verbatim on both paths.
+        assert_eq!(effective_workers(3, nnz), 3);
+        assert_eq!(effective_workers_pooled(3, nnz), 3);
     }
 
     #[test]

@@ -30,4 +30,7 @@ pub mod kernel;
 
 pub use eval::{NativeEvaluator, NATIVE_DEVICE_LABEL};
 pub use harness::{MeasuredReport, TimingHarness};
-pub use kernel::{effective_workers, IndexFn, NativeKernel, MIN_NNZ_PER_WORKER};
+pub use kernel::{
+    effective_workers, effective_workers_pooled, IndexFn, NativeKernel, MIN_NNZ_PER_WORKER,
+    MIN_NNZ_PER_WORKER_POOLED,
+};

@@ -37,7 +37,8 @@ pub const NET_MAGIC: [u8; 4] = *b"ANET";
 /// Wire-protocol version this build speaks.  Bump on any frame- or
 /// payload-layout change; peers with a different version are rejected with
 /// [`ProtoError::VersionMismatch`] instead of being misread.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// (v2: [`JobSummary`] gained `queue_wait_secs`.)
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on one frame's payload length.  Large enough for a
 /// multi-million-nonzero matrix submission, small enough that a corrupt or
@@ -308,6 +309,10 @@ pub struct JobSummary {
     pub warm_started: bool,
     /// Server-side wall-clock seconds spent tuning.
     pub wall_secs: f64,
+    /// Seconds the job sat in the daemon's admission queue before a tuning
+    /// worker picked it up.  Reported separately from `wall_secs` so load
+    /// tests can attribute latency to queueing vs execution.
+    pub queue_wait_secs: f64,
 }
 
 /// Where one job is in its lifecycle.
@@ -521,6 +526,7 @@ fn write_summary(w: &mut ByteWriter, summary: &JobSummary) {
     w.u64(summary.fresh_evaluations);
     w.u8(summary.warm_started as u8);
     w.f64(summary.wall_secs);
+    w.f64(summary.queue_wait_secs);
 }
 
 fn read_summary(r: &mut ByteReader<'_>) -> Result<JobSummary, ProtoError> {
@@ -538,6 +544,7 @@ fn read_summary(r: &mut ByteReader<'_>) -> Result<JobSummary, ProtoError> {
             }
         },
         wall_secs: r.f64()?,
+        queue_wait_secs: r.f64()?,
     })
 }
 
@@ -767,6 +774,7 @@ mod tests {
                     fresh_evaluations: 40,
                     warm_started: true,
                     wall_secs: 0.25,
+                    queue_wait_secs: 0.0625,
                 }),
             },
             Response::Status {

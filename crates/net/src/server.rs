@@ -77,6 +77,9 @@ impl Default for ServerConfig {
 enum Job {
     Queued {
         request: Box<TuneRequest>,
+        /// When the job was admitted — a tuning worker turns this into the
+        /// queue-wait component of the job's [`JobSummary`].
+        enqueued: std::time::Instant,
     },
     Running,
     Done {
@@ -120,6 +123,14 @@ struct Shared {
     queue: TaskQueue<u64>,
     counters: Counters,
     shutdown: AtomicBool,
+    /// Long-lived execution pool for remote SpMV: connection threads run
+    /// finished kernels here, so a `Request::Spmv` never spawns a thread
+    /// and never queues behind the tuning workers' candidate batches.
+    /// Sub-threshold SpMVs (the common small-matrix case) resolve to one
+    /// worker and run inline on their connection thread — fully concurrent;
+    /// only genuinely multi-worker kernels serialise on the pool, where
+    /// each already uses several cores (work-conserving under load).
+    exec_pool: alpha_parallel::Pool,
 }
 
 impl Shared {
@@ -193,6 +204,7 @@ impl NetServer {
             queue: TaskQueue::bounded(config.queue_capacity),
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
+            exec_pool: alpha_parallel::Pool::new(0),
         });
 
         let worker_count = if config.workers == 0 {
@@ -335,10 +347,12 @@ fn accept_loop(
 /// empty, tuning each through the shared service.
 fn worker_loop(shared: &Shared) {
     while let Some(job_id) = shared.queue.pop() {
-        let request = {
+        let (request, queue_wait_secs) = {
             let mut table = shared.jobs.lock().expect("job table poisoned");
             match table.jobs.insert(job_id, Job::Running) {
-                Some(Job::Queued { request }) => request,
+                Some(Job::Queued { request, enqueued }) => {
+                    (request, enqueued.elapsed().as_secs_f64())
+                }
                 // The entry must exist and be queued — submission inserted
                 // it before pushing the id.  Anything else is a logic bug;
                 // recover by dropping the phantom id.
@@ -357,6 +371,7 @@ fn worker_loop(shared: &Shared) {
                     fresh_evaluations: tune.fresh_evaluations as u64,
                     warm_started: tune.warm_started,
                     wall_secs: tune.wall_secs,
+                    queue_wait_secs,
                 },
                 tuned: Arc::new(tune.tuned),
             },
@@ -464,6 +479,7 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
                     job_id,
                     Job::Queued {
                         request: Box::new(request),
+                        enqueued: std::time::Instant::now(),
                     },
                 );
                 job_id
@@ -536,9 +552,10 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
                     Some(Job::Done { tuned, .. }) => tuned.clone(),
                 }
             };
-            // The kernel runs outside the table lock: a long SpMV must not
-            // block submissions and polls.
-            match tuned.run(&x) {
+            // The kernel runs outside the table lock (a long SpMV must not
+            // block submissions and polls) on the daemon's persistent
+            // execution pool — remote SpMV never spawns threads.
+            match tuned.run_with_pool(&x, &shared.exec_pool) {
                 Ok(y) => Response::SpmvResult { y },
                 Err(e) => Response::Error {
                     kind: ErrorKind::InvalidInput,

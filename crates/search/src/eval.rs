@@ -17,9 +17,10 @@
 //!   across whole searches on the same matrix — are never re-simulated.
 //!   Infeasible candidates are cached too (a graph that cannot be applied to
 //!   a matrix will never become applicable).
-//! * [`BatchEvaluator`] — fans a batch of candidates out across worker
-//!   threads with an order-preserving parallel map, so `evaluate_batch`
-//!   returns exactly what serial evaluation would, just faster.
+//! * [`BatchEvaluator`] — fans a batch of candidates out across the
+//!   process-wide persistent worker pool with an order-preserving parallel
+//!   map, so `evaluate_batch` returns exactly what serial evaluation would,
+//!   just faster (and without spawning threads per batch).
 //!
 //! All evaluators are `Send + Sync`; the shared state ([`GpuSim`]'s device
 //! model, the matrix, the input vector, the cache) is read-only or locked,
@@ -75,11 +76,19 @@ impl EvaluatorId {
     /// Folds this identity into a context key.  [`EvaluatorId::Simulated`] is
     /// the identity transform so every pre-existing simulated cache key (and
     /// durable cache file) stays valid.
+    ///
+    /// The native tag carries a backend **revision** (`-r2`): pooled
+    /// dispatch, nnz-balanced partitioning and the lower pooled worker
+    /// threshold changed what a wall-clock measurement *means* (a ~100k-nnz
+    /// kernel that was forced serial now runs parallel), so spawn-era
+    /// persisted native evaluations and winners land in disjoint contexts
+    /// instead of being compared against pooled timings.  Bump the revision
+    /// whenever the execution substrate changes measurements again.
     pub fn salt(self, key: u64) -> u64 {
         match self {
             EvaluatorId::Simulated => key,
             EvaluatorId::Native { warmup, runs } => {
-                let key = fnv_extend(key, b"native-cpu");
+                let key = fnv_extend(key, b"native-cpu-r2");
                 let key = fnv_extend(key, &warmup.to_le_bytes());
                 fnv_extend(key, &runs.to_le_bytes())
             }
@@ -705,10 +714,13 @@ impl<E: Evaluator> Evaluator for CachingEvaluator<E> {
     }
 }
 
-/// Fans `evaluate_batch` out across `threads` worker threads.  Results come
-/// back in input order, so batched evaluation is observationally identical to
-/// serial evaluation — the engine's selection stays deterministic regardless
-/// of thread count.
+/// Fans `evaluate_batch` out across worker threads of the process-wide
+/// persistent [`alpha_parallel::Pool`], capped at `threads` concurrent
+/// executors.  Results come back in input order, so batched evaluation is
+/// observationally identical to serial evaluation — the engine's selection
+/// stays deterministic regardless of thread count.  Batches reuse the pool's
+/// parked workers instead of spawning scoped threads per batch, so the
+/// search's fan-out cost is a condvar wake, not thread creation.
 pub struct BatchEvaluator<E> {
     inner: E,
     threads: usize,
@@ -747,7 +759,19 @@ impl<E: Evaluator> Evaluator for BatchEvaluator<E> {
         ctx: &EvalContext<'_>,
         batch: &[OperatorGraph],
     ) -> Vec<Option<Evaluation>> {
-        alpha_parallel::parallel_map(batch, self.threads, |graph| self.inner.evaluate(ctx, graph))
+        let pool = alpha_parallel::Pool::shared();
+        if self.threads <= pool.threads() {
+            pool.parallel_map_capped(batch, self.threads, |graph| self.inner.evaluate(ctx, graph))
+        } else {
+            // A thread count above the pool size is a deliberate
+            // oversubscription request — evaluators standing in for the
+            // paper's real cost (nvcc + device timing) are latency-bound,
+            // not CPU-bound, so extra in-flight candidates still overlap.
+            // Only this coarse path keeps per-call spawns.
+            alpha_parallel::parallel_map(batch, self.threads, |graph| {
+                self.inner.evaluate(ctx, graph)
+            })
+        }
     }
 }
 

@@ -63,6 +63,13 @@ pub struct TuningService {
     config: SearchConfig,
     warm_start_seeds: usize,
     batch_threads: usize,
+    /// Persistent worker pool every batch of this service fans out on —
+    /// built lazily on the first genuinely parallel batch (daemon traffic is
+    /// single-request batches that run inline and never need it), then
+    /// reused by all later `tune_batch` calls and every connection of a
+    /// daemon holding the service behind an `Arc`, so request fan-out never
+    /// spawns threads.
+    pool: std::sync::OnceLock<alpha_parallel::Pool>,
 }
 
 impl TuningService {
@@ -84,6 +91,7 @@ impl TuningService {
             config,
             warm_start_seeds: 3,
             batch_threads: 0,
+            pool: std::sync::OnceLock::new(),
         }
     }
 
@@ -229,15 +237,38 @@ impl TuningService {
         } else {
             0
         };
+        // Fan out on the service's persistent pool (capped at the configured
+        // batch parallelism; 0 = one per core).  A request tuned on a pool
+        // worker runs its search single-threaded, so the nested candidate
+        // fan-out never re-enters this pool.  Serial or single-request
+        // batches run inline without ever building the pool (the daemon
+        // shape — its workers submit one request at a time); an explicit
+        // batch-thread count above the core count is an oversubscription
+        // request and keeps the scoped spawn path (request fan-out is
+        // coarse; spawn cost is noise there).
+        let pool_threads = alpha_parallel::default_threads();
+        let cap = if batch_threads == 0 {
+            pool_threads
+        } else {
+            batch_threads
+        };
+        let serve_one = |&i: &usize| {
+            let request = &requests[i];
+            (
+                keys[i],
+                self.tune_one(request, eval_keys[i], keys[i], &winners, search_threads),
+            )
+        };
         let mut unique_results: HashMap<u64, Result<(), String>> = HashMap::new();
-        let served: Vec<(u64, Result<ServedTune, String>)> =
-            alpha_parallel::parallel_map(&unique, batch_threads, |&i| {
-                let request = &requests[i];
-                (
-                    keys[i],
-                    self.tune_one(request, eval_keys[i], keys[i], &winners, search_threads),
-                )
-            });
+        let served: Vec<(u64, Result<ServedTune, String>)> = if cap <= 1 || unique.len() <= 1 {
+            unique.iter().map(serve_one).collect()
+        } else if cap <= pool_threads {
+            self.pool
+                .get_or_init(|| alpha_parallel::Pool::new(0))
+                .parallel_map_capped(&unique, cap, serve_one)
+        } else {
+            alpha_parallel::parallel_map(&unique, cap, serve_one)
+        };
         for (key, result) in &served {
             unique_results.insert(*key, result.as_ref().map(|_| ()).map_err(|e| e.clone()));
         }
