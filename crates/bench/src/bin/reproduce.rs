@@ -27,6 +27,19 @@
 use alpha_bench::*;
 use alpha_gpu::DeviceProfile;
 
+/// The key native snapshots are stored under: `git describe` of the working
+/// tree (tags → commit, `-dirty` suffix), or `untracked` outside a checkout.
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--tags", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "untracked".to_string())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_cli(&args) {
@@ -196,13 +209,21 @@ fn main() {
             ..NativeModeConfig::default()
         };
         println!(
-            "   fleet of {} matrices ({} rows, ~{} nnz/row); search optimises measured time\n",
-            config.fleet_size, config.rows, config.avg_row_len
+            "   fleet of {} matrices ({} rows, ~{}-{} nnz/row density ladder); search optimises measured time",
+            config.fleet_size,
+            config.rows,
+            config.avg_row_len,
+            config.avg_row_len << 2
+        );
+        println!(
+            "   host SIMD: {} (set {}=1 to force scalar kernels)\n",
+            alpha_cpu::cpu_features::summary(),
+            alpha_cpu::cpu_features::NO_SIMD_ENV
         );
         match native_mode(config) {
             Ok(results) => {
                 println!(
-                    "  {:<18} {:>9} {:>9} {:>9} {:>9} {:>11} {:>9} {:>10} {:>10}",
+                    "  {:<18} {:>9} {:>9} {:>9} {:>9} {:>11} {:>9} {:>10} {:>10} {:>9} {:>9} {:>7}",
                     "matrix",
                     "CSR",
                     "ELL",
@@ -211,7 +232,10 @@ fn main() {
                     "generated",
                     "speedup",
                     "pool µs",
-                    "spawn Δµs"
+                    "spawn Δµs",
+                    "scal 1T",
+                    "simd 1T",
+                    "simd×"
                 );
                 for r in &results {
                     let g = |name: &str| {
@@ -224,8 +248,11 @@ fn main() {
                     // Pooled-vs-spawn comparison columns: the generated
                     // kernel's pooled median next to the extra per-call
                     // cost the legacy spawn path pays for the same kernel.
+                    // The last three columns are the SIMD differential:
+                    // the same winning design forced scalar vs as-lowered,
+                    // both on one thread.
                     println!(
-                        "  {:<18} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>11.2} {:>8.2}x {:>10.1} {:>+10.1}",
+                        "  {:<18} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>11.2} {:>8.2}x {:>10.1} {:>+10.1} {:>9.2} {:>9.2} {:>6.2}x",
                         r.name,
                         g("CSR-scalar"),
                         g("ELL"),
@@ -234,7 +261,18 @@ fn main() {
                         r.generated.gflops,
                         r.speedup_over_best_baseline(),
                         r.generated.measured_median_us.unwrap_or(0.0),
-                        r.generated.dispatch_overhead_us.unwrap_or(0.0)
+                        r.generated.dispatch_overhead_us.unwrap_or(0.0),
+                        r.scalar.gflops,
+                        r.simd_single_thread_gflops,
+                        r.simd_speedup()
+                    );
+                }
+                println!("  winning kernels (resolved vectorization):");
+                for r in &results {
+                    println!(
+                        "    {:<18} {}",
+                        r.name,
+                        r.generated.simd.as_deref().unwrap_or("scalar")
                     );
                 }
                 let speedups: Vec<f64> = results
@@ -245,6 +283,19 @@ fn main() {
                     "  geometric-mean speedup over the best baseline: {:.2}x",
                     geometric_mean(&speedups)
                 );
+                let simd_speedups: Vec<f64> = results
+                    .iter()
+                    .map(NativeMatrixResult::simd_speedup)
+                    .filter(|&s| s > 0.0)
+                    .collect();
+                if !simd_speedups.is_empty() {
+                    println!(
+                        "  single-thread SIMD-vs-scalar speedup of the winners: \
+                         geomean {:.2}x, best {:.2}x",
+                        geometric_mean(&simd_speedups),
+                        simd_speedups.iter().fold(0.0f64, |a, &b| a.max(b))
+                    );
+                }
                 let overheads: Vec<f64> = results
                     .iter()
                     .filter_map(|r| r.generated.dispatch_overhead_us)
@@ -260,10 +311,31 @@ fn main() {
                     "  (wall-clock numbers carry allocator-placement and scheduler noise;\n\
                      \x20  treat deltas under ~30% as ties)\n"
                 );
+                let mut native_records: Vec<BenchRecord> = Vec::new();
                 for r in results {
-                    records.push(r.generated);
-                    records.extend(r.baselines);
+                    native_records.push(r.generated);
+                    native_records.push(r.scalar);
+                    native_records.extend(r.baselines);
                 }
+                for record in &mut native_records {
+                    record.threads = cli.threads;
+                }
+                // The per-version snapshot: keyed by `git describe` so
+                // reruns of the same tree replace their own entry while
+                // other versions' throughput history survives.
+                let native_path = std::env::var("BENCH_NATIVE_PATH")
+                    .unwrap_or_else(|_| "BENCH_native.json".to_string());
+                let key = git_describe();
+                match write_native_snapshot(&native_path, &key, &native_records) {
+                    Ok(()) => println!(
+                        "  snapshotted {} native record(s) under \"{key}\" in {native_path}\n",
+                        native_records.len()
+                    ),
+                    Err(e) => eprintln!(
+                        "  warning: could not write native snapshot to {native_path}: {e}\n"
+                    ),
+                }
+                records.extend(native_records);
             }
             Err(e) => eprintln!("  native comparison failed: {e}\n"),
         }

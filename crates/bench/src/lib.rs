@@ -468,6 +468,14 @@ pub struct BenchRecord {
     pub measured_gflops: Option<f64>,
     /// Which backend produced `gflops`: `"simulated"` or `"native"`.
     pub evaluator: String,
+    /// Resolved vectorization of the measured kernel (e.g.
+    /// `avx2-nnz-x8+pf16`, `scalar`); `None` for records that never lowered
+    /// to a native kernel.
+    pub simd: Option<String>,
+    /// Host CPU feature probe at measurement time (`x86_64:avx2`,
+    /// `x86_64:scalar(forced)` under `ALPHA_CPU_NO_SIMD`); `None` for
+    /// simulated records.
+    pub cpu_features: Option<String>,
     /// Candidate evaluations the search consumed (0 for baselines).
     pub search_iterations: usize,
     /// Design-cache hit rate of the search (0 for baselines).
@@ -557,6 +565,8 @@ impl BenchRecord {
             gflops: outcome.best_report.gflops,
             measured_gflops: None,
             evaluator: alpha_search::EvaluatorId::Simulated.label().to_string(),
+            simd: None,
+            cpu_features: None,
             search_iterations: outcome.stats.iterations,
             cache_hit_rate: outcome.stats.cache_hit_rate(),
             wall_secs,
@@ -578,6 +588,8 @@ impl BenchRecord {
             gflops: result.alphasparse.best_report.gflops,
             measured_gflops: None,
             evaluator: alpha_search::EvaluatorId::Simulated.label().to_string(),
+            simd: None,
+            cpu_features: None,
             search_iterations: result.alphasparse.stats.iterations,
             cache_hit_rate: result.alphasparse.stats.cache_hit_rate(),
             wall_secs: result.search_wall_secs,
@@ -607,6 +619,8 @@ impl BenchRecord {
             gflops: report.gflops,
             measured_gflops: Some(report.gflops),
             evaluator: "native".to_string(),
+            simd: Some("scalar".to_string()),
+            cpu_features: Some(alpha_cpu::cpu_features::summary()),
             search_iterations,
             cache_hit_rate,
             wall_secs,
@@ -623,6 +637,15 @@ impl BenchRecord {
     /// [`BenchRecord::dispatch_overhead_us`]).
     pub fn with_dispatch_overhead(mut self, spawn_min_us: f64, pooled_min_us: f64) -> Self {
         self.dispatch_overhead_us = Some(spawn_min_us - pooled_min_us);
+        self
+    }
+
+    /// Attaches the kernel's resolved vectorization label (see
+    /// [`BenchRecord::simd`]).  [`BenchRecord::measured`] defaults to
+    /// `"scalar"` — the truth for every baseline — so only generated-kernel
+    /// records need this override.
+    pub fn with_simd(mut self, label: impl Into<String>) -> Self {
+        self.simd = Some(label.into());
         self
     }
 }
@@ -655,6 +678,11 @@ fn json_opt_f64(v: Option<f64>) -> String {
     v.map(json_f64).unwrap_or_else(|| "null".to_string())
 }
 
+fn json_opt_str(v: Option<&str>) -> String {
+    v.map(|s| format!("\"{}\"", json_escape(s)))
+        .unwrap_or_else(|| "null".to_string())
+}
+
 /// Serialises the records as a JSON array (pretty-printed, stable field
 /// order; no external JSON crate needed).
 pub fn results_to_json(records: &[BenchRecord]) -> String {
@@ -663,6 +691,7 @@ pub fn results_to_json(records: &[BenchRecord]) -> String {
         out.push_str(&format!(
             "  {{\"device\": \"{}\", \"matrix\": \"{}\", \"format\": \"{}\", \
              \"gflops\": {}, \"measured_gflops\": {}, \"evaluator\": \"{}\", \
+             \"simd\": {}, \"cpu_features\": {}, \
              \"search_iterations\": {}, \"cache_hit_rate\": {}, \
              \"wall_secs\": {}, \"threads\": {}, \"measured_median_us\": {}, \
              \"measured_stddev_us\": {}, \"pool\": {}, \
@@ -674,6 +703,8 @@ pub fn results_to_json(records: &[BenchRecord]) -> String {
             json_f64(r.gflops),
             json_opt_f64(r.measured_gflops),
             json_escape(&r.evaluator),
+            json_opt_str(r.simd.as_deref()),
+            json_opt_str(r.cpu_features.as_deref()),
             r.search_iterations,
             json_f64(r.cache_hit_rate),
             json_f64(r.wall_secs),
@@ -707,6 +738,95 @@ pub fn write_results_json(
         }
     }
     std::fs::write(path, results_to_json(records))
+}
+
+// ---------------------------------------------------------------------------
+// Native snapshot history (BENCH_native.json)
+// ---------------------------------------------------------------------------
+
+/// One record array re-indented for embedding as an object value: the `[`
+/// stays on the key's line, every following line gains two spaces.
+fn snapshot_entry(records: &[BenchRecord]) -> String {
+    let json = results_to_json(records);
+    let mut out = String::new();
+    for (i, line) in json.trim_end().lines().enumerate() {
+        if i == 0 {
+            out.push_str(line);
+        } else {
+            out.push_str("\n  ");
+            out.push_str(line);
+        }
+    }
+    out
+}
+
+/// Splits a snapshot file written by [`write_native_snapshot`] back into
+/// `(key, raw array text)` entries.  Line-oriented on the writer's own
+/// stable layout — not a general JSON parser; unrecognised lines are
+/// skipped, so a corrupted file degrades to fewer surviving entries rather
+/// than an error.
+pub fn parse_native_snapshot(text: &str) -> Vec<(String, String)> {
+    let mut entries = Vec::new();
+    let mut key: Option<String> = None;
+    let mut value = String::new();
+    for line in text.lines() {
+        match &key {
+            None => {
+                if let Some(rest) = line.strip_prefix("  \"") {
+                    if let Some(pos) = rest.find("\": [") {
+                        key = Some(rest[..pos].to_string());
+                        value = String::from("[");
+                    }
+                }
+            }
+            Some(_) => {
+                if line == "  ]" || line == "  ]," {
+                    value.push_str("\n  ]");
+                    entries.push((key.take().unwrap(), std::mem::take(&mut value)));
+                } else {
+                    value.push('\n');
+                    value.push_str(line);
+                }
+            }
+        }
+    }
+    entries
+}
+
+/// Writes/updates one entry of the native snapshot file
+/// (`BENCH_native.json`): a JSON object mapping snapshot keys (`git
+/// describe` strings) to record arrays.  Existing entries under **other**
+/// keys are preserved, so successive PRs accumulate a SIMD-era throughput
+/// history; a rerun of the same tree replaces its own entry instead of
+/// duplicating it.  Missing parent directories are created.
+pub fn write_native_snapshot(
+    path: impl AsRef<std::path::Path>,
+    key: &str,
+    records: &[BenchRecord],
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let mut entries = match std::fs::read_to_string(path) {
+        Ok(text) => parse_native_snapshot(&text),
+        Err(_) => Vec::new(),
+    };
+    entries.retain(|(k, _)| k != key);
+    entries.push((key.to_string(), snapshot_entry(records)));
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "  \"{}\": {}{}\n",
+            json_escape(k),
+            v,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("}\n");
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, out)
 }
 
 // ---------------------------------------------------------------------------
@@ -814,7 +934,10 @@ pub struct NativeModeConfig {
     pub fleet_size: usize,
     /// Rows (= columns) of each matrix.
     pub rows: usize,
-    /// Average row length of each matrix.
+    /// Base average row length.  The fleet cycles a density ladder of
+    /// `avg_row_len << (i % 3)` (1x/2x/4x) alongside the pattern families:
+    /// sparse rows are the regime where vectorization must prove it does no
+    /// harm, dense rows the one where it must pay.
     pub avg_row_len: usize,
     /// Search budget per matrix (candidate measurements).
     pub budget: usize,
@@ -860,6 +983,14 @@ pub struct NativeMatrixResult {
     pub name: String,
     /// Record of the generated (machine-designed) kernel.
     pub generated: BenchRecord,
+    /// Record of the same winning design re-lowered with vectorization
+    /// forced off ([`alpha_cpu::SimdMode::ForceScalar`]) and measured on a
+    /// single thread — the scalar side of the SIMD differential.
+    pub scalar: BenchRecord,
+    /// Single-thread GFLOP/s of the tuned kernel as actually lowered (SIMD
+    /// when the winning design carries lane operators and the host supports
+    /// them) — the vector side of the SIMD differential.
+    pub simd_single_thread_gflops: f64,
     /// Records of the native baselines (CSR, ELL, HYB, Merge).
     pub baselines: Vec<BenchRecord>,
 }
@@ -876,6 +1007,16 @@ impl NativeMatrixResult {
             0.0
         } else {
             self.generated.gflops / best
+        }
+    }
+
+    /// Single-thread SIMD-vs-scalar speedup of the winning design (~1.0 when
+    /// the winner carries no lane operators, so both kernels are scalar).
+    pub fn simd_speedup(&self) -> f64 {
+        if self.scalar.gflops <= 0.0 {
+            0.0
+        } else {
+            self.simd_single_thread_gflops / self.scalar.gflops
         }
     }
 }
@@ -895,6 +1036,11 @@ impl NativeMatrixResult {
 /// the reference SpMV within [`alpha_matrix::max_scaled_error`] tolerance;
 /// a divergence fails the run (this is what lets CI assert pool correctness
 /// under the real binary at several `--threads` values).
+///
+/// Each winning design is additionally re-lowered with vectorization forced
+/// off and both twins are timed on a single thread: the SIMD differential
+/// ([`NativeMatrixResult::simd_speedup`]) isolates what the microkernels buy
+/// from what thread scaling buys.
 pub fn native_mode(config: NativeModeConfig) -> Result<Vec<NativeMatrixResult>, String> {
     use alphasparse::AlphaSparse;
 
@@ -905,8 +1051,9 @@ pub fn native_mode(config: NativeModeConfig) -> Result<Vec<NativeMatrixResult>, 
     for i in 0..config.fleet_size {
         let families = alpha_matrix::gen::PatternFamily::ALL;
         let family = families[i % families.len()];
-        let matrix = family.generate(config.rows, config.avg_row_len, 4_000 + i as u64);
-        let name = format!("{}_{}_{}", family.name(), config.rows, i);
+        let avg_row_len = config.avg_row_len << (i % 3);
+        let matrix = family.generate(config.rows, avg_row_len, 4_000 + i as u64);
+        let name = format!("{}_{}x{}_{}", family.name(), config.rows, avg_row_len, i);
 
         let search_config = SearchConfig {
             max_iterations: config.budget,
@@ -946,7 +1093,34 @@ pub fn native_mode(config: NativeModeConfig) -> Result<Vec<NativeMatrixResult>, 
             tuned.search_stats().cache_hit_rate(),
             wall_secs,
         )
-        .with_dispatch_overhead(spawned.min_us, measured.min_us);
+        .with_dispatch_overhead(spawned.min_us, measured.min_us)
+        .with_simd(tuned.native_kernel().simd_label());
+
+        // SIMD differential: re-lower the same winning design with
+        // vectorization forced off and time both sides single-threaded, so
+        // the microkernels' win is visible independent of thread scaling.
+        // The twin must also pass the correctness gate before it is timed.
+        let scalar_kernel = alpha_cpu::NativeKernel::with_simd_mode(
+            tuned.kernel().metadata(),
+            tuned.format(),
+            alpha_cpu::SimdMode::ForceScalar,
+        );
+        let y_scalar = scalar_kernel.run(x.as_slice(), 1)?;
+        let scalar_error = alpha_matrix::max_scaled_error(&y_scalar, &reference);
+        if scalar_error > TOL {
+            return Err(format!(
+                "{name}: forced-scalar twin diverged from the reference SpMV \
+                 (max scaled error {scalar_error:.2e} > {TOL:.0e})"
+            ));
+        }
+        let simd_1t = config
+            .harness
+            .measure_kernel(tuned.native_kernel(), x.as_slice(), 1)?;
+        let scalar_1t = config
+            .harness
+            .measure_kernel(&scalar_kernel, x.as_slice(), 1)?;
+        let scalar = BenchRecord::measured(&name, &tuned.operator_graph(), &scalar_1t, 0, 0.0, 0.0)
+            .with_simd(scalar_kernel.simd_label());
 
         let mut baselines = Vec::new();
         for baseline in alpha_baselines::native_set() {
@@ -962,6 +1136,8 @@ pub fn native_mode(config: NativeModeConfig) -> Result<Vec<NativeMatrixResult>, 
         results.push(NativeMatrixResult {
             name,
             generated,
+            scalar,
+            simd_single_thread_gflops: simd_1t.gflops,
             baselines,
         });
     }
@@ -1130,6 +1306,8 @@ mod tests {
                 gflops: 123.4,
                 measured_gflops: None,
                 evaluator: "simulated".into(),
+                simd: None,
+                cpu_features: None,
                 search_iterations: 25,
                 cache_hit_rate: 0.5,
                 wall_secs: 1.25,
@@ -1147,6 +1325,8 @@ mod tests {
                 gflops: 56.7,
                 measured_gflops: Some(61.2),
                 evaluator: "native".into(),
+                simd: Some("avx2-nnz-x8+pf16".into()),
+                cpu_features: Some("x86_64:avx2".into()),
                 search_iterations: 0,
                 cache_hit_rate: 0.0,
                 wall_secs: 0.0,
@@ -1172,6 +1352,9 @@ mod tests {
         assert!(json.contains("\"pool\": false"));
         assert!(json.contains("\"pool\": true"));
         assert!(json.contains("\"dispatch_overhead_us\": 41.25"));
+        assert!(json.contains("\"simd\": null"));
+        assert!(json.contains("\"simd\": \"avx2-nnz-x8+pf16\""));
+        assert!(json.contains("\"cpu_features\": \"x86_64:avx2\""));
         assert_eq!(json.matches("\"device\"").count(), 2);
         // Round-trip through a file.
         let dir = std::env::temp_dir().join("alpha_bench_json_test");
@@ -1179,6 +1362,52 @@ mod tests {
         let path = dir.join("BENCH_results.json");
         write_results_json(&path, &records).unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), json);
+    }
+
+    #[test]
+    fn native_snapshot_accumulates_history_and_replaces_its_own_key() {
+        let dir = std::env::temp_dir().join(format!("alpha_bench_snap_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("history/BENCH_native.json");
+        let record = |gflops: f64| BenchRecord {
+            device: "host-cpu".into(),
+            matrix: "m".into(),
+            format: "CSR".into(),
+            gflops,
+            measured_gflops: Some(gflops),
+            evaluator: "native".into(),
+            simd: Some("avx2-nnz-x8+pf16".into()),
+            cpu_features: Some("x86_64:avx2".into()),
+            search_iterations: 0,
+            cache_hit_rate: 0.0,
+            wall_secs: 0.0,
+            threads: 0,
+            measured_median_us: Some(1.0),
+            measured_stddev_us: Some(0.1),
+            pool: true,
+            dispatch_overhead_us: None,
+            latency: None,
+        };
+        write_native_snapshot(&path, "v5-1-gaaaa", &[record(1.0)]).unwrap();
+        write_native_snapshot(&path, "v6-1-gbbbb", &[record(2.0), record(3.0)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let entries = parse_native_snapshot(&text);
+        assert_eq!(entries.len(), 2, "distinct keys accumulate");
+        assert_eq!(entries[0].0, "v5-1-gaaaa");
+        assert_eq!(entries[1].0, "v6-1-gbbbb");
+        // A rerun of the same tree replaces its entry, preserving the rest.
+        write_native_snapshot(&path, "v6-1-gbbbb", &[record(4.0)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let entries = parse_native_snapshot(&text);
+        assert_eq!(entries.len(), 2, "rerun must not duplicate its key");
+        assert!(entries[0].1.contains("\"gflops\": 1"));
+        assert!(entries[1].1.contains("\"gflops\": 4"));
+        assert!(!text.contains("\"gflops\": 2"), "replaced entry is gone");
+        // The embedded arrays keep the full record shape (SIMD columns in).
+        assert!(text.starts_with("{\n"));
+        assert!(text.trim_end().ends_with('}'));
+        assert!(text.contains("\"simd\": \"avx2-nnz-x8+pf16\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -1193,6 +1422,8 @@ mod tests {
             gflops: 1.0,
             measured_gflops: None,
             evaluator: "simulated".into(),
+            simd: None,
+            cpu_features: None,
             search_iterations: 1,
             cache_hit_rate: 0.0,
             wall_secs: 0.0,
@@ -1300,11 +1531,20 @@ mod tests {
             assert_eq!(r.generated.measured_gflops, Some(r.generated.gflops));
             assert!(r.generated.gflops > 0.0);
             assert!(r.generated.search_iterations > 0);
+            // Every native record carries the SIMD label + the host probe.
+            assert!(r.generated.simd.is_some());
+            assert!(r.generated.cpu_features.is_some());
+            // The forced-scalar twin really resolved scalar and was measured.
+            assert_eq!(r.scalar.simd.as_deref(), Some("scalar"));
+            assert!(r.scalar.gflops > 0.0);
+            assert!(r.simd_single_thread_gflops > 0.0);
+            assert!(r.simd_speedup() > 0.0);
             // At least the CSR/ELL/HYB/Merge quartet, all measured.
             assert!(r.baselines.len() >= 3);
             for b in &r.baselines {
                 assert_eq!(b.evaluator, "native");
                 assert!(b.measured_gflops.unwrap() > 0.0);
+                assert_eq!(b.simd.as_deref(), Some("scalar"));
             }
             assert!(r.speedup_over_best_baseline() > 0.0);
         }
@@ -1312,12 +1552,18 @@ mod tests {
         let mut records = Vec::new();
         for r in results {
             records.push(r.generated);
+            records.push(r.scalar);
             records.extend(r.baselines);
         }
         let json = results_to_json(&records);
         assert!(json.contains("\"evaluator\": \"native\""));
         assert!(json.contains("\"measured_gflops\": "));
         assert!(!json.contains("\"measured_gflops\": null"));
+        assert!(!json.contains("\"simd\": null"));
+        assert!(json.contains(&format!(
+            "\"cpu_features\": \"{}\"",
+            alpha_cpu::cpu_features::summary()
+        )));
     }
 
     #[test]

@@ -135,6 +135,8 @@ impl ServeLoadReport {
             gflops: 0.0,
             measured_gflops: None,
             evaluator: "simulated".to_string(),
+            simd: None,
+            cpu_features: None,
             search_iterations: count,
             cache_hit_rate: 0.0,
             wall_secs: self.wall_secs,

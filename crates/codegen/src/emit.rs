@@ -11,7 +11,8 @@
 use crate::compress::CompressionModel;
 use crate::format::{MachineFormat, PartitionFormat};
 use alpha_graph::{
-    BlockReduction, Mapping, MatrixMetadataSet, PartitionPlan, ThreadReduction, WarpReduction,
+    BlockReduction, Mapping, MatrixMetadataSet, PartitionPlan, SimdLaneMapping, ThreadReduction,
+    WarpReduction,
 };
 
 /// Emits CUDA-like source for the whole generated SpMV program.
@@ -313,13 +314,66 @@ fn emit_rust_partition(index: usize, plan: &PartitionPlan, pf: &PartitionFormat)
     ));
 
     let rows = plan.matrix.rows();
-    let x_index = if plan.col_offset == 0 {
-        format!("col_indices_{index}[idx] as usize")
-    } else {
-        format!("col_indices_{index}[idx] as usize + {}", plan.col_offset)
+    let x_at = |var: &str| {
+        if plan.col_offset == 0 {
+            format!("col_indices_{index}[{var}] as usize")
+        } else {
+            format!("col_indices_{index}[{var}] as usize + {}", plan.col_offset)
+        }
     };
+    let x_index = x_at("idx");
+    let simd = &plan.simd;
+    if simd.is_vectorized() {
+        let shape = match simd.lane_mapping {
+            SimdLaneMapping::Rows => "adjacent rows (one accumulator chain per lane)",
+            SimdLaneMapping::Nnz => "one row's non-zeros (runtime AVX2/NEON gather)",
+        };
+        out.push_str(&format!(
+            "    //   simd: {} lanes across {shape}, prefetch distance {}\n",
+            simd.lanes, simd.prefetch_distance
+        ));
+    }
     let origin = rust_index_expr(pf, "origin_rows", "row");
+    let row_lanes = matches!(simd.lane_mapping, SimdLaneMapping::Rows) && simd.is_vectorized();
     match plan.mapping {
+        Mapping::RowPerThread { .. } | Mapping::VectorPerRow { .. } if row_lanes => {
+            // Row-lane SIMD loop: groups of `lanes` adjacent rows advance
+            // together, one accumulator chain per lane, each lane summing
+            // its own row in scalar order (bitwise-identical results).
+            let lanes = simd.lanes;
+            out.push_str(&format!(
+                "    for row_group in (0..{rows}).step_by({lanes}) {{ // {lanes} adjacent rows per SIMD group\n"
+            ));
+            out.push_str(&format!(
+                "        let mut lane = [0.0f32; {lanes}]; // lane l owns row_group + l\n"
+            ));
+            if simd.prefetch_distance > 0 {
+                out.push_str(&format!(
+                    "        // values/col_indices/x streams prefetched {} elements ahead\n",
+                    simd.prefetch_distance
+                ));
+            }
+            out.push_str(&format!(
+                "        for l in 0..{lanes}.min({rows} - row_group) {{ // interleaved across lanes\n"
+            ));
+            out.push_str("            let row = row_group + l;\n");
+            out.push_str(&format!(
+                "            let start = {};\n",
+                rust_index_expr(pf, "row_offsets", "row")
+            ));
+            out.push_str(&format!(
+                "            let end = {};\n",
+                rust_index_expr(pf, "row_offsets", "(row + 1)")
+            ));
+            out.push_str("            for idx in start..end {\n");
+            out.push_str(&format!(
+                "                lane[l] += values_{index}[idx] * x[{x_index}];\n"
+            ));
+            out.push_str("            }\n");
+            out.push_str(&format!("            y[{origin}] += lane[l];\n"));
+            out.push_str("        }\n");
+            out.push_str("    }\n");
+        }
         Mapping::RowPerThread { .. } | Mapping::VectorPerRow { .. } => {
             // Row-partition loop: contiguous row ranges are split over
             // alpha-parallel workers; each worker runs exactly this body.
@@ -334,12 +388,7 @@ fn emit_rust_partition(index: usize, plan: &PartitionPlan, pf: &PartitionFormat)
                 "        let end = {};\n",
                 rust_index_expr(pf, "row_offsets", "(row + 1)")
             ));
-            out.push_str("        let mut acc = 0.0f32;\n");
-            out.push_str("        for idx in start..end {\n");
-            out.push_str(&format!(
-                "            acc += values_{index}[idx] * x[{x_index}];\n"
-            ));
-            out.push_str("        }\n");
+            emit_rust_row_dot(&mut out, "        ", index, simd, &x_at, "start", "end");
             out.push_str(&format!("        y[{origin}] += acc;\n"));
             out.push_str("    }\n");
         }
@@ -362,12 +411,15 @@ fn emit_rust_partition(index: usize, plan: &PartitionPlan, pf: &PartitionFormat)
                 "            let seg_end = ({}).min(end);\n",
                 rust_index_expr(pf, "row_offsets", "(row + 1)")
             ));
-            out.push_str("            let mut acc = 0.0f32;\n");
-            out.push_str("            for idx in cursor..seg_end {\n");
-            out.push_str(&format!(
-                "                acc += values_{index}[idx] * x[{x_index}];\n"
-            ));
-            out.push_str("            }\n");
+            emit_rust_row_dot(
+                &mut out,
+                "            ",
+                index,
+                simd,
+                &x_at,
+                "cursor",
+                "seg_end",
+            );
             out.push_str(&format!(
                 "            y[{origin}] += acc; // row boundaries merge via accumulation\n"
             ));
@@ -378,6 +430,62 @@ fn emit_rust_partition(index: usize, plan: &PartitionPlan, pf: &PartitionFormat)
         }
     }
     out
+}
+
+/// Emits the dot product over `[start, end)` into a variable `acc`: the
+/// scalar loop, or — when the plan maps SIMD lanes across the row's
+/// non-zeros — the lane-strided gather loop with its fixed horizontal-add
+/// tree and serial tail (the exact shape `alpha-cpu`'s microkernels run).
+fn emit_rust_row_dot(
+    out: &mut String,
+    indent: &str,
+    index: usize,
+    simd: &alpha_graph::SimdPlan,
+    x_at: &dyn Fn(&str) -> String,
+    start: &str,
+    end: &str,
+) {
+    if !simd.is_vectorized() || simd.lane_mapping != SimdLaneMapping::Nnz {
+        out.push_str(&format!("{indent}let mut acc = 0.0f32;\n"));
+        out.push_str(&format!("{indent}for idx in {start}..{end} {{\n"));
+        out.push_str(&format!(
+            "{indent}    acc += values_{index}[idx] * x[{}];\n",
+            x_at("idx")
+        ));
+        out.push_str(&format!("{indent}}}\n"));
+        return;
+    }
+    let lanes = simd.lanes;
+    out.push_str(&format!(
+        "{indent}let mut lane = [0.0f32; {lanes}]; // {lanes}-lane gather kernel (AVX2 _mm256_i32gather_ps / NEON, runtime-dispatched)\n"
+    ));
+    out.push_str(&format!("{indent}let mut idx = {start};\n"));
+    out.push_str(&format!("{indent}while idx + {lanes} <= {end} {{\n"));
+    if simd.prefetch_distance > 0 {
+        out.push_str(&format!(
+            "{indent}    // values/col_indices/x streams prefetched {} elements ahead\n",
+            simd.prefetch_distance
+        ));
+    }
+    out.push_str(&format!("{indent}    for l in 0..{lanes} {{\n"));
+    out.push_str(&format!(
+        "{indent}        lane[l] += values_{index}[idx + l] * x[{}];\n",
+        x_at("idx + l")
+    ));
+    out.push_str(&format!("{indent}    }}\n"));
+    out.push_str(&format!("{indent}    idx += {lanes};\n"));
+    out.push_str(&format!("{indent}}}\n"));
+    out.push_str(&format!(
+        "{indent}let mut acc = hsum_tree(&lane); // fixed halving tree, identical on every backend\n"
+    ));
+    out.push_str(&format!(
+        "{indent}for t in idx..{end} {{ // serial tail, accumulated separately\n"
+    ));
+    out.push_str(&format!(
+        "{indent}    acc += values_{index}[t] * x[{}];\n",
+        x_at("t")
+    ));
+    out.push_str(&format!("{indent}}}\n"));
 }
 
 fn describe_model(model: &CompressionModel, exceptions: usize) -> String {
@@ -454,5 +562,45 @@ mod tests {
         assert!(src.contains("COMPRESS"));
         assert!(src.contains("BMT_PAD"));
         assert!(src.contains("GMEM_ATOM_RED"));
+    }
+
+    #[test]
+    fn vectorized_plans_emit_the_simd_loop_shape() {
+        use alpha_graph::{Operator, OperatorGraph};
+        let matrix = gen::uniform_random(256, 256, 8, 5);
+        let gathered = OperatorGraph::linear(vec![
+            Operator::Compress,
+            Operator::BmtRowBlock { rows: 1 },
+            Operator::SimdNnzLanes { lanes: 8 },
+            Operator::SimdPrefetch { distance: 16 },
+            Operator::ThreadTotalRed,
+        ]);
+        let rust = generate(&gathered, &matrix, GeneratorOptions::default())
+            .unwrap()
+            .rust_source;
+        assert!(rust.contains("simd: 8 lanes across one row's non-zeros"));
+        assert!(rust.contains("prefetch distance 16"));
+        assert!(rust.contains("_mm256_i32gather_ps"));
+        assert!(rust.contains("hsum_tree(&lane)"));
+        assert!(rust.contains("serial tail"));
+
+        let row_lanes = OperatorGraph::linear(vec![
+            Operator::Compress,
+            Operator::BmtRowBlock { rows: 1 },
+            Operator::SimdRowLanes { lanes: 4 },
+            Operator::ThreadTotalRed,
+        ]);
+        let rust = generate(&row_lanes, &matrix, GeneratorOptions::default())
+            .unwrap()
+            .rust_source;
+        assert!(rust.contains("simd: 4 lanes across adjacent rows"));
+        assert!(rust.contains("4 adjacent rows per SIMD group"));
+
+        // Scalar designs keep the scalar shape.
+        let rust = generate(&presets::csr_scalar(), &matrix, GeneratorOptions::default())
+            .unwrap()
+            .rust_source;
+        assert!(!rust.contains("simd:"));
+        assert!(!rust.contains("hsum_tree"));
     }
 }

@@ -29,9 +29,10 @@
 //! spawn-per-call path survives as [`NativeKernel::run_spawning`] for
 //! pool-vs-spawn comparisons.
 
+use crate::simd::{self, ResolvedSimd, SimdMode};
 use alpha_codegen::compress::CompressedArray;
 use alpha_codegen::{CompressionModel, FormatArray, MachineFormat};
-use alpha_graph::{Mapping, MatrixMetadataSet};
+use alpha_graph::{Mapping, MatrixMetadataSet, SimdLaneMapping};
 use alpha_matrix::{CsrMatrix, Scalar};
 use alpha_parallel::{Executor, Pool};
 
@@ -70,9 +71,19 @@ pub fn effective_workers(threads: usize, nnz: usize) -> usize {
 /// [`MIN_NNZ_PER_WORKER_POOLED`] would justify for `nnz` non-zeros.
 /// Explicit counts are honoured verbatim.
 pub fn effective_workers_pooled(threads: usize, nnz: usize) -> usize {
+    effective_workers_pooled_for(threads, nnz, 1)
+}
+
+/// Kernel-aware variant of [`effective_workers_pooled`]: a vectorized kernel
+/// retires `lanes` non-zeros per step, so it finishes a fixed chunk of work
+/// roughly `lanes` times sooner and the break-even point for waking another
+/// pooled worker shifts out by the same factor.  The threshold therefore
+/// scales with the kernel's lane width instead of staying a global constant.
+pub fn effective_workers_pooled_for(threads: usize, nnz: usize, lanes: usize) -> usize {
     if threads == 0 {
+        let per_worker = MIN_NNZ_PER_WORKER_POOLED.saturating_mul(lanes.max(1));
         alpha_parallel::default_threads()
-            .min(nnz.div_ceil(MIN_NNZ_PER_WORKER_POOLED))
+            .min(nnz.div_ceil(per_worker))
             .max(1)
     } else {
         threads
@@ -239,6 +250,9 @@ struct NativePartition {
     path: ExecPath,
     /// Build-time nnz-balanced row boundaries (row-partition loops only).
     row_cuts: Option<BalancedRowCuts>,
+    /// Vectorization decision resolved from the design's `SimdPlan`, the
+    /// build [`SimdMode`] and the host's feature probe.
+    simd: ResolvedSimd,
 }
 
 /// A machine-designed SpMV program lowered to native threaded CPU loops.
@@ -249,12 +263,29 @@ pub struct NativeKernel {
     nnz: usize,
     format_bytes: usize,
     name: String,
+    /// Widest lane count across partitions (1 = fully scalar); feeds the
+    /// lane-aware pooled worker threshold.
+    max_lanes: usize,
 }
 
 impl NativeKernel {
     /// Lowers the designed metadata plus extracted format into executable
     /// loops — the same two inputs the simulator kernel is built from.
+    /// Vectorization follows the design's `SimdPlan` and the host probe
+    /// ([`SimdMode::Auto`]); use [`NativeKernel::with_simd_mode`] to force
+    /// scalar execution.
     pub fn new(metadata: &MatrixMetadataSet, format: &MachineFormat) -> Self {
+        Self::with_simd_mode(metadata, format, SimdMode::Auto)
+    }
+
+    /// [`NativeKernel::new`] with an explicit [`SimdMode`] — benches build a
+    /// [`SimdMode::ForceScalar`] twin of a vectorized kernel this way to
+    /// measure the SIMD win without mutating the process environment.
+    pub fn with_simd_mode(
+        metadata: &MatrixMetadataSet,
+        format: &MachineFormat,
+        mode: SimdMode,
+    ) -> Self {
         assert_eq!(
             metadata.partitions.len(),
             format.partitions.len(),
@@ -291,9 +322,15 @@ impl NativeKernel {
                     row_offsets: lookup("row_offsets"),
                     path,
                     row_cuts,
+                    simd: ResolvedSimd::resolve(&plan.simd, mode),
                 }
             })
-            .collect();
+            .collect::<Vec<NativePartition>>();
+        let max_lanes = partitions
+            .iter()
+            .map(|p: &NativePartition| p.simd.lanes)
+            .max()
+            .unwrap_or(1);
         let name = format!(
             "alpha-cpu[{}]",
             metadata
@@ -309,6 +346,31 @@ impl NativeKernel {
             nnz: metadata.original_nnz,
             format_bytes: format.bytes(),
             name,
+            max_lanes,
+        }
+    }
+
+    /// True when at least one partition runs a multi-lane kernel.
+    pub fn is_vectorized(&self) -> bool {
+        self.max_lanes > 1
+    }
+
+    /// Widest lane count across partitions (1 = fully scalar).
+    pub fn max_lanes(&self) -> usize {
+        self.max_lanes
+    }
+
+    /// Label of the resolved vectorization, e.g. `avx2-nnz-x8+pf16` or
+    /// `scalar`; branched designs with differing decisions join them with
+    /// `|`.  Recorded in bench results next to the host's CPU feature
+    /// summary.
+    pub fn simd_label(&self) -> String {
+        let mut labels: Vec<String> = self.partitions.iter().map(|p| p.simd.label()).collect();
+        labels.dedup();
+        if labels.is_empty() {
+            "scalar".to_string()
+        } else {
+            labels.join("|")
         }
     }
 
@@ -401,7 +463,7 @@ impl NativeKernel {
         threads: usize,
         pool: &Pool,
     ) -> Result<(), String> {
-        let workers = effective_workers_pooled(threads, self.nnz);
+        let workers = effective_workers_pooled_for(threads, self.nnz, self.max_lanes);
         self.exec(x, y, workers, &Executor::Pooled(pool))
     }
 
@@ -496,6 +558,131 @@ fn row_dot(
     acc
 }
 
+/// One row-segment dot over `[start, end)`, routed through the partition's
+/// nnz-lane microkernel when one is active — nnz-partition designs and
+/// row-partition designs share this dispatch.
+#[inline]
+fn seg_dot(
+    rs: &ResolvedSimd,
+    values: &[Scalar],
+    col_indices: &[u32],
+    x: &[Scalar],
+    col_offset: usize,
+    start: usize,
+    end: usize,
+) -> Scalar {
+    if rs.is_vectorized() && rs.mapping == SimdLaneMapping::Nnz {
+        simd::row_dot_nnz(rs, values, col_indices, x, col_offset, start, end)
+    } else {
+        row_dot(values, col_indices, x, col_offset, start, end)
+    }
+}
+
+/// Accumulates (`+=`) rows `[first, first + out.len())` of a row-partition
+/// into `out`, dispatching once per worker chunk between the scalar loop,
+/// the nnz-lane microkernel (lanes across one row's non-zeros) and the
+/// row-lane microkernel (lanes across adjacent rows).
+#[allow(clippy::too_many_arguments)]
+fn dot_rows_into(
+    rs: &ResolvedSimd,
+    values: &[Scalar],
+    col_indices: &[u32],
+    x: &[Scalar],
+    col_offset: usize,
+    first: usize,
+    out: &mut [Scalar],
+    row_range: &(impl Fn(usize) -> (usize, usize) + Sync),
+) {
+    if !rs.is_vectorized() {
+        for (i, slot) in out.iter_mut().enumerate() {
+            let (start, end) = row_range(first + i);
+            *slot += row_dot(values, col_indices, x, col_offset, start, end);
+        }
+        return;
+    }
+    match rs.mapping {
+        SimdLaneMapping::Nnz => {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let (start, end) = row_range(first + i);
+                *slot += simd::row_dot_nnz(rs, values, col_indices, x, col_offset, start, end);
+            }
+        }
+        SimdLaneMapping::Rows => match rs.lanes {
+            2 => row_lane_rows::<2>(
+                rs,
+                values,
+                col_indices,
+                x,
+                col_offset,
+                first,
+                out,
+                row_range,
+            ),
+            4 => row_lane_rows::<4>(
+                rs,
+                values,
+                col_indices,
+                x,
+                col_offset,
+                first,
+                out,
+                row_range,
+            ),
+            _ => row_lane_rows::<8>(
+                rs,
+                values,
+                col_indices,
+                x,
+                col_offset,
+                first,
+                out,
+                row_range,
+            ),
+        },
+    }
+}
+
+/// Row-lane groups: `L` adjacent rows advance together, one accumulator per
+/// lane; leftover rows (fewer than `L`) take the scalar loop.  Each lane
+/// still sums its own row serially, so results are bitwise scalar.
+#[allow(clippy::too_many_arguments)]
+fn row_lane_rows<const L: usize>(
+    rs: &ResolvedSimd,
+    values: &[Scalar],
+    col_indices: &[u32],
+    x: &[Scalar],
+    col_offset: usize,
+    first: usize,
+    out: &mut [Scalar],
+    row_range: &(impl Fn(usize) -> (usize, usize) + Sync),
+) {
+    let mut i = 0;
+    while i + L <= out.len() {
+        let mut ranges = [(0usize, 0usize); L];
+        for (l, range) in ranges.iter_mut().enumerate() {
+            *range = row_range(first + i + l);
+        }
+        let mut acc = [0.0 as Scalar; L];
+        simd::rows_dot_row_lanes::<L>(
+            values,
+            col_indices,
+            x,
+            col_offset,
+            &ranges,
+            &mut acc,
+            rs.prefetch,
+        );
+        for (l, &v) in acc.iter().enumerate() {
+            out[i + l] += v;
+        }
+        i += L;
+    }
+    for (j, slot) in out.iter_mut().enumerate().skip(i) {
+        let (start, end) = row_range(first + j);
+        *slot += row_dot(values, col_indices, x, col_offset, start, end);
+    }
+}
+
 /// Row-partition loop: contiguous local-row ranges across workers, one dot
 /// product per row.  Worker boundaries are **nnz-balanced** (see
 /// [`BalancedRowCuts`]): each worker owns roughly the same number of
@@ -564,10 +751,16 @@ fn exec_rows_with(
     if let Some(base) = p.origin.contiguous_base() {
         let target = &mut y[base..base + rows];
         exec.over_chunks(alpha_parallel::split_mut_at(target, cuts), |first, out| {
-            for (i, slot) in out.iter_mut().enumerate() {
-                let (start, end) = row_range(first + i);
-                *slot += row_dot(values, col_indices, x, col_offset, start, end);
-            }
+            dot_rows_into(
+                &p.simd,
+                values,
+                col_indices,
+                x,
+                col_offset,
+                first,
+                out,
+                &row_range,
+            );
         });
         return;
     }
@@ -578,11 +771,17 @@ fn exec_rows_with(
         .filter(|&(first, last)| first < last)
         .collect();
     let sums: Vec<Vec<Scalar>> = exec.map(&ranges, |&(first, last)| {
-        let mut out = Vec::with_capacity(last - first);
-        for row in first..last {
-            let (start, end) = row_range(row);
-            out.push(row_dot(values, col_indices, x, col_offset, start, end));
-        }
+        let mut out = vec![0.0; last - first];
+        dot_rows_into(
+            &p.simd,
+            values,
+            col_indices,
+            x,
+            col_offset,
+            first,
+            &mut out,
+            &row_range,
+        );
         out
     });
     for (&(first, _), chunk) in ranges.iter().zip(&sums) {
@@ -636,7 +835,8 @@ fn exec_nnz(
         let mut cursor = start;
         loop {
             let seg_end = (offsets[row + 1] as usize).min(end);
-            sums.push(row_dot(
+            sums.push(seg_dot(
+                &p.simd,
                 values,
                 col_indices,
                 x,

@@ -20,17 +20,26 @@
 //!   implementation that scores search candidates by **measured time**
 //!   instead of modelled cost, selectable through
 //!   [`SearchConfig::evaluator`](alpha_search::SearchConfig) and composable
-//!   with the existing `CachingEvaluator` / `BatchEvaluator` layers.
+//!   with the existing `CachingEvaluator` / `BatchEvaluator` layers;
+//! * [`simd`] — AVX2/NEON SpMV microkernels behind the runtime
+//!   [`cpu_features`] probe, with lane width, row-vs-nnz lane mapping and
+//!   prefetch distance taken from the design's
+//!   [`SimdPlan`](alpha_graph::SimdPlan) so vectorization is a **search
+//!   dimension**, not a compile-time constant.
 
 #![warn(missing_docs)]
 
+pub mod cpu_features;
 pub mod eval;
 pub mod harness;
 pub mod kernel;
+pub mod simd;
 
+pub use cpu_features::{SimdSupport, NO_SIMD_ENV};
 pub use eval::{NativeEvaluator, NATIVE_DEVICE_LABEL};
 pub use harness::{MeasuredReport, TimingHarness};
 pub use kernel::{
-    effective_workers, effective_workers_pooled, IndexFn, NativeKernel, MIN_NNZ_PER_WORKER,
-    MIN_NNZ_PER_WORKER_POOLED,
+    effective_workers, effective_workers_pooled, effective_workers_pooled_for, IndexFn,
+    NativeKernel, MIN_NNZ_PER_WORKER, MIN_NNZ_PER_WORKER_POOLED,
 };
+pub use simd::{ResolvedSimd, SimdMode};

@@ -1,0 +1,238 @@
+//! Differential acceptance suite of the SIMD microkernel layer: for every
+//! preset design × every synthetic matrix family, the vectorized kernel
+//! (lane mappings across rows and across one row's non-zeros, with and
+//! without software prefetch), its forced-scalar twin and the reference CSR
+//! product must all agree within [`alpha_matrix::max_scaled_error`].
+//!
+//! A second test drives the awkward floating-point corners through the
+//! horizontal-add reduction: NaNs must propagate to exactly the rows whose
+//! dot products touch them (and no others), and subnormal inputs must not
+//! be flushed, diverge, or panic on either side of the differential.
+
+use alpha_cpu::{NativeKernel, SimdMode};
+use alpha_graph::{presets, Operator, OperatorGraph};
+use alpha_matrix::{gen::PatternFamily, max_scaled_error, CsrMatrix, DenseVector};
+
+/// Same tolerance as `reproduce -- native`'s correctness gate.
+const TOL: f32 = 1e-3;
+
+/// Stable stage sort (converting < mapping < implementing), as the search's
+/// seeding does, so appended SIMD operators land in a canonical position.
+fn sort_branch_stages(branch: &mut [Operator]) {
+    branch.sort_by_key(|op| match op.stage() {
+        alpha_graph::Stage::Converting => 0,
+        alpha_graph::Stage::Mapping => 1,
+        alpha_graph::Stage::Implementing => 2,
+    });
+}
+
+/// Every SIMD shape the search can reach, appended to each branch of the
+/// base design.  Variants whose combination the validator rejects (e.g.
+/// row-lanes on a non-row mapping) are dropped — exactly what the search
+/// itself does.
+fn simd_variants(base: &OperatorGraph) -> Vec<(&'static str, OperatorGraph)> {
+    let sets: [(&'static str, &[Operator]); 5] = [
+        (
+            "nnz-x8+pf16",
+            &[
+                Operator::SimdNnzLanes { lanes: 8 },
+                Operator::SimdPrefetch { distance: 16 },
+            ],
+        ),
+        ("nnz-x4", &[Operator::SimdNnzLanes { lanes: 4 }]),
+        (
+            "nnz-x2+pf64",
+            &[
+                Operator::SimdNnzLanes { lanes: 2 },
+                Operator::SimdPrefetch { distance: 64 },
+            ],
+        ),
+        ("row-x4", &[Operator::SimdRowLanes { lanes: 4 }]),
+        (
+            "row-x8+pf8",
+            &[
+                Operator::SimdRowLanes { lanes: 8 },
+                Operator::SimdPrefetch { distance: 8 },
+            ],
+        ),
+    ];
+    let mut variants = Vec::new();
+    for (name, ops) in sets {
+        let mut twin = base.clone();
+        for branch in &mut twin.branches {
+            branch.extend(ops.iter().cloned());
+            sort_branch_stages(branch);
+        }
+        if twin.validate().is_ok() {
+            variants.push((name, twin));
+        }
+    }
+    variants
+}
+
+/// Lowers `graph` for `matrix` and returns (auto, forced-scalar) outputs.
+fn run_twins(
+    graph: &OperatorGraph,
+    matrix: &CsrMatrix,
+    x: &[f32],
+    context: &str,
+) -> (Vec<f32>, Vec<f32>, bool) {
+    let generated =
+        alpha_codegen::generate(graph, matrix, alpha_codegen::GeneratorOptions::default())
+            .unwrap_or_else(|e| panic!("{context}: generation failed: {e}"));
+    let auto = NativeKernel::with_simd_mode(
+        generated.kernel.metadata(),
+        &generated.format,
+        SimdMode::Auto,
+    );
+    let scalar = NativeKernel::with_simd_mode(
+        generated.kernel.metadata(),
+        &generated.format,
+        SimdMode::ForceScalar,
+    );
+    assert!(
+        !scalar.is_vectorized(),
+        "{context}: ForceScalar twin must resolve every partition scalar"
+    );
+    let y_auto = auto
+        .run(x, 1)
+        .unwrap_or_else(|e| panic!("{context}: auto kernel failed: {e}"));
+    let y_scalar = scalar
+        .run(x, 1)
+        .unwrap_or_else(|e| panic!("{context}: scalar kernel failed: {e}"));
+    (y_auto, y_scalar, auto.is_vectorized())
+}
+
+#[test]
+fn every_preset_and_family_agrees_with_the_reference_under_simd() {
+    let mut vectorized_runs = 0usize;
+    for (preset_name, base) in presets::all_presets() {
+        if base.validate().is_err() {
+            continue;
+        }
+        let mut graphs = vec![("base", base.clone())];
+        graphs.extend(simd_variants(&base));
+        for (fi, family) in PatternFamily::ALL.iter().enumerate() {
+            let matrix = family.generate(384, 6, 900 + fi as u64);
+            let x = DenseVector::random(matrix.cols(), 7);
+            let reference = matrix.spmv(x.as_slice()).unwrap();
+            for (variant, graph) in &graphs {
+                let context = format!("{preset_name}/{variant}/{}", family.name());
+                let (y_auto, y_scalar, vectorized) =
+                    run_twins(graph, &matrix, x.as_slice(), &context);
+                if vectorized {
+                    vectorized_runs += 1;
+                }
+                let e_auto = max_scaled_error(&y_auto, &reference);
+                let e_scalar = max_scaled_error(&y_scalar, &reference);
+                let e_twin = max_scaled_error(&y_auto, &y_scalar);
+                assert!(e_auto <= TOL, "{context}: auto vs reference {e_auto:.2e}");
+                assert!(
+                    e_scalar <= TOL,
+                    "{context}: scalar vs reference {e_scalar:.2e}"
+                );
+                assert!(e_twin <= TOL, "{context}: auto vs scalar twin {e_twin:.2e}");
+            }
+        }
+    }
+    // The suite only proves something if the SIMD paths actually ran: every
+    // preset admits at least the nnz-lane shape, so even a NEON/AVX2-less
+    // host exercises the portable lane kernels here.  The one legitimate
+    // all-scalar run is the `ALPHA_CPU_NO_SIMD` override, under which this
+    // suite instead proves the fallback stays correct end to end.
+    if alpha_cpu::cpu_features::force_scalar() {
+        assert_eq!(
+            vectorized_runs, 0,
+            "the env override must pin every kernel scalar"
+        );
+    } else {
+        assert!(
+            vectorized_runs > 0,
+            "no vectorized kernel ran — the differential tested nothing"
+        );
+    }
+}
+
+/// One 8-row matrix whose rows isolate reduction corners: a NaN mid-row
+/// (inside a lane group), a NaN in the serial tail (nnz % lanes != 0),
+/// subnormal values, and ordinary rows that must stay exactly clean.
+fn corner_case_matrix() -> (CsrMatrix, Vec<f32>) {
+    let rows = 8usize;
+    let cols = 32usize;
+    let mut row_offsets = vec![0u32];
+    let mut col_indices: Vec<u32> = Vec::new();
+    let mut values: Vec<f32> = Vec::new();
+    let mut push_row = |entries: &[(u32, f32)]| {
+        for &(c, v) in entries {
+            col_indices.push(c);
+            values.push(v);
+        }
+        row_offsets.push(col_indices.len() as u32);
+    };
+    // Row 0: 12 entries, NaN at position 5 — inside the vector body of an
+    // 8-lane kernel.
+    let mut long_row: Vec<(u32, f32)> = (0..12).map(|i| (i as u32, 1.0 + i as f32)).collect();
+    long_row[5].1 = f32::NAN;
+    push_row(&long_row);
+    // Row 1: 11 entries, NaN at position 10 — in the serial tail (11 % 8).
+    let mut tail_row: Vec<(u32, f32)> = (0..11).map(|i| (i as u32 + 8, 2.0)).collect();
+    tail_row[10].1 = f32::NAN;
+    push_row(&tail_row);
+    // Row 2: subnormal values times subnormal x entries.
+    push_row(&[(0, 1.0e-40), (3, 2.0e-41), (24, 1.0e-38), (30, 4.0e-42)]);
+    // Row 3: empty.
+    push_row(&[]);
+    // Rows 4..8: ordinary dense-ish rows that must come out NaN-free.
+    for r in 0..4u32 {
+        let entries: Vec<(u32, f32)> = (0..9)
+            .map(|i| ((r * 3 + i * 2) % cols as u32, 0.5 + (i as f32) * 0.25))
+            .collect();
+        push_row(&entries);
+    }
+    let matrix = CsrMatrix::from_raw(rows, cols, row_offsets, col_indices, values)
+        .expect("corner matrix is well-formed");
+    let mut x: Vec<f32> = (0..cols).map(|c| 1.0 + (c as f32) * 0.125).collect();
+    x[24] = 1.0e-39; // subnormal against row 2's subnormal value
+    x[31] = f32::MIN_POSITIVE / 4.0;
+    (matrix, x)
+}
+
+#[test]
+fn nan_propagation_and_subnormals_survive_the_horizontal_add() {
+    let (matrix, x) = corner_case_matrix();
+    let base = presets::csr_scalar();
+    let mut graphs = vec![("base", base.clone())];
+    graphs.extend(simd_variants(&base));
+    assert!(
+        graphs.len() > 1,
+        "csr_scalar must admit at least one SIMD variant"
+    );
+    for (variant, graph) in &graphs {
+        let context = format!("corner/{variant}");
+        let (y_auto, y_scalar, _) = run_twins(graph, &matrix, &x, &context);
+        for (row, (a, s)) in y_auto.iter().zip(&y_scalar).enumerate() {
+            assert_eq!(
+                a.is_nan(),
+                s.is_nan(),
+                "{context}: row {row} NaN-ness diverged (auto {a}, scalar {s})"
+            );
+            match row {
+                // The two NaN rows must poison their own result...
+                0 | 1 => assert!(a.is_nan(), "{context}: row {row} must be NaN"),
+                // ...and nothing else; the subnormal row stays finite and
+                // unflushed relative to the scalar twin.
+                _ => {
+                    assert!(a.is_finite(), "{context}: row {row} must be finite");
+                    let err = max_scaled_error(&[*a], &[*s]);
+                    assert!(
+                        err <= TOL,
+                        "{context}: row {row} auto {a:e} vs scalar {s:e} ({err:.2e})"
+                    );
+                }
+            }
+        }
+        // Row 2 is a sum of subnormal products: both sides must agree that
+        // it is tiny but not force it to zero by flushing inputs.
+        assert!(y_scalar[2].abs() < 1.0e-30, "scalar subnormal row is tiny");
+    }
+}

@@ -8,7 +8,9 @@
 //! arrays and builds the kernel.
 
 use crate::graph::{OperatorGraph, ValidationError};
-use crate::metadata::{MatrixMetadataSet, PadScope, Padding, PartitionPlan};
+use crate::metadata::{
+    MatrixMetadataSet, PadScope, Padding, PartitionPlan, SimdLaneMapping, SimdPlan,
+};
 use crate::operator::Operator;
 use alpha_matrix::{CooMatrix, CsrMatrix};
 
@@ -166,6 +168,28 @@ fn design_branch(
         .iter()
         .any(|op| matches!(op, Operator::InterleavedStorage));
     let sort_bmtb = branch.iter().any(|op| matches!(op, Operator::SortBmtb));
+    let mut simd = branch
+        .iter()
+        .find_map(|op| match op {
+            Operator::SimdRowLanes { lanes } => Some(SimdPlan {
+                lanes: *lanes,
+                lane_mapping: SimdLaneMapping::Rows,
+                prefetch_distance: 0,
+            }),
+            Operator::SimdNnzLanes { lanes } => Some(SimdPlan {
+                lanes: *lanes,
+                lane_mapping: SimdLaneMapping::Nnz,
+                prefetch_distance: 0,
+            }),
+            _ => None,
+        })
+        .unwrap_or_else(SimdPlan::scalar);
+    if let Some(distance) = branch.iter().find_map(|op| match op {
+        Operator::SimdPrefetch { distance } => Some(*distance),
+        _ => None,
+    }) {
+        simd.prefetch_distance = distance;
+    }
 
     // SORT_BMTB: reorder rows by length within each thread-block group.
     if sort_bmtb {
@@ -194,6 +218,7 @@ fn design_branch(
         bin_boundaries,
         reduction,
         threads_per_block,
+        simd,
         shares_rows_with_siblings: piece.shares_rows,
         operators,
     })

@@ -24,6 +24,6 @@ pub use designer::{design, DesignError};
 pub use graph::{OperatorGraph, ValidationError};
 pub use metadata::{
     BlockReduction, Mapping, MatrixMetadataSet, PadScope, Padding, PartitionPlan, Reduction,
-    ThreadReduction, WarpReduction,
+    SimdLaneMapping, SimdPlan, ThreadReduction, WarpReduction,
 };
 pub use operator::{Operator, Stage};

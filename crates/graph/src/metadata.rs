@@ -46,6 +46,56 @@ impl Mapping {
     }
 }
 
+/// How SIMD lanes map onto a partition's work (the outcome of the
+/// `SIMD_ROW_LANES` / `SIMD_NNZ_LANES` mapping operators).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLaneMapping {
+    /// Each lane owns one of `lanes` adjacent rows (ELL/padded-row lineage);
+    /// lanes accumulate independent rows, no horizontal reduction needed.
+    Rows,
+    /// Lanes cover `lanes` consecutive non-zeros of the same row (gather-based
+    /// CSR lineage); a horizontal add folds the lane partials into one row
+    /// result.
+    Nnz,
+}
+
+/// The resolved vectorization directive of one partition: lane width, the
+/// row-vs-nnz lane mapping, and the software-prefetch distance.  `lanes == 1`
+/// means explicit scalar execution (the default when no SIMD operator is in
+/// the graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimdPlan {
+    /// SIMD lanes (1, 2, 4 or 8).
+    pub lanes: usize,
+    /// Whether lanes span adjacent rows or consecutive non-zeros.
+    pub lane_mapping: SimdLaneMapping,
+    /// Prefetch distance in non-zeros ahead of the current position
+    /// (0 disables software prefetch).
+    pub prefetch_distance: usize,
+}
+
+impl SimdPlan {
+    /// The scalar default: one lane, no prefetch.
+    pub fn scalar() -> Self {
+        SimdPlan {
+            lanes: 1,
+            lane_mapping: SimdLaneMapping::Nnz,
+            prefetch_distance: 0,
+        }
+    }
+
+    /// True when the plan asks for a multi-lane kernel.
+    pub fn is_vectorized(&self) -> bool {
+        self.lanes > 1
+    }
+}
+
+impl Default for SimdPlan {
+    fn default() -> Self {
+        SimdPlan::scalar()
+    }
+}
+
 /// Scope at which padding is applied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PadScope {
@@ -166,6 +216,9 @@ pub struct PartitionPlan {
     pub reduction: Reduction,
     /// Threads per block chosen by `SET_RESOURCES`.
     pub threads_per_block: usize,
+    /// Resolved vectorization directive (`SimdPlan::scalar()` when no SIMD
+    /// operator appears in the branch).
+    pub simd: SimdPlan,
     /// True if this partition was produced by `COL_DIV` and therefore shares
     /// output rows with sibling partitions.
     pub shares_rows_with_siblings: bool,
@@ -262,6 +315,19 @@ mod tests {
     }
 
     #[test]
+    fn simd_plan_defaults_are_scalar() {
+        let plan = SimdPlan::default();
+        assert_eq!(plan, SimdPlan::scalar());
+        assert!(!plan.is_vectorized());
+        assert!(SimdPlan {
+            lanes: 4,
+            lane_mapping: SimdLaneMapping::Rows,
+            prefetch_distance: 0,
+        }
+        .is_vectorized());
+    }
+
+    #[test]
     fn partition_plan_describe_lists_operators() {
         let matrix = alpha_matrix::gen::uniform_random(8, 8, 2, 1);
         let plan = PartitionPlan {
@@ -277,6 +343,7 @@ mod tests {
             bin_boundaries: None,
             reduction: Reduction::thread_direct(),
             threads_per_block: 128,
+            simd: SimdPlan::scalar(),
             shares_rows_with_siblings: false,
             operators: vec![Operator::Compress, Operator::BmtRowBlock { rows: 1 }],
         };

@@ -101,6 +101,27 @@ pub enum Operator {
     /// Store thread chunks interleaved (column-major within the block) so
     /// that warp lanes read consecutive memory.
     InterleavedStorage,
+    /// Vectorize execution with `lanes` SIMD lanes mapped to adjacent rows
+    /// (ELL/padded-row lineage: each lane owns one row, column indices load
+    /// as vectors).
+    SimdRowLanes {
+        /// SIMD lanes (1, 2, 4 or 8); 1 means explicit scalar execution.
+        lanes: usize,
+    },
+    /// Vectorize execution with `lanes` SIMD lanes mapped to consecutive
+    /// non-zeros of one row (gather-based CSR lineage with a horizontal-add
+    /// row reduction).
+    SimdNnzLanes {
+        /// SIMD lanes (1, 2, 4 or 8); 1 means explicit scalar execution.
+        lanes: usize,
+    },
+    /// Software-prefetch the index/value streams `distance` non-zeros ahead
+    /// of the current position (no-op on targets without a prefetch
+    /// instruction).
+    SimdPrefetch {
+        /// Prefetch distance in non-zeros (0 disables prefetching).
+        distance: usize,
+    },
 
     // ---- Implementing stage ------------------------------------------------
     /// Set runtime configuration: threads per block.
@@ -149,7 +170,10 @@ impl Operator {
             | BmwPad { .. }
             | BmtPad { .. }
             | SortBmtb
-            | InterleavedStorage => Stage::Mapping,
+            | InterleavedStorage
+            | SimdRowLanes { .. }
+            | SimdNnzLanes { .. }
+            | SimdPrefetch { .. } => Stage::Mapping,
             SetResources { .. }
             | GmemAtomRed
             | ShmemOffsetRed
@@ -182,6 +206,9 @@ impl Operator {
             BmtPad { .. } => "BMT_PAD",
             SortBmtb => "SORT_BMTB",
             InterleavedStorage => "INTERLEAVED_STORAGE",
+            SimdRowLanes { .. } => "SIMD_ROW_LANES",
+            SimdNnzLanes { .. } => "SIMD_NNZ_LANES",
+            SimdPrefetch { .. } => "SIMD_PREFETCH",
             SetResources { .. } => "SET_RESOURCES",
             GmemAtomRed => "GMEM_ATOM_RED",
             ShmemOffsetRed => "SHMEM_OFFSET_RED",
@@ -212,6 +239,9 @@ impl Operator {
             BmtbPad { .. } | BmwPad { .. } | BmtPad { .. } => &["ELLPACK", "SELL-P"],
             SortBmtb => &["SELL-C-sigma"],
             InterleavedStorage => &["ELLPACK", "SELL"],
+            SimdRowLanes { .. } => &["ELLPACK", "SELL-C-sigma", "CVR"],
+            SimdNnzLanes { .. } => &["CSR5", "JITSPMM", "gather-SpMV"],
+            SimdPrefetch { .. } => &["CVR", "JITSPMM"],
             SetResources { .. } => &[],
             GmemAtomRed => &["row-grouped CSR", "SCOO"],
             ShmemOffsetRed => &["CSR-Adaptive", "CSR-Stream", "merge-based CSR"],
@@ -245,6 +275,9 @@ impl Operator {
             BmtPad { multiple: 4 },
             SortBmtb,
             InterleavedStorage,
+            SimdRowLanes { lanes: 4 },
+            SimdNnzLanes { lanes: 8 },
+            SimdPrefetch { distance: 16 },
             SetResources {
                 threads_per_block: 128,
             },
@@ -276,6 +309,12 @@ impl std::fmt::Display for Operator {
             BmtbPad { multiple } | BmwPad { multiple } | BmtPad { multiple } => {
                 write!(f, "{}(multiple={})", self.name(), multiple)
             }
+            SimdRowLanes { lanes } | SimdNnzLanes { lanes } => {
+                write!(f, "{}(lanes={})", self.name(), lanes)
+            }
+            SimdPrefetch { distance } => {
+                write!(f, "{}(distance={})", self.name(), distance)
+            }
             SetResources { threads_per_block } => {
                 write!(f, "{}(tpb={})", self.name(), threads_per_block)
             }
@@ -294,7 +333,9 @@ mod tests {
         // Table II lists 6 converting, 10 mapping (counting the three PADs and
         // three row/col blocks separately, plus NNZ block, SORT_BMTB and the
         // interleaved-storage layout used by Figure 14), and 9 implementing.
-        assert_eq!(catalogue.len(), 25);
+        // The native-backend extension adds 3 mapping operators for the SIMD
+        // lane mapping and prefetch distance (13 mapping total).
+        assert_eq!(catalogue.len(), 28);
         let converting = catalogue
             .iter()
             .filter(|o| o.stage() == Stage::Converting)
@@ -308,7 +349,7 @@ mod tests {
             .filter(|o| o.stage() == Stage::Implementing)
             .count();
         assert_eq!(converting, 6);
-        assert_eq!(mapping, 10);
+        assert_eq!(mapping, 13);
         assert_eq!(implementing, 9);
     }
 
@@ -338,6 +379,14 @@ mod tests {
             }
             .to_string(),
             "SET_RESOURCES(tpb=256)"
+        );
+        assert_eq!(
+            Operator::SimdRowLanes { lanes: 4 }.to_string(),
+            "SIMD_ROW_LANES(lanes=4)"
+        );
+        assert_eq!(
+            Operator::SimdPrefetch { distance: 16 }.to_string(),
+            "SIMD_PREFETCH(distance=16)"
         );
     }
 

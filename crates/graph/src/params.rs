@@ -33,6 +33,10 @@ pub enum ParamKind {
     PadMultiple,
     /// Threads per block of `SET_RESOURCES`.
     ThreadsPerBlock,
+    /// SIMD lanes of `SIMD_ROW_LANES` / `SIMD_NNZ_LANES`.
+    SimdLanes,
+    /// Prefetch distance (in non-zeros) of `SIMD_PREFETCH`.
+    SimdPrefetchDist,
 }
 
 impl ParamKind {
@@ -50,6 +54,8 @@ impl ParamKind {
             ParamKind::NnzPerThread => &[4, 16, 64],
             ParamKind::PadMultiple => &[2, 8, 32],
             ParamKind::ThreadsPerBlock => &[64, 256, 1024],
+            ParamKind::SimdLanes => &[2, 4, 8],
+            ParamKind::SimdPrefetchDist => &[8, 32],
         }
     }
 
@@ -66,6 +72,8 @@ impl ParamKind {
             ParamKind::NnzPerThread => vec![2, 4, 8, 16, 32, 64, 128],
             ParamKind::PadMultiple => vec![2, 4, 8, 16, 32, 64],
             ParamKind::ThreadsPerBlock => vec![32, 64, 128, 256, 512, 1024],
+            ParamKind::SimdLanes => vec![1, 2, 4, 8],
+            ParamKind::SimdPrefetchDist => vec![0, 4, 8, 16, 32, 64],
         }
     }
 }
@@ -89,6 +97,8 @@ pub fn operator_params(op: &Operator) -> Vec<(ParamKind, usize)> {
         SetResources { threads_per_block } => {
             vec![(ParamKind::ThreadsPerBlock, *threads_per_block)]
         }
+        SimdRowLanes { lanes } | SimdNnzLanes { lanes } => vec![(ParamKind::SimdLanes, *lanes)],
+        SimdPrefetch { distance } => vec![(ParamKind::SimdPrefetchDist, *distance)],
         _ => Vec::new(),
     }
 }
@@ -114,6 +124,9 @@ pub fn with_param(op: &Operator, value: usize) -> Operator {
         SetResources { .. } => SetResources {
             threads_per_block: value,
         },
+        SimdRowLanes { .. } => SimdRowLanes { lanes: value },
+        SimdNnzLanes { .. } => SimdNnzLanes { lanes: value },
+        SimdPrefetch { .. } => SimdPrefetch { distance: value },
         other => other.clone(),
     }
 }
@@ -151,6 +164,8 @@ mod tests {
             ParamKind::NnzPerThread,
             ParamKind::PadMultiple,
             ParamKind::ThreadsPerBlock,
+            ParamKind::SimdLanes,
+            ParamKind::SimdPrefetchDist,
         ] {
             let fine = kind.fine_grid();
             for v in kind.coarse_grid() {

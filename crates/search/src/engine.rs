@@ -11,7 +11,7 @@
 //! and cached for later).
 
 use crate::enumerate::{
-    coarse_variants, fine_variants, mutate_structure, seed_structures, MutationRng,
+    coarse_variants, fine_variants, mutate_structure, seed_structures_with, MutationRng,
 };
 use crate::eval::{
     BatchEvaluator, CachingEvaluator, DesignCache, EvalContext, Evaluator, EvaluatorChoice,
@@ -192,13 +192,17 @@ pub fn search_with_cache(
     let batch_size = config.batch_size.max(1);
 
     // ---- Level 1: structure enumeration ------------------------------------
-    let mut structures = seed_structures(matrix, &rules);
+    // SIMD twins enter the seed pool only when the evaluator measures real
+    // time: the simulated cost model scores a vectorized twin identically to
+    // its scalar base, so under it twins are dead weight in the schedule.
+    let vectorize = config.evaluator.id().is_native();
+    let mut structures = seed_structures_with(matrix, &rules, vectorize);
     let mut pruned = 0usize;
     {
         // Count what pruning removed (for the statistics) by comparing with
         // the unpruned seed set.
         let unpruned_rules = PruneRules::new(matrix, false);
-        pruned += seed_structures(matrix, &unpruned_rules)
+        pruned += seed_structures_with(matrix, &unpruned_rules, vectorize)
             .len()
             .saturating_sub(structures.len());
     }

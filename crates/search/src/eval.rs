@@ -77,18 +77,19 @@ impl EvaluatorId {
     /// the identity transform so every pre-existing simulated cache key (and
     /// durable cache file) stays valid.
     ///
-    /// The native tag carries a backend **revision** (`-r2`): pooled
-    /// dispatch, nnz-balanced partitioning and the lower pooled worker
-    /// threshold changed what a wall-clock measurement *means* (a ~100k-nnz
-    /// kernel that was forced serial now runs parallel), so spawn-era
-    /// persisted native evaluations and winners land in disjoint contexts
-    /// instead of being compared against pooled timings.  Bump the revision
-    /// whenever the execution substrate changes measurements again.
+    /// The native tag carries a backend **revision** (`-r3`): r2 marked the
+    /// pooled-dispatch/nnz-balanced substrate, r3 marks the SIMD microkernel
+    /// layer — a scalar-era timing and a vectorized timing of the same
+    /// design are different measurements (the same graph can now resolve to
+    /// an AVX2 gather kernel), so scalar-era persisted native evaluations
+    /// and winners land in disjoint contexts instead of being compared
+    /// against vectorized timings.  Bump the revision whenever the
+    /// execution substrate changes measurements again.
     pub fn salt(self, key: u64) -> u64 {
         match self {
             EvaluatorId::Simulated => key,
             EvaluatorId::Native { warmup, runs } => {
-                let key = fnv_extend(key, b"native-cpu-r2");
+                let key = fnv_extend(key, b"native-cpu-r3");
                 let key = fnv_extend(key, &warmup.to_le_bytes());
                 fnv_extend(key, &runs.to_le_bytes())
             }

@@ -37,8 +37,11 @@ pub const CACHE_MAGIC: [u8; 4] = *b"ACDS";
 
 /// Current schema version of the cache file format.  Bump on any change to
 /// the byte layout; old files are then rejected with
-/// [`PersistError::VersionMismatch`] instead of being misread.
-pub const CACHE_FORMAT_VERSION: u32 = 2;
+/// [`PersistError::VersionMismatch`] instead of being misread.  Version 3
+/// added the SIMD operator tags (25–27): caches written before vectorization
+/// existed score designs the SIMD-aware search would rank differently, so
+/// they are retired wholesale rather than mixed in.
+pub const CACHE_FORMAT_VERSION: u32 = 3;
 
 /// Why loading or saving a durable cache failed.
 #[derive(Debug)]
@@ -299,6 +302,9 @@ fn operator_tag(op: &Operator) -> (u8, u64) {
         WarpSegRed => (22, 0),
         ThreadTotalRed => (23, 0),
         ThreadBitmapRed => (24, 0),
+        SimdRowLanes { lanes } => (25, *lanes as u64),
+        SimdNnzLanes { lanes } => (26, *lanes as u64),
+        SimdPrefetch { distance } => (27, *distance as u64),
     }
 }
 
@@ -335,6 +341,9 @@ fn operator_from_tag(tag: u8, param: u64) -> Result<Operator, PersistError> {
         22 => WarpSegRed,
         23 => ThreadTotalRed,
         24 => ThreadBitmapRed,
+        25 => SimdRowLanes { lanes: p },
+        26 => SimdNnzLanes { lanes: p },
+        27 => SimdPrefetch { distance: p },
         other => {
             return Err(PersistError::Corrupt(format!(
                 "unknown operator tag {other}"
@@ -735,6 +744,57 @@ mod tests {
         // Deterministic bytes: serialising the reloaded cache reproduces the
         // file exactly.
         assert_eq!(bytes, reloaded.to_bytes());
+    }
+
+    #[test]
+    fn simd_operators_round_trip_through_the_codec() {
+        use alpha_graph::Operator;
+        let vectorized = OperatorGraph::linear(vec![
+            Operator::Compress,
+            Operator::BmtRowBlock { rows: 1 },
+            Operator::SimdRowLanes { lanes: 4 },
+            Operator::SimdPrefetch { distance: 32 },
+            Operator::ThreadTotalRed,
+        ]);
+        assert!(vectorized.validate().is_ok());
+        let gathered = OperatorGraph::linear(vec![
+            Operator::Compress,
+            Operator::BmtNnzBlock { nnz: 32 },
+            Operator::SimdNnzLanes { lanes: 8 },
+            Operator::ThreadBitmapRed,
+            Operator::GmemAtomRed,
+        ]);
+        assert!(gathered.validate().is_ok());
+        let cache = DesignCache::new();
+        cache.record_winner(
+            41,
+            StoredDesign {
+                graph: vectorized.clone(),
+                gflops: 2.0,
+                matrix_features: vec![],
+                evaluator: EvaluatorId::Native { warmup: 2, runs: 5 },
+            },
+        );
+        cache.record_winner(
+            42,
+            StoredDesign {
+                graph: gathered.clone(),
+                gflops: 3.0,
+                matrix_features: vec![],
+                evaluator: EvaluatorId::Native { warmup: 2, runs: 5 },
+            },
+        );
+        let reloaded = DesignCache::from_bytes(&cache.to_bytes()).expect("decodes");
+        let winners = reloaded.winners();
+        let find = |key: u64| {
+            &winners
+                .iter()
+                .find(|(k, _)| *k == key)
+                .expect("winner survives the round trip")
+                .1
+        };
+        assert_eq!(find(41).graph, vectorized);
+        assert_eq!(find(42).graph, gathered);
     }
 
     #[test]
