@@ -368,59 +368,81 @@ fn main() {
     }
 
     // `serve` is opt-in only (not under `all`): a closed-loop load test of
-    // the networked daemon, reporting throughput and tail latency.
+    // the networked daemon swept over increasing connection counts.  One
+    // warm store is shared across the sweep, so only the first point pays
+    // for tuning and the later points measure the event loop itself.
+    // Busy sheds are retried and reported, never a run failure.
     if want("serve") {
-        println!("== Serve: closed-loop load test against the alpha-net daemon (loopback) ==");
+        println!("== Serve: closed-loop load sweep against the alpha-net daemon (loopback) ==");
         let config = ServeLoadConfig {
             threads: cli.threads,
             ..ServeLoadConfig::default()
         };
+        const SWEEP: [usize; 5] = [4, 16, 64, 128, 256];
         println!(
-            "   {} matrices, {} closed-loop clients, {} SpMV/job, queue capacity {}\n",
-            config.fleet_size, config.clients, config.spmv_per_job, config.queue_capacity
+            "   {} matrices, {:?} closed-loop clients, {} SpMV/job, queue capacity {}\n",
+            config.fleet_size, SWEEP, config.spmv_per_job, config.queue_capacity
         );
-        match serve_load(config) {
-            Ok(report) => {
+        match serve_sweep(config, &SWEEP) {
+            Ok(reports) => {
                 let print_class = |name: &str, s: &alpha_bench::LatencySummary, n: usize| {
                     println!(
                         "  {name:<5} {n:>5} requests  {:>8.1} req/s  p50 {:>9.0} us  p95 {:>9.0} us  p99 {:>9.0} us",
                         s.requests_per_sec, s.p50_us, s.p95_us, s.p99_us
                     );
                 };
-                print_class(
-                    "tune",
-                    &report.tune_summary(),
-                    report.tune_latencies_us.len(),
-                );
-                // The tune latency decomposed: admission-queue wait vs
-                // server-side execution, so pool improvements (execution)
-                // are attributable separately from backlog (queueing).
-                print_class(
-                    "queue",
-                    &report.tune_queue_summary(),
-                    report.tune_queue_wait_us.len(),
-                );
-                print_class(
-                    "exec",
-                    &report.tune_exec_summary(),
-                    report.tune_exec_us.len(),
-                );
-                print_class(
-                    "spmv",
-                    &report.spmv_summary(),
-                    report.spmv_latencies_us.len(),
-                );
-                println!(
-                    "  backpressure (Busy) hits: {}, store-served jobs: {}/{}",
-                    report.backpressure_hits,
-                    report.store_served_jobs,
-                    report.tune_latencies_us.len()
-                );
-                println!("  total wall-clock: {:.2} s\n", report.wall_secs);
-                records.extend(report.records());
+                for report in &reports {
+                    println!("  -- {} concurrent clients --", report.config.clients);
+                    print_class(
+                        "tune",
+                        &report.tune_summary(),
+                        report.tune_latencies_us.len(),
+                    );
+                    // The tune latency decomposed: admission-queue wait vs
+                    // server-side execution, so pool improvements
+                    // (execution) are attributable separately from backlog
+                    // (queueing).
+                    print_class(
+                        "queue",
+                        &report.tune_queue_summary(),
+                        report.tune_queue_wait_us.len(),
+                    );
+                    print_class(
+                        "exec",
+                        &report.tune_exec_summary(),
+                        report.tune_exec_us.len(),
+                    );
+                    print_class(
+                        "spmv",
+                        &report.spmv_summary(),
+                        report.spmv_latencies_us.len(),
+                    );
+                    println!(
+                        "  sheds (Busy, retried): {} tune + {} spmv, store-served jobs: {}/{}",
+                        report.backpressure_hits,
+                        report.shed_spmv,
+                        report.store_served_jobs,
+                        report.tune_latencies_us.len()
+                    );
+                    println!("  wall-clock: {:.2} s\n", report.wall_secs);
+                    records.extend(report.records());
+                }
+                let p99_at = |clients: usize| {
+                    reports
+                        .iter()
+                        .find(|r| r.config.clients == clients)
+                        .map(|r| r.spmv_summary().p99_us)
+                };
+                if let (Some(base), Some(high)) = (p99_at(SWEEP[0]), p99_at(128)) {
+                    println!(
+                        "  SpMV p99 at 128 clients vs {} clients: {:.2}x\n",
+                        SWEEP[0],
+                        if base > 0.0 { high / base } else { f64::NAN }
+                    );
+                }
             }
             Err(e) => {
-                eprintln!("  serve load test FAILED: {e}\n");
+                eprintln!("  serve load sweep FAILED: {e}\n");
                 failed = true;
             }
         }

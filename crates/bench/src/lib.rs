@@ -10,7 +10,7 @@
 
 mod serve_load;
 
-pub use serve_load::{serve_load, ServeLoadConfig, ServeLoadReport};
+pub use serve_load::{serve_load, serve_sweep, ServeLoadConfig, ServeLoadReport};
 
 use alpha_baselines::{run_pfs, Baseline, PfsOutcome, TacoKernel};
 use alpha_gpu::{DeviceProfile, GpuSim};
@@ -504,6 +504,12 @@ pub struct BenchRecord {
     pub dispatch_overhead_us: Option<f64>,
     /// Latency percentiles + throughput, for serve-bench records only.
     pub latency: Option<LatencySummary>,
+    /// Concurrent closed-loop connections that produced this record;
+    /// `None` for non-serve records.  The serve sweep emits one record set
+    /// per connection count, in increasing order, so scripts can read the
+    /// latency-vs-connection-count curve straight out of
+    /// `BENCH_results.json`.
+    pub clients: Option<usize>,
 }
 
 /// Throughput and tail-latency summary of one closed-loop load test (the
@@ -576,6 +582,7 @@ impl BenchRecord {
             pool: false,
             dispatch_overhead_us: None,
             latency: None,
+            clients: None,
         }
     }
 
@@ -599,6 +606,7 @@ impl BenchRecord {
             pool: false,
             dispatch_overhead_us: None,
             latency: None,
+            clients: None,
         }
     }
 
@@ -630,6 +638,7 @@ impl BenchRecord {
             pool: true,
             dispatch_overhead_us: None,
             latency: None,
+            clients: None,
         }
     }
 
@@ -695,8 +704,8 @@ pub fn results_to_json(records: &[BenchRecord]) -> String {
              \"search_iterations\": {}, \"cache_hit_rate\": {}, \
              \"wall_secs\": {}, \"threads\": {}, \"measured_median_us\": {}, \
              \"measured_stddev_us\": {}, \"pool\": {}, \
-             \"dispatch_overhead_us\": {}, \"p50_us\": {}, \"p95_us\": {}, \
-             \"p99_us\": {}, \"requests_per_sec\": {}}}{}\n",
+             \"dispatch_overhead_us\": {}, \"clients\": {}, \"p50_us\": {}, \
+             \"p95_us\": {}, \"p99_us\": {}, \"requests_per_sec\": {}}}{}\n",
             json_escape(&r.device),
             json_escape(&r.matrix),
             json_escape(&r.format),
@@ -713,6 +722,9 @@ pub fn results_to_json(records: &[BenchRecord]) -> String {
             json_opt_f64(r.measured_stddev_us),
             r.pool,
             json_opt_f64(r.dispatch_overhead_us),
+            r.clients
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "null".to_string()),
             json_opt_f64(r.latency.map(|l| l.p50_us)),
             json_opt_f64(r.latency.map(|l| l.p95_us)),
             json_opt_f64(r.latency.map(|l| l.p99_us)),
@@ -1317,6 +1329,7 @@ mod tests {
                 pool: false,
                 dispatch_overhead_us: None,
                 latency: None,
+                clients: None,
             },
             BenchRecord {
                 device: "RTX2080".into(),
@@ -1341,6 +1354,7 @@ mod tests {
                     p99_us: 30.0,
                     requests_per_sec: 123.0,
                 }),
+                clients: Some(16),
             },
         ];
         let json = results_to_json(&records);
@@ -1387,6 +1401,7 @@ mod tests {
             pool: true,
             dispatch_overhead_us: None,
             latency: None,
+            clients: None,
         };
         write_native_snapshot(&path, "v5-1-gaaaa", &[record(1.0)]).unwrap();
         write_native_snapshot(&path, "v6-1-gbbbb", &[record(2.0), record(3.0)]).unwrap();
@@ -1433,6 +1448,7 @@ mod tests {
             pool: false,
             dispatch_overhead_us: None,
             latency: None,
+            clients: None,
         }];
         write_results_json(&path, &records).expect("parents are created");
         assert!(path.is_file());

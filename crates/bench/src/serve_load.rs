@@ -3,11 +3,28 @@
 //! Spawns the daemon in-process on a loopback port, then drives it with a
 //! configurable number of closed-loop clients (each waits for its previous
 //! request before issuing the next — the classic closed-loop load model).
-//! Every client tunes its share of a matrix fleet over the wire and then
-//! hammers the finished kernels with remote SpMV requests.  The report
+//! The run has two phases separated by a barrier: every client first tunes
+//! its share of a matrix fleet over the wire (the tune storm — this is
+//! where admission control and queue-wait are measured), then all clients
+//! switch together to remote SpMV against the finished kernels.  SpMV
+//! requests are *paced*: each client thinks for [`ServeLoadConfig::
+//! spmv_pace`] between requests, with client start times staggered across
+//! one pace interval, so the SpMV phase measures how latency scales with
+//! *connection count* at a bounded offered load — the event-loop question —
+//! rather than rediscovering that a saturated closed loop queues linearly
+//! in the number of clients (which no server design can beat).  The report
 //! carries throughput plus p50/p95/p99 latency for both request classes,
 //! which `reproduce` writes into `BENCH_results.json`; any failed request
 //! fails the whole run (the binary exits non-zero).
+//!
+//! [`Busy`](alpha_net::Response::Busy) sheds are *not* failures: admission
+//! control rejecting under pressure is the daemon working as designed, so
+//! shed requests are retried after the daemon's `retry_after_ms` hint and
+//! reported as their own `shed` request class instead of aborting the run.
+//!
+//! [`serve_sweep`] repeats the load at increasing connection counts over
+//! one shared warm store (only the first count pays for tuning), producing
+//! the latency-vs-connection-count curve of the event-loop server.
 
 use crate::{BenchRecord, LatencySummary};
 use alpha_matrix::CsrMatrix;
@@ -31,6 +48,11 @@ pub struct ServeLoadConfig {
     pub clients: usize,
     /// Remote SpMV requests per finished tune job.
     pub spmv_per_job: usize,
+    /// Think time between a client's SpMV requests.  The total offered
+    /// SpMV load is `clients / spmv_pace`; keep it below the daemon's
+    /// execution capacity so the sweep's latency curve isolates connection
+    /// scaling instead of saturation queueing.
+    pub spmv_pace: Duration,
     /// Daemon admission-queue capacity.
     pub queue_capacity: usize,
     /// Daemon tuning workers (0 = auto).
@@ -49,6 +71,7 @@ impl Default for ServeLoadConfig {
             budget: 30,
             clients: 4,
             spmv_per_job: 8,
+            spmv_pace: Duration::from_millis(100),
             queue_capacity: 16,
             workers: 0,
             threads: 0,
@@ -66,6 +89,7 @@ impl ServeLoadConfig {
             budget: 6,
             clients: 2,
             spmv_per_job: 2,
+            spmv_pace: Duration::from_millis(1),
             queue_capacity: 4,
             workers: 2,
             threads: 0,
@@ -96,6 +120,9 @@ pub struct ServeLoadReport {
     /// Submissions that hit [`Busy`](alpha_net::Response::Busy)
     /// backpressure before being admitted on retry.
     pub backpressure_hits: u64,
+    /// SpMV requests the daemon shed with `Busy` (execution lane
+    /// saturated) before succeeding on retry.
+    pub shed_spmv: u64,
     /// Jobs served with zero fresh evaluations (warm-store hits).
     pub store_served_jobs: usize,
 }
@@ -121,8 +148,16 @@ impl ServeLoadReport {
         LatencySummary::from_samples(&self.tune_exec_us, self.wall_secs)
     }
 
+    /// Total requests the daemon shed with `Busy` backpressure during the
+    /// run (tune submissions plus SpMVs); each was retried, never dropped.
+    pub fn sheds(&self) -> u64 {
+        self.backpressure_hits + self.shed_spmv
+    }
+
     /// The `BENCH_results.json` records of this run: one per request class,
-    /// carrying percentiles and throughput in the latency columns.
+    /// carrying percentiles and throughput in the latency columns.  The
+    /// `shed` class counts Busy rejections absorbed by retry — a load
+    /// signal, not a failure.
     pub fn records(&self) -> Vec<BenchRecord> {
         let fleet = format!(
             "serve_fleet{}x{}c_q{}",
@@ -146,6 +181,7 @@ impl ServeLoadReport {
             pool: true,
             dispatch_overhead_us: None,
             latency: Some(latency),
+            clients: Some(self.config.clients),
         };
         vec![
             record("tune", self.tune_summary(), self.tune_latencies_us.len()),
@@ -160,6 +196,11 @@ impl ServeLoadReport {
                 self.tune_exec_us.len(),
             ),
             record("spmv", self.spmv_summary(), self.spmv_latencies_us.len()),
+            record(
+                "shed",
+                LatencySummary::from_samples(&[], self.wall_secs),
+                self.sheds() as usize,
+            ),
         ]
     }
 }
@@ -170,27 +211,91 @@ struct ClientOutcome {
     tune_exec_us: Vec<f64>,
     spmv_latencies_us: Vec<f64>,
     backpressure_hits: u64,
+    shed_spmv: u64,
     store_served_jobs: usize,
 }
 
-/// One closed-loop client: tunes its share of the fleet, then runs SpMV
-/// against every finished kernel.  Any failed request aborts the client —
-/// and with it the whole run.
+/// One load client: identifies as its own tenant, tunes its share of the
+/// fleet (phase 1), waits at the barrier for every other client, then runs
+/// paced SpMV against its finished kernels (phase 2).  `Busy` sheds are
+/// retried (and counted); any *failed* request aborts the client — and
+/// with it the whole run.
+///
+/// The barrier is reached exactly once per client, error or not — an
+/// early return before it would deadlock every other client.
 fn drive_client(
     addr: std::net::SocketAddr,
+    tenant: u64,
     matrices: &[CsrMatrix],
     spmv_per_job: usize,
+    pace: Duration,
+    stagger: Duration,
+    phase_barrier: &std::sync::Barrier,
 ) -> Result<ClientOutcome, String> {
-    const DEADLINE: Duration = Duration::from_secs(3_600);
-    let mut client = Client::connect(addr).map_err(String::from)?;
+    let tuned = tune_phase(addr, tenant, matrices);
+    phase_barrier.wait();
+    let (mut client, mut outcome, jobs) = tuned?;
+    // Stagger client starts across one pace interval so the paced phase
+    // offers a uniform arrival stream instead of a synchronized burst at
+    // every pace boundary.
+    std::thread::sleep(stagger);
+    for (job, rows, cols) in jobs {
+        let x = vec![1.0; cols];
+        for _ in 0..spmv_per_job {
+            let start = Instant::now();
+            // A shed is backpressure, not failure: honour the daemon's
+            // retry hint and try again (deadline-bounded so a wedged
+            // daemon still fails the run instead of hanging it).
+            let y = loop {
+                match client.spmv(job, &x) {
+                    Ok(y) => break y,
+                    Err(alpha_net::NetError::Busy { retry_after_ms, .. }) => {
+                        outcome.shed_spmv += 1;
+                        if start.elapsed() >= DEADLINE {
+                            return Err(format!("spmv on job {job} shed past the deadline"));
+                        }
+                        std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 50)));
+                    }
+                    Err(e) => return Err(format!("spmv on job {job} failed: {e}")),
+                }
+            };
+            outcome
+                .spmv_latencies_us
+                .push(start.elapsed().as_secs_f64() * 1e6);
+            if y.len() != rows {
+                return Err(format!(
+                    "spmv on job {job} returned {} rows, expected {rows}",
+                    y.len()
+                ));
+            }
+            std::thread::sleep(pace);
+        }
+    }
+    Ok(outcome)
+}
+
+const DEADLINE: Duration = Duration::from_secs(3_600);
+
+/// Phase 1 of one client: connect as the tenant and tune every matrix in
+/// its share, recording tune/queue/exec latencies.  Returns the connected
+/// client and the finished `(job_id, rows, cols)` handles for phase 2.
+#[allow(clippy::type_complexity)]
+fn tune_phase(
+    addr: std::net::SocketAddr,
+    tenant: u64,
+    matrices: &[CsrMatrix],
+) -> Result<(Client, ClientOutcome, Vec<(u64, usize, usize)>), String> {
+    let (mut client, _weight) = Client::connect_as(addr, tenant).map_err(String::from)?;
     let mut outcome = ClientOutcome {
         tune_latencies_us: Vec::new(),
         tune_queue_wait_us: Vec::new(),
         tune_exec_us: Vec::new(),
         spmv_latencies_us: Vec::new(),
         backpressure_hits: 0,
+        shed_spmv: 0,
         store_served_jobs: 0,
     };
+    let mut jobs = Vec::with_capacity(matrices.len());
     for matrix in matrices {
         // Closed loop: submit (deadline-bounded backoff on Busy — a wedged
         // daemon must fail the run, not hang it), wait for completion.
@@ -210,26 +315,9 @@ fn drive_client(
             .push(summary.queue_wait_secs * 1e6);
         outcome.tune_exec_us.push(summary.wall_secs * 1e6);
         outcome.store_served_jobs += (summary.fresh_evaluations == 0) as usize;
-
-        let x = vec![1.0; matrix.cols()];
-        for _ in 0..spmv_per_job {
-            let start = Instant::now();
-            let y = client
-                .spmv(job, &x)
-                .map_err(|e| format!("spmv on job {job} failed: {e}"))?;
-            outcome
-                .spmv_latencies_us
-                .push(start.elapsed().as_secs_f64() * 1e6);
-            if y.len() != matrix.rows() {
-                return Err(format!(
-                    "spmv on job {job} returned {} rows, expected {}",
-                    y.len(),
-                    matrix.rows()
-                ));
-            }
-        }
+        jobs.push((job, matrix.rows(), matrix.cols()));
     }
-    Ok(outcome)
+    Ok((client, outcome, jobs))
 }
 
 /// Runs the closed-loop load test end to end: spawn daemon, drive it with
@@ -241,9 +329,49 @@ pub fn serve_load(config: ServeLoadConfig) -> Result<ServeLoadReport, String> {
         config.fleet_size
     ));
     let _ = std::fs::remove_dir_all(&store_dir);
+    let report = serve_load_at(config, &store_dir);
+    let _ = std::fs::remove_dir_all(&store_dir);
+    report
+}
 
+/// Repeats the load at each connection count in `counts` over one shared
+/// design store: the first run pays for tuning, every later count is
+/// warm-store served, so the sweep isolates how latency scales with
+/// concurrent connections rather than with search cost.  Returns one
+/// report per count, in the given order.
+pub fn serve_sweep(
+    config: ServeLoadConfig,
+    counts: &[usize],
+) -> Result<Vec<ServeLoadReport>, String> {
+    let store_dir = std::env::temp_dir().join(format!(
+        "alphasparse_serve_sweep_{}_{}",
+        std::process::id(),
+        config.fleet_size
+    ));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut reports = Vec::with_capacity(counts.len());
+    for &clients in counts {
+        let point = ServeLoadConfig { clients, ..config };
+        match serve_load_at(point, &store_dir) {
+            Ok(report) => reports.push(report),
+            Err(e) => {
+                let _ = std::fs::remove_dir_all(&store_dir);
+                return Err(format!("sweep point at {clients} clients failed: {e}"));
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&store_dir);
+    Ok(reports)
+}
+
+/// One load run against a caller-owned store directory (kept afterwards,
+/// so successive runs share the warm store).
+fn serve_load_at(
+    config: ServeLoadConfig,
+    store_dir: &std::path::Path,
+) -> Result<ServeLoadReport, String> {
     let service = TuningService::new(
-        DesignStore::open(&store_dir).map_err(String::from)?,
+        DesignStore::open(store_dir).map_err(String::from)?,
         SearchConfig {
             max_iterations: config.budget,
             mutations_per_seed: 3,
@@ -271,13 +399,43 @@ pub fn serve_load(config: ServeLoadConfig) -> Result<ServeLoadReport, String> {
         })
         .collect();
     let clients = config.clients.max(1);
-    let shares: Vec<&[CsrMatrix]> = matrices.chunks(matrices.len().div_ceil(clients)).collect();
+    // Up to fleet-size clients split the fleet; beyond that every extra
+    // client re-tunes an already-covered matrix (warm-store served), so
+    // high connection counts measure the serving tier, not extra search.
+    let shares: Vec<Vec<CsrMatrix>> = if clients <= matrices.len() {
+        matrices
+            .chunks(matrices.len().div_ceil(clients))
+            .map(|chunk| chunk.to_vec())
+            .collect()
+    } else {
+        (0..clients)
+            .map(|i| vec![matrices[i % matrices.len()].clone()])
+            .collect()
+    };
 
     let start = Instant::now();
+    let phase_barrier = std::sync::Barrier::new(shares.len());
     let outcomes: Vec<Result<ClientOutcome, String>> = std::thread::scope(|scope| {
+        let barrier = &phase_barrier;
         let handles: Vec<_> = shares
             .iter()
-            .map(|share| scope.spawn(move || drive_client(addr, share, config.spmv_per_job)))
+            .enumerate()
+            .map(|(i, share)| {
+                // Spread client start offsets uniformly across one pace
+                // interval.
+                let stagger = config.spmv_pace.mul_f64(i as f64 / shares.len() as f64);
+                scope.spawn(move || {
+                    drive_client(
+                        addr,
+                        1 + i as u64,
+                        share,
+                        config.spmv_per_job,
+                        config.spmv_pace,
+                        stagger,
+                        barrier,
+                    )
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -295,7 +453,6 @@ pub fn serve_load(config: ServeLoadConfig) -> Result<ServeLoadReport, String> {
         .and_then(|mut c| c.shutdown())
         .map_err(String::from);
     server.join();
-    let _ = std::fs::remove_dir_all(&store_dir);
     shutdown?;
 
     let mut report = ServeLoadReport {
@@ -306,6 +463,7 @@ pub fn serve_load(config: ServeLoadConfig) -> Result<ServeLoadReport, String> {
         tune_exec_us: Vec::new(),
         spmv_latencies_us: Vec::new(),
         backpressure_hits: 0,
+        shed_spmv: 0,
         store_served_jobs: 0,
     };
     for outcome in outcomes {
@@ -315,6 +473,7 @@ pub fn serve_load(config: ServeLoadConfig) -> Result<ServeLoadReport, String> {
         report.tune_exec_us.extend(outcome.tune_exec_us);
         report.spmv_latencies_us.extend(outcome.spmv_latencies_us);
         report.backpressure_hits += outcome.backpressure_hits;
+        report.shed_spmv += outcome.shed_spmv;
         report.store_served_jobs += outcome.store_served_jobs;
     }
     Ok(report)
@@ -357,19 +516,69 @@ mod tests {
         );
 
         let records = report.records();
-        assert_eq!(records.len(), 4);
+        assert_eq!(records.len(), 5);
         let formats: Vec<&str> = records.iter().map(|r| r.format.as_str()).collect();
-        assert_eq!(formats, ["tune", "tune_queue", "tune_exec", "spmv"]);
+        assert_eq!(formats, ["tune", "tune_queue", "tune_exec", "spmv", "shed"]);
         for record in &records {
             assert_eq!(record.device, "alpha-net");
             assert!(record.pool, "daemon SpMV and tuning run pooled");
+            assert_eq!(record.clients, Some(config.clients));
             let latency = record.latency.expect("serve records carry latency");
             assert!(latency.p99_us >= latency.p50_us);
         }
         let json = crate::results_to_json(&records);
         assert!(json.contains("\"p50_us\": "));
         assert!(json.contains("\"requests_per_sec\": "));
+        assert!(json.contains(&format!("\"clients\": {}", config.clients)));
         assert!(!json.contains("\"p50_us\": null"));
+    }
+
+    #[test]
+    fn busy_sheds_are_reported_not_fatal() {
+        // A 1-slot queue behind concurrent clients sheds aggressively; the
+        // run must still succeed and surface the sheds as their own record
+        // class instead of exiting non-zero.
+        let config = ServeLoadConfig {
+            queue_capacity: 1,
+            workers: 1,
+            ..ServeLoadConfig::tiny()
+        };
+        let report = serve_load(config).expect("a shedding run still succeeds");
+        assert_eq!(report.tune_latencies_us.len(), config.fleet_size);
+        let records = report.records();
+        let shed = records
+            .iter()
+            .find(|r| r.format == "shed")
+            .expect("shed class is always reported");
+        assert_eq!(shed.search_iterations, report.sheds() as usize);
+        assert_eq!(shed.clients, Some(config.clients));
+        // Shed counting is additive across request classes.
+        assert_eq!(report.sheds(), report.backpressure_hits + report.shed_spmv);
+    }
+
+    #[test]
+    fn sweep_reports_one_point_per_connection_count_in_order() {
+        let config = ServeLoadConfig {
+            fleet_size: 2,
+            spmv_per_job: 1,
+            ..ServeLoadConfig::tiny()
+        };
+        let counts = [1usize, 3];
+        let reports = serve_sweep(config, &counts).expect("sweep succeeds");
+        assert_eq!(reports.len(), counts.len());
+        for (report, &count) in reports.iter().zip(&counts) {
+            assert_eq!(report.config.clients, count);
+            for record in report.records() {
+                assert_eq!(record.clients, Some(count));
+            }
+        }
+        // 3 clients > 2 matrices: every client still gets work (round-robin
+        // re-tunes), and the warm store makes the second point cheap.
+        assert_eq!(reports[1].tune_latencies_us.len(), 3);
+        assert!(
+            reports[1].store_served_jobs > 0,
+            "later sweep points must hit the warm store"
+        );
     }
 
     #[test]
@@ -391,7 +600,16 @@ mod tests {
         );
         let server = NetServer::spawn("127.0.0.1:0", service, ServerConfig::default()).unwrap();
         let empty = CsrMatrix::from_coo(&alpha_matrix::CooMatrix::new(8, 8));
-        let result = drive_client(server.local_addr(), &[empty], 1);
+        let barrier = std::sync::Barrier::new(1);
+        let result = drive_client(
+            server.local_addr(),
+            1,
+            &[empty],
+            1,
+            Duration::ZERO,
+            Duration::ZERO,
+            &barrier,
+        );
         assert!(result.is_err(), "failed tune must fail the client loop");
         let mut client = Client::connect(server.local_addr()).unwrap();
         client.shutdown().unwrap();

@@ -3,7 +3,7 @@
 
 use crate::proto::{
     decode_response, encode_request, read_frame, write_frame, ErrorKind, JobState, JobSummary,
-    ProtoError, Request, Response, ServerStats,
+    ProtoError, Request, Response, ServerStats, TenantStats,
 };
 use alpha_matrix::{CsrMatrix, Scalar};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -21,11 +21,15 @@ pub enum NetError {
         /// Human-readable detail.
         message: String,
     },
-    /// Admission control rejected the submission — the job queue is full.
-    /// Nothing was enqueued; back off and retry.
+    /// Admission control rejected the submission — the job queue is full,
+    /// or this tenant's fair-share credit is exhausted.  Nothing was
+    /// enqueued; back off and retry.
     Busy {
         /// The daemon's queue bound, for sizing the backoff.
         queue_capacity: u64,
+        /// The daemon's estimate of when retrying is worthwhile, in
+        /// milliseconds (0 = immediately).
+        retry_after_ms: u64,
     },
     /// The awaited job finished in failure.
     JobFailed {
@@ -48,9 +52,12 @@ impl std::fmt::Display for NetError {
         match self {
             NetError::Proto(e) => write!(f, "{e}"),
             NetError::Server { kind, message } => write!(f, "server error [{kind}]: {message}"),
-            NetError::Busy { queue_capacity } => write!(
+            NetError::Busy {
+                queue_capacity,
+                retry_after_ms,
+            } => write!(
                 f,
-                "daemon is busy (job queue of {queue_capacity} is full); retry later"
+                "daemon is busy (job queue of {queue_capacity} is full); retry in ~{retry_after_ms} ms"
             ),
             NetError::JobFailed { job_id, error } => write!(f, "job {job_id} failed: {error}"),
             NetError::UnexpectedResponse(what) => {
@@ -92,11 +99,29 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a daemon.
+    /// Connects to a daemon anonymously (tenant 0).
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, NetError> {
         let stream = TcpStream::connect(addr).map_err(ProtoError::from)?;
         stream.set_nodelay(true).map_err(ProtoError::from)?;
         Ok(Client { stream })
+    }
+
+    /// Connects and identifies as tenant `client_id` (see
+    /// [`Request::Hello`]): the daemon's weighted admission and fairness
+    /// accounting key on this identity.  Returns the client and the
+    /// admission weight the daemon assigned.
+    pub fn connect_as<A: ToSocketAddrs>(
+        addr: A,
+        client_id: u64,
+    ) -> Result<(Client, u64), NetError> {
+        let mut client = Client::connect(addr)?;
+        match client.roundtrip(&Request::Hello { client_id })? {
+            Response::Welcome {
+                client_id: echoed,
+                weight,
+            } if echoed == client_id => Ok((client, weight)),
+            other => Err(NetError::UnexpectedResponse(format!("{other:?}"))),
+        }
     }
 
     fn roundtrip(&mut self, request: &Request) -> Result<Response, NetError> {
@@ -117,7 +142,13 @@ impl Client {
             device: device.to_string(),
         })? {
             Response::Submitted { job_id } => Ok(job_id),
-            Response::Busy { queue_capacity } => Err(NetError::Busy { queue_capacity }),
+            Response::Busy {
+                queue_capacity,
+                retry_after_ms,
+            } => Err(NetError::Busy {
+                queue_capacity,
+                retry_after_ms,
+            }),
             other => Err(NetError::UnexpectedResponse(format!("{other:?}"))),
         }
     }
@@ -139,6 +170,11 @@ impl Client {
     /// [`Client::submit_tune_with_backoff`], additionally reporting how
     /// many [`NetError::Busy`] rejections were absorbed before admission —
     /// the backpressure signal a load generator wants to record.
+    ///
+    /// When the daemon's `Busy` carries a nonzero `retry_after_ms` hint, the
+    /// wait honours it (capped at 4x the caller's `backoff` so a pessimistic
+    /// daemon estimate cannot stall the client); otherwise the caller's
+    /// `backoff` is used as-is.
     pub fn submit_tune_counting_backoff(
         &mut self,
         matrix: &CsrMatrix,
@@ -151,12 +187,24 @@ impl Client {
         loop {
             match self.submit_tune(matrix, device) {
                 Ok(job_id) => return Ok((job_id, rejections)),
-                Err(NetError::Busy { queue_capacity }) => {
+                Err(NetError::Busy {
+                    queue_capacity,
+                    retry_after_ms,
+                }) => {
                     rejections += 1;
                     if start.elapsed() >= deadline {
-                        return Err(NetError::Busy { queue_capacity });
+                        return Err(NetError::Busy {
+                            queue_capacity,
+                            retry_after_ms,
+                        });
                     }
-                    std::thread::sleep(backoff);
+                    let hinted = Duration::from_millis(retry_after_ms);
+                    let wait = if retry_after_ms > 0 {
+                        hinted.min(backoff.saturating_mul(4)).max(backoff)
+                    } else {
+                        backoff
+                    };
+                    std::thread::sleep(wait);
                 }
                 Err(e) => return Err(e),
             }
@@ -205,13 +253,23 @@ impl Client {
         }
     }
 
-    /// Runs `y = A·x` remotely with a finished job's tuned kernel.
+    /// Runs `y = A·x` remotely with a finished job's tuned kernel.  Under
+    /// extreme load the daemon may shed the request with
+    /// [`NetError::Busy`] (its execution lane is saturated) — nothing ran;
+    /// retry after the hinted delay.
     pub fn spmv(&mut self, job_id: u64, x: &[Scalar]) -> Result<Vec<Scalar>, NetError> {
         match self.roundtrip(&Request::Spmv {
             job_id,
             x: x.to_vec(),
         })? {
             Response::SpmvResult { y } => Ok(y),
+            Response::Busy {
+                queue_capacity,
+                retry_after_ms,
+            } => Err(NetError::Busy {
+                queue_capacity,
+                retry_after_ms,
+            }),
             other => Err(NetError::UnexpectedResponse(format!("{other:?}"))),
         }
     }
@@ -220,6 +278,15 @@ impl Client {
     pub fn store_stats(&mut self) -> Result<ServerStats, NetError> {
         match self.roundtrip(&Request::StoreStats)? {
             Response::Stats(stats) => Ok(stats),
+            other => Err(NetError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the daemon's per-tenant fairness accounting, sorted by
+    /// tenant id.
+    pub fn tenant_stats(&mut self) -> Result<Vec<TenantStats>, NetError> {
+        match self.roundtrip(&Request::TenantStats)? {
+            Response::Tenants(tenants) => Ok(tenants),
             other => Err(NetError::UnexpectedResponse(format!("{other:?}"))),
         }
     }

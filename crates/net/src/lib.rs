@@ -57,11 +57,12 @@
 
 mod client;
 pub mod proto;
+pub mod reactor;
 mod server;
 
 pub use client::{Client, NetError};
 pub use proto::{
-    ErrorKind, JobState, JobSummary, ProtoError, Request, Response, ServerStats, MAX_FRAME_LEN,
-    NET_MAGIC, PROTOCOL_VERSION,
+    ErrorKind, JobState, JobSummary, ProtoError, Request, Response, ServerStats, TenantStats,
+    MAX_FRAME_LEN, NET_MAGIC, PROTOCOL_VERSION,
 };
 pub use server::{device_by_name, NetServer, ServerConfig};

@@ -37,8 +37,12 @@ pub const NET_MAGIC: [u8; 4] = *b"ANET";
 /// Wire-protocol version this build speaks.  Bump on any frame- or
 /// payload-layout change; peers with a different version are rejected with
 /// [`ProtoError::VersionMismatch`] instead of being misread.
-/// (v2: [`JobSummary`] gained `queue_wait_secs`.)
-pub const PROTOCOL_VERSION: u32 = 2;
+/// (v2: [`JobSummary`] gained `queue_wait_secs`.  v3: multi-tenant QoS —
+/// [`Request::Hello`]/[`Response::Welcome`] carry a `ClientId`,
+/// [`Response::Busy`] reports `retry_after_ms`, [`Request::TenantStats`]
+/// returns per-tenant fairness accounting, and [`ServerStats`] gained the
+/// `jobs_resident` and `open_connections` gauges.)
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Upper bound on one frame's payload length.  Large enough for a
 /// multi-million-nonzero matrix submission, small enough that a corrupt or
@@ -260,6 +264,118 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, ProtoError> {
     Ok(payload)
 }
 
+/// Incremental frame reassembly for nonblocking sockets: the event-loop
+/// counterpart of [`read_frame`], with the same hostile-input guarantees.
+///
+/// The reactor hands the server whatever bytes a socket had ready — half a
+/// header, three frames at once, one byte of a 100 MiB payload — and
+/// [`FrameAssembler::push`] folds them into complete frame payloads:
+///
+/// * **Frame-before-trust.**  The header is validated (magic, version,
+///   length cap) the moment its 16th byte arrives, before any payload byte
+///   is buffered.  A bad header is a framing-lost error: the caller cannot
+///   resynchronise mid-stream and must close the connection.
+/// * **Allocation follows receipt.**  The payload buffer reserves at most
+///   1 MiB up front regardless of the announced length; it grows with the
+///   bytes that actually arrive.
+/// * **Slow-loris deadline.**  A frame measures its age from its first
+///   byte; a partial frame older than the budget makes
+///   [`FrameAssembler::overdue`] true, and the server's sweep closes the
+///   connection.  Complete frames reset the clock.
+#[derive(Debug)]
+pub struct FrameAssembler {
+    budget: std::time::Duration,
+    /// First byte of the in-progress frame (None between frames).
+    started: Option<std::time::Instant>,
+    header: [u8; 16],
+    header_filled: usize,
+    /// Announced payload length, known once the header completes.
+    payload_len: usize,
+    payload: Vec<u8>,
+}
+
+impl FrameAssembler {
+    /// An assembler whose partial frames must complete within `budget`
+    /// (servers pass their configured deadline; [`MAX_FRAME_SECS`] is the
+    /// default).
+    pub fn with_deadline(budget: std::time::Duration) -> Self {
+        FrameAssembler {
+            budget,
+            started: None,
+            header: [0u8; 16],
+            header_filled: 0,
+            payload_len: 0,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Folds freshly received bytes in, appending every completed frame
+    /// payload to `out`.  An error means framing is lost (bad magic, wrong
+    /// version, oversized length): close the connection.
+    pub fn push(&mut self, mut bytes: &[u8], out: &mut Vec<Vec<u8>>) -> Result<(), ProtoError> {
+        while !bytes.is_empty() {
+            if self.started.is_none() {
+                self.started = Some(std::time::Instant::now());
+            }
+            if self.header_filled < self.header.len() {
+                let take = bytes.len().min(self.header.len() - self.header_filled);
+                self.header[self.header_filled..self.header_filled + take]
+                    .copy_from_slice(&bytes[..take]);
+                self.header_filled += take;
+                bytes = &bytes[take..];
+                if self.header_filled < self.header.len() {
+                    continue; // header still partial; wait for more bytes
+                }
+                // Frame-before-trust: the header is judged in full before
+                // one payload byte is accepted.
+                if self.header[..4] != NET_MAGIC {
+                    return Err(ProtoError::BadMagic);
+                }
+                let found = u32::from_le_bytes(self.header[4..8].try_into().expect("4 bytes"));
+                if found != PROTOCOL_VERSION {
+                    return Err(ProtoError::VersionMismatch {
+                        found,
+                        expected: PROTOCOL_VERSION,
+                    });
+                }
+                let len = u64::from_le_bytes(self.header[8..16].try_into().expect("8 bytes"));
+                if len > MAX_FRAME_LEN {
+                    return Err(ProtoError::FrameTooLarge {
+                        len,
+                        max: MAX_FRAME_LEN,
+                    });
+                }
+                let len = len as usize;
+                self.payload_len = len;
+                self.payload = Vec::with_capacity(len.min(1 << 20));
+            }
+            let take = bytes.len().min(self.payload_len - self.payload.len());
+            self.payload.extend_from_slice(&bytes[..take]);
+            bytes = &bytes[take..];
+            if self.payload.len() == self.payload_len {
+                out.push(std::mem::take(&mut self.payload));
+                self.header_filled = 0;
+                self.payload_len = 0;
+                self.started = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// True while a frame has started but not finished.
+    pub fn mid_frame(&self) -> bool {
+        self.started.is_some()
+    }
+
+    /// True when a partial frame has been pending longer than the budget —
+    /// the slow-loris trigger.  The caller should close the connection.
+    pub fn overdue(&self) -> bool {
+        self.started
+            .map(|at| at.elapsed() > self.budget)
+            .unwrap_or(false)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Messages
 // ---------------------------------------------------------------------------
@@ -292,6 +408,17 @@ pub enum Request {
     StoreStats,
     /// Ask the daemon to stop accepting work and exit cleanly.
     Shutdown,
+    /// Identify this connection as belonging to a tenant.  Optional — an
+    /// anonymous connection is tenant 0 — but weighted admission and
+    /// fairness accounting key on it, so multi-tenant clients should send
+    /// it first.  Answered with [`Response::Welcome`].
+    Hello {
+        /// Caller-chosen stable tenant identity.
+        client_id: u64,
+    },
+    /// Ask for the per-tenant fairness accounting.  Answered with
+    /// [`Response::Tenants`].
+    TenantStats,
 }
 
 /// A finished job's result, as carried on the wire.
@@ -360,6 +487,32 @@ pub struct ServerStats {
     pub queue_depth: u64,
     /// The admission-control bound of the queue.
     pub queue_capacity: u64,
+    /// Job records currently resident in the job table (all states,
+    /// terminal included).  A leak detector: after every submitted job
+    /// reaches a terminal state and GC runs, this converges to the retained
+    /// terminal window, never grows without bound.
+    pub jobs_resident: u64,
+    /// Client connections currently open on the event loop.
+    pub open_connections: u64,
+}
+
+/// One tenant's admission/fairness accounting, as reported by
+/// [`Response::Tenants`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant's [`Request::Hello`] identity (0 = anonymous).
+    pub client_id: u64,
+    /// Admission weight; a tenant's queue credit scales with its weight
+    /// relative to the other *active* tenants.
+    pub weight: u64,
+    /// Tune jobs this tenant submitted and the daemon admitted.
+    pub submitted: u64,
+    /// Tune jobs shed back to this tenant with [`Response::Busy`].
+    pub rejected: u64,
+    /// This tenant's jobs that reached `Done`.
+    pub completed: u64,
+    /// This tenant's jobs waiting in the queue right now.
+    pub queued: u64,
 }
 
 /// Machine-readable classification of a [`Response::Error`].
@@ -428,11 +581,17 @@ pub enum Response {
         /// Poll this id with [`Request::PollJob`].
         job_id: u64,
     },
-    /// Admission control rejected the request: the job queue is full.
-    /// Back off and retry — nothing was enqueued.
+    /// Admission control rejected the request: the job queue is full, or
+    /// the tenant exhausted its fair-share credit.  Back off and retry —
+    /// nothing was enqueued.
     Busy {
         /// The queue bound that was hit, so clients can size their backoff.
         queue_capacity: u64,
+        /// The daemon's estimate of when retrying is worthwhile, from its
+        /// current queue depth and measured per-job service time.  Zero
+        /// means "immediately" (e.g. a credit rejection that frees up as
+        /// soon as a sibling job drains).
+        retry_after_ms: u64,
     },
     /// Answer to [`Request::PollJob`].
     Status {
@@ -450,6 +609,16 @@ pub enum Response {
     Stats(ServerStats),
     /// Answer to [`Request::Shutdown`]: the daemon is stopping.
     ShuttingDown,
+    /// Answer to [`Request::Hello`]: the tenant identity is registered.
+    Welcome {
+        /// Echo of the registered tenant id.
+        client_id: u64,
+        /// The admission weight the daemon assigned this tenant.
+        weight: u64,
+    },
+    /// Answer to [`Request::TenantStats`]: every tenant the daemon has
+    /// seen, sorted by `client_id`.
+    Tenants(Vec<TenantStats>),
     /// A typed error.
     Error {
         /// Machine-readable classification.
@@ -561,6 +730,8 @@ fn write_stats(w: &mut ByteWriter, stats: &ServerStats) {
         stats.jobs_gced,
         stats.queue_depth,
         stats.queue_capacity,
+        stats.jobs_resident,
+        stats.open_connections,
     ] {
         w.u64(v);
     }
@@ -579,6 +750,32 @@ fn read_stats(r: &mut ByteReader<'_>) -> Result<ServerStats, ProtoError> {
         jobs_gced: r.u64()?,
         queue_depth: r.u64()?,
         queue_capacity: r.u64()?,
+        jobs_resident: r.u64()?,
+        open_connections: r.u64()?,
+    })
+}
+
+fn write_tenant(w: &mut ByteWriter, tenant: &TenantStats) {
+    for v in [
+        tenant.client_id,
+        tenant.weight,
+        tenant.submitted,
+        tenant.rejected,
+        tenant.completed,
+        tenant.queued,
+    ] {
+        w.u64(v);
+    }
+}
+
+fn read_tenant(r: &mut ByteReader<'_>) -> Result<TenantStats, ProtoError> {
+    Ok(TenantStats {
+        client_id: r.u64()?,
+        weight: r.u64()?,
+        submitted: r.u64()?,
+        rejected: r.u64()?,
+        completed: r.u64()?,
+        queued: r.u64()?,
     })
 }
 
@@ -602,6 +799,11 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
         }
         Request::StoreStats => w.u8(3),
         Request::Shutdown => w.u8(4),
+        Request::Hello { client_id } => {
+            w.u8(5);
+            w.u64(*client_id);
+        }
+        Request::TenantStats => w.u8(6),
     }
     w.into_bytes()
 }
@@ -622,6 +824,10 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
         },
         3 => Request::StoreStats,
         4 => Request::Shutdown,
+        5 => Request::Hello {
+            client_id: r.u64()?,
+        },
+        6 => Request::TenantStats,
         other => {
             return Err(ProtoError::Corrupt(format!("unknown request tag {other}")));
         }
@@ -643,9 +849,13 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             w.u8(0);
             w.u64(*job_id);
         }
-        Response::Busy { queue_capacity } => {
+        Response::Busy {
+            queue_capacity,
+            retry_after_ms,
+        } => {
             w.u8(1);
             w.u64(*queue_capacity);
+            w.u64(*retry_after_ms);
         }
         Response::Status { job_id, state } => {
             w.u8(2);
@@ -678,6 +888,18 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             w.u8(*kind as u8);
             w.str(message);
         }
+        Response::Welcome { client_id, weight } => {
+            w.u8(7);
+            w.u64(*client_id);
+            w.u64(*weight);
+        }
+        Response::Tenants(tenants) => {
+            w.u8(8);
+            w.u64(tenants.len() as u64);
+            for tenant in tenants {
+                write_tenant(&mut w, tenant);
+            }
+        }
     }
     w.into_bytes()
 }
@@ -690,6 +912,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
         0 => Response::Submitted { job_id: r.u64()? },
         1 => Response::Busy {
             queue_capacity: r.u64()?,
+            retry_after_ms: r.u64()?,
         },
         2 => {
             let job_id = r.u64()?;
@@ -716,6 +939,18 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             kind: ErrorKind::from_tag(r.u8()?)?,
             message: r.str()?,
         },
+        7 => Response::Welcome {
+            client_id: r.u64()?,
+            weight: r.u64()?,
+        },
+        8 => {
+            let count = r.count_of("tenant record", 48)?;
+            let mut tenants = Vec::with_capacity(count);
+            for _ in 0..count {
+                tenants.push(read_tenant(&mut r)?);
+            }
+            Response::Tenants(tenants)
+        }
         other => {
             return Err(ProtoError::Corrupt(format!("unknown response tag {other}")));
         }
@@ -751,13 +986,20 @@ mod tests {
             },
             Request::StoreStats,
             Request::Shutdown,
+            Request::Hello {
+                client_id: 0xFEED_BEEF,
+            },
+            Request::TenantStats,
         ]
     }
 
     fn sample_responses() -> Vec<Response> {
         vec![
             Response::Submitted { job_id: 3 },
-            Response::Busy { queue_capacity: 16 },
+            Response::Busy {
+                queue_capacity: 16,
+                retry_after_ms: 250,
+            },
             Response::Status {
                 job_id: 3,
                 state: JobState::Queued,
@@ -802,12 +1044,37 @@ mod tests {
                 jobs_gced: 9,
                 queue_depth: 10,
                 queue_capacity: 11,
+                jobs_resident: 12,
+                open_connections: 13,
             }),
             Response::ShuttingDown,
             Response::Error {
                 kind: ErrorKind::UnknownJob,
                 message: "job 99 was never issued".to_string(),
             },
+            Response::Welcome {
+                client_id: 0xFEED_BEEF,
+                weight: 4,
+            },
+            Response::Tenants(vec![
+                TenantStats {
+                    client_id: 0,
+                    weight: 1,
+                    submitted: 2,
+                    rejected: 3,
+                    completed: 4,
+                    queued: 5,
+                },
+                TenantStats {
+                    client_id: 0xFEED_BEEF,
+                    weight: 4,
+                    submitted: 40,
+                    rejected: 1,
+                    completed: 39,
+                    queued: 0,
+                },
+            ]),
+            Response::Tenants(Vec::new()),
         ]
     }
 
@@ -965,6 +1232,77 @@ mod tests {
             Err(ProtoError::Corrupt(msg)) => assert!(msg.contains("CSR validation")),
             other => panic!("expected Corrupt, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn assembler_matches_read_frame_at_every_chunking() {
+        // The incremental assembler must produce exactly what the blocking
+        // reader produces, no matter how the bytes are sliced.
+        let payloads: Vec<Vec<u8>> = sample_requests().iter().map(encode_request).collect();
+        let mut wire = Vec::new();
+        for payload in &payloads {
+            write_frame(&mut wire, payload).unwrap();
+        }
+        for chunk_size in [1usize, 2, 3, 7, 16, 17, 64, wire.len()] {
+            let mut assembler = FrameAssembler::with_deadline(std::time::Duration::from_secs(60));
+            let mut out = Vec::new();
+            for chunk in wire.chunks(chunk_size) {
+                assembler.push(chunk, &mut out).unwrap();
+            }
+            assert_eq!(out, payloads, "chunk size {chunk_size} diverged");
+            assert!(!assembler.mid_frame(), "no partial frame may remain");
+        }
+    }
+
+    #[test]
+    fn assembler_rejects_bad_headers_before_buffering_payload() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"x").unwrap();
+        let mut out = Vec::new();
+
+        let mut bad_magic = wire.clone();
+        bad_magic[0] = b'X';
+        let mut assembler = FrameAssembler::with_deadline(std::time::Duration::from_secs(60));
+        assert!(matches!(
+            assembler.push(&bad_magic, &mut out),
+            Err(ProtoError::BadMagic)
+        ));
+
+        let mut bad_version = wire.clone();
+        bad_version[4..8].copy_from_slice(&(PROTOCOL_VERSION + 9).to_le_bytes());
+        let mut assembler = FrameAssembler::with_deadline(std::time::Duration::from_secs(60));
+        assert!(matches!(
+            assembler.push(&bad_version, &mut out),
+            Err(ProtoError::VersionMismatch { .. })
+        ));
+
+        let mut oversize = wire.clone();
+        oversize[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut assembler = FrameAssembler::with_deadline(std::time::Duration::from_secs(60));
+        assert!(matches!(
+            assembler.push(&oversize, &mut out),
+            Err(ProtoError::FrameTooLarge { .. })
+        ));
+        assert!(out.is_empty(), "no frame may complete from a bad header");
+    }
+
+    #[test]
+    fn assembler_trips_the_slow_loris_deadline_on_partial_frames() {
+        let mut assembler = FrameAssembler::with_deadline(std::time::Duration::from_millis(20));
+        let mut out = Vec::new();
+        assert!(!assembler.overdue(), "no frame started, no deadline");
+        assembler.push(&NET_MAGIC[..2], &mut out).unwrap(); // half a magic
+        assert!(assembler.mid_frame());
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        assert!(assembler.overdue(), "a stalled partial frame must trip");
+
+        // A frame that completes in time resets the clock entirely.
+        let mut assembler = FrameAssembler::with_deadline(std::time::Duration::from_millis(50));
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"ok").unwrap();
+        assembler.push(&wire, &mut out).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        assert!(!assembler.overdue(), "completed frames carry no deadline");
     }
 
     #[test]

@@ -1,39 +1,69 @@
-//! The `alpha-net` daemon: a TCP server that puts the whole tuning pipeline
-//! behind a socket.
+//! The `alpha-net` daemon: an event-loop TCP server that puts the whole
+//! tuning pipeline behind a socket.
 //!
 //! ```text
-//!            accept loop (1 thread)
-//!   TCP ───▶ connection threads ──try_push──▶ bounded job queue
-//!                │    ▲                            │ pop
-//!                │    │ Busy (queue full)          ▼
-//!                │    └──────────────────   tuning worker pool
-//!                │                                 │
-//!                └── PollJob / Spmv ◀── job table ◀┘ (Done / Failed, GC'd)
+//!                     ┌────────────── event loop (1 thread) ──────────────┐
+//!   TCP ── accept ──▶ │ reactor (epoll/kqueue) ── per-conn frame         │
+//!                     │   nonblocking sockets     reassembly + outbox    │
+//!                     └──────┬──────────────▲──────────────▲─────────────┘
+//!            SubmitTune      │try_push      │Busy(retry)   │completions + waker
+//!                            ▼              │              │
+//!            sharded job queue (hashed by tenant) ── tune workers
+//!                            │                              ▲
+//!            Spmv ──▶ exec queue ───── exec workers ────────┘
+//!                            │
+//!            PollJob ◀── sharded job table (global-FIFO terminal GC)
 //! ```
 //!
-//! Admission control is strict: a full queue answers
-//! [`Response::Busy`](crate::proto::Response::Busy) immediately — the daemon
-//! never buffers unbounded work.  Tuning workers drain the queue into a
-//! shared [`TuningService`], so every job benefits from (and feeds) the same
-//! persistent warm [`DesignStore`](alpha_serve::DesignStore); finished jobs
-//! keep their [`TunedSpmv`] resident and serve
-//! [`Request::Spmv`](crate::proto::Request::Spmv) until their terminal
-//! record is garbage-collected.
+//! Three structural properties, each an answer to a production failure
+//! mode:
+//!
+//! * **No thread per socket.**  One event-loop thread multiplexes every
+//!   connection through a [`Reactor`]: readiness-driven nonblocking reads
+//!   feed per-connection [`FrameAssembler`]s (the frame-before-trust,
+//!   slow-loris-deadline and chunked-receive invariants carry over from the
+//!   blocking reader), and responses drain through per-connection outboxes
+//!   with partial-write tracking.  256 idle connections cost 256 small
+//!   structs, not 256 stacks.
+//! * **Sharded state.**  The job table is split across N shards with
+//!   per-shard locks (terminal GC keeps one global FIFO so the retention
+//!   window stays exact), and the admission queue is a
+//!   [`ShardedTaskQueue`] hashed by tenant — one tenant's storm lands in
+//!   one shard while workers drain shards round-robin.
+//! * **Weighted multi-tenant admission.**  Connections identify as a
+//!   tenant with [`Request::Hello`]; each tenant's queue credit is its
+//!   weight share of the capacity across *active* tenants, so a tuning
+//!   storm from one tenant cannot starve another's submissions — and SpMV
+//!   traffic is never shed at admission at all.  Rejections carry a
+//!   `retry_after_ms` estimate derived from the measured tuning EWMA and
+//!   current queue depth.
+//!
+//! Long-running work never blocks the loop: tuning runs on worker threads
+//! that drain the sharded queue, and remote SpMV is offloaded to exec
+//! workers that post completed response frames back through a completion
+//! list plus reactor wake.  While a connection has an SpMV in flight its
+//! subsequent requests are deferred (per-connection FIFO responses), not
+//! reordered.
 
 use crate::proto::{
-    decode_request, encode_response, read_frame, write_frame, ErrorKind, JobState, JobSummary,
-    ProtoError, Request, Response, ServerStats,
+    decode_request, encode_response, write_frame, ErrorKind, FrameAssembler, JobState, JobSummary,
+    Request, Response, ServerStats, TenantStats, MAX_FRAME_SECS,
 };
+use crate::reactor::{Event, Interest, Reactor, Waker};
 use crate::NetError;
 use alpha_gpu::DeviceProfile;
-use alpha_parallel::{PushError, TaskQueue};
+use alpha_matrix::Scalar;
+use alpha_parallel::{PushError, ShardedTaskQueue, TaskQueue};
 use alpha_serve::{TuneRequest, TuningService};
 use alphasparse::TunedSpmv;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Resolves a wire device name to a device profile.  Matching is
 /// case-insensitive over the built-in profiles (`A100`, `RTX2080`,
@@ -49,7 +79,7 @@ pub fn device_by_name(name: &str) -> Option<DeviceProfile> {
 }
 
 /// Tunables of one daemon instance.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Jobs the admission queue holds before new submissions are rejected
     /// with backpressure.
@@ -61,6 +91,19 @@ pub struct ServerConfig {
     /// garbage-collected.  GC'd jobs poll as
     /// [`JobState::Unknown`](crate::proto::JobState::Unknown).
     pub max_terminal_jobs: usize,
+    /// Shards for the job table and admission queue (0 = auto: 8).  More
+    /// shards means less lock contention between unrelated requests; a
+    /// context key always maps to one shard, so correctness is unaffected.
+    pub shards: usize,
+    /// Wall-clock budget for one frame to arrive completely, measured from
+    /// its first byte — the slow-loris bound.  Defaults to
+    /// [`MAX_FRAME_SECS`]; chaos tests shrink it to trip fast.
+    pub frame_deadline: Duration,
+    /// Per-tenant admission weights as `(client_id, weight)` pairs; tenants
+    /// not listed (including the anonymous tenant 0) get weight 1.  A
+    /// tenant's queue credit is its weight share of `queue_capacity` over
+    /// the currently *active* tenants.
+    pub tenant_weights: Vec<(u64, u64)>,
 }
 
 impl Default for ServerConfig {
@@ -69,17 +112,22 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             workers: 0,
             max_terminal_jobs: 1024,
+            shards: 0,
+            frame_deadline: Duration::from_secs(MAX_FRAME_SECS),
+            tenant_weights: Vec::new(),
         }
     }
 }
 
-/// One job's lifecycle record in the in-memory table.
+/// One job's lifecycle record in the sharded in-memory table.
 enum Job {
     Queued {
         request: Box<TuneRequest>,
         /// When the job was admitted — a tuning worker turns this into the
         /// queue-wait component of the job's [`JobSummary`].
-        enqueued: std::time::Instant,
+        enqueued: Instant,
+        /// Submitting tenant, for fairness accounting at completion.
+        tenant: u64,
     },
     Running,
     Done {
@@ -97,14 +145,6 @@ impl Job {
     }
 }
 
-#[derive(Default)]
-struct JobTable {
-    next_id: u64,
-    jobs: HashMap<u64, Job>,
-    /// Terminal job ids, oldest first — the GC order.
-    terminal_order: VecDeque<u64>,
-}
-
 /// Lifetime counters (see [`ServerStats`]); the queue fields are sampled
 /// live.
 #[derive(Default)]
@@ -116,26 +156,68 @@ struct Counters {
     gced: AtomicU64,
 }
 
+/// One tenant's fairness ledger.
+struct TenantState {
+    weight: u64,
+    submitted: u64,
+    rejected: u64,
+    completed: u64,
+    /// Jobs currently sitting in the admission queue (decremented when a
+    /// worker picks the job up) — the quantity the credit bound applies to.
+    queued: u64,
+}
+
+/// A remote SpMV offloaded off the event loop.
+struct ExecTask {
+    token: usize,
+    tuned: Arc<TunedSpmv>,
+    x: Vec<Scalar>,
+}
+
 struct Shared {
     service: Arc<TuningService>,
     config: ServerConfig,
-    jobs: Mutex<JobTable>,
-    queue: TaskQueue<u64>,
+    /// Job records, sharded by `job_id % shards` with per-shard locks.
+    job_shards: Vec<Mutex<HashMap<u64, Job>>>,
+    next_job_id: AtomicU64,
+    /// Terminal job ids, oldest first — the GC order.  Deliberately global
+    /// (one small lock touched once per job *completion*, not per request)
+    /// so the retention window is exact FIFO across shards.
+    terminal_order: Mutex<VecDeque<u64>>,
+    /// Admission queue, sharded by tenant hash: workers drain shards
+    /// round-robin, so queued tenants share worker attention.
+    queue: ShardedTaskQueue<u64>,
+    /// SpMV offload lane: the event loop pushes, exec workers pop.
+    exec_queue: TaskQueue<ExecTask>,
+    /// Finished SpMV response frames waiting for the loop to collect
+    /// (token, encoded frame); posting wakes the reactor.
+    completions: Mutex<Vec<(usize, Vec<u8>)>>,
+    /// Offloaded SpMVs not yet delivered into an outbox — drained to zero
+    /// before a shutdown completes.
+    exec_inflight: AtomicU64,
+    tenants: Mutex<BTreeMap<u64, TenantState>>,
     counters: Counters,
     shutdown: AtomicBool,
-    /// Long-lived execution pool for remote SpMV: connection threads run
-    /// finished kernels here, so a `Request::Spmv` never spawns a thread
-    /// and never queues behind the tuning workers' candidate batches.
-    /// Sub-threshold SpMVs (the common small-matrix case) resolve to one
-    /// worker and run inline on their connection thread — fully concurrent;
-    /// only genuinely multi-worker kernels serialise on the pool, where
-    /// each already uses several cores (work-conserving under load).
+    open_connections: AtomicU64,
+    /// EWMA of tuning execution time in microseconds (0 = no sample yet);
+    /// the basis of the `retry_after_ms` hint in `Busy` responses.
+    tune_ewma_us: AtomicU64,
+    worker_count: usize,
+    /// Long-lived execution pool for remote SpMV: exec workers run finished
+    /// kernels here, so a `Request::Spmv` never spawns a thread and never
+    /// queues behind the tuning workers' candidate batches.
     exec_pool: alpha_parallel::Pool,
+    waker: Waker,
 }
 
 impl Shared {
     fn stats(&self) -> ServerStats {
         let store = self.service.store_stats();
+        let jobs_resident: usize = self
+            .job_shards
+            .iter()
+            .map(|s| s.lock().expect("job table poisoned").len())
+            .sum();
         ServerStats {
             store_memory_hits: store.memory_hits as u64,
             store_disk_loads: store.disk_loads as u64,
@@ -148,30 +230,152 @@ impl Shared {
             jobs_gced: self.counters.gced.load(Ordering::Relaxed),
             queue_depth: self.queue.len() as u64,
             queue_capacity: self.queue.capacity() as u64,
+            jobs_resident: jobs_resident as u64,
+            open_connections: self.open_connections.load(Ordering::Relaxed),
         }
     }
 
-    /// Marks a job terminal and garbage-collects the oldest terminal
-    /// records beyond the configured bound.
-    fn finish_job(&self, job_id: u64, outcome: Job) {
+    fn job_shard(&self, job_id: u64) -> &Mutex<HashMap<u64, Job>> {
+        &self.job_shards[(job_id % self.job_shards.len() as u64) as usize]
+    }
+
+    fn tenant_weight(&self, client_id: u64) -> u64 {
+        self.config
+            .tenant_weights
+            .iter()
+            .find(|(id, _)| *id == client_id)
+            .map(|(_, w)| (*w).max(1))
+            .unwrap_or(1)
+    }
+
+    /// The daemon's estimate of when a shed submission is worth retrying:
+    /// measured tuning EWMA scaled by the queue backlog per worker, clamped
+    /// to [1 ms, 10 s].  Before any job has finished the estimate is a flat
+    /// 50 ms.
+    fn retry_after_ms(&self) -> u64 {
+        let ewma_us = self.tune_ewma_us.load(Ordering::Relaxed);
+        if ewma_us == 0 {
+            return 50;
+        }
+        let backlog = (self.queue.len() as u64).max(1);
+        let per_worker = backlog.div_ceil(self.worker_count.max(1) as u64);
+        (ewma_us / 1000).saturating_mul(per_worker).clamp(1, 10_000)
+    }
+
+    /// Weighted admission: the tenant may hold at most
+    /// `max(1, queue_capacity · w / W_active)` queued jobs, where
+    /// `W_active` sums the weights of tenants with queued work (the
+    /// requester included).  With a single active tenant the credit is the
+    /// whole capacity — exactly the unweighted daemon — and with rivals it
+    /// degrades proportionally, never to zero.
+    fn try_admit(&self, tenant_id: u64) -> Result<(), Response> {
+        let mut tenants = self.tenants.lock().expect("tenant table poisoned");
+        let weight = self.tenant_weight(tenant_id);
+        tenants.entry(tenant_id).or_insert_with(|| TenantState {
+            weight,
+            submitted: 0,
+            rejected: 0,
+            completed: 0,
+            queued: 0,
+        });
+        let mut w_active = 0u64;
+        for (id, t) in tenants.iter() {
+            if t.queued > 0 || *id == tenant_id {
+                w_active += t.weight;
+            }
+        }
+        let capacity = self.queue.capacity() as u64;
+        let me = tenants.get_mut(&tenant_id).expect("just inserted");
+        let credit = ((capacity * me.weight) / w_active.max(1)).max(1);
+        if me.queued >= credit {
+            me.rejected += 1;
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(Response::Busy {
+                queue_capacity: capacity,
+                retry_after_ms: self.retry_after_ms(),
+            });
+        }
+        me.queued += 1;
+        me.submitted += 1;
+        Ok(())
+    }
+
+    /// Rolls back a [`Shared::try_admit`] whose queue push failed.
+    fn unadmit(&self, tenant_id: u64, shed: bool) {
+        let mut tenants = self.tenants.lock().expect("tenant table poisoned");
+        if let Some(t) = tenants.get_mut(&tenant_id) {
+            t.queued = t.queued.saturating_sub(1);
+            t.submitted = t.submitted.saturating_sub(1);
+            if shed {
+                t.rejected += 1;
+            }
+        }
+    }
+
+    fn tenant_snapshot(&self) -> Vec<TenantStats> {
+        let tenants = self.tenants.lock().expect("tenant table poisoned");
+        tenants
+            .iter()
+            .map(|(id, t)| TenantStats {
+                client_id: *id,
+                weight: t.weight,
+                submitted: t.submitted,
+                rejected: t.rejected,
+                completed: t.completed,
+                queued: t.queued,
+            })
+            .collect()
+    }
+
+    /// Marks a job terminal, credits its tenant, and garbage-collects the
+    /// oldest terminal records beyond the configured bound.
+    fn finish_job(&self, job_id: u64, tenant: u64, outcome: Job) {
         debug_assert!(outcome.is_terminal());
-        let mut table = self.jobs.lock().expect("job table poisoned");
-        match &outcome {
-            Job::Done { .. } => self.counters.completed.fetch_add(1, Ordering::Relaxed),
-            _ => self.counters.failed.fetch_add(1, Ordering::Relaxed),
-        };
-        table.jobs.insert(job_id, outcome);
-        table.terminal_order.push_back(job_id);
-        while table.terminal_order.len() > self.config.max_terminal_jobs {
-            let oldest = table.terminal_order.pop_front().expect("len checked");
-            table.jobs.remove(&oldest);
+        let done = matches!(outcome, Job::Done { .. });
+        if done {
+            self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        {
+            let mut tenants = self.tenants.lock().expect("tenant table poisoned");
+            if let Some(t) = tenants.get_mut(&tenant) {
+                if done {
+                    t.completed += 1;
+                }
+            }
+        }
+        self.job_shard(job_id)
+            .lock()
+            .expect("job table poisoned")
+            .insert(job_id, outcome);
+        // Global FIFO GC: the oldest terminal record anywhere goes first,
+        // exactly as in the single-lock table.
+        let mut order = self.terminal_order.lock().expect("terminal order poisoned");
+        order.push_back(job_id);
+        while order.len() > self.config.max_terminal_jobs {
+            let oldest = order.pop_front().expect("len checked");
+            self.job_shard(oldest)
+                .lock()
+                .expect("job table poisoned")
+                .remove(&oldest);
             self.counters.gced.fetch_add(1, Ordering::Relaxed);
         }
     }
+
+    /// Flags the daemon as shutting down, closes the admission queue
+    /// (tuning workers drain and exit) and wakes the event loop.
+    fn initiate_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return; // Already shutting down.
+        }
+        self.queue.close();
+        self.waker.wake();
+    }
 }
 
-/// A running daemon: the accept loop, its tuning worker pool, and the
-/// connection threads they spawn.
+/// A running daemon: the event-loop thread, its tuning worker pool, and the
+/// SpMV exec workers.
 ///
 /// The server binds in [`NetServer::spawn`] and runs until a
 /// [`Request::Shutdown`] frame arrives (or [`NetServer::request_shutdown`]
@@ -180,14 +384,15 @@ impl Shared {
 pub struct NetServer {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept_handle: Option<JoinHandle<()>>,
+    loop_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
-    connection_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    exec_handles: Vec<JoinHandle<()>>,
 }
 
 impl NetServer {
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// accept loop and the tuning worker pool over `service`.
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the event
+    /// loop, the tuning worker pool and the SpMV exec workers over
+    /// `service`.
     pub fn spawn<A: ToSocketAddrs>(
         addr: A,
         service: TuningService,
@@ -197,21 +402,38 @@ impl NetServer {
         let local = listener
             .local_addr()
             .map_err(|e| NetError::Proto(e.into()))?;
-        let shared = Arc::new(Shared {
-            service: Arc::new(service),
-            config,
-            jobs: Mutex::new(JobTable::default()),
-            queue: TaskQueue::bounded(config.queue_capacity),
-            counters: Counters::default(),
-            shutdown: AtomicBool::new(false),
-            exec_pool: alpha_parallel::Pool::new(0),
-        });
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| NetError::Proto(e.into()))?;
+        let reactor = Reactor::new().map_err(|e| NetError::Proto(e.into()))?;
+        let waker = reactor.waker();
 
+        let shards = if config.shards == 0 { 8 } else { config.shards };
         let worker_count = if config.workers == 0 {
             alpha_parallel::default_threads().min(4)
         } else {
             config.workers
         };
+        let shared = Arc::new(Shared {
+            service: Arc::new(service),
+            job_shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            next_job_id: AtomicU64::new(0),
+            terminal_order: Mutex::new(VecDeque::new()),
+            queue: ShardedTaskQueue::bounded(config.queue_capacity, shards),
+            exec_queue: TaskQueue::bounded(1024),
+            completions: Mutex::new(Vec::new()),
+            exec_inflight: AtomicU64::new(0),
+            tenants: Mutex::new(BTreeMap::new()),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            open_connections: AtomicU64::new(0),
+            tune_ewma_us: AtomicU64::new(0),
+            worker_count,
+            exec_pool: alpha_parallel::Pool::new(0),
+            waker,
+            config,
+        });
+
         let mut worker_handles = Vec::with_capacity(worker_count);
         for worker in 0..worker_count {
             let shared = shared.clone();
@@ -222,23 +444,31 @@ impl NetServer {
                     .expect("worker thread spawns"),
             );
         }
-
-        let connection_handles = Arc::new(Mutex::new(Vec::new()));
-        let accept_handle = {
+        let exec_count = alpha_parallel::default_threads().min(4);
+        let mut exec_handles = Vec::with_capacity(exec_count);
+        for exec in 0..exec_count {
             let shared = shared.clone();
-            let connection_handles = connection_handles.clone();
+            exec_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("alpha-net-exec-{exec}"))
+                    .spawn(move || exec_loop(&shared))
+                    .expect("exec thread spawns"),
+            );
+        }
+        let loop_handle = {
+            let shared = shared.clone();
             std::thread::Builder::new()
-                .name("alpha-net-accept".to_string())
-                .spawn(move || accept_loop(&listener, &shared, &connection_handles))
-                .expect("accept thread spawns")
+                .name("alpha-net-loop".to_string())
+                .spawn(move || EventLoop::new(reactor, listener, shared).run())
+                .expect("event-loop thread spawns")
         };
 
         Ok(NetServer {
             addr: local,
             shared,
-            accept_handle: Some(accept_handle),
+            loop_handle: Some(loop_handle),
             worker_handles,
-            connection_handles,
+            exec_handles,
         })
     }
 
@@ -253,33 +483,33 @@ impl NetServer {
         self.shared.stats()
     }
 
-    /// Initiates shutdown from the hosting process, exactly as a
-    /// [`Request::Shutdown`] frame would: stop admitting, drain the queue,
-    /// wake the accept loop.
-    pub fn request_shutdown(&self) {
-        initiate_shutdown(&self.shared, self.addr);
+    /// Live per-tenant fairness accounting (the same snapshot a
+    /// [`Request::TenantStats`] frame returns).
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        self.shared.tenant_snapshot()
     }
 
-    /// Waits for the daemon to finish shutting down: the accept loop, every
-    /// connection thread and every tuning worker.  Call after a shutdown
-    /// was requested (by a client frame or
-    /// [`NetServer::request_shutdown`]); the in-flight jobs still queued at
-    /// shutdown are completed, not dropped.
+    /// Initiates shutdown from the hosting process, exactly as a
+    /// [`Request::Shutdown`] frame would: stop admitting, drain the queue,
+    /// wake the event loop.
+    pub fn request_shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Waits for the daemon to finish shutting down: the event loop, every
+    /// tuning worker and every exec worker.  Call after a shutdown was
+    /// requested (by a client frame or [`NetServer::request_shutdown`]);
+    /// the in-flight jobs still queued at shutdown are completed, not
+    /// dropped.
     pub fn join(mut self) {
-        if let Some(handle) = self.accept_handle.take() {
+        if let Some(handle) = self.loop_handle.take() {
             let _ = handle.join();
         }
-        // The accept loop has exited, so no new connection threads appear.
-        let connections = std::mem::take(
-            &mut *self
-                .connection_handles
-                .lock()
-                .expect("connection registry poisoned"),
-        );
-        for handle in connections {
-            let _ = handle.join();
-        }
+        // The loop closed the exec queue on exit; both pools drain and stop.
         for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+        for handle in self.exec_handles.drain(..) {
             let _ = handle.join();
         }
     }
@@ -295,74 +525,62 @@ impl std::fmt::Debug for NetServer {
     }
 }
 
-/// Flags the daemon as shutting down, closes the queue (workers drain and
-/// exit) and pokes the accept loop awake with a throwaway connection.
-fn initiate_shutdown(shared: &Shared, addr: SocketAddr) {
-    if shared.shutdown.swap(true, Ordering::SeqCst) {
-        return; // Already shutting down.
-    }
-    shared.queue.close();
-    // The accept loop blocks in `incoming()`; a loopback connection makes it
-    // re-check the flag.  Failure is fine — the listener may already be gone.
-    let _ = TcpStream::connect(addr);
-}
-
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Arc<Shared>,
-    connection_handles: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        let shared = shared.clone();
-        // Under resource exhaustion (thread limits), shed the connection
-        // instead of panicking the accept loop: dropping the stream closes
-        // it, and the daemon keeps accepting once pressure eases.
-        let spawned = std::thread::Builder::new()
-            .name("alpha-net-conn".to_string())
-            .spawn(move || connection_loop(stream, &shared));
-        let Ok(handle) = spawned else { continue };
-        let mut registry = connection_handles
-            .lock()
-            .expect("connection registry poisoned");
-        // Reap threads of already-closed connections on every accept, so a
-        // long-lived daemon's registry tracks *live* sessions instead of
-        // growing with every connection ever served.
-        let mut i = 0;
-        while i < registry.len() {
-            if registry[i].is_finished() {
-                let _ = registry.swap_remove(i).join();
-            } else {
-                i += 1;
-            }
-        }
-        registry.push(handle);
-    }
-}
-
-/// One tuning worker: drains job ids from the queue until it is closed and
-/// empty, tuning each through the shared service.
+/// One tuning worker: drains job ids from the sharded queue until it is
+/// closed and empty, tuning each through the shared service.
 fn worker_loop(shared: &Shared) {
     while let Some(job_id) = shared.queue.pop() {
-        let (request, queue_wait_secs) = {
-            let mut table = shared.jobs.lock().expect("job table poisoned");
-            match table.jobs.insert(job_id, Job::Running) {
-                Some(Job::Queued { request, enqueued }) => {
-                    (request, enqueued.elapsed().as_secs_f64())
+        let (request, queue_wait_secs, tenant) = {
+            let mut table = shared.job_shard(job_id).lock().expect("job table poisoned");
+            match table.remove(&job_id) {
+                Some(Job::Queued {
+                    request,
+                    enqueued,
+                    tenant,
+                }) => {
+                    table.insert(job_id, Job::Running);
+                    (request, enqueued.elapsed().as_secs_f64(), tenant)
                 }
                 // The entry must exist and be queued — submission inserted
                 // it before pushing the id.  Anything else is a logic bug;
                 // recover by dropping the phantom id.
-                _ => {
-                    table.jobs.remove(&job_id);
+                other => {
+                    if let Some(job) = other {
+                        table.insert(job_id, job);
+                    }
                     continue;
                 }
             }
         };
-        let mut served = shared.service.tune_batch(&[*request]);
+        // The job has left the queue: its tenant's credit frees up now.
+        {
+            let mut tenants = shared.tenants.lock().expect("tenant table poisoned");
+            if let Some(t) = tenants.get_mut(&tenant) {
+                t.queued = t.queued.saturating_sub(1);
+            }
+        }
+        let started = Instant::now();
+        // A hostile or degenerate matrix must cost its own job, never the
+        // worker: a panicking search is caught and reported as a failed
+        // job, keeping the worker pool at full strength.
+        let service = shared.service.clone();
+        let work = std::panic::AssertUnwindSafe(move || service.tune_batch(&[*request]));
+        let mut served = match std::panic::catch_unwind(work) {
+            Ok(served) => served,
+            Err(payload) => {
+                let what = panic_message(payload.as_ref());
+                vec![Err(format!("tuning panicked: {what}"))]
+            }
+        };
+        let exec_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        // EWMA (α = 1/4) of tuning time feeds the Busy retry-after hint;
+        // racy read-modify-write is fine for an estimate.
+        let prev = shared.tune_ewma_us.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            exec_us
+        } else {
+            prev - prev / 4 + exec_us / 4
+        };
+        shared.tune_ewma_us.store(next.max(1), Ordering::Relaxed);
         let outcome = match served.pop().expect("one request yields one result") {
             Ok(tune) => Job::Done {
                 summary: JobSummary {
@@ -377,196 +595,628 @@ fn worker_loop(shared: &Shared) {
             },
             Err(error) => Job::Failed { error },
         };
-        shared.finish_job(job_id, outcome);
+        shared.finish_job(job_id, tenant, outcome);
     }
 }
 
-/// Serves one client connection: a request/response loop over frames.
-/// Framing errors close the connection (after a best-effort typed error
-/// frame); payload-level errors answer typed errors and keep the session
-/// alive — the stream is still in sync.
-fn connection_loop(mut stream: TcpStream, shared: &Shared) {
-    // Nagle off: responses are complete frames, and letting them sit in the
-    // kernel waiting for a delayed ACK adds ~40 ms to every round trip.
-    let _ = stream.set_nodelay(true);
-    // The read timeout is the shutdown-poll period: an idle connection
-    // re-checks the flag this often, so `NetServer::join` never waits on a
-    // client that simply stopped talking.
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(100)));
-    loop {
-        let payload = match read_frame(&mut stream) {
-            Ok(payload) => payload,
-            Err(ProtoError::Closed) => return,
-            Err(ProtoError::Idle) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return; // Idle client during shutdown: close the session.
-                }
-                continue;
-            }
-            Err(e) => {
-                let _ = respond(
-                    &mut stream,
-                    &Response::Error {
-                        kind: ErrorKind::BadFrame,
-                        message: e.to_string(),
-                    },
-                );
-                return; // Framing is lost; the connection cannot continue.
-            }
-        };
-        let request = match decode_request(&payload) {
-            Ok(request) => request,
-            Err(e) => {
-                // The frame boundary held, so the session survives a bad
-                // payload.
-                if respond(
-                    &mut stream,
-                    &Response::Error {
-                        kind: ErrorKind::BadFrame,
-                        message: e.to_string(),
-                    },
-                )
-                .is_err()
-                {
-                    return;
-                }
-                continue;
-            }
-        };
-        let is_shutdown = matches!(request, Request::Shutdown);
-        if is_shutdown {
-            // The server side of this connection is the daemon's own
-            // address — exactly what the accept-loop poke needs.
-            if let Ok(addr) = stream.local_addr() {
-                initiate_shutdown(shared, addr);
-            }
-        }
-        let response = handle_request(shared, request);
-        if respond(&mut stream, &response).is_err() {
-            return;
-        }
-        if is_shutdown {
-            return;
-        }
+/// Best-effort human-readable text out of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
-fn respond(stream: &mut TcpStream, response: &Response) -> Result<(), ProtoError> {
-    write_frame(stream, &encode_response(response))
+/// One exec worker: runs offloaded SpMVs on the shared execution pool and
+/// posts the encoded response frame back to the event loop.  As in the
+/// tuning lane, a panicking kernel costs its own request, not the worker.
+fn exec_loop(shared: &Shared) {
+    while let Some(task) = shared.exec_queue.pop() {
+        let run =
+            std::panic::AssertUnwindSafe(|| task.tuned.run_with_pool(&task.x, &shared.exec_pool));
+        let outcome = std::panic::catch_unwind(run).unwrap_or_else(|payload| {
+            Err(format!(
+                "SpMV panicked: {}",
+                panic_message(payload.as_ref())
+            ))
+        });
+        let response = match outcome {
+            Ok(y) => Response::SpmvResult { y },
+            Err(e) => Response::Error {
+                kind: ErrorKind::InvalidInput,
+                message: e,
+            },
+        };
+        shared
+            .completions
+            .lock()
+            .expect("completions poisoned")
+            .push((task.token, frame_bytes(&response)));
+        shared.waker.wake();
+    }
 }
 
-fn handle_request(shared: &Shared, request: Request) -> Response {
-    match request {
-        Request::SubmitTune { matrix, device } => {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                return Response::Error {
-                    kind: ErrorKind::ShuttingDown,
-                    message: "daemon is shutting down; no new work accepted".to_string(),
-                };
-            }
-            let Some(profile) = device_by_name(&device) else {
-                return Response::Error {
-                    kind: ErrorKind::UnknownDevice,
-                    message: format!("unknown device {device:?} (try A100, RTX2080 or TestGPU)"),
-                };
-            };
-            let request = TuneRequest::new(matrix, profile);
-            let job_id = {
-                let mut table = shared.jobs.lock().expect("job table poisoned");
-                let job_id = table.next_id;
-                table.next_id += 1;
-                table.jobs.insert(
-                    job_id,
-                    Job::Queued {
-                        request: Box::new(request),
-                        enqueued: std::time::Instant::now(),
-                    },
-                );
-                job_id
-            };
-            match shared.queue.try_push(job_id) {
-                Ok(()) => {
-                    shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
-                    Response::Submitted { job_id }
+/// Encodes a response into raw frame bytes (header + payload) ready for an
+/// outbox.
+fn frame_bytes(response: &Response) -> Vec<u8> {
+    let payload = encode_response(response);
+    let mut bytes = Vec::with_capacity(16 + payload.len());
+    write_frame(&mut bytes, &payload).expect("responses fit the frame cap");
+    bytes
+}
+
+/// Reactor token of the listening socket; connection tokens count up from
+/// [`FIRST_CONN_TOKEN`].
+const LISTENER_TOKEN: usize = 0;
+const FIRST_CONN_TOKEN: usize = 1;
+
+/// Deferred-request bound per connection: while an SpMV is in flight (or
+/// the client pipelines faster than responses drain) at most this many
+/// decoded requests wait; beyond it the connection's read interest drops
+/// until the backlog drains — per-connection backpressure, not memory
+/// growth.
+const MAX_DEFERRED: usize = 64;
+
+/// Grace period for flushing outboxes after a shutdown is requested.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(2);
+
+/// Per-connection state machine: reassembly in, ordered responses out.
+struct Conn {
+    stream: TcpStream,
+    assembler: FrameAssembler,
+    /// Decoded request payloads waiting behind an in-flight SpMV —
+    /// responses stay in request order.
+    deferred: VecDeque<Vec<u8>>,
+    /// Encoded response frames awaiting socket capacity.
+    outbox: VecDeque<Vec<u8>>,
+    /// Bytes of `outbox.front()` already written (partial-write cursor).
+    out_pos: usize,
+    /// An offloaded SpMV is in flight; requests behind it are deferred.
+    pending_exec: bool,
+    /// Tenant identity from `Hello` (0 = anonymous).
+    tenant: u64,
+    /// Flush the outbox, then close (framing lost, slow-loris deadline, or
+    /// shutdown ack sent) — no further requests are processed.
+    close_after_flush: bool,
+    /// The peer sent EOF: finish answering what already arrived (half-close
+    /// support), then close.
+    eof: bool,
+    /// The peer is gone; drop as soon as the event is processed.
+    dead: bool,
+    /// Interest currently registered with the reactor.
+    registered: Interest,
+}
+
+impl Conn {
+    fn desired_interest(&self) -> Interest {
+        Interest {
+            readable: !self.close_after_flush
+                && !self.eof
+                && !self.pending_exec
+                && self.deferred.len() < MAX_DEFERRED,
+            writable: !self.outbox.is_empty(),
+        }
+    }
+
+    /// Nothing left to do for this connection: every owed response has been
+    /// produced and flushed.
+    fn drained(&self) -> bool {
+        self.outbox.is_empty()
+            && (self.close_after_flush
+                || (self.eof && self.deferred.is_empty() && !self.pending_exec))
+    }
+}
+
+struct EventLoop {
+    reactor: Reactor,
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    conns: HashMap<usize, Conn>,
+    next_token: usize,
+    shutdown_at: Option<Instant>,
+}
+
+impl EventLoop {
+    fn new(reactor: Reactor, listener: TcpListener, shared: Arc<Shared>) -> EventLoop {
+        EventLoop {
+            reactor,
+            listener,
+            shared,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            shutdown_at: None,
+        }
+    }
+
+    fn run(mut self) {
+        if self
+            .reactor
+            .register(
+                self.listener.as_raw_fd(),
+                LISTENER_TOKEN,
+                Interest::READABLE,
+            )
+            .is_err()
+        {
+            return; // No reactor, no daemon.
+        }
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            // The timeout doubles as the slow-loris sweep period and the
+            // shutdown poll — no connection activity is needed to notice
+            // either.
+            let _ = self
+                .reactor
+                .poll(&mut events, Some(Duration::from_millis(100)));
+            self.drain_completions();
+            let batch: Vec<Event> = std::mem::take(&mut events);
+            for event in batch {
+                if event.token == LISTENER_TOKEN {
+                    self.accept_ready();
+                } else {
+                    self.service_conn(event);
                 }
-                Err(push_error) => {
-                    // Admission failed: nothing must remain of the job.
-                    shared
-                        .jobs
-                        .lock()
-                        .expect("job table poisoned")
-                        .jobs
-                        .remove(&job_id);
-                    match push_error {
-                        PushError::Full(_) => {
-                            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                            Response::Busy {
-                                queue_capacity: shared.queue.capacity() as u64,
-                            }
-                        }
-                        PushError::Closed(_) => Response::Error {
-                            kind: ErrorKind::ShuttingDown,
-                            message: "daemon is shutting down; no new work accepted".to_string(),
+            }
+            self.sweep_deadlines();
+            self.reap();
+            if self.shutdown_tick() {
+                break;
+            }
+        }
+        // Exit: close every socket, stop the exec lane (workers drain any
+        // leftover tasks and exit; their completions go nowhere).
+        let _ = self.reactor.deregister(self.listener.as_raw_fd());
+        for (_, conn) in self.conns.drain() {
+            let _ = self.reactor.deregister(conn.stream.as_raw_fd());
+            self.shared.open_connections.fetch_sub(1, Ordering::Relaxed);
+        }
+        self.shared.exec_queue.close();
+    }
+
+    /// Delivers finished SpMV frames into their connections' outboxes and
+    /// resumes the deferred request stream behind each.
+    fn drain_completions(&mut self) {
+        let completions: Vec<(usize, Vec<u8>)> = {
+            let mut guard = self
+                .shared
+                .completions
+                .lock()
+                .expect("completions poisoned");
+            std::mem::take(&mut *guard)
+        };
+        for (token, frame) in completions {
+            self.shared.exec_inflight.fetch_sub(1, Ordering::Relaxed);
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue; // Connection died while its SpMV ran.
+            };
+            conn.outbox.push_back(frame);
+            conn.pending_exec = false;
+            self.pump(token);
+        }
+    }
+
+    /// Accepts every connection the listener has ready.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.shared.shutdown.load(Ordering::SeqCst) {
+                        continue; // Accept-and-drop: no new sessions.
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // Nagle off: responses are complete frames, and letting
+                    // them sit waiting for a delayed ACK adds ~40 ms to
+                    // every round trip.
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .reactor
+                        .register(stream.as_raw_fd(), token, Interest::READABLE)
+                        .is_err()
+                    {
+                        continue; // Shed the connection under fd pressure.
+                    }
+                    self.shared.open_connections.fetch_add(1, Ordering::Relaxed);
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            assembler: FrameAssembler::with_deadline(
+                                self.shared.config.frame_deadline,
+                            ),
+                            deferred: VecDeque::new(),
+                            outbox: VecDeque::new(),
+                            out_pos: 0,
+                            pending_exec: false,
+                            tenant: 0,
+                            close_after_flush: false,
+                            eof: false,
+                            dead: false,
+                            registered: Interest::READABLE,
                         },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break, // Transient accept failure; retry next tick.
+            }
+        }
+    }
+
+    /// Handles one readiness event for one connection.
+    fn service_conn(&mut self, event: Event) {
+        if !self.conns.contains_key(&event.token) {
+            return; // Stale event for a connection dropped earlier this tick.
+        }
+        if event.readable || event.closed {
+            self.read_ready(event.token);
+        }
+        if event.writable {
+            self.pump(event.token);
+        }
+    }
+
+    /// Reads whatever the socket has (bounded per tick so one firehose
+    /// connection cannot starve the rest), feeds the assembler, and
+    /// processes completed frames in order.
+    fn read_ready(&mut self, token: usize) {
+        let mut chunk = [0u8; 64 * 1024];
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            for _ in 0..4 {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        // Peer EOF: answer what already arrived (the peer
+                        // may have half-closed), then close.
+                        conn.eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        if let Err(e) = conn.assembler.push(&chunk[..n], &mut frames) {
+                            // Framing lost (bad magic/version/length): one
+                            // best-effort typed error, then the connection
+                            // cannot continue.
+                            conn.outbox.push_back(frame_bytes(&Response::Error {
+                                kind: ErrorKind::BadFrame,
+                                message: e.to_string(),
+                            }));
+                            conn.close_after_flush = true;
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
                     }
                 }
             }
+            for frame in frames {
+                conn.deferred.push_back(frame);
+            }
         }
-        Request::PollJob { job_id } => {
-            let table = shared.jobs.lock().expect("job table poisoned");
-            let state = match table.jobs.get(&job_id) {
-                None => JobState::Unknown,
-                Some(Job::Queued { .. }) => JobState::Queued,
-                Some(Job::Running) => JobState::Running,
-                Some(Job::Done { summary, .. }) => JobState::Done(summary.clone()),
-                Some(Job::Failed { error }) => JobState::Failed {
-                    error: error.clone(),
-                },
+        self.process_deferred(token);
+        self.pump(token);
+    }
+
+    /// Processes a connection's deferred requests in order, stopping at the
+    /// first SpMV offload (responses must stay FIFO per connection).
+    fn process_deferred(&mut self, token: usize) {
+        loop {
+            let payload = {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                if conn.pending_exec || conn.close_after_flush {
+                    return;
+                }
+                match conn.deferred.pop_front() {
+                    Some(payload) => payload,
+                    None => return,
+                }
             };
-            Response::Status { job_id, state }
+            self.handle_payload(token, &payload);
         }
-        Request::Spmv { job_id, x } => {
-            let tuned = {
-                let table = shared.jobs.lock().expect("job table poisoned");
-                match table.jobs.get(&job_id) {
-                    None => {
-                        return Response::Error {
+    }
+
+    /// Decodes and dispatches one request payload for `token`.
+    fn handle_payload(&mut self, token: usize, payload: &[u8]) {
+        let request = match decode_request(payload) {
+            Ok(request) => request,
+            Err(e) => {
+                // The frame boundary held, so the session survives a bad
+                // payload with a typed error.
+                self.push_response(
+                    token,
+                    &Response::Error {
+                        kind: ErrorKind::BadFrame,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let shared = self.shared.clone();
+        match request {
+            Request::Hello { client_id } => {
+                let weight = shared.tenant_weight(client_id);
+                shared
+                    .tenants
+                    .lock()
+                    .expect("tenant table poisoned")
+                    .entry(client_id)
+                    .or_insert_with(|| TenantState {
+                        weight,
+                        submitted: 0,
+                        rejected: 0,
+                        completed: 0,
+                        queued: 0,
+                    });
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.tenant = client_id;
+                }
+                self.push_response(token, &Response::Welcome { client_id, weight });
+            }
+            Request::TenantStats => {
+                self.push_response(token, &Response::Tenants(shared.tenant_snapshot()));
+            }
+            Request::SubmitTune { matrix, device } => {
+                let tenant = self.conns.get(&token).map(|c| c.tenant).unwrap_or(0);
+                let response = submit_tune(&shared, tenant, matrix, device);
+                self.push_response(token, &response);
+            }
+            Request::PollJob { job_id } => {
+                let table = shared.job_shard(job_id).lock().expect("job table poisoned");
+                let state = match table.get(&job_id) {
+                    None => JobState::Unknown,
+                    Some(Job::Queued { .. }) => JobState::Queued,
+                    Some(Job::Running) => JobState::Running,
+                    Some(Job::Done { summary, .. }) => JobState::Done(summary.clone()),
+                    Some(Job::Failed { error }) => JobState::Failed {
+                        error: error.clone(),
+                    },
+                };
+                drop(table);
+                self.push_response(token, &Response::Status { job_id, state });
+            }
+            Request::Spmv { job_id, x } => {
+                let tuned = {
+                    let table = shared.job_shard(job_id).lock().expect("job table poisoned");
+                    match table.get(&job_id) {
+                        None => Err(Response::Error {
                             kind: ErrorKind::UnknownJob,
                             message: format!(
                                 "job {job_id} was never issued or has been garbage-collected"
                             ),
-                        };
-                    }
-                    Some(Job::Queued { .. }) | Some(Job::Running) => {
-                        return Response::Error {
+                        }),
+                        Some(Job::Queued { .. }) | Some(Job::Running) => Err(Response::Error {
                             kind: ErrorKind::JobNotReady,
                             message: format!("job {job_id} is still tuning; poll until Done"),
-                        };
-                    }
-                    Some(Job::Failed { error }) => {
-                        return Response::Error {
+                        }),
+                        Some(Job::Failed { error }) => Err(Response::Error {
                             kind: ErrorKind::JobNotReady,
                             message: format!("job {job_id} failed: {error}"),
-                        };
+                        }),
+                        Some(Job::Done { tuned, .. }) => Ok(tuned.clone()),
                     }
-                    Some(Job::Done { tuned, .. }) => tuned.clone(),
+                };
+                match tuned {
+                    Err(response) => self.push_response(token, &response),
+                    Ok(tuned) => {
+                        // Offload: the kernel must not run on the loop.  The
+                        // connection defers its later requests until the
+                        // response frame comes back through `completions`.
+                        shared.exec_inflight.fetch_add(1, Ordering::Relaxed);
+                        match shared.exec_queue.try_push(ExecTask { token, tuned, x }) {
+                            Ok(()) => {
+                                if let Some(conn) = self.conns.get_mut(&token) {
+                                    conn.pending_exec = true;
+                                }
+                            }
+                            Err(_) => {
+                                shared.exec_inflight.fetch_sub(1, Ordering::Relaxed);
+                                self.push_response(
+                                    token,
+                                    &Response::Busy {
+                                        queue_capacity: shared.exec_queue.capacity() as u64,
+                                        retry_after_ms: 1,
+                                    },
+                                );
+                            }
+                        }
+                    }
                 }
-            };
-            // The kernel runs outside the table lock (a long SpMV must not
-            // block submissions and polls) on the daemon's persistent
-            // execution pool — remote SpMV never spawns threads.
-            match tuned.run_with_pool(&x, &shared.exec_pool) {
-                Ok(y) => Response::SpmvResult { y },
-                Err(e) => Response::Error {
-                    kind: ErrorKind::InvalidInput,
-                    message: e,
-                },
+            }
+            Request::StoreStats => {
+                self.push_response(token, &Response::Stats(shared.stats()));
+            }
+            Request::Shutdown => {
+                shared.initiate_shutdown();
+                self.push_response(token, &Response::ShuttingDown);
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.close_after_flush = true;
+                }
             }
         }
-        Request::StoreStats => Response::Stats(shared.stats()),
-        // The state transition happened in the connection loop (it knows the
-        // daemon's address for the accept-loop poke); only the ack is left.
-        Request::Shutdown => Response::ShuttingDown,
+    }
+
+    /// Queues a response frame on a connection and re-arms its interest.
+    fn push_response(&mut self, token: usize, response: &Response) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.outbox.push_back(frame_bytes(response));
+        }
+    }
+
+    /// Writes as much outbox as the socket accepts and reconciles the
+    /// connection's reactor interest with its current state.
+    fn pump(&mut self, token: usize) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        while let Some(front) = conn.outbox.front() {
+            match conn.stream.write(&front[conn.out_pos..]) {
+                Ok(n) => {
+                    conn.out_pos += n;
+                    if conn.out_pos == front.len() {
+                        conn.outbox.pop_front();
+                        conn.out_pos = 0;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        if conn.drained() {
+            conn.dead = true;
+        }
+        let desired = conn.desired_interest();
+        if desired != conn.registered
+            && !conn.dead
+            && self
+                .reactor
+                .modify(conn.stream.as_raw_fd(), token, desired)
+                .is_ok()
+        {
+            conn.registered = desired;
+        }
+    }
+
+    /// Tears down slow-loris connections: a partial frame older than the
+    /// configured deadline closes the session (best-effort typed error
+    /// first, matching the blocking server's `Truncated` behaviour).
+    fn sweep_deadlines(&mut self) {
+        let overdue: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| conn.assembler.overdue() && !conn.close_after_flush)
+            .map(|(token, _)| *token)
+            .collect();
+        for token in overdue {
+            self.push_response(
+                token,
+                &Response::Error {
+                    kind: ErrorKind::BadFrame,
+                    message: "frame is truncated".to_string(),
+                },
+            );
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.close_after_flush = true;
+            }
+            self.pump(token);
+        }
+    }
+
+    /// Drops dead connections and releases their reactor registrations.
+    fn reap(&mut self) {
+        let dead: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| conn.dead)
+            .map(|(token, _)| *token)
+            .collect();
+        for token in dead {
+            if let Some(conn) = self.conns.remove(&token) {
+                let _ = self.reactor.deregister(conn.stream.as_raw_fd());
+                self.shared.open_connections.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Returns true when the loop should exit: shutdown was requested and
+    /// every outbox has drained (or the grace period expired).
+    fn shutdown_tick(&mut self) -> bool {
+        if !self.shared.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        let at = *self.shutdown_at.get_or_insert_with(Instant::now);
+        let drained = self.conns.values().all(|c| c.outbox.is_empty())
+            && self.shared.exec_inflight.load(Ordering::Relaxed) == 0;
+        drained || at.elapsed() > SHUTDOWN_GRACE
+    }
+}
+
+/// Admission + job-table insert for one tune submission, shared by the
+/// event loop's dispatch.
+fn submit_tune(
+    shared: &Shared,
+    tenant: u64,
+    matrix: alpha_matrix::CsrMatrix,
+    device: String,
+) -> Response {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Response::Error {
+            kind: ErrorKind::ShuttingDown,
+            message: "daemon is shutting down; no new work accepted".to_string(),
+        };
+    }
+    let Some(profile) = device_by_name(&device) else {
+        return Response::Error {
+            kind: ErrorKind::UnknownDevice,
+            message: format!("unknown device {device:?} (try A100, RTX2080 or TestGPU)"),
+        };
+    };
+    if let Err(busy) = shared.try_admit(tenant) {
+        return busy;
+    }
+    let request = TuneRequest::new(matrix, profile);
+    let job_id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
+    shared
+        .job_shard(job_id)
+        .lock()
+        .expect("job table poisoned")
+        .insert(
+            job_id,
+            Job::Queued {
+                request: Box::new(request),
+                enqueued: Instant::now(),
+                tenant,
+            },
+        );
+    match shared.queue.try_push(tenant, job_id) {
+        Ok(()) => {
+            shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+            Response::Submitted { job_id }
+        }
+        Err(push_error) => {
+            // Admission failed at the global bound: nothing must remain of
+            // the job.
+            shared
+                .job_shard(job_id)
+                .lock()
+                .expect("job table poisoned")
+                .remove(&job_id);
+            match push_error {
+                PushError::Full(_) => {
+                    shared.unadmit(tenant, true);
+                    shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    Response::Busy {
+                        queue_capacity: shared.queue.capacity() as u64,
+                        retry_after_ms: shared.retry_after_ms(),
+                    }
+                }
+                PushError::Closed(_) => {
+                    shared.unadmit(tenant, false);
+                    Response::Error {
+                        kind: ErrorKind::ShuttingDown,
+                        message: "daemon is shutting down; no new work accepted".to_string(),
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -587,5 +1237,7 @@ mod tests {
         let config = ServerConfig::default();
         assert!(config.queue_capacity > 0);
         assert!(config.max_terminal_jobs > 0);
+        assert!(config.frame_deadline >= Duration::from_secs(1));
+        assert!(config.tenant_weights.is_empty());
     }
 }

@@ -251,7 +251,10 @@ fn full_queue_answers_busy_backpressure() {
         let matrix = gen::powerlaw(256, 256, 6, 2.0, 100 + i);
         match client.submit_tune(&matrix, "A100") {
             Ok(job) => admitted.push(job),
-            Err(NetError::Busy { queue_capacity }) => {
+            Err(NetError::Busy {
+                queue_capacity,
+                retry_after_ms: _,
+            }) => {
                 assert_eq!(queue_capacity, 1);
                 saw_busy = true;
             }

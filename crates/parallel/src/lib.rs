@@ -836,6 +836,157 @@ impl<T> TaskQueue<T> {
     }
 }
 
+/// A [`TaskQueue`] split into N shards with per-shard locks, behind one
+/// global admission bound — the event-loop daemon's job queue.
+///
+/// The motivation is contention *shape*, not raw throughput: with one lock,
+/// every producer and every worker serialise on the same mutex, so a burst
+/// from one hot tenant stalls admission for everyone.  Here items are pushed
+/// to the shard chosen by the caller's hash key (the daemon hashes the
+/// submitting tenant, so one tenant's storm lands in one shard), and
+/// consumers drain shards in rotating order, which approximates round-robin
+/// service across shards — a cheap fairness floor on top of the explicit
+/// per-tenant admission credits.
+///
+/// Capacity is **global**: the admission bound spans all shards, so the
+/// `Busy` semantics of the single-lock queue are preserved exactly (a
+/// `queue_capacity = 1` daemon still rejects the second concurrent job no
+/// matter which shard it hashes to).
+pub struct ShardedTaskQueue<T> {
+    /// Per-shard FIFOs, each behind its own short-held lock.
+    shards: Vec<Mutex<VecDeque<T>>>,
+    /// Global admission state: queued count + closed flag.  Pushes publish
+    /// to a shard *before* raising `len`, so any count a popper reserves is
+    /// already visible in some shard.
+    sync: Mutex<SharedQueueSync>,
+    not_empty: Condvar,
+    capacity: usize,
+    /// Rotating start shard for consumers — spreads drain order so shard 0
+    /// is not structurally favoured.
+    next_scan: AtomicUsize,
+}
+
+struct SharedQueueSync {
+    len: usize,
+    closed: bool,
+}
+
+impl<T> ShardedTaskQueue<T> {
+    /// A queue of `shards` shards (minimum 1) admitting at most `capacity`
+    /// items at a time across all of them (minimum 1).
+    pub fn bounded(capacity: usize, shards: usize) -> Self {
+        ShardedTaskQueue {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            sync: Mutex::new(SharedQueueSync {
+                len: 0,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+            next_scan: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of shards the queue was built with.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a hash key routes to (Fibonacci multiplicative hash, so
+    /// sequential keys spread instead of clustering).
+    pub fn shard_of(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % self.shards.len()
+    }
+
+    /// Enqueues `item` on the shard `key` hashes to unless the queue is full
+    /// or closed; never blocks.
+    pub fn try_push(&self, key: u64, item: T) -> Result<(), PushError<T>> {
+        let shard = self.shard_of(key);
+        {
+            let sync = self.sync.lock().expect("sharded queue poisoned");
+            if sync.closed {
+                return Err(PushError::Closed(item));
+            }
+            if sync.len >= self.capacity {
+                return Err(PushError::Full(item));
+            }
+            // Admission is decided; publish the item under the shard lock,
+            // then raise the global count.  Order matters: a popper that
+            // decrements `len` must always find a published item.
+            self.shards[shard]
+                .lock()
+                .expect("sharded queue shard poisoned")
+                .push_back(item);
+            let mut sync = sync;
+            sync.len += 1;
+        }
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues one item, blocking while all shards are empty.  Shards are
+    /// scanned in rotating order from a moving start, so consumers drain the
+    /// shards round-robin instead of always favouring the lowest index.
+    /// Returns `None` once the queue is closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        {
+            let mut sync = self.sync.lock().expect("sharded queue poisoned");
+            loop {
+                if sync.len > 0 {
+                    sync.len -= 1;
+                    break;
+                }
+                if sync.closed {
+                    return None;
+                }
+                sync = self.not_empty.wait(sync).expect("sharded queue poisoned");
+            }
+        }
+        // One item is reserved and guaranteed published; scan until found.
+        // Concurrent poppers may race for the same shard, but the reserved
+        // counts never exceed the published items, so the scan terminates.
+        let start = self.next_scan.fetch_add(1, Ordering::Relaxed);
+        loop {
+            for offset in 0..self.shards.len() {
+                let shard = (start + offset) % self.shards.len();
+                let item = self.shards[shard]
+                    .lock()
+                    .expect("sharded queue shard poisoned")
+                    .pop_front();
+                if let Some(item) = item {
+                    return Some(item);
+                }
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Closes the queue: further pushes fail with [`PushError::Closed`], and
+    /// every blocked or future [`ShardedTaskQueue::pop`] returns `None` once
+    /// the remaining items are drained.
+    pub fn close(&self) {
+        self.sync.lock().expect("sharded queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently queued across all shards (racy by nature; for stats).
+    pub fn len(&self) -> usize {
+        self.sync.lock().expect("sharded queue poisoned").len
+    }
+
+    /// True when nothing is queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The global admission bound this queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -965,6 +1116,115 @@ mod tests {
             queue.close();
         });
         assert_eq!(consumed.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn sharded_queue_enforces_global_capacity_across_shards() {
+        let queue = ShardedTaskQueue::bounded(2, 8);
+        assert_eq!(queue.capacity(), 2);
+        assert_eq!(queue.shards(), 8);
+        // Keys chosen to land in different shards; the *global* bound still
+        // rejects the third push.
+        let (a, b) = (0u64, 1u64);
+        assert_ne!(queue.shard_of(a), queue.shard_of(b));
+        queue.try_push(a, 10).unwrap();
+        queue.try_push(b, 20).unwrap();
+        match queue.try_push(a, 30) {
+            Err(PushError::Full(30)) => {}
+            other => panic!("expected Full(30), got {other:?}"),
+        }
+        assert_eq!(queue.len(), 2);
+        let mut drained = vec![queue.pop().unwrap(), queue.pop().unwrap()];
+        drained.sort_unstable();
+        assert_eq!(drained, vec![10, 20]);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn sharded_queue_is_fifo_within_a_shard() {
+        let queue = ShardedTaskQueue::bounded(16, 4);
+        for i in 0..8 {
+            queue.try_push(7, i).unwrap(); // same key → same shard
+        }
+        for i in 0..8 {
+            assert_eq!(queue.pop(), Some(i), "per-shard order must be FIFO");
+        }
+    }
+
+    #[test]
+    fn sharded_queue_close_drains_then_signals_exit() {
+        let queue = ShardedTaskQueue::bounded(4, 2);
+        queue.try_push(0, 10).unwrap();
+        queue.try_push(1, 11).unwrap();
+        queue.close();
+        match queue.try_push(2, 12) {
+            Err(PushError::Closed(12)) => {}
+            other => panic!("expected Closed(12), got {other:?}"),
+        }
+        let mut drained = vec![queue.pop().unwrap(), queue.pop().unwrap()];
+        drained.sort_unstable();
+        assert_eq!(drained, vec![10, 11], "closing must not drop queued work");
+        assert_eq!(queue.pop(), None);
+        assert_eq!(queue.pop(), None, "pop after close stays None");
+    }
+
+    #[test]
+    fn sharded_queue_single_shard_degenerates_to_task_queue() {
+        let queue = ShardedTaskQueue::bounded(8, 1);
+        for (key, item) in [(3u64, 1), (99, 2), (12345, 3)] {
+            assert_eq!(queue.shard_of(key), 0);
+            queue.try_push(key, item).unwrap();
+        }
+        // One shard → global FIFO regardless of key.
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), Some(2));
+        assert_eq!(queue.pop(), Some(3));
+    }
+
+    #[test]
+    fn sharded_queue_survives_concurrent_producers_and_consumers() {
+        let queue = ShardedTaskQueue::bounded(4, 8);
+        let consumed = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        let queue = &queue;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    while let Some(item) = queue.pop() {
+                        consumed.fetch_add(1, Ordering::SeqCst);
+                        sum.fetch_add(item, Ordering::SeqCst);
+                    }
+                });
+            }
+            let producers: Vec<_> = (0..4u64)
+                .map(|producer| {
+                    scope.spawn(move || {
+                        for i in 0..50usize {
+                            let mut item = i;
+                            loop {
+                                match queue.try_push(producer.wrapping_mul(31) + i as u64, item) {
+                                    Ok(()) => break,
+                                    Err(PushError::Full(back)) => {
+                                        item = back;
+                                        std::thread::yield_now();
+                                    }
+                                    Err(PushError::Closed(_)) => unreachable!(),
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for handle in producers {
+                handle.join().unwrap();
+            }
+            // Close only after every producer finished, so the blocked
+            // consumers drain the remainder and exit; the scope then joins
+            // them without deadlocking.
+            queue.close();
+        });
+        assert_eq!(consumed.load(Ordering::SeqCst), 200);
+        assert_eq!(sum.load(Ordering::SeqCst), 4 * (0..50).sum::<usize>());
     }
 
     #[test]
