@@ -307,6 +307,17 @@ fn main() {
                         overheads.iter().sum::<f64>() / overheads.len() as f64
                     );
                 }
+                let telemetry: Vec<f64> = results
+                    .iter()
+                    .filter_map(|r| r.generated.telemetry_overhead_pct)
+                    .collect();
+                if !telemetry.is_empty() {
+                    println!(
+                        "  telemetry overhead on the single-thread hot path: \
+                         mean {:+.2}% across the fleet (budget: < 2%)",
+                        telemetry.iter().sum::<f64>() / telemetry.len() as f64
+                    );
+                }
                 println!(
                     "  (wall-clock numbers carry allocator-placement and scheduler noise;\n\
                      \x20  treat deltas under ~30% as ties)\n"
@@ -417,6 +428,24 @@ fn main() {
                         &report.spmv_summary(),
                         report.spmv_latencies_us.len(),
                     );
+                    // The daemon's own view of the same traffic, digested
+                    // from its telemetry registry: transport-free numbers
+                    // next to the client-observed ones (classes marked *).
+                    if let Some(s) = report.server_tune_exec {
+                        print_class("exec*", &s.latency, s.count as usize);
+                    }
+                    if let Some(s) = report.server_spmv {
+                        print_class("spmv*", &s.latency, s.count as usize);
+                    }
+                    if let Some(ratio) = report.spmv_p99_divergence() {
+                        let flag = if report.divergence_flagged() {
+                            "  << FLAGGED: client p99 more than 2x the daemon's \
+                             (transport/event-loop bound, not kernel bound)"
+                        } else {
+                            ""
+                        };
+                        println!("  client/server SpMV p99 divergence: {ratio:.2}x{flag}");
+                    }
                     println!(
                         "  sheds (Busy, retried): {} tune + {} spmv, store-served jobs: {}/{}",
                         report.backpressure_hits,

@@ -17,6 +17,14 @@
 //! which `reproduce` writes into `BENCH_results.json`; any failed request
 //! fails the whole run (the binary exits non-zero).
 //!
+//! Every client-observed class has a server-side twin (`*_server` record
+//! classes) digested from the daemon's **private telemetry registry**: the
+//! daemon's own latency histograms, percentile-estimated from their log2
+//! buckets.  Client p99 diverging from the daemon's by more than
+//! [`ServeLoadReport::DIVERGENCE_FLAG`] is flagged in the `reproduce`
+//! output — it means the wire or the event loop, not the kernels, owns the
+//! tail.
+//!
 //! [`Busy`](alpha_net::Response::Busy) sheds are *not* failures: admission
 //! control rejecting under pressure is the daemon working as designed, so
 //! shed requests are retried after the daemon's `retry_after_ms` hint and
@@ -31,6 +39,7 @@ use alpha_matrix::CsrMatrix;
 use alpha_net::{Client, NetServer, ServerConfig};
 use alpha_search::SearchConfig;
 use alpha_serve::{DesignStore, TuningService};
+use alpha_telemetry::Registry;
 use std::time::{Duration, Instant};
 
 /// Configuration of one `reproduce -- serve` run.
@@ -125,6 +134,52 @@ pub struct ServeLoadReport {
     pub shed_spmv: u64,
     /// Jobs served with zero fresh evaluations (warm-store hits).
     pub store_served_jobs: usize,
+    /// The daemon's own view of the tune admission-queue wait, digested
+    /// from its private telemetry registry (`net_tune_queue_wait_us`).
+    pub server_tune_queue: Option<ServerClassSummary>,
+    /// The daemon's own view of tune execution (`net_tune_exec_us`).
+    pub server_tune_exec: Option<ServerClassSummary>,
+    /// The daemon's own view of SpMV latency, received frame → executed
+    /// (`net_spmv_latency_us`) — the client number minus transport and
+    /// client-side queueing.
+    pub server_spmv: Option<ServerClassSummary>,
+}
+
+/// One server-side request class digested from the daemon's telemetry
+/// registry: percentiles estimated from the log2-bucket histogram (accuracy
+/// ~the 2x bucket width — made for divergence checks, not for sub-bucket
+/// comparisons) plus the daemon's own observation count.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerClassSummary {
+    /// Percentiles + per-wall-second rate as the daemon saw them.
+    pub latency: LatencySummary,
+    /// Observations the daemon recorded for the class.
+    pub count: u64,
+}
+
+impl ServerClassSummary {
+    /// Digests one histogram out of a registry snapshot (`None` when the
+    /// daemon never observed the class).
+    fn from_snapshot(
+        snapshot: &alpha_telemetry::Snapshot,
+        name: &str,
+        wall_secs: f64,
+    ) -> Option<ServerClassSummary> {
+        let hist = snapshot.histogram(name, &[])?;
+        Some(ServerClassSummary {
+            latency: LatencySummary {
+                p50_us: hist.quantile(0.50),
+                p95_us: hist.quantile(0.95),
+                p99_us: hist.quantile(0.99),
+                requests_per_sec: if wall_secs > 0.0 {
+                    hist.count as f64 / wall_secs
+                } else {
+                    0.0
+                },
+            },
+            count: hist.count,
+        })
+    }
 }
 
 impl ServeLoadReport {
@@ -154,10 +209,38 @@ impl ServeLoadReport {
         self.backpressure_hits + self.shed_spmv
     }
 
+    /// Client-observed p99 over the daemon's own p99 for the SpMV class —
+    /// the transport + queueing multiplier.  `None` until the daemon
+    /// recorded at least one SpMV.  Values past
+    /// [`DIVERGENCE_FLAG`](ServeLoadReport::DIVERGENCE_FLAG) mean the
+    /// client is eating far more latency than the server spends, i.e. the
+    /// event loop or the wire is the bottleneck, not the kernels.
+    pub fn spmv_p99_divergence(&self) -> Option<f64> {
+        let server = self.server_spmv?;
+        if server.latency.p99_us <= 0.0 {
+            return None;
+        }
+        Some(self.spmv_summary().p99_us / server.latency.p99_us)
+    }
+
+    /// Divergence past this ratio is flagged by `reproduce -- serve`.  Set
+    /// above the server histogram's ~2x bucket resolution so a flag always
+    /// means real transport/queueing cost, never rounding.
+    pub const DIVERGENCE_FLAG: f64 = 2.0;
+
+    /// True when the client-observed SpMV p99 diverges from the daemon's by
+    /// more than [`DIVERGENCE_FLAG`](ServeLoadReport::DIVERGENCE_FLAG).
+    pub fn divergence_flagged(&self) -> bool {
+        self.spmv_p99_divergence()
+            .is_some_and(|ratio| ratio > Self::DIVERGENCE_FLAG)
+    }
+
     /// The `BENCH_results.json` records of this run: one per request class,
     /// carrying percentiles and throughput in the latency columns.  The
     /// `shed` class counts Busy rejections absorbed by retry — a load
-    /// signal, not a failure.
+    /// signal, not a failure.  Classes suffixed `_server` are the daemon's
+    /// own view of the same traffic, digested from its telemetry registry,
+    /// so the trajectory file carries both sides of every latency claim.
     pub fn records(&self) -> Vec<BenchRecord> {
         let fleet = format!(
             "serve_fleet{}x{}c_q{}",
@@ -180,10 +263,11 @@ impl ServeLoadReport {
             measured_stddev_us: None,
             pool: true,
             dispatch_overhead_us: None,
+            telemetry_overhead_pct: None,
             latency: Some(latency),
             clients: Some(self.config.clients),
         };
-        vec![
+        let mut records = vec![
             record("tune", self.tune_summary(), self.tune_latencies_us.len()),
             record(
                 "tune_queue",
@@ -201,7 +285,17 @@ impl ServeLoadReport {
                 LatencySummary::from_samples(&[], self.wall_secs),
                 self.sheds() as usize,
             ),
-        ]
+        ];
+        for (class, summary) in [
+            ("tune_queue_server", self.server_tune_queue),
+            ("tune_exec_server", self.server_tune_exec),
+            ("spmv_server", self.server_spmv),
+        ] {
+            if let Some(s) = summary {
+                records.push(record(class, s.latency, s.count as usize));
+            }
+        }
+        records
     }
 }
 
@@ -370,8 +464,12 @@ fn serve_load_at(
     config: ServeLoadConfig,
     store_dir: &std::path::Path,
 ) -> Result<ServeLoadReport, String> {
+    // A private registry per run: the daemon's histograms become this
+    // point's server-side percentiles without bleeding into other sweep
+    // points (or other tests in the same process via the global registry).
+    let registry = Registry::new();
     let service = TuningService::new(
-        DesignStore::open(store_dir).map_err(String::from)?,
+        DesignStore::open_with_registry(store_dir, registry.clone()).map_err(String::from)?,
         SearchConfig {
             max_iterations: config.budget,
             mutations_per_seed: 3,
@@ -455,6 +553,9 @@ fn serve_load_at(
     server.join();
     shutdown?;
 
+    // The daemon has fully stopped: its registry now holds the complete
+    // server-side view of the run's traffic.
+    let snapshot = registry.snapshot();
     let mut report = ServeLoadReport {
         config,
         wall_secs,
@@ -465,6 +566,17 @@ fn serve_load_at(
         backpressure_hits: 0,
         shed_spmv: 0,
         store_served_jobs: 0,
+        server_tune_queue: ServerClassSummary::from_snapshot(
+            &snapshot,
+            "net_tune_queue_wait_us",
+            wall_secs,
+        ),
+        server_tune_exec: ServerClassSummary::from_snapshot(
+            &snapshot,
+            "net_tune_exec_us",
+            wall_secs,
+        ),
+        server_spmv: ServerClassSummary::from_snapshot(&snapshot, "net_spmv_latency_us", wall_secs),
     };
     for outcome in outcomes {
         let outcome = outcome?;
@@ -515,10 +627,40 @@ mod tests {
             p50_total
         );
 
+        // The daemon's own histograms produced the server-side twin of
+        // every class, with counts matching what the clients drove.
+        let server_exec = report.server_tune_exec.expect("server-side exec class");
+        assert_eq!(server_exec.count as usize, config.fleet_size);
+        assert!(server_exec.latency.p50_us > 0.0);
+        assert!(server_exec.latency.p50_us <= server_exec.latency.p99_us);
+        let server_spmv = report.server_spmv.expect("server-side spmv class");
+        assert_eq!(
+            server_spmv.count as usize,
+            config.fleet_size * config.spmv_per_job
+        );
+        // The server's view excludes transport, so it can never exceed the
+        // client's by more than the histogram's bucket resolution.
+        let ratio = report
+            .spmv_p99_divergence()
+            .expect("divergence is computable");
+        assert!(ratio > 0.0 && ratio.is_finite());
+
         let records = report.records();
-        assert_eq!(records.len(), 5);
+        assert_eq!(records.len(), 8);
         let formats: Vec<&str> = records.iter().map(|r| r.format.as_str()).collect();
-        assert_eq!(formats, ["tune", "tune_queue", "tune_exec", "spmv", "shed"]);
+        assert_eq!(
+            formats,
+            [
+                "tune",
+                "tune_queue",
+                "tune_exec",
+                "spmv",
+                "shed",
+                "tune_queue_server",
+                "tune_exec_server",
+                "spmv_server"
+            ]
+        );
         for record in &records {
             assert_eq!(record.device, "alpha-net");
             assert!(record.pool, "daemon SpMV and tuning run pooled");

@@ -35,6 +35,8 @@ use alpha_codegen::{CompressionModel, FormatArray, MachineFormat};
 use alpha_graph::{Mapping, MatrixMetadataSet, SimdLaneMapping};
 use alpha_matrix::{CsrMatrix, Scalar};
 use alpha_parallel::{Executor, Pool};
+use alpha_telemetry::Histogram;
+use std::time::Instant;
 
 /// Non-zeros one worker should own, at minimum, before another worker is
 /// worth **spawning**.  The spawn-per-call path creates fresh threads every
@@ -266,6 +268,11 @@ pub struct NativeKernel {
     /// Widest lane count across partitions (1 = fully scalar); feeds the
     /// lane-aware pooled worker threshold.
     max_lanes: usize,
+    /// `cpu_kernel_run_us{simd=..., path=...}` — the run-latency histogram,
+    /// resolved **once** at build so the hot path pays two clock reads and a
+    /// few relaxed atomics.  `None` on a [`NativeKernel::without_telemetry`]
+    /// twin (the overhead-measurement baseline).
+    run_hist: Option<Histogram>,
 }
 
 impl NativeKernel {
@@ -339,6 +346,33 @@ impl NativeKernel {
                 .map(|p| p.describe())
                 .unwrap_or_else(|| "empty".to_string())
         );
+        // Resolve the run-latency histogram handle now, not per run: the
+        // labels (resolved SIMD backend + partition strategy) are fixed for
+        // the kernel's lifetime, so runs touch only atomics.
+        let simd_label = {
+            let mut labels: Vec<String> = partitions.iter().map(|p| p.simd.label()).collect();
+            labels.dedup();
+            if labels.is_empty() {
+                "scalar".to_string()
+            } else {
+                labels.join("|")
+            }
+        };
+        let path_label = {
+            let any_rows = partitions.iter().any(|p| matches!(p.path, ExecPath::Rows));
+            let any_nnz = partitions
+                .iter()
+                .any(|p| matches!(p.path, ExecPath::Nnz { .. }));
+            match (any_rows, any_nnz) {
+                (true, true) => "mixed",
+                (false, true) => "nnz",
+                _ => "rows",
+            }
+        };
+        let run_hist = Some(alpha_telemetry::global().histogram(
+            "cpu_kernel_run_us",
+            &[("simd", &simd_label), ("path", path_label)],
+        ));
         NativeKernel {
             partitions,
             rows: metadata.original_rows,
@@ -347,7 +381,17 @@ impl NativeKernel {
             format_bytes: format.bytes(),
             name,
             max_lanes,
+            run_hist,
         }
+    }
+
+    /// Returns this kernel with run-latency telemetry detached: runs skip
+    /// the clock reads and histogram updates entirely.  This is the twin
+    /// `reproduce -- native` measures against to report
+    /// `telemetry_overhead_pct`.
+    pub fn without_telemetry(mut self) -> Self {
+        self.run_hist = None;
+        self
     }
 
     /// True when at least one partition runs a multi-lane kernel.
@@ -513,6 +557,7 @@ impl NativeKernel {
             ));
         }
         y.fill(0.0);
+        let started = self.run_hist.as_ref().map(|_| Instant::now());
         // Partitions run one after another (their outputs may overlap under
         // COL_DIV); the parallelism lives inside each partition.
         for partition in &self.partitions {
@@ -523,6 +568,9 @@ impl NativeKernel {
                     row_starts,
                 } => exec_nnz(partition, *nnz_per_thread, row_starts, x, y, workers, exec),
             }
+        }
+        if let (Some(hist), Some(started)) = (self.run_hist.as_ref(), started) {
+            hist.observe_duration(started.elapsed());
         }
         Ok(())
     }

@@ -72,6 +72,17 @@ pub struct ResolvedSimd {
     pub backend: Backend,
 }
 
+/// Counts a vectorized plan resolving to scalar execution on the
+/// process-wide registry (`cpu_simd_fallback_total{reason=...}`): `"forced"`
+/// for an explicit [`SimdMode::ForceScalar`] / env override, `"lanes"` for a
+/// lane width no backend implements.  Resolution happens once per kernel
+/// build, so a direct registry lookup is cheap enough here.
+fn count_simd_fallback(reason: &'static str) {
+    alpha_telemetry::global()
+        .counter("cpu_simd_fallback_total", &[("reason", reason)])
+        .inc();
+}
+
 impl ResolvedSimd {
     /// Plain scalar execution (the pre-SIMD native backend).
     pub fn scalar() -> Self {
@@ -95,13 +106,20 @@ impl ResolvedSimd {
     /// 4/8 lanes when available and portable lane code otherwise; lane
     /// widths outside {2, 4, 8} run scalar.
     pub fn resolve(plan: &SimdPlan, mode: SimdMode) -> ResolvedSimd {
-        if mode == SimdMode::ForceScalar || !plan.is_vectorized() || cpu_features::force_scalar() {
+        if !plan.is_vectorized() {
+            return ResolvedSimd::scalar();
+        }
+        if mode == SimdMode::ForceScalar || cpu_features::force_scalar() {
+            count_simd_fallback("forced");
             return ResolvedSimd::scalar();
         }
         let support = cpu_features::detect_hardware();
         let lanes = match plan.lanes {
             2 | 4 | 8 => plan.lanes,
-            _ => return ResolvedSimd::scalar(),
+            _ => {
+                count_simd_fallback("lanes");
+                return ResolvedSimd::scalar();
+            }
         };
         let backend = match (plan.lane_mapping, support, lanes) {
             (SimdLaneMapping::Rows, _, _) => Backend::Portable,

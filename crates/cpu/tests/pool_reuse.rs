@@ -3,12 +3,20 @@
 //! and harness measurements reuse a persistent pool whose worker count never
 //! grows past its initial size.
 //!
-//! Single `#[test]` binary on purpose: `alpha_parallel::thread_spawns()` is
+//! Single `#[test]` binary on purpose: `parallel_thread_spawns_total` is
 //! process-global, so no other test may spawn concurrently.
 
 use alpha_cpu::{NativeKernel, TimingHarness};
 use alpha_matrix::{gen, DenseVector};
-use alpha_parallel::{thread_spawns, Pool};
+use alpha_parallel::Pool;
+
+/// The spawn counter now lives in the process-wide telemetry registry
+/// (`thread_spawns()` survives only as a deprecated shim over it).
+fn thread_spawns() -> u64 {
+    alpha_telemetry::global()
+        .counter("parallel_thread_spawns_total", &[])
+        .get()
+}
 
 #[test]
 fn steady_state_spmv_never_spawns() {

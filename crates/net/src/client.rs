@@ -291,6 +291,18 @@ impl Client {
         }
     }
 
+    /// Fetches the daemon's full telemetry registry as a Prometheus text
+    /// exposition — every counter, gauge and histogram the process has
+    /// recorded, not just the curated [`ServerStats`] subset.  The same
+    /// bytes are served over plain HTTP when the daemon was configured
+    /// with a metrics address.
+    pub fn metrics(&mut self) -> Result<String, NetError> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::MetricsText { text } => Ok(text),
+            other => Err(NetError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
     /// Asks the daemon to shut down cleanly.  Returns once the daemon
     /// acknowledged; pair with
     /// [`NetServer::join`](crate::NetServer::join) on the hosting side.

@@ -41,8 +41,11 @@ pub const NET_MAGIC: [u8; 4] = *b"ANET";
 /// [`Request::Hello`]/[`Response::Welcome`] carry a `ClientId`,
 /// [`Response::Busy`] reports `retry_after_ms`, [`Request::TenantStats`]
 /// returns per-tenant fairness accounting, and [`ServerStats`] gained the
-/// `jobs_resident` and `open_connections` gauges.)
-pub const PROTOCOL_VERSION: u32 = 3;
+/// `jobs_resident` and `open_connections` gauges.  v4: observability —
+/// [`Request::Metrics`] asks for the daemon's full telemetry registry and
+/// is answered with [`Response::MetricsText`] carrying the Prometheus text
+/// exposition.)
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Upper bound on one frame's payload length.  Large enough for a
 /// multi-million-nonzero matrix submission, small enough that a corrupt or
@@ -419,6 +422,12 @@ pub enum Request {
     /// Ask for the per-tenant fairness accounting.  Answered with
     /// [`Response::Tenants`].
     TenantStats,
+    /// Ask for the daemon's full telemetry registry — every counter, gauge
+    /// and histogram the process has recorded, not just the curated
+    /// [`ServerStats`] subset.  Answered with [`Response::MetricsText`]
+    /// carrying the Prometheus text exposition (the same bytes the
+    /// `--metrics-addr` HTTP endpoint serves).
+    Metrics,
 }
 
 /// A finished job's result, as carried on the wire.
@@ -619,6 +628,12 @@ pub enum Response {
     /// Answer to [`Request::TenantStats`]: every tenant the daemon has
     /// seen, sorted by `client_id`.
     Tenants(Vec<TenantStats>),
+    /// Answer to [`Request::Metrics`]: the daemon's telemetry registry
+    /// rendered in the Prometheus text exposition format.
+    MetricsText {
+        /// `# TYPE`-annotated metric families, one sample per line.
+        text: String,
+    },
     /// A typed error.
     Error {
         /// Machine-readable classification.
@@ -804,6 +819,7 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             w.u64(*client_id);
         }
         Request::TenantStats => w.u8(6),
+        Request::Metrics => w.u8(7),
     }
     w.into_bytes()
 }
@@ -828,6 +844,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
             client_id: r.u64()?,
         },
         6 => Request::TenantStats,
+        7 => Request::Metrics,
         other => {
             return Err(ProtoError::Corrupt(format!("unknown request tag {other}")));
         }
@@ -900,6 +917,10 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
                 write_tenant(&mut w, tenant);
             }
         }
+        Response::MetricsText { text } => {
+            w.u8(9);
+            w.str(text);
+        }
     }
     w.into_bytes()
 }
@@ -951,6 +972,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             }
             Response::Tenants(tenants)
         }
+        9 => Response::MetricsText { text: r.str()? },
         other => {
             return Err(ProtoError::Corrupt(format!("unknown response tag {other}")));
         }
@@ -990,6 +1012,7 @@ mod tests {
                 client_id: 0xFEED_BEEF,
             },
             Request::TenantStats,
+            Request::Metrics,
         ]
     }
 
@@ -1075,6 +1098,13 @@ mod tests {
                 },
             ]),
             Response::Tenants(Vec::new()),
+            Response::MetricsText {
+                text: "# TYPE net_requests_total counter\nnet_requests_total{tenant=\"0\"} 7\n"
+                    .to_string(),
+            },
+            Response::MetricsText {
+                text: String::new(),
+            },
         ]
     }
 

@@ -55,6 +55,7 @@ use alpha_gpu::DeviceProfile;
 use alpha_matrix::Scalar;
 use alpha_parallel::{PushError, ShardedTaskQueue, TaskQueue};
 use alpha_serve::{TuneRequest, TuningService};
+use alpha_telemetry::{Counter, Gauge, Histogram, Registry};
 use alphasparse::TunedSpmv;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{Read, Write};
@@ -104,6 +105,11 @@ pub struct ServerConfig {
     /// tenant's queue credit is its weight share of `queue_capacity` over
     /// the currently *active* tenants.
     pub tenant_weights: Vec<(u64, u64)>,
+    /// Address of the plaintext HTTP metrics endpoint (`GET /metrics`
+    /// answers the Prometheus text exposition).  Served by the same event
+    /// loop — no extra thread, and a stalled scraper can never block the
+    /// frame protocol.  `None` disables the endpoint.
+    pub metrics_addr: Option<SocketAddr>,
 }
 
 impl Default for ServerConfig {
@@ -115,6 +121,7 @@ impl Default for ServerConfig {
             shards: 0,
             frame_deadline: Duration::from_secs(MAX_FRAME_SECS),
             tenant_weights: Vec::new(),
+            metrics_addr: None,
         }
     }
 }
@@ -172,6 +179,10 @@ struct ExecTask {
     token: usize,
     tuned: Arc<TunedSpmv>,
     x: Vec<Scalar>,
+    /// When the event loop received the request — start of the
+    /// `net_spmv_latency_us` window, so the histogram covers exec-queue
+    /// wait plus kernel time, the latency the client actually eats.
+    received: Instant,
 }
 
 struct Shared {
@@ -208,6 +219,24 @@ struct Shared {
     /// queues behind the tuning workers' candidate batches.
     exec_pool: alpha_parallel::Pool,
     waker: Waker,
+    /// The service's telemetry registry.  The daemon layers its own wire-
+    /// and loop-level families on top of the store/search/kernel metrics
+    /// the lower layers already record there, so one scrape sees the whole
+    /// pipeline.
+    registry: Arc<Registry>,
+    /// Seconds (as µs buckets) a tune job waited in the admission queue.
+    tune_queue_wait: Histogram,
+    /// Tuning execution time per job, µs.
+    tune_exec: Histogram,
+    /// Server-side SpMV latency: request receipt to response posted, µs.
+    spmv_latency: Histogram,
+    /// Event-loop work per tick (poll wait excluded), µs — the "never
+    /// blocks the loop" invariant, measured.
+    tick_hist: Histogram,
+    /// Decoded-but-undispatched requests across all connections.
+    deferred_depth: Gauge,
+    /// Scrapes answered on the HTTP metrics endpoint.
+    http_scrapes: Counter,
 }
 
 impl Shared {
@@ -383,6 +412,7 @@ impl Shared {
 /// clean exit.  Connect clients to [`NetServer::local_addr`].
 pub struct NetServer {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     loop_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
@@ -407,6 +437,19 @@ impl NetServer {
             .map_err(|e| NetError::Proto(e.into()))?;
         let reactor = Reactor::new().map_err(|e| NetError::Proto(e.into()))?;
         let waker = reactor.waker();
+        let metrics_listener = match config.metrics_addr {
+            Some(metrics_addr) => {
+                let metrics_listener =
+                    TcpListener::bind(metrics_addr).map_err(|e| NetError::Proto(e.into()))?;
+                metrics_listener
+                    .set_nonblocking(true)
+                    .map_err(|e| NetError::Proto(e.into()))?;
+                Some(metrics_listener)
+            }
+            None => None,
+        };
+        let metrics_local = metrics_listener.as_ref().and_then(|l| l.local_addr().ok());
+        let registry = service.registry().clone();
 
         let shards = if config.shards == 0 { 8 } else { config.shards };
         let worker_count = if config.workers == 0 {
@@ -432,6 +475,13 @@ impl NetServer {
             exec_pool: alpha_parallel::Pool::new(0),
             waker,
             config,
+            tune_queue_wait: registry.histogram("net_tune_queue_wait_us", &[]),
+            tune_exec: registry.histogram("net_tune_exec_us", &[]),
+            spmv_latency: registry.histogram("net_spmv_latency_us", &[]),
+            tick_hist: registry.histogram("net_loop_tick_us", &[]),
+            deferred_depth: registry.gauge("net_deferred_depth", &[]),
+            http_scrapes: registry.counter("net_http_scrapes_total", &[]),
+            registry,
         });
 
         let mut worker_handles = Vec::with_capacity(worker_count);
@@ -459,12 +509,13 @@ impl NetServer {
             let shared = shared.clone();
             std::thread::Builder::new()
                 .name("alpha-net-loop".to_string())
-                .spawn(move || EventLoop::new(reactor, listener, shared).run())
+                .spawn(move || EventLoop::new(reactor, listener, metrics_listener, shared).run())
                 .expect("event-loop thread spawns")
         };
 
         Ok(NetServer {
             addr: local,
+            metrics_addr: metrics_local,
             shared,
             loop_handle: Some(loop_handle),
             worker_handles,
@@ -475,6 +526,20 @@ impl NetServer {
     /// The address the daemon is listening on.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The address of the HTTP metrics endpoint, when
+    /// [`ServerConfig::metrics_addr`] configured one (resolved, so a port-0
+    /// request reports the real ephemeral port).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// The daemon's telemetry registry — shared with the underlying
+    /// [`TuningService`], so it carries the whole pipeline's metric
+    /// families, not just the wire-level ones.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.registry
     }
 
     /// Live daemon counters (the same snapshot a
@@ -558,6 +623,9 @@ fn worker_loop(shared: &Shared) {
                 t.queued = t.queued.saturating_sub(1);
             }
         }
+        shared
+            .tune_queue_wait
+            .observe_duration(Duration::from_secs_f64(queue_wait_secs));
         let started = Instant::now();
         // A hostile or degenerate matrix must cost its own job, never the
         // worker: a panicking search is caught and reported as a failed
@@ -572,6 +640,7 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let exec_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        shared.tune_exec.observe(exec_us);
         // EWMA (α = 1/4) of tuning time feeds the Busy retry-after hint;
         // racy read-modify-write is fine for an estimate.
         let prev = shared.tune_ewma_us.load(Ordering::Relaxed);
@@ -631,6 +700,9 @@ fn exec_loop(shared: &Shared) {
             },
         };
         shared
+            .spmv_latency
+            .observe_duration(task.received.elapsed());
+        shared
             .completions
             .lock()
             .expect("completions poisoned")
@@ -651,7 +723,18 @@ fn frame_bytes(response: &Response) -> Vec<u8> {
 /// Reactor token of the listening socket; connection tokens count up from
 /// [`FIRST_CONN_TOKEN`].
 const LISTENER_TOKEN: usize = 0;
-const FIRST_CONN_TOKEN: usize = 1;
+/// Reactor token of the optional metrics HTTP listener.
+const METRICS_LISTENER_TOKEN: usize = 1;
+const FIRST_CONN_TOKEN: usize = 2;
+
+/// Upper bound on one HTTP scrape request's head; a peer that sends more
+/// is answered 400 and closed.
+const MAX_HTTP_REQUEST: usize = 8 * 1024;
+
+/// Wall-clock bound on one scrape connection, open to flushed.  A scraper
+/// that dribbles its request or never drains the response is torn down —
+/// the HTTP lane's slow-loris sweep.
+const HTTP_DEADLINE: Duration = Duration::from_secs(10);
 
 /// Deferred-request bound per connection: while an SpMV is in flight (or
 /// the client pipelines faster than responses drain) at most this many
@@ -662,6 +745,45 @@ const MAX_DEFERRED: usize = 64;
 
 /// Grace period for flushing outboxes after a shutdown is requested.
 const SHUTDOWN_GRACE: Duration = Duration::from_secs(2);
+
+/// Per-tenant wire counters, cached per connection so the hot request path
+/// never formats a label or re-resolves a registry handle.
+struct ConnMetrics {
+    requests: Counter,
+    busy: Counter,
+    errors: Counter,
+}
+
+impl ConnMetrics {
+    fn for_tenant(registry: &Registry, tenant: u64) -> ConnMetrics {
+        let id = tenant.to_string();
+        ConnMetrics {
+            requests: registry.counter("net_requests_total", &[("tenant", &id)]),
+            busy: registry.counter("net_busy_total", &[("tenant", &id)]),
+            errors: registry.counter("net_errors_total", &[("tenant", &id)]),
+        }
+    }
+}
+
+/// One scrape connection on the metrics HTTP endpoint: a tiny request in,
+/// one response out, close.  Deliberately not a [`Conn`] — no deferral, no
+/// pipelining, no half-close support, so the frame protocol's state
+/// machine stays untouched by the HTTP lane.
+struct HttpConn {
+    stream: TcpStream,
+    /// Buffered request bytes, capped at [`MAX_HTTP_REQUEST`].
+    buf: Vec<u8>,
+    /// The encoded response, built once the request head completes.
+    out: Vec<u8>,
+    /// Bytes of `out` already written (partial-write cursor).
+    out_pos: usize,
+    /// The response is built; only flushing remains.
+    responded: bool,
+    /// The peer is gone or the response flushed; drop at reap.
+    dead: bool,
+    /// Accept time — start of the [`HTTP_DEADLINE`] window.
+    opened: Instant,
+}
 
 /// Per-connection state machine: reassembly in, ordered responses out.
 struct Conn {
@@ -688,6 +810,9 @@ struct Conn {
     dead: bool,
     /// Interest currently registered with the reactor.
     registered: Interest,
+    /// Cached per-tenant counters, re-resolved when `Hello` rebinds the
+    /// tenant.
+    metrics: ConnMetrics,
 }
 
 impl Conn {
@@ -713,19 +838,30 @@ impl Conn {
 struct EventLoop {
     reactor: Reactor,
     listener: TcpListener,
+    /// The optional `GET /metrics` HTTP listener, sharing this reactor.
+    metrics_listener: Option<TcpListener>,
     shared: Arc<Shared>,
     conns: HashMap<usize, Conn>,
+    /// Scrape connections, keyed in the same token space as `conns`.
+    http_conns: HashMap<usize, HttpConn>,
     next_token: usize,
     shutdown_at: Option<Instant>,
 }
 
 impl EventLoop {
-    fn new(reactor: Reactor, listener: TcpListener, shared: Arc<Shared>) -> EventLoop {
+    fn new(
+        reactor: Reactor,
+        listener: TcpListener,
+        metrics_listener: Option<TcpListener>,
+        shared: Arc<Shared>,
+    ) -> EventLoop {
         EventLoop {
             reactor,
             listener,
+            metrics_listener,
             shared,
             conns: HashMap::new(),
+            http_conns: HashMap::new(),
             next_token: FIRST_CONN_TOKEN,
             shutdown_at: None,
         }
@@ -743,6 +879,15 @@ impl EventLoop {
         {
             return; // No reactor, no daemon.
         }
+        if let Some(listener) = &self.metrics_listener {
+            // A metrics listener that fails to register only disables the
+            // endpoint; the daemon itself still runs.
+            let _ = self.reactor.register(
+                listener.as_raw_fd(),
+                METRICS_LISTENER_TOKEN,
+                Interest::READABLE,
+            );
+        }
         let mut events: Vec<Event> = Vec::new();
         loop {
             // The timeout doubles as the slow-loris sweep period and the
@@ -751,27 +896,45 @@ impl EventLoop {
             let _ = self
                 .reactor
                 .poll(&mut events, Some(Duration::from_millis(100)));
+            // The tick clock starts after poll returns: the histogram
+            // measures loop *work*, not idle waiting.
+            let tick_started = Instant::now();
             self.drain_completions();
             let batch: Vec<Event> = std::mem::take(&mut events);
             for event in batch {
                 if event.token == LISTENER_TOKEN {
                     self.accept_ready();
+                } else if event.token == METRICS_LISTENER_TOKEN {
+                    self.accept_metrics_ready();
+                } else if self.http_conns.contains_key(&event.token) {
+                    self.service_http(event);
                 } else {
                     self.service_conn(event);
                 }
             }
             self.sweep_deadlines();
             self.reap();
-            if self.shutdown_tick() {
+            let done = self.shutdown_tick();
+            self.shared
+                .tick_hist
+                .observe_duration(tick_started.elapsed());
+            if done {
                 break;
             }
         }
         // Exit: close every socket, stop the exec lane (workers drain any
         // leftover tasks and exit; their completions go nowhere).
         let _ = self.reactor.deregister(self.listener.as_raw_fd());
+        if let Some(listener) = &self.metrics_listener {
+            let _ = self.reactor.deregister(listener.as_raw_fd());
+        }
         for (_, conn) in self.conns.drain() {
             let _ = self.reactor.deregister(conn.stream.as_raw_fd());
             self.shared.open_connections.fetch_sub(1, Ordering::Relaxed);
+            self.shared.deferred_depth.sub(conn.deferred.len() as i64);
+        }
+        for (_, conn) in self.http_conns.drain() {
+            let _ = self.reactor.deregister(conn.stream.as_raw_fd());
         }
         self.shared.exec_queue.close();
     }
@@ -839,12 +1002,123 @@ impl EventLoop {
                             eof: false,
                             dead: false,
                             registered: Interest::READABLE,
+                            metrics: ConnMetrics::for_tenant(&self.shared.registry, 0),
                         },
                     );
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => break, // Transient accept failure; retry next tick.
+            }
+        }
+    }
+
+    /// Accepts every scrape connection the metrics listener has ready.
+    fn accept_metrics_ready(&mut self) {
+        let Some(listener) = &self.metrics_listener else {
+            return;
+        };
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .reactor
+                        .register(stream.as_raw_fd(), token, Interest::READABLE)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.http_conns.insert(
+                        token,
+                        HttpConn {
+                            stream,
+                            buf: Vec::new(),
+                            out: Vec::new(),
+                            out_pos: 0,
+                            responded: false,
+                            dead: false,
+                            opened: Instant::now(),
+                        },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Drives one scrape connection: buffer the request head, answer once
+    /// it completes, flush, close.  The exposition is rendered from a
+    /// registry snapshot — no lock is held across the socket write, and a
+    /// stalled scraper only stalls its own connection.
+    fn service_http(&mut self, event: Event) {
+        let Some(conn) = self.http_conns.get_mut(&event.token) else {
+            return;
+        };
+        if (event.readable || event.closed) && !conn.responded {
+            let mut chunk = [0u8; 4096];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        if !head_complete(&conn.buf) {
+                            conn.dead = true; // EOF before a full request.
+                        }
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.buf.extend_from_slice(&chunk[..n]);
+                        if conn.buf.len() > MAX_HTTP_REQUEST {
+                            break; // Judged below: oversized head is a 400.
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            if !conn.dead {
+                if conn.buf.len() > MAX_HTTP_REQUEST {
+                    conn.out = http_response("400 Bad Request", "request head too large\n");
+                    conn.responded = true;
+                } else if head_complete(&conn.buf) {
+                    conn.out = if is_get_metrics(&conn.buf) {
+                        self.shared.http_scrapes.inc();
+                        http_response("200 OK", &self.shared.registry.render_prometheus())
+                    } else {
+                        http_response("404 Not Found", "try GET /metrics\n")
+                    };
+                    conn.responded = true;
+                }
+            }
+        }
+        if conn.responded && !conn.dead {
+            while conn.out_pos < conn.out.len() {
+                match conn.stream.write(&conn.out[conn.out_pos..]) {
+                    Ok(n) => conn.out_pos += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            if conn.out_pos == conn.out.len() {
+                conn.dead = true; // Flushed: HTTP/1.0, connection closes.
+            } else if !conn.dead {
+                let _ =
+                    self.reactor
+                        .modify(conn.stream.as_raw_fd(), event.token, Interest::WRITABLE);
             }
         }
     }
@@ -901,6 +1175,7 @@ impl EventLoop {
                     }
                 }
             }
+            self.shared.deferred_depth.add(frames.len() as i64);
             for frame in frames {
                 conn.deferred.push_back(frame);
             }
@@ -925,12 +1200,18 @@ impl EventLoop {
                     None => return,
                 }
             };
+            self.shared.deferred_depth.sub(1);
             self.handle_payload(token, &payload);
         }
     }
 
     /// Decodes and dispatches one request payload for `token`.
     fn handle_payload(&mut self, token: usize, payload: &[u8]) {
+        if let Some(conn) = self.conns.get(&token) {
+            // Every arriving frame counts against its tenant, decodable or
+            // not — the scrape-side view of per-tenant demand.
+            conn.metrics.requests.inc();
+        }
         let request = match decode_request(payload) {
             Ok(request) => request,
             Err(e) => {
@@ -964,6 +1245,7 @@ impl EventLoop {
                     });
                 if let Some(conn) = self.conns.get_mut(&token) {
                     conn.tenant = client_id;
+                    conn.metrics = ConnMetrics::for_tenant(&shared.registry, client_id);
                 }
                 self.push_response(token, &Response::Welcome { client_id, weight });
             }
@@ -1017,7 +1299,12 @@ impl EventLoop {
                         // connection defers its later requests until the
                         // response frame comes back through `completions`.
                         shared.exec_inflight.fetch_add(1, Ordering::Relaxed);
-                        match shared.exec_queue.try_push(ExecTask { token, tuned, x }) {
+                        match shared.exec_queue.try_push(ExecTask {
+                            token,
+                            tuned,
+                            x,
+                            received: Instant::now(),
+                        }) {
                             Ok(()) => {
                                 if let Some(conn) = self.conns.get_mut(&token) {
                                     conn.pending_exec = true;
@@ -1040,6 +1327,16 @@ impl EventLoop {
             Request::StoreStats => {
                 self.push_response(token, &Response::Stats(shared.stats()));
             }
+            Request::Metrics => {
+                // Rendering walks a snapshot of the registry — bounded,
+                // allocation-only work; nothing here can block the loop.
+                self.push_response(
+                    token,
+                    &Response::MetricsText {
+                        text: shared.registry.render_prometheus(),
+                    },
+                );
+            }
             Request::Shutdown => {
                 shared.initiate_shutdown();
                 self.push_response(token, &Response::ShuttingDown);
@@ -1053,6 +1350,13 @@ impl EventLoop {
     /// Queues a response frame on a connection and re-arms its interest.
     fn push_response(&mut self, token: usize, response: &Response) {
         if let Some(conn) = self.conns.get_mut(&token) {
+            // Shed and failed requests are tallied here, at the single
+            // choke point every response passes through.
+            match response {
+                Response::Busy { .. } => conn.metrics.busy.inc(),
+                Response::Error { .. } => conn.metrics.errors.inc(),
+                _ => {}
+            }
             conn.outbox.push_back(frame_bytes(response));
         }
     }
@@ -1118,6 +1422,14 @@ impl EventLoop {
             }
             self.pump(token);
         }
+        // The HTTP lane gets the same treatment: a scrape that has not
+        // finished within its deadline — request dribbled or response
+        // undrained — is torn down.
+        for conn in self.http_conns.values_mut() {
+            if conn.opened.elapsed() > HTTP_DEADLINE {
+                conn.dead = true;
+            }
+        }
     }
 
     /// Drops dead connections and releases their reactor registrations.
@@ -1132,6 +1444,18 @@ impl EventLoop {
             if let Some(conn) = self.conns.remove(&token) {
                 let _ = self.reactor.deregister(conn.stream.as_raw_fd());
                 self.shared.open_connections.fetch_sub(1, Ordering::Relaxed);
+                self.shared.deferred_depth.sub(conn.deferred.len() as i64);
+            }
+        }
+        let dead_http: Vec<usize> = self
+            .http_conns
+            .iter()
+            .filter(|(_, conn)| conn.dead)
+            .map(|(token, _)| *token)
+            .collect();
+        for token in dead_http {
+            if let Some(conn) = self.http_conns.remove(&token) {
+                let _ = self.reactor.deregister(conn.stream.as_raw_fd());
             }
         }
     }
@@ -1147,6 +1471,37 @@ impl EventLoop {
             && self.shared.exec_inflight.load(Ordering::Relaxed) == 0;
         drained || at.elapsed() > SHUTDOWN_GRACE
     }
+}
+
+/// True once the buffered bytes contain a complete HTTP request head
+/// (blank line), in either CRLF or bare-LF framing.
+fn head_complete(buf: &[u8]) -> bool {
+    buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+}
+
+/// True when the request line asks for `GET /metrics` (query strings
+/// tolerated — Prometheus sends none, humans with curl sometimes do).
+fn is_get_metrics(buf: &[u8]) -> bool {
+    let line = buf.split(|&b| b == b'\n').next().unwrap_or(&[]);
+    let line = std::str::from_utf8(line)
+        .unwrap_or("")
+        .trim_end_matches('\r');
+    let mut parts = line.split_whitespace();
+    parts.next() == Some("GET")
+        && matches!(
+            parts.next(),
+            Some(path) if path == "/metrics" || path.starts_with("/metrics?")
+        )
+}
+
+/// Builds a minimal `HTTP/1.0` response with the headers a scraper needs.
+/// `version=0.0.4` is the Prometheus text exposition format version.
+fn http_response(status: &str, body: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
 }
 
 /// Admission + job-table insert for one tune submission, shared by the
@@ -1239,5 +1594,31 @@ mod tests {
         assert!(config.max_terminal_jobs > 0);
         assert!(config.frame_deadline >= Duration::from_secs(1));
         assert!(config.tenant_weights.is_empty());
+        assert!(config.metrics_addr.is_none());
+    }
+
+    #[test]
+    fn http_request_lines_are_routed_strictly() {
+        assert!(is_get_metrics(b"GET /metrics HTTP/1.0\r\n\r\n"));
+        assert!(is_get_metrics(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"));
+        assert!(is_get_metrics(b"GET /metrics?debug=1 HTTP/1.0\r\n\r\n"));
+        assert!(!is_get_metrics(b"GET /metricsx HTTP/1.0\r\n\r\n"));
+        assert!(!is_get_metrics(b"GET / HTTP/1.0\r\n\r\n"));
+        assert!(!is_get_metrics(b"POST /metrics HTTP/1.0\r\n\r\n"));
+        assert!(!is_get_metrics(b"\xff\xfe not utf8\r\n\r\n"));
+
+        assert!(head_complete(b"GET /metrics HTTP/1.0\r\n\r\n"));
+        assert!(head_complete(b"GET /metrics\n\n"));
+        assert!(!head_complete(b"GET /metrics HTTP/1.0\r\n"));
+    }
+
+    #[test]
+    fn http_responses_carry_exact_content_length() {
+        let bytes = http_response("200 OK", "abc");
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.0 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nabc"));
     }
 }

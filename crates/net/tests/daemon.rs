@@ -450,3 +450,64 @@ fn raw_disconnect_mid_submission_does_not_leak_jobs() {
     assert_eq!(stats.queue_depth, 0);
     stop(server, &dir);
 }
+
+#[test]
+fn metrics_surface_covers_the_whole_pipeline() {
+    let dir = temp_dir("metrics");
+    let server = quick_daemon(
+        &dir,
+        ServerConfig {
+            metrics_addr: Some("127.0.0.1:0".parse().unwrap()),
+            ..ServerConfig::default()
+        },
+    );
+    let metrics_addr = server.metrics_addr().expect("metrics endpoint bound");
+    let (mut client, _) = Client::connect_as(server.local_addr(), 7).unwrap();
+
+    let matrix = gen::powerlaw(128, 128, 4, 2.0, 21);
+    let job = client.submit_tune(&matrix, "A100").expect("admitted");
+    client.wait_job(job, POLL, DEADLINE).expect("tunes");
+    let x = vec![1.0f32; 128];
+    client.spmv(job, &x).expect("remote SpMV runs");
+
+    // The wire request returns the full registry: daemon-level families,
+    // tenant labels, and the serving/search/kernel layers underneath.
+    let text = client.metrics().expect("metrics frame");
+    for family in [
+        "net_requests_total{tenant=\"7\"}",
+        "net_tune_exec_us_count",
+        "net_tune_queue_wait_us_count",
+        "net_spmv_latency_us_count",
+        "net_loop_tick_us_count",
+        "net_deferred_depth",
+        "serve_tune_latency_us_count",
+        "serve_store_cold_starts_total",
+    ] {
+        assert!(text.contains(family), "missing {family:?} in:\n{text}");
+    }
+
+    // The HTTP endpoint serves the same exposition to a plain scraper.
+    let scrape = |path: &str| -> String {
+        let mut stream = TcpStream::connect(metrics_addr).expect("scraper connects");
+        stream
+            .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+            .expect("request writes");
+        let mut body = String::new();
+        use std::io::Read;
+        stream.read_to_string(&mut body).expect("response reads");
+        body
+    };
+    let response = scrape("/metrics");
+    assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+    assert!(response.contains("net_requests_total{tenant=\"7\"}"));
+    assert!(response.contains("net_http_scrapes_total 1"));
+
+    // Counters are monotone across scrapes, and wrong paths 404 without
+    // disturbing the daemon.
+    assert!(scrape("/nope").starts_with("HTTP/1.0 404 Not Found\r\n"));
+    let again = scrape("/metrics");
+    assert!(again.contains("net_http_scrapes_total 2"), "{again}");
+
+    client.store_stats().expect("frame protocol still serves");
+    stop(server, &dir);
+}

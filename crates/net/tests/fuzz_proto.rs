@@ -145,6 +145,7 @@ fn mutated_frames_yield_typed_errors_or_clean_closes_and_leak_nothing() {
                 | Response::Welcome { .. }
                 | Response::Tenants(_)
                 | Response::Busy { .. }
+                | Response::MetricsText { .. }
                 | Response::SpmvResult { .. } => {}
                 Response::Submitted { .. } => observed_submissions += 1,
                 Response::ShuttingDown => panic!("no mutant may shut the daemon down"),

@@ -35,6 +35,9 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use alpha_telemetry::{Counter, Gauge, Histogram};
 
 /// Number of worker threads to use when the caller passes `0`: one per
 /// available CPU core.
@@ -59,14 +62,32 @@ fn resolve_threads(threads: usize) -> usize {
 /// tests rely on: snapshot the counter, run the hot path N times, and assert
 /// it did not move.  (The counter is global, so such assertions belong in
 /// single-test binaries where no unrelated test spawns concurrently.)
+#[deprecated(
+    since = "0.1.0",
+    note = "read the `parallel_thread_spawns_total` counter from \
+            `alpha_telemetry::global()` instead"
+)]
 pub fn thread_spawns() -> usize {
-    THREAD_SPAWNS.load(Ordering::SeqCst)
+    spawn_counter().get() as usize
 }
 
-static THREAD_SPAWNS: AtomicUsize = AtomicUsize::new(0);
+/// Cached handle on the process-wide `parallel_thread_spawns_total` counter.
+fn spawn_counter() -> &'static Counter {
+    static COUNTER: OnceLock<Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| alpha_telemetry::global().counter("parallel_thread_spawns_total", &[]))
+}
+
+/// Cached handle on the process-wide `parallel_queue_depth` gauge — additive
+/// across every live [`TaskQueue`] / [`ShardedTaskQueue`].
+fn queue_depth_gauge() -> Gauge {
+    static GAUGE: OnceLock<Gauge> = OnceLock::new();
+    GAUGE
+        .get_or_init(|| alpha_telemetry::global().gauge("parallel_queue_depth", &[]))
+        .clone()
+}
 
 fn count_spawn() {
-    THREAD_SPAWNS.fetch_add(1, Ordering::SeqCst);
+    spawn_counter().inc();
 }
 
 // ---------------------------------------------------------------------------
@@ -343,6 +364,9 @@ struct PoolState {
     panic: Option<Box<dyn Any + Send>>,
     /// Set by `Drop`; workers exit when they observe it.
     shutdown: bool,
+    /// When the current job was published; taken by the first worker to
+    /// claim it, which observes the elapsed time as dispatch latency.
+    published: Option<Instant>,
 }
 
 struct PoolShared {
@@ -354,6 +378,9 @@ struct PoolShared {
     /// Serialises submissions: one job runs at a time, concurrent submitters
     /// queue here (the admission order is the OS's lock wake order).
     submit: Mutex<()>,
+    /// `parallel_dispatch_latency_us`: publish-to-first-worker-pickup, the
+    /// condvar round-trip cost the pool exists to keep small.
+    dispatch: Histogram,
 }
 
 static NEXT_POOL_ID: AtomicUsize = AtomicUsize::new(1);
@@ -405,10 +432,12 @@ impl Pool {
                 remaining: 0,
                 panic: None,
                 shutdown: false,
+                published: None,
             }),
             work_ready: Condvar::new(),
             work_done: Condvar::new(),
             submit: Mutex::new(()),
+            dispatch: alpha_telemetry::global().histogram("parallel_dispatch_latency_us", &[]),
         });
         let handles = (0..threads - 1)
             .map(|worker| {
@@ -476,6 +505,11 @@ impl Pool {
             state.claimed = 0;
             state.remaining = target;
             state.panic = None;
+            state.published = if target > 0 {
+                Some(Instant::now())
+            } else {
+                None
+            };
         }
         // Waking is lost-wakeup-safe without notify_all: a worker that is
         // between jobs (not yet waiting) re-checks the claim predicate under
@@ -658,6 +692,9 @@ fn worker_loop(shared: &PoolShared, pool_id: usize) {
                     if let Some(job) = state.job {
                         seen_epoch = state.epoch;
                         state.claimed += 1;
+                        if let Some(published) = state.published.take() {
+                            shared.dispatch.observe_duration(published.elapsed());
+                        }
                         break job;
                     }
                 }
@@ -764,6 +801,8 @@ pub struct TaskQueue<T> {
     state: Mutex<QueueState<T>>,
     capacity: usize,
     not_empty: Condvar,
+    /// Shared `parallel_queue_depth` gauge (additive across queues).
+    depth: Gauge,
 }
 
 impl<T> TaskQueue<T> {
@@ -776,6 +815,7 @@ impl<T> TaskQueue<T> {
             }),
             capacity: capacity.max(1),
             not_empty: Condvar::new(),
+            depth: queue_depth_gauge(),
         }
     }
 
@@ -790,6 +830,7 @@ impl<T> TaskQueue<T> {
         }
         state.items.push_back(item);
         drop(state);
+        self.depth.add(1);
         self.not_empty.notify_one();
         Ok(())
     }
@@ -801,6 +842,8 @@ impl<T> TaskQueue<T> {
         let mut state = self.state.lock().expect("task queue poisoned");
         loop {
             if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.depth.sub(1);
                 return Some(item);
             }
             if state.closed {
@@ -836,6 +879,16 @@ impl<T> TaskQueue<T> {
     }
 }
 
+impl<T> Drop for TaskQueue<T> {
+    fn drop(&mut self) {
+        // Undrained items leave with the queue; keep the shared gauge honest.
+        let remaining = self.state.lock().expect("task queue poisoned").items.len();
+        if remaining > 0 {
+            self.depth.sub(remaining as i64);
+        }
+    }
+}
+
 /// A [`TaskQueue`] split into N shards with per-shard locks, behind one
 /// global admission bound — the event-loop daemon's job queue.
 ///
@@ -864,6 +917,8 @@ pub struct ShardedTaskQueue<T> {
     /// Rotating start shard for consumers — spreads drain order so shard 0
     /// is not structurally favoured.
     next_scan: AtomicUsize,
+    /// Shared `parallel_queue_depth` gauge (additive across queues).
+    depth: Gauge,
 }
 
 struct SharedQueueSync {
@@ -886,6 +941,7 @@ impl<T> ShardedTaskQueue<T> {
             not_empty: Condvar::new(),
             capacity: capacity.max(1),
             next_scan: AtomicUsize::new(0),
+            depth: queue_depth_gauge(),
         }
     }
 
@@ -922,6 +978,7 @@ impl<T> ShardedTaskQueue<T> {
             let mut sync = sync;
             sync.len += 1;
         }
+        self.depth.add(1);
         self.not_empty.notify_one();
         Ok(())
     }
@@ -936,6 +993,7 @@ impl<T> ShardedTaskQueue<T> {
             loop {
                 if sync.len > 0 {
                     sync.len -= 1;
+                    self.depth.sub(1);
                     break;
                 }
                 if sync.closed {
@@ -984,6 +1042,16 @@ impl<T> ShardedTaskQueue<T> {
     /// The global admission bound this queue was built with.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+}
+
+impl<T> Drop for ShardedTaskQueue<T> {
+    fn drop(&mut self) {
+        // Undrained items leave with the queue; keep the shared gauge honest.
+        let remaining = self.sync.lock().expect("sharded queue poisoned").len;
+        if remaining > 0 {
+            self.depth.sub(remaining as i64);
+        }
     }
 }
 

@@ -3,10 +3,18 @@
 //! out of the hot path.
 //!
 //! This lives in its own integration binary with a single `#[test]` because
-//! `alpha_parallel::thread_spawns()` is a process-global counter: any
+//! `parallel_thread_spawns_total` is a process-global counter: any
 //! concurrently running test that spawns would make the assertion racy.
 
-use alpha_parallel::{split_mut, thread_spawns, Pool};
+use alpha_parallel::{split_mut, Pool};
+
+/// The spawn counter now lives in the process-wide telemetry registry
+/// (`thread_spawns()` survives only as a deprecated shim over it).
+fn thread_spawns() -> u64 {
+    alpha_telemetry::global()
+        .counter("parallel_thread_spawns_total", &[])
+        .get()
+}
 
 #[test]
 fn pool_spawns_exactly_once_then_reuses_workers_forever() {

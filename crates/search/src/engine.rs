@@ -191,7 +191,12 @@ pub fn search_with_cache(
     );
     let batch_size = config.batch_size.max(1);
 
+    // Matrix fingerprint tags every per-level span so traces of a fleet run
+    // can be grouped by matrix in chrome://tracing.
+    let matrix_fp = matrix.fingerprint();
+
     // ---- Level 1: structure enumeration ------------------------------------
+    let l1_span = alpha_telemetry::span!("search.l1", matrix = matrix_fp);
     // SIMD twins enter the seed pool only when the evaluator measures real
     // time: the simulated cost model scores a vectorized twin identically to
     // its scalar base, so under it twins are dead weight in the schedule.
@@ -245,7 +250,10 @@ pub fn search_with_cache(
         }
     }
 
+    drop(l1_span);
+
     // ---- Level 2: coarse parameter search with real evaluations ------------
+    let l2_span = alpha_telemetry::span!("search.l2", matrix = matrix_fp);
     let mut stats = SearchStats {
         structures_enumerated: structures.len(),
         structures_pruned: pruned,
@@ -303,7 +311,10 @@ pub fn search_with_cache(
         next += batch.len();
     }
 
+    drop(l2_span);
+
     // ---- Level 3: ML interpolation onto the fine grid ----------------------
+    let l3_span = alpha_telemetry::span!("search.l3", matrix = matrix_fp);
     if config.enable_ml_refinement && samples.len() >= 8 {
         let model = GradientBoostedTrees::fit(&samples, GbtConfig::default());
         let mut predictions: Vec<(f64, OperatorGraph)> = Vec::new();
@@ -344,6 +355,8 @@ pub fn search_with_cache(
         }
     }
 
+    drop(l3_span);
+
     stats.search_hours =
         ((stats.iterations + stats.ml_evaluations) as f64 * SECONDS_PER_REAL_ITERATION / 3600.0)
             .min(config.max_hours);
@@ -352,6 +365,22 @@ pub fn search_with_cache(
     let cache_stats = evaluator.inner().stats();
     stats.cache_hits = cache_stats.hits;
     stats.cache_misses = cache_stats.misses;
+
+    // Publish this search's totals on the process-wide registry: scrapes of
+    // a serving daemon see search activity without touching the outcome.
+    let registry = alpha_telemetry::global();
+    registry
+        .counter("search_evaluations_total", &[])
+        .add((stats.iterations + stats.ml_evaluations) as u64);
+    registry
+        .counter("search_cache_hits_total", &[])
+        .add(stats.cache_hits as u64);
+    registry
+        .counter("search_cache_misses_total", &[])
+        .add(stats.cache_misses as u64);
+    registry
+        .counter("search_structures_pruned_total", &[])
+        .add(stats.structures_pruned as u64);
 
     let (best_graph, best_report, best_source) =
         best.ok_or_else(|| "no valid candidate could be evaluated".to_string())?;

@@ -70,6 +70,10 @@ pub struct TuningService {
     /// daemon holding the service behind an `Arc`, so request fan-out never
     /// spawns threads.
     pool: std::sync::OnceLock<alpha_parallel::Pool>,
+    /// `serve_tune_latency_us` on the store's registry — wall-clock of each
+    /// served request (cache-replay and fresh searches alike), resolved once
+    /// here so `tune_one` only touches atomics.
+    tune_latency: alpha_telemetry::Histogram,
 }
 
 impl TuningService {
@@ -86,13 +90,20 @@ impl TuningService {
     /// `config.threads` is excluded: by the engine's determinism guarantee
     /// it cannot change any outcome.
     pub fn new(store: DesignStore, config: SearchConfig) -> Self {
+        let tune_latency = store.registry().histogram("serve_tune_latency_us", &[]);
         TuningService {
             store,
             config,
             warm_start_seeds: 3,
             batch_threads: 0,
             pool: std::sync::OnceLock::new(),
+            tune_latency,
         }
+    }
+
+    /// The metrics registry this service (via its store) publishes on.
+    pub fn registry(&self) -> &std::sync::Arc<alpha_telemetry::Registry> {
+        self.store.registry()
     }
 
     /// The store-level identity of one request: the evaluation context key
@@ -338,6 +349,7 @@ impl TuningService {
             .persist_cache(store_key, &cache)
             .map_err(String::from)?;
 
+        self.tune_latency.observe_duration(start.elapsed());
         Ok(ServedTune {
             fingerprint: request.matrix.fingerprint(),
             context_key: store_key,

@@ -4,6 +4,7 @@
 use crate::lock::StoreLock;
 use alpha_search::persist::PersistError;
 use alpha_search::{DesignCache, StoredDesign};
+use alpha_telemetry::{Counter, Registry};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
@@ -183,6 +184,32 @@ pub struct DesignStore {
     /// exactly one shard, so per-key behaviour (LRU order, eviction,
     /// persistence) is unchanged by the split.
     shards: Vec<StoreShard>,
+    /// The metrics registry this store publishes on, plus cached handles on
+    /// its four counters.  The counters mirror [`StoreStats`] exactly — same
+    /// increments at the same sites — so a `/metrics` scrape and a
+    /// `store_stats` wire reply never disagree.
+    metrics: StoreMetrics,
+}
+
+/// Cached registry handles for the store-tier counters.
+struct StoreMetrics {
+    registry: Arc<Registry>,
+    memory_hits: Counter,
+    disk_loads: Counter,
+    cold_starts: Counter,
+    evictions: Counter,
+}
+
+impl StoreMetrics {
+    fn new(registry: Arc<Registry>) -> Self {
+        StoreMetrics {
+            memory_hits: registry.counter("serve_store_memory_hits_total", &[]),
+            disk_loads: registry.counter("serve_store_disk_loads_total", &[]),
+            cold_starts: registry.counter("serve_store_cold_starts_total", &[]),
+            evictions: registry.counter("serve_store_evictions_total", &[]),
+            registry,
+        }
+    }
 }
 
 impl DesignStore {
@@ -201,6 +228,17 @@ impl DesignStore {
     /// always allowed — the store is internally synchronised — and
     /// reference-counted over one shared lock handle.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, StoreError> {
+        Self::open_with_registry(path, alpha_telemetry::global().clone())
+    }
+
+    /// [`DesignStore::open`] publishing its counters on an explicit
+    /// [`Registry`] instead of the process-wide one — benches and tests use
+    /// a private registry per store so concurrent stores in one process do
+    /// not mix their counters.
+    pub fn open_with_registry<P: AsRef<Path>>(
+        path: P,
+        registry: Arc<Registry>,
+    ) -> Result<Self, StoreError> {
         let root = path.as_ref().to_path_buf();
         std::fs::create_dir_all(root.join("designs"))?;
         let lock = StoreLock::acquire(&root).map_err(|e| match StoreLock::foreign_holder(&e) {
@@ -230,7 +268,13 @@ impl DesignStore {
             root,
             _lock: lock,
             shards: vec![StoreShard::new(DEFAULT_CAPACITY)],
+            metrics: StoreMetrics::new(registry),
         })
+    }
+
+    /// The metrics registry this store publishes its counters on.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.metrics.registry
     }
 
     /// Sets how many per-context caches stay resident in memory across the
@@ -366,6 +410,7 @@ impl DesignStore {
             let entry = resident.caches.remove(pos);
             resident.caches.push(entry);
             resident.stats.memory_hits += 1;
+            self.metrics.memory_hits.inc();
             return Ok(resident.caches.last().expect("just pushed").1.clone());
         }
 
@@ -373,10 +418,12 @@ impl DesignStore {
         let (cache, loaded_from_disk) = match DesignCache::load_from_file(&path) {
             Ok(cache) => {
                 resident.stats.disk_loads += 1;
+                self.metrics.disk_loads.inc();
                 (cache, true)
             }
             Err(PersistError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
                 resident.stats.cold_starts += 1;
+                self.metrics.cold_starts.inc();
                 (DesignCache::new(), false)
             }
             Err(e) => return Err(e.into()),
@@ -387,6 +434,7 @@ impl DesignStore {
         while resident.caches.len() > resident.capacity {
             let (evicted_key, evicted) = resident.caches.remove(0);
             resident.stats.evictions += 1;
+            self.metrics.evictions.inc();
             // Unchanged caches (loaded but never searched) are just dropped;
             // their file — if any — is already current.
             if evicted.is_dirty() {
@@ -748,6 +796,56 @@ mod tests {
         assert_eq!(winners.len(), 2);
         assert_eq!(winners[0].0, 7);
         assert_eq!(winners[1].0, 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn registry_counters_mirror_store_stats_exactly() {
+        // The StoreStats wire path and the /metrics exposition must never
+        // disagree: after a fixed workload touching every counter, the
+        // registry and the stats snapshot hold identical values.
+        let dir = temp_store_dir("registry_parity");
+        let registry = alpha_telemetry::Registry::new();
+        let store = DesignStore::open_with_registry(&dir, registry.clone())
+            .unwrap()
+            .with_memory_capacity(2);
+        for key in [1u64, 2, 3] {
+            store
+                .cache_for(key)
+                .unwrap()
+                .record_winner(key, design(key as f64));
+        } // 3 cold starts, 1 eviction (key 1, dirty → persisted)
+        store.cache_for(3).unwrap(); // memory hit
+        store.cache_for(1).unwrap(); // disk load (evicts 2)
+
+        let stats = store.stats();
+        assert_eq!(stats.memory_hits, 1);
+        assert_eq!(stats.disk_loads, 1);
+        assert_eq!(stats.cold_starts, 3);
+        assert_eq!(stats.evictions, 2);
+
+        let snapshot = registry.snapshot();
+        let counter = |name: &str| snapshot.counter(name, &[]).expect(name);
+        assert_eq!(
+            counter("serve_store_memory_hits_total") as usize,
+            stats.memory_hits
+        );
+        assert_eq!(
+            counter("serve_store_disk_loads_total") as usize,
+            stats.disk_loads
+        );
+        assert_eq!(
+            counter("serve_store_cold_starts_total") as usize,
+            stats.cold_starts
+        );
+        assert_eq!(
+            counter("serve_store_evictions_total") as usize,
+            stats.evictions
+        );
+        // And the exposition carries the same numbers verbatim.
+        let text = registry.render_prometheus();
+        assert!(text.contains("serve_store_cold_starts_total 3"));
+        assert!(text.contains("serve_store_evictions_total 2"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -9,7 +9,13 @@
 //!
 //! ```text
 //! cargo run --release --example netd
+//! cargo run --release --example netd -- --metrics-addr 127.0.0.1:9184 --fleet 4
 //! ```
+//!
+//! With `--metrics-addr` the daemon also serves `GET /metrics` (Prometheus
+//! text exposition) over plain HTTP on the same event loop, and the run
+//! ends with a self-scrape of the endpoint.  `--fleet N` sizes the matrix
+//! fleet (default 20; CI smoke runs use a small N).
 
 use alpha_suite::matrix::gen::PatternFamily;
 use alpha_suite::matrix::CsrMatrix;
@@ -21,8 +27,8 @@ use std::time::{Duration, Instant};
 const POLL: Duration = Duration::from_millis(5);
 const DEADLINE: Duration = Duration::from_secs(600);
 
-fn fleet() -> Vec<CsrMatrix> {
-    (0..20)
+fn fleet(size: usize) -> Vec<CsrMatrix> {
+    (0..size)
         .map(|i| {
             let family = PatternFamily::ALL[i % PatternFamily::ALL.len()];
             let rows = if i % 2 == 0 { 1_024 } else { 4_096 };
@@ -58,7 +64,52 @@ fn drive_client(addr: std::net::SocketAddr, matrices: &[CsrMatrix]) -> (usize, u
     (jobs.len(), fresh, warm)
 }
 
+/// `--metrics-addr ADDR` and `--fleet N` from the command line; anything
+/// else aborts with usage.
+fn parse_args() -> (Option<std::net::SocketAddr>, usize) {
+    let mut metrics_addr = None;
+    let mut fleet_size = 20usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--metrics-addr" => {
+                let value = args.next().expect("--metrics-addr needs an ADDR value");
+                metrics_addr = Some(value.parse().expect("--metrics-addr must be host:port"));
+            }
+            "--fleet" => {
+                let value = args.next().expect("--fleet needs a count");
+                fleet_size = value.parse().expect("--fleet must be a positive integer");
+                assert!(fleet_size >= 2, "--fleet needs at least 2 matrices");
+            }
+            other => panic!("unknown argument {other:?} (try --metrics-addr ADDR, --fleet N)"),
+        }
+    }
+    (metrics_addr, fleet_size)
+}
+
+/// One blocking HTTP/1.0 scrape of the daemon's metrics endpoint.
+fn scrape_metrics(addr: std::net::SocketAddr) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("scraper connects");
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .expect("scrape request writes");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("scrape response reads");
+    assert!(
+        response.starts_with("HTTP/1.0 200 OK\r\n"),
+        "scrape failed: {response}"
+    );
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or_default()
+}
+
 fn main() {
+    let (metrics_addr, fleet_size) = parse_args();
     let store_dir = std::env::temp_dir().join(format!("alpha_netd_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&store_dir);
 
@@ -70,12 +121,18 @@ fn main() {
             ..SearchConfig::default()
         },
     );
-    let server =
-        NetServer::spawn("127.0.0.1:0", service, ServerConfig::default()).expect("daemon binds");
+    let config = ServerConfig {
+        metrics_addr,
+        ..ServerConfig::default()
+    };
+    let server = NetServer::spawn("127.0.0.1:0", service, config).expect("daemon binds");
     let addr = server.local_addr();
     println!("daemon listening on {addr}");
+    if let Some(metrics) = server.metrics_addr() {
+        println!("metrics endpoint on http://{metrics}/metrics");
+    }
 
-    let matrices = fleet();
+    let matrices = fleet(fleet_size);
     let (left, right) = matrices.split_at(matrices.len() / 2);
     println!(
         "fleet: {} matrices ({} pattern families), two concurrent clients\n",
@@ -119,6 +176,25 @@ fn main() {
         "store tier: {} memory hits, {} disk loads, {} cold starts",
         stats.store_memory_hits, stats.store_disk_loads, stats.store_cold_starts
     );
+
+    if let Some(metrics) = server.metrics_addr() {
+        let body = scrape_metrics(metrics);
+        let lines = body.lines().count();
+        println!("\nself-scrape of http://{metrics}/metrics: {lines} samples, e.g.");
+        for prefix in [
+            "net_requests_total",
+            "net_tune_exec_us_count",
+            "serve_store_",
+        ] {
+            if let Some(line) = body.lines().find(|l| l.starts_with(prefix)) {
+                println!("  {line}");
+            }
+        }
+        assert!(
+            body.lines().any(|l| l.starts_with("net_requests_total")),
+            "scrape must carry the wire-level families"
+        );
+    }
 
     client.shutdown().expect("daemon acknowledges shutdown");
     server.join();

@@ -19,6 +19,7 @@ pub use alpha_ml as ml;
 pub use alpha_net as net;
 pub use alpha_search as search;
 pub use alpha_serve as serve;
+pub use alpha_telemetry as telemetry;
 
 #[cfg(test)]
 mod tests {
@@ -35,6 +36,7 @@ mod tests {
         let _ = crate::baselines::Baseline::figure9_set();
         let _ = crate::net::PROTOCOL_VERSION;
         let _ = crate::serve::STORE_LAYOUT_VERSION;
+        let _ = crate::telemetry::BUCKET_BOUNDS;
         let _ = crate::alphasparse::AlphaSparse::new(crate::gpu::DeviceProfile::a100());
     }
 }
