@@ -383,7 +383,50 @@ fn main() {
     // warm store is shared across the sweep, so only the first point pays
     // for tuning and the later points measure the event loop itself.
     // Busy sheds are retried and reported, never a run failure.
-    if want("serve") {
+    if want("serve") && cli.trace {
+        // `--trace` swaps the sweep for one traced request batch: every
+        // request carries a trace id across the wire, the daemon's spans
+        // come back over `Request::Trace`, and the stitched Chrome trace
+        // plus the flight recorder's attribution of the slowest request
+        // are the artifacts (fast enough for a CI smoke step).
+        println!("== Serve: traced request batch against the alpha-net daemon (loopback) ==");
+        match traced_serve_run(cli.threads) {
+            Ok(report) => {
+                println!(
+                    "  stitched Chrome trace: {} ({} client spans, {} server spans)",
+                    report.trace_path.display(),
+                    report.client_spans,
+                    report.server_spans
+                );
+                println!(
+                    "  {} distinct trace ids, {} tune request(s) traced end-to-end \
+                     (client.submit -> net.admission -> net.queue_wait -> net.tune_exec -> net.reply)",
+                    report.trace_ids, report.complete_tune_traces
+                );
+                println!(
+                    "  client/server clock offset estimate: {} us",
+                    report.clock_offset_us
+                );
+                match &report.slowest {
+                    Some(slow) => {
+                        println!(
+                            "  slowest request (trace id {:#018x}): total {} us = queue wait {} us + exec {} us + unattributed {} us\n",
+                            slow.trace_id,
+                            slow.total_us,
+                            slow.queue_wait_us,
+                            slow.exec_us,
+                            slow.unattributed_us()
+                        );
+                    }
+                    None => println!("  flight recorder had no completed request to attribute\n"),
+                }
+            }
+            Err(e) => {
+                eprintln!("  traced serve run FAILED: {e}\n");
+                failed = true;
+            }
+        }
+    } else if want("serve") {
         println!("== Serve: closed-loop load sweep against the alpha-net daemon (loopback) ==");
         let config = ServeLoadConfig {
             threads: cli.threads,

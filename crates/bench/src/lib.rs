@@ -10,7 +10,10 @@
 
 mod serve_load;
 
-pub use serve_load::{serve_load, serve_sweep, ServeLoadConfig, ServeLoadReport};
+pub use serve_load::{
+    serve_load, serve_sweep, traced_serve_run, ServeLoadConfig, ServeLoadReport, TracedServeReport,
+    TUNE_TRACE_STAGES,
+};
 
 use alpha_baselines::{run_pfs, Baseline, PfsOutcome, TacoKernel};
 use alpha_gpu::{DeviceProfile, GpuSim};
@@ -1229,13 +1232,19 @@ pub struct BenchCli {
     /// Flows into `SearchConfig::threads` for every mode and is recorded in
     /// every `BenchRecord`.
     pub threads: usize,
+    /// `--trace`: the `serve` mode additionally runs one traced request
+    /// batch against the daemon, stitches client- and server-side spans
+    /// into a Chrome trace artifact, and prints per-stage attribution for
+    /// the slowest request from the daemon's flight recorder.
+    pub trace: bool,
 }
 
 /// Parses the full `reproduce` command line: `--threads N` / `--threads=N`
-/// flags anywhere, every other argument a mode.
+/// and `--trace` flags anywhere, every other argument a mode.
 pub fn parse_cli(args: &[String]) -> Result<BenchCli, String> {
     let mut modes = Vec::new();
     let mut threads = 0usize;
+    let mut trace = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if let Some(value) = arg.strip_prefix("--threads=") {
@@ -1245,8 +1254,12 @@ pub fn parse_cli(args: &[String]) -> Result<BenchCli, String> {
                 .next()
                 .ok_or_else(|| "--threads requires a value (0 = one per core)".to_string())?;
             threads = parse_threads(value)?;
+        } else if arg == "--trace" {
+            trace = true;
         } else if arg.starts_with("--") {
-            return Err(format!("unknown flag '{arg}'\nknown flags: --threads N"));
+            return Err(format!(
+                "unknown flag '{arg}'\nknown flags: --threads N, --trace"
+            ));
         } else {
             modes.push(arg.clone());
         }
@@ -1254,6 +1267,7 @@ pub fn parse_cli(args: &[String]) -> Result<BenchCli, String> {
     Ok(BenchCli {
         modes: resolve_modes(&modes)?,
         threads,
+        trace,
     })
 }
 
@@ -1543,10 +1557,21 @@ mod tests {
         let cli = parse_cli(&["--threads=2".into(), "native".into(), "warm".into()]).unwrap();
         assert_eq!(cli.modes, vec!["native".to_string(), "warm".to_string()]);
         assert_eq!(cli.threads, 2);
-        // Default: all modes, auto threads.
+        assert!(!cli.trace);
+        let cli = parse_cli(&[
+            "serve".into(),
+            "--trace".into(),
+            "--threads".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        assert!(cli.trace);
+        assert_eq!(cli.modes, vec!["serve".to_string()]);
+        // Default: all modes, auto threads, no tracing.
         let cli = parse_cli(&[]).unwrap();
         assert_eq!(cli.modes, vec!["all".to_string()]);
         assert_eq!(cli.threads, 0);
+        assert!(!cli.trace);
         // Errors: missing/garbled value, unknown flag, unknown mode.
         assert!(parse_cli(&["--threads".into()]).is_err());
         assert!(parse_cli(&["--threads".into(), "many".into()]).is_err());

@@ -591,6 +591,178 @@ fn serve_load_at(
     Ok(report)
 }
 
+// ---------------------------------------------------------------------------
+// Traced run (`reproduce -- serve --trace`)
+// ---------------------------------------------------------------------------
+
+/// The span names one fully traced tune request must show, client submit to
+/// server reply — the end-to-end-tracing acceptance bar.
+pub const TUNE_TRACE_STAGES: [&str; 5] = [
+    "client.submit",
+    "net.admission",
+    "net.queue_wait",
+    "net.tune_exec",
+    "net.reply",
+];
+
+/// Report of one traced serve run: where the stitched Chrome trace landed
+/// and what it proved.
+#[derive(Debug)]
+pub struct TracedServeReport {
+    /// Where the stitched Chrome trace artifact was written.
+    pub trace_path: std::path::PathBuf,
+    /// Client-origin spans in the artifact (`pid` 1).
+    pub client_spans: usize,
+    /// Server-origin spans in the artifact (`pid` 2).
+    pub server_spans: usize,
+    /// Distinct nonzero trace ids observed across both halves.
+    pub trace_ids: usize,
+    /// Trace ids whose spans cover every stage in [`TUNE_TRACE_STAGES`] —
+    /// requests traced end to end, client submit through server reply.
+    pub complete_tune_traces: usize,
+    /// The client-minus-server clock offset estimate applied when
+    /// stitching, µs (≈ 0 in-process: both halves share one clock).
+    pub clock_offset_us: i64,
+    /// Flight-recorder attribution of the slowest traced request.
+    pub slowest: Option<alpha_telemetry::TraceAttribution>,
+}
+
+/// Runs one traced request batch against an in-process daemon: every
+/// request carries a minted trace id, the daemon's spans and flight events
+/// tag themselves with it, and the client-fetched trace is stitched into a
+/// Chrome trace artifact (`BENCH_trace.json`, or `$BENCH_TRACE_PATH`).
+/// Returns what the artifact contains plus the flight recorder's per-stage
+/// attribution of the slowest request.
+pub fn traced_serve_run(threads: usize) -> Result<TracedServeReport, String> {
+    let store_dir =
+        std::env::temp_dir().join(format!("alphasparse_serve_trace_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let result = traced_serve_run_at(threads, &store_dir);
+    let _ = std::fs::remove_dir_all(&store_dir);
+    result
+}
+
+fn traced_serve_run_at(
+    threads: usize,
+    store_dir: &std::path::Path,
+) -> Result<TracedServeReport, String> {
+    // Tracing on for the run's duration, with the ring drained of whatever
+    // earlier modes recorded; restored to its prior state on every exit
+    // path that matters (the artifact is written before shutdown).
+    let was_tracing = alpha_telemetry::tracing_enabled();
+    alpha_telemetry::enable_tracing(65_536);
+    let _ = alpha_telemetry::drain_spans();
+    let result = traced_serve_run_traced(threads, store_dir);
+    if !was_tracing {
+        alpha_telemetry::disable_tracing();
+    }
+    result
+}
+
+fn traced_serve_run_traced(
+    threads: usize,
+    store_dir: &std::path::Path,
+) -> Result<TracedServeReport, String> {
+    let registry = Registry::new();
+    let service = TuningService::new(
+        DesignStore::open_with_registry(store_dir, registry).map_err(String::from)?,
+        SearchConfig {
+            max_iterations: 6,
+            mutations_per_seed: 3,
+            threads,
+            ..SearchConfig::default()
+        },
+    );
+    let server = NetServer::spawn(
+        "127.0.0.1:0",
+        service,
+        ServerConfig {
+            workers: 2,
+            // Pin every traced request's flight events: the run exists to
+            // produce attribution, not to sample it.
+            slow_request_us: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(String::from)?;
+    let flightrec = server.flight_recorder().clone();
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).map_err(String::from)?;
+    for i in 0..3u64 {
+        let family = alpha_matrix::gen::PatternFamily::ALL
+            [i as usize % alpha_matrix::gen::PatternFamily::ALL.len()];
+        let matrix = family.generate(96, 4, 31_000 + i);
+        let job = client
+            .submit_tune_with_backoff(
+                &matrix,
+                "A100",
+                Duration::from_millis(5),
+                Duration::from_secs(30),
+            )
+            .map_err(String::from)?;
+        client
+            .wait_job(job, Duration::from_millis(2), DEADLINE)
+            .map_err(String::from)?;
+        let x = vec![1.0f32; matrix.cols()];
+        client.spmv(job, &x).map_err(String::from)?;
+    }
+
+    // One fetch drains the shared ring.  In-process, client- and
+    // server-side spans land in the *same* ring, so the fetch returns both
+    // halves and the `client.` name prefix partitions them by origin; over
+    // a real wire the fetch would return only the server half and the local
+    // drain the client half.
+    let fetch = client.fetch_trace().map_err(String::from)?;
+    let (client_spans, server_spans): (Vec<_>, Vec<_>) = fetch
+        .spans
+        .iter()
+        .cloned()
+        .partition(|s| s.name.starts_with("client."));
+    let offset = fetch.clock_offset_us();
+    let stitched = alpha_telemetry::stitch_chrome_trace(&client_spans, &server_spans, offset);
+
+    let trace_path = std::env::var_os("BENCH_TRACE_PATH")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_trace.json"));
+    std::fs::write(&trace_path, &stitched)
+        .map_err(|e| format!("writing {}: {e}", trace_path.display()))?;
+
+    // End-to-end coverage: a trace id counts as complete when its spans
+    // name every stage from client submit to server reply.
+    let mut stages_by_trace: std::collections::HashMap<u64, std::collections::HashSet<&str>> =
+        std::collections::HashMap::new();
+    for span in &fetch.spans {
+        if span.trace_id != 0 {
+            stages_by_trace
+                .entry(span.trace_id)
+                .or_default()
+                .insert(span.name.as_str());
+        }
+    }
+    let complete_tune_traces = stages_by_trace
+        .values()
+        .filter(|names| TUNE_TRACE_STAGES.iter().all(|stage| names.contains(stage)))
+        .count();
+
+    let mut ids: Vec<u64> = stages_by_trace.keys().copied().collect();
+    ids.sort_unstable();
+
+    client.shutdown().map_err(String::from)?;
+    server.join();
+    let slowest = flightrec.slowest_trace();
+
+    Ok(TracedServeReport {
+        trace_path,
+        client_spans: client_spans.len(),
+        server_spans: server_spans.len(),
+        trace_ids: ids.len(),
+        complete_tune_traces,
+        clock_offset_us: offset,
+        slowest,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,12 +2,36 @@
 //! request/response calls, typed errors.
 
 use crate::proto::{
-    decode_response, encode_request, read_frame, write_frame, ErrorKind, JobState, JobSummary,
-    ProtoError, Request, Response, ServerStats, TenantStats,
+    decode_response, encode_request_traced, read_frame, write_frame, ErrorKind, JobState,
+    JobSummary, ProtoError, Request, Response, ServerStats, TenantStats,
 };
 use alpha_matrix::{CsrMatrix, Scalar};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
+
+/// One trace fetch: the server's half of a distributed trace plus the
+/// local timestamps of the fetch round trip, which [`stitch`'s clock
+/// estimate](alpha_telemetry::clock_offset_us) turns into a clock-domain
+/// offset.
+#[derive(Debug)]
+pub struct TraceFetch {
+    /// The server's µs-since-its-epoch clock when it answered.
+    pub server_now_us: u64,
+    /// Every span the server had recorded (its ring is drained).
+    pub spans: Vec<alpha_telemetry::OwnedSpan>,
+    /// Client clock when the fetch request was written, µs.
+    pub sent_us: u64,
+    /// Client clock when the response arrived, µs.
+    pub received_us: u64,
+}
+
+impl TraceFetch {
+    /// The estimated client-minus-server clock offset, suitable for
+    /// [`alpha_telemetry::stitch_chrome_trace`].
+    pub fn clock_offset_us(&self) -> i64 {
+        alpha_telemetry::clock_offset_us(self.sent_us, self.received_us, self.server_now_us)
+    }
+}
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -96,6 +120,10 @@ impl From<NetError> for String {
 /// connection on its own thread).
 pub struct Client {
     stream: TcpStream,
+    /// xorshift64 state for minting per-request trace ids; seeded from
+    /// hasher entropy at connect, kept odd so the sequence never hits 0
+    /// (0 means "untraced" on the wire).
+    trace_state: u64,
 }
 
 impl Client {
@@ -103,7 +131,28 @@ impl Client {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, NetError> {
         let stream = TcpStream::connect(addr).map_err(ProtoError::from)?;
         stream.set_nodelay(true).map_err(ProtoError::from)?;
-        Ok(Client { stream })
+        let seed = {
+            use std::hash::{BuildHasher, Hasher};
+            std::collections::hash_map::RandomState::new()
+                .build_hasher()
+                .finish()
+                | 1
+        };
+        Ok(Client {
+            stream,
+            trace_state: seed,
+        })
+    }
+
+    /// Mints the next request's trace id: a nonzero 64-bit value unique
+    /// (with overwhelming probability) across clients and requests.
+    fn mint_trace_id(&mut self) -> u64 {
+        let mut x = self.trace_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.trace_state = x;
+        x
     }
 
     /// Connects and identifies as tenant `client_id` (see
@@ -125,10 +174,19 @@ impl Client {
     }
 
     fn roundtrip(&mut self, request: &Request) -> Result<Response, NetError> {
-        write_frame(&mut self.stream, &encode_request(request))?;
-        let payload = read_frame(&mut self.stream)?;
-        let response = decode_response(&payload)?;
-        match response {
+        // Every request is traced: mint an id, scope this thread's spans to
+        // it, and carry it in the frame so the server's spans and flight
+        // events tag themselves with the same id.
+        let trace_id = self.mint_trace_id();
+        let prev_trace = alpha_telemetry::set_current_trace_id(trace_id);
+        let result = (|| -> Result<Response, NetError> {
+            let _span = alpha_telemetry::span!(client_span_name(request));
+            write_frame(&mut self.stream, &encode_request_traced(trace_id, request))?;
+            let payload = read_frame(&mut self.stream)?;
+            Ok(decode_response(&payload)?)
+        })();
+        alpha_telemetry::set_current_trace_id(prev_trace);
+        match result? {
             Response::Error { kind, message } => Err(NetError::Server { kind, message }),
             other => Ok(other),
         }
@@ -303,6 +361,29 @@ impl Client {
         }
     }
 
+    /// Drains the daemon's span ring into a [`TraceFetch`]: the server-side
+    /// half of every distributed trace recorded since the last fetch, plus
+    /// the timestamps needed to map the server clock into this process's.
+    /// Feed the result to [`alpha_telemetry::stitch_chrome_trace`] together
+    /// with locally drained spans for one Chrome trace spanning both sides.
+    pub fn fetch_trace(&mut self) -> Result<TraceFetch, NetError> {
+        let sent_us = alpha_telemetry::now_us();
+        let response = self.roundtrip(&Request::Trace)?;
+        let received_us = alpha_telemetry::now_us();
+        match response {
+            Response::TraceSpans {
+                server_now_us,
+                spans,
+            } => Ok(TraceFetch {
+                server_now_us,
+                spans,
+                sent_us,
+                received_us,
+            }),
+            other => Err(NetError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
     /// Asks the daemon to shut down cleanly.  Returns once the daemon
     /// acknowledged; pair with
     /// [`NetServer::join`](crate::NetServer::join) on the hosting side.
@@ -311,6 +392,22 @@ impl Client {
             Response::ShuttingDown => Ok(()),
             other => Err(NetError::UnexpectedResponse(format!("{other:?}"))),
         }
+    }
+}
+
+/// The client-side span name of one request kind — all prefixed `client.`
+/// so a stitcher can partition a shared in-process ring by origin.
+fn client_span_name(request: &Request) -> &'static str {
+    match request {
+        Request::Hello { .. } => "client.hello",
+        Request::SubmitTune { .. } => "client.submit",
+        Request::PollJob { .. } => "client.poll",
+        Request::Spmv { .. } => "client.spmv",
+        Request::StoreStats => "client.stats",
+        Request::TenantStats => "client.tenant_stats",
+        Request::Metrics => "client.metrics",
+        Request::Trace => "client.trace",
+        Request::Shutdown => "client.shutdown",
     }
 }
 

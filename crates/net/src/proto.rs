@@ -23,8 +23,13 @@
 //! * **Counts are bounded before allocation.**  A corrupt element count can
 //!   never drive an allocation larger than the (already length-capped)
 //!   frame that carried it.
-//! * **Versioning is explicit.**  A frame from a different protocol version
-//!   is rejected with [`ProtoError::VersionMismatch`] — never misread.
+//! * **Versioning is explicit.**  A frame from outside the supported
+//!   version window ([`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`]) is
+//!   rejected with [`ProtoError::VersionMismatch`] — never misread.  Within
+//!   the window the frame's own version selects its payload layout: v5
+//!   request payloads carry a leading 8-byte `trace_id`
+//!   ([`encode_request_traced`]/[`decode_request_versioned`]); v4 payloads
+//!   are the bare tagged message and decode with `trace_id = 0`.
 
 use alpha_matrix::{CsrMatrix, Scalar};
 use alpha_search::persist::PersistError;
@@ -35,8 +40,9 @@ use std::io::{Read, Write};
 pub const NET_MAGIC: [u8; 4] = *b"ANET";
 
 /// Wire-protocol version this build speaks.  Bump on any frame- or
-/// payload-layout change; peers with a different version are rejected with
-/// [`ProtoError::VersionMismatch`] instead of being misread.
+/// payload-layout change; peers outside the
+/// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] window are rejected
+/// with [`ProtoError::VersionMismatch`] instead of being misread.
 /// (v2: [`JobSummary`] gained `queue_wait_secs`.  v3: multi-tenant QoS —
 /// [`Request::Hello`]/[`Response::Welcome`] carry a `ClientId`,
 /// [`Response::Busy`] reports `retry_after_ms`, [`Request::TenantStats`]
@@ -44,13 +50,28 @@ pub const NET_MAGIC: [u8; 4] = *b"ANET";
 /// `jobs_resident` and `open_connections` gauges.  v4: observability —
 /// [`Request::Metrics`] asks for the daemon's full telemetry registry and
 /// is answered with [`Response::MetricsText`] carrying the Prometheus text
-/// exposition.)
-pub const PROTOCOL_VERSION: u32 = 4;
+/// exposition.  v5: distributed tracing — request payloads lead with an
+/// 8-byte `trace_id`, and [`Request::Trace`]/[`Response::TraceSpans`] fetch
+/// the daemon's buffered spans for cross-process stitching.)
+pub const PROTOCOL_VERSION: u32 = 5;
+
+/// Oldest wire-protocol version this build still accepts.  v4 clients have
+/// no trace ids; the server decodes their requests with `trace_id = 0` and
+/// stamps its replies with the client's own version, so they interoperate
+/// unchanged.
+pub const MIN_PROTOCOL_VERSION: u32 = 4;
 
 /// Upper bound on one frame's payload length.  Large enough for a
 /// multi-million-nonzero matrix submission, small enough that a corrupt or
 /// hostile length field cannot drive an unbounded allocation.
 pub const MAX_FRAME_LEN: u64 = 256 * 1024 * 1024;
+
+/// Upper bound on a wire matrix's claimed row or column count.  Tuning a
+/// submission allocates dense vectors of these sizes, so the dimension a
+/// frame *claims* (as opposed to the data it carries, which
+/// [`MAX_FRAME_LEN`] bounds) must itself be capped or a 16-byte mutant
+/// could drive a terabyte allocation.
+pub const MAX_MATRIX_DIM: u64 = 1 << 28;
 
 /// Why encoding, decoding or transporting a frame failed.
 #[derive(Debug)]
@@ -100,7 +121,8 @@ impl std::fmt::Display for ProtoError {
             ProtoError::BadMagic => write!(f, "not an alpha-net frame (bad magic)"),
             ProtoError::VersionMismatch { found, expected } => write!(
                 f,
-                "peer speaks wire-protocol version {found}, this build speaks {expected}"
+                "peer speaks wire-protocol version {found}, this build speaks \
+                 {MIN_PROTOCOL_VERSION}..={expected}"
             ),
             ProtoError::FrameTooLarge { len, max } => {
                 write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
@@ -146,8 +168,21 @@ impl From<PersistError> for ProtoError {
 // Frame transport
 // ---------------------------------------------------------------------------
 
-/// Writes one frame (header + payload) to `w`.
+/// Writes one frame (header + payload) to `w`, stamped with
+/// [`PROTOCOL_VERSION`].
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), ProtoError> {
+    write_frame_versioned(w, PROTOCOL_VERSION, payload)
+}
+
+/// Writes one frame stamped with an explicit protocol version.  The server
+/// uses this to answer a v4 client with v4-stamped frames — a strict v4
+/// `read_frame` would reject a v5 stamp even though the response payload
+/// layout is identical.
+pub fn write_frame_versioned<W: Write>(
+    w: &mut W,
+    version: u32,
+    payload: &[u8],
+) -> Result<(), ProtoError> {
     if payload.len() as u64 > MAX_FRAME_LEN {
         return Err(ProtoError::FrameTooLarge {
             len: payload.len() as u64,
@@ -156,7 +191,7 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), ProtoError
     }
     let mut header = [0u8; 16];
     header[..4].copy_from_slice(&NET_MAGIC);
-    header[4..8].copy_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    header[4..8].copy_from_slice(&version.to_le_bytes());
     header[8..16].copy_from_slice(&(payload.len() as u64).to_le_bytes());
     w.write_all(&header)?;
     w.write_all(payload)?;
@@ -227,7 +262,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, ProtoError> {
         return Err(ProtoError::BadMagic);
     }
     let found = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
-    if found != PROTOCOL_VERSION {
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&found) {
         return Err(ProtoError::VersionMismatch {
             found,
             expected: PROTOCOL_VERSION,
@@ -292,6 +327,9 @@ pub struct FrameAssembler {
     started: Option<std::time::Instant>,
     header: [u8; 16],
     header_filled: usize,
+    /// Protocol version of the in-progress frame, known once the header
+    /// completes and validates.
+    version: u32,
     /// Announced payload length, known once the header completes.
     payload_len: usize,
     payload: Vec<u8>,
@@ -307,15 +345,22 @@ impl FrameAssembler {
             started: None,
             header: [0u8; 16],
             header_filled: 0,
+            version: 0,
             payload_len: 0,
             payload: Vec::new(),
         }
     }
 
-    /// Folds freshly received bytes in, appending every completed frame
-    /// payload to `out`.  An error means framing is lost (bad magic, wrong
-    /// version, oversized length): close the connection.
-    pub fn push(&mut self, mut bytes: &[u8], out: &mut Vec<Vec<u8>>) -> Result<(), ProtoError> {
+    /// Folds freshly received bytes in, appending every completed frame to
+    /// `out` as a `(version, payload)` pair — the version tells the caller
+    /// which payload layout the peer used and which stamp its replies need.
+    /// An error means framing is lost (bad magic, unsupported version,
+    /// oversized length): close the connection.
+    pub fn push(
+        &mut self,
+        mut bytes: &[u8],
+        out: &mut Vec<(u32, Vec<u8>)>,
+    ) -> Result<(), ProtoError> {
         while !bytes.is_empty() {
             if self.started.is_none() {
                 self.started = Some(std::time::Instant::now());
@@ -335,7 +380,7 @@ impl FrameAssembler {
                     return Err(ProtoError::BadMagic);
                 }
                 let found = u32::from_le_bytes(self.header[4..8].try_into().expect("4 bytes"));
-                if found != PROTOCOL_VERSION {
+                if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&found) {
                     return Err(ProtoError::VersionMismatch {
                         found,
                         expected: PROTOCOL_VERSION,
@@ -349,6 +394,7 @@ impl FrameAssembler {
                     });
                 }
                 let len = len as usize;
+                self.version = found;
                 self.payload_len = len;
                 self.payload = Vec::with_capacity(len.min(1 << 20));
             }
@@ -356,7 +402,7 @@ impl FrameAssembler {
             self.payload.extend_from_slice(&bytes[..take]);
             bytes = &bytes[take..];
             if self.payload.len() == self.payload_len {
-                out.push(std::mem::take(&mut self.payload));
+                out.push((self.version, std::mem::take(&mut self.payload)));
                 self.header_filled = 0;
                 self.payload_len = 0;
                 self.started = None;
@@ -428,6 +474,12 @@ pub enum Request {
     /// carrying the Prometheus text exposition (the same bytes the
     /// `--metrics-addr` HTTP endpoint serves).
     Metrics,
+    /// Drain the daemon's buffered trace spans (v5+).  Answered with
+    /// [`Response::TraceSpans`]; the caller stitches them against its own
+    /// spans with `alpha_telemetry::stitch`, using the `server_now_us`
+    /// stamp to align the two clock domains.  A daemon with tracing
+    /// disabled answers with an empty span list.
+    Trace,
 }
 
 /// A finished job's result, as carried on the wire.
@@ -634,6 +686,14 @@ pub enum Response {
         /// `# TYPE`-annotated metric families, one sample per line.
         text: String,
     },
+    /// Answer to [`Request::Trace`]: the daemon's span ring, drained.
+    TraceSpans {
+        /// The server's trace clock (`alpha_telemetry::now_us`) read while
+        /// answering — the anchor for NTP-style clock-domain stitching.
+        server_now_us: u64,
+        /// The drained spans, oldest first, in the server's clock domain.
+        spans: Vec<alpha_telemetry::OwnedSpan>,
+    },
     /// A typed error.
     Error {
         /// Machine-readable classification.
@@ -669,6 +729,18 @@ fn read_matrix(r: &mut ByteReader<'_>) -> Result<CsrMatrix, ProtoError> {
         .map_err(|_| ProtoError::Corrupt("matrix row count overflows usize".into()))?;
     let cols = usize::try_from(r.u64()?)
         .map_err(|_| ProtoError::Corrupt("matrix column count overflows usize".into()))?;
+    // Allocation follows receipt: tuning allocates dense `rows`- and
+    // `cols`-sized vectors, so a claimed dimension beyond the wire bound is
+    // rejected here — before any downstream layer trusts it with memory.
+    // (`rows` is additionally pinned by CSR validation to the row-offset
+    // count, which the frame cap already bounds; `cols` has no such tie.)
+    for (what, dim) in [("row", rows), ("column", cols)] {
+        if dim as u64 > MAX_MATRIX_DIM {
+            return Err(ProtoError::Corrupt(format!(
+                "matrix {what} count {dim} exceeds the wire bound of {MAX_MATRIX_DIM}"
+            )));
+        }
+    }
     let offsets_len = r.count_of("row-offset", 4)?;
     let mut row_offsets = Vec::with_capacity(offsets_len);
     for _ in 0..offsets_len {
@@ -794,6 +866,43 @@ fn read_tenant(r: &mut ByteReader<'_>) -> Result<TenantStats, ProtoError> {
     })
 }
 
+fn write_span(w: &mut ByteWriter, span: &alpha_telemetry::OwnedSpan) {
+    w.str(&span.name);
+    w.u64(span.ts_us);
+    w.u64(span.dur_us);
+    w.u64(span.tid);
+    w.u32(span.depth);
+    match &span.arg {
+        Some((key, value)) => {
+            w.u8(1);
+            w.str(key);
+            w.u64(*value);
+        }
+        None => w.u8(0),
+    }
+    w.u64(span.trace_id);
+}
+
+fn read_span(r: &mut ByteReader<'_>) -> Result<alpha_telemetry::OwnedSpan, ProtoError> {
+    Ok(alpha_telemetry::OwnedSpan {
+        name: r.str()?,
+        ts_us: r.u64()?,
+        dur_us: r.u64()?,
+        tid: r.u64()?,
+        depth: r.u32()?,
+        arg: match r.u8()? {
+            0 => None,
+            1 => Some((r.str()?, r.u64()?)),
+            other => {
+                return Err(ProtoError::Corrupt(format!(
+                    "span arg flag must be 0/1, found {other}"
+                )));
+            }
+        },
+        trace_id: r.u64()?,
+    })
+}
+
 /// Encodes a request into a frame payload.
 pub fn encode_request(request: &Request) -> Vec<u8> {
     let mut w = ByteWriter::default();
@@ -820,8 +929,37 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
         }
         Request::TenantStats => w.u8(6),
         Request::Metrics => w.u8(7),
+        Request::Trace => w.u8(8),
     }
     w.into_bytes()
+}
+
+/// Encodes a request as a v5 ([`PROTOCOL_VERSION`]) frame payload: the
+/// request's `trace_id` (8 bytes LE, `0` = untraced) followed by the tagged
+/// message.
+pub fn encode_request_traced(trace_id: u64, request: &Request) -> Vec<u8> {
+    let body = encode_request(request);
+    let mut payload = Vec::with_capacity(8 + body.len());
+    payload.extend_from_slice(&trace_id.to_le_bytes());
+    payload.extend_from_slice(&body);
+    payload
+}
+
+/// Decodes a request frame payload according to the frame's protocol
+/// version: v4 payloads are the bare message (`trace_id = 0`), v5 payloads
+/// lead with the 8-byte trace id.
+pub fn decode_request_versioned(
+    version: u32,
+    payload: &[u8],
+) -> Result<(u64, Request), ProtoError> {
+    if version <= 4 {
+        return Ok((0, decode_request(payload)?));
+    }
+    if payload.len() < 8 {
+        return Err(ProtoError::Truncated);
+    }
+    let trace_id = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+    Ok((trace_id, decode_request(&payload[8..])?))
 }
 
 /// Decodes a frame payload into a request.  Trailing bytes after the message
@@ -845,6 +983,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
         },
         6 => Request::TenantStats,
         7 => Request::Metrics,
+        8 => Request::Trace,
         other => {
             return Err(ProtoError::Corrupt(format!("unknown request tag {other}")));
         }
@@ -921,6 +1060,17 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             w.u8(9);
             w.str(text);
         }
+        Response::TraceSpans {
+            server_now_us,
+            spans,
+        } => {
+            w.u8(10);
+            w.u64(*server_now_us);
+            w.u64(spans.len() as u64);
+            for span in spans {
+                write_span(&mut w, span);
+            }
+        }
     }
     w.into_bytes()
 }
@@ -973,6 +1123,20 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             Response::Tenants(tenants)
         }
         9 => Response::MetricsText { text: r.str()? },
+        10 => {
+            let server_now_us = r.u64()?;
+            // Smallest span on the wire: empty name (8), three u64s (24),
+            // depth (4), no-arg flag (1), trace id (8) = 45 bytes.
+            let count = r.count_of("trace span", 45)?;
+            let mut spans = Vec::with_capacity(count);
+            for _ in 0..count {
+                spans.push(read_span(&mut r)?);
+            }
+            Response::TraceSpans {
+                server_now_us,
+                spans,
+            }
+        }
         other => {
             return Err(ProtoError::Corrupt(format!("unknown response tag {other}")));
         }
@@ -1013,6 +1177,7 @@ mod tests {
             },
             Request::TenantStats,
             Request::Metrics,
+            Request::Trace,
         ]
     }
 
@@ -1104,6 +1269,33 @@ mod tests {
             },
             Response::MetricsText {
                 text: String::new(),
+            },
+            Response::TraceSpans {
+                server_now_us: 1_234_567,
+                spans: vec![
+                    alpha_telemetry::OwnedSpan {
+                        name: "net.tune_exec".to_string(),
+                        ts_us: 100,
+                        dur_us: 2_500,
+                        tid: 3,
+                        depth: 0,
+                        arg: Some(("job".to_string(), 7)),
+                        trace_id: 0xABCD,
+                    },
+                    alpha_telemetry::OwnedSpan {
+                        name: String::new(),
+                        ts_us: 0,
+                        dur_us: 0,
+                        tid: 0,
+                        depth: 2,
+                        arg: None,
+                        trace_id: 0,
+                    },
+                ],
+            },
+            Response::TraceSpans {
+                server_now_us: 0,
+                spans: Vec::new(),
             },
         ]
     }
@@ -1279,9 +1471,55 @@ mod tests {
             for chunk in wire.chunks(chunk_size) {
                 assembler.push(chunk, &mut out).unwrap();
             }
-            assert_eq!(out, payloads, "chunk size {chunk_size} diverged");
+            let expected: Vec<(u32, Vec<u8>)> = payloads
+                .iter()
+                .map(|p| (PROTOCOL_VERSION, p.clone()))
+                .collect();
+            assert_eq!(out, expected, "chunk size {chunk_size} diverged");
             assert!(!assembler.mid_frame(), "no partial frame may remain");
         }
+    }
+
+    #[test]
+    fn compat_window_accepts_v4_frames_and_reports_their_version() {
+        let payload = encode_request(&Request::StoreStats);
+        let mut wire = Vec::new();
+        write_frame_versioned(&mut wire, MIN_PROTOCOL_VERSION, &payload).unwrap();
+        // The blocking reader accepts the old stamp...
+        assert_eq!(read_frame(&mut &wire[..]).unwrap(), payload);
+        // ...and the assembler surfaces which version the frame used.
+        let mut assembler = FrameAssembler::with_deadline(std::time::Duration::from_secs(60));
+        let mut out = Vec::new();
+        assembler.push(&wire, &mut out).unwrap();
+        assert_eq!(out, vec![(MIN_PROTOCOL_VERSION, payload)]);
+        // Below the window is rejected like above it.
+        let mut ancient = Vec::new();
+        write_frame_versioned(&mut ancient, MIN_PROTOCOL_VERSION - 1, b"x").unwrap();
+        assert!(matches!(
+            read_frame(&mut &ancient[..]),
+            Err(ProtoError::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn traced_envelope_round_trips_and_v4_decodes_untraced() {
+        for request in sample_requests() {
+            let traced = encode_request_traced(0x1122_3344_5566_7788, &request);
+            let (trace_id, decoded) = decode_request_versioned(PROTOCOL_VERSION, &traced).unwrap();
+            assert_eq!(trace_id, 0x1122_3344_5566_7788);
+            assert_eq!(decoded, request);
+            // The same body as a v4 payload decodes with trace id 0.
+            let bare = encode_request(&request);
+            let (trace_id, decoded) =
+                decode_request_versioned(MIN_PROTOCOL_VERSION, &bare).unwrap();
+            assert_eq!(trace_id, 0);
+            assert_eq!(decoded, request);
+        }
+        // A v5 payload too short for its trace id is truncation, not a panic.
+        assert!(matches!(
+            decode_request_versioned(PROTOCOL_VERSION, &[1, 2, 3]),
+            Err(ProtoError::Truncated)
+        ));
     }
 
     #[test]
@@ -1371,9 +1609,10 @@ mod tests {
                         }
                     }
                 }
-                // Both decoders must survive both kinds of payloads.
+                // Every decoder must survive both kinds of payloads.
                 let _ = decode_request(&mutated);
                 let _ = decode_response(&mutated);
+                let _ = decode_request_versioned(PROTOCOL_VERSION, &mutated);
             }
         }
     }

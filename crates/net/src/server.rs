@@ -46,8 +46,9 @@
 //! reordered.
 
 use crate::proto::{
-    decode_request, encode_response, write_frame, ErrorKind, FrameAssembler, JobState, JobSummary,
-    Request, Response, ServerStats, TenantStats, MAX_FRAME_SECS,
+    decode_request_versioned, encode_response, write_frame_versioned, ErrorKind, FrameAssembler,
+    JobState, JobSummary, Request, Response, ServerStats, TenantStats, MAX_FRAME_SECS,
+    PROTOCOL_VERSION,
 };
 use crate::reactor::{Event, Interest, Reactor, Waker};
 use crate::NetError;
@@ -55,7 +56,7 @@ use alpha_gpu::DeviceProfile;
 use alpha_matrix::Scalar;
 use alpha_parallel::{PushError, ShardedTaskQueue, TaskQueue};
 use alpha_serve::{TuneRequest, TuningService};
-use alpha_telemetry::{Counter, Gauge, Histogram, Registry};
+use alpha_telemetry::{Counter, FlightKind, FlightRecorder, Gauge, Histogram, Registry};
 use alphasparse::TunedSpmv;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{Read, Write};
@@ -105,11 +106,20 @@ pub struct ServerConfig {
     /// tenant's queue credit is its weight share of `queue_capacity` over
     /// the currently *active* tenants.
     pub tenant_weights: Vec<(u64, u64)>,
-    /// Address of the plaintext HTTP metrics endpoint (`GET /metrics`
-    /// answers the Prometheus text exposition).  Served by the same event
-    /// loop — no extra thread, and a stalled scraper can never block the
-    /// frame protocol.  `None` disables the endpoint.
+    /// Address of the plaintext HTTP debug endpoint (`GET /metrics` answers
+    /// the Prometheus text exposition, `GET /debug/flightrec` the flight
+    /// recorder's JSON dump).  Served by the same event loop — no extra
+    /// thread, and a stalled scraper can never block the frame protocol.
+    /// `None` disables the endpoint.
     pub metrics_addr: Option<SocketAddr>,
+    /// Slow-request threshold, µs.  A traced request whose in-server time
+    /// (queue wait + execution) reaches this bound gets its flight-recorder
+    /// events pinned, so the requests most worth diagnosing survive ring
+    /// wrap.  `0` disables pinning.
+    pub slow_request_us: u64,
+    /// Where to dump the flight recorder's JSON on daemon shutdown (the
+    /// black box survives the crash site).  `None` skips the dump.
+    pub flightrec_dump: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -122,6 +132,8 @@ impl Default for ServerConfig {
             frame_deadline: Duration::from_secs(MAX_FRAME_SECS),
             tenant_weights: Vec::new(),
             metrics_addr: None,
+            slow_request_us: 500_000,
+            flightrec_dump: None,
         }
     }
 }
@@ -135,6 +147,9 @@ enum Job {
         enqueued: Instant,
         /// Submitting tenant, for fairness accounting at completion.
         tenant: u64,
+        /// The submitting request's trace id (0 = untraced v4 client); the
+        /// worker threads it into its spans and flight events.
+        trace_id: u64,
     },
     Running,
     Done {
@@ -183,6 +198,15 @@ struct ExecTask {
     /// `net_spmv_latency_us` window, so the histogram covers exec-queue
     /// wait plus kernel time, the latency the client actually eats.
     received: Instant,
+    /// The requesting frame's protocol version — the completion frame must
+    /// carry the same stamp.
+    version: u32,
+    /// The request's trace id (0 = untraced).
+    trace_id: u64,
+    /// The connection's tenant, for flight-recorder attribution.
+    tenant: u64,
+    /// The executed job, for flight-recorder attribution.
+    job_id: u64,
 }
 
 struct Shared {
@@ -237,6 +261,9 @@ struct Shared {
     deferred_depth: Gauge,
     /// Scrapes answered on the HTTP metrics endpoint.
     http_scrapes: Counter,
+    /// The always-on black box: request lifecycle events for after-the-fact
+    /// diagnosis, dumpable via `GET /debug/flightrec` and at shutdown.
+    flightrec: Arc<FlightRecorder>,
 }
 
 impl Shared {
@@ -392,6 +419,16 @@ impl Shared {
         }
     }
 
+    /// Slow-request policy: a traced request whose in-server time crossed
+    /// [`ServerConfig::slow_request_us`] gets its flight events pinned so
+    /// they survive ring wrap.
+    fn pin_if_slow(&self, trace_id: u64, total_us: u64) {
+        let threshold = self.config.slow_request_us;
+        if threshold > 0 && trace_id != 0 && total_us >= threshold {
+            self.flightrec.pin(trace_id);
+        }
+    }
+
     /// Flags the daemon as shutting down, closes the admission queue
     /// (tuning workers drain and exit) and wakes the event loop.
     fn initiate_shutdown(&self) {
@@ -481,6 +518,7 @@ impl NetServer {
             tick_hist: registry.histogram("net_loop_tick_us", &[]),
             deferred_depth: registry.gauge("net_deferred_depth", &[]),
             http_scrapes: registry.counter("net_http_scrapes_total", &[]),
+            flightrec: Arc::new(FlightRecorder::default()),
             registry,
         });
 
@@ -548,6 +586,13 @@ impl NetServer {
         self.shared.stats()
     }
 
+    /// The daemon's always-on flight recorder (the same events
+    /// `GET /debug/flightrec` dumps) — request lifecycle attribution
+    /// without a tracing sink installed.
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.shared.flightrec
+    }
+
     /// Live per-tenant fairness accounting (the same snapshot a
     /// [`Request::TenantStats`] frame returns).
     pub fn tenant_stats(&self) -> Vec<TenantStats> {
@@ -594,16 +639,17 @@ impl std::fmt::Debug for NetServer {
 /// closed and empty, tuning each through the shared service.
 fn worker_loop(shared: &Shared) {
     while let Some(job_id) = shared.queue.pop() {
-        let (request, queue_wait_secs, tenant) = {
+        let (request, queue_wait_secs, tenant, trace_id) = {
             let mut table = shared.job_shard(job_id).lock().expect("job table poisoned");
             match table.remove(&job_id) {
                 Some(Job::Queued {
                     request,
                     enqueued,
                     tenant,
+                    trace_id,
                 }) => {
                     table.insert(job_id, Job::Running);
-                    (request, enqueued.elapsed().as_secs_f64(), tenant)
+                    (request, enqueued.elapsed().as_secs_f64(), tenant, trace_id)
                 }
                 // The entry must exist and be queued — submission inserted
                 // it before pushing the id.  Anything else is a logic bug;
@@ -626,21 +672,60 @@ fn worker_loop(shared: &Shared) {
         shared
             .tune_queue_wait
             .observe_duration(Duration::from_secs_f64(queue_wait_secs));
+        // The request's trace id follows the job onto this thread: every
+        // span below (including the search engine's own `search.l*` spans)
+        // tags itself with it, and the queue wait becomes a retroactive
+        // span bracketing [enqueue, pop].
+        let prev_trace = alpha_telemetry::set_current_trace_id(trace_id);
+        let wait_us = (queue_wait_secs * 1e6) as u64;
+        alpha_telemetry::record_span(
+            "net.queue_wait",
+            alpha_telemetry::now_us().saturating_sub(wait_us),
+            wait_us,
+            Some(("job", job_id)),
+        );
+        shared.flightrec.record(
+            FlightKind::QueuePop,
+            &tenant.to_string(),
+            trace_id,
+            job_id,
+            wait_us,
+            "tune",
+        );
+        shared.flightrec.record(
+            FlightKind::ExecStart,
+            &tenant.to_string(),
+            trace_id,
+            job_id,
+            0,
+            "tune",
+        );
         let started = Instant::now();
         // A hostile or degenerate matrix must cost its own job, never the
         // worker: a panicking search is caught and reported as a failed
         // job, keeping the worker pool at full strength.
         let service = shared.service.clone();
         let work = std::panic::AssertUnwindSafe(move || service.tune_batch(&[*request]));
-        let mut served = match std::panic::catch_unwind(work) {
-            Ok(served) => served,
-            Err(payload) => {
-                let what = panic_message(payload.as_ref());
-                vec![Err(format!("tuning panicked: {what}"))]
+        let mut served = {
+            let _span = alpha_telemetry::span!("net.tune_exec", job = job_id);
+            match std::panic::catch_unwind(work) {
+                Ok(served) => served,
+                Err(payload) => {
+                    let what = panic_message(payload.as_ref());
+                    vec![Err(format!("tuning panicked: {what}"))]
+                }
             }
         };
         let exec_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
         shared.tune_exec.observe(exec_us);
+        shared.flightrec.record(
+            FlightKind::ExecEnd,
+            &tenant.to_string(),
+            trace_id,
+            job_id,
+            exec_us,
+            "tune",
+        );
         // EWMA (α = 1/4) of tuning time feeds the Busy retry-after hint;
         // racy read-modify-write is fine for an estimate.
         let prev = shared.tune_ewma_us.load(Ordering::Relaxed);
@@ -662,9 +747,32 @@ fn worker_loop(shared: &Shared) {
                 },
                 tuned: Arc::new(tune.tuned),
             },
-            Err(error) => Job::Failed { error },
+            Err(error) => {
+                shared.flightrec.record(
+                    FlightKind::Error,
+                    &tenant.to_string(),
+                    trace_id,
+                    job_id,
+                    0,
+                    "tune_failed",
+                );
+                Job::Failed { error }
+            }
         };
         shared.finish_job(job_id, tenant, outcome);
+        // The job's total in-server latency (admission to terminal state);
+        // over-threshold traces get their black-box events pinned.
+        let total_us = wait_us.saturating_add(exec_us);
+        shared.flightrec.record(
+            FlightKind::Reply,
+            &tenant.to_string(),
+            trace_id,
+            job_id,
+            total_us,
+            "tune",
+        );
+        shared.pin_if_slow(trace_id, total_us);
+        alpha_telemetry::set_current_trace_id(prev_trace);
     }
 }
 
@@ -684,39 +792,83 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// tuning lane, a panicking kernel costs its own request, not the worker.
 fn exec_loop(shared: &Shared) {
     while let Some(task) = shared.exec_queue.pop() {
+        let tenant_label = task.tenant.to_string();
+        let prev_trace = alpha_telemetry::set_current_trace_id(task.trace_id);
+        shared.flightrec.record(
+            FlightKind::ExecStart,
+            &tenant_label,
+            task.trace_id,
+            task.job_id,
+            0,
+            "spmv",
+        );
+        let started = Instant::now();
         let run =
             std::panic::AssertUnwindSafe(|| task.tuned.run_with_pool(&task.x, &shared.exec_pool));
-        let outcome = std::panic::catch_unwind(run).unwrap_or_else(|payload| {
-            Err(format!(
-                "SpMV panicked: {}",
-                panic_message(payload.as_ref())
-            ))
-        });
+        let outcome = {
+            let _span = alpha_telemetry::span!("net.exec", job = task.job_id);
+            std::panic::catch_unwind(run).unwrap_or_else(|payload| {
+                Err(format!(
+                    "SpMV panicked: {}",
+                    panic_message(payload.as_ref())
+                ))
+            })
+        };
+        let exec_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        shared.flightrec.record(
+            FlightKind::ExecEnd,
+            &tenant_label,
+            task.trace_id,
+            task.job_id,
+            exec_us,
+            "spmv",
+        );
         let response = match outcome {
             Ok(y) => Response::SpmvResult { y },
-            Err(e) => Response::Error {
-                kind: ErrorKind::InvalidInput,
-                message: e,
-            },
+            Err(e) => {
+                shared.flightrec.record(
+                    FlightKind::Error,
+                    &tenant_label,
+                    task.trace_id,
+                    task.job_id,
+                    0,
+                    "spmv_failed",
+                );
+                Response::Error {
+                    kind: ErrorKind::InvalidInput,
+                    message: e,
+                }
+            }
         };
-        shared
-            .spmv_latency
-            .observe_duration(task.received.elapsed());
+        // The latency the client eats: exec-queue wait plus kernel time.
+        let total_us = task.received.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        shared.spmv_latency.observe(total_us);
+        shared.flightrec.record(
+            FlightKind::Reply,
+            &tenant_label,
+            task.trace_id,
+            task.job_id,
+            total_us,
+            "spmv",
+        );
+        shared.pin_if_slow(task.trace_id, total_us);
+        alpha_telemetry::set_current_trace_id(prev_trace);
         shared
             .completions
             .lock()
             .expect("completions poisoned")
-            .push((task.token, frame_bytes(&response)));
+            .push((task.token, frame_bytes(task.version, &response)));
         shared.waker.wake();
     }
 }
 
 /// Encodes a response into raw frame bytes (header + payload) ready for an
-/// outbox.
-fn frame_bytes(response: &Response) -> Vec<u8> {
+/// outbox, stamped with the requesting connection's protocol version so a
+/// v4 client reads v4 replies.
+fn frame_bytes(version: u32, response: &Response) -> Vec<u8> {
     let payload = encode_response(response);
     let mut bytes = Vec::with_capacity(16 + payload.len());
-    write_frame(&mut bytes, &payload).expect("responses fit the frame cap");
+    write_frame_versioned(&mut bytes, version, &payload).expect("responses fit the frame cap");
     bytes
 }
 
@@ -789,9 +941,9 @@ struct HttpConn {
 struct Conn {
     stream: TcpStream,
     assembler: FrameAssembler,
-    /// Decoded request payloads waiting behind an in-flight SpMV —
-    /// responses stay in request order.
-    deferred: VecDeque<Vec<u8>>,
+    /// Decoded `(frame version, request payload)` pairs waiting behind an
+    /// in-flight SpMV — responses stay in request order.
+    deferred: VecDeque<(u32, Vec<u8>)>,
     /// Encoded response frames awaiting socket capacity.
     outbox: VecDeque<Vec<u8>>,
     /// Bytes of `outbox.front()` already written (partial-write cursor).
@@ -810,6 +962,10 @@ struct Conn {
     dead: bool,
     /// Interest currently registered with the reactor.
     registered: Interest,
+    /// Protocol version of the last frame this peer sent (defaults to
+    /// [`PROTOCOL_VERSION`] until one arrives) — replies are stamped with
+    /// it so a v4 client keeps reading v4 frames.
+    proto_version: u32,
     /// Cached per-tenant counters, re-resolved when `Hello` rebinds the
     /// tenant.
     metrics: ConnMetrics,
@@ -937,6 +1093,11 @@ impl EventLoop {
             let _ = self.reactor.deregister(conn.stream.as_raw_fd());
         }
         self.shared.exec_queue.close();
+        // The black box outlives the daemon: a configured dump path gets
+        // the flight recorder's JSON on the way out, best-effort.
+        if let Some(path) = &self.shared.config.flightrec_dump {
+            let _ = std::fs::write(path, self.shared.flightrec.render_json());
+        }
     }
 
     /// Delivers finished SpMV frames into their connections' outboxes and
@@ -1002,6 +1163,7 @@ impl EventLoop {
                             eof: false,
                             dead: false,
                             registered: Interest::READABLE,
+                            proto_version: PROTOCOL_VERSION,
                             metrics: ConnMetrics::for_tenant(&self.shared.registry, 0),
                         },
                     );
@@ -1088,14 +1250,34 @@ impl EventLoop {
             }
             if !conn.dead {
                 if conn.buf.len() > MAX_HTTP_REQUEST {
-                    conn.out = http_response("400 Bad Request", "request head too large\n");
+                    conn.out =
+                        http_response("400 Bad Request", TEXT_PLAIN, "request head too large\n");
                     conn.responded = true;
                 } else if head_complete(&conn.buf) {
-                    conn.out = if is_get_metrics(&conn.buf) {
-                        self.shared.http_scrapes.inc();
-                        http_response("200 OK", &self.shared.registry.render_prometheus())
-                    } else {
-                        http_response("404 Not Found", "try GET /metrics\n")
+                    conn.out = match http_route(&conn.buf) {
+                        HttpRoute::Metrics => {
+                            self.shared.http_scrapes.inc();
+                            http_response(
+                                "200 OK",
+                                PROMETHEUS_TEXT,
+                                &self.shared.registry.render_prometheus(),
+                            )
+                        }
+                        HttpRoute::FlightRec => http_response(
+                            "200 OK",
+                            "application/json",
+                            &self.shared.flightrec.render_json(),
+                        ),
+                        HttpRoute::MethodNotAllowed => http_response(
+                            "405 Method Not Allowed",
+                            TEXT_PLAIN,
+                            "only GET is supported\n",
+                        ),
+                        HttpRoute::NotFound => http_response(
+                            "404 Not Found",
+                            TEXT_PLAIN,
+                            "try GET /metrics or GET /debug/flightrec\n",
+                        ),
                     };
                     conn.responded = true;
                 }
@@ -1141,7 +1323,7 @@ impl EventLoop {
     /// processes completed frames in order.
     fn read_ready(&mut self, token: usize) {
         let mut chunk = [0u8; 64 * 1024];
-        let mut frames: Vec<Vec<u8>> = Vec::new();
+        let mut frames: Vec<(u32, Vec<u8>)> = Vec::new();
         {
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
@@ -1159,10 +1341,13 @@ impl EventLoop {
                             // Framing lost (bad magic/version/length): one
                             // best-effort typed error, then the connection
                             // cannot continue.
-                            conn.outbox.push_back(frame_bytes(&Response::Error {
-                                kind: ErrorKind::BadFrame,
-                                message: e.to_string(),
-                            }));
+                            conn.outbox.push_back(frame_bytes(
+                                conn.proto_version,
+                                &Response::Error {
+                                    kind: ErrorKind::BadFrame,
+                                    message: e.to_string(),
+                                },
+                            ));
                             conn.close_after_flush = true;
                             break;
                         }
@@ -1188,7 +1373,7 @@ impl EventLoop {
     /// first SpMV offload (responses must stay FIFO per connection).
     fn process_deferred(&mut self, token: usize) {
         loop {
-            let payload = {
+            let (version, payload) = {
                 let Some(conn) = self.conns.get_mut(&token) else {
                     return;
                 };
@@ -1196,24 +1381,27 @@ impl EventLoop {
                     return;
                 }
                 match conn.deferred.pop_front() {
-                    Some(payload) => payload,
+                    Some(entry) => entry,
                     None => return,
                 }
             };
             self.shared.deferred_depth.sub(1);
-            self.handle_payload(token, &payload);
+            self.handle_payload(token, version, &payload);
         }
     }
 
-    /// Decodes and dispatches one request payload for `token`.
-    fn handle_payload(&mut self, token: usize, payload: &[u8]) {
-        if let Some(conn) = self.conns.get(&token) {
+    /// Decodes and dispatches one request payload for `token`.  `version`
+    /// is the frame's wire version: it selects the payload envelope (v5
+    /// carries a trace-id prefix, v4 is bare) and stamps every reply.
+    fn handle_payload(&mut self, token: usize, version: u32, payload: &[u8]) {
+        if let Some(conn) = self.conns.get_mut(&token) {
             // Every arriving frame counts against its tenant, decodable or
             // not — the scrape-side view of per-tenant demand.
             conn.metrics.requests.inc();
+            conn.proto_version = version;
         }
-        let request = match decode_request(payload) {
-            Ok(request) => request,
+        let (trace_id, request) = match decode_request_versioned(version, payload) {
+            Ok(decoded) => decoded,
             Err(e) => {
                 // The frame boundary held, so the session survives a bad
                 // payload with a typed error.
@@ -1227,6 +1415,15 @@ impl EventLoop {
                 return;
             }
         };
+        // The request's trace id scopes every span and flight event below —
+        // dispatch runs to completion on this thread before the next frame.
+        let prev_trace = alpha_telemetry::set_current_trace_id(trace_id);
+        self.dispatch(token, trace_id, request);
+        alpha_telemetry::set_current_trace_id(prev_trace);
+    }
+
+    /// Dispatches one decoded request.
+    fn dispatch(&mut self, token: usize, trace_id: u64, request: Request) {
         let shared = self.shared.clone();
         match request {
             Request::Hello { client_id } => {
@@ -1254,7 +1451,10 @@ impl EventLoop {
             }
             Request::SubmitTune { matrix, device } => {
                 let tenant = self.conns.get(&token).map(|c| c.tenant).unwrap_or(0);
-                let response = submit_tune(&shared, tenant, matrix, device);
+                let response = {
+                    let _span = alpha_telemetry::span!("net.admission", tenant = tenant);
+                    submit_tune(&shared, tenant, trace_id, matrix, device)
+                };
                 self.push_response(token, &response);
             }
             Request::PollJob { job_id } => {
@@ -1272,6 +1472,12 @@ impl EventLoop {
                 self.push_response(token, &Response::Status { job_id, state });
             }
             Request::Spmv { job_id, x } => {
+                let tenant = self.conns.get(&token).map(|c| c.tenant).unwrap_or(0);
+                let version = self
+                    .conns
+                    .get(&token)
+                    .map(|c| c.proto_version)
+                    .unwrap_or(PROTOCOL_VERSION);
                 let tuned = {
                     let table = shared.job_shard(job_id).lock().expect("job table poisoned");
                     match table.get(&job_id) {
@@ -1304,14 +1510,34 @@ impl EventLoop {
                             tuned,
                             x,
                             received: Instant::now(),
+                            version,
+                            trace_id,
+                            tenant,
+                            job_id,
                         }) {
                             Ok(()) => {
+                                shared.flightrec.record(
+                                    FlightKind::Admitted,
+                                    &tenant.to_string(),
+                                    trace_id,
+                                    job_id,
+                                    0,
+                                    "spmv",
+                                );
                                 if let Some(conn) = self.conns.get_mut(&token) {
                                     conn.pending_exec = true;
                                 }
                             }
                             Err(_) => {
                                 shared.exec_inflight.fetch_sub(1, Ordering::Relaxed);
+                                shared.flightrec.record(
+                                    FlightKind::Shed,
+                                    &tenant.to_string(),
+                                    trace_id,
+                                    job_id,
+                                    1,
+                                    "spmv",
+                                );
                                 self.push_response(
                                     token,
                                     &Response::Busy {
@@ -1337,6 +1563,22 @@ impl EventLoop {
                     },
                 );
             }
+            Request::Trace => {
+                // Hand the server-side half of every recorded span to the
+                // client, plus the server clock "now" so the fetch round
+                // trip can estimate the clock offset between the domains.
+                let spans: Vec<alpha_telemetry::OwnedSpan> = alpha_telemetry::drain_spans()
+                    .iter()
+                    .map(alpha_telemetry::OwnedSpan::from)
+                    .collect();
+                self.push_response(
+                    token,
+                    &Response::TraceSpans {
+                        server_now_us: alpha_telemetry::now_us(),
+                        spans,
+                    },
+                );
+            }
             Request::Shutdown => {
                 shared.initiate_shutdown();
                 self.push_response(token, &Response::ShuttingDown);
@@ -1357,7 +1599,11 @@ impl EventLoop {
                 Response::Error { .. } => conn.metrics.errors.inc(),
                 _ => {}
             }
-            conn.outbox.push_back(frame_bytes(response));
+            // The reply-flush span inherits the dispatching request's trace
+            // id from the thread-local set in `handle_payload`.
+            let _span = alpha_telemetry::span!("net.reply", tenant = conn.tenant);
+            conn.outbox
+                .push_back(frame_bytes(conn.proto_version, response));
         }
     }
 
@@ -1479,26 +1725,54 @@ fn head_complete(buf: &[u8]) -> bool {
     buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
 }
 
-/// True when the request line asks for `GET /metrics` (query strings
-/// tolerated — Prometheus sends none, humans with curl sometimes do).
-fn is_get_metrics(buf: &[u8]) -> bool {
+/// `Content-Type` of the Prometheus text exposition; `version=0.0.4` is the
+/// exposition format version scrapers negotiate on.
+const PROMETHEUS_TEXT: &str = "text/plain; version=0.0.4";
+/// `Content-Type` of the plain diagnostic bodies (404/405/400).
+const TEXT_PLAIN: &str = "text/plain";
+
+/// Where an HTTP request line lands on the debug endpoint.
+enum HttpRoute {
+    /// `GET /metrics` — the Prometheus text exposition.
+    Metrics,
+    /// `GET /debug/flightrec` — the flight recorder's JSON dump.
+    FlightRec,
+    /// A known path with any method but `GET` — `405`, `Allow: GET`.
+    MethodNotAllowed,
+    /// Everything else.
+    NotFound,
+}
+
+/// Routes one request line.  Query strings are tolerated on known paths —
+/// Prometheus sends none, humans with curl sometimes do.
+fn http_route(buf: &[u8]) -> HttpRoute {
     let line = buf.split(|&b| b == b'\n').next().unwrap_or(&[]);
     let line = std::str::from_utf8(line)
         .unwrap_or("")
         .trim_end_matches('\r');
     let mut parts = line.split_whitespace();
-    parts.next() == Some("GET")
-        && matches!(
-            parts.next(),
-            Some(path) if path == "/metrics" || path.starts_with("/metrics?")
-        )
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or("");
+    let known = path == "/metrics" || path == "/debug/flightrec";
+    match (method, known) {
+        ("GET", true) if path == "/metrics" => HttpRoute::Metrics,
+        ("GET", true) => HttpRoute::FlightRec,
+        (_, true) => HttpRoute::MethodNotAllowed,
+        _ => HttpRoute::NotFound,
+    }
 }
 
 /// Builds a minimal `HTTP/1.0` response with the headers a scraper needs.
-/// `version=0.0.4` is the Prometheus text exposition format version.
-fn http_response(status: &str, body: &str) -> Vec<u8> {
+/// A `405` additionally advertises `Allow: GET`.
+fn http_response(status: &str, content_type: &str, body: &str) -> Vec<u8> {
+    let allow = if status.starts_with("405") {
+        "Allow: GET\r\n"
+    } else {
+        ""
+    };
     format!(
-        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\n{allow}Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     )
     .into_bytes()
@@ -1509,6 +1783,7 @@ fn http_response(status: &str, body: &str) -> Vec<u8> {
 fn submit_tune(
     shared: &Shared,
     tenant: u64,
+    trace_id: u64,
     matrix: alpha_matrix::CsrMatrix,
     device: String,
 ) -> Response {
@@ -1525,6 +1800,18 @@ fn submit_tune(
         };
     };
     if let Err(busy) = shared.try_admit(tenant) {
+        let retry_after_ms = match &busy {
+            Response::Busy { retry_after_ms, .. } => *retry_after_ms,
+            _ => 0,
+        };
+        shared.flightrec.record(
+            FlightKind::Shed,
+            &tenant.to_string(),
+            trace_id,
+            0,
+            retry_after_ms,
+            "tune",
+        );
         return busy;
     }
     let request = TuneRequest::new(matrix, profile);
@@ -1539,11 +1826,20 @@ fn submit_tune(
                 request: Box::new(request),
                 enqueued: Instant::now(),
                 tenant,
+                trace_id,
             },
         );
     match shared.queue.try_push(tenant, job_id) {
         Ok(()) => {
             shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+            shared.flightrec.record(
+                FlightKind::Admitted,
+                &tenant.to_string(),
+                trace_id,
+                job_id,
+                0,
+                "tune",
+            );
             Response::Submitted { job_id }
         }
         Err(push_error) => {
@@ -1558,9 +1854,18 @@ fn submit_tune(
                 PushError::Full(_) => {
                     shared.unadmit(tenant, true);
                     shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    let retry_after_ms = shared.retry_after_ms();
+                    shared.flightrec.record(
+                        FlightKind::Shed,
+                        &tenant.to_string(),
+                        trace_id,
+                        job_id,
+                        retry_after_ms,
+                        "tune",
+                    );
                     Response::Busy {
                         queue_capacity: shared.queue.capacity() as u64,
-                        retry_after_ms: shared.retry_after_ms(),
+                        retry_after_ms,
                     }
                 }
                 PushError::Closed(_) => {
@@ -1595,17 +1900,48 @@ mod tests {
         assert!(config.frame_deadline >= Duration::from_secs(1));
         assert!(config.tenant_weights.is_empty());
         assert!(config.metrics_addr.is_none());
+        assert!(config.slow_request_us > 0);
+        assert!(config.flightrec_dump.is_none());
     }
 
     #[test]
     fn http_request_lines_are_routed_strictly() {
-        assert!(is_get_metrics(b"GET /metrics HTTP/1.0\r\n\r\n"));
-        assert!(is_get_metrics(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"));
-        assert!(is_get_metrics(b"GET /metrics?debug=1 HTTP/1.0\r\n\r\n"));
-        assert!(!is_get_metrics(b"GET /metricsx HTTP/1.0\r\n\r\n"));
-        assert!(!is_get_metrics(b"GET / HTTP/1.0\r\n\r\n"));
-        assert!(!is_get_metrics(b"POST /metrics HTTP/1.0\r\n\r\n"));
-        assert!(!is_get_metrics(b"\xff\xfe not utf8\r\n\r\n"));
+        assert!(matches!(
+            http_route(b"GET /metrics HTTP/1.0\r\n\r\n"),
+            HttpRoute::Metrics
+        ));
+        assert!(matches!(
+            http_route(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"),
+            HttpRoute::Metrics
+        ));
+        assert!(matches!(
+            http_route(b"GET /metrics?debug=1 HTTP/1.0\r\n\r\n"),
+            HttpRoute::Metrics
+        ));
+        assert!(matches!(
+            http_route(b"GET /debug/flightrec HTTP/1.0\r\n\r\n"),
+            HttpRoute::FlightRec
+        ));
+        assert!(matches!(
+            http_route(b"GET /metricsx HTTP/1.0\r\n\r\n"),
+            HttpRoute::NotFound
+        ));
+        assert!(matches!(
+            http_route(b"GET / HTTP/1.0\r\n\r\n"),
+            HttpRoute::NotFound
+        ));
+        assert!(matches!(
+            http_route(b"POST /metrics HTTP/1.0\r\n\r\n"),
+            HttpRoute::MethodNotAllowed
+        ));
+        assert!(matches!(
+            http_route(b"DELETE /debug/flightrec HTTP/1.0\r\n\r\n"),
+            HttpRoute::MethodNotAllowed
+        ));
+        assert!(matches!(
+            http_route(b"\xff\xfe not utf8\r\n\r\n"),
+            HttpRoute::NotFound
+        ));
 
         assert!(head_complete(b"GET /metrics HTTP/1.0\r\n\r\n"));
         assert!(head_complete(b"GET /metrics\n\n"));
@@ -1614,11 +1950,22 @@ mod tests {
 
     #[test]
     fn http_responses_carry_exact_content_length() {
-        let bytes = http_response("200 OK", "abc");
+        let bytes = http_response("200 OK", PROMETHEUS_TEXT, "abc");
         let text = String::from_utf8(bytes).unwrap();
         assert!(text.starts_with("HTTP/1.0 200 OK\r\n"));
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
         assert!(text.contains("Content-Length: 3\r\n"));
         assert!(text.contains("Connection: close\r\n"));
+        assert!(!text.contains("Allow:"));
         assert!(text.ends_with("\r\n\r\nabc"));
+    }
+
+    #[test]
+    fn method_not_allowed_advertises_the_allowed_method() {
+        let bytes = http_response("405 Method Not Allowed", TEXT_PLAIN, "only GET\n");
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.0 405 Method Not Allowed\r\n"));
+        assert!(text.contains("Allow: GET\r\n"));
+        assert!(text.contains("Content-Type: text/plain\r\n"));
     }
 }

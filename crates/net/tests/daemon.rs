@@ -4,8 +4,8 @@
 
 use alpha_matrix::gen;
 use alpha_net::proto::{
-    decode_response, encode_request, read_frame, write_frame, Request, Response, MAX_FRAME_LEN,
-    NET_MAGIC, PROTOCOL_VERSION,
+    decode_response, encode_request_traced, read_frame, write_frame, Request, Response,
+    MAX_FRAME_LEN, NET_MAGIC, PROTOCOL_VERSION,
 };
 use alpha_net::{Client, ErrorKind, JobState, NetError, NetServer, ServerConfig};
 use alpha_serve::{DesignStore, TuningService};
@@ -173,7 +173,7 @@ fn malformed_frames_never_kill_the_daemon() {
             }
         ));
         // Same connection, now a valid request: the stream stayed in sync.
-        write_frame(&mut raw, &encode_request(&Request::StoreStats)).unwrap();
+        write_frame(&mut raw, &encode_request_traced(0, &Request::StoreStats)).unwrap();
         let payload = read_frame(&mut raw).expect("stats frame");
         assert!(matches!(
             decode_response(&payload).unwrap(),
@@ -183,10 +183,13 @@ fn malformed_frames_never_kill_the_daemon() {
     // 6. Seeded fuzz over a real submission payload: the daemon must answer
     //    *something* typed (or close) for every mutation, and stay alive.
     {
-        let valid = encode_request(&Request::SubmitTune {
-            matrix: gen::uniform_random(24, 24, 3, 9),
-            device: "TestGPU".to_string(),
-        });
+        let valid = encode_request_traced(
+            0,
+            &Request::SubmitTune {
+                matrix: gen::uniform_random(24, 24, 3, 9),
+                device: "TestGPU".to_string(),
+            },
+        );
         let mut state = 0xDEADBEEFCAFEu64;
         let mut next = move || {
             state ^= state >> 12;
@@ -499,6 +502,10 @@ fn metrics_surface_covers_the_whole_pipeline() {
     };
     let response = scrape("/metrics");
     assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+    assert!(
+        response.contains("Content-Type: text/plain; version=0.0.4\r\n"),
+        "{response}"
+    );
     assert!(response.contains("net_requests_total{tenant=\"7\"}"));
     assert!(response.contains("net_http_scrapes_total 1"));
 
@@ -508,6 +515,74 @@ fn metrics_surface_covers_the_whole_pipeline() {
     let again = scrape("/metrics");
     assert!(again.contains("net_http_scrapes_total 2"), "{again}");
 
+    // The flight recorder dumps over the same endpoint, as JSON, and it
+    // has seen this test's tune and SpMV lifecycles.
+    let flightrec = scrape("/debug/flightrec");
+    assert!(flightrec.starts_with("HTTP/1.0 200 OK\r\n"), "{flightrec}");
+    assert!(
+        flightrec.contains("Content-Type: application/json\r\n"),
+        "{flightrec}"
+    );
+    for marker in ["\"admitted\"", "\"queue_pop\"", "\"exec_end\"", "\"reply\""] {
+        assert!(flightrec.contains(marker), "missing {marker}:\n{flightrec}");
+    }
+
+    // Only GET is served: anything else on a known path is a 405 that
+    // names the allowed method.
+    let mut stream = TcpStream::connect(metrics_addr).expect("scraper connects");
+    stream
+        .write_all(b"POST /metrics HTTP/1.0\r\n\r\n")
+        .expect("request writes");
+    let mut body = String::new();
+    {
+        use std::io::Read;
+        stream.read_to_string(&mut body).expect("response reads");
+    }
+    assert!(
+        body.starts_with("HTTP/1.0 405 Method Not Allowed\r\n"),
+        "{body}"
+    );
+    assert!(body.contains("Allow: GET\r\n"), "{body}");
+
     client.store_stats().expect("frame protocol still serves");
+    stop(server, &dir);
+}
+
+#[test]
+fn v4_clients_without_trace_envelopes_are_still_served() {
+    let dir = temp_dir("v4compat");
+    let server = quick_daemon(&dir, ServerConfig::default());
+
+    // A v4 peer frames its payload bare — no trace-id prefix — and stamps
+    // version 4.  The daemon must decode it as an untraced request and
+    // stamp its reply with the peer's own version.
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let payload = alpha_net::proto::encode_request(&Request::StoreStats);
+    raw.write_all(&NET_MAGIC).unwrap();
+    raw.write_all(&4u32.to_le_bytes()).unwrap();
+    raw.write_all(&(payload.len() as u64).to_le_bytes())
+        .unwrap();
+    raw.write_all(&payload).unwrap();
+
+    let mut header = [0u8; 16];
+    {
+        use std::io::Read;
+        raw.read_exact(&mut header).expect("reply header");
+    }
+    assert_eq!(&header[..4], &NET_MAGIC, "reply magic");
+    let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    assert_eq!(version, 4, "the reply must carry the v4 peer's version");
+    let len = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
+    let mut reply = vec![0u8; len];
+    {
+        use std::io::Read;
+        raw.read_exact(&mut reply).expect("reply payload");
+    }
+    assert!(matches!(
+        decode_response(&reply).expect("decodes"),
+        Response::Stats(_)
+    ));
+    drop(raw);
     stop(server, &dir);
 }

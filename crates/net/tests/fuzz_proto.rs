@@ -9,8 +9,8 @@
 
 use alpha_matrix::gen;
 use alpha_net::proto::{
-    decode_request, decode_response, encode_request, read_frame, write_frame, Request, Response,
-    MAX_FRAME_LEN, NET_MAGIC, PROTOCOL_VERSION,
+    decode_request_versioned, decode_response, encode_request_traced, read_frame, write_frame,
+    Request, Response, MAX_FRAME_LEN, NET_MAGIC, PROTOCOL_VERSION,
 };
 use alpha_net::{Client, NetServer, ServerConfig};
 use alpha_serve::{DesignStore, TuningService};
@@ -73,18 +73,24 @@ fn framed(payload: &[u8]) -> Vec<u8> {
 /// test rather than exercise its robustness.
 fn corpus() -> Vec<Vec<u8>> {
     vec![
-        encode_request(&Request::StoreStats),
-        encode_request(&Request::TenantStats),
-        encode_request(&Request::Hello { client_id: 42 }),
-        encode_request(&Request::PollJob { job_id: 7 }),
-        encode_request(&Request::Spmv {
-            job_id: 3,
-            x: vec![1.0; 16],
-        }),
-        encode_request(&Request::SubmitTune {
-            matrix: gen::uniform_random(24, 24, 3, 9),
-            device: "TestGPU".to_string(),
-        }),
+        encode_request_traced(0, &Request::StoreStats),
+        encode_request_traced(0, &Request::TenantStats),
+        encode_request_traced(0, &Request::Hello { client_id: 42 }),
+        encode_request_traced(0, &Request::PollJob { job_id: 7 }),
+        encode_request_traced(
+            0,
+            &Request::Spmv {
+                job_id: 3,
+                x: vec![1.0; 16],
+            },
+        ),
+        encode_request_traced(
+            0,
+            &Request::SubmitTune {
+                matrix: gen::uniform_random(24, 24, 3, 9),
+                device: "TestGPU".to_string(),
+            },
+        ),
     ]
 }
 
@@ -134,7 +140,10 @@ fn mutated_frames_yield_typed_errors_or_clean_closes_and_leak_nothing() {
         }
         // A mutant that decodes as a *valid* Shutdown would legitimately
         // stop the daemon — skip it; every other mutant is fair game.
-        if matches!(decode_request(&mutated), Ok(Request::Shutdown)) {
+        if matches!(
+            decode_request_versioned(PROTOCOL_VERSION, &mutated),
+            Ok((_, Request::Shutdown))
+        ) {
             continue;
         }
         if let Some(response) = probe(addr, &framed(mutated.as_slice()), false) {
@@ -148,6 +157,7 @@ fn mutated_frames_yield_typed_errors_or_clean_closes_and_leak_nothing() {
                 | Response::MetricsText { .. }
                 | Response::SpmvResult { .. } => {}
                 Response::Submitted { .. } => observed_submissions += 1,
+                Response::TraceSpans { .. } => {}
                 Response::ShuttingDown => panic!("no mutant may shut the daemon down"),
             }
         }
@@ -180,10 +190,13 @@ fn truncation_at_every_byte_offset_leaks_nothing() {
     let dir = temp_dir("truncate");
     let server = spawn_daemon(&dir, ServerConfig::default());
     let addr = server.local_addr();
-    let frame = framed(&encode_request(&Request::SubmitTune {
-        matrix: gen::uniform_random(8, 8, 2, 3),
-        device: "TestGPU".to_string(),
-    }));
+    let frame = framed(&encode_request_traced(
+        0,
+        &Request::SubmitTune {
+            matrix: gen::uniform_random(8, 8, 2, 3),
+            device: "TestGPU".to_string(),
+        },
+    ));
 
     // Cut the valid submission frame at every byte boundary and vanish:
     // 0 bytes (bare connect), mid-header, exactly-header, mid-payload,
@@ -207,7 +220,7 @@ fn length_field_tampering_gets_a_typed_error_or_clean_close() {
     let dir = temp_dir("lengths");
     let server = spawn_daemon(&dir, ServerConfig::default());
     let addr = server.local_addr();
-    let payload = encode_request(&Request::PollJob { job_id: 1 });
+    let payload = encode_request_traced(0, &Request::PollJob { job_id: 1 });
 
     // Claimed lengths the header can lie with: zero, short, long-but-legal,
     // over the cap, and absurd.  (A *smaller* length makes the daemon parse
@@ -252,9 +265,15 @@ fn duplicated_and_pipelined_frames_answer_in_order() {
     let mut raw = TcpStream::connect(addr).unwrap();
     raw.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
     let mut burst = Vec::new();
-    burst.extend_from_slice(&framed(&encode_request(&Request::PollJob { job_id: 9 })));
-    burst.extend_from_slice(&framed(&encode_request(&Request::PollJob { job_id: 9 })));
-    burst.extend_from_slice(&framed(&encode_request(&Request::StoreStats)));
+    burst.extend_from_slice(&framed(&encode_request_traced(
+        0,
+        &Request::PollJob { job_id: 9 },
+    )));
+    burst.extend_from_slice(&framed(&encode_request_traced(
+        0,
+        &Request::PollJob { job_id: 9 },
+    )));
+    burst.extend_from_slice(&framed(&encode_request_traced(0, &Request::StoreStats)));
     raw.write_all(&burst).unwrap();
 
     for expected_poll in [true, true, false] {
@@ -280,8 +299,8 @@ fn interleaved_partial_frames_across_connections_stay_isolated() {
     let dir = temp_dir("interleave");
     let server = spawn_daemon(&dir, ServerConfig::default());
     let addr = server.local_addr();
-    let frame_a = framed(&encode_request(&Request::PollJob { job_id: 11 }));
-    let frame_b = framed(&encode_request(&Request::StoreStats));
+    let frame_a = framed(&encode_request_traced(0, &Request::PollJob { job_id: 11 }));
+    let frame_b = framed(&encode_request_traced(0, &Request::StoreStats));
 
     // A sends half a frame and stalls; B's complete frame must be answered
     // while A is mid-frame; then A finishes and gets its own answer.

@@ -87,6 +87,7 @@ fn chaos_soak_survives_converges_and_starves_no_tenant() {
             frame_deadline: FRAME_DEADLINE,
             tenant_weights: vec![(1, 3), (2, 1), (3, 1)],
             metrics_addr: None,
+            ..ServerConfig::default()
         },
     )
     .expect("daemon binds");

@@ -55,23 +55,12 @@ fn resolve_threads(threads: usize) -> usize {
     }
 }
 
-/// OS threads this crate has created so far, process-wide — pool workers and
-/// spawn-per-call scoped threads alike.
-///
-/// This is the observability hook the "no spawn on the steady-state path"
-/// tests rely on: snapshot the counter, run the hot path N times, and assert
-/// it did not move.  (The counter is global, so such assertions belong in
-/// single-test binaries where no unrelated test spawns concurrently.)
-#[deprecated(
-    since = "0.1.0",
-    note = "read the `parallel_thread_spawns_total` counter from \
-            `alpha_telemetry::global()` instead"
-)]
-pub fn thread_spawns() -> usize {
-    spawn_counter().get() as usize
-}
-
-/// Cached handle on the process-wide `parallel_thread_spawns_total` counter.
+/// Cached handle on the process-wide `parallel_thread_spawns_total` counter —
+/// the observability hook the "no spawn on the steady-state path" tests rely
+/// on: snapshot the counter via `alpha_telemetry::global()`, run the hot
+/// path N times, and assert it did not move.  (The counter is global, so
+/// such assertions belong in single-test binaries where no unrelated test
+/// spawns concurrently.)
 fn spawn_counter() -> &'static Counter {
     static COUNTER: OnceLock<Counter> = OnceLock::new();
     COUNTER.get_or_init(|| alpha_telemetry::global().counter("parallel_thread_spawns_total", &[]))

@@ -9,7 +9,7 @@
 use alpha_parallel::{split_mut, Pool};
 
 /// The spawn counter now lives in the process-wide telemetry registry
-/// (`thread_spawns()` survives only as a deprecated shim over it).
+/// (the old `thread_spawns()` free function is gone; this is the counter).
 fn thread_spawns() -> u64 {
     alpha_telemetry::global()
         .counter("parallel_thread_spawns_total", &[])

@@ -320,6 +320,10 @@ impl TuningService {
         search_threads: usize,
     ) -> Result<ServedTune, String> {
         let start = Instant::now();
+        // Traced requests see the serving layer as one span between the
+        // daemon's queue-pop and reply spans; the search engine's own
+        // `search.l*` spans nest under it.
+        let _span = alpha_telemetry::span!("serve.tune", context = store_key);
         let cache = self.store.cache_for(store_key).map_err(String::from)?;
 
         // Warm-start seeds: pinned on the context's first search, replayed

@@ -1,7 +1,8 @@
 //! `alpha-telemetry`: the observability substrate of the workspace —
-//! a process-wide metrics registry and lightweight span tracing, std-only.
+//! a process-wide metrics registry, lightweight span tracing, cross-process
+//! trace stitching and an always-on flight recorder, std-only.
 //!
-//! The crate has two halves, deliberately independent:
+//! The crate has four parts, deliberately independent:
 //!
 //! * [`metrics`] — a lock-cheap [`Registry`] of counters, gauges and
 //!   fixed-bucket log-scale histograms.  Registration (name + small static
@@ -12,7 +13,15 @@
 //! * [`trace`] — `span!("search.l2", matrix = fp)` records start/stop pairs
 //!   on a thread-local stack and drains finished spans into a bounded ring
 //!   buffer, exportable as Chrome `trace_event` JSON for flamegraph-style
-//!   inspection in `chrome://tracing` / Perfetto.
+//!   inspection in `chrome://tracing` / Perfetto.  Spans carry the
+//!   thread-local request `trace_id` set by [`set_current_trace_id`].
+//! * [`stitch`] — joins client- and server-side spans of one traced request
+//!   into a single Chrome trace, offsetting the two clock domains with the
+//!   NTP-style midpoint estimate from the trace-fetch round trip.
+//! * [`flightrec`] — the black-box [`FlightRecorder`]: a fixed-size ring of
+//!   structured request lifecycle events (admission, shed, queue wait, exec,
+//!   error, reply) that is always on, with slow requests pinned so they
+//!   survive ring wrap.
 //!
 //! Two invariants every consumer relies on:
 //!
@@ -44,14 +53,18 @@
 
 #![warn(missing_docs)]
 
+pub mod flightrec;
 pub mod metrics;
+pub mod stitch;
 pub mod trace;
 
+pub use flightrec::{FlightEvent, FlightKind, FlightRecorder, TraceAttribution};
 pub use metrics::{
     global, Counter, CounterSample, Gauge, GaugeSample, Histogram, HistogramSnapshot, Registry,
     Snapshot, BUCKETS, BUCKET_BOUNDS,
 };
+pub use stitch::{clock_offset_us, stitch_chrome_trace, trace_ids, OwnedSpan};
 pub use trace::{
-    chrome_trace_json, disable_tracing, drain_spans, enable_tracing, tracing_enabled, SpanEvent,
-    SpanGuard,
+    chrome_trace_json, current_trace_id, disable_tracing, drain_spans, enable_tracing, now_us,
+    record_span, set_current_trace_id, tracing_enabled, SpanEvent, SpanGuard,
 };

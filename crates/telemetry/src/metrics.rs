@@ -594,7 +594,7 @@ fn prom_escape(s: &str) -> String {
         .replace('\n', "\\n")
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -694,6 +694,55 @@ mod tests {
         assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 2\n"));
         assert!(text.contains("lat_us_sum 6\n"));
         assert!(text.contains("lat_us_count 2\n"));
+    }
+
+    #[test]
+    fn prometheus_exposition_escapes_hostile_label_values() {
+        // Inverse of `prom_escape`, per the exposition-format escape rules:
+        // \\ -> \, \" -> ", \n -> newline.
+        fn prom_unescape(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            let mut chars = s.chars();
+            while let Some(c) = chars.next() {
+                if c != '\\' {
+                    out.push(c);
+                    continue;
+                }
+                match chars.next() {
+                    Some('\\') => out.push('\\'),
+                    Some('"') => out.push('"'),
+                    Some('n') => out.push('\n'),
+                    Some(other) => {
+                        out.push('\\');
+                        out.push(other);
+                    }
+                    None => out.push('\\'),
+                }
+            }
+            out
+        }
+
+        let hostile = "back\\slash\"quote\nnewline} end";
+        let registry = Registry::new();
+        registry
+            .counter("hostile_total", &[("tenant", hostile)])
+            .inc();
+        let text = registry.render_prometheus();
+
+        // The rendered line must stay a single line with balanced quoting...
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("hostile_total"))
+            .expect("hostile counter renders");
+        assert_eq!(line.matches('\n').count(), 0);
+        assert!(line.ends_with("} 1"));
+
+        // ...and the escaped value must round-trip to the original bytes.
+        let start = line.find("tenant=\"").expect("label present") + "tenant=\"".len();
+        let end = line.rfind("\"}").expect("label closes");
+        let escaped = &line[start..end];
+        assert_eq!(escaped, "back\\\\slash\\\"quote\\nnewline} end");
+        assert_eq!(prom_unescape(escaped), hostile);
     }
 
     #[test]

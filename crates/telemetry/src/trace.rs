@@ -47,6 +47,11 @@ pub struct SpanEvent {
     /// Optional static-key argument attached at the span site
     /// (`span!("name", matrix = fp)`).
     pub arg: Option<(&'static str, u64)>,
+    /// Request trace id in effect on the recording thread when the span was
+    /// entered (`0` = untraced).  Set with [`set_current_trace_id`]; carried
+    /// across the wire by `alpha-net` so client- and server-side spans of
+    /// one request share an id.
+    pub trace_id: u64,
 }
 
 struct Ring {
@@ -75,6 +80,60 @@ fn thread_id() -> u64 {
 
 thread_local! {
     static DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+    static TRACE_ID: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Sets the request trace id tagged onto every span this thread records
+/// until the next call, returning the previous value so scoped callers can
+/// restore it.  `0` means untraced.
+pub fn set_current_trace_id(trace_id: u64) -> u64 {
+    TRACE_ID.with(|t| t.replace(trace_id))
+}
+
+/// The request trace id currently in effect on this thread (`0` = untraced).
+#[inline]
+pub fn current_trace_id() -> u64 {
+    TRACE_ID.with(|t| t.get())
+}
+
+/// Microseconds elapsed since the process trace epoch.  Pairs with
+/// [`record_span`] to describe intervals whose start and end are observed on
+/// different threads (e.g. queue wait: enqueue stamps `now_us()`, the worker
+/// records the span when it pops).
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+/// Records an already-finished span with explicit timestamps, tagged with
+/// this thread's tid and current trace id at depth 0.  No-op while tracing
+/// is disabled.  Use for cross-thread intervals that no single [`SpanGuard`]
+/// scope can bracket.
+pub fn record_span(name: &'static str, ts_us: u64, dur_us: u64, arg: Option<(&'static str, u64)>) {
+    if !tracing_enabled() {
+        return;
+    }
+    push_event(SpanEvent {
+        name,
+        ts_us,
+        dur_us,
+        tid: thread_id(),
+        depth: 0,
+        arg,
+        trace_id: current_trace_id(),
+    });
+}
+
+fn push_event(event: SpanEvent) {
+    let mut guard = RING.lock().expect("trace ring poisoned");
+    if let Some(ring) = guard.as_mut() {
+        if ring.spans.len() < ring.capacity {
+            ring.spans.push(event);
+        } else {
+            ring.spans[ring.next] = event;
+            ring.next = (ring.next + 1) % ring.capacity;
+            ring.dropped += 1;
+        }
+    }
 }
 
 /// Installs (or resizes) the span sink: a ring buffer holding the most
@@ -156,6 +215,7 @@ struct OpenSpan {
     name: &'static str,
     arg: Option<(&'static str, u64)>,
     depth: u32,
+    trace_id: u64,
 }
 
 impl SpanGuard {
@@ -176,6 +236,7 @@ impl SpanGuard {
                 name,
                 arg,
                 depth,
+                trace_id: current_trace_id(),
             }),
         }
     }
@@ -193,24 +254,15 @@ impl Drop for SpanGuard {
             .as_micros()
             .min(u64::MAX as u128) as u64;
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
-        let event = SpanEvent {
+        push_event(SpanEvent {
             name: open.name,
             ts_us,
             dur_us,
             tid: thread_id(),
             depth: open.depth,
             arg: open.arg,
-        };
-        let mut guard = RING.lock().expect("trace ring poisoned");
-        if let Some(ring) = guard.as_mut() {
-            if ring.spans.len() < ring.capacity {
-                ring.spans.push(event);
-            } else {
-                ring.spans[ring.next] = event;
-                ring.next = (ring.next + 1) % ring.capacity;
-                ring.dropped += 1;
-            }
-        }
+            trace_id: open.trace_id,
+        });
     }
 }
 
@@ -235,6 +287,9 @@ pub fn chrome_trace_json(spans: &[SpanEvent]) -> String {
     let mut out = String::from("[\n");
     for (i, s) in spans.iter().enumerate() {
         let mut args = format!("\"depth\": {}", s.depth);
+        if s.trace_id != 0 {
+            args.push_str(&format!(", \"trace_id\": {}", s.trace_id));
+        }
         if let Some((k, v)) = s.arg {
             args.push_str(&format!(", \"{k}\": {v}"));
         }
@@ -316,6 +371,85 @@ mod tests {
         // Oldest-first drain order: timestamps are non-decreasing.
         for pair in spans.windows(2) {
             assert!(pair[0].ts_us <= pair[1].ts_us);
+        }
+        enable_tracing(64); // restore a sane default-size sink state
+        disable_tracing();
+    }
+
+    #[test]
+    fn trace_id_scopes_to_the_setting_thread() {
+        let _serial = serial();
+        enable_tracing(64);
+        let _ = drain_spans();
+        let prev = set_current_trace_id(0xDEAD_BEEF);
+        {
+            let _tagged = crate::span!("tagged");
+        }
+        set_current_trace_id(prev);
+        {
+            let _untagged = crate::span!("untagged");
+        }
+        record_span("retro", 1, 2, Some(("queue", 3)));
+        disable_tracing();
+        let spans = drain_spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].trace_id, 0xDEAD_BEEF);
+        assert_eq!(spans[1].trace_id, 0);
+        assert_eq!(spans[2].name, "retro");
+        assert_eq!(spans[2].ts_us, 1);
+        assert_eq!(spans[2].dur_us, 2);
+        let json = chrome_trace_json(&spans);
+        assert!(json.contains("\"trace_id\": 3735928559"));
+    }
+
+    #[test]
+    fn concurrent_wraparound_keeps_capacity_and_drain_order() {
+        let _serial = serial();
+        const CAPACITY: usize = 64;
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 200;
+        enable_tracing(CAPACITY);
+        let _ = drain_spans();
+        let dropped_before = dropped_spans();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                scope.spawn(move || {
+                    let _ = set_current_trace_id(t as u64 + 1);
+                    for _ in 0..PER_THREAD {
+                        let _span = crate::span!("storm");
+                    }
+                });
+            }
+        });
+        disable_tracing();
+        let spans = drain_spans();
+        assert_eq!(spans.len(), CAPACITY, "ring holds exactly its capacity");
+        assert_eq!(
+            dropped_spans() - dropped_before,
+            (THREADS * PER_THREAD - CAPACITY) as u64,
+            "every overwrite counts as one drop"
+        );
+        // Oldest-first drain: within any one recording thread, ring order
+        // must match that thread's completion order (end timestamps are
+        // non-decreasing per tid; cross-thread interleaving is unordered).
+        let tids: std::collections::HashSet<u64> = spans.iter().map(|s| s.tid).collect();
+        assert!(!tids.is_empty() && tids.len() <= THREADS);
+        for tid in &tids {
+            let ends: Vec<u64> = spans
+                .iter()
+                .filter(|s| s.tid == *tid)
+                .map(|s| s.ts_us + s.dur_us)
+                .collect();
+            for pair in ends.windows(2) {
+                assert!(
+                    pair[0] <= pair[1],
+                    "drain must be oldest-first per recording thread"
+                );
+            }
+        }
+        for s in &spans {
+            assert_eq!(s.name, "storm");
+            assert!((1..=THREADS as u64).contains(&s.trace_id));
         }
         enable_tracing(64); // restore a sane default-size sink state
         disable_tracing();

@@ -87,12 +87,13 @@ fn parse_args() -> (Option<std::net::SocketAddr>, usize) {
     (metrics_addr, fleet_size)
 }
 
-/// One blocking HTTP/1.0 scrape of the daemon's metrics endpoint.
-fn scrape_metrics(addr: std::net::SocketAddr) -> String {
+/// One blocking HTTP/1.0 GET against the daemon's metrics lane, returning
+/// the response body.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
     use std::io::{Read, Write};
     let mut stream = std::net::TcpStream::connect(addr).expect("scraper connects");
     stream
-        .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
         .expect("scrape request writes");
     let mut response = String::new();
     stream
@@ -100,7 +101,7 @@ fn scrape_metrics(addr: std::net::SocketAddr) -> String {
         .expect("scrape response reads");
     assert!(
         response.starts_with("HTTP/1.0 200 OK\r\n"),
-        "scrape failed: {response}"
+        "GET {path} failed: {response}"
     );
     response
         .split_once("\r\n\r\n")
@@ -178,7 +179,7 @@ fn main() {
     );
 
     if let Some(metrics) = server.metrics_addr() {
-        let body = scrape_metrics(metrics);
+        let body = http_get(metrics, "/metrics");
         let lines = body.lines().count();
         println!("\nself-scrape of http://{metrics}/metrics: {lines} samples, e.g.");
         for prefix in [
@@ -194,6 +195,17 @@ fn main() {
             body.lines().any(|l| l.starts_with("net_requests_total")),
             "scrape must carry the wire-level families"
         );
+        // The flight recorder rides the same lane: its dump must already
+        // hold the lifecycle of the traffic the waves produced.
+        let dump = http_get(metrics, "/debug/flightrec");
+        for kind in ["\"admitted\"", "\"queue_pop\"", "\"exec_end\"", "\"reply\""] {
+            assert!(
+                dump.contains(kind),
+                "flight recorder saw no {kind} event after two waves"
+            );
+        }
+        let events = dump.matches("\"seq\":").count();
+        println!("flight recorder: {events} buffered events at http://{metrics}/debug/flightrec");
     }
 
     client.shutdown().expect("daemon acknowledges shutdown");
