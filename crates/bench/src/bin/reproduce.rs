@@ -223,7 +223,7 @@ fn main() {
         match native_mode(config) {
             Ok(results) => {
                 println!(
-                    "  {:<18} {:>9} {:>9} {:>9} {:>9} {:>11} {:>9} {:>10} {:>10} {:>9} {:>9} {:>7}",
+                    "  {:<18} {:>9} {:>9} {:>9} {:>9} {:>11} {:>9} {:>10} {:>10} {:>9} {:>9} {:>7} {:>9}",
                     "matrix",
                     "CSR",
                     "ELL",
@@ -235,7 +235,8 @@ fn main() {
                     "spawn Δµs",
                     "scal 1T",
                     "simd 1T",
-                    "simd×"
+                    "simd×",
+                    "interp Δ%"
                 );
                 for r in &results {
                     let g = |name: &str| {
@@ -248,11 +249,15 @@ fn main() {
                     // Pooled-vs-spawn comparison columns: the generated
                     // kernel's pooled median next to the extra per-call
                     // cost the legacy spawn path pays for the same kernel.
-                    // The last three columns are the SIMD differential:
+                    // The next three columns are the SIMD differential:
                     // the same winning design forced scalar vs as-lowered,
-                    // both on one thread.
+                    // both on one thread.  The last column is the
+                    // specialization differential: the force-interpreted
+                    // twin's extra single-thread cost over the
+                    // monomorphized-library loop (positive = the
+                    // specialized kernel wins).
                     println!(
-                        "  {:<18} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>11.2} {:>8.2}x {:>10.1} {:>+10.1} {:>9.2} {:>9.2} {:>6.2}x",
+                        "  {:<18} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>11.2} {:>8.2}x {:>10.1} {:>+10.1} {:>9.2} {:>9.2} {:>6.2}x {:>+8.1}%",
                         r.name,
                         g("CSR-scalar"),
                         g("ELL"),
@@ -264,15 +269,22 @@ fn main() {
                         r.generated.dispatch_overhead_us.unwrap_or(0.0),
                         r.scalar.gflops,
                         r.simd_single_thread_gflops,
-                        r.simd_speedup()
+                        r.simd_speedup(),
+                        r.generated.interp_overhead_pct.unwrap_or(0.0)
                     );
                 }
-                println!("  winning kernels (resolved vectorization):");
+                println!("  winning kernels (resolved vectorization, library shape):");
                 for r in &results {
                     println!(
-                        "    {:<18} {}",
+                        "    {:<18} {:<18} {}{}",
                         r.name,
-                        r.generated.simd.as_deref().unwrap_or("scalar")
+                        r.generated.simd.as_deref().unwrap_or("scalar"),
+                        r.generated.kernel_shape.as_deref().unwrap_or("none"),
+                        if r.generated.specialized == Some(true) {
+                            ""
+                        } else {
+                            "  [interpreted fallback]"
+                        }
                     );
                 }
                 let speedups: Vec<f64> = results
@@ -318,6 +330,25 @@ fn main() {
                         telemetry.iter().sum::<f64>() / telemetry.len() as f64
                     );
                 }
+                let interp: Vec<f64> = results
+                    .iter()
+                    .filter_map(|r| r.generated.interp_overhead_pct)
+                    .collect();
+                if !interp.is_empty() {
+                    println!(
+                        "  interp Δ% = force-interpreted twin vs monomorphized \
+                         library, single thread (mean {:+.1}%; positive = \
+                         specialization wins)",
+                        interp.iter().sum::<f64>() / interp.len() as f64
+                    );
+                }
+                // Greppable library-coverage invariant: every winner the
+                // fleet produced must have resolved to a specialized loop.
+                // CI fails the native smoke when this count is nonzero.
+                println!(
+                    "  cpu_kernel_fallback_total: {}",
+                    alpha_cpu::kernel_fallback_total()
+                );
                 println!(
                     "  (wall-clock numbers carry allocator-placement and scheduler noise;\n\
                      \x20  treat deltas under ~30% as ties)\n"

@@ -515,6 +515,20 @@ pub struct BenchRecord {
     ///
     /// [`without_telemetry`]: alpha_cpu::NativeKernel::without_telemetry
     pub telemetry_overhead_pct: Option<f64>,
+    /// The monomorphized-library shape key of the measured native kernel
+    /// (see `alpha_cpu::KernelShape::label`); `None` for records that never
+    /// lowered to a native kernel.
+    pub kernel_shape: Option<String>,
+    /// True when every partition of the measured kernel ran through a
+    /// specialized (branch-free, monomorphized) loop; false when any
+    /// partition fell back to the interpreted executor.  `None` for
+    /// simulated records.
+    pub specialized: Option<bool>,
+    /// Cost of the interpreted (pre-specialization) executor relative to
+    /// the monomorphized library for the same design, in percent: the
+    /// force-interpreted twin's single-thread min-of-N time against the
+    /// specialized kernel's.  `None` when the comparison was not measured.
+    pub interp_overhead_pct: Option<f64>,
     /// Latency percentiles + throughput, for serve-bench records only.
     pub latency: Option<LatencySummary>,
     /// Concurrent closed-loop connections that produced this record;
@@ -595,6 +609,9 @@ impl BenchRecord {
             pool: false,
             dispatch_overhead_us: None,
             telemetry_overhead_pct: None,
+            kernel_shape: None,
+            specialized: None,
+            interp_overhead_pct: None,
             latency: None,
             clients: None,
         }
@@ -620,6 +637,9 @@ impl BenchRecord {
             pool: false,
             dispatch_overhead_us: None,
             telemetry_overhead_pct: None,
+            kernel_shape: None,
+            specialized: None,
+            interp_overhead_pct: None,
             latency: None,
             clients: None,
         }
@@ -653,6 +673,9 @@ impl BenchRecord {
             pool: true,
             dispatch_overhead_us: None,
             telemetry_overhead_pct: None,
+            kernel_shape: None,
+            specialized: None,
+            interp_overhead_pct: None,
             latency: None,
             clients: None,
         }
@@ -678,6 +701,22 @@ impl BenchRecord {
     /// records need this override.
     pub fn with_simd(mut self, label: impl Into<String>) -> Self {
         self.simd = Some(label.into());
+        self
+    }
+
+    /// Attaches the measured kernel's monomorphized-library shape key and
+    /// whether it actually ran specialized (see [`BenchRecord::kernel_shape`]
+    /// and [`BenchRecord::specialized`]).
+    pub fn with_kernel_shape(mut self, shape: impl Into<String>, specialized: bool) -> Self {
+        self.kernel_shape = Some(shape.into());
+        self.specialized = Some(specialized);
+        self
+    }
+
+    /// Attaches the interpreted-vs-specialized comparison (see
+    /// [`BenchRecord::interp_overhead_pct`]).
+    pub fn with_interp_overhead(mut self, pct: f64) -> Self {
+        self.interp_overhead_pct = Some(pct);
         self
     }
 }
@@ -728,6 +767,8 @@ pub fn results_to_json(records: &[BenchRecord]) -> String {
              \"wall_secs\": {}, \"threads\": {}, \"measured_median_us\": {}, \
              \"measured_stddev_us\": {}, \"pool\": {}, \
              \"dispatch_overhead_us\": {}, \"telemetry_overhead_pct\": {}, \
+             \"kernel_shape\": {}, \"specialized\": {}, \
+             \"interp_overhead_pct\": {}, \
              \"clients\": {}, \"p50_us\": {}, \
              \"p95_us\": {}, \"p99_us\": {}, \"requests_per_sec\": {}}}{}\n",
             json_escape(&r.device),
@@ -747,6 +788,11 @@ pub fn results_to_json(records: &[BenchRecord]) -> String {
             r.pool,
             json_opt_f64(r.dispatch_overhead_us),
             json_opt_f64(r.telemetry_overhead_pct),
+            json_opt_str(r.kernel_shape.as_deref()),
+            r.specialized
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+            json_opt_f64(r.interp_overhead_pct),
             r.clients
                 .map(|c| c.to_string())
                 .unwrap_or_else(|| "null".to_string()),
@@ -1080,7 +1126,12 @@ impl NativeMatrixResult {
 /// from what thread scaling buys.  A third single-thread twin with the
 /// telemetry sink detached ([`alpha_cpu::NativeKernel::without_telemetry`])
 /// prices the always-on instrumentation itself; the difference is recorded
-/// per matrix as [`BenchRecord::telemetry_overhead_pct`].
+/// per matrix as [`BenchRecord::telemetry_overhead_pct`].  A fourth twin
+/// bypasses the monomorphized kernel library
+/// ([`alpha_cpu::SpecializeMode::ForceInterpreted`]) so the interpreted
+/// executor's cost relative to the specialized loops lands in
+/// [`BenchRecord::interp_overhead_pct`], and every generated row records
+/// its [`BenchRecord::kernel_shape`] and [`BenchRecord::specialized`] flag.
 pub fn native_mode(config: NativeModeConfig) -> Result<Vec<NativeMatrixResult>, String> {
     use alphasparse::AlphaSparse;
 
@@ -1134,7 +1185,8 @@ pub fn native_mode(config: NativeModeConfig) -> Result<Vec<NativeMatrixResult>, 
             wall_secs,
         )
         .with_dispatch_overhead(spawned.min_us, measured.min_us)
-        .with_simd(tuned.native_kernel().simd_label());
+        .with_simd(tuned.native_kernel().simd_label())
+        .with_kernel_shape(tuned.kernel_shape(), tuned.is_specialized());
 
         // SIMD differential: re-lower the same winning design with
         // vectorization forced off and time both sides single-threaded, so
@@ -1160,7 +1212,37 @@ pub fn native_mode(config: NativeModeConfig) -> Result<Vec<NativeMatrixResult>, 
             .harness
             .measure_kernel(&scalar_kernel, x.as_slice(), 1)?;
         let scalar = BenchRecord::measured(&name, &tuned.operator_graph(), &scalar_1t, 0, 0.0, 0.0)
-            .with_simd(scalar_kernel.simd_label());
+            .with_simd(scalar_kernel.simd_label())
+            .with_kernel_shape(scalar_kernel.shape_label(), scalar_kernel.is_specialized());
+
+        // Specialization differential: the same winning design re-lowered
+        // with the monomorphized library bypassed, so every partition runs
+        // the interpreted (per-element `IndexFn` dispatch) executor.  Both
+        // twins are timed single-threaded; the delta is what compile-time
+        // specialization buys at steady state.
+        let interp_kernel = alpha_cpu::NativeKernel::with_modes(
+            tuned.kernel().metadata(),
+            tuned.format(),
+            alpha_cpu::SimdMode::Auto,
+            alpha_cpu::SpecializeMode::ForceInterpreted,
+        );
+        let y_interp = interp_kernel.run(x.as_slice(), 1)?;
+        let interp_error = alpha_matrix::max_scaled_error(&y_interp, &reference);
+        if interp_error > TOL {
+            return Err(format!(
+                "{name}: force-interpreted twin diverged from the reference SpMV \
+                 (max scaled error {interp_error:.2e} > {TOL:.0e})"
+            ));
+        }
+        let interp_1t = config
+            .harness
+            .measure_kernel(&interp_kernel, x.as_slice(), 1)?;
+        let interp_overhead_pct = if simd_1t.min_us > 0.0 {
+            (interp_1t.min_us - simd_1t.min_us) / simd_1t.min_us * 100.0
+        } else {
+            0.0
+        };
+        let generated = generated.with_interp_overhead(interp_overhead_pct);
 
         // Telemetry-overhead gate: the same winning design re-lowered with
         // its run histogram detached, timed single-threaded against the
@@ -1391,6 +1473,9 @@ mod tests {
                 pool: false,
                 dispatch_overhead_us: None,
                 telemetry_overhead_pct: None,
+                kernel_shape: None,
+                specialized: None,
+                interp_overhead_pct: None,
                 latency: None,
                 clients: None,
             },
@@ -1412,6 +1497,9 @@ mod tests {
                 pool: true,
                 dispatch_overhead_us: Some(41.25),
                 telemetry_overhead_pct: Some(0.75),
+                kernel_shape: Some("rows[off:table,org:id,col:table]:avx2-nnz-x8+pf".into()),
+                specialized: Some(true),
+                interp_overhead_pct: Some(12.5),
                 latency: Some(LatencySummary {
                     p50_us: 10.0,
                     p95_us: 20.0,
@@ -1435,6 +1523,14 @@ mod tests {
         assert!(json.contains("\"simd\": null"));
         assert!(json.contains("\"simd\": \"avx2-nnz-x8+pf16\""));
         assert!(json.contains("\"cpu_features\": \"x86_64:avx2\""));
+        assert!(json.contains("\"kernel_shape\": null"));
+        assert!(
+            json.contains("\"kernel_shape\": \"rows[off:table,org:id,col:table]:avx2-nnz-x8+pf\"")
+        );
+        assert!(json.contains("\"specialized\": null"));
+        assert!(json.contains("\"specialized\": true"));
+        assert!(json.contains("\"interp_overhead_pct\": 12.5"));
+        assert!(json.contains("\"interp_overhead_pct\": null"));
         assert_eq!(json.matches("\"device\"").count(), 2);
         // Round-trip through a file.
         let dir = std::env::temp_dir().join("alpha_bench_json_test");
@@ -1467,6 +1563,9 @@ mod tests {
             pool: true,
             dispatch_overhead_us: None,
             telemetry_overhead_pct: None,
+            kernel_shape: None,
+            specialized: None,
+            interp_overhead_pct: None,
             latency: None,
             clients: None,
         };
@@ -1515,6 +1614,9 @@ mod tests {
             pool: false,
             dispatch_overhead_us: None,
             telemetry_overhead_pct: None,
+            kernel_shape: None,
+            specialized: None,
+            interp_overhead_pct: None,
             latency: None,
             clients: None,
         }];

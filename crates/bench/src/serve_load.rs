@@ -264,6 +264,9 @@ impl ServeLoadReport {
             pool: true,
             dispatch_overhead_us: None,
             telemetry_overhead_pct: None,
+            kernel_shape: None,
+            specialized: None,
+            interp_overhead_pct: None,
             latency: Some(latency),
             clients: Some(self.config.clients),
         };

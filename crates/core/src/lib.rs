@@ -388,6 +388,20 @@ impl TunedSpmv {
         self.evaluator
     }
 
+    /// The monomorphized-library shape key of the lowered native kernel
+    /// (see `alpha_cpu::KernelShape::label`).  Lowers the kernel if it has
+    /// not run natively yet.
+    pub fn kernel_shape(&self) -> String {
+        self.native_kernel().shape_label()
+    }
+
+    /// Whether every partition of the native kernel executes through a
+    /// specialized (branch-free, monomorphized) loop rather than the
+    /// interpreted fallback.
+    pub fn is_specialized(&self) -> bool {
+        self.native_kernel().is_specialized()
+    }
+
     /// The winning operator graph, formatted for display.
     pub fn operator_graph(&self) -> String {
         self.outcome.best_graph.to_string().trim_end().to_string()

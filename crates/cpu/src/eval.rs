@@ -88,7 +88,9 @@ impl Evaluator for NativeEvaluator {
     fn evaluate(&self, ctx: &EvalContext<'_>, graph: &OperatorGraph) -> Option<Evaluation> {
         self.executions.fetch_add(1, Ordering::Relaxed);
         let generated = generate(graph, ctx.matrix, ctx.options).ok()?;
-        let kernel = NativeKernel::new(generated.kernel.metadata(), &generated.format);
+        // A design that fails kernel-shape validation (out-of-range affine
+        // index endpoints) is infeasible, like a verification mismatch.
+        let kernel = NativeKernel::try_new(generated.kernel.metadata(), &generated.format).ok()?;
         // Verify before timing: a design that computes the wrong y is
         // infeasible, not merely slow.  The verification run also validates
         // the dimensions and warms the kernel's data, so the timed loop
@@ -115,6 +117,9 @@ impl Evaluator for NativeEvaluator {
             // The native path's artifact is the Rust loop it actually ran.
             source: generated.rust_source,
             cached: false,
+            // Winners persist the shape so serving layers can pre-resolve the
+            // same monomorphized kernel the measurement ran through.
+            kernel_shape: Some(kernel.shape_label()),
         })
     }
 }

@@ -30,6 +30,10 @@
 //! pool-vs-spawn comparisons.
 
 use crate::simd::{self, ResolvedSimd, SimdMode};
+use crate::specialized::{
+    IndexKind, KernelShape, PartitionArgs, PartitionKind, PrefetchClass, ScatterArgs, SimdClass,
+    SpecExec, SpecializeMode, SpecializedPartition,
+};
 use alpha_codegen::compress::CompressedArray;
 use alpha_codegen::{CompressionModel, FormatArray, MachineFormat};
 use alpha_graph::{Mapping, MatrixMetadataSet, SimdLaneMapping};
@@ -128,14 +132,60 @@ impl IndexFn {
     }
 
     /// Reads entry `i`.
+    ///
+    /// An affine map that computes a negative value is a corrupt design, not
+    /// index 0: kernel builds reject it up front with
+    /// [`KernelBuildError::NegativeIndex`], and this accessor only debug-asserts
+    /// the invariant instead of silently clamping.
     #[inline]
     pub fn get(&self, i: usize) -> u32 {
         match self {
             IndexFn::Identity => i as u32,
-            IndexFn::Affine { base, slope } => (base + slope * i as i64).max(0) as u32,
+            IndexFn::Affine { base, slope } => {
+                let v = base + slope * i as i64;
+                debug_assert!(
+                    v >= 0,
+                    "affine index map produced negative index f({i}) = {v}; \
+                     corrupt designs must be rejected at kernel build"
+                );
+                v as u32
+            }
             IndexFn::Model(c) => c.evaluate(i),
             IndexFn::Table(data) => data[i],
         }
+    }
+
+    /// Validates that an affine map stays non-negative over `[0, domain)` —
+    /// the build-time guard behind the debug assertion in [`IndexFn::get`].
+    /// Non-affine kinds are vacuously valid (models reproduce the original
+    /// `u32` array; tables and identity cannot go negative).
+    fn validate_domain(
+        &self,
+        domain: usize,
+        partition: usize,
+        array: &'static str,
+    ) -> Result<(), KernelBuildError> {
+        if let IndexFn::Affine { base, slope } = self {
+            if domain == 0 {
+                return Ok(());
+            }
+            let at_start = *base;
+            let at_end = base + slope * (domain as i64 - 1);
+            let (index, value) = if at_start <= at_end {
+                (0, at_start)
+            } else {
+                (domain - 1, at_end)
+            };
+            if value < 0 {
+                return Err(KernelBuildError::NegativeIndex {
+                    partition,
+                    array,
+                    index,
+                    value,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// True when the array was eliminated — reads are computed, not loaded.
@@ -154,6 +204,56 @@ impl IndexFn {
         }
     }
 }
+
+/// A design that cannot be lowered into a valid native kernel.  These are
+/// build-time rejections of *corrupt* inputs — a well-formed design from the
+/// generator never triggers them — surfaced as typed errors so the evaluator
+/// can mark the candidate infeasible instead of executing garbage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelBuildError {
+    /// Metadata and format describe different partition counts.
+    PartitionMismatch {
+        /// Partitions in the designed metadata.
+        metadata: usize,
+        /// Partitions in the extracted format.
+        format: usize,
+    },
+    /// An affine index map computes a negative index somewhere in its
+    /// domain — a corrupt compression model, not a request for index 0.
+    NegativeIndex {
+        /// Partition the corrupt array belongs to.
+        partition: usize,
+        /// Which index array is corrupt.
+        array: &'static str,
+        /// First domain position where the map goes negative.
+        index: usize,
+        /// The negative value the map computes there.
+        value: i64,
+    },
+}
+
+impl std::fmt::Display for KernelBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelBuildError::PartitionMismatch { metadata, format } => write!(
+                f,
+                "metadata describes {metadata} partition(s) but the format has {format}"
+            ),
+            KernelBuildError::NegativeIndex {
+                partition,
+                array,
+                index,
+                value,
+            } => write!(
+                f,
+                "partition {partition}: affine {array} map computes negative index \
+                 f({index}) = {value} — corrupt design"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KernelBuildError {}
 
 /// How one partition's work is split over threads.
 #[derive(Debug, Clone)]
@@ -252,9 +352,79 @@ struct NativePartition {
     path: ExecPath,
     /// Build-time nnz-balanced row boundaries (row-partition loops only).
     row_cuts: Option<BalancedRowCuts>,
+    /// Model row bounds materialised into a table for the specialized path
+    /// (rows + 1 entries); `None` unless the partition specializes with
+    /// [`IndexFn::Model`] bounds.  The interpreted path keeps evaluating the
+    /// closed-form model.
+    spec_bounds: Option<Vec<u32>>,
+    /// Model origin map materialised for the specialized scatter; same
+    /// policy as `spec_bounds`.
+    spec_origin: Option<Vec<u32>>,
     /// Vectorization decision resolved from the design's `SimdPlan`, the
     /// build [`SimdMode`] and the host's feature probe.
     simd: ResolvedSimd,
+    /// This partition's coordinates in the shape lattice (computed even when
+    /// the partition executes interpreted — it names the shape that missed).
+    shape: KernelShape,
+    /// Pre-resolved monomorphized library entry; `None` runs the interpreted
+    /// executor (library miss, env override, or a forced interpreted twin).
+    spec: Option<SpecializedPartition>,
+}
+
+impl NativePartition {
+    /// The runtime arguments of this partition's specialized loops,
+    /// borrowing the streams for one execution.
+    fn args<'a>(&'a self, x: &'a [Scalar]) -> PartitionArgs<'a> {
+        let (bounds_table, bounds_base, bounds_slope): (&[u32], i64, i64) = match &self.row_offsets
+        {
+            IndexFn::Table(table) => (table, 0, 0),
+            IndexFn::Identity => (&[], 0, 1),
+            IndexFn::Affine { base, slope } => (&[], *base, *slope),
+            // Model bounds run the table instantiation over the build-time
+            // materialisation (empty only on never-specialized partitions,
+            // where these fields are unread).
+            IndexFn::Model(_) => (self.spec_bounds.as_deref().unwrap_or(&[]), 0, 0),
+        };
+        PartitionArgs {
+            values: self.matrix.values(),
+            col_indices: self.matrix.col_indices(),
+            x,
+            col_offset: self.col_offset,
+            bounds_table,
+            bounds_base,
+            bounds_slope,
+            prefetch: self.simd.prefetch,
+        }
+    }
+
+    /// The runtime arguments of this partition's specialized scatter.
+    fn scatter_args(&self) -> ScatterArgs<'_> {
+        match &self.origin {
+            IndexFn::Table(table) => ScatterArgs {
+                table,
+                base: 0,
+                slope: 0,
+            },
+            IndexFn::Identity => ScatterArgs {
+                table: &[],
+                base: 0,
+                slope: 1,
+            },
+            IndexFn::Affine { base, slope } => ScatterArgs {
+                table: &[],
+                base: *base,
+                slope: *slope,
+            },
+            // Model origins scatter through the build-time materialisation
+            // (empty only on never-specialized partitions, where the
+            // scatter is unread).
+            IndexFn::Model(_) => ScatterArgs {
+                table: self.spec_origin.as_deref().unwrap_or(&[]),
+                base: 0,
+                slope: 0,
+            },
+        }
+    }
 }
 
 /// A machine-designed SpMV program lowered to native threaded CPU loops.
@@ -280,9 +450,19 @@ impl NativeKernel {
     /// loops — the same two inputs the simulator kernel is built from.
     /// Vectorization follows the design's `SimdPlan` and the host probe
     /// ([`SimdMode::Auto`]); use [`NativeKernel::with_simd_mode`] to force
-    /// scalar execution.
+    /// scalar execution.  Panics on corrupt inputs — use
+    /// [`NativeKernel::try_new`] where a typed rejection is wanted.
     pub fn new(metadata: &MatrixMetadataSet, format: &MachineFormat) -> Self {
-        Self::with_simd_mode(metadata, format, SimdMode::Auto)
+        Self::with_modes(metadata, format, SimdMode::Auto, SpecializeMode::Auto)
+    }
+
+    /// [`NativeKernel::new`], rejecting corrupt designs with a typed
+    /// [`KernelBuildError`] instead of panicking.
+    pub fn try_new(
+        metadata: &MatrixMetadataSet,
+        format: &MachineFormat,
+    ) -> Result<Self, KernelBuildError> {
+        Self::try_with_modes(metadata, format, SimdMode::Auto, SpecializeMode::Auto)
     }
 
     /// [`NativeKernel::new`] with an explicit [`SimdMode`] — benches build a
@@ -293,46 +473,157 @@ impl NativeKernel {
         format: &MachineFormat,
         mode: SimdMode,
     ) -> Self {
-        assert_eq!(
-            metadata.partitions.len(),
-            format.partitions.len(),
-            "metadata and format must describe the same partitions"
-        );
-        let partitions = metadata
+        Self::with_modes(metadata, format, mode, SpecializeMode::Auto)
+    }
+
+    /// [`NativeKernel::new`] with explicit [`SimdMode`] and
+    /// [`SpecializeMode`] — benches build a
+    /// [`SpecializeMode::ForceInterpreted`] twin of a specialized kernel
+    /// this way to measure the interpreter overhead the library removes.
+    pub fn with_modes(
+        metadata: &MatrixMetadataSet,
+        format: &MachineFormat,
+        simd_mode: SimdMode,
+        spec_mode: SpecializeMode,
+    ) -> Self {
+        Self::try_with_modes(metadata, format, simd_mode, spec_mode)
+            .expect("designs from the generator lower to valid kernels")
+    }
+
+    /// The complete lowering: resolves vectorization, validates every index
+    /// map's domain, computes each partition's [`KernelShape`] and matches
+    /// it against the monomorphized library (library misses and env-forced
+    /// builds fall back to the interpreted executor, counted as
+    /// `cpu_kernel_fallback_total`).
+    pub fn try_with_modes(
+        metadata: &MatrixMetadataSet,
+        format: &MachineFormat,
+        simd_mode: SimdMode,
+        spec_mode: SpecializeMode,
+    ) -> Result<Self, KernelBuildError> {
+        if metadata.partitions.len() != format.partitions.len() {
+            return Err(KernelBuildError::PartitionMismatch {
+                metadata: metadata.partitions.len(),
+                format: format.partitions.len(),
+            });
+        }
+        let mut partitions = Vec::with_capacity(metadata.partitions.len());
+        for (index, (plan, pf)) in metadata
             .partitions
             .iter()
             .zip(&format.partitions)
-            .map(|(plan, pf)| {
-                let lookup = |name: &str| {
-                    pf.array(name)
-                        .map(IndexFn::from_array)
-                        .unwrap_or(IndexFn::Identity)
-                };
-                let path = match plan.mapping {
-                    Mapping::RowPerThread { .. } | Mapping::VectorPerRow { .. } => ExecPath::Rows,
-                    Mapping::NnzSplit { nnz_per_thread } => ExecPath::Nnz {
-                        nnz_per_thread: nnz_per_thread.max(1),
-                        row_starts: lookup("bmt_row_starts"),
-                    },
-                };
-                // Row-partition loops split work at nnz-balanced row
-                // boundaries; the boundaries come from the sub-matrix's
-                // prefix sums and are cached here, once, at build time.
-                let row_cuts = match path {
-                    ExecPath::Rows => Some(BalancedRowCuts::build(plan.matrix.row_offsets())),
-                    ExecPath::Nnz { .. } => None,
-                };
-                NativePartition {
-                    matrix: plan.matrix.clone(),
-                    col_offset: plan.col_offset,
-                    origin: lookup("origin_rows"),
-                    row_offsets: lookup("row_offsets"),
-                    path,
-                    row_cuts,
-                    simd: ResolvedSimd::resolve(&plan.simd, mode),
+            .enumerate()
+        {
+            let lookup = |name: &str| {
+                pf.array(name)
+                    .map(IndexFn::from_array)
+                    .unwrap_or(IndexFn::Identity)
+            };
+            let rows = plan.matrix.rows();
+            let origin = lookup("origin_rows");
+            let row_offsets = lookup("row_offsets");
+            // Corrupt affine maps (negative computed indices) are rejected
+            // here, once, so the hot loops can drop the silent clamp.
+            origin.validate_domain(rows, index, "origin_rows")?;
+            row_offsets.validate_domain(rows + 1, index, "row_offsets")?;
+            let path = match plan.mapping {
+                Mapping::RowPerThread { .. } | Mapping::VectorPerRow { .. } => ExecPath::Rows,
+                Mapping::NnzSplit { nnz_per_thread } => {
+                    let nnz_per_thread = nnz_per_thread.max(1);
+                    let row_starts = lookup("bmt_row_starts");
+                    let chunks = plan.matrix.nnz().div_ceil(nnz_per_thread).max(1);
+                    row_starts.validate_domain(chunks, index, "bmt_row_starts")?;
+                    ExecPath::Nnz {
+                        nnz_per_thread,
+                        row_starts,
+                    }
                 }
-            })
-            .collect::<Vec<NativePartition>>();
+            };
+            // Row-partition loops split work at nnz-balanced row
+            // boundaries; the boundaries come from the sub-matrix's
+            // prefix sums and are cached here, once, at build time.
+            let row_cuts = match path {
+                ExecPath::Rows => Some(BalancedRowCuts::build(plan.matrix.row_offsets())),
+                ExecPath::Nnz { .. } => None,
+            };
+            let simd = ResolvedSimd::resolve(&plan.simd, simd_mode);
+            // The partition's coordinates in the shape lattice, then the
+            // library lookup: a hit pre-resolves every inner-loop decision
+            // into monomorphized function pointers; a miss (or a forced
+            // interpreted build) keeps the interpreted executor.
+            let rows_path = matches!(path, ExecPath::Rows);
+            let bounds = match &path {
+                ExecPath::Rows => IndexKind::of(&row_offsets),
+                ExecPath::Nnz { row_starts, .. } => IndexKind::of(row_starts),
+            };
+            let simd_class = SimdClass::classify(&simd, rows_path);
+            let shape = KernelShape {
+                partition: if rows_path {
+                    PartitionKind::Rows
+                } else {
+                    PartitionKind::Nnz
+                },
+                bounds,
+                origin: IndexKind::of(&origin),
+                col_index: IndexKind::Table,
+                simd: simd_class,
+                prefetch: if simd_class != SimdClass::Scalar && simd.prefetch > 0 {
+                    PrefetchClass::Stream
+                } else {
+                    PrefetchClass::None
+                },
+            };
+            let spec = match spec_mode {
+                SpecializeMode::ForceInterpreted => None,
+                SpecializeMode::Auto => {
+                    if crate::cpu_features::no_specialize() {
+                        crate::specialized::count_kernel_fallback("forced");
+                        None
+                    } else {
+                        let matched = crate::specialized::specialize(&shape);
+                        if matched.is_none() {
+                            crate::specialized::count_kernel_fallback("shape");
+                        }
+                        matched
+                    }
+                }
+            };
+            // Materialise Model index functions into lookup tables for the
+            // specialized path: the closed-form model is evaluated once per
+            // domain point here, at build time, so the hot loop reads a
+            // plain table instead of dispatching on the model per element.
+            // Interpreted builds (forced twins, env override) skip the cost
+            // and keep evaluating the model — the pre-specialization
+            // behaviour, which is what they exist to price.
+            let (spec_bounds, spec_origin) = if spec.is_some() {
+                let bounds_table = match (&path, &row_offsets) {
+                    (ExecPath::Rows, bounds @ IndexFn::Model(_)) => {
+                        Some((0..=rows).map(|i| bounds.get(i)).collect())
+                    }
+                    _ => None,
+                };
+                let origin_table = match &origin {
+                    model @ IndexFn::Model(_) => Some((0..rows).map(|i| model.get(i)).collect()),
+                    _ => None,
+                };
+                (bounds_table, origin_table)
+            } else {
+                (None, None)
+            };
+            partitions.push(NativePartition {
+                matrix: plan.matrix.clone(),
+                col_offset: plan.col_offset,
+                origin,
+                row_offsets,
+                path,
+                row_cuts,
+                spec_bounds,
+                spec_origin,
+                simd,
+                shape,
+                spec,
+            });
+        }
         let max_lanes = partitions
             .iter()
             .map(|p: &NativePartition| p.simd.lanes)
@@ -373,7 +664,7 @@ impl NativeKernel {
             "cpu_kernel_run_us",
             &[("simd", &simd_label), ("path", path_label)],
         ));
-        NativeKernel {
+        Ok(NativeKernel {
             partitions,
             rows: metadata.original_rows,
             cols: metadata.original_cols,
@@ -382,7 +673,7 @@ impl NativeKernel {
             name,
             max_lanes,
             run_hist,
-        }
+        })
     }
 
     /// Returns this kernel with run-latency telemetry detached: runs skip
@@ -413,6 +704,26 @@ impl NativeKernel {
         labels.dedup();
         if labels.is_empty() {
             "scalar".to_string()
+        } else {
+            labels.join("|")
+        }
+    }
+
+    /// True when every partition was matched against the monomorphized
+    /// kernel library — steady-state runs execute branch-free straight-line
+    /// loops with no interpreted `IndexFn`/backend dispatch.
+    pub fn is_specialized(&self) -> bool {
+        self.partitions.iter().all(|p| p.spec.is_some())
+    }
+
+    /// Label of each partition's [`KernelShape`] (deduped, joined with `|`),
+    /// e.g. `rows[off:affine,org:id,col:table]:avx2-nnz-x8+pf`.  Persisted
+    /// with design-store winners and recorded in bench results.
+    pub fn shape_label(&self) -> String {
+        let mut labels: Vec<String> = self.partitions.iter().map(|p| p.shape.label()).collect();
+        labels.dedup();
+        if labels.is_empty() {
+            "none".to_string()
         } else {
             labels.join("|")
         }
@@ -561,12 +872,34 @@ impl NativeKernel {
         // Partitions run one after another (their outputs may overlap under
         // COL_DIV); the parallelism lives inside each partition.
         for partition in &self.partitions {
-            match &partition.path {
-                ExecPath::Rows => exec_rows(partition, x, y, workers, exec),
-                ExecPath::Nnz {
-                    nnz_per_thread,
+            match (&partition.path, partition.spec.as_ref()) {
+                (ExecPath::Rows, Some(spec)) => {
+                    exec_rows_specialized(partition, spec, x, y, workers, exec)
+                }
+                (ExecPath::Rows, None) => exec_rows(partition, x, y, workers, exec),
+                (
+                    ExecPath::Nnz {
+                        nnz_per_thread,
+                        row_starts,
+                    },
+                    Some(spec),
+                ) => exec_nnz_specialized(
+                    partition,
+                    spec,
+                    *nnz_per_thread,
                     row_starts,
-                } => exec_nnz(partition, *nnz_per_thread, row_starts, x, y, workers, exec),
+                    x,
+                    y,
+                    workers,
+                    exec,
+                ),
+                (
+                    ExecPath::Nnz {
+                        nnz_per_thread,
+                        row_starts,
+                    },
+                    None,
+                ) => exec_nnz(partition, *nnz_per_thread, row_starts, x, y, workers, exec),
             }
         }
         if let (Some(hist), Some(started)) = (self.run_hist.as_ref(), started) {
@@ -731,6 +1064,115 @@ fn row_lane_rows<const L: usize>(
     }
 }
 
+/// Row-partition loop through the **monomorphized kernel library**: the
+/// worker-chunk body is a pre-resolved function pointer whose bounds
+/// arithmetic, SIMD backend and prefetch class were compiled into
+/// straight-line code at build time — the only indirection left is one
+/// indirect call per worker chunk.  Partitioning semantics (nnz-balanced
+/// cuts, contiguous in-place vs staged scatter) are identical to the
+/// interpreted [`exec_rows`].
+fn exec_rows_specialized(
+    p: &NativePartition,
+    spec: &SpecializedPartition,
+    x: &[Scalar],
+    y: &mut [Scalar],
+    workers: usize,
+    exec: &Executor<'_>,
+) {
+    let rows = p.matrix.rows();
+    if rows == 0 {
+        return;
+    }
+    let SpecExec::Rows(chunk) = spec.exec else {
+        unreachable!("row partitions specialize to chunk loops")
+    };
+    let args = p.args(x);
+    let workers = workers.clamp(1, rows);
+    let computed;
+    let cuts: &[usize] = match p.row_cuts.as_ref().and_then(|cache| cache.get(workers)) {
+        Some(cached) => cached,
+        None => {
+            computed = balanced_row_cuts(p.matrix.row_offsets(), workers);
+            &computed
+        }
+    };
+
+    if let Some(base) = p.origin.contiguous_base() {
+        let target = &mut y[base..base + rows];
+        exec.over_chunks(alpha_parallel::split_mut_at(target, cuts), |first, out| {
+            chunk(&args, first, out)
+        });
+        return;
+    }
+
+    let ranges: Vec<(usize, usize)> = cuts
+        .windows(2)
+        .map(|w| (w[0], w[1]))
+        .filter(|&(first, last)| first < last)
+        .collect();
+    let sums: Vec<Vec<Scalar>> = exec.map(&ranges, |&(first, last)| {
+        let mut out = vec![0.0; last - first];
+        chunk(&args, first, &mut out);
+        out
+    });
+    let scatter_args = p.scatter_args();
+    for (&(first, _), partial) in ranges.iter().zip(&sums) {
+        (spec.scatter)(&scatter_args, first, partial, y);
+    }
+}
+
+/// Nnz-partition loop through the monomorphized library: the per-span
+/// segment walk and the scatter are pre-resolved function pointers.  The
+/// chunk descriptor (`bmt_row_starts`) may be *any* index map — even a
+/// fitted model — because it resolves once per worker span, never per
+/// element.
+#[allow(clippy::too_many_arguments)]
+fn exec_nnz_specialized(
+    p: &NativePartition,
+    spec: &SpecializedPartition,
+    nnz_per_thread: usize,
+    row_starts: &IndexFn,
+    x: &[Scalar],
+    y: &mut [Scalar],
+    threads: usize,
+    exec: &Executor<'_>,
+) {
+    let nnz = p.matrix.nnz();
+    if nnz == 0 {
+        return;
+    }
+    let SpecExec::Nnz(span) = spec.exec else {
+        unreachable!("nnz partitions specialize to span loops")
+    };
+    let total_chunks = nnz.div_ceil(nnz_per_thread).max(1);
+    let workers = threads.min(total_chunks).max(1);
+    let chunks_per_worker = total_chunks.div_ceil(workers);
+    let spans: Vec<(usize, usize, usize)> = (0..workers)
+        .map(|w| {
+            let first_chunk = w * chunks_per_worker;
+            let start = (first_chunk * nnz_per_thread).min(nnz);
+            let end = ((first_chunk + chunks_per_worker) * nnz_per_thread).min(nnz);
+            (first_chunk, start, end)
+        })
+        .filter(|&(_, start, end)| start < end)
+        .collect();
+
+    let args = p.args(x);
+    let offsets = p.matrix.row_offsets();
+    let last_row = p.matrix.rows().saturating_sub(1);
+    let partials: Vec<(usize, Vec<Scalar>)> = exec.map(&spans, |&(first_chunk, start, end)| {
+        let mut row = (row_starts.get(first_chunk) as usize).min(last_row);
+        while row < last_row && offsets[row + 1] as usize <= start {
+            row += 1;
+        }
+        (row, span(&args, offsets, row, start, end))
+    });
+    let scatter_args = p.scatter_args();
+    for (base_row, sums) in &partials {
+        (spec.scatter)(&scatter_args, *base_row, sums, y);
+    }
+}
+
 /// Row-partition loop: contiguous local-row ranges across workers, one dot
 /// product per row.  Worker boundaries are **nnz-balanced** (see
 /// [`BalancedRowCuts`]): each worker owns roughly the same number of
@@ -755,9 +1197,9 @@ fn exec_rows(
         return;
     }
     // Monomorphise the row-bounds accessor OUTSIDE the hot loop: stored
-    // offsets compile to two adjacent loads, compressed offsets to pure
-    // arithmetic (the ELL-like fixed-row-length case) — never a per-row
-    // dispatch on the enum.
+    // offsets compile to two adjacent loads, affine offsets to pure
+    // arithmetic on pre-resolved locals (the ELL-like fixed-row-length
+    // case) — only fitted models still dispatch per row.
     match &p.row_offsets {
         IndexFn::Table(offsets) => {
             let offsets: &[u32] = offsets;
@@ -765,7 +1207,15 @@ fn exec_rows(
                 (offsets[row] as usize, offsets[row + 1] as usize)
             })
         }
-        bounds => exec_rows_with(p, x, y, workers, exec, |row| {
+        IndexFn::Identity => exec_rows_with(p, x, y, workers, exec, |row| (row, row + 1)),
+        IndexFn::Affine { base, slope } => {
+            let (base, slope) = (*base, *slope);
+            exec_rows_with(p, x, y, workers, exec, move |row| {
+                let start = base + slope * row as i64;
+                (start as usize, (start + slope) as usize)
+            })
+        }
+        bounds @ IndexFn::Model(_) => exec_rows_with(p, x, y, workers, exec, |row| {
             (bounds.get(row) as usize, bounds.get(row + 1) as usize)
         }),
     }
@@ -917,7 +1367,18 @@ fn scatter(origin: &IndexFn, base_row: usize, sums: &[Scalar], y: &mut [Scalar])
                 y[base_row + j] += v;
             }
         }
-        origin => {
+        IndexFn::Affine { base, slope } => {
+            let (base, slope) = (*base, *slope);
+            for (j, &v) in sums.iter().enumerate() {
+                y[(base + slope * (base_row + j) as i64) as usize] += v;
+            }
+        }
+        IndexFn::Table(table) => {
+            for (j, &v) in sums.iter().enumerate() {
+                y[table[base_row + j] as usize] += v;
+            }
+        }
+        origin @ IndexFn::Model(_) => {
             for (j, &v) in sums.iter().enumerate() {
                 y[origin.get(base_row + j) as usize] += v;
             }

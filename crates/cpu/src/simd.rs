@@ -286,7 +286,7 @@ pub fn rows_dot_row_lanes<const L: usize>(
 }
 
 #[cfg(target_arch = "x86_64")]
-mod avx2 {
+pub(crate) mod avx2 {
     use super::{prefetch_streams, Scalar};
     use std::arch::x86_64::*;
 
@@ -370,7 +370,7 @@ mod avx2 {
 }
 
 #[cfg(target_arch = "aarch64")]
-mod neon {
+pub(crate) mod neon {
     use super::Scalar;
     use std::arch::aarch64::*;
 

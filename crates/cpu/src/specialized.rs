@@ -1,0 +1,811 @@
+//! The monomorphized kernel library: branch-free specialized SpMV loops.
+//!
+//! The interpreted executor in [`crate::kernel`] re-decides things inside its
+//! hot loops that were already decided at build time: row bounds go through a
+//! per-row [`IndexFn`](crate::IndexFn) enum match unless they are a stored
+//! table, and the nnz-lane dot dispatches on the resolved SIMD backend once
+//! per row (or per row segment).  A machine-designed format deserves better —
+//! `emit_rust` already prints the exact straight-line loop for the chosen
+//! design; this module is where an equivalent loop actually *runs*.
+//!
+//! The library is generated at build time by the compiler's monomorphizer:
+//! every reachable combination of
+//!
+//! * partition strategy ([`PartitionKind::Rows`] / [`PartitionKind::Nnz`]),
+//! * row-bounds index-fn kind (stored table vs affine/identity arithmetic),
+//! * SIMD variant ([`SimdClass`]: scalar, portable/AVX2/NEON nnz lanes,
+//!   row lanes) and
+//! * prefetch class
+//!
+//! is instantiated as one dedicated function (`chunk_nnz::<TB, D>`,
+//! `chunk_row_lanes::<TB, L>`, `span_nnz::<D>`, `scatter_to::<TB>`) in which
+//! the index arithmetic is inlined as constants/affine expressions and every
+//! enum match is hoisted entirely out of the loop.  `specialize` is the
+//! runtime shape-matcher: it maps a [`KernelShape`] computed at kernel build
+//! to the library entry's function pointers, or reports a miss so the caller
+//! falls back to the interpreted path (counted as
+//! `cpu_kernel_fallback_total{reason=...}` on the global telemetry registry).
+//!
+//! Non-affine compressions ([`IndexKind::Model`] — step/periodic models or
+//! models with patched exceptions) are covered by *materialisation*: the
+//! kernel builder evaluates the closed-form model over its whole domain into
+//! a lookup table once at build time and the shape takes the table
+//! instantiation, trading memory for a branch-free hot loop.  The only
+//! interpreted builds are those disabled through
+//! [`SpecializeMode::ForceInterpreted`] or the
+//! [`crate::cpu_features::NO_SPECIALIZE_ENV`] override, plus genuine
+//! lane/backend combinations the resolve step can no longer produce.
+//!
+//! Every specialized loop performs the same floating-point operations in the
+//! same order as its interpreted twin, so scalar shapes match bitwise and
+//! vectorized shapes match to the lane-reduction tolerance the SIMD
+//! differential suite already enforces.
+
+use crate::simd::{self, Backend, ResolvedSimd};
+use alpha_graph::SimdLaneMapping;
+use alpha_matrix::Scalar;
+
+/// Environment variable handling lives in [`crate::cpu_features`]; this
+/// module only consumes the decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpecializeMode {
+    /// Use a specialized library kernel when the shape matches, fall back to
+    /// the interpreted executor otherwise (honouring the
+    /// [`crate::cpu_features::NO_SPECIALIZE_ENV`] override).
+    #[default]
+    Auto,
+    /// Always run the interpreted executor — benches build an interpreted
+    /// twin of a specialized kernel this way to price the interpreter
+    /// overhead without mutating the process environment.  Unlike a library
+    /// miss, a forced twin is **not** counted as a fallback.
+    ForceInterpreted,
+}
+
+/// The lowered kind of one format index array — the dimension of the shape
+/// lattice that decides how the specialized loop addresses it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// `f(i) = i` (compressed identity).
+    Identity,
+    /// `f(i) = base + slope * i` (fitted linear model, no exceptions).
+    Affine,
+    /// A stored array; loads are real.
+    Table,
+    /// Any other fitted model (step/periodic or patched exceptions) — not in
+    /// the library, executes interpreted.
+    Model,
+}
+
+impl IndexKind {
+    /// Classifies a lowered [`crate::IndexFn`].
+    pub fn of(f: &crate::IndexFn) -> IndexKind {
+        match f {
+            crate::IndexFn::Identity => IndexKind::Identity,
+            crate::IndexFn::Affine { .. } => IndexKind::Affine,
+            crate::IndexFn::Model(_) => IndexKind::Model,
+            crate::IndexFn::Table(_) => IndexKind::Table,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            IndexKind::Identity => "id",
+            IndexKind::Affine => "affine",
+            IndexKind::Table => "table",
+            IndexKind::Model => "model",
+        }
+    }
+}
+
+/// Partition strategy dimension of the shape lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionKind {
+    /// Row-partition loop (`BMT_ROW_BLOCK` / `BMT_COL_BLOCK` designs).
+    Rows,
+    /// Nnz-partition loop (`BMT_NNZ_BLOCK` designs).
+    Nnz,
+}
+
+/// The SIMD variant dimension: which inner-loop dot kernel the shape runs.
+/// This is the *executed* variant, post-resolution — a row-lane plan on an
+/// nnz partition runs its segments scalar (exactly as the interpreted
+/// `seg_dot` does), so it classifies as [`SimdClass::Scalar`] here even
+/// though the kernel's SIMD label still names the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdClass {
+    /// Plain scalar accumulation.
+    Scalar,
+    /// Portable nnz-lane dot with `lanes` accumulators.
+    NnzPortable {
+        /// Lane count (2, 4 or 8).
+        lanes: u8,
+    },
+    /// AVX2 hardware-gather nnz-lane dot (x86_64, 4 or 8 lanes).
+    NnzAvx2 {
+        /// Lane count (4 or 8).
+        lanes: u8,
+    },
+    /// NEON nnz-lane dot with emulated gathers (aarch64, 4 or 8 lanes).
+    NnzNeon {
+        /// Lane count (4 or 8).
+        lanes: u8,
+    },
+    /// Row-lane groups: `lanes` adjacent rows advance together.
+    RowLanes {
+        /// Lane count (2, 4 or 8).
+        lanes: u8,
+    },
+}
+
+impl SimdClass {
+    /// Classifies a resolved vectorization decision for one partition.
+    /// `rows_path` says whether the partition executes the row-partition
+    /// loop (row-lane kernels only exist there).
+    pub fn classify(rs: &ResolvedSimd, rows_path: bool) -> SimdClass {
+        if !rs.is_vectorized() {
+            return SimdClass::Scalar;
+        }
+        let lanes = rs.lanes as u8;
+        match rs.mapping {
+            SimdLaneMapping::Rows if rows_path => SimdClass::RowLanes { lanes },
+            // Nnz partitions execute row-lane plans scalar (seg_dot).
+            SimdLaneMapping::Rows => SimdClass::Scalar,
+            SimdLaneMapping::Nnz => match rs.backend {
+                Backend::Avx2 => SimdClass::NnzAvx2 { lanes },
+                Backend::Neon => SimdClass::NnzNeon { lanes },
+                Backend::Portable => SimdClass::NnzPortable { lanes },
+            },
+        }
+    }
+
+    fn label(self) -> String {
+        match self {
+            SimdClass::Scalar => "scalar".to_string(),
+            SimdClass::NnzPortable { lanes } => format!("portable-nnz-x{lanes}"),
+            SimdClass::NnzAvx2 { lanes } => format!("avx2-nnz-x{lanes}"),
+            SimdClass::NnzNeon { lanes } => format!("neon-nnz-x{lanes}"),
+            SimdClass::RowLanes { lanes } => format!("row-x{lanes}"),
+        }
+    }
+}
+
+/// Software-prefetch dimension of the shape lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrefetchClass {
+    /// No software prefetch.
+    None,
+    /// Stream prefetch at the design's distance (the distance itself is a
+    /// runtime parameter; the *class* decides whether the loop contains
+    /// prefetch instructions at all).
+    Stream,
+}
+
+/// The shape descriptor of one lowered partition: the coordinates in the
+/// shape lattice that pick a monomorphized library kernel.  Two kernels with
+/// equal shapes run byte-identical inner loops regardless of which matrix
+/// they were designed for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelShape {
+    /// Partition strategy.
+    pub partition: PartitionKind,
+    /// Kind of the row-bounds map: `row_offsets` for row partitions,
+    /// `bmt_row_starts` for nnz partitions (where it is resolved once per
+    /// worker span, so a [`IndexKind::Model`] here does not disqualify the
+    /// shape).
+    pub bounds: IndexKind,
+    /// Kind of the `origin_rows` map (output placement).
+    pub origin: IndexKind,
+    /// Kind of the column-index stream.  Always [`IndexKind::Table`] today —
+    /// column indices are raw streams on the partition's sub-matrix — but
+    /// part of the descriptor so a future compressed-column design widens
+    /// the lattice instead of silently colliding with existing shapes.
+    pub col_index: IndexKind,
+    /// Executed SIMD variant.
+    pub simd: SimdClass,
+    /// Prefetch class.
+    pub prefetch: PrefetchClass,
+}
+
+impl KernelShape {
+    /// Stable, compact label, e.g.
+    /// `rows[off:table,org:id,col:table]:avx2-nnz-x8+pf`.  This string is
+    /// what travels through search results, the design store and bench
+    /// records.
+    pub fn label(&self) -> String {
+        let partition = match self.partition {
+            PartitionKind::Rows => "rows",
+            PartitionKind::Nnz => "nnz",
+        };
+        let pf = match self.prefetch {
+            PrefetchClass::None => "",
+            PrefetchClass::Stream => "+pf",
+        };
+        format!(
+            "{partition}[off:{},org:{},col:{}]:{}{pf}",
+            self.bounds.label(),
+            self.origin.label(),
+            self.col_index.label(),
+            self.simd.label()
+        )
+    }
+}
+
+/// Counts a kernel build missing the specialized library on the process-wide
+/// registry (`cpu_kernel_fallback_total{reason=...}`): `"shape"` for a shape
+/// outside the library (none are designer-reachable today), `"forced"` for
+/// the [`crate::cpu_features::NO_SPECIALIZE_ENV`] override.  A programmatic
+/// [`SpecializeMode::ForceInterpreted`] twin is deliberate and not counted.
+pub(crate) fn count_kernel_fallback(reason: &'static str) {
+    alpha_telemetry::global()
+        .counter("cpu_kernel_fallback_total", &[("reason", reason)])
+        .inc();
+}
+
+/// Total `cpu_kernel_fallback_total` count across all reasons on the global
+/// registry — the invariant `reproduce -- native` prints (and CI asserts to
+/// be zero for the bench fleet).
+pub fn kernel_fallback_total() -> u64 {
+    alpha_telemetry::global()
+        .snapshot()
+        .counters
+        .iter()
+        .filter(|c| c.name == "cpu_kernel_fallback_total")
+        .map(|c| c.value)
+        .sum()
+}
+
+// ---------------------------------------------------------------------------
+// Runtime arguments of a specialized loop
+// ---------------------------------------------------------------------------
+
+/// The runtime parameters of one partition's specialized loops.  Everything
+/// *structural* (which fields are read, how bounds are computed, which dot
+/// kernel runs) is baked into the monomorphized function; this struct only
+/// carries the data the chosen instantiation reads.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PartitionArgs<'a> {
+    /// Value stream of the partition's sub-matrix.
+    pub values: &'a [Scalar],
+    /// Column-index stream.
+    pub col_indices: &'a [u32],
+    /// Input vector.
+    pub x: &'a [Scalar],
+    /// Column offset of a `COL_DIV` branch.
+    pub col_offset: usize,
+    /// Stored row bounds (empty unless the shape's bounds kind is `Table`).
+    pub bounds_table: &'a [u32],
+    /// Affine bounds base (identity is `base 0, slope 1`).
+    pub bounds_base: i64,
+    /// Affine bounds slope.
+    pub bounds_slope: i64,
+    /// Prefetch distance in non-zeros (0 under [`PrefetchClass::None`]).
+    pub prefetch: usize,
+}
+
+/// Runtime parameters of a specialized scatter.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ScatterArgs<'a> {
+    /// Stored origin map (empty unless the origin kind is `Table`).
+    pub table: &'a [u32],
+    /// Affine origin base.
+    pub base: i64,
+    /// Affine origin slope.
+    pub slope: i64,
+}
+
+/// One worker chunk of a row partition: accumulate rows
+/// `[first, first + out.len())` into `out`.
+pub(crate) type ChunkFn = fn(&PartitionArgs<'_>, usize, &mut [Scalar]);
+
+/// One worker span of an nnz partition: emit one partial per row segment of
+/// `[start, end)`, starting at `row0` (the span's pre-resolved first row).
+pub(crate) type SpanFn = fn(&PartitionArgs<'_>, &[u32], usize, usize, usize) -> Vec<Scalar>;
+
+/// Merge partial sums into `y` through the origin map (`+=` semantics).
+pub(crate) type ScatterFn = fn(&ScatterArgs<'_>, usize, &[Scalar], &mut [Scalar]);
+
+/// The library entry a matched shape resolves to.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SpecExec {
+    /// Row-partition chunk loop.
+    Rows(ChunkFn),
+    /// Nnz-partition span loop.
+    Nnz(SpanFn),
+}
+
+/// A partition's pre-resolved specialized functions: computed once at kernel
+/// build, called through plain function pointers at run time (one indirect
+/// call per worker chunk/span — never per row or per non-zero).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SpecializedPartition {
+    /// The inner-loop kernel.
+    pub exec: SpecExec,
+    /// The output merge (used when the origin map is not contiguous; the
+    /// contiguous case accumulates in place and never scatters).
+    pub scatter: ScatterFn,
+}
+
+// ---------------------------------------------------------------------------
+// The monomorphized loop bodies
+// ---------------------------------------------------------------------------
+
+/// Row bounds, monomorphized on storage kind: `TB = true` reads the stored
+/// offsets table (two adjacent loads), `TB = false` computes the affine form
+/// (identity is `base 0, slope 1`) — pure arithmetic, no enum in sight.
+#[inline(always)]
+fn row_range<const TB: bool>(a: &PartitionArgs<'_>, row: usize) -> (usize, usize) {
+    if TB {
+        (
+            a.bounds_table[row] as usize,
+            a.bounds_table[row + 1] as usize,
+        )
+    } else {
+        let start = a.bounds_base + a.bounds_slope * row as i64;
+        (start as usize, (start + a.bounds_slope) as usize)
+    }
+}
+
+/// The inner dot product of one row (or row segment), monomorphized on the
+/// SIMD variant.  Implementations call straight into the backend kernel —
+/// the per-row backend match of the interpreted `row_dot_nnz` dispatch does
+/// not exist here.
+trait Dot {
+    /// Dot of stream positions `[start, end)` against `x`.
+    fn dot(a: &PartitionArgs<'_>, start: usize, end: usize) -> Scalar;
+}
+
+/// Scalar accumulation (identical operation order to the interpreted
+/// `row_dot`, hence bitwise-equal results).
+struct DotScalar;
+
+impl Dot for DotScalar {
+    #[inline(always)]
+    fn dot(a: &PartitionArgs<'_>, start: usize, end: usize) -> Scalar {
+        let mut acc = 0.0;
+        for idx in start..end {
+            acc += a.values[idx] * a.x[a.col_indices[idx] as usize + a.col_offset];
+        }
+        acc
+    }
+}
+
+/// Portable nnz-lane dot with `L` accumulators.
+struct DotNnzPortable<const L: usize>;
+
+impl<const L: usize> Dot for DotNnzPortable<L> {
+    #[inline(always)]
+    fn dot(a: &PartitionArgs<'_>, start: usize, end: usize) -> Scalar {
+        simd::row_dot_nnz_portable::<L>(
+            a.values,
+            a.col_indices,
+            a.x,
+            a.col_offset,
+            start,
+            end,
+            a.prefetch,
+        )
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod hw {
+    use super::{Dot, PartitionArgs, Scalar};
+    use crate::simd;
+
+    /// AVX2 8-lane gather dot.  Only reachable through shapes whose
+    /// [`super::SimdClass::NnzAvx2`] came from a resolve that verified AVX2
+    /// support at runtime.
+    pub(super) struct DotAvx2x8;
+
+    impl Dot for DotAvx2x8 {
+        #[inline(always)]
+        fn dot(a: &PartitionArgs<'_>, start: usize, end: usize) -> Scalar {
+            // SAFETY: shapes classify as NnzAvx2 only when ResolvedSimd
+            // carried Backend::Avx2, which requires a positive runtime probe.
+            unsafe {
+                simd::avx2::row_dot_nnz8(
+                    a.values,
+                    a.col_indices,
+                    a.x,
+                    a.col_offset,
+                    start,
+                    end,
+                    a.prefetch,
+                )
+            }
+        }
+    }
+
+    /// AVX2 4-lane gather dot (same safety argument as the 8-lane variant).
+    pub(super) struct DotAvx2x4;
+
+    impl Dot for DotAvx2x4 {
+        #[inline(always)]
+        fn dot(a: &PartitionArgs<'_>, start: usize, end: usize) -> Scalar {
+            // SAFETY: as above.
+            unsafe {
+                simd::avx2::row_dot_nnz4(
+                    a.values,
+                    a.col_indices,
+                    a.x,
+                    a.col_offset,
+                    start,
+                    end,
+                    a.prefetch,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod hw {
+    use super::{Dot, PartitionArgs, Scalar};
+    use crate::simd;
+
+    /// NEON 8-lane dot.  Only reachable through shapes whose
+    /// [`super::SimdClass::NnzNeon`] came from a resolve that verified NEON
+    /// support at runtime.
+    pub(super) struct DotNeon8;
+
+    impl Dot for DotNeon8 {
+        #[inline(always)]
+        fn dot(a: &PartitionArgs<'_>, start: usize, end: usize) -> Scalar {
+            // SAFETY: shapes classify as NnzNeon only when ResolvedSimd
+            // carried Backend::Neon, which requires a positive runtime probe.
+            unsafe {
+                simd::neon::row_dot_nnz8(
+                    a.values,
+                    a.col_indices,
+                    a.x,
+                    a.col_offset,
+                    start,
+                    end,
+                    a.prefetch,
+                )
+            }
+        }
+    }
+
+    /// NEON 4-lane dot (same safety argument as the 8-lane variant).
+    pub(super) struct DotNeon4;
+
+    impl Dot for DotNeon4 {
+        #[inline(always)]
+        fn dot(a: &PartitionArgs<'_>, start: usize, end: usize) -> Scalar {
+            // SAFETY: as above.
+            unsafe {
+                simd::neon::row_dot_nnz4(
+                    a.values,
+                    a.col_indices,
+                    a.x,
+                    a.col_offset,
+                    start,
+                    end,
+                    a.prefetch,
+                )
+            }
+        }
+    }
+}
+
+/// Row-partition chunk loop, monomorphized over bounds storage and dot
+/// kernel: the whole inner loop is branch-free straight-line code after
+/// inlining.
+fn chunk_nnz<const TB: bool, D: Dot>(a: &PartitionArgs<'_>, first: usize, out: &mut [Scalar]) {
+    for (i, slot) in out.iter_mut().enumerate() {
+        let (start, end) = row_range::<TB>(a, first + i);
+        *slot += D::dot(a, start, end);
+    }
+}
+
+/// Row-lane chunk loop: `L` adjacent rows advance together (one accumulator
+/// chain per lane, exactly the interpreted `row_lane_rows` schedule, so
+/// results are bitwise identical); leftover rows take the scalar loop.
+fn chunk_row_lanes<const TB: bool, const L: usize>(
+    a: &PartitionArgs<'_>,
+    first: usize,
+    out: &mut [Scalar],
+) {
+    let mut i = 0;
+    while i + L <= out.len() {
+        let mut ranges = [(0usize, 0usize); L];
+        for (l, range) in ranges.iter_mut().enumerate() {
+            *range = row_range::<TB>(a, first + i + l);
+        }
+        let mut acc = [0.0 as Scalar; L];
+        simd::rows_dot_row_lanes::<L>(
+            a.values,
+            a.col_indices,
+            a.x,
+            a.col_offset,
+            &ranges,
+            &mut acc,
+            a.prefetch,
+        );
+        for (l, &v) in acc.iter().enumerate() {
+            out[i + l] += v;
+        }
+        i += L;
+    }
+    for (j, slot) in out.iter_mut().enumerate().skip(i) {
+        let (start, end) = row_range::<TB>(a, first + j);
+        *slot += DotScalar::dot(a, start, end);
+    }
+}
+
+/// Nnz-partition span loop: walk `[start, end)` of the stream emitting one
+/// partial per row segment (row boundaries from the partition's real CSR
+/// offsets), the segment dot monomorphized.  `row0` is the span's first row,
+/// resolved by the caller from the chunk descriptor.
+fn span_nnz<D: Dot>(
+    a: &PartitionArgs<'_>,
+    offsets: &[u32],
+    row0: usize,
+    start: usize,
+    end: usize,
+) -> Vec<Scalar> {
+    let mut row = row0;
+    let mut sums = Vec::new();
+    let mut cursor = start;
+    loop {
+        let seg_end = (offsets[row + 1] as usize).min(end);
+        sums.push(D::dot(a, cursor, seg_end));
+        cursor = seg_end;
+        if cursor >= end {
+            break;
+        }
+        row += 1;
+    }
+    sums
+}
+
+/// Specialized scatter: merge partials into `y` through a stored table
+/// (`TB = true`) or affine arithmetic (`TB = false`; identity is
+/// `base 0, slope 1`).
+fn scatter_to<const TB: bool>(
+    a: &ScatterArgs<'_>,
+    base_row: usize,
+    sums: &[Scalar],
+    y: &mut [Scalar],
+) {
+    if TB {
+        for (j, &v) in sums.iter().enumerate() {
+            y[a.table[base_row + j] as usize] += v;
+        }
+    } else {
+        for (j, &v) in sums.iter().enumerate() {
+            y[(a.base + a.slope * (base_row + j) as i64) as usize] += v;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shape matcher
+// ---------------------------------------------------------------------------
+
+/// Picks the chunk instantiation for a bounds kind (`$tb`) and dot type.
+macro_rules! chunk_for {
+    ($tb:expr, $d:ty) => {
+        if $tb {
+            chunk_nnz::<true, $d> as ChunkFn
+        } else {
+            chunk_nnz::<false, $d> as ChunkFn
+        }
+    };
+}
+
+/// Resolves a shape against the library.  `None` is a genuine library miss
+/// (the caller falls back to the interpreted executor and counts it); the
+/// only misses today are lane/backend combinations the resolve step can no
+/// longer produce.  [`IndexKind::Model`] bounds and origins take the table
+/// instantiations: the kernel builder materialises the closed-form model
+/// into a lookup table once at build time, so the hot loop stays
+/// branch-free (memory traded for the per-element model dispatch).
+pub(crate) fn specialize(shape: &KernelShape) -> Option<SpecializedPartition> {
+    // Output placement: contiguous origins compute, everything else —
+    // including materialised models — reads the table (the contiguous case
+    // bypasses the scatter entirely at run time).
+    let scatter: ScatterFn = match shape.origin {
+        IndexKind::Table | IndexKind::Model => scatter_to::<true>,
+        IndexKind::Identity | IndexKind::Affine => scatter_to::<false>,
+    };
+    let exec = match shape.partition {
+        PartitionKind::Rows => {
+            let tb = match shape.bounds {
+                IndexKind::Table | IndexKind::Model => true,
+                IndexKind::Identity | IndexKind::Affine => false,
+            };
+            let chunk: ChunkFn = match shape.simd {
+                SimdClass::Scalar => chunk_for!(tb, DotScalar),
+                SimdClass::NnzPortable { lanes: 2 } => chunk_for!(tb, DotNnzPortable<2>),
+                SimdClass::NnzPortable { lanes: 4 } => chunk_for!(tb, DotNnzPortable<4>),
+                SimdClass::NnzPortable { lanes: 8 } => chunk_for!(tb, DotNnzPortable<8>),
+                #[cfg(target_arch = "x86_64")]
+                SimdClass::NnzAvx2 { lanes: 4 } => chunk_for!(tb, hw::DotAvx2x4),
+                #[cfg(target_arch = "x86_64")]
+                SimdClass::NnzAvx2 { lanes: 8 } => chunk_for!(tb, hw::DotAvx2x8),
+                #[cfg(target_arch = "aarch64")]
+                SimdClass::NnzNeon { lanes: 4 } => chunk_for!(tb, hw::DotNeon4),
+                #[cfg(target_arch = "aarch64")]
+                SimdClass::NnzNeon { lanes: 8 } => chunk_for!(tb, hw::DotNeon8),
+                SimdClass::RowLanes { lanes: 2 } => {
+                    if tb {
+                        chunk_row_lanes::<true, 2> as ChunkFn
+                    } else {
+                        chunk_row_lanes::<false, 2> as ChunkFn
+                    }
+                }
+                SimdClass::RowLanes { lanes: 4 } => {
+                    if tb {
+                        chunk_row_lanes::<true, 4> as ChunkFn
+                    } else {
+                        chunk_row_lanes::<false, 4> as ChunkFn
+                    }
+                }
+                SimdClass::RowLanes { lanes: 8 } => {
+                    if tb {
+                        chunk_row_lanes::<true, 8> as ChunkFn
+                    } else {
+                        chunk_row_lanes::<false, 8> as ChunkFn
+                    }
+                }
+                _ => return None,
+            };
+            SpecExec::Rows(chunk)
+        }
+        PartitionKind::Nnz => {
+            // Nnz spans resolve `bmt_row_starts` once per span outside the
+            // hot loop, so its kind never disqualifies the shape.
+            let span: SpanFn = match shape.simd {
+                SimdClass::Scalar => span_nnz::<DotScalar>,
+                SimdClass::NnzPortable { lanes: 2 } => span_nnz::<DotNnzPortable<2>>,
+                SimdClass::NnzPortable { lanes: 4 } => span_nnz::<DotNnzPortable<4>>,
+                SimdClass::NnzPortable { lanes: 8 } => span_nnz::<DotNnzPortable<8>>,
+                #[cfg(target_arch = "x86_64")]
+                SimdClass::NnzAvx2 { lanes: 4 } => span_nnz::<hw::DotAvx2x4>,
+                #[cfg(target_arch = "x86_64")]
+                SimdClass::NnzAvx2 { lanes: 8 } => span_nnz::<hw::DotAvx2x8>,
+                #[cfg(target_arch = "aarch64")]
+                SimdClass::NnzNeon { lanes: 4 } => span_nnz::<hw::DotNeon4>,
+                #[cfg(target_arch = "aarch64")]
+                SimdClass::NnzNeon { lanes: 8 } => span_nnz::<hw::DotNeon8>,
+                _ => return None,
+            };
+            SpecExec::Nnz(span)
+        }
+    };
+    Some(SpecializedPartition { exec, scatter })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(partition: PartitionKind, bounds: IndexKind, simd: SimdClass) -> KernelShape {
+        KernelShape {
+            partition,
+            bounds,
+            origin: IndexKind::Identity,
+            col_index: IndexKind::Table,
+            simd,
+            prefetch: PrefetchClass::None,
+        }
+    }
+
+    #[test]
+    fn every_designer_reachable_shape_is_in_the_library() {
+        // The cross product the designer can actually produce: both
+        // partition strategies × both bounds storages × every SIMD variant
+        // the resolve step emits on this host.
+        let mut simd_classes = vec![
+            SimdClass::Scalar,
+            SimdClass::NnzPortable { lanes: 2 },
+            SimdClass::NnzPortable { lanes: 4 },
+            SimdClass::NnzPortable { lanes: 8 },
+        ];
+        #[cfg(target_arch = "x86_64")]
+        simd_classes.extend([
+            SimdClass::NnzAvx2 { lanes: 4 },
+            SimdClass::NnzAvx2 { lanes: 8 },
+        ]);
+        #[cfg(target_arch = "aarch64")]
+        simd_classes.extend([
+            SimdClass::NnzNeon { lanes: 4 },
+            SimdClass::NnzNeon { lanes: 8 },
+        ]);
+        for &bounds in &[
+            IndexKind::Identity,
+            IndexKind::Affine,
+            IndexKind::Table,
+            IndexKind::Model,
+        ] {
+            for &sc in &simd_classes {
+                assert!(
+                    specialize(&shape(PartitionKind::Rows, bounds, sc)).is_some(),
+                    "rows/{bounds:?}/{sc:?} must be in the library"
+                );
+                assert!(
+                    specialize(&shape(PartitionKind::Nnz, bounds, sc)).is_some(),
+                    "nnz/{bounds:?}/{sc:?} must be in the library"
+                );
+            }
+            for lanes in [2u8, 4, 8] {
+                assert!(
+                    specialize(&shape(
+                        PartitionKind::Rows,
+                        bounds,
+                        SimdClass::RowLanes { lanes }
+                    ))
+                    .is_some(),
+                    "rows/{bounds:?}/row-x{lanes} must be in the library"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn model_shapes_hit_the_library_via_materialised_tables() {
+        // Model bounds and origins resolve to the table instantiations —
+        // the kernel builder materialises the closed-form model into a
+        // lookup table at build time, so no designer-reachable shape ever
+        // falls back to the interpreter.
+        assert!(specialize(&shape(
+            PartitionKind::Rows,
+            IndexKind::Model,
+            SimdClass::Scalar
+        ))
+        .is_some());
+        let mut s = shape(PartitionKind::Rows, IndexKind::Table, SimdClass::Scalar);
+        s.origin = IndexKind::Model;
+        assert!(specialize(&s).is_some());
+        // An nnz partition's bounds (row_starts) may be a model — resolved
+        // once per span, it never disqualifies the shape.
+        assert!(specialize(&shape(
+            PartitionKind::Nnz,
+            IndexKind::Model,
+            SimdClass::Scalar
+        ))
+        .is_some());
+    }
+
+    #[test]
+    fn labels_are_stable_and_compact() {
+        let s = KernelShape {
+            partition: PartitionKind::Rows,
+            bounds: IndexKind::Table,
+            origin: IndexKind::Identity,
+            col_index: IndexKind::Table,
+            simd: SimdClass::NnzAvx2 { lanes: 8 },
+            prefetch: PrefetchClass::Stream,
+        };
+        assert_eq!(s.label(), "rows[off:table,org:id,col:table]:avx2-nnz-x8+pf");
+        let n = KernelShape {
+            partition: PartitionKind::Nnz,
+            bounds: IndexKind::Affine,
+            origin: IndexKind::Table,
+            col_index: IndexKind::Table,
+            simd: SimdClass::Scalar,
+            prefetch: PrefetchClass::None,
+        };
+        assert_eq!(n.label(), "nnz[off:affine,org:table,col:table]:scalar");
+    }
+
+    #[test]
+    fn row_range_affine_matches_table() {
+        let offsets: Vec<u32> = (0..=64u32).map(|i| i * 3).collect();
+        let a = PartitionArgs {
+            values: &[],
+            col_indices: &[],
+            x: &[],
+            col_offset: 0,
+            bounds_table: &offsets,
+            bounds_base: 0,
+            bounds_slope: 3,
+            prefetch: 0,
+        };
+        for row in 0..64 {
+            assert_eq!(row_range::<true>(&a, row), row_range::<false>(&a, row));
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Differential acceptance suite of the monomorphized kernel library: for
+//! every preset design × every synthetic matrix family, the specialized
+//! (branch-free, library-matched) kernel, its force-interpreted twin and
+//! the reference CSR product must all agree — bitwise when the kernel is
+//! scalar, within [`alpha_matrix::max_scaled_error`] when SIMD reorders the
+//! reduction.
+//!
+//! A second test pins library *coverage*: the CSR, ELL/SELL, HYB and
+//! merge-path design lineages — as lowered, and as their forced-scalar
+//! twins — must all resolve to specialized loops, never the interpreted
+//! fallback (except under the `ALPHA_CPU_NO_SPECIALIZE` override, where the
+//! suite instead proves the fallback stays correct end to end).
+
+use alpha_cpu::{NativeKernel, SimdMode, SpecializeMode};
+use alpha_graph::{presets, Operator, OperatorGraph};
+use alpha_matrix::{gen::PatternFamily, max_scaled_error, CsrMatrix, DenseVector};
+
+/// Same tolerance as `reproduce -- native`'s correctness gate, for kernels
+/// whose SIMD lanes reorder the floating-point reduction.
+const TOL: f32 = 1e-3;
+
+/// Stable stage sort (converting < mapping < implementing), as the search's
+/// seeding does, so appended SIMD operators land in a canonical position.
+fn sort_branch_stages(branch: &mut [Operator]) {
+    branch.sort_by_key(|op| match op.stage() {
+        alpha_graph::Stage::Converting => 0,
+        alpha_graph::Stage::Mapping => 1,
+        alpha_graph::Stage::Implementing => 2,
+    });
+}
+
+/// The SIMD shapes appended to each branch of a base design (invalid
+/// combinations dropped, exactly as the search does), so the differential
+/// covers the vector rows of the shape lattice too.
+fn simd_variants(base: &OperatorGraph) -> Vec<(&'static str, OperatorGraph)> {
+    let sets: [(&'static str, &[Operator]); 3] = [
+        (
+            "nnz-x8+pf16",
+            &[
+                Operator::SimdNnzLanes { lanes: 8 },
+                Operator::SimdPrefetch { distance: 16 },
+            ],
+        ),
+        ("nnz-x4", &[Operator::SimdNnzLanes { lanes: 4 }]),
+        ("row-x4", &[Operator::SimdRowLanes { lanes: 4 }]),
+    ];
+    let mut variants = Vec::new();
+    for (name, ops) in sets {
+        let mut twin = base.clone();
+        for branch in &mut twin.branches {
+            branch.extend(ops.iter().cloned());
+            sort_branch_stages(branch);
+        }
+        if twin.validate().is_ok() {
+            variants.push((name, twin));
+        }
+    }
+    variants
+}
+
+/// Lowers `graph` for `matrix` twice — library-matched and
+/// force-interpreted — and returns both outputs plus the matched kernel.
+fn run_spec_twins(
+    graph: &OperatorGraph,
+    matrix: &CsrMatrix,
+    x: &[f32],
+    context: &str,
+) -> (Vec<f32>, Vec<f32>, NativeKernel) {
+    let generated =
+        alpha_codegen::generate(graph, matrix, alpha_codegen::GeneratorOptions::default())
+            .unwrap_or_else(|e| panic!("{context}: generation failed: {e}"));
+    let spec = NativeKernel::with_modes(
+        generated.kernel.metadata(),
+        &generated.format,
+        SimdMode::Auto,
+        SpecializeMode::Auto,
+    );
+    let interp = NativeKernel::with_modes(
+        generated.kernel.metadata(),
+        &generated.format,
+        SimdMode::Auto,
+        SpecializeMode::ForceInterpreted,
+    );
+    assert!(
+        !interp.is_specialized(),
+        "{context}: ForceInterpreted twin must bypass the library"
+    );
+    let y_spec = spec
+        .run(x, 1)
+        .unwrap_or_else(|e| panic!("{context}: specialized kernel failed: {e}"));
+    let y_interp = interp
+        .run(x, 1)
+        .unwrap_or_else(|e| panic!("{context}: interpreted kernel failed: {e}"));
+    (y_spec, y_interp, spec)
+}
+
+#[test]
+fn every_preset_and_family_agrees_across_the_specialization_differential() {
+    let mut specialized_runs = 0usize;
+    for (preset_name, base) in presets::all_presets() {
+        if base.validate().is_err() {
+            continue;
+        }
+        let mut graphs = vec![("base", base.clone())];
+        graphs.extend(simd_variants(&base));
+        for (fi, family) in PatternFamily::ALL.iter().enumerate() {
+            let matrix = family.generate(384, 6, 1700 + fi as u64);
+            let x = DenseVector::random(matrix.cols(), 11);
+            let reference = matrix.spmv(x.as_slice()).unwrap();
+            for (variant, graph) in &graphs {
+                let context = format!("{preset_name}/{variant}/{}", family.name());
+                let (y_spec, y_interp, spec) =
+                    run_spec_twins(graph, &matrix, x.as_slice(), &context);
+                if spec.is_specialized() {
+                    specialized_runs += 1;
+                }
+                let e_spec = max_scaled_error(&y_spec, &reference);
+                let e_interp = max_scaled_error(&y_interp, &reference);
+                assert!(
+                    e_spec <= TOL,
+                    "{context} [{}]: specialized vs reference {e_spec:.2e}",
+                    spec.shape_label()
+                );
+                assert!(
+                    e_interp <= TOL,
+                    "{context}: interpreted vs reference {e_interp:.2e}"
+                );
+                if spec.is_vectorized() {
+                    // SIMD lanes reorder the reduction; the twins agree to
+                    // the same tolerance as either against the reference.
+                    let e_twin = max_scaled_error(&y_spec, &y_interp);
+                    assert!(
+                        e_twin <= TOL,
+                        "{context}: specialized vs interpreted twin {e_twin:.2e}"
+                    );
+                } else {
+                    // Scalar specialized loops execute the same operations
+                    // in the same order as the interpreter — the match must
+                    // be exact, bit for bit.
+                    assert_eq!(
+                        y_spec.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        y_interp.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "{context} [{}]: scalar specialization must be bitwise",
+                        spec.shape_label()
+                    );
+                }
+            }
+        }
+    }
+    // The differential only proves something if the library actually
+    // matched: under the env override every kernel must interpret instead.
+    if alpha_cpu::cpu_features::no_specialize() {
+        assert_eq!(
+            specialized_runs, 0,
+            "the env override must pin every kernel to the interpreter"
+        );
+    } else {
+        assert!(
+            specialized_runs > 0,
+            "no specialized kernel ran — the differential tested nothing"
+        );
+    }
+}
+
+#[test]
+fn designer_reachable_lineages_hit_the_library_as_scalar_and_simd() {
+    // One representative per format lineage the paper's designer reaches:
+    // CSR, ELL/SELL blocking, HYB row-splitting and merge-path (nnz-even)
+    // partitioning.
+    let lineages: Vec<(&'static str, OperatorGraph)> = vec![
+        ("csr", presets::csr_scalar()),
+        ("ell", presets::sell_like()),
+        ("hyb", presets::row_split_hybrid(2)),
+        ("merge", presets::csr5_like(64)),
+    ];
+    let matrix = PatternFamily::ALL[0].generate(512, 8, 4242);
+    for (lineage, base) in lineages {
+        let mut graphs = vec![("base", base.clone())];
+        graphs.extend(simd_variants(&base));
+        for (variant, graph) in &graphs {
+            let context = format!("{lineage}/{variant}");
+            let generated =
+                alpha_codegen::generate(graph, &matrix, alpha_codegen::GeneratorOptions::default())
+                    .unwrap_or_else(|e| panic!("{context}: generation failed: {e}"));
+            for (label, simd_mode) in [
+                ("auto", SimdMode::Auto),
+                ("forced-scalar", SimdMode::ForceScalar),
+            ] {
+                let kernel = NativeKernel::with_modes(
+                    generated.kernel.metadata(),
+                    &generated.format,
+                    simd_mode,
+                    SpecializeMode::Auto,
+                );
+                if alpha_cpu::cpu_features::no_specialize() {
+                    assert!(
+                        !kernel.is_specialized(),
+                        "{context}/{label}: env override must force the interpreter"
+                    );
+                } else {
+                    assert!(
+                        kernel.is_specialized(),
+                        "{context}/{label}: designer-reachable shape {:?} missed \
+                         the monomorphized library",
+                        kernel.shape_label()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -501,6 +501,12 @@ pub struct JobSummary {
     /// worker picked it up.  Reported separately from `wall_secs` so load
     /// tests can attribute latency to queueing vs execution.
     pub queue_wait_secs: f64,
+    /// The monomorphized-library shape key of the resident native kernel
+    /// that will serve [`Request::Spmv`] for this job.
+    pub kernel_shape: String,
+    /// True when every partition of the resident kernel executes through a
+    /// specialized (branch-free) loop rather than the interpreted fallback.
+    pub specialized: bool,
 }
 
 /// Where one job is in its lifecycle.
@@ -783,6 +789,8 @@ fn write_summary(w: &mut ByteWriter, summary: &JobSummary) {
     w.u8(summary.warm_started as u8);
     w.f64(summary.wall_secs);
     w.f64(summary.queue_wait_secs);
+    w.str(&summary.kernel_shape);
+    w.u8(summary.specialized as u8);
 }
 
 fn read_summary(r: &mut ByteReader<'_>) -> Result<JobSummary, ProtoError> {
@@ -801,6 +809,16 @@ fn read_summary(r: &mut ByteReader<'_>) -> Result<JobSummary, ProtoError> {
         },
         wall_secs: r.f64()?,
         queue_wait_secs: r.f64()?,
+        kernel_shape: r.str()?,
+        specialized: match r.u8()? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(ProtoError::Corrupt(format!(
+                    "specialized flag must be 0/1, found {other}"
+                )));
+            }
+        },
     })
 }
 
@@ -1205,6 +1223,8 @@ mod tests {
                     warm_started: true,
                     wall_secs: 0.25,
                     queue_wait_secs: 0.0625,
+                    kernel_shape: "rows[off:table,org:id,col:table]:avx2-nnz-x8+pf".to_string(),
+                    specialized: true,
                 }),
             },
             Response::Status {

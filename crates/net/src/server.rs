@@ -744,6 +744,10 @@ fn worker_loop(shared: &Shared) {
                     warm_started: tune.warm_started,
                     wall_secs: tune.wall_secs,
                     queue_wait_secs,
+                    // Lowers the native kernel eagerly: Spmv requests for
+                    // this job then hit a pre-resolved specialized loop.
+                    kernel_shape: tune.tuned.kernel_shape(),
+                    specialized: tune.tuned.is_specialized(),
                 },
                 tuned: Arc::new(tune.tuned),
             },

@@ -55,6 +55,17 @@ fn tune_poll_spmv_round_trip() {
     assert!(summary.gflops > 0.0);
     assert!(!summary.operator_graph.is_empty());
     assert!(summary.fresh_evaluations > 0, "cold daemon must search");
+    assert!(
+        !summary.kernel_shape.is_empty() && summary.kernel_shape != "none",
+        "summary must name the resident kernel's library shape, got {:?}",
+        summary.kernel_shape
+    );
+    assert!(
+        summary.specialized,
+        "a designer-reachable winner must serve through the monomorphized \
+         library, not the interpreted fallback (shape {:?})",
+        summary.kernel_shape
+    );
 
     let x: Vec<f32> = (0..144).map(|i| (i % 7) as f32 - 3.0).collect();
     let y = client.spmv(job, &x).expect("remote SpMV runs");
@@ -488,6 +499,15 @@ fn metrics_surface_covers_the_whole_pipeline() {
     ] {
         assert!(text.contains(family), "missing {family:?} in:\n{text}");
     }
+    // The kernel layer shares the same process-wide registry, so a
+    // specialization miss anywhere in the tune→lower→serve pipeline would
+    // surface here as `cpu_kernel_fallback_total`.  The family is created
+    // on first increment; its absence means the whole pipeline ran
+    // branch-free specialized loops.
+    assert!(
+        !text.contains("cpu_kernel_fallback_total"),
+        "daemon pipeline hit the interpreted fallback:\n{text}"
+    );
 
     // The HTTP endpoint serves the same exposition to a plain scraper.
     let scrape = |path: &str| -> String {

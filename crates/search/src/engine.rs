@@ -141,6 +141,10 @@ pub struct SearchOutcome {
     pub best_report: PerfReport,
     /// The emitted CUDA-like source of the winning kernel.
     pub best_source: String,
+    /// Shape label of the native kernel the winner lowered to (`None` for
+    /// simulated searches) — the `alpha-cpu` monomorphized-library key,
+    /// recorded with the stored winner.
+    pub best_kernel_shape: Option<String>,
     /// Search statistics.
     pub stats: SearchStats,
 }
@@ -261,7 +265,7 @@ pub fn search_with_cache(
     };
     let mut annealer = Annealer::new(25.0, 0.97, 20);
     let mut samples: Vec<Sample> = Vec::new();
-    let mut best: Option<(OperatorGraph, PerfReport, String)> = None;
+    let mut best: Option<(OperatorGraph, PerfReport, String, Option<String>)> = None;
     let mut evaluated: BTreeSet<String> = BTreeSet::new();
     let budget_reached = |stats: &SearchStats| {
         stats.iterations >= config.max_iterations
@@ -298,10 +302,15 @@ pub fn search_with_cache(
             samples.push(Sample::new(featurise(candidate, &stats_of_matrix), gflops));
             if best
                 .as_ref()
-                .map(|(_, r, _)| gflops > r.gflops)
+                .map(|(_, r, _, _)| gflops > r.gflops)
                 .unwrap_or(true)
             {
-                best = Some((candidate.clone(), eval.report, eval.source));
+                best = Some((
+                    candidate.clone(),
+                    eval.report,
+                    eval.source,
+                    eval.kernel_shape,
+                ));
             }
             annealer.observe(gflops);
             if annealer.should_stop() {
@@ -347,10 +356,15 @@ pub fn search_with_cache(
             ));
             if best
                 .as_ref()
-                .map(|(_, r, _)| eval.report.gflops > r.gflops)
+                .map(|(_, r, _, _)| eval.report.gflops > r.gflops)
                 .unwrap_or(true)
             {
-                best = Some((candidate.clone(), eval.report, eval.source));
+                best = Some((
+                    candidate.clone(),
+                    eval.report,
+                    eval.source,
+                    eval.kernel_shape,
+                ));
             }
         }
     }
@@ -382,12 +396,13 @@ pub fn search_with_cache(
         .counter("search_structures_pruned_total", &[])
         .add(stats.structures_pruned as u64);
 
-    let (best_graph, best_report, best_source) =
+    let (best_graph, best_report, best_source, best_kernel_shape) =
         best.ok_or_else(|| "no valid candidate could be evaluated".to_string())?;
     // Record the winner durably: serving layers read it back to answer
     // repeat requests without searching and to warm-start structurally
     // similar matrices (the matrix features give them the similarity
-    // metric).
+    // metric; the kernel shape hands them a pre-resolved specialized
+    // kernel).
     cache.record_winner(
         ctx.context_key(),
         StoredDesign {
@@ -395,12 +410,14 @@ pub fn search_with_cache(
             gflops: best_report.gflops,
             matrix_features: matrix_feature_vector(&stats_of_matrix),
             evaluator: config.evaluator.id(),
+            kernel_shape: best_kernel_shape.clone(),
         },
     );
     Ok(SearchOutcome {
         best_graph,
         best_report,
         best_source,
+        best_kernel_shape,
         stats,
     })
 }

@@ -77,19 +77,19 @@ impl EvaluatorId {
     /// the identity transform so every pre-existing simulated cache key (and
     /// durable cache file) stays valid.
     ///
-    /// The native tag carries a backend **revision** (`-r3`): r2 marked the
-    /// pooled-dispatch/nnz-balanced substrate, r3 marks the SIMD microkernel
-    /// layer — a scalar-era timing and a vectorized timing of the same
-    /// design are different measurements (the same graph can now resolve to
-    /// an AVX2 gather kernel), so scalar-era persisted native evaluations
-    /// and winners land in disjoint contexts instead of being compared
-    /// against vectorized timings.  Bump the revision whenever the
-    /// execution substrate changes measurements again.
+    /// The native tag carries a backend **revision** (`-r4`): r2 marked the
+    /// pooled-dispatch/nnz-balanced substrate, r3 the SIMD microkernel
+    /// layer, and r4 marks the monomorphized kernel library — steady-state
+    /// SpMV now runs branch-free specialized loops instead of the
+    /// interpreted executor, so r3-era timings of the same design are
+    /// different measurements and their persisted evaluations and winners
+    /// land in disjoint contexts.  Bump the revision whenever the execution
+    /// substrate changes measurements again.
     pub fn salt(self, key: u64) -> u64 {
         match self {
             EvaluatorId::Simulated => key,
             EvaluatorId::Native { warmup, runs } => {
-                let key = fnv_extend(key, b"native-cpu-r3");
+                let key = fnv_extend(key, b"native-cpu-r4");
                 let key = fnv_extend(key, &warmup.to_le_bytes());
                 fnv_extend(key, &runs.to_le_bytes())
             }
@@ -272,6 +272,12 @@ pub struct Evaluation {
     /// True when the result came out of a [`DesignCache`] instead of a
     /// simulation.
     pub cached: bool,
+    /// Shape label of the native kernel the candidate lowered to (the
+    /// `alpha-cpu` monomorphized-library key) — `None` for simulated
+    /// evaluations, which never build a native kernel.  Travels with the
+    /// winning design into the store so serving layers hand out a
+    /// pre-resolved specialized kernel without re-matching.
+    pub kernel_shape: Option<String>,
 }
 
 /// Evaluates one `(OperatorGraph, CsrMatrix)` candidate into a [`PerfReport`].
@@ -353,6 +359,7 @@ impl Evaluator for SimEvaluator {
             report: result.report,
             source: generated.source,
             cached: false,
+            kernel_shape: None,
         })
     }
 }
@@ -411,8 +418,11 @@ pub struct DesignCache {
 /// (context key, canonical graph signature).
 type CacheKey = (u64, String);
 
-/// `None` = known-infeasible design; `Some` = (report, emitted source).
-type CacheEntry = Option<(PerfReport, String)>;
+/// `None` = known-infeasible design; `Some` = (report, emitted source,
+/// native kernel-shape label).  The shape rides along so a fully
+/// cache-served replay still reports the same shape the original
+/// evaluation resolved.
+pub type CacheEntry = Option<(PerfReport, String, Option<String>)>;
 
 impl DesignCache {
     /// An empty cache.
@@ -455,10 +465,11 @@ impl DesignCache {
         match entries.get(&key) {
             Some(entry) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(entry.as_ref().map(|(report, source)| Evaluation {
+                Some(entry.as_ref().map(|(report, source, shape)| Evaluation {
                     report: report.clone(),
                     source: source.clone(),
                     cached: true,
+                    kernel_shape: shape.clone(),
                 }))
             }
             None => {
@@ -478,7 +489,7 @@ impl DesignCache {
         let key = (ctx.context_key, graph.canonical_signature());
         let value = outcome
             .as_ref()
-            .map(|e| (e.report.clone(), e.source.clone()));
+            .map(|e| (e.report.clone(), e.source.clone(), e.kernel_shape.clone()));
         self.entries
             .lock()
             .expect("design cache poisoned")
@@ -618,7 +629,7 @@ impl DesignCache {
 
     /// A deep copy of the evaluation entries (used by the persistence codec
     /// and its round-trip tests).
-    pub fn entries_snapshot(&self) -> HashMap<(u64, String), Option<(PerfReport, String)>> {
+    pub fn entries_snapshot(&self) -> HashMap<(u64, String), CacheEntry> {
         self.entries.lock().expect("design cache poisoned").clone()
     }
 
@@ -630,10 +641,7 @@ impl DesignCache {
             .clone()
     }
 
-    pub(crate) fn replace_entries(
-        &self,
-        entries: HashMap<(u64, String), Option<(PerfReport, String)>>,
-    ) {
+    pub(crate) fn replace_entries(&self, entries: HashMap<(u64, String), CacheEntry>) {
         *self.entries.lock().expect("design cache poisoned") = entries;
     }
 }

@@ -40,8 +40,12 @@ pub const CACHE_MAGIC: [u8; 4] = *b"ACDS";
 /// [`PersistError::VersionMismatch`] instead of being misread.  Version 3
 /// added the SIMD operator tags (25–27): caches written before vectorization
 /// existed score designs the SIMD-aware search would rank differently, so
-/// they are retired wholesale rather than mixed in.
-pub const CACHE_FORMAT_VERSION: u32 = 3;
+/// they are retired wholesale rather than mixed in.  Version 4 added the
+/// native kernel-shape label to evaluations and winners (the monomorphized
+/// kernel library's lookup key, see `alpha-cpu`): pre-specialization caches
+/// hold r3-era timings anyway (see `EvaluatorId::salt`), so they retire with
+/// the version.
+pub const CACHE_FORMAT_VERSION: u32 = 4;
 
 /// Why loading or saving a durable cache failed.
 #[derive(Debug)]
@@ -113,6 +117,11 @@ pub struct StoredDesign {
     /// Persisted so a store never serves a cost-model winner as a measured
     /// one — or the other way round.
     pub evaluator: EvaluatorId,
+    /// Shape label of the native kernel the winner lowered to — the
+    /// `alpha-cpu` monomorphized-library key, persisted so serving layers
+    /// hand out a pre-resolved specialized kernel with zero re-matching.
+    /// `None` for simulated winners (no native kernel was built).
+    pub kernel_shape: Option<String>,
 }
 
 // ---------------------------------------------------------------------------
@@ -390,6 +399,27 @@ fn read_evaluator(r: &mut ByteReader<'_>) -> Result<EvaluatorId, PersistError> {
     }
 }
 
+// Optional string: one presence byte, then the string when present.
+fn write_opt_str(w: &mut ByteWriter, s: &Option<String>) {
+    match s {
+        None => w.u8(0),
+        Some(s) => {
+            w.u8(1);
+            w.str(s);
+        }
+    }
+}
+
+fn read_opt_str(r: &mut ByteReader<'_>) -> Result<Option<String>, PersistError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.str()?)),
+        other => Err(PersistError::Corrupt(format!(
+            "unknown optional-string tag {other}"
+        ))),
+    }
+}
+
 fn write_graph(w: &mut ByteWriter, graph: &OperatorGraph) {
     w.u64(graph.converting.len() as u64);
     for op in &graph.converting {
@@ -517,10 +547,11 @@ impl DesignCache {
             w.str(signature);
             match &entries[key] {
                 None => w.u8(0),
-                Some((report, source)) => {
+                Some((report, source, kernel_shape)) => {
                     w.u8(1);
                     write_report(&mut w, report);
                     w.str(source);
+                    write_opt_str(&mut w, kernel_shape);
                 }
             }
         }
@@ -539,6 +570,7 @@ impl DesignCache {
                 w.f64(feature);
             }
             write_evaluator(&mut w, design.evaluator);
+            write_opt_str(&mut w, &design.kernel_shape);
         }
 
         // Section 3: seed pins.
@@ -584,7 +616,8 @@ impl DesignCache {
                 1 => {
                     let report = read_report(&mut r)?;
                     let source = r.str()?;
-                    Some((report, source))
+                    let kernel_shape = read_opt_str(&mut r)?;
+                    Some((report, source, kernel_shape))
                 }
                 other => {
                     return Err(PersistError::Corrupt(format!(
@@ -607,6 +640,7 @@ impl DesignCache {
                 matrix_features.push(r.f64()?);
             }
             let evaluator = read_evaluator(&mut r)?;
+            let kernel_shape = read_opt_str(&mut r)?;
             cache.record_winner(
                 context_key,
                 StoredDesign {
@@ -614,6 +648,7 @@ impl DesignCache {
                     gflops,
                     matrix_features,
                     evaluator,
+                    kernel_shape,
                 },
             );
         }
@@ -723,6 +758,7 @@ mod tests {
                 gflops: 123.5,
                 matrix_features: vec![1.0, 2.5, -0.75],
                 evaluator: EvaluatorId::Simulated,
+                kernel_shape: None,
             },
         );
         cache.pin_seed_designs(
@@ -773,6 +809,7 @@ mod tests {
                 gflops: 2.0,
                 matrix_features: vec![],
                 evaluator: EvaluatorId::Native { warmup: 2, runs: 5 },
+                kernel_shape: None,
             },
         );
         cache.record_winner(
@@ -782,6 +819,7 @@ mod tests {
                 gflops: 3.0,
                 matrix_features: vec![],
                 evaluator: EvaluatorId::Native { warmup: 2, runs: 5 },
+                kernel_shape: None,
             },
         );
         let reloaded = DesignCache::from_bytes(&cache.to_bytes()).expect("decodes");
@@ -899,6 +937,7 @@ mod tests {
                 gflops: 1.0,
                 matrix_features: vec![],
                 evaluator: EvaluatorId::Simulated,
+                kernel_shape: None,
             },
         );
         let bytes = cache.to_bytes();
@@ -925,6 +964,7 @@ mod tests {
                 gflops: 55.0,
                 matrix_features: vec![0.5],
                 evaluator: EvaluatorId::Simulated,
+                kernel_shape: None,
             },
         );
         b.pin_seed_designs(99, vec![presets::sell_like()]);
@@ -946,6 +986,7 @@ mod tests {
             gflops: 10.0,
             matrix_features: vec![1.0],
             evaluator: EvaluatorId::Simulated,
+            kernel_shape: None,
         };
         cache.record_winner(1, winner.clone());
         assert!(cache.is_dirty(), "first winner dirties the cache");
@@ -974,6 +1015,7 @@ mod tests {
             gflops,
             matrix_features: vec![],
             evaluator: EvaluatorId::Simulated,
+            kernel_shape: None,
         };
         cache.record_winner(1, design(50.0));
         // A worse re-search result (e.g. a smaller budget) must not clobber

@@ -624,6 +624,9 @@ mod tests {
             gflops,
             matrix_features: vec![1.0, 2.0],
             evaluator: alpha_search::EvaluatorId::Simulated,
+            // A realistic monomorphized-library key: persisting it through the
+            // store round-trips the ACDS v4 optional-string field.
+            kernel_shape: Some("rows[off:table,org:id,col:table]:scalar".to_string()),
         }
     }
 
